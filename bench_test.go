@@ -1,0 +1,310 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure.
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark runs the corresponding experiment at a reduced fleet
+// size (the paper's n=5000 is available through cmd/mmbench, e.g.
+// `mmbench -exp storage -n 5000 -mode perturb`) and reports the
+// headline numbers as custom metrics, so `go test -bench` output shows
+// the same relationships the paper's figures plot.
+package mmm_test
+
+import (
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/core"
+	"github.com/mmm-go/mmm/internal/experiments"
+	"github.com/mmm-go/mmm/internal/nn"
+	"github.com/mmm-go/mmm/internal/storage/latency"
+	"github.com/mmm-go/mmm/internal/workload"
+)
+
+// benchOptions is the shared reduced-scale configuration. Perturb mode
+// keeps training out of the loop; storage and store traffic are
+// identical to training mode (verified by the experiments tests).
+func benchOptions() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.NumModels = 400
+	o.Cycles = 3
+	o.Runs = 1
+	o.Mode = workload.ModePerturb
+	o.Setup = latency.Zero()
+	return o
+}
+
+// reportSeries exposes one use-case column of a series as custom
+// benchmark metrics.
+func reportSeries(b *testing.B, s *experiments.Series, useCase int, unit string) {
+	b.Helper()
+	for _, a := range experiments.ApproachOrder {
+		b.ReportMetric(s.Value(a, useCase), a+"_"+unit)
+	}
+}
+
+// BenchmarkFig3Storage regenerates Figure 3: storage consumption per
+// use case. Metrics report the last U3 column (the steady state).
+func BenchmarkFig3Storage(b *testing.B) {
+	o := benchOptions()
+	var s *experiments.Series
+	var err error
+	for i := 0; i < b.N; i++ {
+		if s, err = experiments.RunStorage(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, s, o.Cycles, "MB_U3")
+	reportSeries(b, s, 0, "MB_U1")
+}
+
+// BenchmarkStorageUpdateRates regenerates the §4.2 update-rate
+// variation (10%, 20%, 30%); metrics report Update's U3 storage per
+// rate — the only approach whose storage correlates with the rate.
+func BenchmarkStorageUpdateRates(b *testing.B) {
+	o := benchOptions()
+	o.Cycles = 1
+	var res *experiments.RateSweepResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		if res, err = experiments.RunStorageRateSweep(o, []float64{0.10, 0.20, 0.30}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, rate := range res.Rates {
+		b.ReportMetric(res.Series[i].Value("Update", 1), "Update_MB_at_"+percent(rate))
+	}
+}
+
+func percent(rate float64) string {
+	switch {
+	case rate < 0.15:
+		return "10pct"
+	case rate < 0.25:
+		return "20pct"
+	default:
+		return "30pct"
+	}
+}
+
+// BenchmarkStorageModelSize regenerates the §4.2 FFNN-69 variation;
+// metrics report the per-approach large/small storage ratios (paper:
+// MMlib ≈1.7×, Baseline/Update ≈2.0×, Provenance ≈1.0×).
+func BenchmarkStorageModelSize(b *testing.B) {
+	o := benchOptions()
+	o.Cycles = 1
+	var cmp *experiments.SizeComparison
+	var err error
+	for i := 0; i < b.N; i++ {
+		if cmp, err = experiments.RunStorageSizeComparison(o, "FFNN-48", "FFNN-69"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, a := range experiments.ApproachOrder {
+		b.ReportMetric(cmp.U1Ratio[a], a+"_U1_ratio")
+	}
+	b.ReportMetric(cmp.U3Ratio["Update"], "Update_U3_ratio")
+	b.ReportMetric(cmp.U3Ratio["Provenance"], "Provenance_U3_ratio")
+}
+
+// BenchmarkStorageCIFAR regenerates the §4.2 CIFAR variation.
+func BenchmarkStorageCIFAR(b *testing.B) {
+	o := benchOptions()
+	o.ArchName = "CIFAR"
+	var s *experiments.Series
+	var err error
+	for i := 0; i < b.N; i++ {
+		if s, err = experiments.RunStorage(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, s, o.Cycles, "MB_U3")
+}
+
+// BenchmarkStorageOverhead regenerates the §4.2 U1 overhead comparison
+// (paper: Baseline/Provenance save ≈29% vs MMlib-base).
+func BenchmarkStorageOverhead(b *testing.B) {
+	o := benchOptions()
+	var rep *experiments.OverheadReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		if rep, err = experiments.RunStorageOverhead(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.SavingVsMMlibPct["Baseline"], "Baseline_saving_pct")
+	b.ReportMetric(rep.SavingVsMMlibPct["Provenance"], "Provenance_saving_pct")
+}
+
+// benchTTS shares the TTS benchmark body between the two setups.
+func benchTTS(b *testing.B, setup latency.Setup) {
+	o := benchOptions()
+	o.Setup = setup
+	var s *experiments.Series
+	var err error
+	for i := 0; i < b.N; i++ {
+		if s, err = experiments.RunTTS(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, s, 0, "s_U1")
+	reportSeries(b, s, o.Cycles, "s_U3")
+}
+
+// BenchmarkFig4aTTSM1 regenerates Figure 4a: median TTS on the M1-like
+// profile (modeled store latencies; see EXPERIMENTS.md).
+func BenchmarkFig4aTTSM1(b *testing.B) { benchTTS(b, latency.M1()) }
+
+// BenchmarkFig4bTTSServer regenerates Figure 4b: median TTS on the
+// server-like profile.
+func BenchmarkFig4bTTSServer(b *testing.B) { benchTTS(b, latency.Server()) }
+
+// benchTTR shares the TTR benchmark body between the two setups.
+// Provenance is measured with the paper's reduced-training budget.
+func benchTTR(b *testing.B, setup latency.Setup) {
+	o := benchOptions()
+	o.Setup = setup
+	var s *experiments.Series
+	var err error
+	for i := 0; i < b.N; i++ {
+		if s, err = experiments.RunTTR(o, experiments.PaperProvenanceBudget()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, s, 0, "s_U1")
+	reportSeries(b, s, o.Cycles, "s_U3")
+}
+
+// BenchmarkFig5aTTRM1 regenerates Figure 5a: median TTR on the M1-like
+// profile.
+func BenchmarkFig5aTTRM1(b *testing.B) { benchTTR(b, latency.M1()) }
+
+// BenchmarkFig5bTTRServer regenerates Figure 5b: median TTR on the
+// server-like profile.
+func BenchmarkFig5bTTRServer(b *testing.B) { benchTTR(b, latency.Server()) }
+
+// BenchmarkProvenanceExtrapolation regenerates the §4.4 intuition: the
+// provenance TTR staircase under realistic training (90k samples × 10
+// epochs; the paper reports ≈6/12/18 hours on its hardware).
+func BenchmarkProvenanceExtrapolation(b *testing.B) {
+	o := benchOptions()
+	o.Mode = workload.ModeTrain // need a real training to measure
+	o.NumModels = 100
+	var ext *experiments.Extrapolation
+	var err error
+	for i := 0; i < b.N; i++ {
+		if ext, err = experiments.RunProvenanceExtrapolation(o, 90000, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, d := range ext.TTR {
+		b.ReportMetric(d.Hours(), "U3-"+string(rune('1'+i))+"_hours")
+	}
+}
+
+// BenchmarkAblateSnapshotInterval regenerates the snapshot-interval
+// ablation: storage vs last-set TTR for intervals 0 (paper) and 2.
+func BenchmarkAblateSnapshotInterval(b *testing.B) {
+	o := benchOptions()
+	o.Cycles = 5
+	o.Setup = latency.M1()
+	var a *experiments.SnapshotAblation
+	var err error
+	for i := 0; i < b.N; i++ {
+		if a, err = experiments.RunSnapshotAblation(o, []int{0, 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(a.TotalStorageMB[0], "never_MB")
+	b.ReportMetric(a.TotalStorageMB[1], "every2_MB")
+	b.ReportMetric(a.LastSetTTR[0].Seconds(), "never_TTR_s")
+	b.ReportMetric(a.LastSetTTR[1].Seconds(), "every2_TTR_s")
+}
+
+// BenchmarkAblateUpdateVariants regenerates the hash-granularity and
+// compression ablation of the Update approach.
+func BenchmarkAblateUpdateVariants(b *testing.B) {
+	o := benchOptions()
+	var a *experiments.VariantAblation
+	var err error
+	for i := 0; i < b.N; i++ {
+		if a, err = experiments.RunUpdateVariantAblation(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(a.UseCases) - 1
+	b.ReportMetric(a.StorageMB[0][last], "layer_MB")
+	b.ReportMetric(a.StorageMB[1][last], "model_MB")
+	b.ReportMetric(a.StorageMB[2][last], "zlib_MB")
+}
+
+// BenchmarkAblateBlobLayout regenerates the O1/O3 layout ablation:
+// write operations per full save under both layouts.
+func BenchmarkAblateBlobLayout(b *testing.B) {
+	o := benchOptions()
+	var a *experiments.BlobLayoutAblation
+	var err error
+	for i := 0; i < b.N; i++ {
+		if a, err = experiments.RunBlobLayoutAblation(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(a.PerModelOps), "per_model_ops")
+	b.ReportMetric(float64(a.SingleBlobOps), "single_blob_ops")
+}
+
+// Micro-benchmarks: one save / one recover per approach at n=400,
+// uninstrumented stores (pure compute + in-memory I/O).
+
+func benchSaveOnce(b *testing.B, build func(core.Stores) core.Approach) {
+	set, err := core.NewModelSet(nn.FFNN48(), 400, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := build(core.NewMemStores())
+		if _, err := a.Save(core.SaveRequest{Set: set}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRecoverOnce(b *testing.B, build func(core.Stores) core.Approach) {
+	set, err := core.NewModelSet(nn.FFNN48(), 400, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := core.NewMemStores()
+	a := build(st)
+	res, err := a.Save(core.SaveRequest{Set: set})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Recover(res.SetID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSaveBaseline(b *testing.B) {
+	benchSaveOnce(b, func(st core.Stores) core.Approach { return core.NewBaseline(st) })
+}
+
+func BenchmarkSaveMMlibBase(b *testing.B) {
+	benchSaveOnce(b, func(st core.Stores) core.Approach { return core.NewMMlibBase(st) })
+}
+
+func BenchmarkSaveUpdateInitial(b *testing.B) {
+	benchSaveOnce(b, func(st core.Stores) core.Approach { return core.NewUpdate(st) })
+}
+
+func BenchmarkRecoverBaseline(b *testing.B) {
+	benchRecoverOnce(b, func(st core.Stores) core.Approach { return core.NewBaseline(st) })
+}
+
+func BenchmarkRecoverMMlibBase(b *testing.B) {
+	benchRecoverOnce(b, func(st core.Stores) core.Approach { return core.NewMMlibBase(st) })
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/dataset"
+)
+
+func TestGenerateAndList(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "registry")
+	if err := run(dir, "battery", 3, 2, 50, 0.002, 1.0, 0.02, 7, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := dataset.OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 6 { // 3 cells × 2 cycles
+		t.Fatalf("registry has %d datasets, want 6", reg.Len())
+	}
+	if err := run(dir, "battery", 0, 0, 0, 0, 0, 0, 0, true, ""); err != nil {
+		t.Fatalf("list failed: %v", err)
+	}
+}
+
+func TestShow(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "registry")
+	if err := run(dir, "battery", 1, 1, 40, 0.002, 1.0, 0.02, 7, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := dataset.OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := reg.IDs()[0]
+	if err := run(dir, "battery", 0, 0, 0, 0, 0, 0, 0, false, id); err != nil {
+		t.Fatalf("show failed: %v", err)
+	}
+	if err := run(dir, "battery", 0, 0, 0, 0, 0, 0, 0, false, "ds-nope"); err == nil {
+		t.Error("show of unknown dataset accepted")
+	}
+}
+
+func TestGenerateCIFAR(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "registry")
+	if err := run(dir, "cifar", 2, 1, 10, 0, 0, 0, 7, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := dataset.OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("registry has %d datasets, want 2", reg.Len())
+	}
+	d, err := reg.Materialize(reg.IDs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 10 {
+		t.Fatalf("dataset has %d samples, want 10", d.Len())
+	}
+}
+
+func TestGenerateRejectsBadKind(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "registry")
+	if err := run(dir, "audio", 1, 1, 10, 0, 1, 0, 7, false, ""); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

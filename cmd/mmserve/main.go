@@ -1,0 +1,65 @@
+// Command mmserve runs the multi-model management service over HTTP:
+// a central manager that fleets push model sets to and analysts pull
+// selected models from (the deployment picture of the paper's
+// Figure 1).
+//
+// Usage:
+//
+//	mmserve -dir ./store -addr :8080
+//
+// Endpoints (see internal/server for the wire format):
+//
+//	GET  /healthz
+//	GET  /api/approaches
+//	GET  /api/{approach}/sets
+//	POST /api/{approach}/sets                    multipart: manifest + params
+//	GET  /api/{approach}/sets/{id}               lineage
+//	GET  /api/{approach}/sets/{id}/params        full recovery
+//	GET  /api/{approach}/sets/{id}/params?indices=1,5   selective recovery
+//	POST /api/{approach}/verify
+//	POST /api/{approach}/prune                   {"keep": ["..."]}
+//	POST /api/datasets                           register a dataset spec
+//	GET  /api/datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	mmm "github.com/mmm-go/mmm"
+	"github.com/mmm-go/mmm/internal/server"
+)
+
+func main() {
+	var (
+		dir  = flag.String("dir", "./mmstore-data", "store directory")
+		addr = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	stores, err := mmm.OpenDirStores(*dir)
+	if err != nil {
+		log.Fatalf("mmserve: %v", err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logging(server.New(stores)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("mmserve: serving %s on %s\n", *dir, *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatalf("mmserve: %v", err)
+	}
+}
+
+// logging is a minimal request logger.
+func logging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s (%v)", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}

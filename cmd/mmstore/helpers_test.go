@@ -1,0 +1,13 @@
+package main
+
+import (
+	"testing"
+
+	mmm "github.com/mmm-go/mmm"
+)
+
+// openTestStores opens stores in a fresh temporary directory.
+func openTestStores(t *testing.T) (mmm.Stores, error) {
+	t.Helper()
+	return mmm.OpenDirStores(t.TempDir())
+}

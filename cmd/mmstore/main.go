@@ -1,0 +1,350 @@
+// Command mmstore manages model sets in on-disk stores: it runs the
+// paper's deployment lifecycle end to end from the command line.
+//
+// Usage:
+//
+//	mmstore -dir ./store init    -approach baseline -n 100 [-arch FFNN-48] [-seed 2023]
+//	mmstore -dir ./store cycle   -approach baseline -base <set-id>
+//	mmstore -dir ./store recover -approach baseline -set  <set-id> [-verify-against <set-id>]
+//	mmstore -dir ./store list    -approach baseline
+//	mmstore -dir ./store inspect -approach baseline -set <set-id>
+//	mmstore -dir ./store verify  -approach baseline
+//	mmstore -dir ./store prune   -approach baseline -keep <id>[,<id>...]
+//	mmstore -dir ./store export  -approach update -set <set-id> -out chain.tar
+//	mmstore -dir ./store import  -in chain.tar
+//	mmstore -dir ./store extract -approach baseline -set <set-id> -model 42 -out cell42.mmm
+//
+// init creates a fleet of freshly initialized models and saves it (use
+// case U1). cycle recovers a base set, runs one deterministic update
+// cycle on it (5% full + 5% partial retraining by default), and saves
+// the result (use case U3). recover loads a set; with -verify-against
+// it recovers a second set and reports whether they are bit-identical.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	mmm "github.com/mmm-go/mmm"
+	"github.com/mmm-go/mmm/internal/core"
+	"github.com/mmm-go/mmm/internal/nn"
+	"github.com/mmm-go/mmm/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "mmstore: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mmstore", flag.ContinueOnError)
+	var (
+		dir      = fs.String("dir", "./mmstore-data", "store directory")
+		approach = fs.String("approach", "baseline", "baseline, update, provenance, or mmlib")
+		n        = fs.Int("n", 100, "fleet size for init")
+		archName = fs.String("arch", "FFNN-48", "architecture for init")
+		seed     = fs.Uint64("seed", 2023, "fleet seed")
+		base     = fs.String("base", "", "base set ID for cycle")
+		setID    = fs.String("set", "", "set ID for recover/inspect")
+		verify   = fs.String("verify-against", "", "second set ID to compare with after recover")
+		rate     = fs.Float64("rate", 0.10, "total update rate per cycle")
+		samples  = fs.Int("samples", 100, "training samples per update dataset")
+	)
+	keep := fs.String("keep", "", "comma-separated set IDs to keep for prune")
+	out := fs.String("out", "", "output path for export/extract")
+	in := fs.String("in", "", "input archive path for import")
+	modelIdx := fs.Int("model", -1, "model index for extract")
+	if len(args) == 0 {
+		fs.Usage()
+		return fmt.Errorf("missing command: init, cycle, recover, list, inspect, verify, or prune")
+	}
+	cmd := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	stores, err := mmm.OpenDirStores(*dir)
+	if err != nil {
+		return err
+	}
+	appr, err := buildApproach(*approach, stores)
+	if err != nil {
+		return err
+	}
+
+	cfg := mmm.DefaultWorkload()
+	arch, err := mmm.ArchitectureByName(*archName)
+	if err != nil {
+		return err
+	}
+	cfg.Arch = arch
+	cfg.NumModels = *n
+	cfg.Seed = *seed
+	cfg.FullUpdateRate = *rate / 2
+	cfg.PartialUpdateRate = *rate / 2
+	cfg.SamplesPerDataset = *samples
+
+	switch cmd {
+	case "init":
+		fleet, err := mmm.NewFleet(cfg, stores.Datasets)
+		if err != nil {
+			return err
+		}
+		res, err := appr.Save(mmm.SaveRequest{Set: fleet.Set})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("saved initial set %s: %d models, %.3f MB, %d store writes\n",
+			res.SetID, fleet.Set.Len(), float64(res.BytesWritten)/1e6, res.WriteOps)
+		return nil
+
+	case "cycle":
+		if *base == "" {
+			return fmt.Errorf("cycle requires -base")
+		}
+		set, err := appr.Recover(*base)
+		if err != nil {
+			return err
+		}
+		cfg.NumModels = set.Len()
+		cfg.Arch = set.Arch
+		depth, err := chainDepth(appr, *base)
+		if err != nil {
+			return err
+		}
+		fleet, err := workload.Resume(cfg, stores.Datasets, set, depth)
+		if err != nil {
+			return err
+		}
+		updates, err := fleet.RunCycle()
+		if err != nil {
+			return err
+		}
+		res, err := appr.Save(mmm.SaveRequest{
+			Set: fleet.Set, Base: *base, Updates: updates, Train: fleet.TrainInfo(),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("saved derived set %s: %d models updated, %.3f MB, %d store writes\n",
+			res.SetID, len(updates), float64(res.BytesWritten)/1e6, res.WriteOps)
+		return nil
+
+	case "recover":
+		if *setID == "" {
+			return fmt.Errorf("recover requires -set")
+		}
+		set, err := appr.Recover(*setID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recovered %s: %d models of %s (%d parameters each)\n",
+			*setID, set.Len(), set.Arch.Name, set.Arch.ParamCount())
+		if *verify != "" {
+			other, err := appr.Recover(*verify)
+			if err != nil {
+				return err
+			}
+			if set.Equal(other) {
+				fmt.Printf("%s and %s are bit-identical\n", *setID, *verify)
+			} else {
+				fmt.Printf("%s and %s differ\n", *setID, *verify)
+			}
+		}
+		return nil
+
+	case "list":
+		ids, err := listSets(appr)
+		if err != nil {
+			return err
+		}
+		if len(ids) == 0 {
+			fmt.Println("no sets saved")
+			return nil
+		}
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return nil
+
+	case "inspect":
+		if *setID == "" {
+			return fmt.Errorf("inspect requires -set")
+		}
+		set, err := appr.Recover(*setID)
+		if err != nil {
+			return err
+		}
+		depth, err := chainDepth(appr, *setID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("set:          %s\n", *setID)
+		fmt.Printf("approach:     %s\n", appr.Name())
+		fmt.Printf("models:       %d\n", set.Len())
+		fmt.Printf("architecture: %s (%d parameters, %d bytes/model)\n",
+			set.Arch.Name, set.Arch.ParamCount(), set.Arch.ParamBytes())
+		fmt.Printf("chain depth:  %d\n", depth)
+		if l, ok := appr.(core.Lineager); ok {
+			chain, err := l.Lineage(*setID)
+			if err != nil {
+				return err
+			}
+			fmt.Println("lineage (newest first):")
+			for _, info := range chain {
+				fmt.Printf("  %s  kind=%-7s depth=%d\n", info.SetID, info.Kind, info.Depth)
+			}
+		}
+		return nil
+
+	case "verify":
+		v, ok := appr.(core.Verifier)
+		if !ok {
+			return fmt.Errorf("approach %s does not support verification", appr.Name())
+		}
+		issues, err := v.VerifyStore()
+		if err != nil {
+			return err
+		}
+		if len(issues) == 0 {
+			fmt.Println("store consistent: no issues found")
+			return nil
+		}
+		for _, i := range issues {
+			fmt.Println(i)
+		}
+		return fmt.Errorf("%d issue(s) found", len(issues))
+
+	case "prune":
+		p, ok := appr.(core.Pruner)
+		if !ok {
+			return fmt.Errorf("approach %s does not support pruning", appr.Name())
+		}
+		var keepIDs []string
+		if *keep != "" {
+			keepIDs = strings.Split(*keep, ",")
+		}
+		report, err := p.Prune(keepIDs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("kept %d set(s), deleted %d, freed %.3f MB\n",
+			len(report.Kept), len(report.Deleted), float64(report.FreedBytes)/1e6)
+		for _, id := range report.Deleted {
+			fmt.Println("deleted", id)
+		}
+		return nil
+
+	case "export":
+		if *setID == "" || *out == "" {
+			return fmt.Errorf("export requires -set and -out")
+		}
+		e, ok := appr.(core.Exporter)
+		if !ok {
+			return fmt.Errorf("approach %s does not support export", appr.Name())
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := e.Export(*setID, f); err != nil {
+			return err
+		}
+		info, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("exported %s and its chain to %s (%.3f MB)\n",
+			*setID, *out, float64(info.Size())/1e6)
+		return nil
+
+	case "extract":
+		if *setID == "" || *out == "" || *modelIdx < 0 {
+			return fmt.Errorf("extract requires -set, -model, and -out")
+		}
+		pr, ok := appr.(core.PartialRecoverer)
+		if !ok {
+			return fmt.Errorf("approach %s does not support selective recovery", appr.Name())
+		}
+		rec, err := pr.RecoverModels(*setID, []int{*modelIdx})
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := nn.SaveModel(rec.Models[*modelIdx], f); err != nil {
+			return err
+		}
+		fmt.Printf("extracted model %d of %s to %s (%s, %d parameters)\n",
+			*modelIdx, *setID, *out, rec.Arch.Name, rec.Arch.ParamCount())
+		return nil
+
+	case "import":
+		if *in == "" {
+			return fmt.Errorf("import requires -in")
+		}
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := core.ImportArchive(stores, f); err != nil {
+			return err
+		}
+		fmt.Printf("imported archive %s\n", *in)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// buildApproach constructs the requested management approach.
+func buildApproach(name string, stores mmm.Stores) (mmm.Approach, error) {
+	switch name {
+	case "baseline":
+		return mmm.NewBaseline(stores), nil
+	case "update":
+		return mmm.NewUpdate(stores), nil
+	case "provenance":
+		return mmm.NewProvenance(stores), nil
+	case "mmlib":
+		return mmm.NewMMlibBase(stores), nil
+	}
+	return nil, fmt.Errorf("unknown approach %q (want baseline, update, provenance, or mmlib)", name)
+}
+
+// listSets returns the saved set IDs of an approach.
+func listSets(a mmm.Approach) ([]string, error) {
+	switch v := a.(type) {
+	case *core.Baseline:
+		return v.SetIDs()
+	case *core.Update:
+		return v.SetIDs()
+	case *core.Provenance:
+		return v.SetIDs()
+	case *core.MMlibBase:
+		return v.SetIDs()
+	}
+	return nil, fmt.Errorf("approach %s does not list sets", a.Name())
+}
+
+// chainDepth returns the recovery-chain depth of a set (0 for
+// approaches without chains).
+func chainDepth(a mmm.Approach, setID string) (int, error) {
+	switch v := a.(type) {
+	case *core.Update:
+		return v.ChainDepth(setID)
+	case *core.Provenance:
+		return v.ChainDepth(setID)
+	}
+	return 0, nil
+}

@@ -1,0 +1,202 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/nn"
+)
+
+// runArgs invokes the CLI entry point against a store under dir.
+func runArgs(t *testing.T, dir string, args ...string) error {
+	t.Helper()
+	full := append([]string{args[0], "-dir", dir}, args[1:]...)
+	return run(full)
+}
+
+func storeDir(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "store")
+}
+
+func TestLifecycleBaseline(t *testing.T) {
+	dir := storeDir(t)
+	if err := runArgs(t, dir, "init", "-approach", "baseline", "-n", "10", "-samples", "30"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(t, dir, "cycle", "-approach", "baseline", "-base", "bl-000001", "-samples", "30"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(t, dir, "recover", "-approach", "baseline", "-set", "bl-000002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(t, dir, "list", "-approach", "baseline"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(t, dir, "inspect", "-approach", "baseline", "-set", "bl-000001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(t, dir, "verify", "-approach", "baseline"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLifecycleProvenanceDeterministicAcrossProcessBoundary(t *testing.T) {
+	// Each runArgs call opens fresh stores — the same isolation as
+	// separate process invocations. Provenance recovery must still be
+	// exact because everything derives from persisted state.
+	dir := storeDir(t)
+	for _, args := range [][]string{
+		{"init", "-approach", "provenance", "-n", "8", "-samples", "30"},
+		{"cycle", "-approach", "provenance", "-base", "pv-000001", "-samples", "30"},
+		{"cycle", "-approach", "provenance", "-base", "pv-000002", "-samples", "30"},
+		{"recover", "-approach", "provenance", "-set", "pv-000003"},
+		{"verify", "-approach", "provenance"},
+	} {
+		if err := runArgs(t, dir, args...); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestPruneCommand(t *testing.T) {
+	dir := storeDir(t)
+	if err := runArgs(t, dir, "init", "-approach", "update", "-n", "6", "-samples", "30"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(t, dir, "cycle", "-approach", "update", "-base", "up-000001", "-samples", "30"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(t, dir, "prune", "-approach", "update", "-keep", "up-000002"); err != nil {
+		t.Fatal(err)
+	}
+	// Chain closure keeps both sets; recovery must still work.
+	if err := runArgs(t, dir, "recover", "-approach", "update", "-set", "up-000002"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := storeDir(t)
+	if err := run(nil); err == nil {
+		t.Error("missing command accepted")
+	}
+	if err := runArgs(t, dir, "teleport"); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := runArgs(t, dir, "init", "-approach", "hologram"); err == nil {
+		t.Error("unknown approach accepted")
+	}
+	if err := runArgs(t, dir, "cycle", "-approach", "baseline"); err == nil {
+		t.Error("cycle without base accepted")
+	}
+	if err := runArgs(t, dir, "recover", "-approach", "baseline"); err == nil {
+		t.Error("recover without set accepted")
+	}
+	if err := runArgs(t, dir, "recover", "-approach", "baseline", "-set", "bl-404"); err == nil {
+		t.Error("recover of unknown set accepted")
+	}
+	if err := runArgs(t, dir, "init", "-approach", "baseline", "-arch", "resnet"); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+}
+
+func TestVerifyAgainstReportsIdentical(t *testing.T) {
+	dir := storeDir(t)
+	if err := runArgs(t, dir, "init", "-approach", "baseline", "-n", "5", "-samples", "30"); err != nil {
+		t.Fatal(err)
+	}
+	// Save the same fleet again: contents identical, different set.
+	if err := runArgs(t, dir, "init", "-approach", "baseline", "-n", "5", "-samples", "30"); err != nil {
+		t.Fatal(err)
+	}
+	err := runArgs(t, dir, "recover", "-approach", "baseline",
+		"-set", "bl-000001", "-verify-against", "bl-000002")
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildApproachNames(t *testing.T) {
+	for _, name := range []string{"baseline", "update", "provenance", "mmlib"} {
+		st, err := openTestStores(t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := buildApproach(name, st)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.Name() == "" {
+			t.Errorf("%s: empty approach name", name)
+		}
+		if _, err := listSets(a); err != nil {
+			t.Errorf("%s: listSets failed: %v", name, err)
+		}
+	}
+	st, _ := openTestStores(t)
+	if _, err := buildApproach("nope", st); err == nil ||
+		!strings.Contains(err.Error(), "unknown approach") {
+		t.Error("unknown approach not rejected")
+	}
+}
+
+func TestExportImportCommands(t *testing.T) {
+	src := storeDir(t)
+	if err := runArgs(t, src, "init", "-approach", "update", "-n", "6", "-samples", "30"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(t, src, "cycle", "-approach", "update", "-base", "up-000001", "-samples", "30"); err != nil {
+		t.Fatal(err)
+	}
+	archive := filepath.Join(t.TempDir(), "chain.tar")
+	if err := runArgs(t, src, "export", "-approach", "update", "-set", "up-000002", "-out", archive); err != nil {
+		t.Fatal(err)
+	}
+	dst := storeDir(t)
+	if err := runArgs(t, dst, "import", "-in", archive); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(t, dst, "recover", "-approach", "update", "-set", "up-000002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(t, dst, "verify", "-approach", "update"); err != nil {
+		t.Fatal(err)
+	}
+	// Error paths.
+	if err := runArgs(t, dst, "export", "-approach", "update"); err == nil {
+		t.Error("export without -set/-out accepted")
+	}
+	if err := runArgs(t, dst, "import"); err == nil {
+		t.Error("import without -in accepted")
+	}
+}
+
+func TestExtractCommand(t *testing.T) {
+	dir := storeDir(t)
+	if err := runArgs(t, dir, "init", "-approach", "baseline", "-n", "5", "-samples", "30"); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "cell.mmm")
+	if err := runArgs(t, dir, "extract", "-approach", "baseline",
+		"-set", "bl-000001", "-model", "2", "-out", out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := nn.LoadModel(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Arch.Name != "FFNN-48" || m.ParamCount() != 4993 {
+		t.Fatalf("extracted model: %s with %d params", m.Arch.Name, m.ParamCount())
+	}
+	if err := runArgs(t, dir, "extract", "-approach", "baseline", "-set", "bl-000001"); err == nil {
+		t.Error("extract without -model/-out accepted")
+	}
+}

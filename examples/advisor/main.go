@@ -1,0 +1,62 @@
+// Advisor demonstrates the heuristic approach selection the paper
+// names as future work (§4.5): given a deployment scenario — fleet
+// size, update rate, how often archives are recovered, what storage
+// and latency cost — recommend a management approach and explain why.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	mmm "github.com/mmm-go/mmm"
+)
+
+func main() {
+	scenarios := []struct {
+		label string
+		s     mmm.Scenario
+	}{
+		{
+			// The paper's own scenario: archive every set, recover only
+			// after incidents.
+			label: "EV battery fleet: 5000 cell models, archives rarely recovered",
+			s: mmm.Scenario{
+				NumModels: 5000, ParamCount: 4993, UpdateRate: 0.10,
+				SavesPerRecovery: 1000, RetrainCost: 30 * time.Second,
+				StorageWeight: 10, SaveWeight: 1, RecoverWeight: 0.01,
+			},
+		},
+		{
+			label: "Smart-home devices: storage-constrained, weekly restores",
+			s: mmm.Scenario{
+				NumModels: 2000, ParamCount: 10075, UpdateRate: 0.20,
+				SavesPerRecovery: 7, RetrainCost: 10 * time.Minute,
+				StorageWeight: 5, SaveWeight: 1, RecoverWeight: 2,
+			},
+		},
+		{
+			label: "Incident forensics lab: recovery latency is everything",
+			s: mmm.Scenario{
+				NumModels: 5000, ParamCount: 4993, UpdateRate: 0.10,
+				SavesPerRecovery: 2, RetrainCost: 30 * time.Second,
+				StorageWeight: 0.01, SaveWeight: 0.1, RecoverWeight: 10,
+			},
+		},
+	}
+
+	for _, sc := range scenarios {
+		rec, err := mmm.Advise(sc.s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", sc.label)
+		fmt.Printf("  recommendation: %s — %s\n", rec.Approach, rec.Rationale)
+		fmt.Printf("  ranking:")
+		for _, r := range rec.Ranking {
+			fmt.Printf("  %s (%.2f)", r.Name, r.Cost)
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/mmm-go/mmm
+
+go 1.22

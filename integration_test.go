@@ -1,0 +1,305 @@
+package mmm_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	mmm "github.com/mmm-go/mmm"
+)
+
+// Integration tests: multi-approach, multi-cycle, cross-boundary flows
+// through the public API only.
+
+// buildScenario runs a small fleet through cycles update cycles, saving
+// with every approach, and returns per-approach set IDs plus the truth
+// state after every save.
+func buildScenario(t *testing.T, n, cycles int) (stores mmm.Stores, ids map[string][]string, truths []*mmm.ModelSet) {
+	t.Helper()
+	stores = mmm.NewMemStores()
+	cfg := mmm.DefaultWorkload()
+	cfg.NumModels = n
+	cfg.FullUpdateRate = 0.1
+	cfg.PartialUpdateRate = 0.1
+	cfg.SamplesPerDataset = 40
+	cfg.Epochs = 1
+	fleet, err := mmm.NewFleet(cfg, stores.Datasets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approaches := map[string]mmm.Approach{
+		"baseline":   mmm.NewBaseline(stores),
+		"mmlib":      mmm.NewMMlibBase(stores),
+		"update":     mmm.NewUpdate(stores),
+		"provenance": mmm.NewProvenance(stores),
+	}
+	ids = map[string][]string{}
+	save := func(updates []mmm.ModelUpdate) {
+		for name, a := range approaches {
+			base := ""
+			if len(ids[name]) > 0 {
+				base = ids[name][len(ids[name])-1]
+			}
+			res, err := a.Save(mmm.SaveRequest{
+				Set: fleet.Set, Base: base, Updates: updates, Train: fleet.TrainInfo(),
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			ids[name] = append(ids[name], res.SetID)
+		}
+		truths = append(truths, fleet.Set.Clone())
+	}
+	save(nil)
+	for c := 0; c < cycles; c++ {
+		updates, err := fleet.RunCycle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		save(updates)
+	}
+	return stores, ids, truths
+}
+
+// approachByName is a helper for tests that need to reconstruct an
+// approach over existing stores.
+func approachByName(t *testing.T, name string, stores *mmm.Stores) mmm.Approach {
+	t.Helper()
+	switch name {
+	case "baseline":
+		return mmm.NewBaseline(*stores)
+	case "mmlib":
+		return mmm.NewMMlibBase(*stores)
+	case "update":
+		return mmm.NewUpdate(*stores)
+	case "provenance":
+		return mmm.NewProvenance(*stores)
+	}
+	t.Fatalf("unknown approach %s", name)
+	return nil
+}
+
+func TestRecoveryAgreesAcrossApproachesAndCycles(t *testing.T) {
+	stores, ids, truths := buildScenario(t, 12, 3)
+	for name, setIDs := range ids {
+		a := approachByName(t, name, &stores)
+		for i, id := range setIDs {
+			got, err := a.Recover(id)
+			if err != nil {
+				t.Fatalf("%s: recover %s: %v", name, id, err)
+			}
+			if !truths[i].Equal(got) {
+				t.Fatalf("%s: use case %d recovered incorrectly", name, i)
+			}
+		}
+	}
+}
+
+func TestConcurrentRecovery(t *testing.T) {
+	// Saved sets are immutable; concurrent recoveries from shared
+	// stores must all succeed and agree.
+	stores, ids, truths := buildScenario(t, 10, 2)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for name, setIDs := range ids {
+		for i, id := range setIDs {
+			wg.Add(1)
+			go func(name, id string, i int) {
+				defer wg.Done()
+				a := approachByName(t, name, &stores)
+				got, err := a.Recover(id)
+				if err != nil {
+					errs <- fmt.Errorf("%s/%s: %w", name, id, err)
+					return
+				}
+				if !truths[i].Equal(got) {
+					errs <- fmt.Errorf("%s/%s: wrong recovery", name, id)
+				}
+			}(name, id, i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestCrossApproachMigration(t *testing.T) {
+	// Migrate an archive: recover a set saved with MMlib-base and
+	// re-save it with Baseline; the recovered contents must survive the
+	// migration bit for bit.
+	stores, ids, truths := buildScenario(t, 8, 1)
+	mlib := approachByName(t, "mmlib", &stores)
+	last := ids["mmlib"][len(ids["mmlib"])-1]
+	set, err := mlib.Recover(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl := approachByName(t, "baseline", &stores)
+	res, err := bl.Save(mmm.SaveRequest{Set: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	migrated, err := bl.Recover(res.SetID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truths[len(truths)-1].Equal(migrated) {
+		t.Fatal("migration lost data")
+	}
+}
+
+func TestSelectiveRecoveryThroughFacade(t *testing.T) {
+	stores, ids, truths := buildScenario(t, 15, 2)
+	for name, setIDs := range ids {
+		a := approachByName(t, name, &stores)
+		pr, ok := a.(mmm.PartialRecoverer)
+		if !ok {
+			t.Fatalf("%s does not implement PartialRecoverer", name)
+		}
+		got, err := pr.RecoverModels(setIDs[len(setIDs)-1], []int{0, 7, 14})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		truth := truths[len(truths)-1]
+		for _, idx := range []int{0, 7, 14} {
+			if !truth.Models[idx].ParamsEqual(got.Models[idx]) {
+				t.Fatalf("%s: model %d wrong in selective recovery", name, idx)
+			}
+		}
+	}
+}
+
+func TestPruneAndVerifyThroughFacade(t *testing.T) {
+	stores, ids, truths := buildScenario(t, 8, 2)
+	u := approachByName(t, "update", &stores)
+	pruner, ok := u.(mmm.Pruner)
+	if !ok {
+		t.Fatal("Update does not implement Pruner")
+	}
+	last := ids["update"][len(ids["update"])-1]
+	report, err := pruner.Prune([]string{last})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Kept) != 3 { // the full chain
+		t.Fatalf("kept %v", report.Kept)
+	}
+	verifier, ok := u.(mmm.Verifier)
+	if !ok {
+		t.Fatal("Update does not implement Verifier")
+	}
+	issues, err := verifier.VerifyStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 0 {
+		t.Fatalf("issues after prune: %v", issues)
+	}
+	got, err := u.Recover(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truths[len(truths)-1].Equal(got) {
+		t.Fatal("recovery wrong after prune")
+	}
+}
+
+func TestOnDiskEndToEnd(t *testing.T) {
+	// Full lifecycle against directory-backed stores, reopened between
+	// phases like separate processes would.
+	dir := t.TempDir()
+	var lastID string
+	var truth *mmm.ModelSet
+	{
+		stores, err := mmm.OpenDirStores(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := mmm.DefaultWorkload()
+		cfg.NumModels = 10
+		cfg.SamplesPerDataset = 40
+		cfg.Epochs = 1
+		fleet, err := mmm.NewFleet(cfg, stores.Datasets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := mmm.NewProvenance(stores)
+		res, err := p.Save(mmm.SaveRequest{Set: fleet.Set})
+		if err != nil {
+			t.Fatal(err)
+		}
+		updates, err := fleet.RunCycle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res2, err := p.Save(mmm.SaveRequest{
+			Set: fleet.Set, Base: res.SetID, Updates: updates, Train: fleet.TrainInfo(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastID = res2.SetID
+		truth = fleet.Set.Clone()
+	}
+	{
+		stores, err := mmm.OpenDirStores(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := mmm.NewProvenance(stores)
+		got, err := p.Recover(lastID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !truth.Equal(got) {
+			t.Fatal("on-disk provenance recovery not exact across reopen")
+		}
+	}
+}
+
+func TestConcurrentSavesAcrossApproaches(t *testing.T) {
+	// All four approaches persist into one shared store pair; saving
+	// concurrently must not corrupt any of them.
+	stores := mmm.NewMemStores()
+	set, err := mmm.NewModelSet(mmm.FFNN48(), 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approaches := []mmm.Approach{
+		mmm.NewBaseline(stores),
+		mmm.NewMMlibBase(stores),
+		mmm.NewUpdate(stores),
+		mmm.NewProvenance(stores),
+	}
+	var wg sync.WaitGroup
+	ids := make([]string, len(approaches))
+	errs := make(chan error, len(approaches))
+	for i, a := range approaches {
+		wg.Add(1)
+		go func(i int, a mmm.Approach) {
+			defer wg.Done()
+			res, err := a.Save(mmm.SaveRequest{Set: set})
+			if err != nil {
+				errs <- fmt.Errorf("%s: %w", a.Name(), err)
+				return
+			}
+			ids[i] = res.SetID
+		}(i, a)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i, a := range approaches {
+		got, err := a.Recover(ids[i])
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if !set.Equal(got) {
+			t.Fatalf("%s: concurrent save corrupted the set", a.Name())
+		}
+	}
+}

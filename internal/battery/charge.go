@@ -1,0 +1,109 @@
+package battery
+
+import "fmt"
+
+// Charging. Drive cycles only discharge (with short regen bursts);
+// between cycles a cell is recharged with the standard constant-
+// current / constant-voltage (CC-CV) protocol: charge at a fixed
+// current until the terminal voltage hits the limit, then hold the
+// voltage and let the current taper until it falls below the cutoff.
+// The charge phase matters for data generation because cells re-enter
+// the next discharge cycle from a realistic (not perfectly full)
+// state, and because charging also ages and heats the cell.
+
+// ChargeSpec parameterizes a CC-CV charge.
+type ChargeSpec struct {
+	// CurrentA is the CC-phase charging current (positive).
+	CurrentA float64
+	// LimitV is the CV-phase voltage limit (4.2 V for most 18650s).
+	LimitV float64
+	// CutoffA ends the CV phase when the charge current tapers below it.
+	CutoffA float64
+	// MaxSeconds bounds the charge (safety timeout).
+	MaxSeconds int
+}
+
+// DefaultCharge is a standard 0.5C CC-CV charge for a 2.5 Ah cell.
+func DefaultCharge() ChargeSpec {
+	return ChargeSpec{CurrentA: 1.25, LimitV: 4.2, CutoffA: 0.05, MaxSeconds: 4 * 3600}
+}
+
+// Validate rejects impossible charge specs.
+func (s ChargeSpec) Validate() error {
+	switch {
+	case s.CurrentA <= 0:
+		return fmt.Errorf("battery: charge current must be positive")
+	case s.LimitV <= OCV(0):
+		return fmt.Errorf("battery: voltage limit %v below minimum OCV", s.LimitV)
+	case s.CutoffA <= 0 || s.CutoffA >= s.CurrentA:
+		return fmt.Errorf("battery: cutoff must be in (0, charge current)")
+	case s.MaxSeconds <= 0:
+		return fmt.Errorf("battery: charge timeout must be positive")
+	}
+	return nil
+}
+
+// ChargeResult summarizes a completed charge.
+type ChargeResult struct {
+	// Seconds is the total charge duration.
+	Seconds int
+	// CCSeconds is the constant-current phase duration.
+	CCSeconds int
+	// ChargedAh is the charge delivered into the cell.
+	ChargedAh float64
+	// FinalSoC is the state of charge at termination.
+	FinalSoC float64
+	// TimedOut reports whether MaxSeconds ended the charge.
+	TimedOut bool
+}
+
+// Charge runs a CC-CV protocol on the cell (1-second steps) and
+// returns the summary. The cell's state is advanced in place.
+func (c *Cell) Charge(spec ChargeSpec) (ChargeResult, error) {
+	if err := spec.Validate(); err != nil {
+		return ChargeResult{}, err
+	}
+	var res ChargeResult
+	inCV := false
+	// CV-phase current estimate, refined each step from the voltage
+	// surplus over the limit.
+	current := spec.CurrentA
+	for res.Seconds = 0; res.Seconds < spec.MaxSeconds; res.Seconds++ {
+		// Charging current is negative in the discharge-positive
+		// convention of Step.
+		s := c.Step(-current, 1)
+		res.ChargedAh += current / 3600
+		res.FinalSoC = s.SoC
+		if !inCV {
+			res.CCSeconds++
+			if s.Voltage >= spec.LimitV {
+				inCV = true
+			}
+			continue
+		}
+		// CV phase: back the current off proportionally to the voltage
+		// overshoot — a simple controller that mimics the exponential
+		// taper of a real charger.
+		overshoot := s.Voltage - spec.LimitV
+		if overshoot > 0 {
+			current *= 1 - minFloat64(0.5, overshoot*2)
+		} else {
+			current *= 1.02 // recover slightly if we undershot
+			if current > spec.CurrentA {
+				current = spec.CurrentA
+			}
+		}
+		if current <= spec.CutoffA {
+			return res, nil
+		}
+	}
+	res.TimedOut = true
+	return res, nil
+}
+
+func minFloat64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

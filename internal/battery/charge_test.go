@@ -1,0 +1,134 @@
+package battery
+
+import (
+	"testing"
+)
+
+// drainedCell returns a cell discharged to roughly the given SoC.
+func drainedCell(t *testing.T, targetSoC float64) *Cell {
+	t.Helper()
+	c := newTestCell(t, 1)
+	for c.State.SoC > targetSoC {
+		c.Step(2.5, 1)
+	}
+	// Let polarization relax so the charge starts from rest.
+	for i := 0; i < 600; i++ {
+		c.Step(0, 1)
+	}
+	return c
+}
+
+func TestChargeRefillsCell(t *testing.T) {
+	c := drainedCell(t, 0.2)
+	res, err := c.Charge(DefaultCharge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatal("charge timed out")
+	}
+	if res.FinalSoC < 0.95 {
+		t.Fatalf("final SoC = %v, want near full", res.FinalSoC)
+	}
+	if res.ChargedAh <= 0 {
+		t.Fatal("no charge delivered")
+	}
+}
+
+func TestChargeHasBothPhases(t *testing.T) {
+	c := drainedCell(t, 0.3)
+	res, err := c.Charge(DefaultCharge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CCSeconds <= 0 {
+		t.Fatal("no constant-current phase")
+	}
+	if res.Seconds <= res.CCSeconds {
+		t.Fatal("no constant-voltage phase — the taper never ran")
+	}
+	// CC phase dominates when starting from a low SoC.
+	if res.CCSeconds*3 < res.Seconds {
+		t.Fatalf("CC phase %d s of %d s — implausibly short", res.CCSeconds, res.Seconds)
+	}
+}
+
+func TestChargeConservesCoulombs(t *testing.T) {
+	c := drainedCell(t, 0.4)
+	socBefore := c.State.SoC
+	res, err := c.Charge(DefaultCharge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gained := (res.FinalSoC - socBefore) * c.effectiveCapacity()
+	if diff := res.ChargedAh - gained; diff < -1e-6 || diff > 1e-6 {
+		t.Fatalf("charged %v Ah but SoC gained %v Ah", res.ChargedAh, gained)
+	}
+}
+
+func TestChargeNearFullIsShort(t *testing.T) {
+	nearFull := drainedCell(t, 0.9)
+	empty := drainedCell(t, 0.2)
+	resNear, err := nearFull.Charge(DefaultCharge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resEmpty, err := empty.Charge(DefaultCharge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resNear.Seconds >= resEmpty.Seconds {
+		t.Fatalf("charging from 90%% (%d s) not faster than from 20%% (%d s)",
+			resNear.Seconds, resEmpty.Seconds)
+	}
+}
+
+func TestChargeTimeout(t *testing.T) {
+	c := drainedCell(t, 0.2)
+	spec := DefaultCharge()
+	spec.MaxSeconds = 60
+	res, err := c.Charge(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Fatal("60-second budget did not time out a full charge")
+	}
+	if res.Seconds != 60 {
+		t.Fatalf("ran %d seconds, budget 60", res.Seconds)
+	}
+}
+
+func TestChargeSpecValidate(t *testing.T) {
+	bad := []ChargeSpec{
+		{CurrentA: 0, LimitV: 4.2, CutoffA: 0.05, MaxSeconds: 100},
+		{CurrentA: 1, LimitV: 2.0, CutoffA: 0.05, MaxSeconds: 100},
+		{CurrentA: 1, LimitV: 4.2, CutoffA: 0, MaxSeconds: 100},
+		{CurrentA: 1, LimitV: 4.2, CutoffA: 2, MaxSeconds: 100},
+		{CurrentA: 1, LimitV: 4.2, CutoffA: 0.05, MaxSeconds: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+	if err := DefaultCharge().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChargeDeterministic(t *testing.T) {
+	a := drainedCell(t, 0.3)
+	b := drainedCell(t, 0.3)
+	ra, err := a.Charge(DefaultCharge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Charge(DefaultCharge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra != rb {
+		t.Fatalf("charge not deterministic: %+v vs %+v", ra, rb)
+	}
+}

@@ -1,0 +1,203 @@
+// Package battery implements a second-order equivalent-circuit model
+// (ECM) of an 18650 lithium-ion cell, following the modeling approach
+// of Neupert & Kowal ("Inhomogeneities in Battery Packs", WEVJ 2018)
+// that the paper uses to generate its training data.
+//
+// The circuit is an open-circuit voltage source OCV(SoC) in series with
+// an ohmic resistance R0 and two RC pairs (R1‖C1, R2‖C2) capturing fast
+// and slow polarization. A lumped thermal node tracks cell temperature
+// from ohmic losses. State-of-health (SoH) aging scales capacity down
+// and resistances up, which is how the paper makes each update cycle's
+// training data drift: "we decrement the state of health (SoH) of the
+// batteries every update cycle".
+//
+// The simulator is deterministic: given equal parameters, initial
+// state, and input current series, it produces identical traces.
+package battery
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the electrical and thermal parameters of one cell.
+// Values default to a generic 18650 NMC cell (≈2.5 Ah).
+type Params struct {
+	CapacityAh float64 // nominal capacity in ampere-hours
+	R0         float64 // ohmic resistance in ohm
+	R1, C1     float64 // fast RC pair: ohm, farad
+	R2, C2     float64 // slow RC pair: ohm, farad
+	ThermalC   float64 // lumped heat capacity in J/K
+	ThermalR   float64 // thermal resistance to ambient in K/W
+	AmbientC   float64 // ambient temperature in °C
+}
+
+// Default18650 returns typical parameters for an 18650 NMC cell.
+func Default18650() Params {
+	return Params{
+		CapacityAh: 2.5,
+		R0:         0.030,
+		R1:         0.015, C1: 2000,
+		R2: 0.020, C2: 60000,
+		ThermalC: 40,   // ~46 g * 0.9 J/(g·K)
+		ThermalR: 3.0,  // natural convection
+		AmbientC: 25.0, // room temperature
+	}
+}
+
+// Perturb returns a copy of p with each electrical parameter scaled by
+// an independent factor in [1-spread, 1+spread] drawn via draw (a
+// uniform [0,1) source). The paper increases data diversity by
+// generating "each cycle with slightly altered model parameters".
+func (p Params) Perturb(spread float64, draw func() float64) Params {
+	f := func() float64 { return 1 + spread*(2*draw()-1) }
+	p.CapacityAh *= f()
+	p.R0 *= f()
+	p.R1 *= f()
+	p.C1 *= f()
+	p.R2 *= f()
+	p.C2 *= f()
+	return p
+}
+
+// Validate rejects physically meaningless parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.CapacityAh <= 0:
+		return fmt.Errorf("battery: capacity must be positive, got %v", p.CapacityAh)
+	case p.R0 < 0 || p.R1 < 0 || p.R2 < 0:
+		return fmt.Errorf("battery: resistances must be non-negative")
+	case p.C1 <= 0 || p.C2 <= 0:
+		return fmt.Errorf("battery: RC capacitances must be positive")
+	case p.ThermalC <= 0 || p.ThermalR <= 0:
+		return fmt.Errorf("battery: thermal parameters must be positive")
+	}
+	return nil
+}
+
+// ocvTable is the open-circuit voltage of a li-ion cell as a function
+// of state of charge, in 5% steps from SoC 0 to 1. Shape follows
+// published 18650 NMC curves: steep knee below 10%, plateau around
+// 3.6-3.8 V, rise to 4.2 V at full charge.
+var ocvTable = []float64{
+	3.00, 3.25, 3.37, 3.43, 3.48, 3.52, 3.55, 3.57, 3.59, 3.61,
+	3.63, 3.65, 3.68, 3.72, 3.76, 3.81, 3.87, 3.94, 4.02, 4.11,
+	4.20,
+}
+
+// OCV returns the open-circuit voltage for a state of charge in [0, 1],
+// interpolated piecewise-linearly; out-of-range inputs are clamped.
+func OCV(soc float64) float64 {
+	if soc <= 0 {
+		return ocvTable[0]
+	}
+	if soc >= 1 {
+		return ocvTable[len(ocvTable)-1]
+	}
+	pos := soc * float64(len(ocvTable)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	return ocvTable[i]*(1-frac) + ocvTable[i+1]*frac
+}
+
+// State is the dynamic state of a cell during simulation.
+type State struct {
+	SoC   float64 // state of charge in [0, 1]
+	V1    float64 // voltage across the fast RC pair
+	V2    float64 // voltage across the slow RC pair
+	TempC float64 // cell temperature in °C
+	AhOut float64 // cumulative discharged charge in Ah
+}
+
+// Cell simulates one 18650 cell.
+type Cell struct {
+	Params Params
+	SoH    float64 // state of health in (0, 1]; 1 = new cell
+	State  State
+}
+
+// NewCell returns a fully charged cell at ambient temperature with the
+// given state of health.
+func NewCell(p Params, soh float64) (*Cell, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if soh <= 0 || soh > 1 {
+		return nil, fmt.Errorf("battery: SoH must be in (0, 1], got %v", soh)
+	}
+	return &Cell{
+		Params: p,
+		SoH:    soh,
+		State:  State{SoC: 1, TempC: p.AmbientC},
+	}, nil
+}
+
+// effectiveCapacity returns the aged capacity in Ah.
+func (c *Cell) effectiveCapacity() float64 {
+	return c.Params.CapacityAh * c.SoH
+}
+
+// effectiveR0 returns the aged ohmic resistance: resistance grows
+// roughly linearly as the cell ages (a standard empirical model).
+func (c *Cell) effectiveR0() float64 {
+	return c.Params.R0 * (1 + 1.5*(1-c.SoH))
+}
+
+// Sample is one time step of a simulated discharge: the quantities the
+// paper's battery models consume and predict. Inputs to the DL model
+// are (Current, TempC, ChargeAh, SoC); the target is Voltage.
+type Sample struct {
+	Current  float64 // applied current in A (positive = discharge)
+	TempC    float64 // cell temperature in °C
+	ChargeAh float64 // cumulative discharged charge in Ah
+	SoC      float64 // state of charge in [0, 1]
+	Voltage  float64 // terminal voltage in V
+}
+
+// Step advances the cell by dt seconds under current i (positive =
+// discharge) and returns the resulting sample. Explicit-Euler updates
+// with 1 s steps are standard for drive-cycle ECM simulation.
+func (c *Cell) Step(i, dt float64) Sample {
+	p := c.Params
+	s := &c.State
+
+	// RC branch dynamics (exact exponential update, stable for any dt).
+	a1 := math.Exp(-dt / (p.R1 * p.C1))
+	a2 := math.Exp(-dt / (p.R2 * p.C2))
+	s.V1 = s.V1*a1 + p.R1*(1-a1)*i
+	s.V2 = s.V2*a2 + p.R2*(1-a2)*i
+
+	// Coulomb counting.
+	dAh := i * dt / 3600
+	s.AhOut += dAh
+	s.SoC -= dAh / c.effectiveCapacity()
+	if s.SoC < 0 {
+		s.SoC = 0
+	}
+	if s.SoC > 1 {
+		s.SoC = 1
+	}
+
+	// Terminal voltage.
+	r0 := c.effectiveR0()
+	v := OCV(s.SoC) - i*r0 - s.V1 - s.V2
+
+	// Thermal node: ohmic losses heat the cell, convection cools it.
+	heat := i * i * (r0 + p.R1 + p.R2)
+	s.TempC += dt * (heat - (s.TempC-p.AmbientC)/p.ThermalR) / p.ThermalC
+
+	return Sample{Current: i, TempC: s.TempC, ChargeAh: s.AhOut, SoC: s.SoC, Voltage: v}
+}
+
+// Simulate runs a full current profile (one value per dt seconds) from
+// the cell's current state and returns one sample per step.
+func (c *Cell) Simulate(current []float64, dt float64) []Sample {
+	out := make([]Sample, len(current))
+	for k, i := range current {
+		out[k] = c.Step(i, dt)
+	}
+	return out
+}
+
+// Empty reports whether the cell has reached its discharge cutoff.
+func (c *Cell) Empty() bool { return c.State.SoC <= 0 }

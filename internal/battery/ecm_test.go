@@ -1,0 +1,242 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/mmm-go/mmm/internal/rng"
+)
+
+func newTestCell(t *testing.T, soh float64) *Cell {
+	t.Helper()
+	c, err := NewCell(Default18650(), soh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestOCVMonotonic(t *testing.T) {
+	prev := OCV(0)
+	for soc := 0.01; soc <= 1.0; soc += 0.01 {
+		v := OCV(soc)
+		if v < prev {
+			t.Fatalf("OCV not monotonic at SoC %.2f: %v < %v", soc, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestOCVEndpoints(t *testing.T) {
+	if OCV(0) != 3.00 {
+		t.Errorf("OCV(0) = %v, want 3.00", OCV(0))
+	}
+	if OCV(1) != 4.20 {
+		t.Errorf("OCV(1) = %v, want 4.20", OCV(1))
+	}
+	if OCV(-1) != OCV(0) || OCV(2) != OCV(1) {
+		t.Error("OCV does not clamp out-of-range SoC")
+	}
+}
+
+func TestNewCellValidation(t *testing.T) {
+	if _, err := NewCell(Default18650(), 0); err == nil {
+		t.Error("SoH 0 accepted")
+	}
+	if _, err := NewCell(Default18650(), 1.5); err == nil {
+		t.Error("SoH > 1 accepted")
+	}
+	bad := Default18650()
+	bad.CapacityAh = -1
+	if _, err := NewCell(bad, 1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	bad = Default18650()
+	bad.C1 = 0
+	if _, err := NewCell(bad, 1); err == nil {
+		t.Error("zero capacitance accepted")
+	}
+	bad = Default18650()
+	bad.ThermalR = 0
+	if _, err := NewCell(bad, 1); err == nil {
+		t.Error("zero thermal resistance accepted")
+	}
+}
+
+func TestDischargeDropsVoltageAndSoC(t *testing.T) {
+	c := newTestCell(t, 1)
+	first := c.Step(2.5, 1) // 1C discharge
+	var last Sample
+	for k := 0; k < 600; k++ {
+		last = c.Step(2.5, 1)
+	}
+	if !(last.SoC < first.SoC) {
+		t.Errorf("SoC did not drop: %v -> %v", first.SoC, last.SoC)
+	}
+	if !(last.Voltage < first.Voltage) {
+		t.Errorf("voltage did not drop under sustained load: %v -> %v", first.Voltage, last.Voltage)
+	}
+	if !(last.ChargeAh > first.ChargeAh) {
+		t.Error("discharged charge did not accumulate")
+	}
+}
+
+func TestVoltageWithinPhysicalBand(t *testing.T) {
+	// Terminal voltage stays within OCV(SoC) ± total IR drop.
+	c := newTestCell(t, 0.9)
+	r := rng.New(4)
+	for k := 0; k < 2000; k++ {
+		i := 5 * (r.Float64()*2 - 1) // -5..5 A, charge and discharge
+		s := c.Step(i, 1)
+		maxDrop := math.Abs(i) * (c.effectiveR0() + c.Params.R1 + c.Params.R2)
+		// RC voltages are bounded by R*i_max over history; allow the
+		// full steady-state bound with a small epsilon.
+		bound := maxDrop + 5*(c.Params.R1+c.Params.R2) + 1e-9
+		if diff := math.Abs(s.Voltage - OCV(s.SoC)); diff > bound {
+			t.Fatalf("step %d: |V - OCV| = %v exceeds bound %v", k, diff, bound)
+		}
+		if s.SoC < 0 || s.SoC > 1 {
+			t.Fatalf("SoC out of [0,1]: %v", s.SoC)
+		}
+	}
+}
+
+func TestCoulombCounting(t *testing.T) {
+	c := newTestCell(t, 1)
+	// Discharge exactly half the capacity: 1.25 Ah at 2.5 A = 1800 s.
+	for k := 0; k < 1800; k++ {
+		c.Step(2.5, 1)
+	}
+	if got := c.State.SoC; math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("SoC after half discharge = %v, want 0.5", got)
+	}
+	if got := c.State.AhOut; math.Abs(got-1.25) > 1e-9 {
+		t.Errorf("AhOut = %v, want 1.25", got)
+	}
+}
+
+func TestAgedCellSagsMore(t *testing.T) {
+	// Same load, lower SoH: higher resistance, so lower terminal voltage.
+	fresh := newTestCell(t, 1.0)
+	aged := newTestCell(t, 0.8)
+	var vFresh, vAged float64
+	for k := 0; k < 60; k++ {
+		vFresh = fresh.Step(2.5, 1).Voltage
+		vAged = aged.Step(2.5, 1).Voltage
+	}
+	if !(vAged < vFresh) {
+		t.Errorf("aged cell should sag more: fresh %v, aged %v", vFresh, vAged)
+	}
+}
+
+func TestAgedCellDrainsFaster(t *testing.T) {
+	fresh := newTestCell(t, 1.0)
+	aged := newTestCell(t, 0.7)
+	for k := 0; k < 1800; k++ {
+		fresh.Step(2.5, 1)
+		aged.Step(2.5, 1)
+	}
+	if !(aged.State.SoC < fresh.State.SoC) {
+		t.Errorf("aged cell should drain faster: fresh SoC %v, aged SoC %v",
+			fresh.State.SoC, aged.State.SoC)
+	}
+}
+
+func TestHeatingUnderLoad(t *testing.T) {
+	c := newTestCell(t, 1)
+	for k := 0; k < 900; k++ {
+		c.Step(5, 1) // 2C discharge
+	}
+	if !(c.State.TempC > c.Params.AmbientC) {
+		t.Errorf("cell did not heat under 2C load: %v °C", c.State.TempC)
+	}
+	// And cools back toward ambient at rest.
+	hot := c.State.TempC
+	for k := 0; k < 900; k++ {
+		c.Step(0, 1)
+	}
+	if !(c.State.TempC < hot) {
+		t.Error("cell did not cool at rest")
+	}
+}
+
+func TestRestRecoversVoltage(t *testing.T) {
+	// After a load step, terminal voltage relaxes upward at rest
+	// (RC depolarization) — the signature of the 2nd-order model.
+	c := newTestCell(t, 1)
+	var underLoad float64
+	for k := 0; k < 300; k++ {
+		underLoad = c.Step(2.5, 1).Voltage
+	}
+	relaxed := c.Step(0, 1).Voltage
+	for k := 0; k < 300; k++ {
+		relaxed = c.Step(0, 1).Voltage
+	}
+	if !(relaxed > underLoad) {
+		t.Errorf("no relaxation: %v under load, %v at rest", underLoad, relaxed)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	profile := make([]float64, 500)
+	r := rng.New(9)
+	for i := range profile {
+		profile[i] = 4 * r.Float64()
+	}
+	a := newTestCell(t, 0.95).Simulate(profile, 1)
+	b := newTestCell(t, 0.95).Simulate(profile, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("simulation not deterministic at step %d", i)
+		}
+	}
+}
+
+func TestPerturbBounded(t *testing.T) {
+	r := rng.New(2)
+	base := Default18650()
+	for trial := 0; trial < 100; trial++ {
+		p := base.Perturb(0.05, r.Float64)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("perturbed params invalid: %v", err)
+		}
+		if p.CapacityAh < base.CapacityAh*0.95 || p.CapacityAh > base.CapacityAh*1.05 {
+			t.Fatalf("capacity perturbation out of ±5%%: %v", p.CapacityAh)
+		}
+	}
+}
+
+func TestQuickSoCBounds(t *testing.T) {
+	f := func(seed uint64, steps uint16) bool {
+		c, err := NewCell(Default18650(), 0.9)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		for k := 0; k < int(steps%2000); k++ {
+			i := 10 * (r.Float64()*2 - 1)
+			s := c.Step(i, 1)
+			if s.SoC < 0 || s.SoC > 1 || math.IsNaN(s.Voltage) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	c := newTestCell(t, 1)
+	if c.Empty() {
+		t.Fatal("fresh cell reported empty")
+	}
+	for k := 0; k < 4000 && !c.Empty(); k++ {
+		c.Step(5, 1)
+	}
+	if !c.Empty() {
+		t.Fatal("cell never emptied under sustained 2C discharge")
+	}
+}

@@ -1,0 +1,135 @@
+package battery
+
+import "fmt"
+
+// Pack models a battery pack as parallel strings of series-connected
+// cells — the configuration whose inhomogeneities motivate per-cell
+// models in the first place (Neupert & Kowal study exactly this: cell
+// parameter spread makes currents, temperatures, and aging diverge
+// across a pack, so "individual models provide a spatial resolution").
+//
+// The electrical simplifications are standard for drive-cycle studies:
+// series cells in one string carry the string current; the pack current
+// divides across parallel strings in proportion to their DC
+// conductance, recomputed every step so that aging shifts the split.
+type Pack struct {
+	// Strings[k][i] is the i-th series cell of parallel string k.
+	Strings [][]*Cell
+}
+
+// NewPack builds a pack of parallel × series cells. Every cell gets
+// independently perturbed parameters (spread fraction, via draw) and
+// the given initial state of health, so the pack starts realistic:
+// nominally identical cells that are not quite identical.
+func NewPack(base Params, series, parallel int, soh, spread float64, draw func() float64) (*Pack, error) {
+	if series <= 0 || parallel <= 0 {
+		return nil, fmt.Errorf("battery: pack needs positive series and parallel counts")
+	}
+	p := &Pack{Strings: make([][]*Cell, parallel)}
+	for k := 0; k < parallel; k++ {
+		p.Strings[k] = make([]*Cell, series)
+		for i := 0; i < series; i++ {
+			cell, err := NewCell(base.Perturb(spread, draw), soh)
+			if err != nil {
+				return nil, err
+			}
+			p.Strings[k][i] = cell
+		}
+	}
+	return p, nil
+}
+
+// Cells returns all cells in a flat slice (string-major order).
+func (p *Pack) Cells() []*Cell {
+	var out []*Cell
+	for _, s := range p.Strings {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// PackSample is one simulation step of the whole pack.
+type PackSample struct {
+	// PackVoltage is the terminal voltage across the parallel strings.
+	PackVoltage float64
+	// StringCurrents is the per-string share of the pack current.
+	StringCurrents []float64
+	// CellSamples[k][i] is the sample of cell i in string k.
+	CellSamples [][]Sample
+}
+
+// stringResistance returns the DC resistance of one series string.
+func stringResistance(cells []*Cell) float64 {
+	var r float64
+	for _, c := range cells {
+		r += c.effectiveR0() + c.Params.R1 + c.Params.R2
+	}
+	return r
+}
+
+// Step advances the pack by dt seconds under packCurrent (positive =
+// discharge). The current split follows string conductances, so as
+// cells age unevenly the split drifts — the inhomogeneity per-cell
+// models are meant to resolve.
+func (p *Pack) Step(packCurrent, dt float64) PackSample {
+	// Conductance-weighted current division.
+	conductance := make([]float64, len(p.Strings))
+	var total float64
+	for k, s := range p.Strings {
+		conductance[k] = 1 / stringResistance(s)
+		total += conductance[k]
+	}
+	out := PackSample{
+		StringCurrents: make([]float64, len(p.Strings)),
+		CellSamples:    make([][]Sample, len(p.Strings)),
+	}
+	var voltageSum float64
+	for k, s := range p.Strings {
+		i := packCurrent * conductance[k] / total
+		out.StringCurrents[k] = i
+		out.CellSamples[k] = make([]Sample, len(s))
+		var stringVoltage float64
+		for ci, cell := range s {
+			sample := cell.Step(i, dt)
+			out.CellSamples[k][ci] = sample
+			stringVoltage += sample.Voltage
+		}
+		voltageSum += stringVoltage
+	}
+	out.PackVoltage = voltageSum / float64(len(p.Strings))
+	return out
+}
+
+// Simulate runs a full pack current profile and returns one sample per
+// step.
+func (p *Pack) Simulate(current []float64, dt float64) []PackSample {
+	out := make([]PackSample, len(current))
+	for t, i := range current {
+		out[t] = p.Step(i, dt)
+	}
+	return out
+}
+
+// SoCSpread returns the difference between the highest and lowest cell
+// state of charge — the headline inhomogeneity metric.
+func (p *Pack) SoCSpread() float64 {
+	first := true
+	var lo, hi float64
+	for _, s := range p.Strings {
+		for _, c := range s {
+			soc := c.State.SoC
+			if first {
+				lo, hi = soc, soc
+				first = false
+				continue
+			}
+			if soc < lo {
+				lo = soc
+			}
+			if soc > hi {
+				hi = soc
+			}
+		}
+	}
+	return hi - lo
+}

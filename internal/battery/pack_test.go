@@ -1,0 +1,149 @@
+package battery
+
+import (
+	"math"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/rng"
+)
+
+func newTestPack(t *testing.T, series, parallel int, spread float64) *Pack {
+	t.Helper()
+	r := rng.New(42)
+	p, err := NewPack(Default18650(), series, parallel, 1.0, spread, r.Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPackShape(t *testing.T) {
+	p := newTestPack(t, 4, 3, 0.05)
+	if len(p.Strings) != 3 {
+		t.Fatalf("pack has %d strings, want 3", len(p.Strings))
+	}
+	for k, s := range p.Strings {
+		if len(s) != 4 {
+			t.Fatalf("string %d has %d cells, want 4", k, len(s))
+		}
+	}
+	if got := len(p.Cells()); got != 12 {
+		t.Fatalf("Cells returned %d, want 12", got)
+	}
+}
+
+func TestNewPackValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := NewPack(Default18650(), 0, 1, 1, 0, r.Float64); err == nil {
+		t.Error("zero series accepted")
+	}
+	if _, err := NewPack(Default18650(), 1, 0, 1, 0, r.Float64); err == nil {
+		t.Error("zero parallel accepted")
+	}
+	if _, err := NewPack(Default18650(), 1, 1, 0, 0, r.Float64); err == nil {
+		t.Error("zero SoH accepted")
+	}
+}
+
+func TestPackCellsDistinct(t *testing.T) {
+	p := newTestPack(t, 2, 2, 0.05)
+	cells := p.Cells()
+	for i := 1; i < len(cells); i++ {
+		if cells[0].Params == cells[i].Params {
+			t.Fatalf("cells 0 and %d share identical parameters despite spread", i)
+		}
+	}
+}
+
+func TestPackCurrentConservation(t *testing.T) {
+	p := newTestPack(t, 3, 4, 0.05)
+	for step := 0; step < 100; step++ {
+		s := p.Step(8, 1)
+		var sum float64
+		for _, i := range s.StringCurrents {
+			sum += i
+		}
+		if math.Abs(sum-8) > 1e-9 {
+			t.Fatalf("step %d: string currents sum to %v, want 8", step, sum)
+		}
+	}
+}
+
+func TestPackSeriesCellsShareCurrent(t *testing.T) {
+	p := newTestPack(t, 3, 2, 0.05)
+	s := p.Step(5, 1)
+	for k, cellSamples := range s.CellSamples {
+		for i, cs := range cellSamples {
+			if math.Abs(cs.Current-s.StringCurrents[k]) > 1e-12 {
+				t.Fatalf("string %d cell %d current %v, want string current %v",
+					k, i, cs.Current, s.StringCurrents[k])
+			}
+		}
+	}
+}
+
+func TestPackWeakerStringCarriesLess(t *testing.T) {
+	// Build a pack, then age one string's cells: its resistance rises,
+	// so it must draw less of the pack current.
+	p := newTestPack(t, 2, 2, 0.0)
+	for _, c := range p.Strings[0] {
+		c.SoH = 0.7
+	}
+	s := p.Step(6, 1)
+	if !(s.StringCurrents[0] < s.StringCurrents[1]) {
+		t.Fatalf("aged string draws %v, healthy string %v — expected less",
+			s.StringCurrents[0], s.StringCurrents[1])
+	}
+}
+
+func TestPackInhomogeneityGrows(t *testing.T) {
+	// The Neupert & Kowal observation: parameter spread makes SoC
+	// diverge over a discharge — the reason for per-cell models.
+	p := newTestPack(t, 4, 4, 0.08)
+	if p.SoCSpread() != 0 {
+		t.Fatalf("fresh pack has SoC spread %v, want 0", p.SoCSpread())
+	}
+	for step := 0; step < 1200; step++ {
+		p.Step(10, 1)
+	}
+	if !(p.SoCSpread() > 0.005) {
+		t.Fatalf("SoC spread after discharge = %v, expected visible divergence", p.SoCSpread())
+	}
+}
+
+func TestPackNoSpreadStaysHomogeneous(t *testing.T) {
+	p := newTestPack(t, 2, 3, 0.0)
+	for step := 0; step < 600; step++ {
+		p.Step(6, 1)
+	}
+	if got := p.SoCSpread(); got > 1e-9 {
+		t.Fatalf("identical cells diverged: SoC spread %v", got)
+	}
+}
+
+func TestPackVoltageInPlausibleRange(t *testing.T) {
+	p := newTestPack(t, 4, 2, 0.05)
+	s := p.Step(5, 1)
+	// 4 series cells: between 4×3.0 V (empty) and 4×4.2 V (full OCV).
+	if s.PackVoltage < 4*2.8 || s.PackVoltage > 4*4.2 {
+		t.Fatalf("pack voltage %v outside plausible 4s range", s.PackVoltage)
+	}
+}
+
+func TestPackSimulateDeterministic(t *testing.T) {
+	profile := []float64{5, 4, 6, 3, 0, -2, 5, 5}
+	run := func() []PackSample {
+		r := rng.New(9)
+		p, err := NewPack(Default18650(), 2, 2, 0.95, 0.05, r.Float64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Simulate(profile, 1)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].PackVoltage != b[i].PackVoltage {
+			t.Fatalf("simulation diverged at step %d", i)
+		}
+	}
+}

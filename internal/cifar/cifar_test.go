@@ -1,0 +1,73 @@
+package cifar
+
+import (
+	"math"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/rng"
+)
+
+func TestImageShapeAndRange(t *testing.T) {
+	img := Image(3, rng.New(1))
+	if len(img.Shape) != 3 || img.Shape[0] != Channels || img.Shape[1] != Size || img.Shape[2] != Size {
+		t.Fatalf("image shape %v", img.Shape)
+	}
+	for i, v := range img.Data {
+		if math.IsNaN(float64(v)) {
+			t.Fatalf("pixel %d is NaN", i)
+		}
+		if v < -3 || v > 3 {
+			t.Fatalf("pixel %d = %v, outside plausible range", i, v)
+		}
+	}
+}
+
+func TestImageDeterministic(t *testing.T) {
+	a := Image(5, rng.New(9))
+	b := Image(5, rng.New(9))
+	if !a.Equal(b) {
+		t.Fatal("same (class, stream) produced different images")
+	}
+}
+
+func TestImageClassesDiffer(t *testing.T) {
+	a := Image(0, rng.New(9))
+	b := Image(1, rng.New(9))
+	if a.Equal(b) {
+		t.Fatal("different classes produced identical images")
+	}
+}
+
+func TestImagePanicsOnBadClass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Image(-1) did not panic")
+		}
+	}()
+	Image(-1, rng.New(1))
+}
+
+func TestOneHot(t *testing.T) {
+	y := OneHot(7)
+	for i, v := range y.Data {
+		want := float32(0)
+		if i == 7 {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("OneHot(7)[%d] = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestBatchCyclesClasses(t *testing.T) {
+	xs, ys := Batch(25, rng.New(3))
+	if len(xs) != 25 || len(ys) != 25 {
+		t.Fatalf("Batch lengths %d/%d, want 25", len(xs), len(ys))
+	}
+	for i, y := range ys {
+		if y.Data[i%NumClasses] != 1 {
+			t.Fatalf("sample %d not labeled class %d", i, i%NumClasses)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// paperScenario is the paper's default deployment: 5000 FFNN-48 models,
+// 10% updated per cycle, saves vastly outnumber recoveries.
+func paperScenario() Scenario {
+	return Scenario{
+		NumModels:        5000,
+		ParamCount:       4993,
+		UpdateRate:       0.10,
+		SavesPerRecovery: 1000,
+		RetrainCost:      30 * time.Second,
+		StorageWeight:    1, SaveWeight: 1, RecoverWeight: 1,
+	}
+}
+
+func TestAdviseStoragePriorityPicksProvenance(t *testing.T) {
+	// §4.5: "Considering that our highest priority is storage
+	// consumption and we assume model recoveries to happen rarely,
+	// Provenance is the best approach."
+	s := paperScenario()
+	s.StorageWeight, s.SaveWeight, s.RecoverWeight = 10, 1, 0.01
+	rec, err := Advise(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Approach != "Provenance" {
+		t.Fatalf("storage-priority scenario recommends %s, want Provenance (ranking %v)",
+			rec.Approach, rec.Ranking)
+	}
+}
+
+func TestAdviseRecoverPriorityPicksBaseline(t *testing.T) {
+	// §4.5: "If the storage consumption is not important and TTR has
+	// the highest priority, Baseline is the best approach."
+	s := paperScenario()
+	s.StorageWeight, s.SaveWeight, s.RecoverWeight = 0.01, 0.1, 10
+	s.SavesPerRecovery = 2 // recoveries are frequent
+	rec, err := Advise(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Approach != "Baseline" {
+		t.Fatalf("recover-priority scenario recommends %s, want Baseline (ranking %v)",
+			rec.Approach, rec.Ranking)
+	}
+}
+
+func TestAdviseBalancedStoragePicksUpdate(t *testing.T) {
+	// §4.5: "If this [compute-heavy recovery] is not acceptable, Update
+	// is the next best approach; it has a lower storage consumption but
+	// only slightly increases the TTR."
+	s := paperScenario()
+	s.StorageWeight, s.SaveWeight, s.RecoverWeight = 5, 1, 2
+	s.RetrainCost = 10 * time.Minute // provenance recovery prohibitive
+	rec, err := Advise(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Approach != "Update" {
+		t.Fatalf("balanced scenario recommends %s, want Update (ranking %v)",
+			rec.Approach, rec.Ranking)
+	}
+}
+
+func TestAdviseNeverPicksMMlibForMultiModel(t *testing.T) {
+	// Sweep a grid of weightings: MMlib-base is dominated everywhere in
+	// a multi-model scenario.
+	weights := []float64{0.01, 1, 10}
+	for _, sw := range weights {
+		for _, vw := range weights {
+			for _, rw := range weights {
+				s := paperScenario()
+				s.StorageWeight, s.SaveWeight, s.RecoverWeight = sw, vw, rw
+				rec, err := Advise(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rec.Approach == "MMlib-base" {
+					t.Fatalf("weights (%v,%v,%v) recommend MMlib-base", sw, vw, rw)
+				}
+			}
+		}
+	}
+}
+
+func TestAdviseRankingComplete(t *testing.T) {
+	rec, err := Advise(paperScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Ranking) != 4 {
+		t.Fatalf("ranking has %d entries, want 4", len(rec.Ranking))
+	}
+	for i := 1; i < len(rec.Ranking); i++ {
+		if rec.Ranking[i-1].Cost > rec.Ranking[i].Cost {
+			t.Fatal("ranking not sorted by cost")
+		}
+	}
+	if rec.Rationale == "" {
+		t.Error("no rationale given")
+	}
+}
+
+func TestAdviseValidation(t *testing.T) {
+	bad := []func(*Scenario){
+		func(s *Scenario) { s.NumModels = 0 },
+		func(s *Scenario) { s.ParamCount = 0 },
+		func(s *Scenario) { s.UpdateRate = -0.1 },
+		func(s *Scenario) { s.UpdateRate = 1.5 },
+		func(s *Scenario) { s.SavesPerRecovery = 0 },
+		func(s *Scenario) { s.StorageWeight = -1 },
+		func(s *Scenario) { s.StorageWeight, s.SaveWeight, s.RecoverWeight = 0, 0, 0 },
+	}
+	for i, mutate := range bad {
+		s := paperScenario()
+		mutate(&s)
+		if _, err := Advise(s); err == nil {
+			t.Errorf("bad scenario %d accepted", i)
+		}
+	}
+}

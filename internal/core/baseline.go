@@ -1,0 +1,73 @@
+package core
+
+import "fmt"
+
+// Baseline is the paper's first multi-model approach: it represents a
+// set of n models by exactly three artifacts — one metadata document,
+// one architecture definition, and one binary file concatenating all
+// models' parameters. Compared to saving models individually this
+// removes the redundant per-model metadata/architecture/keys (O1) and
+// collapses O(n) store writes into O(1) (O3), while every set remains
+// independently recoverable.
+type Baseline struct {
+	stores Stores
+	ids    idAllocator
+}
+
+// collection and blob namespace of Baseline.
+const (
+	baselineCollection = "baseline_sets"
+	baselineBlobPrefix = "baseline"
+)
+
+// NewBaseline returns a Baseline approach over the given stores.
+func NewBaseline(stores Stores) *Baseline {
+	return &Baseline{stores: stores, ids: idAllocator{prefix: "bl"}}
+}
+
+// Name implements Approach.
+func (b *Baseline) Name() string { return "Baseline" }
+
+// Save implements Approach. Baseline treats initial and derived sets
+// identically: every save is a full, self-contained snapshot, so
+// req.Base and req.Updates are ignored by design.
+func (b *Baseline) Save(req SaveRequest) (SaveResult, error) {
+	if err := validateSave(req); err != nil {
+		return SaveResult{}, err
+	}
+	startBytes := b.stores.writtenBytes()
+	startOps := b.stores.writeOps()
+
+	existing, err := b.stores.Docs.IDs(baselineCollection)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	setID := b.ids.allocate(existing)
+
+	if err := fullSave(b.stores, baselineCollection, baselineBlobPrefix, b.Name(), setID, req, nil); err != nil {
+		return SaveResult{}, err
+	}
+	return SaveResult{
+		SetID:        setID,
+		BytesWritten: b.stores.writtenBytes() - startBytes,
+		WriteOps:     b.stores.writeOps() - startOps,
+	}, nil
+}
+
+// Recover implements Approach: load metadata and architecture, then
+// read all parameters sequentially from the single binary file.
+func (b *Baseline) Recover(setID string) (*ModelSet, error) {
+	meta, err := loadMeta(b.stores, baselineCollection, setID)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Approach != b.Name() {
+		return nil, fmt.Errorf("core: set %q was saved by %s, not Baseline", setID, meta.Approach)
+	}
+	return fullRecover(b.stores, baselineBlobPrefix, meta)
+}
+
+// SetIDs lists all sets saved by this approach, in save order.
+func (b *Baseline) SetIDs() ([]string, error) {
+	return b.stores.Docs.IDs(baselineCollection)
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/storage/backend"
+	"github.com/mmm-go/mmm/internal/storage/blobstore"
+	"github.com/mmm-go/mmm/internal/storage/docstore"
+	"github.com/mmm-go/mmm/internal/storage/latency"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	st := NewMemStores()
+	b := NewBaseline(st)
+	set := mustNewSet(t, 10)
+	res := mustSave(t, b, SaveRequest{Set: set})
+	got := mustRecover(t, b, res.SetID)
+	if !set.Equal(got) {
+		t.Fatal("recovered set differs from saved set")
+	}
+	if got.Arch.ParamCount() != set.Arch.ParamCount() {
+		t.Fatal("recovered architecture differs")
+	}
+}
+
+func TestBaselineSetsIndependentlyRecoverable(t *testing.T) {
+	st := NewMemStores()
+	b := NewBaseline(st)
+	reg := st.Datasets
+
+	set := mustNewSet(t, 6)
+	res1 := mustSave(t, b, SaveRequest{Set: set})
+	snapshot1 := set.Clone()
+
+	runCycle(t, set, reg, 1, []int{0, 1}, []int{2})
+	res2 := mustSave(t, b, SaveRequest{Set: set, Base: res1.SetID})
+	snapshot2 := set.Clone()
+
+	// Baseline sets never depend on each other: recover in any order.
+	if got := mustRecover(t, b, res2.SetID); !snapshot2.Equal(got) {
+		t.Fatal("second set wrong")
+	}
+	if got := mustRecover(t, b, res1.SetID); !snapshot1.Equal(got) {
+		t.Fatal("first set wrong")
+	}
+}
+
+func TestBaselineStorageDominatedByParams(t *testing.T) {
+	st := NewMemStores()
+	b := NewBaseline(st)
+	set := mustNewSet(t, 50)
+	res := mustSave(t, b, SaveRequest{Set: set})
+
+	paramBytes := int64(set.Arch.ParamBytes() * set.Len())
+	overhead := res.BytesWritten - paramBytes
+	if overhead < 0 {
+		t.Fatalf("wrote %d bytes, less than the %d parameter bytes", res.BytesWritten, paramBytes)
+	}
+	// The paper: Baseline's per-set overhead for architecture and
+	// metadata is ~4 KB, independent of n.
+	if overhead > 8*1024 {
+		t.Fatalf("per-set overhead %d bytes, want < 8 KiB", overhead)
+	}
+}
+
+func TestBaselineConstantWriteOps(t *testing.T) {
+	st := NewMemStores()
+	b := NewBaseline(st)
+	small := mustNewSet(t, 2)
+	large := mustNewSet(t, 40)
+	resSmall := mustSave(t, b, SaveRequest{Set: small})
+	resLarge := mustSave(t, b, SaveRequest{Set: large})
+	if resSmall.WriteOps != resLarge.WriteOps {
+		t.Fatalf("write ops grew with set size: %d vs %d", resSmall.WriteOps, resLarge.WriteOps)
+	}
+	if resLarge.WriteOps > 4 {
+		t.Fatalf("baseline issues %d writes per set, want O(1)", resLarge.WriteOps)
+	}
+}
+
+func TestBaselineRecoverUnknownSet(t *testing.T) {
+	b := NewBaseline(NewMemStores())
+	if _, err := b.Recover("bl-999999"); err == nil {
+		t.Fatal("unknown set recovered")
+	}
+}
+
+func TestBaselineRejectsForeignSet(t *testing.T) {
+	st := NewMemStores()
+	b := NewBaseline(st)
+	// Forge a metadata document from another approach under Baseline's
+	// collection name: recovery must notice.
+	meta := setMeta{SetID: "bl-000001", Approach: "Update", Kind: "full"}
+	if err := st.Docs.Insert(baselineCollection, "bl-000001", meta); err != nil {
+		t.Fatal(err)
+	}
+	_, err := b.Recover("bl-000001")
+	if err == nil || !strings.Contains(err.Error(), "saved by") {
+		t.Fatalf("foreign set accepted: %v", err)
+	}
+}
+
+func TestBaselineSaveFaultSurfaces(t *testing.T) {
+	faulty := backend.NewFaulty(backend.NewMem())
+	st := NewMemStores()
+	st.Blobs = blobstore.New(faulty, latency.CostModel{}, nil)
+	b := NewBaseline(st)
+	faulty.FailNextPuts(1)
+	if _, err := b.Save(SaveRequest{Set: mustNewSet(t, 2)}); err == nil {
+		t.Fatal("blob fault not surfaced")
+	}
+}
+
+func TestBaselineDocFaultSurfaces(t *testing.T) {
+	faulty := backend.NewFaulty(backend.NewMem())
+	st := NewMemStores()
+	st.Docs = docstore.New(faulty, latency.CostModel{}, nil)
+	b := NewBaseline(st)
+	faulty.FailNextPuts(1)
+	if _, err := b.Save(SaveRequest{Set: mustNewSet(t, 2)}); err == nil {
+		t.Fatal("doc fault not surfaced")
+	}
+}
+
+func TestBaselineCorruptParamBlobDetected(t *testing.T) {
+	st := NewMemStores()
+	b := NewBaseline(st)
+	res := mustSave(t, b, SaveRequest{Set: mustNewSet(t, 3)})
+	// Truncate the parameter blob.
+	key := baselineBlobPrefix + "/" + res.SetID + "/params.bin"
+	blob, err := st.Blobs.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Blobs.Put(key, blob[:len(blob)-4]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recover(res.SetID); err == nil {
+		t.Fatal("truncated parameter blob recovered without error")
+	}
+}
+
+func TestBaselineSetIDs(t *testing.T) {
+	st := NewMemStores()
+	b := NewBaseline(st)
+	set := mustNewSet(t, 2)
+	mustSave(t, b, SaveRequest{Set: set})
+	mustSave(t, b, SaveRequest{Set: set})
+	ids, err := b.SetIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "bl-000001" || ids[1] != "bl-000002" {
+		t.Fatalf("SetIDs = %v", ids)
+	}
+}
+
+func TestBaselineOnDiskStores(t *testing.T) {
+	dir := t.TempDir()
+	blobBackend, err := backend.NewDir(dir + "/blobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	docBackend, err := backend.NewDir(dir + "/docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewMemStores()
+	st.Blobs = blobstore.New(blobBackend, latency.CostModel{}, nil)
+	st.Docs = docstore.New(docBackend, latency.CostModel{}, nil)
+
+	b := NewBaseline(st)
+	set := mustNewSet(t, 4)
+	res := mustSave(t, b, SaveRequest{Set: set})
+
+	// A fresh approach instance over the same directories must recover.
+	st2 := NewMemStores()
+	blobBackend2, _ := backend.NewDir(dir + "/blobs")
+	docBackend2, _ := backend.NewDir(dir + "/docs")
+	st2.Blobs = blobstore.New(blobBackend2, latency.CostModel{}, nil)
+	st2.Docs = docstore.New(docBackend2, latency.CostModel{}, nil)
+	b2 := NewBaseline(st2)
+	got := mustRecover(t, b2, res.SetID)
+	if !set.Equal(got) {
+		t.Fatal("on-disk round trip lost data")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/nn"
+)
+
+func TestNewModelSetDeterministic(t *testing.T) {
+	a := mustNewSet(t, 5)
+	b := mustNewSet(t, 5)
+	if !a.Equal(b) {
+		t.Fatal("same fleet seed produced different sets")
+	}
+}
+
+func TestNewModelSetModelsDistinct(t *testing.T) {
+	set := mustNewSet(t, 5)
+	for i := 1; i < set.Len(); i++ {
+		if set.Models[0].ParamsEqual(set.Models[i]) {
+			t.Fatalf("models 0 and %d initialized identically", i)
+		}
+	}
+}
+
+func TestNewModelSetValidation(t *testing.T) {
+	if _, err := NewModelSet(testArch(), 0, 1); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := NewModelSet(&nn.Architecture{Name: "bad"}, 1, 1); err == nil {
+		t.Error("invalid architecture accepted")
+	}
+}
+
+func TestModelSetCloneIndependent(t *testing.T) {
+	set := mustNewSet(t, 3)
+	c := set.Clone()
+	if !set.Equal(c) {
+		t.Fatal("clone differs")
+	}
+	c.Models[1].Params()[0].Tensor.Data[0] += 1
+	if set.Equal(c) {
+		t.Fatal("clone shares parameter storage")
+	}
+}
+
+func TestModelSetEqualLengthMismatch(t *testing.T) {
+	a := mustNewSet(t, 2)
+	b := mustNewSet(t, 3)
+	if a.Equal(b) {
+		t.Fatal("sets of different size reported equal")
+	}
+}
+
+func TestValidateSaveErrors(t *testing.T) {
+	set := mustNewSet(t, 3)
+	if err := validateSave(SaveRequest{}); err == nil {
+		t.Error("nil set accepted")
+	}
+	if err := validateSave(SaveRequest{Set: &ModelSet{Arch: testArch()}}); err == nil {
+		t.Error("empty set accepted")
+	}
+	bad := SaveRequest{Set: set, Updates: []ModelUpdate{{ModelIndex: 99}}}
+	if err := validateSave(bad); err == nil {
+		t.Error("out-of-range update index accepted")
+	}
+	mixed := &ModelSet{Arch: testArch(), Models: []*nn.Model{
+		nn.MustNewModel(nn.FFNN48(), 1),
+	}}
+	if err := validateSave(SaveRequest{Set: mixed}); err == nil {
+		t.Error("architecture mismatch accepted")
+	}
+}
+
+func TestIDAllocatorSequence(t *testing.T) {
+	a := idAllocator{prefix: "x"}
+	if got := a.allocate(nil); got != "x-000001" {
+		t.Fatalf("first ID = %s", got)
+	}
+	if got := a.allocate(nil); got != "x-000002" {
+		t.Fatalf("second ID = %s", got)
+	}
+}
+
+func TestIDAllocatorResumesFromExisting(t *testing.T) {
+	a := idAllocator{prefix: "x"}
+	if got := a.allocate([]string{"x-000001", "x-000002"}); got != "x-000003" {
+		t.Fatalf("resumed ID = %s, want x-000003", got)
+	}
+}
+
+func TestPipelineCodeNonTrivial(t *testing.T) {
+	// The pipeline snapshot is part of the storage accounting; it must
+	// be a substantial, meaningful document.
+	if len(PipelineCode) < 500 {
+		t.Fatalf("pipeline code suspiciously small: %d bytes", len(PipelineCode))
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/nn"
+)
+
+// Fuzzing the binary decoders: archives may be years old or damaged;
+// whatever bytes arrive, the decoders must return errors, never panic
+// or accept inconsistent data silently.
+
+func FuzzUnframeParams(f *testing.F) {
+	arch := nn.FFNN("fuzz", 3, []int{4}, 2)
+	model := nn.MustNewModel(arch, 1)
+	good := frameParams(model)
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := nn.MustNewModel(arch, 2)
+		if err := unframeParams(m, data); err == nil {
+			// Accepted: must round-trip back to the same bytes.
+			out := frameParams(m)
+			if len(out) != len(data) {
+				t.Fatalf("accepted %d bytes but re-frames to %d", len(data), len(out))
+			}
+			for i := range out {
+				if out[i] != data[i] {
+					t.Fatalf("accepted frame does not round-trip at byte %d", i)
+				}
+			}
+		}
+	})
+}
+
+func FuzzBuildSetFromParams(f *testing.F) {
+	arch := nn.FFNN("fuzz", 2, []int{3}, 1)
+	set, err := NewModelSet(arch, 2, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	good := concatParams(set)
+	f.Add(good, 2)
+	f.Add(good[:len(good)-1], 2)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{1, 2, 3}, 1)
+
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 || n > 8 {
+			return
+		}
+		got, err := buildSetFromParams(arch, n, data)
+		if err != nil {
+			return
+		}
+		if got.Len() != n {
+			t.Fatalf("decoded %d models, want %d", got.Len(), n)
+		}
+		if out := concatParams(got); len(out) != len(data) {
+			t.Fatalf("accepted %d bytes but re-encodes to %d", len(data), len(out))
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/dataset"
+	"github.com/mmm-go/mmm/internal/env"
+	"github.com/mmm-go/mmm/internal/nn"
+)
+
+// testArch is a small battery-style architecture that keeps the test
+// fleets fast: 4 inputs (like FFNN-48), one hidden layer, one output.
+func testArch() *nn.Architecture {
+	return nn.FFNN("test-ffnn", 4, []int{8}, 1)
+}
+
+// lastLayerOf returns the name of the final linear layer, the layer
+// partial updates retrain.
+func lastLayerOf(arch *nn.Architecture) string {
+	for i := len(arch.Layers) - 1; i >= 0; i-- {
+		if arch.Layers[i].Kind == nn.KindLinear {
+			return arch.Layers[i].Name
+		}
+	}
+	panic("no linear layer")
+}
+
+const testFleetSeed = 1234
+
+// testTrainInfo is the shared per-cycle training description.
+func testTrainInfo() *TrainInfo {
+	return &TrainInfo{
+		Config: nn.TrainConfig{
+			Epochs: 2, BatchSize: 16, LearningRate: 0.05, Loss: "mse",
+		},
+		Environment:  env.Capture(),
+		PipelineCode: PipelineCode,
+	}
+}
+
+// runCycle retrains the chosen models of set in place on cycle-specific
+// battery data and returns the update records an approach needs. This
+// is the miniature version of what the workload package does at fleet
+// scale; core tests use it to produce honest model divergence.
+func runCycle(t *testing.T, set *ModelSet, reg *dataset.Registry, cycle int, fullIdx, partialIdx []int) []ModelUpdate {
+	t.Helper()
+	info := testTrainInfo()
+	var updates []ModelUpdate
+	train := func(idx int, layers []string) {
+		spec := dataset.Spec{
+			Kind: dataset.KindBattery, CellID: idx, Cycle: cycle,
+			SoH: 1 - 0.02*float64(cycle), Samples: 50, NoiseStd: 0.002,
+			Seed: testFleetSeed,
+		}
+		id, err := reg.Put(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := reg.Materialize(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := info.Config
+		cfg.Seed = uint64(cycle)*1000 + uint64(idx)
+		cfg.TrainLayers = layers
+		if _, err := nn.Train(set.Models[idx], data, cfg); err != nil {
+			t.Fatal(err)
+		}
+		updates = append(updates, ModelUpdate{
+			ModelIndex: idx, DatasetID: id, TrainLayers: layers, Seed: cfg.Seed,
+		})
+	}
+	for _, idx := range fullIdx {
+		train(idx, nil)
+	}
+	last := lastLayerOf(set.Arch)
+	for _, idx := range partialIdx {
+		train(idx, []string{last})
+	}
+	return updates
+}
+
+// mustNewSet builds a test fleet or fails the test.
+func mustNewSet(t *testing.T, n int) *ModelSet {
+	t.Helper()
+	return mustNewSetArch(t, testArch(), n)
+}
+
+// mustNewSetArch builds a test fleet of the given architecture. Tests
+// asserting the paper's storage proportions use the real FFNN-48.
+func mustNewSetArch(t *testing.T, arch *nn.Architecture, n int) *ModelSet {
+	t.Helper()
+	set, err := NewModelSet(arch, n, testFleetSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// testDatasetSpec is a small battery dataset spec for one cell/cycle.
+func testDatasetSpec(cellID, cycle int) dataset.Spec {
+	return dataset.Spec{
+		Kind: dataset.KindBattery, CellID: cellID, Cycle: cycle,
+		SoH: 1 - 0.02*float64(cycle), Samples: 50, NoiseStd: 0.002,
+		Seed: testFleetSeed,
+	}
+}
+
+// mustSave fails the test on a save error.
+func mustSave(t *testing.T, a Approach, req SaveRequest) SaveResult {
+	t.Helper()
+	res, err := a.Save(req)
+	if err != nil {
+		t.Fatalf("%s save: %v", a.Name(), err)
+	}
+	return res
+}
+
+// mustRecover fails the test on a recover error.
+func mustRecover(t *testing.T, a Approach, setID string) *ModelSet {
+	t.Helper()
+	set, err := a.Recover(setID)
+	if err != nil {
+		t.Fatalf("%s recover %s: %v", a.Name(), setID, err)
+	}
+	return set
+}

@@ -1,0 +1,81 @@
+package core
+
+import "fmt"
+
+// SetInfo is the public view of a saved set's metadata.
+type SetInfo struct {
+	SetID      string `json:"set_id"`
+	Approach   string `json:"approach"`
+	Kind       string `json:"kind"` // "full" or "derived"
+	Base       string `json:"base,omitempty"`
+	Depth      int    `json:"depth"`
+	ArchName   string `json:"arch_name"`
+	NumModels  int    `json:"num_models"`
+	ParamCount int    `json:"param_count"`
+}
+
+func infoFromMeta(m setMeta) SetInfo {
+	return SetInfo{
+		SetID: m.SetID, Approach: m.Approach, Kind: m.Kind, Base: m.Base,
+		Depth: m.Depth, ArchName: m.ArchName, NumModels: m.NumModels,
+		ParamCount: m.ParamCount,
+	}
+}
+
+// Lineager exposes a set's recovery chain: the sequence of sets that
+// must exist (and, for Update/Provenance, be processed) to recover it.
+type Lineager interface {
+	// Lineage returns the chain from setID back to its full snapshot,
+	// starting with setID itself.
+	Lineage(setID string) ([]SetInfo, error)
+}
+
+// lineageFrom walks base pointers in collection until a full save.
+func lineageFrom(st Stores, collection, setID string) ([]SetInfo, error) {
+	var chain []SetInfo
+	seen := map[string]bool{}
+	for id := setID; id != ""; {
+		if seen[id] {
+			return nil, fmt.Errorf("core: lineage of %q contains a cycle at %q", setID, id)
+		}
+		seen[id] = true
+		meta, err := loadMeta(st, collection, id)
+		if err != nil {
+			return nil, err
+		}
+		chain = append(chain, infoFromMeta(meta))
+		if meta.Kind == "full" {
+			return chain, nil
+		}
+		id = meta.Base
+	}
+	return nil, fmt.Errorf("core: lineage of %q ends without a full snapshot", setID)
+}
+
+// Lineage implements Lineager for Baseline (always a single element).
+func (b *Baseline) Lineage(setID string) ([]SetInfo, error) {
+	meta, err := loadMeta(b.stores, baselineCollection, setID)
+	if err != nil {
+		return nil, err
+	}
+	return []SetInfo{infoFromMeta(meta)}, nil
+}
+
+// Lineage implements Lineager for MMlibBase (always a single element).
+func (m *MMlibBase) Lineage(setID string) ([]SetInfo, error) {
+	meta, err := loadMeta(m.stores, mmlibSetCollection, setID)
+	if err != nil {
+		return nil, err
+	}
+	return []SetInfo{infoFromMeta(meta)}, nil
+}
+
+// Lineage implements Lineager for Update.
+func (u *Update) Lineage(setID string) ([]SetInfo, error) {
+	return lineageFrom(u.stores, updateCollection, setID)
+}
+
+// Lineage implements Lineager for Provenance.
+func (p *Provenance) Lineage(setID string) ([]SetInfo, error) {
+	return lineageFrom(p.stores, provenanceCollection, setID)
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/nn"
+)
+
+func TestLineageUpdateChain(t *testing.T) {
+	st := NewMemStores()
+	u := NewUpdate(st)
+	ids, _ := saveUpdateChain(t, u, st, 3)
+	chain, err := u.Lineage(ids[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 4 {
+		t.Fatalf("lineage length %d, want 4", len(chain))
+	}
+	// Newest first, ending at the full snapshot.
+	for i, info := range chain {
+		if info.SetID != ids[3-i] {
+			t.Errorf("lineage[%d] = %s, want %s", i, info.SetID, ids[3-i])
+		}
+	}
+	if chain[len(chain)-1].Kind != "full" {
+		t.Error("lineage does not end at a full snapshot")
+	}
+	if chain[0].Kind != "derived" || chain[0].Depth != 3 {
+		t.Errorf("head of lineage = %+v", chain[0])
+	}
+}
+
+func TestLineageBaselineSingle(t *testing.T) {
+	st := NewMemStores()
+	b := NewBaseline(st)
+	res := mustSave(t, b, SaveRequest{Set: mustNewSet(t, 3)})
+	chain, err := b.Lineage(res.SetID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 1 || chain[0].Kind != "full" {
+		t.Fatalf("baseline lineage = %+v", chain)
+	}
+	if chain[0].ArchName != "test-ffnn" || chain[0].NumModels != 3 {
+		t.Fatalf("lineage info incomplete: %+v", chain[0])
+	}
+}
+
+func TestLineageProvenance(t *testing.T) {
+	st := NewMemStores()
+	p := NewProvenance(st)
+	ids, _ := saveProvenanceChain(t, p, st, 2)
+	chain, err := p.Lineage(ids[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 3 {
+		t.Fatalf("lineage length %d, want 3", len(chain))
+	}
+}
+
+func TestLineageSnapshotShortensChain(t *testing.T) {
+	st := NewMemStores()
+	u := NewUpdate(st)
+	u.SnapshotInterval = 2
+	ids, _ := saveUpdateChain(t, u, st, 4)
+	chain, err := u.Lineage(ids[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) > 2 {
+		t.Fatalf("lineage length %d with snapshot interval 2", len(chain))
+	}
+}
+
+func TestLineageUnknownSet(t *testing.T) {
+	u := NewUpdate(NewMemStores())
+	if _, err := u.Lineage("up-404"); err == nil {
+		t.Fatal("unknown set lineage accepted")
+	}
+}
+
+func TestLineageDetectsBrokenChain(t *testing.T) {
+	st := NewMemStores()
+	u := NewUpdate(st)
+	ids, _ := saveUpdateChain(t, u, st, 2)
+	if err := st.Docs.Delete(updateCollection, ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Lineage(ids[2]); err == nil {
+		t.Fatal("broken chain lineage accepted")
+	}
+}
+
+// TestProvenanceWithAdamOptimizer proves the provenance contract covers
+// the optimizer choice: derived sets trained with Adam recover exactly.
+func TestProvenanceWithAdamOptimizer(t *testing.T) {
+	st := NewMemStores()
+	p := NewProvenance(st)
+	set := mustNewSetArch(t, nn.FFNN48(), 5)
+	res := mustSave(t, p, SaveRequest{Set: set})
+
+	info := testTrainInfo()
+	info.Config.Optimizer = nn.OptimizerConfig{Name: "adam"}
+
+	// Train two models with Adam on cycle data, recording updates.
+	var updates []ModelUpdate
+	for _, idx := range []int{1, 3} {
+		spec := testDatasetSpec(idx, 1)
+		id, err := st.Datasets.Put(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := st.Datasets.Materialize(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := info.Config
+		cfg.Seed = uint64(idx)
+		if _, err := nn.Train(set.Models[idx], data, cfg); err != nil {
+			t.Fatal(err)
+		}
+		updates = append(updates, ModelUpdate{ModelIndex: idx, DatasetID: id, Seed: cfg.Seed})
+	}
+	res2, err := p.Save(SaveRequest{Set: set, Base: res.SetID, Updates: updates, Train: info})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mustRecover(t, p, res2.SetID)
+	if !set.Equal(got) {
+		t.Fatal("provenance recovery with Adam optimizer not bit-exact")
+	}
+}

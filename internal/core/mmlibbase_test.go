@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/storage/backend"
+	"github.com/mmm-go/mmm/internal/storage/blobstore"
+	"github.com/mmm-go/mmm/internal/storage/latency"
+)
+
+func TestMMlibRoundTrip(t *testing.T) {
+	st := NewMemStores()
+	m := NewMMlibBase(st)
+	set := mustNewSet(t, 8)
+	res := mustSave(t, m, SaveRequest{Set: set})
+	got := mustRecover(t, m, res.SetID)
+	if !set.Equal(got) {
+		t.Fatal("recovered set differs from saved set")
+	}
+}
+
+func TestMMlibPerModelOverhead(t *testing.T) {
+	st := NewMemStores()
+	m := NewMMlibBase(st)
+	set := mustNewSet(t, 20)
+	res := mustSave(t, m, SaveRequest{Set: set})
+
+	paramBytes := int64(set.Arch.ParamBytes() * set.Len())
+	overheadPerModel := (res.BytesWritten - paramBytes) / int64(set.Len())
+	// The paper: "an overhead of approximately 8 KB per model".
+	if overheadPerModel < 5*1024 || overheadPerModel > 12*1024 {
+		t.Fatalf("per-model overhead = %d bytes, want ≈ 8 KiB", overheadPerModel)
+	}
+}
+
+func TestMMlibWriteOpsLinear(t *testing.T) {
+	st := NewMemStores()
+	m := NewMMlibBase(st)
+	set := mustNewSet(t, 10)
+	res := mustSave(t, m, SaveRequest{Set: set})
+	// 3 documents + 2 blobs per model, plus one set document.
+	want := int64(5*set.Len() + 1)
+	if res.WriteOps != want {
+		t.Fatalf("write ops = %d, want %d", res.WriteOps, want)
+	}
+}
+
+func TestMMlibStorageExceedsBaseline(t *testing.T) {
+	// The core comparison of the paper's Figure 3 at U1: MMlib-base
+	// must consume clearly more storage than Baseline for equal sets.
+	st := NewMemStores()
+	set := mustNewSet(t, 20)
+	resBaseline := mustSave(t, NewBaseline(st), SaveRequest{Set: set})
+	resMMlib := mustSave(t, NewMMlibBase(st), SaveRequest{Set: set})
+	if resMMlib.BytesWritten <= resBaseline.BytesWritten {
+		t.Fatalf("MMlib-base wrote %d bytes, Baseline %d — expected MMlib to exceed",
+			resMMlib.BytesWritten, resBaseline.BytesWritten)
+	}
+}
+
+func TestMMlibFrameParamsRoundTrip(t *testing.T) {
+	set := mustNewSet(t, 1)
+	src := set.Models[0]
+	dst := src.Clone()
+	dst.Params()[0].Tensor.Fill(0)
+	if err := unframeParams(dst, frameParams(src)); err != nil {
+		t.Fatal(err)
+	}
+	if !src.ParamsEqual(dst) {
+		t.Fatal("framed round trip lost parameters")
+	}
+}
+
+func TestMMlibUnframeRejectsCorruption(t *testing.T) {
+	set := mustNewSet(t, 1)
+	src := set.Models[0]
+	good := frameParams(src)
+
+	cases := map[string][]byte{
+		"truncated":      good[:len(good)-3],
+		"trailing bytes": append(append([]byte{}, good...), 0, 1, 2),
+		"empty":          {},
+		"garbage":        {0xff, 0xff, 0xff},
+	}
+	for name, buf := range cases {
+		if err := unframeParams(src.Clone(), buf); err == nil {
+			t.Errorf("%s state dict accepted", name)
+		}
+	}
+
+	// Corrupt a dictionary key in place.
+	bad := append([]byte{}, good...)
+	bad[2] ^= 0xff // first key byte
+	if err := unframeParams(src.Clone(), bad); err == nil {
+		t.Error("state dict with wrong key accepted")
+	}
+}
+
+func TestMMlibRecoverMissingModelDoc(t *testing.T) {
+	st := NewMemStores()
+	m := NewMMlibBase(st)
+	set := mustNewSet(t, 3)
+	res := mustSave(t, m, SaveRequest{Set: set})
+	if err := st.Docs.Delete(mmlibMetaCollection, res.SetID+"-m00001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Recover(res.SetID); err == nil {
+		t.Fatal("set with missing model document recovered")
+	}
+}
+
+func TestMMlibSaveFaultMidway(t *testing.T) {
+	faulty := backend.NewFaulty(backend.NewMem())
+	st := NewMemStores()
+	st.Blobs = blobstore.New(faulty, latency.CostModel{}, nil)
+	m := NewMMlibBase(st)
+	// Let a handful of per-model blob writes succeed, then die: the
+	// save must report the failure, not silently persist half a set.
+	faulty.FailPutsAfter(7)
+	if _, err := m.Save(SaveRequest{Set: mustNewSet(t, 10)}); err == nil {
+		t.Fatal("mid-save fault not surfaced")
+	}
+}
+
+func TestModelClassCodeMentionsLayers(t *testing.T) {
+	code := modelClassCode(testArch())
+	for _, want := range []string{"fc1", "fc2", "Linear", "forward"} {
+		if !contains(code, want) {
+			t.Errorf("model class code missing %q", want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestDependencyFreezeRealistic(t *testing.T) {
+	deps := dependencyFreeze()
+	if len(deps) < 50 {
+		t.Fatalf("dependency freeze has %d entries, want a realistic pip freeze", len(deps))
+	}
+	found := false
+	for _, d := range deps {
+		if d == "torch==1.7.1" { // the paper's framework version
+			found = true
+		}
+	}
+	if !found {
+		t.Error("freeze does not pin the paper's framework version")
+	}
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"bytes"
+	"compress/zlib"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/mmm-go/mmm/internal/env"
+	"github.com/mmm-go/mmm/internal/hashing"
+	"github.com/mmm-go/mmm/internal/nn"
+)
+
+// Selective recovery implements the paper's motivating access pattern:
+// "We save every model ever generated for analytical and archival
+// purposes but only recover a selected number of models, for example,
+// after an accident." Recovering a handful of cell models out of a
+// 5000-model set should not require materializing the whole set; each
+// approach supports it with its own strategy:
+//
+//   - Baseline reads only the selected models' byte ranges out of the
+//     concatenated parameter blob (the file layout makes offsets a pure
+//     function of the architecture).
+//   - MMlibBase loads exactly the selected models' documents and blobs
+//     (the per-model layout's one genuine advantage).
+//   - Update recovers the selected models' base state recursively and
+//     applies only their diff segments, located by computed offsets.
+//   - Provenance recovers the selected models' base state recursively
+//     and re-executes only their trainings.
+
+// PartialRecovery is the result of recovering selected models: the
+// shared architecture plus the recovered models keyed by their index
+// in the original set.
+type PartialRecovery struct {
+	Arch   *nn.Architecture
+	Models map[int]*nn.Model
+}
+
+// PartialRecoverer is implemented by approaches that can recover a
+// subset of a saved set. All four approaches implement it.
+type PartialRecoverer interface {
+	// RecoverModels recovers the models at the given indices of the set
+	// saved under setID.
+	RecoverModels(setID string, indices []int) (*PartialRecovery, error)
+}
+
+// validateIndices checks the requested indices against the set size and
+// returns them deduplicated and sorted.
+func validateIndices(indices []int, numModels int) ([]int, error) {
+	if len(indices) == 0 {
+		return nil, fmt.Errorf("core: no model indices requested")
+	}
+	seen := make(map[int]bool, len(indices))
+	out := make([]int, 0, len(indices))
+	for _, i := range indices {
+		if i < 0 || i >= numModels {
+			return nil, fmt.Errorf("core: model index %d outside set of %d", i, numModels)
+		}
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// rangedModels reads the selected models out of a fullSave parameter
+// blob using ranged reads.
+func rangedModels(st Stores, blobPrefix string, meta setMeta, indices []int) (*PartialRecovery, error) {
+	arch, err := loadArchBlob(st, blobPrefix+"/"+meta.SetID+"/arch.json")
+	if err != nil {
+		return nil, err
+	}
+	perModel := int64(arch.ParamBytes())
+	key := blobPrefix + "/" + meta.SetID + "/params.bin"
+	out := &PartialRecovery{Arch: arch, Models: make(map[int]*nn.Model, len(indices))}
+	for _, idx := range indices {
+		raw, err := st.Blobs.GetRange(key, int64(idx)*perModel, perModel)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading model %d: %w", idx, err)
+		}
+		m, err := nn.NewModelUninitialized(arch)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := m.SetParamBytes(raw); err != nil {
+			return nil, fmt.Errorf("core: recovering model %d: %w", idx, err)
+		}
+		out.Models[idx] = m
+	}
+	return out, nil
+}
+
+// RecoverModels implements PartialRecoverer for Baseline.
+func (b *Baseline) RecoverModels(setID string, indices []int) (*PartialRecovery, error) {
+	meta, err := loadMeta(b.stores, baselineCollection, setID)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Approach != b.Name() {
+		return nil, fmt.Errorf("core: set %q was saved by %s, not Baseline", setID, meta.Approach)
+	}
+	idx, err := validateIndices(indices, meta.NumModels)
+	if err != nil {
+		return nil, err
+	}
+	return rangedModels(b.stores, baselineBlobPrefix, meta, idx)
+}
+
+// RecoverModels implements PartialRecoverer for MMlibBase.
+func (m *MMlibBase) RecoverModels(setID string, indices []int) (*PartialRecovery, error) {
+	meta, err := loadMeta(m.stores, mmlibSetCollection, setID)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Approach != m.Name() {
+		return nil, fmt.Errorf("core: set %q was saved by %s, not MMlib-base", setID, meta.Approach)
+	}
+	idx, err := validateIndices(indices, meta.NumModels)
+	if err != nil {
+		return nil, err
+	}
+	out := &PartialRecovery{Models: make(map[int]*nn.Model, len(idx))}
+	for _, i := range idx {
+		model, arch, err := m.recoverOne(setID, i)
+		if err != nil {
+			return nil, err
+		}
+		if out.Arch == nil {
+			out.Arch = arch
+		}
+		out.Models[i] = model
+	}
+	return out, nil
+}
+
+// recoverOne loads one model the MMlib way (all three documents plus
+// both blobs).
+func (m *MMlibBase) recoverOne(setID string, i int) (*nn.Model, *nn.Architecture, error) {
+	modelID := fmt.Sprintf("%s-m%05d", setID, i)
+	var mm modelMeta
+	if err := m.stores.Docs.Get(mmlibMetaCollection, modelID, &mm); err != nil {
+		return nil, nil, fmt.Errorf("core: loading metadata of model %d: %w", i, err)
+	}
+	var ed envDoc
+	if err := m.stores.Docs.Get(mmlibEnvCollection, mm.EnvDocID, &ed); err != nil {
+		return nil, nil, fmt.Errorf("core: loading env of model %d: %w", i, err)
+	}
+	var cd codeDoc
+	if err := m.stores.Docs.Get(mmlibCodeCollection, mm.CodeDocID, &cd); err != nil {
+		return nil, nil, fmt.Errorf("core: loading code of model %d: %w", i, err)
+	}
+	arch, err := loadArchBlob(m.stores, fmt.Sprintf("%s/%s/%d/arch.json", mmlibBlobPrefix, setID, i))
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: loading arch of model %d: %w", i, err)
+	}
+	raw, err := m.stores.Blobs.Get(fmt.Sprintf("%s/%s/%d/params.bin", mmlibBlobPrefix, setID, i))
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: loading params of model %d: %w", i, err)
+	}
+	model, err := nn.NewModelUninitialized(arch)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := unframeParams(model, raw); err != nil {
+		return nil, nil, fmt.Errorf("core: parsing params of model %d: %w", i, err)
+	}
+	return model, arch, nil
+}
+
+// paramByteSizes returns the byte size of each parameter tensor in
+// dictionary order — what locating a diff entry inside the blob needs.
+func paramByteSizes(arch *nn.Architecture) []int {
+	var sizes []int
+	for _, l := range arch.Layers {
+		switch l.Kind {
+		case nn.KindLinear:
+			sizes = append(sizes, 4*l.In*l.Out, 4*l.Out)
+		case nn.KindConv2D:
+			sizes = append(sizes, 4*l.InChannels*l.OutChannels*l.Kernel*l.Kernel, 4*l.OutChannels)
+		}
+	}
+	return sizes
+}
+
+// RecoverModels implements PartialRecoverer for Update.
+func (u *Update) RecoverModels(setID string, indices []int) (*PartialRecovery, error) {
+	meta, err := loadMeta(u.stores, updateCollection, setID)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Approach != u.Name() {
+		return nil, fmt.Errorf("core: set %q was saved by %s, not Update", setID, meta.Approach)
+	}
+	idx, err := validateIndices(indices, meta.NumModels)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Kind == "full" {
+		return rangedModels(u.stores, updateBlobPrefix, meta, idx)
+	}
+
+	base, err := u.RecoverModels(meta.Base, idx)
+	if err != nil {
+		return nil, fmt.Errorf("core: recovering base of %q: %w", setID, err)
+	}
+
+	var diff diffDoc
+	if err := u.stores.Docs.Get(updateDiffCollection, setID, &diff); err != nil {
+		return nil, fmt.Errorf("core: loading diff list: %w", err)
+	}
+	var stored hashDoc
+	if err := u.stores.Docs.Get(updateHashCollection, setID, &stored); err != nil {
+		return nil, fmt.Errorf("core: loading hash info: %w", err)
+	}
+
+	wanted := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		wanted[i] = true
+	}
+	sizes := paramByteSizes(base.Arch)
+	blobKey := updateBlobPrefix + "/" + setID + "/diff.bin"
+
+	// A compressed blob has no stable offsets; fall back to reading and
+	// decompressing it whole. Uncompressed blobs support ranged reads.
+	var whole []byte
+	if diff.Compressed {
+		raw, err := u.stores.Blobs.Get(blobKey)
+		if err != nil {
+			return nil, fmt.Errorf("core: loading diff blob: %w", err)
+		}
+		zr, err := zlib.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("core: opening compressed diff blob: %w", err)
+		}
+		if whole, err = io.ReadAll(zr); err != nil {
+			return nil, fmt.Errorf("core: decompressing diff blob: %w", err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	var off int64
+	for _, e := range diff.Entries {
+		if e.P < 0 || e.P >= len(sizes) {
+			return nil, fmt.Errorf("core: diff references parameter %d of model %d", e.P, e.M)
+		}
+		size := int64(sizes[e.P])
+		if wanted[e.M] {
+			var segment []byte
+			if whole != nil {
+				if off+size > int64(len(whole)) {
+					return nil, fmt.Errorf("core: diff blob truncated at model %d", e.M)
+				}
+				segment = whole[off : off+size]
+			} else {
+				var err error
+				segment, err = u.stores.Blobs.GetRange(blobKey, off, size)
+				if err != nil {
+					return nil, fmt.Errorf("core: reading diff of model %d: %w", e.M, err)
+				}
+			}
+			model, ok := base.Models[e.M]
+			if !ok {
+				return nil, fmt.Errorf("core: base recovery missing model %d", e.M)
+			}
+			t := model.Params()[e.P].Tensor
+			if diff.Delta {
+				if _, err := t.XORFromBytes(segment); err != nil {
+					return nil, fmt.Errorf("core: applying diff for model %d param %d: %w", e.M, e.P, err)
+				}
+			} else if _, err := t.SetFromBytes(segment); err != nil {
+				return nil, fmt.Errorf("core: applying diff for model %d param %d: %w", e.M, e.P, err)
+			}
+			if got := hashing.Tensor(t); e.M < len(stored.Models) && e.P < len(stored.Models[e.M]) &&
+				got != stored.Models[e.M][e.P] {
+				return nil, fmt.Errorf("core: model %d param %d hash mismatch after applying diff", e.M, e.P)
+			}
+		}
+		off += size
+	}
+	return base, nil
+}
+
+// RecoverModels implements PartialRecoverer for Provenance.
+func (p *Provenance) RecoverModels(setID string, indices []int) (*PartialRecovery, error) {
+	meta, err := loadMeta(p.stores, provenanceCollection, setID)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Approach != p.Name() {
+		return nil, fmt.Errorf("core: set %q was saved by %s, not Provenance", setID, meta.Approach)
+	}
+	idx, err := validateIndices(indices, meta.NumModels)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Kind == "full" {
+		return rangedModels(p.stores, provenanceBlobPrefix, meta, idx)
+	}
+
+	base, err := p.RecoverModels(meta.Base, idx)
+	if err != nil {
+		return nil, fmt.Errorf("core: recovering base of %q: %w", setID, err)
+	}
+	var train TrainInfo
+	if err := p.stores.Docs.Get(provenanceTrainCollection, setID, &train); err != nil {
+		return nil, fmt.Errorf("core: loading training info: %w", err)
+	}
+	if current := env.Capture(); !train.Environment.Equal(current) {
+		return nil, fmt.Errorf("core: recorded environment does not match current; provenance recovery would not reproduce the saved models")
+	}
+	var updates updatesDoc
+	if err := p.stores.Docs.Get(provenanceUpdateCollection, setID, &updates); err != nil {
+		return nil, fmt.Errorf("core: loading update records: %w", err)
+	}
+	wanted := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		wanted[i] = true
+	}
+	for _, u := range updates.Updates {
+		if !wanted[u.ModelIndex] {
+			continue
+		}
+		data, err := p.stores.Datasets.Materialize(u.DatasetID)
+		if err != nil {
+			return nil, fmt.Errorf("core: resolving dataset of model %d: %w", u.ModelIndex, err)
+		}
+		cfg := train.Config
+		cfg.Seed = u.Seed
+		cfg.TrainLayers = u.TrainLayers
+		if _, err := nn.Train(base.Models[u.ModelIndex], data, cfg); err != nil {
+			return nil, fmt.Errorf("core: re-training model %d: %w", u.ModelIndex, err)
+		}
+	}
+	return base, nil
+}

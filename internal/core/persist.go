@@ -1,0 +1,159 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"github.com/mmm-go/mmm/internal/nn"
+)
+
+// setMeta is the per-set metadata document shared by all approaches.
+// For the full-snapshot approaches this is the *only* metadata saved
+// for the whole set — the core of optimization O1.
+type setMeta struct {
+	SetID      string `json:"set_id"`
+	Approach   string `json:"approach"`
+	Kind       string `json:"kind"` // "full" or "derived"
+	Base       string `json:"base,omitempty"`
+	Depth      int    `json:"depth"` // recovery-chain length; 0 for full saves
+	ArchName   string `json:"arch_name"`
+	NumModels  int    `json:"num_models"`
+	ParamCount int    `json:"param_count"`
+}
+
+// idAllocator hands out sequential set IDs per approach, resuming from
+// whatever is already stored (so reopened on-disk stores keep counting).
+type idAllocator struct {
+	mu     sync.Mutex
+	prefix string
+	next   int
+	inited bool
+}
+
+func (a *idAllocator) allocate(existing []string) string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.inited {
+		a.next = len(existing) + 1
+		a.inited = true
+	}
+	id := fmt.Sprintf("%s-%06d", a.prefix, a.next)
+	a.next++
+	return id
+}
+
+// concatParams serializes all models' parameters back to back — one
+// binary artifact for the whole set. This is Baseline's central move:
+// "we iterate over all models, concatenate the floating-point numbers
+// representing the parameters, and save them to one binary file".
+func concatParams(set *ModelSet) []byte {
+	perModel := set.Arch.ParamBytes()
+	buf := make([]byte, 0, perModel*len(set.Models))
+	for _, m := range set.Models {
+		buf = m.AppendParamBytes(buf)
+	}
+	return buf
+}
+
+// buildSetFromParams reconstructs n models of arch by reading their
+// parameters sequentially from one concatenated binary buffer: "we read
+// the parameters sequentially from the parameter file to fully recover
+// all models".
+func buildSetFromParams(arch *nn.Architecture, n int, data []byte) (*ModelSet, error) {
+	perModel := arch.ParamBytes()
+	if len(data) != perModel*n {
+		return nil, fmt.Errorf("core: parameter blob has %d bytes, want %d (%d models × %d)",
+			len(data), perModel*n, n, perModel)
+	}
+	set := &ModelSet{Arch: arch, Models: make([]*nn.Model, n)}
+	for i := 0; i < n; i++ {
+		m, err := nn.NewModelUninitialized(arch)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := m.SetParamBytes(data[i*perModel : (i+1)*perModel]); err != nil {
+			return nil, fmt.Errorf("core: recovering model %d: %w", i, err)
+		}
+		set.Models[i] = m
+	}
+	return set, nil
+}
+
+// saveArchBlob persists the (single, shared) architecture definition.
+func saveArchBlob(st Stores, key string, arch *nn.Architecture) error {
+	blob, err := json.Marshal(arch)
+	if err != nil {
+		return fmt.Errorf("core: marshaling architecture: %w", err)
+	}
+	if err := st.Blobs.Put(key, blob); err != nil {
+		return fmt.Errorf("core: writing architecture: %w", err)
+	}
+	return nil
+}
+
+// loadArchBlob reads an architecture definition back.
+func loadArchBlob(st Stores, key string) (*nn.Architecture, error) {
+	blob, err := st.Blobs.Get(key)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading architecture: %w", err)
+	}
+	var arch nn.Architecture
+	if err := json.Unmarshal(blob, &arch); err != nil {
+		return nil, fmt.Errorf("core: parsing architecture: %w", err)
+	}
+	if err := arch.Validate(); err != nil {
+		return nil, fmt.Errorf("core: stored architecture invalid: %w", err)
+	}
+	return &arch, nil
+}
+
+// fullSave implements "Baseline's logic": one metadata document, one
+// architecture blob, one concatenated parameter blob. Update and
+// Provenance reuse it for their initial sets. extend, when non-nil, may
+// mutate the metadata document before it is written.
+func fullSave(st Stores, collection, blobPrefix, approach, setID string, req SaveRequest, extend func(*setMeta)) error {
+	meta := setMeta{
+		SetID:      setID,
+		Approach:   approach,
+		Kind:       "full",
+		ArchName:   req.Set.Arch.Name,
+		NumModels:  len(req.Set.Models),
+		ParamCount: req.Set.Arch.ParamCount(),
+	}
+	if extend != nil {
+		extend(&meta)
+	}
+	if err := saveArchBlob(st, blobPrefix+"/"+setID+"/arch.json", req.Set.Arch); err != nil {
+		return err
+	}
+	if err := st.Blobs.Put(blobPrefix+"/"+setID+"/params.bin", concatParams(req.Set)); err != nil {
+		return fmt.Errorf("core: writing parameters: %w", err)
+	}
+	if err := st.Docs.Insert(collection, setID, meta); err != nil {
+		return fmt.Errorf("core: writing metadata: %w", err)
+	}
+	return nil
+}
+
+// fullRecover reverses fullSave.
+func fullRecover(st Stores, blobPrefix string, meta setMeta) (*ModelSet, error) {
+	arch, err := loadArchBlob(st, blobPrefix+"/"+meta.SetID+"/arch.json")
+	if err != nil {
+		return nil, err
+	}
+	data, err := st.Blobs.Get(blobPrefix + "/" + meta.SetID + "/params.bin")
+	if err != nil {
+		return nil, fmt.Errorf("core: reading parameters: %w", err)
+	}
+	return buildSetFromParams(arch, meta.NumModels, data)
+}
+
+// loadMeta fetches a set's metadata document.
+func loadMeta(st Stores, collection, setID string) (setMeta, error) {
+	var meta setMeta
+	if err := st.Docs.Get(collection, setID, &meta); err != nil {
+		return setMeta{}, fmt.Errorf("core: loading metadata of %q: %w", setID, err)
+	}
+	return meta, nil
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/mmm-go/mmm/internal/env"
+	"github.com/mmm-go/mmm/internal/nn"
+	"github.com/mmm-go/mmm/internal/tensor"
+)
+
+// Provenance is the paper's provenance approach: derived model sets are
+// represented by the information needed to reproduce their training
+// rather than by parameters. Per derived set it saves the model
+// metadata, the training info, and the environment exactly once, plus
+// one dataset *reference* per updated model (optimization O2: the
+// pipeline information is not duplicated per model, and the training
+// data — which exists anyway — is referenced, not copied).
+//
+// Recovery is recursive and compute-bound: recover the base set, then
+// "update every model by deterministically repeating its training on
+// the associated dataset". Because this library's trainer is
+// bit-deterministic, recovery is exact.
+type Provenance struct {
+	stores Stores
+	ids    idAllocator
+
+	// RecoveryBudget, when non-nil, caps the retraining work during
+	// recovery — the paper's own measurement trick ("we — exclusively
+	// for this approach — only train one model with reduced data per
+	// iteration. This leads to the same trends for the TTR"). Budgeted
+	// recovery preserves timing shape but is NOT exact; leave nil for
+	// correct recovery.
+	RecoveryBudget *RecoveryBudget
+	// SnapshotInterval k > 0 forces a full snapshot whenever the
+	// recovery chain would otherwise grow to k, bounding the recursive
+	// retraining exactly like Update's snapshots bound its diff chains
+	// (§2.2's intermediate-snapshot remedy applied to provenance).
+	// 0 disables snapshots (the paper's evaluated configuration).
+	SnapshotInterval int
+}
+
+// RecoveryBudget bounds provenance retraining during recovery.
+type RecoveryBudget struct {
+	// MaxUpdatesPerSet caps how many recorded updates are re-executed
+	// per derived set (0 = all).
+	MaxUpdatesPerSet int
+	// MaxSamples truncates each training dataset (0 = full data).
+	MaxSamples int
+	// MaxEpochs caps the epochs of each re-executed training
+	// (0 = recorded value).
+	MaxEpochs int
+}
+
+// Collections and blob namespace of Provenance.
+const (
+	provenanceCollection       = "provenance_sets"
+	provenanceTrainCollection  = "provenance_train"
+	provenanceUpdateCollection = "provenance_updates"
+	provenanceBlobPrefix       = "provenance"
+)
+
+// NewProvenance returns a Provenance approach over the given stores.
+func NewProvenance(stores Stores) *Provenance {
+	return &Provenance{stores: stores, ids: idAllocator{prefix: "pv"}}
+}
+
+// Name implements Approach.
+func (p *Provenance) Name() string { return "Provenance" }
+
+// updatesDoc persists the per-model update records of one derived set.
+type updatesDoc struct {
+	Updates []ModelUpdate `json:"updates"`
+}
+
+// Save implements Approach. Initial sets are saved with Baseline's
+// logic (complete representations); derived sets save provenance only.
+func (p *Provenance) Save(req SaveRequest) (SaveResult, error) {
+	if err := validateSave(req); err != nil {
+		return SaveResult{}, err
+	}
+	startBytes := p.stores.writtenBytes()
+	startOps := p.stores.writeOps()
+
+	existing, err := p.stores.Docs.IDs(provenanceCollection)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	setID := p.ids.allocate(existing)
+
+	full := req.Base == ""
+	if !full && p.SnapshotInterval > 0 {
+		baseMeta, err := loadMeta(p.stores, provenanceCollection, req.Base)
+		if err != nil {
+			return SaveResult{}, fmt.Errorf("core: provenance save: %w", err)
+		}
+		if baseMeta.Depth+1 >= p.SnapshotInterval {
+			// Cut the retraining chain with a full snapshot.
+			full = true
+		}
+	}
+	if full {
+		if err := fullSave(p.stores, provenanceCollection, provenanceBlobPrefix, p.Name(), setID, req, nil); err != nil {
+			return SaveResult{}, err
+		}
+	} else {
+		if err := p.saveDerived(setID, req); err != nil {
+			return SaveResult{}, err
+		}
+	}
+	return SaveResult{
+		SetID:        setID,
+		BytesWritten: p.stores.writtenBytes() - startBytes,
+		WriteOps:     p.stores.writeOps() - startOps,
+	}, nil
+}
+
+func (p *Provenance) saveDerived(setID string, req SaveRequest) error {
+	if req.Train == nil {
+		return fmt.Errorf("core: provenance save of a derived set requires training info")
+	}
+	if err := req.Train.Config.Validate(); err != nil {
+		return fmt.Errorf("core: provenance training config: %w", err)
+	}
+	baseMeta, err := loadMeta(p.stores, provenanceCollection, req.Base)
+	if err != nil {
+		return fmt.Errorf("core: provenance save: %w", err)
+	}
+	if baseMeta.NumModels != len(req.Set.Models) {
+		return fmt.Errorf("core: provenance save: base has %d models, set has %d",
+			baseMeta.NumModels, len(req.Set.Models))
+	}
+	// Saving provenance that cannot be resolved would make the set
+	// unrecoverable; fail fast instead.
+	for _, u := range req.Updates {
+		if _, err := p.stores.Datasets.Spec(u.DatasetID); err != nil {
+			return fmt.Errorf("core: provenance save: update of model %d: %w", u.ModelIndex, err)
+		}
+	}
+
+	// Training info and environment once per set, references per model.
+	if err := p.stores.Docs.Insert(provenanceTrainCollection, setID, req.Train); err != nil {
+		return fmt.Errorf("core: writing training info: %w", err)
+	}
+	if err := p.stores.Docs.Insert(provenanceUpdateCollection, setID, updatesDoc{Updates: req.Updates}); err != nil {
+		return fmt.Errorf("core: writing update records: %w", err)
+	}
+	meta := setMeta{
+		SetID: setID, Approach: p.Name(), Kind: "derived",
+		Base: req.Base, Depth: baseMeta.Depth + 1,
+		ArchName: req.Set.Arch.Name, NumModels: len(req.Set.Models),
+		ParamCount: req.Set.Arch.ParamCount(),
+	}
+	if err := p.stores.Docs.Insert(provenanceCollection, setID, meta); err != nil {
+		return fmt.Errorf("core: writing metadata: %w", err)
+	}
+	return nil
+}
+
+// Recover implements Approach.
+func (p *Provenance) Recover(setID string) (*ModelSet, error) {
+	meta, err := loadMeta(p.stores, provenanceCollection, setID)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Approach != p.Name() {
+		return nil, fmt.Errorf("core: set %q was saved by %s, not Provenance", setID, meta.Approach)
+	}
+	if meta.Kind == "full" {
+		return fullRecover(p.stores, provenanceBlobPrefix, meta)
+	}
+
+	set, err := p.Recover(meta.Base)
+	if err != nil {
+		return nil, fmt.Errorf("core: recovering base of %q: %w", setID, err)
+	}
+
+	var train TrainInfo
+	if err := p.stores.Docs.Get(provenanceTrainCollection, setID, &train); err != nil {
+		return nil, fmt.Errorf("core: loading training info: %w", err)
+	}
+	// Exact reproduction is only defined for a matching environment.
+	if current := env.Capture(); !train.Environment.Equal(current) {
+		return nil, fmt.Errorf("core: recorded environment (%s/%s, %s) does not match current (%s/%s, %s); provenance recovery would not reproduce the saved models",
+			train.Environment.OS, train.Environment.Arch, train.Environment.FrameworkVer,
+			current.OS, current.Arch, current.FrameworkVer)
+	}
+	var updates updatesDoc
+	if err := p.stores.Docs.Get(provenanceUpdateCollection, setID, &updates); err != nil {
+		return nil, fmt.Errorf("core: loading update records: %w", err)
+	}
+
+	todo := updates.Updates
+	if b := p.RecoveryBudget; b != nil && b.MaxUpdatesPerSet > 0 && len(todo) > b.MaxUpdatesPerSet {
+		todo = todo[:b.MaxUpdatesPerSet]
+	}
+	for _, u := range todo {
+		if u.ModelIndex < 0 || u.ModelIndex >= len(set.Models) {
+			return nil, fmt.Errorf("core: update record references model %d outside set of %d",
+				u.ModelIndex, len(set.Models))
+		}
+		data, err := p.stores.Datasets.Materialize(u.DatasetID)
+		if err != nil {
+			return nil, fmt.Errorf("core: resolving dataset of model %d: %w", u.ModelIndex, err)
+		}
+		cfg := train.Config
+		cfg.Seed = u.Seed
+		cfg.TrainLayers = u.TrainLayers
+
+		var trainData nn.Data = data
+		if b := p.RecoveryBudget; b != nil {
+			if b.MaxSamples > 0 && data.Len() > b.MaxSamples {
+				trainData = truncatedData{data: data, n: b.MaxSamples}
+			}
+			if b.MaxEpochs > 0 && cfg.Epochs > b.MaxEpochs {
+				cfg.Epochs = b.MaxEpochs
+			}
+		}
+		if _, err := nn.Train(set.Models[u.ModelIndex], trainData, cfg); err != nil {
+			return nil, fmt.Errorf("core: re-training model %d: %w", u.ModelIndex, err)
+		}
+	}
+	return set, nil
+}
+
+// SetIDs lists all sets saved by this approach, in save order.
+func (p *Provenance) SetIDs() ([]string, error) {
+	return p.stores.Docs.IDs(provenanceCollection)
+}
+
+// ChainDepth returns the recovery-chain length of setID.
+func (p *Provenance) ChainDepth(setID string) (int, error) {
+	meta, err := loadMeta(p.stores, provenanceCollection, setID)
+	if err != nil {
+		return 0, err
+	}
+	return meta.Depth, nil
+}
+
+// truncatedData exposes only the first n samples of data.
+type truncatedData struct {
+	data nn.Data
+	n    int
+}
+
+// Len implements nn.Data.
+func (t truncatedData) Len() int { return t.n }
+
+// Sample implements nn.Data.
+func (t truncatedData) Sample(i int) (*tensor.Tensor, *tensor.Tensor) {
+	return t.data.Sample(i)
+}

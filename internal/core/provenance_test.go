@@ -1,0 +1,251 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/nn"
+)
+
+// saveProvenanceChain mirrors saveUpdateChain for the Provenance
+// approach: U1 + cycles×U3 with real (small) deterministic training.
+func saveProvenanceChain(t *testing.T, p *Provenance, st Stores, cycles int) (ids []string, truths []*ModelSet) {
+	t.Helper()
+	set := mustNewSet(t, 6)
+	res := mustSave(t, p, SaveRequest{Set: set})
+	ids = append(ids, res.SetID)
+	truths = append(truths, set.Clone())
+	for c := 1; c <= cycles; c++ {
+		updates := runCycle(t, set, st.Datasets, c, []int{c % 6}, []int{(c + 2) % 6})
+		res = mustSave(t, p, SaveRequest{
+			Set: set, Base: ids[len(ids)-1], Updates: updates, Train: testTrainInfo(),
+		})
+		ids = append(ids, res.SetID)
+		truths = append(truths, set.Clone())
+	}
+	return ids, truths
+}
+
+func TestProvenanceRecoveryIsBitExact(t *testing.T) {
+	// The headline property: recovery by re-training reproduces the
+	// saved models exactly, across a chain of derived sets.
+	st := NewMemStores()
+	p := NewProvenance(st)
+	ids, truths := saveProvenanceChain(t, p, st, 3)
+	for i, id := range ids {
+		got := mustRecover(t, p, id)
+		if !truths[i].Equal(got) {
+			t.Fatalf("set %d (%s): provenance recovery is not bit-exact", i, id)
+		}
+	}
+}
+
+func TestProvenanceDerivedSavesTiny(t *testing.T) {
+	st := NewMemStores()
+	p := NewProvenance(st)
+	set := mustNewSetArch(t, nn.FFNN48(), 20)
+	resFull := mustSave(t, p, SaveRequest{Set: set})
+
+	updates := runCycle(t, set, st.Datasets, 1, []int{0, 1}, []int{2})
+	resDerived := mustSave(t, p, SaveRequest{
+		Set: set, Base: resFull.SetID, Updates: updates, Train: testTrainInfo(),
+	})
+	// The paper: Provenance U3 storage is ~99.8% below the snapshot
+	// approaches. With 20 (instead of 5000) FFNN-48 models the fixed
+	// provenance payload weighs relatively more, but the derived save
+	// must still be a small fraction of the full snapshot.
+	if resDerived.BytesWritten*20 > resFull.BytesWritten {
+		t.Fatalf("derived provenance save (%d B) not ≤ 5%% of full save (%d B)",
+			resDerived.BytesWritten, resFull.BytesWritten)
+	}
+	// And independent of the parameter payload: no blob writes at all.
+	var diff int64
+	if ids, err := st.Blobs.Keys(); err == nil {
+		for _, k := range ids {
+			if strings.Contains(k, resDerived.SetID) {
+				diff++
+			}
+		}
+	}
+	if diff != 0 {
+		t.Fatalf("derived provenance save wrote %d blobs, want 0", diff)
+	}
+}
+
+func TestProvenanceDerivedRequiresTrainInfo(t *testing.T) {
+	st := NewMemStores()
+	p := NewProvenance(st)
+	set := mustNewSet(t, 3)
+	res := mustSave(t, p, SaveRequest{Set: set})
+	updates := runCycle(t, set, st.Datasets, 1, []int{0}, nil)
+	if _, err := p.Save(SaveRequest{Set: set, Base: res.SetID, Updates: updates}); err == nil {
+		t.Fatal("derived provenance save without training info accepted")
+	}
+}
+
+func TestProvenanceRejectsUnknownDatasetRef(t *testing.T) {
+	st := NewMemStores()
+	p := NewProvenance(st)
+	set := mustNewSet(t, 3)
+	res := mustSave(t, p, SaveRequest{Set: set})
+	bad := []ModelUpdate{{ModelIndex: 0, DatasetID: "ds-unknown", Seed: 1}}
+	_, err := p.Save(SaveRequest{Set: set, Base: res.SetID, Updates: bad, Train: testTrainInfo()})
+	if err == nil {
+		t.Fatal("provenance save with unresolvable dataset reference accepted")
+	}
+}
+
+func TestProvenanceRejectsInvalidTrainConfig(t *testing.T) {
+	st := NewMemStores()
+	p := NewProvenance(st)
+	set := mustNewSet(t, 3)
+	res := mustSave(t, p, SaveRequest{Set: set})
+	info := testTrainInfo()
+	info.Config.Epochs = 0
+	if _, err := p.Save(SaveRequest{Set: set, Base: res.SetID, Train: info}); err == nil {
+		t.Fatal("invalid training config accepted")
+	}
+}
+
+func TestProvenanceEnvironmentMismatchRefused(t *testing.T) {
+	st := NewMemStores()
+	p := NewProvenance(st)
+	ids, _ := saveProvenanceChain(t, p, st, 1)
+
+	// Forge a training document recorded on an incompatible environment.
+	var train TrainInfo
+	if err := st.Docs.Get(provenanceTrainCollection, ids[1], &train); err != nil {
+		t.Fatal(err)
+	}
+	train.Environment.FrameworkVer = "nn-0.0.1-incompatible"
+	if err := st.Docs.Insert(provenanceTrainCollection, ids[1], train); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.Recover(ids[1])
+	if err == nil || !strings.Contains(err.Error(), "environment") {
+		t.Fatalf("environment mismatch not refused: %v", err)
+	}
+}
+
+func TestProvenanceRecoveryBudgetRunsButInexact(t *testing.T) {
+	st := NewMemStores()
+	p := NewProvenance(st)
+	ids, truths := saveProvenanceChain(t, p, st, 2)
+
+	p.RecoveryBudget = &RecoveryBudget{MaxUpdatesPerSet: 1, MaxSamples: 10, MaxEpochs: 1}
+	got, err := p.Recover(ids[2])
+	if err != nil {
+		t.Fatalf("budgeted recovery failed: %v", err)
+	}
+	if got.Len() != truths[2].Len() {
+		t.Fatal("budgeted recovery changed set size")
+	}
+	// The budget trades exactness for speed (the paper's own reduced
+	// training); with 2 updates per cycle and budget 1 the result must
+	// differ from the truth.
+	if truths[2].Equal(got) {
+		t.Fatal("budgeted recovery unexpectedly exact — budget had no effect")
+	}
+
+	p.RecoveryBudget = nil
+	exact := mustRecover(t, p, ids[2])
+	if !truths[2].Equal(exact) {
+		t.Fatal("unbudgeted recovery no longer exact")
+	}
+}
+
+func TestProvenanceChainDepth(t *testing.T) {
+	st := NewMemStores()
+	p := NewProvenance(st)
+	ids, _ := saveProvenanceChain(t, p, st, 2)
+	for i, id := range ids {
+		depth, err := p.ChainDepth(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if depth != i {
+			t.Errorf("set %s depth = %d, want %d", id, depth, i)
+		}
+	}
+}
+
+func TestProvenanceRecoverUnknownSet(t *testing.T) {
+	p := NewProvenance(NewMemStores())
+	if _, err := p.Recover("pv-404"); err == nil {
+		t.Fatal("unknown set recovered")
+	}
+}
+
+func TestProvenanceDeletedUpdateDocDetected(t *testing.T) {
+	st := NewMemStores()
+	p := NewProvenance(st)
+	ids, _ := saveProvenanceChain(t, p, st, 1)
+	if err := st.Docs.Delete(provenanceUpdateCollection, ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Recover(ids[1]); err == nil {
+		t.Fatal("set with missing update records recovered")
+	}
+}
+
+func TestProvenanceSnapshotIntervalBoundsChain(t *testing.T) {
+	st := NewMemStores()
+	p := NewProvenance(st)
+	p.SnapshotInterval = 2
+
+	set := mustNewSet(t, 6)
+	res := mustSave(t, p, SaveRequest{Set: set})
+	ids := []string{res.SetID}
+	truths := []*ModelSet{set.Clone()}
+	for c := 1; c <= 4; c++ {
+		updates := runCycle(t, set, st.Datasets, c, []int{c % 6}, nil)
+		res = mustSave(t, p, SaveRequest{
+			Set: set, Base: ids[len(ids)-1], Updates: updates, Train: testTrainInfo(),
+		})
+		ids = append(ids, res.SetID)
+		truths = append(truths, set.Clone())
+	}
+	for i, id := range ids {
+		depth, err := p.ChainDepth(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if depth >= p.SnapshotInterval {
+			t.Errorf("set %s depth = %d, exceeds snapshot interval", id, depth)
+		}
+		got := mustRecover(t, p, id)
+		if !truths[i].Equal(got) {
+			t.Errorf("set %d recovered incorrectly with snapshots", i)
+		}
+	}
+}
+
+func TestProvenanceDeepChain(t *testing.T) {
+	// Chains well beyond the paper's 3 cycles recover exactly.
+	st := NewMemStores()
+	p := NewProvenance(st)
+	set := mustNewSet(t, 4)
+	res := mustSave(t, p, SaveRequest{Set: set})
+	base := res.SetID
+	for c := 1; c <= 10; c++ {
+		updates := runCycle(t, set, st.Datasets, c, []int{c % 4}, nil)
+		r, err := p.Save(SaveRequest{
+			Set: set, Base: base, Updates: updates, Train: testTrainInfo(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base = r.SetID
+	}
+	depth, err := p.ChainDepth(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth != 10 {
+		t.Fatalf("depth = %d, want 10", depth)
+	}
+	got := mustRecover(t, p, base)
+	if !set.Equal(got) {
+		t.Fatal("10-level provenance chain not bit-exact")
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Retention: the paper archives every set ever generated, but a real
+// deployment eventually expires old archives. Pruning must respect
+// recovery chains — a derived Update or Provenance set is only
+// recoverable while its whole base chain exists — so Prune expands the
+// keep list to its chain closure before deleting anything.
+
+// PruneReport summarizes a prune operation.
+type PruneReport struct {
+	// Kept lists the sets that remain, including bases added to keep
+	// chains recoverable.
+	Kept []string
+	// Deleted lists the removed sets.
+	Deleted []string
+	// FreedBytes is the storage released from both stores.
+	FreedBytes int64
+}
+
+// Pruner is implemented by approaches that can expire saved sets.
+type Pruner interface {
+	// Prune deletes every saved set not needed to recover the sets in
+	// keep. Bases of kept derived sets are retained automatically.
+	Prune(keep []string) (*PruneReport, error)
+}
+
+// chainCloser returns the base of a set ("" for full saves); pruning
+// uses it to close keep lists over recovery chains.
+type chainCloser func(setID string) (base string, err error)
+
+// closeOverChains expands keep with every base reachable from it.
+func closeOverChains(keep []string, baseOf chainCloser) (map[string]bool, error) {
+	kept := map[string]bool{}
+	var walk func(id string) error
+	walk = func(id string) error {
+		if kept[id] {
+			return nil
+		}
+		kept[id] = true
+		base, err := baseOf(id)
+		if err != nil {
+			return err
+		}
+		if base != "" {
+			return walk(base)
+		}
+		return nil
+	}
+	for _, id := range keep {
+		if err := walk(id); err != nil {
+			return nil, err
+		}
+	}
+	return kept, nil
+}
+
+// pruneSets removes all sets of one approach except the closure of
+// keep. deleteSet must remove every artifact of one set and return the
+// bytes it freed.
+func pruneSets(all []string, keep []string, baseOf chainCloser,
+	deleteSet func(setID string) (int64, error)) (*PruneReport, error) {
+
+	for _, id := range keep {
+		found := false
+		for _, a := range all {
+			if a == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: cannot keep unknown set %q", id)
+		}
+	}
+	kept, err := closeOverChains(keep, baseOf)
+	if err != nil {
+		return nil, err
+	}
+	report := &PruneReport{}
+	for id := range kept {
+		report.Kept = append(report.Kept, id)
+	}
+	sort.Strings(report.Kept)
+	for _, id := range all {
+		if kept[id] {
+			continue
+		}
+		freed, err := deleteSet(id)
+		if err != nil {
+			return nil, fmt.Errorf("core: pruning %q: %w", id, err)
+		}
+		report.Deleted = append(report.Deleted, id)
+		report.FreedBytes += freed
+	}
+	sort.Strings(report.Deleted)
+	return report, nil
+}
+
+// deleteDocs removes documents for setID from the listed collections,
+// summing freed bytes.
+func deleteDocs(st Stores, setID string, collections ...string) (int64, error) {
+	var freed int64
+	for _, c := range collections {
+		if size, err := st.Docs.Size(c, setID); err == nil {
+			freed += size
+		}
+		if err := st.Docs.Delete(c, setID); err != nil {
+			return freed, err
+		}
+	}
+	return freed, nil
+}
+
+// deleteBlobsWithPrefix removes all blobs under prefix, summing freed
+// bytes.
+func deleteBlobsWithPrefix(st Stores, prefix string) (int64, error) {
+	keys, err := st.Blobs.Keys()
+	if err != nil {
+		return 0, err
+	}
+	var freed int64
+	for _, k := range keys {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		if size, err := st.Blobs.Size(k); err == nil {
+			freed += size
+		}
+		if err := st.Blobs.Delete(k); err != nil {
+			return freed, err
+		}
+	}
+	return freed, nil
+}
+
+// Prune implements Pruner for Baseline. Baseline sets are independent,
+// so the keep list needs no chain closure.
+func (b *Baseline) Prune(keep []string) (*PruneReport, error) {
+	all, err := b.SetIDs()
+	if err != nil {
+		return nil, err
+	}
+	return pruneSets(all, keep,
+		func(string) (string, error) { return "", nil },
+		func(id string) (int64, error) {
+			freed, err := deleteDocs(b.stores, id, baselineCollection)
+			if err != nil {
+				return freed, err
+			}
+			blobFreed, err := deleteBlobsWithPrefix(b.stores, baselineBlobPrefix+"/"+id+"/")
+			return freed + blobFreed, err
+		})
+}
+
+// Prune implements Pruner for MMlibBase.
+func (m *MMlibBase) Prune(keep []string) (*PruneReport, error) {
+	all, err := m.SetIDs()
+	if err != nil {
+		return nil, err
+	}
+	return pruneSets(all, keep,
+		func(string) (string, error) { return "", nil },
+		func(id string) (int64, error) {
+			meta, err := loadMeta(m.stores, mmlibSetCollection, id)
+			if err != nil {
+				return 0, err
+			}
+			freed, err := deleteDocs(m.stores, id, mmlibSetCollection)
+			if err != nil {
+				return freed, err
+			}
+			for i := 0; i < meta.NumModels; i++ {
+				modelID := fmt.Sprintf("%s-m%05d", id, i)
+				f, err := deleteDocs(m.stores, modelID,
+					mmlibMetaCollection, mmlibEnvCollection, mmlibCodeCollection)
+				freed += f
+				if err != nil {
+					return freed, err
+				}
+			}
+			blobFreed, err := deleteBlobsWithPrefix(m.stores, mmlibBlobPrefix+"/"+id+"/")
+			return freed + blobFreed, err
+		})
+}
+
+// Prune implements Pruner for Update: bases of kept derived sets are
+// retained so their diff chains stay recoverable.
+func (u *Update) Prune(keep []string) (*PruneReport, error) {
+	all, err := u.SetIDs()
+	if err != nil {
+		return nil, err
+	}
+	return pruneSets(all, keep,
+		func(id string) (string, error) {
+			meta, err := loadMeta(u.stores, updateCollection, id)
+			if err != nil {
+				return "", err
+			}
+			return meta.Base, nil
+		},
+		func(id string) (int64, error) {
+			freed, err := deleteDocs(u.stores, id,
+				updateCollection, updateHashCollection, updateDiffCollection)
+			if err != nil {
+				return freed, err
+			}
+			blobFreed, err := deleteBlobsWithPrefix(u.stores, updateBlobPrefix+"/"+id+"/")
+			return freed + blobFreed, err
+		})
+}
+
+// Prune implements Pruner for Provenance: bases of kept derived sets
+// are retained so their training chains stay replayable.
+func (p *Provenance) Prune(keep []string) (*PruneReport, error) {
+	all, err := p.SetIDs()
+	if err != nil {
+		return nil, err
+	}
+	return pruneSets(all, keep,
+		func(id string) (string, error) {
+			meta, err := loadMeta(p.stores, provenanceCollection, id)
+			if err != nil {
+				return "", err
+			}
+			return meta.Base, nil
+		},
+		func(id string) (int64, error) {
+			freed, err := deleteDocs(p.stores, id,
+				provenanceCollection, provenanceTrainCollection, provenanceUpdateCollection)
+			if err != nil {
+				return freed, err
+			}
+			blobFreed, err := deleteBlobsWithPrefix(p.stores, provenanceBlobPrefix+"/"+id+"/")
+			return freed + blobFreed, err
+		})
+}

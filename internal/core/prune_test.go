@@ -1,0 +1,165 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPruneBaselineDeletesIndependentSets(t *testing.T) {
+	st := NewMemStores()
+	b := NewBaseline(st)
+	set := mustNewSet(t, 5)
+	r1 := mustSave(t, b, SaveRequest{Set: set})
+	r2 := mustSave(t, b, SaveRequest{Set: set})
+	r3 := mustSave(t, b, SaveRequest{Set: set})
+
+	report, err := b.Prune([]string{r2.SetID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Deleted) != 2 || len(report.Kept) != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	if report.FreedBytes <= 0 {
+		t.Error("no bytes freed")
+	}
+	if _, err := b.Recover(r2.SetID); err != nil {
+		t.Errorf("kept set unrecoverable: %v", err)
+	}
+	for _, id := range []string{r1.SetID, r3.SetID} {
+		if _, err := b.Recover(id); err == nil {
+			t.Errorf("pruned set %s still recoverable", id)
+		}
+	}
+	// Blobs of pruned sets are actually gone.
+	keys, _ := st.Blobs.Keys()
+	for _, k := range keys {
+		if strings.Contains(k, r1.SetID) || strings.Contains(k, r3.SetID) {
+			t.Errorf("leftover blob %s", k)
+		}
+	}
+}
+
+func TestPruneUpdateKeepsChains(t *testing.T) {
+	st := NewMemStores()
+	u := NewUpdate(st)
+	ids, truths := saveUpdateChain(t, u, st, 3)
+
+	// Keep only the last set: its whole base chain must survive.
+	report, err := u.Prune([]string{ids[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Kept) != 4 {
+		t.Fatalf("kept %v, want the full chain", report.Kept)
+	}
+	if len(report.Deleted) != 0 {
+		t.Fatalf("deleted %v from a single chain", report.Deleted)
+	}
+	got := mustRecover(t, u, ids[3])
+	if !truths[3].Equal(got) {
+		t.Fatal("kept chain recovered incorrectly")
+	}
+}
+
+func TestPruneUpdateDeletesDanglingBranch(t *testing.T) {
+	st := NewMemStores()
+	u := NewUpdate(st)
+	set := mustNewSet(t, 6)
+	r1 := mustSave(t, u, SaveRequest{Set: set})
+	// Two branches off the same base.
+	branchA := set.Clone()
+	runCycle(t, branchA, st.Datasets, 1, []int{0}, nil)
+	ra := mustSave(t, u, SaveRequest{Set: branchA, Base: r1.SetID})
+	branchB := set.Clone()
+	runCycle(t, branchB, st.Datasets, 2, []int{1}, nil)
+	rb := mustSave(t, u, SaveRequest{Set: branchB, Base: r1.SetID})
+
+	report, err := u.Prune([]string{ra.SetID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Deleted) != 1 || report.Deleted[0] != rb.SetID {
+		t.Fatalf("deleted %v, want [%s]", report.Deleted, rb.SetID)
+	}
+	if got := mustRecover(t, u, ra.SetID); !branchA.Equal(got) {
+		t.Fatal("kept branch recovered incorrectly")
+	}
+	if _, err := u.Recover(rb.SetID); err == nil {
+		t.Fatal("pruned branch still recoverable")
+	}
+}
+
+func TestPruneProvenanceKeepsChains(t *testing.T) {
+	st := NewMemStores()
+	p := NewProvenance(st)
+	ids, truths := saveProvenanceChain(t, p, st, 2)
+	report, err := p.Prune([]string{ids[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Kept) != 3 || len(report.Deleted) != 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	got := mustRecover(t, p, ids[2])
+	if !truths[2].Equal(got) {
+		t.Fatal("kept provenance chain recovered incorrectly")
+	}
+}
+
+func TestPruneMMlibRemovesAllModelArtifacts(t *testing.T) {
+	st := NewMemStores()
+	m := NewMMlibBase(st)
+	set := mustNewSet(t, 4)
+	r1 := mustSave(t, m, SaveRequest{Set: set})
+	r2 := mustSave(t, m, SaveRequest{Set: set})
+
+	report, err := m.Prune([]string{r2.SetID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Deleted) != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	// Every per-model document of the pruned set must be gone.
+	for _, c := range []string{mmlibMetaCollection, mmlibEnvCollection, mmlibCodeCollection} {
+		ids, err := st.Docs.IDs(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range ids {
+			if strings.HasPrefix(id, r1.SetID) {
+				t.Errorf("leftover document %s/%s", c, id)
+			}
+		}
+	}
+	if _, err := m.Recover(r2.SetID); err != nil {
+		t.Errorf("kept set unrecoverable: %v", err)
+	}
+}
+
+func TestPruneUnknownKeepRejected(t *testing.T) {
+	b := NewBaseline(NewMemStores())
+	if _, err := b.Prune([]string{"bl-999999"}); err == nil {
+		t.Fatal("pruning with unknown keep ID accepted")
+	}
+}
+
+func TestPruneKeepNothing(t *testing.T) {
+	st := NewMemStores()
+	b := NewBaseline(st)
+	set := mustNewSet(t, 3)
+	mustSave(t, b, SaveRequest{Set: set})
+	mustSave(t, b, SaveRequest{Set: set})
+	report, err := b.Prune(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Deleted) != 2 {
+		t.Fatalf("deleted %v, want everything", report.Deleted)
+	}
+	ids, _ := b.SetIDs()
+	if len(ids) != 0 {
+		t.Fatalf("sets remain after full prune: %v", ids)
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"archive/tar"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/mmm-go/mmm/internal/dataset"
+)
+
+// Archive transfer: sets are saved "for analytical and archival
+// purposes", and archives eventually move — offsite backup, handover
+// to an analysis team, migration between stores. Export writes one
+// set's complete recovery chain (metadata documents, binary artifacts,
+// and — for Provenance — the referenced dataset specs) into a single
+// tar stream; Import restores it into any stores.
+//
+// Entry layout inside the archive:
+//
+//	docs/<collection>/<id>.json    document-store entries (raw JSON)
+//	blobs/<key>                    blob-store entries
+//	datasets/<id>.json             dataset specs referenced by the chain
+//
+// Exported archives are self-contained for their approach: importing
+// into empty stores makes the exported set recoverable there.
+
+// Exporter is implemented by approaches that can export a set's chain.
+type Exporter interface {
+	// Export writes the archive of setID's full recovery chain to w.
+	Export(setID string, w io.Writer) error
+}
+
+// setArtifacts enumerates one set's document keys (collection, id) and
+// blob-key prefix for export.
+type setArtifacts struct {
+	docs       [][2]string
+	blobPrefix string
+	// datasetIDs lists referenced datasets whose specs must travel too.
+	datasetIDs []string
+}
+
+// exportChain writes the artifacts of every chain element to w as tar.
+func exportChain(st Stores, chain []SetInfo, artifactsOf func(SetInfo) (setArtifacts, error), w io.Writer) error {
+	tw := tar.NewWriter(w)
+	writeEntry := func(name string, data []byte) error {
+		hdr := &tar.Header{
+			Name: name, Mode: 0o644, Size: int64(len(data)),
+			ModTime: time.Unix(0, 0), // deterministic archives
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		_, err := tw.Write(data)
+		return err
+	}
+
+	seenDatasets := map[string]bool{}
+	for _, info := range chain {
+		arts, err := artifactsOf(info)
+		if err != nil {
+			return err
+		}
+		for _, dk := range arts.docs {
+			var raw json.RawMessage
+			if err := st.Docs.Get(dk[0], dk[1], &raw); err != nil {
+				return fmt.Errorf("core: exporting %s/%s: %w", dk[0], dk[1], err)
+			}
+			if err := writeEntry("docs/"+dk[0]+"/"+dk[1]+".json", raw); err != nil {
+				return err
+			}
+		}
+		if arts.blobPrefix != "" {
+			keys, err := st.Blobs.Keys()
+			if err != nil {
+				return err
+			}
+			for _, k := range keys {
+				if !strings.HasPrefix(k, arts.blobPrefix) {
+					continue
+				}
+				data, err := st.Blobs.Get(k)
+				if err != nil {
+					return fmt.Errorf("core: exporting blob %s: %w", k, err)
+				}
+				if err := writeEntry("blobs/"+k, data); err != nil {
+					return err
+				}
+			}
+		}
+		for _, id := range arts.datasetIDs {
+			if seenDatasets[id] {
+				continue
+			}
+			seenDatasets[id] = true
+			spec, err := st.Datasets.Spec(id)
+			if err != nil {
+				return fmt.Errorf("core: exporting dataset %s: %w", id, err)
+			}
+			raw, err := json.Marshal(spec)
+			if err != nil {
+				return err
+			}
+			if err := writeEntry("datasets/"+id+".json", raw); err != nil {
+				return err
+			}
+		}
+	}
+	return tw.Close()
+}
+
+// ImportArchive restores an exported archive into st. Existing entries
+// with the same keys are overwritten; the imported set IDs keep their
+// original names, so import into stores that already contain different
+// sets under the same IDs is rejected.
+func ImportArchive(st Stores, r io.Reader) error {
+	tr := tar.NewReader(r)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("core: reading archive: %w", err)
+		}
+		data, err := io.ReadAll(io.LimitReader(tr, 1<<31))
+		if err != nil {
+			return fmt.Errorf("core: reading archive entry %s: %w", hdr.Name, err)
+		}
+		switch {
+		case strings.HasPrefix(hdr.Name, "docs/"):
+			rest := strings.TrimPrefix(hdr.Name, "docs/")
+			slash := strings.IndexByte(rest, '/')
+			if slash < 0 || !strings.HasSuffix(rest, ".json") {
+				return fmt.Errorf("core: malformed archive entry %q", hdr.Name)
+			}
+			collection := rest[:slash]
+			id := strings.TrimSuffix(rest[slash+1:], ".json")
+			if exists, err := st.Docs.Exists(collection, id); err == nil && exists {
+				var current json.RawMessage
+				if err := st.Docs.Get(collection, id, &current); err == nil && string(current) != string(data) {
+					return fmt.Errorf("core: import conflict: %s/%s already exists with different content", collection, id)
+				}
+			}
+			if err := st.Docs.Insert(collection, id, json.RawMessage(data)); err != nil {
+				return fmt.Errorf("core: importing %s: %w", hdr.Name, err)
+			}
+		case strings.HasPrefix(hdr.Name, "blobs/"):
+			key := strings.TrimPrefix(hdr.Name, "blobs/")
+			if err := st.Blobs.Put(key, data); err != nil {
+				return fmt.Errorf("core: importing %s: %w", hdr.Name, err)
+			}
+		case strings.HasPrefix(hdr.Name, "datasets/"):
+			var spec dataset.Spec
+			if err := json.Unmarshal(data, &spec); err != nil {
+				return fmt.Errorf("core: importing %s: %w", hdr.Name, err)
+			}
+			if _, err := st.Datasets.Put(spec); err != nil {
+				return fmt.Errorf("core: importing %s: %w", hdr.Name, err)
+			}
+		default:
+			return fmt.Errorf("core: unknown archive entry %q", hdr.Name)
+		}
+	}
+}
+
+// Export implements Exporter for Baseline.
+func (b *Baseline) Export(setID string, w io.Writer) error {
+	chain, err := b.Lineage(setID)
+	if err != nil {
+		return err
+	}
+	return exportChain(b.stores, chain, func(info SetInfo) (setArtifacts, error) {
+		return setArtifacts{
+			docs:       [][2]string{{baselineCollection, info.SetID}},
+			blobPrefix: baselineBlobPrefix + "/" + info.SetID + "/",
+		}, nil
+	}, w)
+}
+
+// Export implements Exporter for MMlibBase.
+func (m *MMlibBase) Export(setID string, w io.Writer) error {
+	chain, err := m.Lineage(setID)
+	if err != nil {
+		return err
+	}
+	return exportChain(m.stores, chain, func(info SetInfo) (setArtifacts, error) {
+		docs := [][2]string{{mmlibSetCollection, info.SetID}}
+		for i := 0; i < info.NumModels; i++ {
+			modelID := fmt.Sprintf("%s-m%05d", info.SetID, i)
+			docs = append(docs,
+				[2]string{mmlibMetaCollection, modelID},
+				[2]string{mmlibEnvCollection, modelID},
+				[2]string{mmlibCodeCollection, modelID},
+			)
+		}
+		return setArtifacts{
+			docs:       docs,
+			blobPrefix: mmlibBlobPrefix + "/" + info.SetID + "/",
+		}, nil
+	}, w)
+}
+
+// Export implements Exporter for Update.
+func (u *Update) Export(setID string, w io.Writer) error {
+	chain, err := u.Lineage(setID)
+	if err != nil {
+		return err
+	}
+	return exportChain(u.stores, chain, func(info SetInfo) (setArtifacts, error) {
+		docs := [][2]string{
+			{updateCollection, info.SetID},
+			{updateHashCollection, info.SetID},
+		}
+		if info.Kind == "derived" {
+			docs = append(docs, [2]string{updateDiffCollection, info.SetID})
+		}
+		return setArtifacts{
+			docs:       docs,
+			blobPrefix: updateBlobPrefix + "/" + info.SetID + "/",
+		}, nil
+	}, w)
+}
+
+// Export implements Exporter for Provenance: the archive additionally
+// carries the dataset specs the chain's training replay needs.
+func (p *Provenance) Export(setID string, w io.Writer) error {
+	chain, err := p.Lineage(setID)
+	if err != nil {
+		return err
+	}
+	return exportChain(p.stores, chain, func(info SetInfo) (setArtifacts, error) {
+		arts := setArtifacts{
+			docs:       [][2]string{{provenanceCollection, info.SetID}},
+			blobPrefix: provenanceBlobPrefix + "/" + info.SetID + "/",
+		}
+		if info.Kind == "derived" {
+			arts.docs = append(arts.docs,
+				[2]string{provenanceTrainCollection, info.SetID},
+				[2]string{provenanceUpdateCollection, info.SetID},
+			)
+			var updates updatesDoc
+			if err := p.stores.Docs.Get(provenanceUpdateCollection, info.SetID, &updates); err != nil {
+				return setArtifacts{}, fmt.Errorf("core: reading update records of %s: %w", info.SetID, err)
+			}
+			ids := map[string]bool{}
+			for _, u := range updates.Updates {
+				ids[u.DatasetID] = true
+			}
+			for id := range ids {
+				arts.datasetIDs = append(arts.datasetIDs, id)
+			}
+			sort.Strings(arts.datasetIDs)
+		}
+		return arts, nil
+	}, w)
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExportImportBaseline(t *testing.T) {
+	src := NewMemStores()
+	b := NewBaseline(src)
+	set := mustNewSet(t, 6)
+	res := mustSave(t, b, SaveRequest{Set: set})
+
+	var buf bytes.Buffer
+	if err := b.Export(res.SetID, &buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewMemStores()
+	if err := ImportArchive(dst, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := mustRecover(t, NewBaseline(dst), res.SetID)
+	if !set.Equal(got) {
+		t.Fatal("imported baseline set differs")
+	}
+}
+
+func TestExportImportUpdateChain(t *testing.T) {
+	src := NewMemStores()
+	u := NewUpdate(src)
+	ids, truths := saveUpdateChain(t, u, src, 3)
+
+	// Export only the last set: the archive must carry the whole chain.
+	var buf bytes.Buffer
+	if err := u.Export(ids[3], &buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewMemStores()
+	if err := ImportArchive(dst, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := mustRecover(t, NewUpdate(dst), ids[3])
+	if !truths[3].Equal(got) {
+		t.Fatal("imported update chain recovered incorrectly")
+	}
+	// The imported store passes verification.
+	issues, err := NewUpdate(dst).VerifyStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 0 {
+		t.Fatalf("imported store has issues: %v", issues)
+	}
+}
+
+func TestExportImportProvenanceCarriesDatasets(t *testing.T) {
+	src := NewMemStores()
+	p := NewProvenance(src)
+	ids, truths := saveProvenanceChain(t, p, src, 2)
+
+	var buf bytes.Buffer
+	if err := p.Export(ids[2], &buf); err != nil {
+		t.Fatal(err)
+	}
+	archive := buf.String()
+	if !strings.Contains(archive, "datasets/ds-") {
+		t.Fatal("provenance archive carries no dataset specs")
+	}
+
+	// Import into completely fresh stores: recovery must retrain from
+	// the carried dataset specs and reproduce the exact parameters.
+	dst := NewMemStores()
+	if err := ImportArchive(dst, bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	got := mustRecover(t, NewProvenance(dst), ids[2])
+	if !truths[2].Equal(got) {
+		t.Fatal("imported provenance chain not bit-exact after retraining")
+	}
+}
+
+func TestExportImportMMlib(t *testing.T) {
+	src := NewMemStores()
+	m := NewMMlibBase(src)
+	set := mustNewSet(t, 4)
+	res := mustSave(t, m, SaveRequest{Set: set})
+
+	var buf bytes.Buffer
+	if err := m.Export(res.SetID, &buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewMemStores()
+	if err := ImportArchive(dst, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := mustRecover(t, NewMMlibBase(dst), res.SetID)
+	if !set.Equal(got) {
+		t.Fatal("imported mmlib set differs")
+	}
+}
+
+func TestExportDeterministic(t *testing.T) {
+	st := NewMemStores()
+	b := NewBaseline(st)
+	res := mustSave(t, b, SaveRequest{Set: mustNewSet(t, 3)})
+	var a, c bytes.Buffer
+	if err := b.Export(res.SetID, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Export(res.SetID, &c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("two exports of the same set differ byte-wise")
+	}
+}
+
+func TestImportConflictRejected(t *testing.T) {
+	// Import into a store that already holds a *different* set under
+	// the same ID must fail rather than silently overwrite.
+	src := NewMemStores()
+	b := NewBaseline(src)
+	res := mustSave(t, b, SaveRequest{Set: mustNewSet(t, 3)})
+	var buf bytes.Buffer
+	if err := b.Export(res.SetID, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewMemStores()
+	other := NewBaseline(dst)
+	// This save allocates the same ID (bl-000001) for different content.
+	otherSet, err := NewModelSet(testArch(), 5, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSave(t, other, SaveRequest{Set: otherSet})
+
+	if err := ImportArchive(dst, &buf); err == nil {
+		t.Fatal("conflicting import accepted")
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	dst := NewMemStores()
+	if err := ImportArchive(dst, strings.NewReader("this is not a tar stream")); err == nil {
+		t.Fatal("garbage archive accepted")
+	}
+}
+
+func TestImportIdempotent(t *testing.T) {
+	src := NewMemStores()
+	b := NewBaseline(src)
+	set := mustNewSet(t, 3)
+	res := mustSave(t, b, SaveRequest{Set: set})
+	var buf bytes.Buffer
+	if err := b.Export(res.SetID, &buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewMemStores()
+	data := buf.Bytes()
+	if err := ImportArchive(dst, bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	// Importing the same archive again is a no-op, not a conflict.
+	if err := ImportArchive(dst, bytes.NewReader(data)); err != nil {
+		t.Fatalf("re-import rejected: %v", err)
+	}
+	got := mustRecover(t, NewBaseline(dst), res.SetID)
+	if !set.Equal(got) {
+		t.Fatal("set wrong after double import")
+	}
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"bytes"
+	"compress/zlib"
+	"fmt"
+	"io"
+
+	"github.com/mmm-go/mmm/internal/hashing"
+	"github.com/mmm-go/mmm/internal/tensor"
+)
+
+// Update is the paper's delta approach: the initial set is saved with
+// Baseline's logic plus per-layer parameter hashes; every subsequent
+// set saves (1) a reference to its base set, (2) fresh hashes for every
+// model and layer, (3) the list of hash-detected changed layers, and
+// (4) one binary blob concatenating only the changed parameters.
+// Recovery is recursive: recover the base set, then apply the diffs.
+//
+// Two documented extensions from the paper's discussion are included:
+//
+//   - SnapshotInterval bounds the recursive recovery chain by saving a
+//     full snapshot every k-th set ("recursively increasing recovery
+//     times ... can be prevented by saving intermediate model
+//     snapshots using the baseline approach", §2.2).
+//   - Compress zlib-compresses the diff blob (the compression future
+//     work of §4.5).
+type Update struct {
+	stores Stores
+	ids    idAllocator
+
+	// SnapshotInterval k > 0 forces a full snapshot whenever the
+	// recovery chain would otherwise grow to k. 0 disables snapshots
+	// (the paper's evaluated configuration).
+	SnapshotInterval int
+	// Compress enables zlib compression of derived sets' diff blobs.
+	Compress bool
+	// ModelGranularity diffs at whole-model instead of per-layer
+	// granularity: if any layer changed, all of the model's parameters
+	// are saved. The paper's approach compares "related models on a
+	// layer granularity"; this switch exists to ablate that choice
+	// (partial updates lose their storage benefit under model
+	// granularity).
+	ModelGranularity bool
+	// DeltaEncoding stores changed layers as XOR deltas against their
+	// base values instead of raw floats — the ModelHub-style delta
+	// encoding the paper points to as future work ("the storage
+	// consumption can be reduced using delta encoding and other
+	// compression techniques"). Retrained parameters usually move
+	// little, so the XOR stream is mostly zero bytes in the exponent
+	// and high-mantissa positions and compresses far better than raw
+	// floats; combine with Compress to realize the saving. Saving pays
+	// for it by reading the changed models' base values.
+	DeltaEncoding bool
+}
+
+// Collections and blob namespace of Update.
+const (
+	updateCollection     = "update_sets"
+	updateHashCollection = "update_hashes"
+	updateDiffCollection = "update_diffs"
+	updateBlobPrefix     = "update"
+)
+
+// NewUpdate returns an Update approach over the given stores.
+func NewUpdate(stores Stores) *Update {
+	return &Update{stores: stores, ids: idAllocator{prefix: "up"}}
+}
+
+// Name implements Approach.
+func (u *Update) Name() string { return "Update" }
+
+// hashDoc stores every model's per-layer parameter hashes, aligned
+// with the architecture's ParamKeys order.
+type hashDoc struct {
+	Models [][]string `json:"models"`
+}
+
+// diffEntry identifies one changed layer: model index and parameter
+// index into the architecture's ParamKeys.
+type diffEntry struct {
+	M int `json:"m"`
+	P int `json:"p"`
+}
+
+// diffDoc lists a derived set's changes and how its blob is encoded.
+type diffDoc struct {
+	Entries    []diffEntry `json:"entries"`
+	Compressed bool        `json:"compressed,omitempty"`
+	// Delta marks the blob as XOR deltas against base values.
+	Delta bool `json:"delta,omitempty"`
+}
+
+// Save implements Approach.
+func (u *Update) Save(req SaveRequest) (SaveResult, error) {
+	if err := validateSave(req); err != nil {
+		return SaveResult{}, err
+	}
+	startBytes := u.stores.writtenBytes()
+	startOps := u.stores.writeOps()
+
+	existing, err := u.stores.Docs.IDs(updateCollection)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	setID := u.ids.allocate(existing)
+
+	hashes := setHashes(req.Set)
+
+	full := req.Base == ""
+	depth := 0
+	if !full {
+		baseMeta, err := loadMeta(u.stores, updateCollection, req.Base)
+		if err != nil {
+			return SaveResult{}, fmt.Errorf("core: update save: %w", err)
+		}
+		depth = baseMeta.Depth + 1
+		if u.SnapshotInterval > 0 && depth >= u.SnapshotInterval {
+			// Cut the recovery chain with a full snapshot.
+			full = true
+			depth = 0
+		}
+		if baseMeta.NumModels != len(req.Set.Models) {
+			return SaveResult{}, fmt.Errorf("core: update save: base has %d models, set has %d",
+				baseMeta.NumModels, len(req.Set.Models))
+		}
+	}
+
+	if full {
+		err = fullSave(u.stores, updateCollection, updateBlobPrefix, u.Name(), setID, req, func(m *setMeta) {
+			m.Depth = 0
+		})
+		if err != nil {
+			return SaveResult{}, err
+		}
+	} else {
+		if err := u.saveDerived(setID, req, hashes, depth); err != nil {
+			return SaveResult{}, err
+		}
+	}
+
+	// The hash document is written for full and derived saves alike:
+	// it is what lets the *next* save detect changes "without having to
+	// load the full representation of the previous model".
+	if err := u.stores.Docs.Insert(updateHashCollection, setID, hashDoc{Models: hashes}); err != nil {
+		return SaveResult{}, fmt.Errorf("core: writing hash info: %w", err)
+	}
+
+	return SaveResult{
+		SetID:        setID,
+		BytesWritten: u.stores.writtenBytes() - startBytes,
+		WriteOps:     u.stores.writeOps() - startOps,
+	}, nil
+}
+
+// saveDerived persists only the parameters whose hashes changed
+// relative to the base set.
+func (u *Update) saveDerived(setID string, req SaveRequest, hashes [][]string, depth int) error {
+	var baseHashes hashDoc
+	if err := u.stores.Docs.Get(updateHashCollection, req.Base, &baseHashes); err != nil {
+		return fmt.Errorf("core: loading base hash info: %w", err)
+	}
+	if len(baseHashes.Models) != len(req.Set.Models) {
+		return fmt.Errorf("core: base hash info covers %d models, set has %d",
+			len(baseHashes.Models), len(req.Set.Models))
+	}
+
+	var entries []diffEntry
+	changedPerModel := map[int][]int{}
+	for m := range req.Set.Models {
+		changed := hashing.DiffKeys(baseHashes.Models[m], hashes[m])
+		if u.ModelGranularity && len(changed) > 0 {
+			// Any change saves the whole model (the ablated variant).
+			changed = changed[:0]
+			for p := range hashes[m] {
+				changed = append(changed, p)
+			}
+		}
+		if len(changed) > 0 {
+			changedPerModel[m] = changed
+		}
+		for _, p := range changed {
+			entries = append(entries, diffEntry{M: m, P: p})
+		}
+	}
+
+	// Delta encoding needs the changed models' base values to XOR
+	// against; selective recovery fetches exactly those.
+	var basePartial *PartialRecovery
+	if u.DeltaEncoding && len(changedPerModel) > 0 {
+		var changedModels []int
+		for m := range changedPerModel {
+			changedModels = append(changedModels, m)
+		}
+		var err error
+		basePartial, err = u.RecoverModels(req.Base, changedModels)
+		if err != nil {
+			return fmt.Errorf("core: reading base values for delta encoding: %w", err)
+		}
+	}
+
+	var blob []byte
+	for _, e := range entries {
+		cur := req.Set.Models[e.M].Params()[e.P].Tensor
+		if basePartial != nil {
+			base := basePartial.Models[e.M].Params()[e.P].Tensor
+			blob = tensor.AppendXORBytes(blob, cur, base)
+		} else {
+			blob = cur.AppendBytes(blob)
+		}
+	}
+
+	compressed := false
+	if u.Compress && len(blob) > 0 {
+		var cbuf bytes.Buffer
+		zw := zlib.NewWriter(&cbuf)
+		if _, err := zw.Write(blob); err != nil {
+			return fmt.Errorf("core: compressing diff blob: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			return fmt.Errorf("core: compressing diff blob: %w", err)
+		}
+		// Keep compression only when it actually helps.
+		if cbuf.Len() < len(blob) {
+			blob = cbuf.Bytes()
+			compressed = true
+		}
+	}
+
+	if err := u.stores.Blobs.Put(updateBlobPrefix+"/"+setID+"/diff.bin", blob); err != nil {
+		return fmt.Errorf("core: writing diff blob: %w", err)
+	}
+	doc := diffDoc{Entries: entries, Compressed: compressed, Delta: basePartial != nil}
+	if err := u.stores.Docs.Insert(updateDiffCollection, setID, doc); err != nil {
+		return fmt.Errorf("core: writing diff list: %w", err)
+	}
+	meta := setMeta{
+		SetID: setID, Approach: u.Name(), Kind: "derived",
+		Base: req.Base, Depth: depth,
+		ArchName: req.Set.Arch.Name, NumModels: len(req.Set.Models),
+		ParamCount: req.Set.Arch.ParamCount(),
+	}
+	if err := u.stores.Docs.Insert(updateCollection, setID, meta); err != nil {
+		return fmt.Errorf("core: writing metadata: %w", err)
+	}
+	return nil
+}
+
+// Recover implements Approach. Derived sets recover recursively: "to
+// recover a given model set saved in iteration i of U3, we have to
+// recover the model saved in the previous iteration to apply the saved
+// differences in parameters".
+func (u *Update) Recover(setID string) (*ModelSet, error) {
+	meta, err := loadMeta(u.stores, updateCollection, setID)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Approach != u.Name() {
+		return nil, fmt.Errorf("core: set %q was saved by %s, not Update", setID, meta.Approach)
+	}
+	if meta.Kind == "full" {
+		return fullRecover(u.stores, updateBlobPrefix, meta)
+	}
+
+	set, err := u.Recover(meta.Base)
+	if err != nil {
+		return nil, fmt.Errorf("core: recovering base of %q: %w", setID, err)
+	}
+
+	var diff diffDoc
+	if err := u.stores.Docs.Get(updateDiffCollection, setID, &diff); err != nil {
+		return nil, fmt.Errorf("core: loading diff list: %w", err)
+	}
+	blob, err := u.stores.Blobs.Get(updateBlobPrefix + "/" + setID + "/diff.bin")
+	if err != nil {
+		return nil, fmt.Errorf("core: loading diff blob: %w", err)
+	}
+	if diff.Compressed {
+		zr, err := zlib.NewReader(bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("core: opening compressed diff blob: %w", err)
+		}
+		blob, err = io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("core: decompressing diff blob: %w", err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	var stored hashDoc
+	if err := u.stores.Docs.Get(updateHashCollection, setID, &stored); err != nil {
+		return nil, fmt.Errorf("core: loading hash info: %w", err)
+	}
+
+	off := 0
+	for _, e := range diff.Entries {
+		if e.M < 0 || e.M >= len(set.Models) {
+			return nil, fmt.Errorf("core: diff references model %d outside set of %d", e.M, len(set.Models))
+		}
+		params := set.Models[e.M].Params()
+		if e.P < 0 || e.P >= len(params) {
+			return nil, fmt.Errorf("core: diff references parameter %d of model %d", e.P, e.M)
+		}
+		t := params[e.P].Tensor
+		var n int
+		var err error
+		if diff.Delta {
+			// The tensor currently holds the base value; XOR restores
+			// the target value.
+			n, err = t.XORFromBytes(blob[off:])
+		} else {
+			n, err = t.SetFromBytes(blob[off:])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: applying diff for model %d param %d: %w", e.M, e.P, err)
+		}
+		off += n
+		// Integrity check: the applied layer must hash to what the save
+		// recorded for this set.
+		if got := hashing.Tensor(t); e.M < len(stored.Models) && e.P < len(stored.Models[e.M]) &&
+			got != stored.Models[e.M][e.P] {
+			return nil, fmt.Errorf("core: model %d param %d hash mismatch after applying diff", e.M, e.P)
+		}
+	}
+	if off != len(blob) {
+		return nil, fmt.Errorf("core: %d trailing bytes in diff blob", len(blob)-off)
+	}
+	return set, nil
+}
+
+// SetIDs lists all sets saved by this approach, in save order.
+func (u *Update) SetIDs() ([]string, error) {
+	return u.stores.Docs.IDs(updateCollection)
+}
+
+// ChainDepth returns how many derived sets must be recovered before
+// setID (0 for full snapshots) — the quantity SnapshotInterval bounds.
+func (u *Update) ChainDepth(setID string) (int, error) {
+	meta, err := loadMeta(u.stores, updateCollection, setID)
+	if err != nil {
+		return 0, err
+	}
+	return meta.Depth, nil
+}
+
+// setHashes hashes every model's layers.
+func setHashes(set *ModelSet) [][]string {
+	out := make([][]string, len(set.Models))
+	for i, m := range set.Models {
+		out[i] = hashing.ModelList(m)
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/mmm-go/mmm/internal/nn"
+)
+
+// Store verification (fsck): saved sets are archives that may be kept
+// for years; Verify walks every set of an approach and checks that its
+// artifacts exist, have consistent sizes, and that recovery chains and
+// dataset references resolve — without materializing any models.
+
+// Issue is one problem found by verification.
+type Issue struct {
+	SetID   string
+	Problem string
+}
+
+func (i Issue) String() string { return fmt.Sprintf("%s: %s", i.SetID, i.Problem) }
+
+// Verifier is implemented by approaches that can check store integrity.
+type Verifier interface {
+	// VerifyStore checks every saved set and returns the issues found
+	// (empty means the store is consistent).
+	VerifyStore() ([]Issue, error)
+}
+
+// verifyFullArtifacts checks the blobs of a fullSave.
+func verifyFullArtifacts(st Stores, blobPrefix string, meta setMeta) []Issue {
+	var issues []Issue
+	if _, err := st.Blobs.Size(blobPrefix + "/" + meta.SetID + "/arch.json"); err != nil {
+		issues = append(issues, Issue{meta.SetID, "architecture blob missing"})
+	}
+	size, err := st.Blobs.Size(blobPrefix + "/" + meta.SetID + "/params.bin")
+	if err != nil {
+		issues = append(issues, Issue{meta.SetID, "parameter blob missing"})
+	} else if want := int64(4 * meta.ParamCount * meta.NumModels); size != want {
+		issues = append(issues, Issue{meta.SetID,
+			fmt.Sprintf("parameter blob has %d bytes, want %d", size, want)})
+	}
+	return issues
+}
+
+// VerifyStore implements Verifier for Baseline.
+func (b *Baseline) VerifyStore() ([]Issue, error) {
+	ids, err := b.SetIDs()
+	if err != nil {
+		return nil, err
+	}
+	var issues []Issue
+	for _, id := range ids {
+		meta, err := loadMeta(b.stores, baselineCollection, id)
+		if err != nil {
+			issues = append(issues, Issue{id, "metadata unreadable"})
+			continue
+		}
+		issues = append(issues, verifyFullArtifacts(b.stores, baselineBlobPrefix, meta)...)
+	}
+	return issues, nil
+}
+
+// VerifyStore implements Verifier for MMlibBase.
+func (m *MMlibBase) VerifyStore() ([]Issue, error) {
+	ids, err := m.SetIDs()
+	if err != nil {
+		return nil, err
+	}
+	var issues []Issue
+	for _, id := range ids {
+		meta, err := loadMeta(m.stores, mmlibSetCollection, id)
+		if err != nil {
+			issues = append(issues, Issue{id, "set document unreadable"})
+			continue
+		}
+		for i := 0; i < meta.NumModels; i++ {
+			modelID := fmt.Sprintf("%s-m%05d", id, i)
+			for _, c := range []string{mmlibMetaCollection, mmlibEnvCollection, mmlibCodeCollection} {
+				ok, err := m.stores.Docs.Exists(c, modelID)
+				if err != nil || !ok {
+					issues = append(issues, Issue{id,
+						fmt.Sprintf("model %d: document %s/%s missing", i, c, modelID)})
+				}
+			}
+			for _, blob := range []string{"arch.json", "params.bin"} {
+				key := fmt.Sprintf("%s/%s/%d/%s", mmlibBlobPrefix, id, i, blob)
+				if _, err := m.stores.Blobs.Size(key); err != nil {
+					issues = append(issues, Issue{id,
+						fmt.Sprintf("model %d: blob %s missing", i, blob)})
+				}
+			}
+		}
+	}
+	return issues, nil
+}
+
+// VerifyStore implements Verifier for Update. Beyond artifact
+// existence it checks that diff lists are consistent with blob sizes,
+// hash documents cover every model, and base chains resolve.
+func (u *Update) VerifyStore() ([]Issue, error) {
+	ids, err := u.SetIDs()
+	if err != nil {
+		return nil, err
+	}
+	known := map[string]bool{}
+	for _, id := range ids {
+		known[id] = true
+	}
+	var issues []Issue
+	for _, id := range ids {
+		meta, err := loadMeta(u.stores, updateCollection, id)
+		if err != nil {
+			issues = append(issues, Issue{id, "metadata unreadable"})
+			continue
+		}
+		var hashes hashDoc
+		if err := u.stores.Docs.Get(updateHashCollection, id, &hashes); err != nil {
+			issues = append(issues, Issue{id, "hash document missing"})
+		} else if len(hashes.Models) != meta.NumModels {
+			issues = append(issues, Issue{id,
+				fmt.Sprintf("hash document covers %d models, want %d", len(hashes.Models), meta.NumModels)})
+		}
+
+		if meta.Kind == "full" {
+			issues = append(issues, verifyFullArtifacts(u.stores, updateBlobPrefix, meta)...)
+			continue
+		}
+		if !known[meta.Base] {
+			issues = append(issues, Issue{id, fmt.Sprintf("base set %q missing — chain broken", meta.Base)})
+		}
+		var diff diffDoc
+		if err := u.stores.Docs.Get(updateDiffCollection, id, &diff); err != nil {
+			issues = append(issues, Issue{id, "diff document missing"})
+			continue
+		}
+		size, err := u.stores.Blobs.Size(updateBlobPrefix + "/" + id + "/diff.bin")
+		if err != nil {
+			issues = append(issues, Issue{id, "diff blob missing"})
+			continue
+		}
+		if !diff.Compressed {
+			arch, archErr := loadArchFromChain(u.stores, updateBlobPrefix, updateCollection, meta)
+			if archErr != nil {
+				issues = append(issues, Issue{id, "cannot resolve architecture: " + archErr.Error()})
+				continue
+			}
+			sizes := paramByteSizes(arch)
+			var want int64
+			ok := true
+			for _, e := range diff.Entries {
+				if e.P < 0 || e.P >= len(sizes) || e.M < 0 || e.M >= meta.NumModels {
+					issues = append(issues, Issue{id,
+						fmt.Sprintf("diff entry (%d,%d) out of range", e.M, e.P)})
+					ok = false
+					break
+				}
+				want += int64(sizes[e.P])
+			}
+			if ok && size != want {
+				issues = append(issues, Issue{id,
+					fmt.Sprintf("diff blob has %d bytes, diff list implies %d", size, want)})
+			}
+		}
+	}
+	return issues, nil
+}
+
+// loadArchFromChain walks a derived set's chain to the full snapshot
+// that stores the architecture.
+func loadArchFromChain(st Stores, blobPrefix, collection string, meta setMeta) (arch *nn.Architecture, err error) {
+	for meta.Kind != "full" {
+		if meta.Base == "" {
+			return nil, fmt.Errorf("derived set %q has no base", meta.SetID)
+		}
+		meta, err = loadMeta(st, collection, meta.Base)
+		if err != nil {
+			return nil, err
+		}
+	}
+	a, err := loadArchBlob(st, blobPrefix+"/"+meta.SetID+"/arch.json")
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// VerifyStore implements Verifier for Provenance. It additionally
+// resolves every dataset reference against the registry.
+func (p *Provenance) VerifyStore() ([]Issue, error) {
+	ids, err := p.SetIDs()
+	if err != nil {
+		return nil, err
+	}
+	known := map[string]bool{}
+	for _, id := range ids {
+		known[id] = true
+	}
+	var issues []Issue
+	for _, id := range ids {
+		meta, err := loadMeta(p.stores, provenanceCollection, id)
+		if err != nil {
+			issues = append(issues, Issue{id, "metadata unreadable"})
+			continue
+		}
+		if meta.Kind == "full" {
+			issues = append(issues, verifyFullArtifacts(p.stores, provenanceBlobPrefix, meta)...)
+			continue
+		}
+		if !known[meta.Base] {
+			issues = append(issues, Issue{id, fmt.Sprintf("base set %q missing — chain broken", meta.Base)})
+		}
+		var train TrainInfo
+		if err := p.stores.Docs.Get(provenanceTrainCollection, id, &train); err != nil {
+			issues = append(issues, Issue{id, "training info missing"})
+		} else if err := train.Config.Validate(); err != nil {
+			issues = append(issues, Issue{id, "training config invalid: " + err.Error()})
+		}
+		var updates updatesDoc
+		if err := p.stores.Docs.Get(provenanceUpdateCollection, id, &updates); err != nil {
+			issues = append(issues, Issue{id, "update records missing"})
+			continue
+		}
+		for _, u := range updates.Updates {
+			if u.ModelIndex < 0 || u.ModelIndex >= meta.NumModels {
+				issues = append(issues, Issue{id,
+					fmt.Sprintf("update references model %d outside set of %d", u.ModelIndex, meta.NumModels)})
+			}
+			if _, err := p.stores.Datasets.Spec(u.DatasetID); err != nil {
+				issues = append(issues, Issue{id,
+					fmt.Sprintf("dataset %q unresolvable — set unrecoverable", u.DatasetID)})
+			}
+		}
+	}
+	return issues, nil
+}

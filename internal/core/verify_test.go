@@ -1,0 +1,179 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifyCleanStores(t *testing.T) {
+	st := NewMemStores()
+	b := NewBaseline(st)
+	m := NewMMlibBase(st)
+	u := NewUpdate(st)
+	p := NewProvenance(st)
+
+	set := mustNewSet(t, 5)
+	mustSave(t, b, SaveRequest{Set: set})
+	mustSave(t, m, SaveRequest{Set: set})
+	saveUpdateChain(t, u, st, 2)
+	saveProvenanceChain(t, p, st, 2)
+
+	for _, v := range []Verifier{b, m, u, p} {
+		issues, err := v.VerifyStore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(issues) != 0 {
+			t.Errorf("clean store reports issues: %v", issues)
+		}
+	}
+}
+
+func TestVerifyBaselineDetectsTruncatedBlob(t *testing.T) {
+	st := NewMemStores()
+	b := NewBaseline(st)
+	res := mustSave(t, b, SaveRequest{Set: mustNewSet(t, 3)})
+	key := baselineBlobPrefix + "/" + res.SetID + "/params.bin"
+	blob, _ := st.Blobs.Get(key)
+	if err := st.Blobs.Put(key, blob[:len(blob)-8]); err != nil {
+		t.Fatal(err)
+	}
+	issues, err := b.VerifyStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 1 || !strings.Contains(issues[0].Problem, "parameter blob") {
+		t.Fatalf("issues = %v", issues)
+	}
+}
+
+func TestVerifyBaselineDetectsMissingArch(t *testing.T) {
+	st := NewMemStores()
+	b := NewBaseline(st)
+	res := mustSave(t, b, SaveRequest{Set: mustNewSet(t, 3)})
+	if err := st.Blobs.Delete(baselineBlobPrefix + "/" + res.SetID + "/arch.json"); err != nil {
+		t.Fatal(err)
+	}
+	issues, _ := b.VerifyStore()
+	if len(issues) == 0 {
+		t.Fatal("missing architecture not detected")
+	}
+}
+
+func TestVerifyMMlibDetectsMissingModelDoc(t *testing.T) {
+	st := NewMemStores()
+	m := NewMMlibBase(st)
+	res := mustSave(t, m, SaveRequest{Set: mustNewSet(t, 3)})
+	if err := st.Docs.Delete(mmlibEnvCollection, res.SetID+"-m00001"); err != nil {
+		t.Fatal(err)
+	}
+	issues, _ := m.VerifyStore()
+	if len(issues) != 1 || !strings.Contains(issues[0].Problem, "model 1") {
+		t.Fatalf("issues = %v", issues)
+	}
+}
+
+func TestVerifyUpdateDetectsBrokenChain(t *testing.T) {
+	st := NewMemStores()
+	u := NewUpdate(st)
+	ids, _ := saveUpdateChain(t, u, st, 2)
+	// Delete the middle set's documents out from under the chain.
+	for _, c := range []string{updateCollection, updateHashCollection, updateDiffCollection} {
+		if err := st.Docs.Delete(c, ids[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	issues, err := u.VerifyStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, i := range issues {
+		if strings.Contains(i.Problem, "chain broken") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("broken chain not detected: %v", issues)
+	}
+}
+
+func TestVerifyUpdateDetectsDiffSizeMismatch(t *testing.T) {
+	st := NewMemStores()
+	u := NewUpdate(st)
+	ids, _ := saveUpdateChain(t, u, st, 1)
+	key := updateBlobPrefix + "/" + ids[1] + "/diff.bin"
+	blob, err := st.Blobs.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Blobs.Put(key, append(blob, 0xde, 0xad)); err != nil {
+		t.Fatal(err)
+	}
+	issues, _ := u.VerifyStore()
+	found := false
+	for _, i := range issues {
+		if strings.Contains(i.Problem, "diff blob has") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diff size mismatch not detected: %v", issues)
+	}
+}
+
+func TestVerifyProvenanceDetectsLostDataset(t *testing.T) {
+	st := NewMemStores()
+	p := NewProvenance(st)
+	ids, _ := saveProvenanceChain(t, p, st, 1)
+
+	// Simulate the registry losing a referenced dataset: recoveries of
+	// the derived set become impossible, and verify must say so.
+	var updates updatesDoc
+	if err := st.Docs.Get(provenanceUpdateCollection, ids[1], &updates); err != nil {
+		t.Fatal(err)
+	}
+	updates.Updates[0].DatasetID = "ds-vanished"
+	if err := st.Docs.Insert(provenanceUpdateCollection, ids[1], updates); err != nil {
+		t.Fatal(err)
+	}
+	issues, err := p.VerifyStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, i := range issues {
+		if strings.Contains(i.Problem, "unresolvable") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lost dataset not detected: %v", issues)
+	}
+}
+
+func TestVerifyProvenanceDetectsMissingTrainInfo(t *testing.T) {
+	st := NewMemStores()
+	p := NewProvenance(st)
+	ids, _ := saveProvenanceChain(t, p, st, 1)
+	if err := st.Docs.Delete(provenanceTrainCollection, ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	issues, _ := p.VerifyStore()
+	found := false
+	for _, i := range issues {
+		if strings.Contains(i.Problem, "training info") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing training info not detected: %v", issues)
+	}
+}
+
+func TestIssueString(t *testing.T) {
+	i := Issue{SetID: "bl-000001", Problem: "something"}
+	if got := i.String(); !strings.Contains(got, "bl-000001") || !strings.Contains(got, "something") {
+		t.Fatalf("Issue.String = %q", got)
+	}
+}

@@ -1,0 +1,214 @@
+// Package dataset turns simulator output into training datasets and
+// manages them in a content-addressed registry.
+//
+// The paper's Provenance approach assumes "the training data are saved
+// regardless of the model management (either by the manufacturer for
+// analytical or by the user for backup purposes)" and therefore stores
+// only a *reference* per model instead of a data snapshot (optimization
+// O2). The Registry models that external data store: every dataset has
+// a deterministic ID derived from its generation spec, and recovery
+// resolves IDs back to data.
+package dataset
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"github.com/mmm-go/mmm/internal/battery"
+	"github.com/mmm-go/mmm/internal/cifar"
+	"github.com/mmm-go/mmm/internal/drivecycle"
+	"github.com/mmm-go/mmm/internal/rng"
+	"github.com/mmm-go/mmm/internal/tensor"
+)
+
+// Kind selects a data generator.
+type Kind string
+
+// Supported dataset kinds.
+const (
+	KindBattery Kind = "battery" // ECM discharge samples for one cell
+	KindCIFAR   Kind = "cifar"   // synthetic 32×32×3 images, 10 classes
+)
+
+// Spec deterministically describes one dataset. Generating the same
+// spec twice yields bit-identical data; the spec's hash is the dataset
+// ID that Provenance records.
+type Spec struct {
+	Kind Kind `json:"kind"`
+	// CellID identifies the battery cell (or model index for CIFAR):
+	// it perturbs the cell parameters so every model sees its own data.
+	CellID int `json:"cell_id"`
+	// Cycle is the update-cycle index; 0 is the initial training data.
+	// Each cycle uses a fresh drive profile and fresh measurement noise.
+	Cycle int `json:"cycle"`
+	// SoH is the cell's state of health for this cycle. The paper
+	// decrements SoH every update cycle to create aging data drift.
+	SoH float64 `json:"soh"`
+	// Samples is the number of training samples to produce.
+	Samples int `json:"samples"`
+	// NoiseStd is the measurement-noise standard deviation added to
+	// targets (the paper corrupts data "to prevent models from training
+	// with equal data").
+	NoiseStd float64 `json:"noise_std"`
+	// Seed is the fleet-level root seed.
+	Seed uint64 `json:"seed"`
+}
+
+// Validate rejects specs the generators cannot honor.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case KindBattery, KindCIFAR:
+	default:
+		return fmt.Errorf("dataset: unknown kind %q", s.Kind)
+	}
+	if s.Samples <= 0 {
+		return fmt.Errorf("dataset: samples must be positive, got %d", s.Samples)
+	}
+	if s.Kind == KindBattery && (s.SoH <= 0 || s.SoH > 1) {
+		return fmt.Errorf("dataset: SoH must be in (0, 1], got %v", s.SoH)
+	}
+	if s.NoiseStd < 0 {
+		return fmt.Errorf("dataset: noise std must be non-negative, got %v", s.NoiseStd)
+	}
+	return nil
+}
+
+// ID returns the dataset's content address: a hash of the canonical
+// JSON encoding of the spec. Two specs with equal fields share an ID.
+func (s Spec) ID() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(err) // Spec has no unmarshalable fields
+	}
+	sum := sha256.Sum256(b)
+	return "ds-" + hex.EncodeToString(sum[:8])
+}
+
+// Dataset is in-memory training data implementing nn.Data. Inputs and
+// targets are normalized; Stats records the applied normalization.
+type Dataset struct {
+	Spec  Spec
+	X     []*tensor.Tensor
+	Y     []*tensor.Tensor
+	Stats Stats
+}
+
+// Stats holds per-feature z-score normalization parameters.
+type Stats struct {
+	XMean []float32 `json:"x_mean,omitempty"`
+	XStd  []float32 `json:"x_std,omitempty"`
+	YMean []float32 `json:"y_mean,omitempty"`
+	YStd  []float32 `json:"y_std,omitempty"`
+}
+
+// Len implements nn.Data.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Sample implements nn.Data.
+func (d *Dataset) Sample(i int) (*tensor.Tensor, *tensor.Tensor) { return d.X[i], d.Y[i] }
+
+// Generate materializes the dataset described by spec.
+func Generate(spec Spec) (*Dataset, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	switch spec.Kind {
+	case KindBattery:
+		return generateBattery(spec)
+	case KindCIFAR:
+		return generateCIFAR(spec)
+	}
+	panic("unreachable")
+}
+
+// generateBattery simulates the cell identified by (Seed, CellID) at
+// the spec's SoH over a cycle-specific drive profile and converts the
+// trace to normalized (current, temperature, charge, SoC) → voltage
+// training samples.
+func generateBattery(spec Spec) (*Dataset, error) {
+	root := rng.New(spec.Seed)
+	// Per-cell electrical parameters: stable across cycles, so a cell's
+	// data drift comes from aging and the drive profile, not from the
+	// cell itself changing identity.
+	cellRand := root.Derive(fmt.Sprintf("cell/%d", spec.CellID))
+	params := battery.Default18650().Perturb(0.05, cellRand.Float64)
+	cell, err := battery.NewCell(params, spec.SoH)
+	if err != nil {
+		return nil, err
+	}
+
+	// One second per sample; a fresh profile per (cell, cycle).
+	dcCfg := drivecycle.DefaultConfig(0)
+	dcCfg.DurationS = spec.Samples
+	dcCfg.Seed = cellRand.Derive(fmt.Sprintf("cycle/%d", spec.Cycle)).Uint64()
+	profile, err := drivecycle.Generate(dcCfg)
+	if err != nil {
+		return nil, err
+	}
+	trace := cell.Simulate(profile, 1)
+
+	noise := cellRand.Derive(fmt.Sprintf("noise/%d", spec.Cycle))
+	raw := make([][5]float64, len(trace))
+	for i, s := range trace {
+		raw[i] = [5]float64{
+			s.Current, s.TempC, s.ChargeAh, s.SoC,
+			s.Voltage + spec.NoiseStd*noise.NormFloat64(),
+		}
+	}
+	return normalizeBattery(spec, raw), nil
+}
+
+// normalizeBattery z-scores the four features and the voltage target.
+func normalizeBattery(spec Spec, raw [][5]float64) *Dataset {
+	const nFeat = 4
+	var mean, m2 [5]float64
+	for n, row := range raw {
+		for j, v := range row {
+			d := v - mean[j]
+			mean[j] += d / float64(n+1)
+			m2[j] += d * (v - mean[j])
+		}
+	}
+	var std [5]float64
+	for j := range std {
+		std[j] = math.Sqrt(m2[j] / float64(len(raw)))
+		if std[j] < 1e-9 {
+			std[j] = 1 // constant feature: leave centered at zero
+		}
+	}
+
+	d := &Dataset{Spec: spec}
+	d.Stats.XMean = make([]float32, nFeat)
+	d.Stats.XStd = make([]float32, nFeat)
+	for j := 0; j < nFeat; j++ {
+		d.Stats.XMean[j] = float32(mean[j])
+		d.Stats.XStd[j] = float32(std[j])
+	}
+	d.Stats.YMean = []float32{float32(mean[4])}
+	d.Stats.YStd = []float32{float32(std[4])}
+
+	for _, row := range raw {
+		x := tensor.New(nFeat)
+		for j := 0; j < nFeat; j++ {
+			x.Data[j] = float32((row[j] - mean[j]) / std[j])
+		}
+		y := tensor.New(1)
+		y.Data[0] = float32((row[4] - mean[4]) / std[4])
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, y)
+	}
+	return d
+}
+
+// generateCIFAR produces synthetic labeled images. CellID keeps model
+// streams apart; Cycle refreshes the noise draw per update cycle.
+func generateCIFAR(spec Spec) (*Dataset, error) {
+	root := rng.New(spec.Seed).
+		Derive(fmt.Sprintf("cifar/%d", spec.CellID)).
+		Derive(fmt.Sprintf("cycle/%d", spec.Cycle))
+	xs, ys := cifar.Batch(spec.Samples, root)
+	return &Dataset{Spec: spec, X: xs, Y: ys}, nil
+}

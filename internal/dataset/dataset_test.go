@@ -1,0 +1,167 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func batterySpec() Spec {
+	return Spec{
+		Kind: KindBattery, CellID: 1, Cycle: 0, SoH: 1.0,
+		Samples: 200, NoiseStd: 0.002, Seed: 42,
+	}
+}
+
+func TestGenerateBatteryDeterministic(t *testing.T) {
+	a, err := Generate(batterySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(batterySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := 0; i < a.Len(); i++ {
+		ax, ay := a.Sample(i)
+		bx, by := b.Sample(i)
+		if !ax.Equal(bx) || !ay.Equal(by) {
+			t.Fatalf("sample %d differs between identical specs", i)
+		}
+	}
+}
+
+func TestGenerateBatteryShapes(t *testing.T) {
+	d, err := Generate(batterySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", d.Len())
+	}
+	x, y := d.Sample(0)
+	if x.Len() != 4 {
+		t.Fatalf("feature length %d, want 4", x.Len())
+	}
+	if y.Len() != 1 {
+		t.Fatalf("target length %d, want 1", y.Len())
+	}
+}
+
+func TestGenerateBatteryNormalized(t *testing.T) {
+	d, err := Generate(batterySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each feature and the target must be ~zero-mean, ~unit-variance.
+	for j := 0; j < 4; j++ {
+		var sum, sumSq float64
+		for i := 0; i < d.Len(); i++ {
+			x, _ := d.Sample(i)
+			v := float64(x.Data[j])
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / float64(d.Len())
+		variance := sumSq/float64(d.Len()) - mean*mean
+		if math.Abs(mean) > 0.05 {
+			t.Errorf("feature %d mean = %v, want ~0", j, mean)
+		}
+		if math.Abs(variance-1) > 0.1 {
+			t.Errorf("feature %d variance = %v, want ~1", j, variance)
+		}
+	}
+}
+
+func TestDifferentCellsGetDifferentData(t *testing.T) {
+	s1, s2 := batterySpec(), batterySpec()
+	s2.CellID = 2
+	a, _ := Generate(s1)
+	b, _ := Generate(s2)
+	ax, _ := a.Sample(10)
+	bx, _ := b.Sample(10)
+	if ax.Equal(bx) {
+		t.Fatal("different cells produced identical samples")
+	}
+}
+
+func TestDifferentCyclesGetDifferentData(t *testing.T) {
+	s1, s2 := batterySpec(), batterySpec()
+	s2.Cycle = 1
+	s2.SoH = 0.98
+	a, _ := Generate(s1)
+	b, _ := Generate(s2)
+	ax, _ := a.Sample(10)
+	bx, _ := b.Sample(10)
+	if ax.Equal(bx) {
+		t.Fatal("different cycles produced identical samples")
+	}
+}
+
+func TestGenerateCIFAR(t *testing.T) {
+	spec := Spec{Kind: KindCIFAR, CellID: 0, Samples: 20, Seed: 7}
+	d, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", d.Len())
+	}
+	x, y := d.Sample(0)
+	if got := x.Shape; len(got) != 3 || got[0] != 3 || got[1] != 32 || got[2] != 32 {
+		t.Fatalf("image shape %v, want [3 32 32]", got)
+	}
+	if y.Len() != 10 {
+		t.Fatalf("label length %d, want 10", y.Len())
+	}
+	var sum float32
+	for _, v := range y.Data {
+		sum += v
+	}
+	if sum != 1 {
+		t.Fatalf("label is not one-hot: %v", y.Data)
+	}
+}
+
+func TestSpecIDStable(t *testing.T) {
+	a, b := batterySpec(), batterySpec()
+	if a.ID() != b.ID() {
+		t.Fatal("equal specs have different IDs")
+	}
+	b.Cycle = 5
+	if a.ID() == b.ID() {
+		t.Fatal("different specs share an ID")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Kind: "images", Samples: 1, SoH: 1},
+		{Kind: KindBattery, Samples: 0, SoH: 1},
+		{Kind: KindBattery, Samples: 1, SoH: 0},
+		{Kind: KindBattery, Samples: 1, SoH: 2},
+		{Kind: KindBattery, Samples: 1, SoH: 1, NoiseStd: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+	if err := batterySpec().Validate(); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+func TestQuickSpecIDDeterministic(t *testing.T) {
+	f := func(cell, cycle uint8, seed uint64) bool {
+		s := Spec{Kind: KindBattery, CellID: int(cell), Cycle: int(cycle),
+			SoH: 0.9, Samples: 10, Seed: seed}
+		return s.ID() == s.ID()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Registry is the external training-data store the Provenance approach
+// references into. It maps dataset IDs to specs; data is regenerated
+// (and cached) on demand, which mirrors the paper's assumption that the
+// training data exists outside the model-management system.
+//
+// A Registry is safe for concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	specs map[string]Spec
+	cache map[string]*Dataset
+	// dir, when non-empty, persists specs as JSON files so a registry
+	// can be reopened across processes.
+	dir string
+}
+
+// NewRegistry returns an in-memory registry.
+func NewRegistry() *Registry {
+	return &Registry{specs: map[string]Spec{}, cache: map[string]*Dataset{}}
+}
+
+// OpenRegistry returns a registry persisted under dir, loading any
+// specs already stored there.
+func OpenRegistry(dir string) (*Registry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dataset: creating registry dir: %w", err)
+	}
+	r := NewRegistry()
+	r.dir = dir
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading registry dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading spec %s: %w", e.Name(), err)
+		}
+		var s Spec
+		if err := json.Unmarshal(b, &s); err != nil {
+			return nil, fmt.Errorf("dataset: parsing spec %s: %w", e.Name(), err)
+		}
+		r.specs[s.ID()] = s
+	}
+	return r, nil
+}
+
+// Put registers spec and returns its ID. Registering an equal spec
+// twice is a no-op returning the same ID.
+func (r *Registry) Put(spec Spec) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	id := spec.ID()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.specs[id]; ok {
+		return id, nil
+	}
+	r.specs[id] = spec
+	if r.dir != "" {
+		b, err := json.MarshalIndent(spec, "", "  ")
+		if err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(filepath.Join(r.dir, id+".json"), b, 0o644); err != nil {
+			return "", fmt.Errorf("dataset: persisting spec %s: %w", id, err)
+		}
+	}
+	return id, nil
+}
+
+// Spec returns the registered spec for id.
+func (r *Registry) Spec(id string) (Spec, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.specs[id]
+	if !ok {
+		return Spec{}, fmt.Errorf("dataset: unknown dataset %q", id)
+	}
+	return s, nil
+}
+
+// Materialize returns the dataset for id, generating it on first use
+// and serving the cached copy afterwards.
+func (r *Registry) Materialize(id string) (*Dataset, error) {
+	r.mu.RLock()
+	if d, ok := r.cache[id]; ok {
+		r.mu.RUnlock()
+		return d, nil
+	}
+	spec, ok := r.specs[id]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("dataset: unknown dataset %q", id)
+	}
+	d, err := Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.cache[id] = d
+	r.mu.Unlock()
+	return d, nil
+}
+
+// IDs returns all registered dataset IDs in sorted order.
+func (r *Registry) IDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]string, 0, len(r.specs))
+	for id := range r.specs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Len returns the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.specs)
+}
+
+// DropCache releases materialized data, keeping the specs.
+func (r *Registry) DropCache() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cache = map[string]*Dataset{}
+}

@@ -1,0 +1,175 @@
+package dataset
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestRegistryPutGet(t *testing.T) {
+	r := NewRegistry()
+	spec := batterySpec()
+	id, err := r.Put(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != spec.ID() {
+		t.Fatalf("Put returned %q, want %q", id, spec.ID())
+	}
+	got, err := r.Spec(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != spec {
+		t.Fatalf("Spec returned %+v, want %+v", got, spec)
+	}
+}
+
+func TestRegistryPutIdempotent(t *testing.T) {
+	r := NewRegistry()
+	id1, _ := r.Put(batterySpec())
+	id2, _ := r.Put(batterySpec())
+	if id1 != id2 {
+		t.Fatal("re-registering a spec changed its ID")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("registry has %d specs, want 1", r.Len())
+	}
+}
+
+func TestRegistryRejectsInvalid(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Put(Spec{Kind: "junk"}); err == nil {
+		t.Fatal("invalid spec registered")
+	}
+}
+
+func TestRegistryUnknownID(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Spec("ds-nope"); err == nil {
+		t.Error("unknown spec ID accepted")
+	}
+	if _, err := r.Materialize("ds-nope"); err == nil {
+		t.Error("unknown materialize ID accepted")
+	}
+}
+
+func TestRegistryMaterializeCaches(t *testing.T) {
+	r := NewRegistry()
+	id, _ := r.Put(batterySpec())
+	a, err := r.Materialize(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Materialize(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Materialize did not return the cached dataset")
+	}
+	r.DropCache()
+	c, err := r.Materialize(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("DropCache did not release the cache")
+	}
+	// Regenerated data must still be identical.
+	ax, _ := a.Sample(0)
+	cx, _ := c.Sample(0)
+	if !ax.Equal(cx) {
+		t.Fatal("regenerated dataset differs from original")
+	}
+}
+
+func TestRegistryPersistence(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "registry")
+	r1, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := batterySpec()
+	id, err := r1.Put(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r2.Spec(id)
+	if err != nil {
+		t.Fatalf("reopened registry lost spec: %v", err)
+	}
+	if got != spec {
+		t.Fatalf("reopened spec %+v, want %+v", got, spec)
+	}
+}
+
+func TestRegistryIDsSorted(t *testing.T) {
+	r := NewRegistry()
+	for cell := 0; cell < 5; cell++ {
+		s := batterySpec()
+		s.CellID = cell
+		if _, err := r.Put(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := r.IDs()
+	if len(ids) != 5 {
+		t.Fatalf("IDs returned %d entries, want 5", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatal("IDs not sorted")
+		}
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	// The registry backs concurrent recoveries (multiple analysts, the
+	// HTTP server); Put and Materialize must be race-free and agree.
+	r := NewRegistry()
+	specs := make([]Spec, 8)
+	for i := range specs {
+		s := batterySpec()
+		s.CellID = i
+		s.Samples = 30
+		specs[i] = s
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, s := range specs {
+				id, err := r.Put(s)
+				if err != nil {
+					errs <- err
+					return
+				}
+				d, err := r.Materialize(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if d.Len() != s.Samples {
+					errs <- fmt.Errorf("dataset %s has %d samples, want %d", id, d.Len(), s.Samples)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if r.Len() != len(specs) {
+		t.Fatalf("registry has %d specs, want %d", r.Len(), len(specs))
+	}
+}

@@ -1,0 +1,153 @@
+package drivecycle
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(42)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("profiles diverge at second %d", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(DefaultConfig(1))
+	b, _ := Generate(DefaultConfig(2))
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > len(a)/10 {
+		t.Fatalf("different seeds share %d/%d identical samples", same, len(a))
+	}
+}
+
+func TestGenerateLengthAndBounds(t *testing.T) {
+	cfg := DefaultConfig(7)
+	p, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != cfg.DurationS {
+		t.Fatalf("profile length %d, want %d", len(p), cfg.DurationS)
+	}
+	for i, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("sample %d not finite: %v", i, v)
+		}
+		// Lagged first-order response cannot exceed targets plus jitter.
+		if v > cfg.PeakA*1.2 || v < -cfg.RegenA*1.2 {
+			t.Fatalf("sample %d out of physical range: %v", i, v)
+		}
+	}
+}
+
+func TestGenerateHasAllPhases(t *testing.T) {
+	p, err := Generate(DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasHigh, hasRegen, hasIdle bool
+	cfg := DefaultConfig(3)
+	for _, v := range p {
+		if v > cfg.CruiseA*1.2 {
+			hasHigh = true
+		}
+		if v < -0.1 {
+			hasRegen = true
+		}
+		if v >= 0 && v < cfg.CruiseA*0.2 {
+			hasIdle = true
+		}
+	}
+	if !hasHigh {
+		t.Error("no acceleration phase in profile")
+	}
+	if !hasRegen {
+		t.Error("no regenerative braking in profile")
+	}
+	if !hasIdle {
+		t.Error("no idle phase in profile")
+	}
+}
+
+func TestGenerateNetDischarge(t *testing.T) {
+	// A driving cycle must discharge the cell overall.
+	p, err := Generate(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if sum <= 0 {
+		t.Fatalf("cycle is net charging: sum = %v", sum)
+	}
+}
+
+func TestGenerateSmoothness(t *testing.T) {
+	// Currents are low-pass filtered: step-to-step jumps stay well below
+	// the full peak range.
+	cfg := DefaultConfig(11)
+	p, _ := Generate(cfg)
+	maxJump := 0.0
+	for i := 1; i < len(p); i++ {
+		if d := math.Abs(p[i] - p[i-1]); d > maxJump {
+			maxJump = d
+		}
+	}
+	if maxJump > (cfg.PeakA+cfg.RegenA)*0.6 {
+		t.Errorf("profile too jumpy: max step %v", maxJump)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{DurationS: 0, PeakA: 1, CruiseA: 1},
+		{DurationS: 10, PeakA: 0, CruiseA: 1},
+		{DurationS: 10, PeakA: 1, CruiseA: 0},
+		{DurationS: 10, PeakA: 1, CruiseA: 1, RegenA: -1},
+	}
+	for i, c := range bad {
+		if _, err := Generate(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestQuickDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := DefaultConfig(seed)
+		cfg.DurationS = 120
+		a, err1 := Generate(cfg)
+		b, err2 := Generate(cfg)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+// Package env captures execution-environment information.
+//
+// Environment descriptions play two roles in the paper. First, they are
+// part of the redundant per-model payload MMlib-base writes for every
+// single model ("MMlib-base additionally saves the model architecture,
+// the layer names, the model code, and the environment information for
+// every model, accumulating to an overhead of approximately 8 KB per
+// model"). Second, the Provenance approach records the environment once
+// per set because exact training reproduction is only claimed for
+// matching environments.
+package env
+
+import (
+	"os"
+	"runtime"
+)
+
+// Info describes the hard- and software environment of a training or
+// save operation, in the spirit of MMlib's environment snapshots.
+type Info struct {
+	OS           string `json:"os"`
+	Arch         string `json:"arch"`
+	NumCPU       int    `json:"num_cpu"`
+	GoVersion    string `json:"go_version"`
+	Hostname     string `json:"hostname"`
+	LibraryName  string `json:"library_name"`
+	LibraryVer   string `json:"library_version"`
+	FrameworkVer string `json:"framework_version"`
+	// PythonDeps mirrors the pip-freeze-style dependency dump MMlib
+	// snapshots; for this Go implementation it lists module
+	// dependencies and is mainly ballast with realistic size.
+	Dependencies []string `json:"dependencies"`
+}
+
+// Capture returns the current environment.
+func Capture() Info {
+	host, _ := os.Hostname()
+	return Info{
+		OS:           runtime.GOOS,
+		Arch:         runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
+		GoVersion:    runtime.Version(),
+		Hostname:     host,
+		LibraryName:  "mmm",
+		LibraryVer:   Version,
+		FrameworkVer: "nn-" + Version,
+		Dependencies: []string{
+			"tensor " + Version,
+			"nn " + Version,
+			"battery " + Version,
+			"dataset " + Version,
+		},
+	}
+}
+
+// Version is the library version recorded in environment snapshots.
+const Version = "1.0.0"
+
+// Equal reports whether two environments match closely enough for
+// provenance-exact training reproduction (same OS, architecture, and
+// framework version; host name and CPU count are informational).
+func (i Info) Equal(o Info) bool {
+	return i.OS == o.OS && i.Arch == o.Arch && i.FrameworkVer == o.FrameworkVer
+}

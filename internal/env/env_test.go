@@ -1,0 +1,53 @@
+package env
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+func TestCapturePopulated(t *testing.T) {
+	i := Capture()
+	if i.OS != runtime.GOOS || i.Arch != runtime.GOARCH {
+		t.Errorf("Capture OS/arch = %s/%s", i.OS, i.Arch)
+	}
+	if i.NumCPU <= 0 {
+		t.Error("NumCPU not positive")
+	}
+	if i.GoVersion == "" || i.FrameworkVer == "" {
+		t.Error("version fields empty")
+	}
+	if len(i.Dependencies) == 0 {
+		t.Error("no dependencies recorded")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Capture()
+	b := Capture()
+	if !a.Equal(b) {
+		t.Error("two captures on one machine should be Equal")
+	}
+	b.FrameworkVer = "other"
+	if a.Equal(b) {
+		t.Error("different framework versions reported Equal")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	a := Capture()
+	buf, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Info
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(back) {
+		t.Error("JSON round trip changed environment identity")
+	}
+	if back.Hostname != a.Hostname {
+		t.Error("hostname lost in round trip")
+	}
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/mmm-go/mmm/internal/core"
+	"github.com/mmm-go/mmm/internal/storage/backend"
+	"github.com/mmm-go/mmm/internal/storage/blobstore"
+	"github.com/mmm-go/mmm/internal/storage/docstore"
+	"github.com/mmm-go/mmm/internal/storage/latency"
+)
+
+// This file ablates the design choices DESIGN.md calls out: the Update
+// approach's snapshot interval, hash granularity, and diff compression,
+// and the single-blob parameter layout behind optimizations O1/O3.
+
+// SnapshotAblation reports, per snapshot interval, the total storage of
+// the whole scenario and the TTR of the *last* set — the
+// storage/recreation trade-off of Bhattacherjee et al. that the paper
+// discusses in §2.2.
+type SnapshotAblation struct {
+	Intervals      []int
+	TotalStorageMB []float64
+	LastSetTTR     []time.Duration
+	LastChainDepth []int
+}
+
+// RunSnapshotAblation runs the Update approach at several snapshot
+// intervals (0 = never snapshot, the paper's configuration).
+func RunSnapshotAblation(o Options, intervals []int) (*SnapshotAblation, error) {
+	tr, err := runScenario(o)
+	if err != nil {
+		return nil, err
+	}
+	out := &SnapshotAblation{Intervals: intervals}
+	for _, interval := range intervals {
+		clock := &latency.Clock{}
+		st := core.Stores{
+			Docs:     docstore.New(backend.NewMem(), o.Setup.Doc, clock),
+			Blobs:    blobstore.New(backend.NewMem(), o.Setup.Blob, clock),
+			Datasets: tr.registry,
+		}
+		u := core.NewUpdate(st)
+		u.SnapshotInterval = interval
+
+		var total int64
+		base := ""
+		var lastID string
+		for i, state := range tr.states {
+			req := core.SaveRequest{Set: state, Base: base}
+			if i > 0 {
+				req.Updates = tr.updates[i-1]
+			}
+			res, err := u.Save(req)
+			if err != nil {
+				return nil, fmt.Errorf("snapshot interval %d: %w", interval, err)
+			}
+			total += res.BytesWritten
+			base = res.SetID
+			lastID = res.SetID
+		}
+		depth, err := u.ChainDepth(lastID)
+		if err != nil {
+			return nil, err
+		}
+		var ds []time.Duration
+		runs := o.Runs
+		if runs <= 0 {
+			runs = 1
+		}
+		for r := 0; r < runs; r++ {
+			sw := latency.StartStopwatch(clock)
+			if _, err := u.Recover(lastID); err != nil {
+				return nil, fmt.Errorf("snapshot interval %d: %w", interval, err)
+			}
+			ds = append(ds, sw.Elapsed())
+		}
+		out.TotalStorageMB = append(out.TotalStorageMB, float64(total)/1e6)
+		out.LastSetTTR = append(out.LastSetTTR, median(ds))
+		out.LastChainDepth = append(out.LastChainDepth, depth)
+	}
+	return out, nil
+}
+
+// Table renders the snapshot ablation.
+func (a *SnapshotAblation) Table() string {
+	var b strings.Builder
+	b.WriteString("Update snapshot-interval ablation (storage vs recovery of the last set)\n")
+	fmt.Fprintf(&b, "%-10s%14s%14s%12s\n", "interval", "storage MB", "last TTR s", "chain depth")
+	for i, k := range a.Intervals {
+		label := fmt.Sprint(k)
+		if k == 0 {
+			label = "never"
+		}
+		fmt.Fprintf(&b, "%-10s%14.3f%14.4f%12d\n",
+			label, a.TotalStorageMB[i], a.LastSetTTR[i].Seconds(), a.LastChainDepth[i])
+	}
+	return b.String()
+}
+
+// VariantAblation compares storage of Update variants per use case.
+type VariantAblation struct {
+	Variants []string
+	// StorageMB[v][i] is variant v's bytes for use case i.
+	StorageMB [][]float64
+	UseCases  []string
+}
+
+// RunUpdateVariantAblation compares the paper's per-layer Update
+// against model-granularity hashing and zlib-compressed diffs.
+func RunUpdateVariantAblation(o Options) (*VariantAblation, error) {
+	tr, err := runScenario(o)
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name      string
+		configure func(*core.Update)
+	}{
+		{"layer-granularity (paper)", func(u *core.Update) {}},
+		{"model-granularity", func(u *core.Update) { u.ModelGranularity = true }},
+		{"layer + zlib diffs", func(u *core.Update) { u.Compress = true }},
+		{"layer + xor-delta + zlib", func(u *core.Update) { u.Compress = true; u.DeltaEncoding = true }},
+	}
+	out := &VariantAblation{}
+	for i := 0; i <= o.Cycles; i++ {
+		if i == 0 {
+			out.UseCases = append(out.UseCases, "U1")
+		} else {
+			out.UseCases = append(out.UseCases, fmt.Sprintf("U3-%d", i))
+		}
+	}
+	for _, v := range variants {
+		st := core.Stores{
+			Docs:     docstore.NewMem(),
+			Blobs:    blobstore.NewMem(),
+			Datasets: tr.registry,
+		}
+		u := core.NewUpdate(st)
+		v.configure(u)
+		var row []float64
+		base := ""
+		for i, state := range tr.states {
+			req := core.SaveRequest{Set: state, Base: base}
+			if i > 0 {
+				req.Updates = tr.updates[i-1]
+			}
+			res, err := u.Save(req)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", v.name, err)
+			}
+			row = append(row, float64(res.BytesWritten)/1e6)
+			base = res.SetID
+		}
+		out.Variants = append(out.Variants, v.name)
+		out.StorageMB = append(out.StorageMB, row)
+	}
+	return out, nil
+}
+
+// Table renders the variant ablation.
+func (a *VariantAblation) Table() string {
+	var b strings.Builder
+	b.WriteString("Update variant ablation (storage MB per use case)\n")
+	fmt.Fprintf(&b, "%-28s", "variant")
+	for _, uc := range a.UseCases {
+		fmt.Fprintf(&b, "%10s", uc)
+	}
+	b.WriteByte('\n')
+	for i, v := range a.Variants {
+		fmt.Fprintf(&b, "%-28s", v)
+		for _, mb := range a.StorageMB[i] {
+			fmt.Fprintf(&b, "%10.3f", mb)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// BlobLayoutAblation quantifies optimization O1/O3 directly: store
+// write operations and bytes for one full save under the per-model
+// layout (MMlib-base) versus the single-blob layout (Baseline).
+type BlobLayoutAblation struct {
+	PerModelOps, SingleBlobOps     int64
+	PerModelBytes, SingleBlobBytes int64
+}
+
+// RunBlobLayoutAblation measures both layouts on the same U1 set.
+func RunBlobLayoutAblation(o Options) (*BlobLayoutAblation, error) {
+	o.Cycles = 0
+	tr, err := runScenario(o)
+	if err != nil {
+		return nil, err
+	}
+	out := &BlobLayoutAblation{}
+	for _, r := range newRigs(latency.Zero(), tr.registry) {
+		res, err := r.approach.Save(core.SaveRequest{Set: tr.states[0], Train: tr.train})
+		if err != nil {
+			return nil, err
+		}
+		switch r.name {
+		case "MMlib-base":
+			out.PerModelOps, out.PerModelBytes = res.WriteOps, res.BytesWritten
+		case "Baseline":
+			out.SingleBlobOps, out.SingleBlobBytes = res.WriteOps, res.BytesWritten
+		}
+	}
+	return out, nil
+}
+
+// Table renders the blob-layout ablation.
+func (a *BlobLayoutAblation) Table() string {
+	return fmt.Sprintf(`Parameter blob layout ablation (one full save)
+%-24s%12s%14s
+%-24s%12d%14.3f
+%-24s%12d%14.3f
+`,
+		"layout", "write ops", "MB written",
+		"per-model (MMlib)", a.PerModelOps, float64(a.PerModelBytes)/1e6,
+		"single blob (Baseline)", a.SingleBlobOps, float64(a.SingleBlobBytes)/1e6)
+}

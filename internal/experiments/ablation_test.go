@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSnapshotAblation(t *testing.T) {
+	o := timingOptions()
+	o.Cycles = 4
+	a, err := RunSnapshotAblation(o, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never snapshotting gives the deepest chain and the least storage;
+	// snapshots trade storage for recovery time.
+	if a.LastChainDepth[0] != 4 {
+		t.Errorf("interval 0: last depth = %d, want 4", a.LastChainDepth[0])
+	}
+	if a.LastChainDepth[1] >= 2 {
+		t.Errorf("interval 2: last depth = %d, want < 2", a.LastChainDepth[1])
+	}
+	if !(a.TotalStorageMB[0] < a.TotalStorageMB[1]) {
+		t.Errorf("no-snapshot storage (%.3f MB) not below interval-2 storage (%.3f MB)",
+			a.TotalStorageMB[0], a.TotalStorageMB[1])
+	}
+	if !(a.LastSetTTR[1] < a.LastSetTTR[0]) {
+		t.Errorf("interval-2 TTR (%v) not below no-snapshot TTR (%v)",
+			a.LastSetTTR[1], a.LastSetTTR[0])
+	}
+	if !strings.Contains(a.Table(), "never") {
+		t.Error("ablation table incomplete")
+	}
+}
+
+func TestRunUpdateVariantAblation(t *testing.T) {
+	o := testOptions()
+	a, err := RunUpdateVariantAblation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Variants) != 4 {
+		t.Fatalf("got %d variants", len(a.Variants))
+	}
+	// Model granularity must cost more than layer granularity on every
+	// derived save (partial updates lose their benefit).
+	layer, model := a.StorageMB[0], a.StorageMB[1]
+	for uc := 1; uc < len(layer); uc++ {
+		if !(model[uc] > layer[uc]) {
+			t.Errorf("use case %d: model granularity (%.4f MB) not above layer granularity (%.4f MB)",
+				uc, model[uc], layer[uc])
+		}
+	}
+	if !strings.Contains(a.Table(), "model-granularity") {
+		t.Error("ablation table incomplete")
+	}
+}
+
+func TestRunBlobLayoutAblation(t *testing.T) {
+	o := testOptions()
+	a, err := RunBlobLayoutAblation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O3: the single-blob layout collapses O(n) writes into O(1).
+	if a.SingleBlobOps >= a.PerModelOps/10 {
+		t.Errorf("single blob ops = %d, per model ops = %d — expected ≥10× reduction",
+			a.SingleBlobOps, a.PerModelOps)
+	}
+	// O1: and writes fewer bytes.
+	if a.SingleBlobBytes >= a.PerModelBytes {
+		t.Errorf("single blob bytes = %d not below per-model bytes = %d",
+			a.SingleBlobBytes, a.PerModelBytes)
+	}
+	if !strings.Contains(a.Table(), "single blob") {
+		t.Error("ablation table incomplete")
+	}
+}

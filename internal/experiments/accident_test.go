@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/storage/latency"
+)
+
+func TestRunAccidentRecovery(t *testing.T) {
+	o := timingOptions()
+	o.Setup = latency.M1()
+	o.Runs = 3
+	a, err := RunAccidentRecovery(o, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range ApproachOrder {
+		// Selective recovery must read far less than full recovery...
+		if !(a.PartialMBRead[name] < a.FullMBRead[name]/4) {
+			t.Errorf("%s: partial read %.3f MB not ≪ full read %.3f MB",
+				name, a.PartialMBRead[name], a.FullMBRead[name])
+		}
+		// ...and be faster.
+		if !(a.PartialTTR[name] < a.FullTTR[name]) {
+			t.Errorf("%s: partial TTR %v not below full TTR %v",
+				name, a.PartialTTR[name], a.FullTTR[name])
+		}
+	}
+	// MMlib-base's full recovery is the slowest; its partial recovery
+	// is competitive (the per-model layout's one upside).
+	if !(a.PartialTTR["MMlib-base"] < a.FullTTR["MMlib-base"]/10) {
+		t.Errorf("MMlib-base selective recovery (%v) should be ≪ its full recovery (%v)",
+			a.PartialTTR["MMlib-base"], a.FullTTR["MMlib-base"])
+	}
+	if !strings.Contains(a.Table(), "partial") {
+		t.Error("table incomplete")
+	}
+}
+
+func TestRunAccidentRecoveryValidation(t *testing.T) {
+	o := testOptions()
+	if _, err := RunAccidentRecovery(o, 0); err == nil {
+		t.Error("zero selection accepted")
+	}
+	if _, err := RunAccidentRecovery(o, o.NumModels+1); err == nil {
+		t.Error("oversized selection accepted")
+	}
+}

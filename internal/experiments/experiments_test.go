@@ -1,0 +1,354 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/storage/latency"
+	"github.com/mmm-go/mmm/internal/workload"
+)
+
+// testOptions is a miniature scenario that preserves all the paper's
+// relative relationships while staying fast: 60 models, 10%+10%
+// updates per cycle so diffs are visible at this scale.
+func testOptions() Options {
+	o := DefaultOptions()
+	o.NumModels = 60
+	o.FullRate = 0.05
+	o.PartialRate = 0.05
+	o.Cycles = 3
+	o.Runs = 1
+	o.SamplesPerDataset = 30
+	o.Setup = latency.Zero()
+	return o
+}
+
+func TestRunStorageShape(t *testing.T) {
+	s, err := RunStorage(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.UseCases) != 4 {
+		t.Fatalf("use cases = %v", s.UseCases)
+	}
+
+	// Figure 3's qualitative claims, at reduced scale:
+	for uc := 0; uc < 4; uc++ {
+		if !(s.Value("MMlib-base", uc) > s.Value("Baseline", uc)) {
+			t.Errorf("use case %d: MMlib-base (%.3f) not above Baseline (%.3f)",
+				uc, s.Value("MMlib-base", uc), s.Value("Baseline", uc))
+		}
+	}
+	// Baseline and MMlib-base are flat across use cases.
+	for _, a := range []string{"MMlib-base", "Baseline"} {
+		for uc := 1; uc < 4; uc++ {
+			ratio := s.Value(a, uc) / s.Value(a, 0)
+			if ratio < 0.95 || ratio > 1.05 {
+				t.Errorf("%s not flat: U1 %.3f vs U3-%d %.3f", a, s.Value(a, 0), uc, s.Value(a, uc))
+			}
+		}
+	}
+	// Update and Provenance drop sharply after U1.
+	for _, a := range []string{"Update", "Provenance"} {
+		for uc := 1; uc < 4; uc++ {
+			if !(s.Value(a, uc) < s.Value("Baseline", uc)/2) {
+				t.Errorf("%s U3-%d (%.3f MB) not well below Baseline (%.3f MB)",
+					a, uc, s.Value(a, uc), s.Value("Baseline", uc))
+			}
+		}
+	}
+	// Provenance's derived saves are below Update's (it saves no
+	// parameters at all).
+	for uc := 1; uc < 4; uc++ {
+		if !(s.Value("Provenance", uc) < s.Value("Update", uc)) {
+			t.Errorf("U3-%d: Provenance (%.4f) not below Update (%.4f)",
+				uc, s.Value("Provenance", uc), s.Value("Update", uc))
+		}
+	}
+	// Baseline ≈ Provenance at U1 (both use Baseline's logic); Update
+	// is slightly above (hash info).
+	if u1b, u1p := s.Value("Baseline", 0), s.Value("Provenance", 0); u1p < u1b*0.99 || u1p > u1b*1.01 {
+		t.Errorf("U1: Provenance (%.4f) should match Baseline (%.4f)", u1p, u1b)
+	}
+	if !(s.Value("Update", 0) > s.Value("Baseline", 0)) {
+		t.Error("U1: Update should exceed Baseline (hash info)")
+	}
+}
+
+func TestRunStorageRateSweep(t *testing.T) {
+	o := testOptions()
+	o.Cycles = 1
+	res, err := RunStorageRateSweep(o, []float64{0.10, 0.30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("got %d series", len(res.Series))
+	}
+	// §4.2: only Update's storage correlates with the update rate...
+	low := res.Series[0].Value("Update", 1)
+	high := res.Series[1].Value("Update", 1)
+	if !(high > low*1.5) {
+		t.Errorf("Update storage did not grow with update rate: %.4f -> %.4f", low, high)
+	}
+	// ...while Baseline's does not change.
+	lowB := res.Series[0].Value("Baseline", 1)
+	highB := res.Series[1].Value("Baseline", 1)
+	if ratio := highB / lowB; ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("Baseline storage changed with update rate: %.4f -> %.4f", lowB, highB)
+	}
+}
+
+func TestRunStorageSizeComparison(t *testing.T) {
+	o := testOptions()
+	o.Cycles = 1
+	cmp, err := RunStorageSizeComparison(o, "FFNN-48", "FFNN-69")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.ParamRatio < 2.0 || cmp.ParamRatio > 2.02 {
+		t.Fatalf("param ratio = %.3f, want ≈ 2.02", cmp.ParamRatio)
+	}
+	// §4.2: Baseline and Update grow ≈2.0×, MMlib-base less (its fixed
+	// metadata does not scale), Provenance ≈1.0×.
+	if r := cmp.U1Ratio["Baseline"]; r < 1.9 || r > 2.1 {
+		t.Errorf("Baseline U1 ratio = %.3f, want ≈2.0", r)
+	}
+	if r := cmp.U1Ratio["MMlib-base"]; !(r < cmp.U1Ratio["Baseline"]) {
+		t.Errorf("MMlib-base ratio %.3f not dampened below Baseline's %.3f",
+			r, cmp.U1Ratio["Baseline"])
+	}
+	if r := cmp.U3Ratio["Provenance"]; r < 0.9 || r > 1.1 {
+		t.Errorf("Provenance U3 ratio = %.3f, want ≈1.0", r)
+	}
+	if r := cmp.U3Ratio["Update"]; r < 1.5 {
+		t.Errorf("Update U3 ratio = %.3f, want ≈2.0", r)
+	}
+}
+
+func TestRunStorageOverhead(t *testing.T) {
+	o := testOptions()
+	rep, err := RunStorageOverhead(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.2: Baseline/Provenance undercut MMlib-base by a substantial
+	// fraction (≈29% at n=5000 with FFNN-48; scale-independent since
+	// both overheads are per model).
+	if pct := rep.SavingVsMMlibPct["Baseline"]; pct < 20 || pct > 45 {
+		t.Errorf("Baseline saves %.1f%% vs MMlib-base, want ≈29%%", pct)
+	}
+	if rep.U1MB["Baseline"] < rep.ParamPayloadMB {
+		t.Error("Baseline U1 below the raw parameter payload — accounting broken")
+	}
+}
+
+// timingOptions is a larger fleet for TTS/TTR shape tests: the paper's
+// timing relationships only emerge once the parameter payload dominates
+// fixed per-save costs (a 6 ms metadata read swamps everything at
+// n=60). Perturb mode keeps it fast; storage and store traffic are
+// identical to training mode (asserted by
+// TestPerturbModeMatchesTrainModeStorage).
+func timingOptions() Options {
+	o := testOptions()
+	o.NumModels = 600
+	o.Mode = workload.ModePerturb
+	return o
+}
+
+func TestRunTTSShape(t *testing.T) {
+	o := timingOptions()
+	o.Setup = latency.M1()
+	s, err := RunTTS(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 4: MMlib-base is far above everyone in every use case.
+	for uc := 0; uc < 4; uc++ {
+		for _, fast := range []string{"Baseline", "Update", "Provenance"} {
+			if !(s.Value("MMlib-base", uc) > 3*s.Value(fast, uc)) {
+				t.Errorf("use case %d: MMlib-base TTS (%.4f s) not ≫ %s (%.4f s)",
+					uc, s.Value("MMlib-base", uc), fast, s.Value(fast, uc))
+			}
+		}
+	}
+	// Provenance's derived saves are the fastest of all (near-zero
+	// payload).
+	for uc := 1; uc < 4; uc++ {
+		if !(s.Value("Provenance", uc) < s.Value("Baseline", uc)) {
+			t.Errorf("U3-%d: Provenance TTS (%.4f) not below Baseline (%.4f)",
+				uc, s.Value("Provenance", uc), s.Value("Baseline", uc))
+		}
+	}
+}
+
+func TestRunTTSServerFasterForMMlib(t *testing.T) {
+	o := timingOptions()
+	o.Cycles = 1
+	o.Setup = latency.M1()
+	m1, err := RunTTS(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Setup = latency.Server()
+	server, err := RunTTS(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.3: "a significantly reduced TTS for MMlib-base in all use
+	// cases ... faster connections to the document store on the server".
+	if !(server.Value("MMlib-base", 0) < m1.Value("MMlib-base", 0)/2) {
+		t.Errorf("server MMlib-base TTS (%.4f) not ≪ M1 (%.4f)",
+			server.Value("MMlib-base", 0), m1.Value("MMlib-base", 0))
+	}
+}
+
+func TestRunTTRShape(t *testing.T) {
+	o := timingOptions()
+	o.Setup = latency.M1()
+	// Median of 3 runs, like the paper's median of 5: single-shot
+	// recovery timings are dominated by one-time warmup (allocator
+	// growth, dataset materialization caching) at this reduced scale.
+	o.Runs = 3
+	s, err := RunTTR(o, PaperProvenanceBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 5: MMlib-base high and ~flat; Baseline low and ~flat.
+	for uc := 0; uc < 4; uc++ {
+		if !(s.Value("MMlib-base", uc) > 3*s.Value("Baseline", uc)) {
+			t.Errorf("use case %d: MMlib-base TTR (%.4f) not ≫ Baseline (%.4f)",
+				uc, s.Value("MMlib-base", uc), s.Value("Baseline", uc))
+		}
+	}
+	// Update and Provenance show the staircase: TTR grows with the
+	// use-case index. At this reduced scale one chain level adds ~18 ms
+	// of modeled store reads while real-compute noise on a loaded
+	// 1-core machine can reach several ms, so require strict growth
+	// over the full staircase and near-monotonic steps (a small
+	// tolerance per step).
+	const stepTolerance = 0.008 // seconds
+	for _, a := range []string{"Update", "Provenance"} {
+		if !(s.Value(a, 3) > s.Value(a, 0)) {
+			t.Errorf("%s TTR staircase missing: U1 %.5f -> U3-3 %.5f",
+				a, s.Value(a, 0), s.Value(a, 3))
+		}
+		for uc := 1; uc < 4; uc++ {
+			if s.Value(a, uc) < s.Value(a, uc-1)-stepTolerance {
+				t.Errorf("%s TTR decreasing beyond noise: U%d %.5f -> U%d %.5f",
+					a, uc-1, s.Value(a, uc-1), uc, s.Value(a, uc))
+			}
+		}
+	}
+	// Baseline flat: last use case within 2× of the first.
+	if s.Value("Baseline", 3) > 2*s.Value("Baseline", 0)+0.001 {
+		t.Errorf("Baseline TTR not flat: %.4f -> %.4f", s.Value("Baseline", 0), s.Value("Baseline", 3))
+	}
+}
+
+func TestRunProvenanceExtrapolation(t *testing.T) {
+	o := testOptions()
+	ext, err := RunProvenanceExtrapolation(o, 90000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext.TTR) != o.Cycles {
+		t.Fatalf("extrapolated %d cycles, want %d", len(ext.TTR), o.Cycles)
+	}
+	// The paper's staircase: U3-2 ≈ 2×U3-1, U3-3 ≈ 3×U3-1.
+	if ext.TTR[1] != 2*ext.TTR[0] || ext.TTR[2] != 3*ext.TTR[0] {
+		t.Errorf("staircase broken: %v", ext.TTR)
+	}
+	if ext.PerSampleStep <= 0 {
+		t.Error("per-sample cost not measured")
+	}
+	if !strings.Contains(ext.Table(), "U3-3") {
+		t.Error("extrapolation table incomplete")
+	}
+}
+
+func TestSeriesTableAndCSV(t *testing.T) {
+	o := testOptions()
+	o.Cycles = 1
+	s, err := RunStorage(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := s.Table()
+	for _, want := range []string{"U1", "U3-1", "Baseline", "Provenance"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 { // header + 4 approaches
+		t.Fatalf("CSV has %d lines:\n%s", len(lines), buf.String())
+	}
+}
+
+func TestPerturbModeMatchesTrainModeStorage(t *testing.T) {
+	// The documented equivalence behind ModePerturb: storage results
+	// are the same as with real training, because the same layers of
+	// the same models change.
+	train := testOptions()
+	perturb := testOptions()
+	perturb.Mode = workload.ModePerturb
+
+	a, err := RunStorage(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunStorage(perturb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, appr := range ApproachOrder {
+		for uc := 0; uc < 4; uc++ {
+			ratio := a.Value(appr, uc) / b.Value(appr, uc)
+			if ratio < 0.99 || ratio > 1.01 {
+				t.Errorf("%s use case %d: train %.5f MB vs perturb %.5f MB",
+					appr, uc, a.Value(appr, uc), b.Value(appr, uc))
+			}
+		}
+	}
+}
+
+func TestBadOptions(t *testing.T) {
+	o := testOptions()
+	o.ArchName = "resnet"
+	if _, err := RunStorage(o); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+	o = testOptions()
+	o.NumModels = 0
+	if _, err := RunStorage(o); err == nil {
+		t.Error("zero models accepted")
+	}
+}
+
+func TestCIFARTimingSameTrends(t *testing.T) {
+	// §4.3/§4.4: "Analyzing the TTS for the larger models FFNN-69 and
+	// CIFAR, we find the same trends". Check the headline relations on
+	// the CIFAR scenario.
+	o := timingOptions()
+	o.ArchName = "CIFAR"
+	o.Cycles = 1
+	o.Setup = latency.M1()
+	s, err := RunTTS(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s.Value("MMlib-base", 0) > 3*s.Value("Baseline", 0)) {
+		t.Errorf("CIFAR: MMlib-base TTS (%.4f) not ≫ Baseline (%.4f)",
+			s.Value("MMlib-base", 0), s.Value("Baseline", 0))
+	}
+	if !(s.Value("Provenance", 1) < s.Value("Baseline", 1)) {
+		t.Errorf("CIFAR: Provenance U3 TTS (%.4f) not below Baseline (%.4f)",
+			s.Value("Provenance", 1), s.Value("Baseline", 1))
+	}
+}

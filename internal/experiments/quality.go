@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mmm-go/mmm/internal/dataset"
+	"github.com/mmm-go/mmm/internal/nn"
+	"github.com/mmm-go/mmm/internal/workload"
+)
+
+// QualityReport validates the evaluation scenario's premise: "Over time
+// the model performance decreases, and the models are partially or
+// fully updated on locally collected data" (§1). For each update cycle
+// it measures, on the cycle's fresh (aged) data, the loss of the model
+// *before* its update and *after* it — the before/after gap is the
+// reason U3 exists.
+type QualityReport struct {
+	// Cycles[i] aggregates cycle i+1.
+	Cycles []QualityCycle
+}
+
+// QualityCycle is one cycle's model-quality measurement, averaged over
+// the fully updated models of that cycle.
+type QualityCycle struct {
+	Cycle int
+	// StaleLoss is the mean loss of the pre-update models on the
+	// cycle's fresh data (the degradation that triggers the update).
+	StaleLoss float64
+	// UpdatedLoss is the mean loss after retraining on that data.
+	UpdatedLoss float64
+	// ModelsMeasured is the number of full updates measured.
+	ModelsMeasured int
+}
+
+// RunModelQuality runs the scenario in training mode and reports the
+// per-cycle stale-vs-updated losses.
+func RunModelQuality(o Options) (*QualityReport, error) {
+	o.Mode = workload.ModeTrain // quality is undefined for perturbation
+	cfg, err := o.workloadConfig()
+	if err != nil {
+		return nil, err
+	}
+	reg := dataset.NewRegistry()
+	fleet, err := workload.New(cfg, reg)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &QualityReport{}
+	for c := 1; c <= o.Cycles; c++ {
+		before := fleet.Set.Clone()
+		updates, err := fleet.RunCycle()
+		if err != nil {
+			return nil, err
+		}
+		qc := QualityCycle{Cycle: c}
+		for _, u := range updates {
+			if len(u.TrainLayers) != 0 {
+				continue // measure full updates; partial ones shift less
+			}
+			data, err := reg.Materialize(u.DatasetID)
+			if err != nil {
+				return nil, err
+			}
+			stale, err := nn.Evaluate(before.Models[u.ModelIndex], data, cfg.Loss)
+			if err != nil {
+				return nil, err
+			}
+			updated, err := nn.Evaluate(fleet.Set.Models[u.ModelIndex], data, cfg.Loss)
+			if err != nil {
+				return nil, err
+			}
+			qc.StaleLoss += stale
+			qc.UpdatedLoss += updated
+			qc.ModelsMeasured++
+		}
+		if qc.ModelsMeasured > 0 {
+			qc.StaleLoss /= float64(qc.ModelsMeasured)
+			qc.UpdatedLoss /= float64(qc.ModelsMeasured)
+		}
+		report.Cycles = append(report.Cycles, qc)
+	}
+	return report, nil
+}
+
+// Table renders the quality report.
+func (r *QualityReport) Table() string {
+	var b strings.Builder
+	b.WriteString("Model quality per update cycle (mean loss on the cycle's fresh data)\n")
+	fmt.Fprintf(&b, "%-8s%14s%14s%16s\n", "cycle", "stale loss", "updated loss", "models measured")
+	for _, c := range r.Cycles {
+		fmt.Fprintf(&b, "%-8d%14.5f%14.5f%16d\n", c.Cycle, c.StaleLoss, c.UpdatedLoss, c.ModelsMeasured)
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunModelQuality(t *testing.T) {
+	o := testOptions()
+	o.NumModels = 40
+	o.FullRate = 0.1
+	o.PartialRate = 0.0
+	o.Cycles = 2
+	o.SamplesPerDataset = 120
+	o.Epochs = 4
+
+	r, err := RunModelQuality(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cycles) != 2 {
+		t.Fatalf("got %d cycles", len(r.Cycles))
+	}
+	for _, c := range r.Cycles {
+		if c.ModelsMeasured == 0 {
+			t.Fatalf("cycle %d measured no models", c.Cycle)
+		}
+		// The premise of U3: retraining on the cycle's fresh data must
+		// beat the stale model on that data.
+		if !(c.UpdatedLoss < c.StaleLoss) {
+			t.Errorf("cycle %d: updated loss %.5f not below stale loss %.5f",
+				c.Cycle, c.UpdatedLoss, c.StaleLoss)
+		}
+	}
+	if !strings.Contains(r.Table(), "stale loss") {
+		t.Error("table incomplete")
+	}
+}
+
+func TestRunModelQualityCIFAR(t *testing.T) {
+	o := testOptions()
+	o.ArchName = "CIFAR"
+	o.NumModels = 10
+	o.FullRate = 0.2
+	o.PartialRate = 0.0
+	o.Cycles = 1
+	o.SamplesPerDataset = 20
+	o.Epochs = 8
+
+	r, err := RunModelQuality(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.Cycles[0]
+	if c.ModelsMeasured == 0 {
+		t.Fatal("no models measured")
+	}
+	if !(c.UpdatedLoss < c.StaleLoss) {
+		t.Errorf("CIFAR: updated loss %.5f not below stale loss %.5f", c.UpdatedLoss, c.StaleLoss)
+	}
+}

@@ -1,0 +1,100 @@
+// Package experiments reproduces the paper's evaluation: storage
+// consumption (Figure 3 and the §4.2 variations), time-to-save
+// (Figure 4a/4b), time-to-recover (Figure 5a/5b), and the §4.4
+// realistic-training extrapolation. Each runner executes the workload
+// scenario once, replays the resulting sets through all four
+// management approaches, and reports the same rows/series the paper
+// plots.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ApproachOrder is the paper's plotting order.
+var ApproachOrder = []string{"MMlib-base", "Baseline", "Update", "Provenance"}
+
+// Series is one experiment's result: a value per (approach, use case).
+type Series struct {
+	Title      string
+	Metric     string // e.g. "storage MB", "median TTS s"
+	UseCases   []string
+	Approaches []string
+	Values     map[string][]float64
+}
+
+// newSeries allocates a series over the standard approaches and the
+// use cases U1, U3-1 ... U3-cycles.
+func newSeries(title, metric string, cycles int) *Series {
+	useCases := []string{"U1"}
+	for c := 1; c <= cycles; c++ {
+		useCases = append(useCases, fmt.Sprintf("U3-%d", c))
+	}
+	s := &Series{
+		Title: title, Metric: metric,
+		UseCases:   useCases,
+		Approaches: append([]string(nil), ApproachOrder...),
+		Values:     map[string][]float64{},
+	}
+	for _, a := range s.Approaches {
+		s.Values[a] = make([]float64, len(useCases))
+	}
+	return s
+}
+
+// Value returns the metric for an approach and use-case index.
+func (s *Series) Value(approach string, useCase int) float64 {
+	return s.Values[approach][useCase]
+}
+
+// Table renders the series as an aligned text table, one row per
+// approach and one column per use case — the paper's figure as rows.
+func (s *Series) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n", s.Title, s.Metric)
+	fmt.Fprintf(&b, "%-12s", "approach")
+	for _, uc := range s.UseCases {
+		fmt.Fprintf(&b, "%12s", uc)
+	}
+	b.WriteByte('\n')
+	for _, a := range s.Approaches {
+		fmt.Fprintf(&b, "%-12s", a)
+		for i := range s.UseCases {
+			fmt.Fprintf(&b, "%12.3f", s.Values[a][i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteCSV emits the series as CSV with a header row.
+func (s *Series) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "approach,%s\n", strings.Join(s.UseCases, ",")); err != nil {
+		return err
+	}
+	for _, a := range s.Approaches {
+		cells := make([]string, len(s.UseCases)+1)
+		cells[0] = a
+		for i := range s.UseCases {
+			cells[i+1] = fmt.Sprintf("%.6f", s.Values[a][i])
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// median returns the median of a duration sample.
+func median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2]
+}

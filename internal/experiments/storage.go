@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/mmm-go/mmm/internal/nn"
+)
+
+// RunStorage reproduces Figure 3: storage consumption per use case for
+// all four approaches, in MB. Variations of the paper's §4.2 (update
+// rates, FFNN-69, CIFAR) are the same runner with different Options.
+func RunStorage(o Options) (*Series, error) {
+	tr, err := runScenario(o)
+	if err != nil {
+		return nil, err
+	}
+	title := fmt.Sprintf("Storage consumption per use case (%s, n=%d, %g%%+%g%% updates)",
+		o.ArchName, o.NumModels, o.FullRate*100, o.PartialRate*100)
+	s := newSeries(title, "MB", o.Cycles)
+	for _, r := range newRigs(o.Setup, tr.registry) {
+		results, _, err := saveAll(r, tr)
+		if err != nil {
+			return nil, err
+		}
+		for i, res := range results {
+			s.Values[r.name][i] = float64(res.BytesWritten) / 1e6
+		}
+	}
+	return s, nil
+}
+
+// RateSweepResult holds RunStorageRateSweep's per-rate series.
+type RateSweepResult struct {
+	Rates  []float64
+	Series []*Series
+}
+
+// RunStorageRateSweep reproduces the §4.2 update-rate variation: the
+// storage experiment at total update rates of 10%, 20%, and 30%
+// (half full, half partial, like the paper).
+func RunStorageRateSweep(o Options, rates []float64) (*RateSweepResult, error) {
+	out := &RateSweepResult{Rates: rates}
+	for _, rate := range rates {
+		ro := o
+		ro.FullRate = rate / 2
+		ro.PartialRate = rate / 2
+		s, err := RunStorage(ro)
+		if err != nil {
+			return nil, fmt.Errorf("rate %.0f%%: %w", rate*100, err)
+		}
+		out.Series = append(out.Series, s)
+	}
+	return out, nil
+}
+
+// SizeComparison reports how each approach's derived-save storage
+// scales when the model grows, as the §4.2 model-size variation does:
+// MMlib-base ≈1.7× (fixed metadata dampens the growth), Baseline and
+// Update ≈2.0× (pure parameter payload), Provenance ≈1.0× (parameter-
+// count independent).
+type SizeComparison struct {
+	SmallArch, LargeArch string
+	ParamRatio           float64
+	Small, Large         *Series
+	// U1Ratio and U3Ratio are per-approach storage ratios large/small
+	// at U1 and at the last U3.
+	U1Ratio map[string]float64
+	U3Ratio map[string]float64
+}
+
+// RunStorageSizeComparison runs the storage experiment for two
+// architectures and reports the per-approach scaling ratios.
+func RunStorageSizeComparison(o Options, smallArch, largeArch string) (*SizeComparison, error) {
+	small := o
+	small.ArchName = smallArch
+	large := o
+	large.ArchName = largeArch
+
+	sSmall, err := RunStorage(small)
+	if err != nil {
+		return nil, err
+	}
+	sLarge, err := RunStorage(large)
+	if err != nil {
+		return nil, err
+	}
+	aSmall, err := nn.ByName(smallArch)
+	if err != nil {
+		return nil, err
+	}
+	aLarge, err := nn.ByName(largeArch)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &SizeComparison{
+		SmallArch: smallArch, LargeArch: largeArch,
+		ParamRatio: float64(aLarge.ParamCount()) / float64(aSmall.ParamCount()),
+		Small:      sSmall, Large: sLarge,
+		U1Ratio: map[string]float64{}, U3Ratio: map[string]float64{},
+	}
+	last := len(sSmall.UseCases) - 1
+	for _, a := range ApproachOrder {
+		cmp.U1Ratio[a] = sLarge.Value(a, 0) / sSmall.Value(a, 0)
+		cmp.U3Ratio[a] = sLarge.Value(a, last) / sSmall.Value(a, last)
+	}
+	return cmp, nil
+}
+
+// OverheadReport quantifies the §4.2 U1 claim: Baseline and Provenance
+// undercut MMlib-base by ~29% because they save metadata, architecture,
+// keys, code, and environment once instead of per model.
+type OverheadReport struct {
+	ParamPayloadMB   float64
+	U1MB             map[string]float64
+	SavingVsMMlibPct map[string]float64
+}
+
+// RunStorageOverhead measures the U1 storage of every approach against
+// the raw parameter payload.
+func RunStorageOverhead(o Options) (*OverheadReport, error) {
+	o.Cycles = 1 // U1 plus one derived save is enough
+	tr, err := runScenario(o)
+	if err != nil {
+		return nil, err
+	}
+	arch, err := nn.ByName(o.ArchName)
+	if err != nil {
+		return nil, err
+	}
+	rep := &OverheadReport{
+		ParamPayloadMB:   float64(arch.ParamBytes()) * float64(o.NumModels) / 1e6,
+		U1MB:             map[string]float64{},
+		SavingVsMMlibPct: map[string]float64{},
+	}
+	for _, r := range newRigs(o.Setup, tr.registry) {
+		results, _, err := saveAll(r, tr)
+		if err != nil {
+			return nil, err
+		}
+		rep.U1MB[r.name] = float64(results[0].BytesWritten) / 1e6
+	}
+	mmlib := rep.U1MB["MMlib-base"]
+	for name, mb := range rep.U1MB {
+		rep.SavingVsMMlibPct[name] = 100 * (1 - mb/mmlib)
+	}
+	return rep, nil
+}

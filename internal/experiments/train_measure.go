@@ -1,0 +1,10 @@
+package experiments
+
+import (
+	"github.com/mmm-go/mmm/internal/nn"
+)
+
+// trainForMeasurement runs one training for timing purposes.
+func trainForMeasurement(m *nn.Model, data nn.Data, cfg nn.TrainConfig) (nn.TrainStats, error) {
+	return nn.Train(m, data, cfg)
+}

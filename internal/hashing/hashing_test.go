@@ -1,0 +1,104 @@
+package hashing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/mmm-go/mmm/internal/nn"
+	"github.com/mmm-go/mmm/internal/tensor"
+)
+
+func TestTensorHashStable(t *testing.T) {
+	a := tensor.FromSlice([]float32{1, 2, 3}, 3)
+	b := tensor.FromSlice([]float32{1, 2, 3}, 3)
+	if Tensor(a) != Tensor(b) {
+		t.Fatal("identical tensors hash differently")
+	}
+}
+
+func TestTensorHashSensitive(t *testing.T) {
+	a := tensor.FromSlice([]float32{1, 2, 3}, 3)
+	b := tensor.FromSlice([]float32{1, 2, 3.0000002}, 3)
+	if Tensor(a) == Tensor(b) {
+		t.Fatal("one-ulp change not detected")
+	}
+}
+
+func TestTensorHashLength(t *testing.T) {
+	h := Tensor(tensor.New(5))
+	if len(h) != HashSize {
+		t.Fatalf("hash length %d, want %d", len(h), HashSize)
+	}
+}
+
+func TestModelHashes(t *testing.T) {
+	m := nn.MustNewModel(nn.FFNN48(), 1)
+	hs := Model(m)
+	if len(hs) != 8 {
+		t.Fatalf("FFNN-48 has %d hashed params, want 8", len(hs))
+	}
+	if _, ok := hs["fc1.weight"]; !ok {
+		t.Fatal("missing fc1.weight hash")
+	}
+}
+
+func TestModelListAlignedWithParamKeys(t *testing.T) {
+	m := nn.MustNewModel(nn.FFNN48(), 1)
+	list := ModelList(m)
+	keys := m.Arch.ParamKeys()
+	if len(list) != len(keys) {
+		t.Fatalf("list length %d, keys %d", len(list), len(keys))
+	}
+	byKey := Model(m)
+	for i, k := range keys {
+		if list[i] != byKey[k] {
+			t.Fatalf("list[%d] does not match hash of %s", i, k)
+		}
+	}
+}
+
+func TestModelHashDetectsLayerChange(t *testing.T) {
+	a := nn.MustNewModel(nn.FFNN48(), 1)
+	b := a.Clone()
+	w, err := b.LayerParam("fc3.weight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Data[0] += 0.5
+
+	changed := DiffKeys(ModelList(a), ModelList(b))
+	if len(changed) != 1 {
+		t.Fatalf("changed indices = %v, want exactly one", changed)
+	}
+	keys := a.Arch.ParamKeys()
+	if keys[changed[0]] != "fc3.weight" {
+		t.Fatalf("changed key = %s, want fc3.weight", keys[changed[0]])
+	}
+}
+
+func TestDiffKeysIdentical(t *testing.T) {
+	m := nn.MustNewModel(nn.FFNN48(), 1)
+	if d := DiffKeys(ModelList(m), ModelList(m)); len(d) != 0 {
+		t.Fatalf("identical model reports changes: %v", d)
+	}
+}
+
+func TestDiffKeysLengthMismatch(t *testing.T) {
+	d := DiffKeys([]string{"a"}, []string{"x", "y", "z"})
+	if len(d) != 3 {
+		t.Fatalf("length mismatch diff = %v, want all 3 indices", d)
+	}
+}
+
+func TestQuickHashDeterministic(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		a := tensor.FromSlice(vals, len(vals))
+		return Tensor(a) == Tensor(a.Clone())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/mmm-go/mmm/internal/tensor"
+)
+
+// ReLU applies max(0, x) element-wise. Parameter-free.
+type ReLU struct {
+	name   string
+	lastIn *tensor.Tensor
+}
+
+// NewReLU returns a named ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.lastIn = x
+	out := x.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gradIn := grad.Clone()
+	for i, v := range l.lastIn.Data {
+		if v <= 0 {
+			gradIn.Data[i] = 0
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (l *ReLU) Params() []Param { return nil }
+
+// Grads implements Layer.
+func (l *ReLU) Grads() []Param { return nil }
+
+// ZeroGrad implements Layer.
+func (l *ReLU) ZeroGrad() {}
+
+// Tanh applies tanh element-wise. Parameter-free. The battery models of
+// Heinrich et al. use saturating activations; tanh keeps the voltage
+// output smooth.
+type Tanh struct {
+	name    string
+	lastOut *tensor.Tensor
+}
+
+// NewTanh returns a named tanh activation layer.
+func NewTanh(name string) *Tanh { return &Tanh{name: name} }
+
+// Name implements Layer.
+func (l *Tanh) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *Tanh) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	l.lastOut = out
+	return out
+}
+
+// Backward implements Layer.
+func (l *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gradIn := grad.Clone()
+	for i, y := range l.lastOut.Data {
+		gradIn.Data[i] *= 1 - y*y
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (l *Tanh) Params() []Param { return nil }
+
+// Grads implements Layer.
+func (l *Tanh) Grads() []Param { return nil }
+
+// ZeroGrad implements Layer.
+func (l *Tanh) ZeroGrad() {}
+
+// Flatten reshapes any input to a 1-D tensor. Parameter-free.
+type Flatten struct {
+	name      string
+	lastShape []int
+}
+
+// NewFlatten returns a named flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (l *Flatten) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.lastShape = append(l.lastShape[:0], x.Shape...)
+	return x.Reshape(x.Len())
+}
+
+// Backward implements Layer.
+func (l *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(l.lastShape...)
+}
+
+// Params implements Layer.
+func (l *Flatten) Params() []Param { return nil }
+
+// Grads implements Layer.
+func (l *Flatten) Grads() []Param { return nil }
+
+// ZeroGrad implements Layer.
+func (l *Flatten) ZeroGrad() {}

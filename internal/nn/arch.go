@@ -1,0 +1,191 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// LayerKind enumerates the layer types an Architecture can describe.
+type LayerKind string
+
+// Supported layer kinds.
+const (
+	KindLinear   LayerKind = "linear"
+	KindReLU     LayerKind = "relu"
+	KindTanh     LayerKind = "tanh"
+	KindConv2D   LayerKind = "conv2d"
+	KindMaxPool2 LayerKind = "maxpool2"
+	KindFlatten  LayerKind = "flatten"
+)
+
+// LayerSpec declares one layer of an architecture. Only the fields
+// relevant for the Kind are set; the rest stay zero and are omitted
+// from JSON.
+type LayerSpec struct {
+	Name string    `json:"name"`
+	Kind LayerKind `json:"kind"`
+	// Linear:
+	In  int `json:"in,omitempty"`
+	Out int `json:"out,omitempty"`
+	// Conv2D:
+	InChannels  int `json:"in_channels,omitempty"`
+	OutChannels int `json:"out_channels,omitempty"`
+	Kernel      int `json:"kernel,omitempty"`
+}
+
+// Architecture is the computational structure shared by all models in a
+// set. It is immutable after construction and JSON-serializable: the
+// Baseline approach stores it exactly once per model set.
+type Architecture struct {
+	Name   string      `json:"name"`
+	Input  []int       `json:"input"` // input tensor shape, e.g. [4] or [3,32,32]
+	Layers []LayerSpec `json:"layers"`
+}
+
+// ParamCount returns the total number of trainable parameters.
+func (a *Architecture) ParamCount() int {
+	n := 0
+	for _, l := range a.Layers {
+		switch l.Kind {
+		case KindLinear:
+			n += l.In*l.Out + l.Out
+		case KindConv2D:
+			n += l.InChannels*l.OutChannels*l.Kernel*l.Kernel + l.OutChannels
+		}
+	}
+	return n
+}
+
+// ParamBytes returns the number of bytes the parameters occupy as raw
+// 4-byte floats — the unit of the paper's storage accounting.
+func (a *Architecture) ParamBytes() int { return 4 * a.ParamCount() }
+
+// ParamKeys returns the ordered parameter dictionary keys
+// ("layer.weight", "layer.bias", ...). MMlib-base persists these per
+// model; Baseline persists them once via the architecture.
+func (a *Architecture) ParamKeys() []string {
+	var keys []string
+	for _, l := range a.Layers {
+		switch l.Kind {
+		case KindLinear, KindConv2D:
+			keys = append(keys, l.Name+".weight", l.Name+".bias")
+		}
+	}
+	return keys
+}
+
+// MarshalJSON is the wire format for saved architectures.
+func (a *Architecture) MarshalJSON() ([]byte, error) {
+	type plain Architecture
+	return json.Marshal((*plain)(a))
+}
+
+// UnmarshalJSON parses a saved architecture.
+func (a *Architecture) UnmarshalJSON(b []byte) error {
+	type plain Architecture
+	return json.Unmarshal(b, (*plain)(a))
+}
+
+// Validate checks structural consistency: unique layer names, known
+// kinds, and positive dimensions on parameterized layers.
+func (a *Architecture) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("nn: architecture has no name")
+	}
+	if len(a.Layers) == 0 {
+		return fmt.Errorf("nn: architecture %q has no layers", a.Name)
+	}
+	seen := make(map[string]bool, len(a.Layers))
+	for i, l := range a.Layers {
+		if l.Name == "" {
+			return fmt.Errorf("nn: architecture %q: layer %d has no name", a.Name, i)
+		}
+		if seen[l.Name] {
+			return fmt.Errorf("nn: architecture %q: duplicate layer name %q", a.Name, l.Name)
+		}
+		seen[l.Name] = true
+		switch l.Kind {
+		case KindLinear:
+			if l.In <= 0 || l.Out <= 0 {
+				return fmt.Errorf("nn: layer %q: linear dimensions must be positive", l.Name)
+			}
+		case KindConv2D:
+			if l.InChannels <= 0 || l.OutChannels <= 0 || l.Kernel <= 0 {
+				return fmt.Errorf("nn: layer %q: conv dimensions must be positive", l.Name)
+			}
+		case KindReLU, KindTanh, KindMaxPool2, KindFlatten:
+			// parameter-free, nothing to check
+		default:
+			return fmt.Errorf("nn: layer %q: unknown kind %q", l.Name, l.Kind)
+		}
+	}
+	return nil
+}
+
+// FFNN returns a fully connected architecture with tanh activations
+// between layers: inputs -> hidden[0] -> ... -> hidden[k-1] -> outputs.
+func FFNN(name string, inputs int, hidden []int, outputs int) *Architecture {
+	a := &Architecture{Name: name, Input: []int{inputs}}
+	prev := inputs
+	for i, h := range hidden {
+		a.Layers = append(a.Layers,
+			LayerSpec{Name: fmt.Sprintf("fc%d", i+1), Kind: KindLinear, In: prev, Out: h},
+			LayerSpec{Name: fmt.Sprintf("act%d", i+1), Kind: KindTanh},
+		)
+		prev = h
+	}
+	a.Layers = append(a.Layers, LayerSpec{
+		Name: fmt.Sprintf("fc%d", len(hidden)+1), Kind: KindLinear, In: prev, Out: outputs,
+	})
+	return a
+}
+
+// FFNN48 is the paper's default battery-cell model: one of the
+// best-performing architectures from the Volkswagen study by Heinrich
+// et al. — four fully connected layers, 4,993 parameters. Inputs are
+// (current, temperature, charge, state-of-charge); output is voltage.
+func FFNN48() *Architecture {
+	return FFNN("FFNN-48", 4, []int{48, 48, 48}, 1)
+}
+
+// FFNN69 is the paper's larger battery model variant: identical to
+// FFNN-48 except for the number of units per layer, 10,075 parameters.
+func FFNN69() *Architecture {
+	return FFNN("FFNN-69", 4, []int{69, 69, 69}, 1)
+}
+
+// CIFARNet is the paper's image-classification model: a convolutional
+// network for 32×32×3 CIFAR-10 images with 6,882 parameters
+// (conv 3→15 5×5 'same', maxpool, conv 15→9 5×5 'same', maxpool,
+// fc 576→4, fc 4→10).
+func CIFARNet() *Architecture {
+	return &Architecture{
+		Name:  "CIFAR",
+		Input: []int{3, 32, 32},
+		Layers: []LayerSpec{
+			{Name: "conv1", Kind: KindConv2D, InChannels: 3, OutChannels: 15, Kernel: 5},
+			{Name: "act1", Kind: KindReLU},
+			{Name: "pool1", Kind: KindMaxPool2},
+			{Name: "conv2", Kind: KindConv2D, InChannels: 15, OutChannels: 9, Kernel: 5},
+			{Name: "act2", Kind: KindReLU},
+			{Name: "pool2", Kind: KindMaxPool2},
+			{Name: "flat", Kind: KindFlatten},
+			{Name: "fc1", Kind: KindLinear, In: 9 * 8 * 8, Out: 4},
+			{Name: "act3", Kind: KindReLU},
+			{Name: "fc2", Kind: KindLinear, In: 4, Out: 10},
+		},
+	}
+}
+
+// ByName returns one of the three paper architectures by its name.
+func ByName(name string) (*Architecture, error) {
+	switch name {
+	case "FFNN-48":
+		return FFNN48(), nil
+	case "FFNN-69":
+		return FFNN69(), nil
+	case "CIFAR":
+		return CIFARNet(), nil
+	}
+	return nil, fmt.Errorf("nn: unknown architecture %q", name)
+}

@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestFFNN48ParamCount(t *testing.T) {
+	// The paper: "four fully connected layers and a total of 4,993
+	// parameters".
+	if got := FFNN48().ParamCount(); got != 4993 {
+		t.Fatalf("FFNN-48 has %d parameters, want 4993", got)
+	}
+}
+
+func TestFFNN69ParamCount(t *testing.T) {
+	// The paper: FFNN-69 has 10,075 parameters.
+	if got := FFNN69().ParamCount(); got != 10075 {
+		t.Fatalf("FFNN-69 has %d parameters, want 10075", got)
+	}
+}
+
+func TestCIFARNetParamCount(t *testing.T) {
+	// The paper: the CIFAR model has 6,882 parameters.
+	if got := CIFARNet().ParamCount(); got != 6882 {
+		t.Fatalf("CIFAR net has %d parameters, want 6882", got)
+	}
+}
+
+func TestFFNN48HasFourLinearLayers(t *testing.T) {
+	a := FFNN48()
+	linear := 0
+	for _, l := range a.Layers {
+		if l.Kind == KindLinear {
+			linear++
+		}
+	}
+	if linear != 4 {
+		t.Fatalf("FFNN-48 has %d linear layers, want 4", linear)
+	}
+}
+
+func TestParamBytes(t *testing.T) {
+	if got := FFNN48().ParamBytes(); got != 4*4993 {
+		t.Fatalf("ParamBytes = %d, want %d", got, 4*4993)
+	}
+}
+
+func TestParamKeys(t *testing.T) {
+	keys := FFNN48().ParamKeys()
+	want := []string{
+		"fc1.weight", "fc1.bias",
+		"fc2.weight", "fc2.bias",
+		"fc3.weight", "fc3.bias",
+		"fc4.weight", "fc4.bias",
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("ParamKeys = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("ParamKeys[%d] = %q, want %q", i, keys[i], want[i])
+		}
+	}
+}
+
+func TestArchitectureJSONRoundTrip(t *testing.T) {
+	for _, arch := range []*Architecture{FFNN48(), FFNN69(), CIFARNet()} {
+		b, err := json.Marshal(arch)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", arch.Name, err)
+		}
+		var back Architecture
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", arch.Name, err)
+		}
+		if back.ParamCount() != arch.ParamCount() {
+			t.Errorf("%s: param count changed %d -> %d", arch.Name, arch.ParamCount(), back.ParamCount())
+		}
+		if err := back.Validate(); err != nil {
+			t.Errorf("%s: round-tripped architecture invalid: %v", arch.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadArchitectures(t *testing.T) {
+	cases := []struct {
+		name string
+		arch *Architecture
+	}{
+		{"no name", &Architecture{Layers: []LayerSpec{{Name: "l", Kind: KindReLU}}}},
+		{"no layers", &Architecture{Name: "x"}},
+		{"unnamed layer", &Architecture{Name: "x", Layers: []LayerSpec{{Kind: KindReLU}}}},
+		{"duplicate names", &Architecture{Name: "x", Layers: []LayerSpec{
+			{Name: "l", Kind: KindReLU}, {Name: "l", Kind: KindTanh}}}},
+		{"bad linear dims", &Architecture{Name: "x", Layers: []LayerSpec{
+			{Name: "l", Kind: KindLinear, In: 0, Out: 3}}}},
+		{"bad conv dims", &Architecture{Name: "x", Layers: []LayerSpec{
+			{Name: "l", Kind: KindConv2D, InChannels: 1, OutChannels: 0, Kernel: 3}}}},
+		{"unknown kind", &Architecture{Name: "x", Layers: []LayerSpec{
+			{Name: "l", Kind: "dropout"}}}},
+	}
+	for _, c := range cases {
+		if err := c.arch.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid architecture", c.name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"FFNN-48", "FFNN-69", "CIFAR"} {
+		a, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if a.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, a.Name)
+		}
+	}
+	if _, err := ByName("resnet"); err == nil {
+		t.Error("ByName accepted unknown architecture")
+	}
+}
+
+func TestFFNNGeneric(t *testing.T) {
+	a := FFNN("tiny", 2, []int{3}, 1)
+	// fc1: 2*3+3=9; fc2: 3*1+1=4.
+	if got := a.ParamCount(); got != 13 {
+		t.Fatalf("tiny FFNN has %d params, want 13", got)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

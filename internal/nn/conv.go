@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/mmm-go/mmm/internal/rng"
+	"github.com/mmm-go/mmm/internal/tensor"
+)
+
+// Conv2D is a stride-1, 'same'-padded 2-D convolution over CHW inputs,
+// with kernel (outC, inC, k, k) and per-channel bias.
+type Conv2D struct {
+	name             string
+	K, B             *tensor.Tensor
+	gradK, gradB     *tensor.Tensor
+	lastIn           *tensor.Tensor
+	inC, outC, kSize int
+}
+
+// NewConv2D returns a zero-initialized convolution layer.
+func NewConv2D(name string, inC, outC, kSize int) *Conv2D {
+	return &Conv2D{
+		name:  name,
+		K:     tensor.New(outC, inC, kSize, kSize),
+		B:     tensor.New(outC),
+		gradK: tensor.New(outC, inC, kSize, kSize),
+		gradB: tensor.New(outC),
+		inC:   inC, outC: outC, kSize: kSize,
+	}
+}
+
+// Init fills the kernel with Glorot-uniform values drawn from r.
+func (l *Conv2D) Init(r *rng.RNG) {
+	fanIn := l.inC * l.kSize * l.kSize
+	fanOut := l.outC * l.kSize * l.kSize
+	limit := float32(math.Sqrt(6.0 / float64(fanIn+fanOut)))
+	for i := range l.K.Data {
+		l.K.Data[i] = (r.Float32()*2 - 1) * limit
+	}
+	l.B.Fill(0)
+}
+
+// Name implements Layer.
+func (l *Conv2D) Name() string { return l.name }
+
+// Forward implements Layer for a CHW input.
+func (l *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.lastIn = x
+	return tensor.Conv2DSame(x, l.K, l.B)
+}
+
+// Backward implements Layer.
+func (l *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gradX, gradK, gradB := tensor.Conv2DSameBackward(l.lastIn, l.K, grad)
+	l.gradK.AddInPlace(gradK)
+	l.gradB.AddInPlace(gradB)
+	return gradX
+}
+
+// Params implements Layer.
+func (l *Conv2D) Params() []Param {
+	return []Param{
+		{Name: l.name + ".weight", Tensor: l.K},
+		{Name: l.name + ".bias", Tensor: l.B},
+	}
+}
+
+// Grads implements Layer.
+func (l *Conv2D) Grads() []Param {
+	return []Param{
+		{Name: l.name + ".weight", Tensor: l.gradK},
+		{Name: l.name + ".bias", Tensor: l.gradB},
+	}
+}
+
+// ZeroGrad implements Layer.
+func (l *Conv2D) ZeroGrad() {
+	l.gradK.Fill(0)
+	l.gradB.Fill(0)
+}
+
+// MaxPool2 is a parameter-free 2×2 max-pooling layer with stride 2.
+type MaxPool2 struct {
+	name      string
+	lastShape []int
+	lastArg   []int
+}
+
+// NewMaxPool2 returns a named 2×2 max-pooling layer.
+func NewMaxPool2(name string) *MaxPool2 { return &MaxPool2{name: name} }
+
+// Name implements Layer.
+func (l *MaxPool2) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *MaxPool2) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out, arg := tensor.MaxPool2(x)
+	l.lastShape = append(l.lastShape[:0], x.Shape...)
+	l.lastArg = arg
+	return out
+}
+
+// Backward implements Layer.
+func (l *MaxPool2) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return tensor.MaxPool2Backward(l.lastShape, l.lastArg, grad)
+}
+
+// Params implements Layer.
+func (l *MaxPool2) Params() []Param { return nil }
+
+// Grads implements Layer.
+func (l *MaxPool2) Grads() []Param { return nil }
+
+// ZeroGrad implements Layer.
+func (l *MaxPool2) ZeroGrad() {}

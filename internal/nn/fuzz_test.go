@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzArchitectureJSON ensures stored architecture definitions are
+// always either rejected or decode into something Validate accepts and
+// a model can be built from.
+func FuzzArchitectureJSON(f *testing.F) {
+	for _, arch := range []*Architecture{FFNN48(), FFNN69(), CIFARNet()} {
+		b, err := json.Marshal(arch)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","layers":[{"name":"l","kind":"linear","in":-1,"out":2}]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var arch Architecture
+		if err := json.Unmarshal(data, &arch); err != nil {
+			return
+		}
+		if err := arch.Validate(); err != nil {
+			return
+		}
+		// A validated architecture must be instantiable, and its model
+		// must agree with its own parameter accounting.
+		m, err := NewModel(&arch, 1)
+		if err != nil {
+			t.Fatalf("validated architecture rejected by NewModel: %v", err)
+		}
+		if m.ParamCount() != arch.ParamCount() {
+			t.Fatalf("model has %d params, architecture claims %d", m.ParamCount(), arch.ParamCount())
+		}
+	})
+}
+
+// FuzzSetParamBytes ensures arbitrary parameter buffers either load
+// exactly or fail cleanly.
+func FuzzSetParamBytes(f *testing.F) {
+	arch := FFNN("fuzz", 2, []int{3}, 1)
+	m := MustNewModel(arch, 1)
+	f.Add(m.ParamBytes())
+	f.Add([]byte{})
+	f.Add(make([]byte, 10))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := MustNewModel(arch, 2)
+		n, err := m.SetParamBytes(data)
+		if err != nil {
+			return
+		}
+		if n != 4*m.ParamCount() {
+			t.Fatalf("consumed %d bytes, want %d", n, 4*m.ParamCount())
+		}
+	})
+}

@@ -1,0 +1,53 @@
+// Package nn is a small, fully deterministic deep-learning framework:
+// the substrate the management approaches operate on. It provides the
+// paper's model families (fully connected battery models, a small CNN),
+// forward/backward passes, and a seeded SGD trainer.
+//
+// Two properties matter for multi-model management and are guaranteed
+// here:
+//
+//  1. A model's parameters form an *ordered dictionary* of named layer
+//     tensors (like PyTorch's state_dict). The Baseline approach saves
+//     the keys once and concatenates raw parameter floats; the Update
+//     approach hashes and diffs at layer granularity.
+//  2. Training is bit-for-bit deterministic given (architecture, seed,
+//     data). The Provenance approach depends on this to recover models
+//     by re-executing training.
+package nn
+
+import "github.com/mmm-go/mmm/internal/tensor"
+
+// Param is a named parameter tensor. Names are hierarchical,
+// "layerName.weight" / "layerName.bias", mirroring the parameter
+// dictionary keys the paper's approaches deduplicate.
+type Param struct {
+	Name   string
+	Tensor *tensor.Tensor
+}
+
+// Layer is one differentiable block of a model.
+//
+// Layers are stateful across a forward/backward pair: Forward caches
+// whatever the backward pass needs, and Backward both returns the
+// gradient w.r.t. the layer input and accumulates parameter gradients
+// (retrieved via Grads, cleared via ZeroGrad). This single-visitor
+// design keeps training loops trivial and allocation-light, at the cost
+// of layers not being safe for concurrent use — models are cheap enough
+// that each goroutine builds its own.
+type Layer interface {
+	// Name returns the layer's unique name within its model.
+	Name() string
+	// Forward computes the layer output for a single sample.
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	// Backward consumes the gradient w.r.t. the layer output and
+	// returns the gradient w.r.t. the layer input, accumulating
+	// parameter gradients as a side effect.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's parameters in a stable order.
+	// Parameter-free layers return nil.
+	Params() []Param
+	// Grads returns the accumulated gradients, aligned with Params.
+	Grads() []Param
+	// ZeroGrad clears the accumulated gradients.
+	ZeroGrad()
+}

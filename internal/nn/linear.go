@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/mmm-go/mmm/internal/rng"
+	"github.com/mmm-go/mmm/internal/tensor"
+)
+
+// Linear is a fully connected layer: y = W·x + b with W of shape
+// (out, in) and b of shape (out). Inputs and outputs are 1-D tensors.
+type Linear struct {
+	name    string
+	W, B    *tensor.Tensor
+	gradW   *tensor.Tensor
+	gradB   *tensor.Tensor
+	lastIn  *tensor.Tensor
+	inFeat  int
+	outFeat int
+}
+
+// NewLinear returns a zero-initialized fully connected layer;
+// call Init (or Model building, which does) to set weights.
+func NewLinear(name string, in, out int) *Linear {
+	return &Linear{
+		name:    name,
+		W:       tensor.New(out, in),
+		B:       tensor.New(out),
+		gradW:   tensor.New(out, in),
+		gradB:   tensor.New(out),
+		inFeat:  in,
+		outFeat: out,
+	}
+}
+
+// Init fills W with Glorot-uniform values drawn from r and zeroes b.
+// The draw order is fixed (row-major over W), making initialization a
+// pure function of the RNG stream.
+func (l *Linear) Init(r *rng.RNG) {
+	limit := float32(math.Sqrt(6.0 / float64(l.inFeat+l.outFeat)))
+	for i := range l.W.Data {
+		l.W.Data[i] = (r.Float32()*2 - 1) * limit
+	}
+	l.B.Fill(0)
+}
+
+// Name implements Layer.
+func (l *Linear) Name() string { return l.name }
+
+// Forward implements Layer for a 1-D input of length in.
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.lastIn = x
+	out := tensor.New(l.outFeat)
+	for o := 0; o < l.outFeat; o++ {
+		row := l.W.Data[o*l.inFeat : (o+1)*l.inFeat]
+		s := l.B.Data[o]
+		for i, xv := range x.Data {
+			s += row[i] * xv
+		}
+		out.Data[o] = s
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gradIn := tensor.New(l.inFeat)
+	for o := 0; o < l.outFeat; o++ {
+		g := grad.Data[o]
+		l.gradB.Data[o] += g
+		if g == 0 {
+			continue
+		}
+		row := l.W.Data[o*l.inFeat : (o+1)*l.inFeat]
+		gradRow := l.gradW.Data[o*l.inFeat : (o+1)*l.inFeat]
+		for i, xv := range l.lastIn.Data {
+			gradRow[i] += g * xv
+			gradIn.Data[i] += g * row[i]
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []Param {
+	return []Param{
+		{Name: l.name + ".weight", Tensor: l.W},
+		{Name: l.name + ".bias", Tensor: l.B},
+	}
+}
+
+// Grads implements Layer.
+func (l *Linear) Grads() []Param {
+	return []Param{
+		{Name: l.name + ".weight", Tensor: l.gradW},
+		{Name: l.name + ".bias", Tensor: l.gradB},
+	}
+}
+
+// ZeroGrad implements Layer.
+func (l *Linear) ZeroGrad() {
+	l.gradW.Fill(0)
+	l.gradB.Fill(0)
+}

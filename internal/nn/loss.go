@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mmm-go/mmm/internal/tensor"
+)
+
+// Loss computes a scalar loss and its gradient w.r.t. the prediction.
+type Loss interface {
+	// Eval returns the loss value and d(loss)/d(pred).
+	Eval(pred, target *tensor.Tensor) (float64, *tensor.Tensor)
+	// Name identifies the loss in provenance records.
+	Name() string
+}
+
+// MSE is mean squared error over the prediction vector — the regression
+// loss for battery voltage prediction.
+type MSE struct{}
+
+// Name implements Loss.
+func (MSE) Name() string { return "mse" }
+
+// Eval implements Loss.
+func (MSE) Eval(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	if pred.Len() != target.Len() {
+		panic(fmt.Sprintf("nn: MSE length mismatch %d vs %d", pred.Len(), target.Len()))
+	}
+	n := float64(pred.Len())
+	grad := tensor.New(pred.Shape...)
+	var loss float64
+	for i := range pred.Data {
+		d := float64(pred.Data[i]) - float64(target.Data[i])
+		loss += d * d
+		grad.Data[i] = float32(2 * d / n)
+	}
+	return loss / n, grad
+}
+
+// CrossEntropy is softmax cross-entropy for classification; the target
+// is a one-hot vector (or any distribution over classes).
+type CrossEntropy struct{}
+
+// Name implements Loss.
+func (CrossEntropy) Name() string { return "cross_entropy" }
+
+// Eval implements Loss.
+func (CrossEntropy) Eval(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	if pred.Len() != target.Len() {
+		panic(fmt.Sprintf("nn: CrossEntropy length mismatch %d vs %d", pred.Len(), target.Len()))
+	}
+	// Numerically stable softmax.
+	maxLogit := pred.Data[0]
+	for _, v := range pred.Data {
+		if v > maxLogit {
+			maxLogit = v
+		}
+	}
+	var sum float64
+	exps := make([]float64, pred.Len())
+	for i, v := range pred.Data {
+		exps[i] = math.Exp(float64(v - maxLogit))
+		sum += exps[i]
+	}
+	grad := tensor.New(pred.Shape...)
+	var loss float64
+	for i := range pred.Data {
+		p := exps[i] / sum
+		t := float64(target.Data[i])
+		if t > 0 {
+			loss -= t * math.Log(math.Max(p, 1e-12))
+		}
+		grad.Data[i] = float32(p - t)
+	}
+	return loss, grad
+}
+
+// LossByName returns the loss implementation for a provenance record.
+func LossByName(name string) (Loss, error) {
+	switch name {
+	case "mse":
+		return MSE{}, nil
+	case "cross_entropy":
+		return CrossEntropy{}, nil
+	}
+	return nil, fmt.Errorf("nn: unknown loss %q", name)
+}

@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Evaluation metrics beyond the raw loss: the battery use case reports
+// voltage errors (MAE/RMSE), the image use case classification
+// accuracy.
+
+// MAE returns the mean absolute error of m's predictions over data,
+// averaged over samples and output elements.
+func MAE(m *Model, data Data) (float64, error) {
+	n := data.Len()
+	if n == 0 {
+		return 0, fmt.Errorf("nn: empty evaluation data")
+	}
+	var sum float64
+	var count int
+	for i := 0; i < n; i++ {
+		x, y := data.Sample(i)
+		pred := m.Forward(x)
+		for j := range pred.Data {
+			sum += math.Abs(float64(pred.Data[j]) - float64(y.Data[j]))
+			count++
+		}
+	}
+	return sum / float64(count), nil
+}
+
+// RMSE returns the root-mean-square error of m's predictions over data.
+func RMSE(m *Model, data Data) (float64, error) {
+	n := data.Len()
+	if n == 0 {
+		return 0, fmt.Errorf("nn: empty evaluation data")
+	}
+	var sum float64
+	var count int
+	for i := 0; i < n; i++ {
+		x, y := data.Sample(i)
+		pred := m.Forward(x)
+		for j := range pred.Data {
+			d := float64(pred.Data[j]) - float64(y.Data[j])
+			sum += d * d
+			count++
+		}
+	}
+	return math.Sqrt(sum / float64(count)), nil
+}
+
+// Accuracy returns the fraction of samples whose argmax prediction
+// matches the argmax of the (one-hot) target.
+func Accuracy(m *Model, data Data) (float64, error) {
+	n := data.Len()
+	if n == 0 {
+		return 0, fmt.Errorf("nn: empty evaluation data")
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		x, y := data.Sample(i)
+		if argmax(m.Forward(x).Data) == argmax(y.Data) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n), nil
+}
+
+func argmax(xs []float32) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/tensor"
+)
+
+// constantModel builds a model whose single linear layer outputs a
+// constant (zero weights, fixed bias).
+func constantModel(t *testing.T, out []float32) *Model {
+	t.Helper()
+	m := MustNewModel(FFNN("const", 2, nil, len(out)), 1)
+	w, err := m.LayerParam("fc1.weight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Fill(0)
+	b, err := m.LayerParam("fc1.bias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(b.Data, out)
+	return m
+}
+
+func TestMAEKnown(t *testing.T) {
+	m := constantModel(t, []float32{1})
+	var d SliceData
+	d.X = append(d.X, tensor.New(2), tensor.New(2))
+	d.Y = append(d.Y,
+		tensor.FromSlice([]float32{0}, 1), // error 1
+		tensor.FromSlice([]float32{4}, 1)) // error 3
+	got, err := MAE(m, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("MAE = %v, want 2", got)
+	}
+}
+
+func TestRMSEKnown(t *testing.T) {
+	m := constantModel(t, []float32{1})
+	var d SliceData
+	d.X = append(d.X, tensor.New(2), tensor.New(2))
+	d.Y = append(d.Y,
+		tensor.FromSlice([]float32{0}, 1), // sq error 1
+		tensor.FromSlice([]float32{4}, 1)) // sq error 9
+	got, err := RMSE(m, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Sqrt(5)) > 1e-9 {
+		t.Fatalf("RMSE = %v, want sqrt(5)", got)
+	}
+}
+
+func TestRMSEAtLeastMAE(t *testing.T) {
+	// Jensen: RMSE >= MAE always.
+	m := MustNewModel(FFNN48(), 3)
+	var d SliceData
+	for i := 0; i < 20; i++ {
+		x := tensor.New(4)
+		x.Data[0] = float32(i) / 20
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, tensor.FromSlice([]float32{float32(i % 3)}, 1))
+	}
+	mae, err := MAE(m, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse, err := RMSE(m, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse < mae-1e-9 {
+		t.Fatalf("RMSE %v < MAE %v", rmse, mae)
+	}
+}
+
+func TestAccuracyKnown(t *testing.T) {
+	m := constantModel(t, []float32{0, 1, 0}) // always predicts class 1
+	var d SliceData
+	for _, class := range []int{1, 1, 0, 2} {
+		d.X = append(d.X, tensor.New(2))
+		y := tensor.New(3)
+		y.Data[class] = 1
+		d.Y = append(d.Y, y)
+	}
+	got, err := Accuracy(m, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Fatalf("Accuracy = %v, want 0.5", got)
+	}
+}
+
+func TestMetricsRejectEmptyData(t *testing.T) {
+	m := constantModel(t, []float32{1})
+	if _, err := MAE(m, SliceData{}); err == nil {
+		t.Error("MAE accepted empty data")
+	}
+	if _, err := RMSE(m, SliceData{}); err == nil {
+		t.Error("RMSE accepted empty data")
+	}
+	if _, err := Accuracy(m, SliceData{}); err == nil {
+		t.Error("Accuracy accepted empty data")
+	}
+}

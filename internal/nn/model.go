@@ -1,0 +1,196 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/mmm-go/mmm/internal/rng"
+	"github.com/mmm-go/mmm/internal/tensor"
+)
+
+// Model is an instantiated architecture: the layers plus their
+// parameter tensors. All models built from the same Architecture have
+// identical structure and parameter dictionary keys, differing only in
+// parameter values — the invariant multi-model management exploits.
+type Model struct {
+	Arch   *Architecture
+	Layers []Layer
+}
+
+// NewModel instantiates arch with parameters initialized from the
+// deterministic stream seeded by seed. Two calls with equal (arch,
+// seed) produce bit-identical models.
+func NewModel(arch *Architecture, seed uint64) (*Model, error) {
+	m, err := NewModelUninitialized(arch)
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(seed)
+	for _, l := range m.Layers {
+		// Derive a per-layer stream so initialization is independent of
+		// layer order and other layers' sizes.
+		switch layer := l.(type) {
+		case *Linear:
+			layer.Init(root.Derive("init/" + layer.Name()))
+		case *Conv2D:
+			layer.Init(root.Derive("init/" + layer.Name()))
+		}
+	}
+	return m, nil
+}
+
+// NewModelUninitialized instantiates arch with zeroed parameters. Use
+// it when the parameters will be overwritten immediately (recovery,
+// cloning); it skips the random-initialization cost, which dominates
+// when rebuilding thousands of models from a parameter file.
+func NewModelUninitialized(arch *Architecture) (*Model, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{Arch: arch}
+	for _, spec := range arch.Layers {
+		switch spec.Kind {
+		case KindLinear:
+			m.Layers = append(m.Layers, NewLinear(spec.Name, spec.In, spec.Out))
+		case KindConv2D:
+			m.Layers = append(m.Layers, NewConv2D(spec.Name, spec.InChannels, spec.OutChannels, spec.Kernel))
+		case KindReLU:
+			m.Layers = append(m.Layers, NewReLU(spec.Name))
+		case KindTanh:
+			m.Layers = append(m.Layers, NewTanh(spec.Name))
+		case KindMaxPool2:
+			m.Layers = append(m.Layers, NewMaxPool2(spec.Name))
+		case KindFlatten:
+			m.Layers = append(m.Layers, NewFlatten(spec.Name))
+		default:
+			return nil, fmt.Errorf("nn: unknown layer kind %q", spec.Kind)
+		}
+	}
+	return m, nil
+}
+
+// MustNewModel is NewModel for statically known-good architectures.
+func MustNewModel(arch *Architecture, seed uint64) *Model {
+	m, err := NewModel(arch, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Forward runs a single sample through all layers.
+func (m *Model) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range m.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates the output gradient through all layers,
+// accumulating parameter gradients.
+func (m *Model) Backward(grad *tensor.Tensor) {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		grad = m.Layers[i].Backward(grad)
+	}
+}
+
+// ZeroGrad clears all accumulated parameter gradients.
+func (m *Model) ZeroGrad() {
+	for _, l := range m.Layers {
+		l.ZeroGrad()
+	}
+}
+
+// Params returns all parameters in a stable order (layer order, then
+// weight before bias) — the model's ordered parameter dictionary.
+func (m *Model) Params() []Param {
+	var ps []Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Grads returns all parameter gradients, aligned with Params.
+func (m *Model) Grads() []Param {
+	var gs []Param
+	for _, l := range m.Layers {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}
+
+// ParamCount returns the total number of trainable parameters.
+func (m *Model) ParamCount() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Tensor.Len()
+	}
+	return n
+}
+
+// AppendParamBytes appends every parameter tensor's raw little-endian
+// float32 bytes, in dictionary order, to dst — the exact layout the
+// Baseline approach concatenates across models.
+func (m *Model) AppendParamBytes(dst []byte) []byte {
+	for _, p := range m.Params() {
+		dst = p.Tensor.AppendBytes(dst)
+	}
+	return dst
+}
+
+// ParamBytes returns the concatenated raw parameter bytes.
+func (m *Model) ParamBytes() []byte {
+	return m.AppendParamBytes(make([]byte, 0, 4*m.ParamCount()))
+}
+
+// SetParamBytes fills all parameters from concatenated raw bytes and
+// returns the number of bytes consumed.
+func (m *Model) SetParamBytes(b []byte) (int, error) {
+	total := 0
+	for _, p := range m.Params() {
+		n, err := p.Tensor.SetFromBytes(b[total:])
+		if err != nil {
+			return total, fmt.Errorf("nn: loading %s: %w", p.Name, err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// LayerParam returns the parameter tensor with the given dictionary
+// key, or an error if the key does not exist.
+func (m *Model) LayerParam(key string) (*tensor.Tensor, error) {
+	for _, p := range m.Params() {
+		if p.Name == key {
+			return p.Tensor, nil
+		}
+	}
+	return nil, fmt.Errorf("nn: no parameter %q", key)
+}
+
+// Clone returns a deep copy of the model (same architecture object,
+// copied parameters). Gradient state is not copied.
+func (m *Model) Clone() *Model {
+	c, err := NewModelUninitialized(m.Arch)
+	if err != nil {
+		panic(err) // m was built from this architecture
+	}
+	if _, err := c.SetParamBytes(m.ParamBytes()); err != nil {
+		panic(err) // same architecture, cannot happen
+	}
+	return c
+}
+
+// ParamsEqual reports whether m and o hold bit-identical parameters.
+func (m *Model) ParamsEqual(o *Model) bool {
+	a, b := m.Params(), o.Params()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || !a[i].Tensor.Equal(b[i].Tensor) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,170 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/mmm-go/mmm/internal/tensor"
+)
+
+func TestNewModelDeterministic(t *testing.T) {
+	a := MustNewModel(FFNN48(), 42)
+	b := MustNewModel(FFNN48(), 42)
+	if !a.ParamsEqual(b) {
+		t.Fatal("same (arch, seed) produced different parameters")
+	}
+	c := MustNewModel(FFNN48(), 43)
+	if a.ParamsEqual(c) {
+		t.Fatal("different seeds produced identical parameters")
+	}
+}
+
+func TestModelParamCountMatchesArch(t *testing.T) {
+	for _, arch := range []*Architecture{FFNN48(), FFNN69(), CIFARNet()} {
+		m := MustNewModel(arch, 1)
+		if m.ParamCount() != arch.ParamCount() {
+			t.Errorf("%s: model has %d params, arch says %d", arch.Name, m.ParamCount(), arch.ParamCount())
+		}
+	}
+}
+
+func TestParamDictOrderMatchesArchKeys(t *testing.T) {
+	arch := CIFARNet()
+	m := MustNewModel(arch, 1)
+	keys := arch.ParamKeys()
+	params := m.Params()
+	if len(keys) != len(params) {
+		t.Fatalf("arch has %d keys, model has %d params", len(keys), len(params))
+	}
+	for i := range keys {
+		if params[i].Name != keys[i] {
+			t.Errorf("param %d: model key %q, arch key %q", i, params[i].Name, keys[i])
+		}
+	}
+}
+
+func TestParamBytesRoundTrip(t *testing.T) {
+	src := MustNewModel(FFNN48(), 7)
+	dst := MustNewModel(FFNN48(), 99)
+	raw := src.ParamBytes()
+	if len(raw) != 4*4993 {
+		t.Fatalf("ParamBytes length %d, want %d", len(raw), 4*4993)
+	}
+	n, err := dst.SetParamBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(raw) {
+		t.Fatalf("consumed %d bytes, want %d", n, len(raw))
+	}
+	if !src.ParamsEqual(dst) {
+		t.Fatal("param byte round trip lost information")
+	}
+}
+
+func TestSetParamBytesShortBuffer(t *testing.T) {
+	m := MustNewModel(FFNN48(), 1)
+	if _, err := m.SetParamBytes(make([]byte, 100)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := MustNewModel(FFNN48(), 5)
+	c := m.Clone()
+	if !m.ParamsEqual(c) {
+		t.Fatal("clone differs from original")
+	}
+	c.Params()[0].Tensor.Data[0] += 1
+	if m.ParamsEqual(c) {
+		t.Fatal("clone shares parameter storage with original")
+	}
+}
+
+func TestForwardShapes(t *testing.T) {
+	m := MustNewModel(FFNN48(), 1)
+	out := m.Forward(tensor.New(4))
+	if out.Len() != 1 {
+		t.Fatalf("FFNN-48 output length %d, want 1", out.Len())
+	}
+	cm := MustNewModel(CIFARNet(), 1)
+	out = cm.Forward(tensor.New(3, 32, 32))
+	if out.Len() != 10 {
+		t.Fatalf("CIFAR output length %d, want 10", out.Len())
+	}
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	m := MustNewModel(FFNN48(), 3)
+	x := tensor.FromSlice([]float32{0.5, -0.2, 0.9, 0.1}, 4)
+	a := m.Forward(x).Clone()
+	b := m.Forward(x)
+	if !a.Equal(b) {
+		t.Fatal("Forward is not deterministic")
+	}
+}
+
+func TestLayerParam(t *testing.T) {
+	m := MustNewModel(FFNN48(), 1)
+	w, err := m.LayerParam("fc2.weight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Shape[0] != 48 || w.Shape[1] != 48 {
+		t.Fatalf("fc2.weight shape %v, want [48 48]", w.Shape)
+	}
+	if _, err := m.LayerParam("nope.weight"); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+}
+
+func TestNewModelRejectsInvalidArch(t *testing.T) {
+	if _, err := NewModel(&Architecture{Name: "bad"}, 1); err == nil {
+		t.Fatal("invalid architecture accepted")
+	}
+}
+
+// Gradient check for the whole FFNN model against finite differences.
+func TestModelGradientNumerical(t *testing.T) {
+	arch := FFNN("grad-test", 3, []int{5}, 2)
+	m := MustNewModel(arch, 11)
+	x := tensor.FromSlice([]float32{0.3, -0.7, 0.2}, 3)
+	y := tensor.FromSlice([]float32{1, -1}, 2)
+	loss := MSE{}
+
+	m.ZeroGrad()
+	_, grad := loss.Eval(m.Forward(x), y)
+	m.Backward(grad)
+	analytic := m.Grads()
+
+	const eps = 1e-3
+	const tol = 1e-2
+	params := m.Params()
+	for pi, p := range params {
+		for _, i := range []int{0, p.Tensor.Len() - 1} {
+			orig := p.Tensor.Data[i]
+			p.Tensor.Data[i] = orig + eps
+			up, _ := loss.Eval(m.Forward(x), y)
+			p.Tensor.Data[i] = orig - eps
+			down, _ := loss.Eval(m.Forward(x), y)
+			p.Tensor.Data[i] = orig
+			numeric := (up - down) / (2 * eps)
+			got := float64(analytic[pi].Tensor.Data[i])
+			if d := numeric - got; d > tol || d < -tol {
+				t.Errorf("%s grad[%d]: numeric %v, analytic %v", p.Name, i, numeric, got)
+			}
+		}
+	}
+}
+
+func TestQuickModelSeedDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := MustNewModel(FFNN48(), seed)
+		b := MustNewModel(FFNN48(), seed)
+		return bytes.Equal(a.ParamBytes(), b.ParamBytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

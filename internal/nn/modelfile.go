@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Single-model file format. Model sets live in the management stores,
+// but an individual recovered model often leaves the system — shipped
+// to a device, handed to an analysis notebook. SaveModel/LoadModel
+// define a small self-contained container for that:
+//
+//	magic   "MMM1"                        4 bytes
+//	archLen uint32 little-endian          4 bytes
+//	arch    JSON architecture             archLen bytes
+//	params  raw little-endian float32     4·ParamCount bytes
+//
+// The format is self-describing (the architecture travels along) and
+// byte-deterministic for a given model.
+
+// modelFileMagic identifies the single-model container format.
+var modelFileMagic = [4]byte{'M', 'M', 'M', '1'}
+
+// SaveModel writes m as a self-contained model file to w.
+func SaveModel(m *Model, w io.Writer) error {
+	archJSON, err := json.Marshal(m.Arch)
+	if err != nil {
+		return fmt.Errorf("nn: marshaling architecture: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(modelFileMagic[:]); err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(archJSON)))
+	if _, err := bw.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(archJSON); err != nil {
+		return err
+	}
+	if _, err := bw.Write(m.ParamBytes()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadModel reads a model file written by SaveModel.
+func LoadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("nn: reading model file magic: %w", err)
+	}
+	if !bytes.Equal(magic[:], modelFileMagic[:]) {
+		return nil, fmt.Errorf("nn: not a model file (magic %q)", magic)
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("nn: reading architecture length: %w", err)
+	}
+	archLen := binary.LittleEndian.Uint32(lenBuf[:])
+	const maxArchJSON = 1 << 20
+	if archLen == 0 || archLen > maxArchJSON {
+		return nil, fmt.Errorf("nn: implausible architecture length %d", archLen)
+	}
+	archJSON := make([]byte, archLen)
+	if _, err := io.ReadFull(br, archJSON); err != nil {
+		return nil, fmt.Errorf("nn: reading architecture: %w", err)
+	}
+	var arch Architecture
+	if err := json.Unmarshal(archJSON, &arch); err != nil {
+		return nil, fmt.Errorf("nn: parsing architecture: %w", err)
+	}
+	if err := arch.Validate(); err != nil {
+		return nil, fmt.Errorf("nn: model file architecture invalid: %w", err)
+	}
+	m, err := NewModelUninitialized(&arch)
+	if err != nil {
+		return nil, err
+	}
+	params := make([]byte, arch.ParamBytes())
+	if _, err := io.ReadFull(br, params); err != nil {
+		return nil, fmt.Errorf("nn: reading parameters: %w", err)
+	}
+	if _, err := m.SetParamBytes(params); err != nil {
+		return nil, err
+	}
+	// Trailing bytes indicate corruption or a format mismatch.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("nn: trailing bytes after model file")
+	}
+	return m, nil
+}

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestModelFileRoundTrip(t *testing.T) {
+	for _, arch := range []*Architecture{FFNN48(), FFNN69(), CIFARNet()} {
+		src := MustNewModel(arch, 7)
+		var buf bytes.Buffer
+		if err := SaveModel(src, &buf); err != nil {
+			t.Fatalf("%s: %v", arch.Name, err)
+		}
+		got, err := LoadModel(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", arch.Name, err)
+		}
+		if !src.ParamsEqual(got) {
+			t.Fatalf("%s: model file round trip lost parameters", arch.Name)
+		}
+		if got.Arch.Name != arch.Name {
+			t.Fatalf("%s: architecture name became %q", arch.Name, got.Arch.Name)
+		}
+	}
+}
+
+func TestModelFileDeterministic(t *testing.T) {
+	m := MustNewModel(FFNN48(), 3)
+	var a, b bytes.Buffer
+	if err := SaveModel(m, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveModel(m, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two saves of the same model differ byte-wise")
+	}
+}
+
+func TestLoadModelRejectsCorruption(t *testing.T) {
+	m := MustNewModel(FFNN48(), 3)
+	var buf bytes.Buffer
+	if err := SaveModel(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad magic":      append([]byte("XXXX"), good[4:]...),
+		"truncated":      good[:len(good)-10],
+		"trailing bytes": append(append([]byte{}, good...), 1, 2, 3),
+		"huge arch len":  append([]byte("MMM1\xff\xff\xff\xff"), good[8:]...),
+	}
+	for name, data := range cases {
+		if _, err := LoadModel(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func FuzzLoadModel(f *testing.F) {
+	m := MustNewModel(FFNN("fuzz", 2, []int{3}, 1), 1)
+	var buf bytes.Buffer
+	if err := SaveModel(m, &buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("MMM1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := LoadModel(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must re-save to the same bytes.
+		var out bytes.Buffer
+		if err := SaveModel(got, &out); err != nil {
+			t.Fatalf("accepted model cannot be re-saved: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatal("accepted model file does not round-trip byte-wise")
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mmm-go/mmm/internal/tensor"
+)
+
+// Optimizers. The paper's models are trained with "a variation of a
+// stochastic gradient descent algorithm"; this file provides the three
+// standard variations. All of them are bit-deterministic: state is
+// allocated per training run, updated in fixed parameter order, and
+// uses only float32 arithmetic plus float64 scalar constants — so a
+// provenance record that names the optimizer reproduces training
+// exactly.
+
+// OptimizerConfig selects and parameterizes the SGD variant. The zero
+// value means plain SGD, so training records written before this field
+// existed decode to the behaviour they were trained with.
+type OptimizerConfig struct {
+	// Name is "sgd" (default when empty), "momentum", or "adam".
+	Name string `json:"name,omitempty"`
+	// Momentum is the velocity coefficient for "momentum" (typical 0.9).
+	Momentum float32 `json:"momentum,omitempty"`
+	// Beta1, Beta2, Eps parameterize "adam"; zero values default to
+	// 0.9, 0.999, 1e-8.
+	Beta1 float32 `json:"beta1,omitempty"`
+	Beta2 float32 `json:"beta2,omitempty"`
+	Eps   float32 `json:"eps,omitempty"`
+}
+
+// Validate rejects unknown optimizers and nonsensical coefficients.
+func (c OptimizerConfig) Validate() error {
+	switch c.Name {
+	case "", "sgd":
+	case "momentum":
+		if c.Momentum < 0 || c.Momentum >= 1 {
+			return fmt.Errorf("nn: momentum must be in [0, 1), got %v", c.Momentum)
+		}
+	case "adam":
+		if c.Beta1 < 0 || c.Beta1 >= 1 || c.Beta2 < 0 || c.Beta2 >= 1 {
+			return fmt.Errorf("nn: adam betas must be in [0, 1)")
+		}
+		if c.Eps < 0 {
+			return fmt.Errorf("nn: adam eps must be non-negative")
+		}
+	default:
+		return fmt.Errorf("nn: unknown optimizer %q", c.Name)
+	}
+	return nil
+}
+
+// optimizer applies one batch update. grads are accumulated (not
+// averaged) over the batch; implementations divide by batchSize.
+type optimizer interface {
+	step(lr float32, batchSize int)
+}
+
+// newOptimizer builds the optimizer state for the trainable parameters.
+func newOptimizer(cfg OptimizerConfig, params []trainableParam) (optimizer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Name {
+	case "", "sgd":
+		return &sgd{params: params}, nil
+	case "momentum":
+		o := &momentum{params: params, mu: cfg.Momentum}
+		for _, p := range params {
+			o.velocity = append(o.velocity, tensor.New(p.param.Shape...))
+		}
+		return o, nil
+	case "adam":
+		o := &adam{
+			params: params,
+			beta1:  defaultF32(cfg.Beta1, 0.9),
+			beta2:  defaultF32(cfg.Beta2, 0.999),
+			eps:    defaultF32(cfg.Eps, 1e-8),
+		}
+		for _, p := range params {
+			o.m = append(o.m, tensor.New(p.param.Shape...))
+			o.v = append(o.v, tensor.New(p.param.Shape...))
+		}
+		return o, nil
+	}
+	panic("unreachable")
+}
+
+func defaultF32(v, def float32) float32 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// sgd is plain stochastic gradient descent.
+type sgd struct {
+	params []trainableParam
+}
+
+func (o *sgd) step(lr float32, batchSize int) {
+	scale := -lr / float32(batchSize)
+	for _, p := range o.params {
+		p.param.AXPYInPlace(scale, p.grad)
+	}
+}
+
+// momentum is SGD with classical (heavy-ball) momentum.
+type momentum struct {
+	params   []trainableParam
+	velocity []*tensor.Tensor
+	mu       float32
+}
+
+func (o *momentum) step(lr float32, batchSize int) {
+	inv := 1 / float32(batchSize)
+	for i, p := range o.params {
+		v := o.velocity[i]
+		for j := range v.Data {
+			v.Data[j] = o.mu*v.Data[j] + p.grad.Data[j]*inv
+			p.param.Data[j] -= lr * v.Data[j]
+		}
+	}
+}
+
+// adam is the Adam optimizer (Kingma & Ba 2015) with bias correction.
+type adam struct {
+	params       []trainableParam
+	m, v         []*tensor.Tensor
+	beta1, beta2 float32
+	eps          float32
+	t            int
+}
+
+func (o *adam) step(lr float32, batchSize int) {
+	o.t++
+	inv := 1 / float32(batchSize)
+	c1 := 1 - float32(math.Pow(float64(o.beta1), float64(o.t)))
+	c2 := 1 - float32(math.Pow(float64(o.beta2), float64(o.t)))
+	for i, p := range o.params {
+		m, v := o.m[i], o.v[i]
+		for j := range m.Data {
+			g := p.grad.Data[j] * inv
+			m.Data[j] = o.beta1*m.Data[j] + (1-o.beta1)*g
+			v.Data[j] = o.beta2*v.Data[j] + (1-o.beta2)*g*g
+			mhat := m.Data[j] / c1
+			vhat := v.Data[j] / c2
+			p.param.Data[j] -= lr * mhat / (float32(math.Sqrt(float64(vhat))) + o.eps)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+)
+
+func trainXORWith(t *testing.T, opt OptimizerConfig, epochs int, lr float32) (float64, []byte) {
+	t.Helper()
+	m := MustNewModel(FFNN("xor", 2, []int{8}, 1), 42)
+	data := xorData()
+	cfg := TrainConfig{
+		Epochs: epochs, BatchSize: 4, LearningRate: lr, Seed: 1, Loss: "mse",
+		Optimizer: opt,
+	}
+	if _, err := Train(m, data, cfg); err != nil {
+		t.Fatal(err)
+	}
+	loss, err := Evaluate(m, data, "mse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loss, m.ParamBytes()
+}
+
+func TestMomentumLearnsXOR(t *testing.T) {
+	loss, _ := trainXORWith(t, OptimizerConfig{Name: "momentum", Momentum: 0.9}, 800, 0.2)
+	if loss > 0.01 {
+		t.Fatalf("momentum did not learn XOR: MSE %v", loss)
+	}
+}
+
+func TestAdamLearnsXOR(t *testing.T) {
+	loss, _ := trainXORWith(t, OptimizerConfig{Name: "adam"}, 500, 0.02)
+	if loss > 0.01 {
+		t.Fatalf("adam did not learn XOR: MSE %v", loss)
+	}
+}
+
+func TestOptimizersAreDeterministic(t *testing.T) {
+	for _, opt := range []OptimizerConfig{
+		{}, // plain SGD
+		{Name: "momentum", Momentum: 0.9},
+		{Name: "adam"},
+	} {
+		_, a := trainXORWith(t, opt, 50, 0.1)
+		_, b := trainXORWith(t, opt, 50, 0.1)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("optimizer %q is not bit-deterministic", opt.Name)
+		}
+	}
+}
+
+func TestOptimizersDiffer(t *testing.T) {
+	_, sgdBytes := trainXORWith(t, OptimizerConfig{}, 50, 0.1)
+	_, momBytes := trainXORWith(t, OptimizerConfig{Name: "momentum", Momentum: 0.9}, 50, 0.1)
+	_, adamBytes := trainXORWith(t, OptimizerConfig{Name: "adam"}, 50, 0.1)
+	if bytes.Equal(sgdBytes, momBytes) {
+		t.Error("momentum produced the same parameters as plain SGD")
+	}
+	if bytes.Equal(sgdBytes, adamBytes) {
+		t.Error("adam produced the same parameters as plain SGD")
+	}
+}
+
+func TestEmptyOptimizerNameIsSGD(t *testing.T) {
+	// Back-compat: zero-value optimizer config must behave exactly like
+	// explicit "sgd" (old provenance records have no optimizer field).
+	_, implicit := trainXORWith(t, OptimizerConfig{}, 50, 0.1)
+	_, explicit := trainXORWith(t, OptimizerConfig{Name: "sgd"}, 50, 0.1)
+	if !bytes.Equal(implicit, explicit) {
+		t.Fatal("empty optimizer name does not match explicit sgd")
+	}
+}
+
+func TestOptimizerConfigValidate(t *testing.T) {
+	good := []OptimizerConfig{
+		{},
+		{Name: "sgd"},
+		{Name: "momentum", Momentum: 0.9},
+		{Name: "adam"},
+		{Name: "adam", Beta1: 0.8, Beta2: 0.99, Eps: 1e-7},
+	}
+	for i, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("good config %d rejected: %v", i, err)
+		}
+	}
+	bad := []OptimizerConfig{
+		{Name: "rmsprop"},
+		{Name: "momentum", Momentum: 1.0},
+		{Name: "momentum", Momentum: -0.1},
+		{Name: "adam", Beta1: 1.0},
+		{Name: "adam", Beta2: -0.5},
+		{Name: "adam", Eps: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestTrainConfigValidatesOptimizer(t *testing.T) {
+	cfg := TrainConfig{
+		Epochs: 1, BatchSize: 1, LearningRate: 0.1, Loss: "mse",
+		Optimizer: OptimizerConfig{Name: "quantum"},
+	}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("train config with unknown optimizer accepted")
+	}
+}
+
+func TestAdamDefaults(t *testing.T) {
+	// Zero betas/eps must resolve to the canonical defaults rather than
+	// degenerate zero coefficients.
+	m := MustNewModel(FFNN("t", 2, []int{2}, 1), 1)
+	params := trainableParams(m, nil)
+	o, err := newOptimizer(OptimizerConfig{Name: "adam"}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := o.(*adam)
+	if a.beta1 != 0.9 || a.beta2 != 0.999 {
+		t.Fatalf("adam defaults = %v/%v, want 0.9/0.999", a.beta1, a.beta2)
+	}
+	if a.eps <= 0 {
+		t.Fatal("adam eps not defaulted")
+	}
+}

@@ -1,0 +1,180 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/mmm-go/mmm/internal/rng"
+	"github.com/mmm-go/mmm/internal/tensor"
+)
+
+// Data is the minimal training-data view the trainer needs. The dataset
+// package implements it; tests implement it with in-memory slices.
+type Data interface {
+	// Len returns the number of samples.
+	Len() int
+	// Sample returns the i-th (input, target) pair. Implementations may
+	// return shared tensors; the trainer does not mutate them.
+	Sample(i int) (x, y *tensor.Tensor)
+}
+
+// TrainConfig fully describes one training run. Together with the data
+// reference and the starting parameters it *is* the provenance of the
+// resulting model: re-running Train with equal inputs reproduces the
+// parameters bit-for-bit.
+type TrainConfig struct {
+	Epochs       int     `json:"epochs"`
+	BatchSize    int     `json:"batch_size"`
+	LearningRate float32 `json:"learning_rate"`
+	// Seed drives data shuffling. It is recorded per training run.
+	Seed uint64 `json:"seed"`
+	// Loss names the loss function ("mse" or "cross_entropy").
+	Loss string `json:"loss"`
+	// TrainLayers restricts the update to the named layers (a partial
+	// update in the paper's terminology). Empty means all layers (a
+	// full update). Gradients still flow through frozen layers.
+	TrainLayers []string `json:"train_layers,omitempty"`
+	// Optimizer selects the SGD variant; the zero value is plain SGD.
+	Optimizer OptimizerConfig `json:"optimizer,omitempty"`
+}
+
+// Validate checks the configuration for obvious mistakes.
+func (c TrainConfig) Validate() error {
+	if c.Epochs <= 0 {
+		return fmt.Errorf("nn: epochs must be positive, got %d", c.Epochs)
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("nn: batch size must be positive, got %d", c.BatchSize)
+	}
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("nn: learning rate must be positive, got %v", c.LearningRate)
+	}
+	if _, err := LossByName(c.Loss); err != nil {
+		return err
+	}
+	return c.Optimizer.Validate()
+}
+
+// TrainStats summarizes a training run.
+type TrainStats struct {
+	Epochs    int
+	Samples   int
+	FinalLoss float64
+}
+
+// Train runs plain mini-batch SGD on m over data, deterministically.
+//
+// Determinism contract: the only source of randomness is the shuffle
+// stream derived from cfg.Seed; iteration order, gradient accumulation
+// order, and the float32 update arithmetic are all fixed. This is the
+// property the Provenance approach's recovery builds on.
+func Train(m *Model, data Data, cfg TrainConfig) (TrainStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return TrainStats{}, err
+	}
+	lossFn, err := LossByName(cfg.Loss)
+	if err != nil {
+		return TrainStats{}, err
+	}
+	n := data.Len()
+	if n == 0 {
+		return TrainStats{}, fmt.Errorf("nn: empty training data")
+	}
+
+	trainable := trainableParams(m, cfg.TrainLayers)
+	if len(trainable) == 0 {
+		return TrainStats{}, fmt.Errorf("nn: no trainable layers match %v", cfg.TrainLayers)
+	}
+	opt, err := newOptimizer(cfg.Optimizer, trainable)
+	if err != nil {
+		return TrainStats{}, err
+	}
+
+	shuffler := rng.New(cfg.Seed).Derive("shuffle")
+	stats := TrainStats{Epochs: cfg.Epochs, Samples: n}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		shuffler.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			m.ZeroGrad()
+			for _, idx := range order[start:end] {
+				x, y := data.Sample(idx)
+				pred := m.Forward(x)
+				loss, grad := lossFn.Eval(pred, y)
+				epochLoss += loss
+				m.Backward(grad)
+			}
+			opt.step(cfg.LearningRate, end-start)
+		}
+		stats.FinalLoss = epochLoss / float64(n)
+	}
+	return stats, nil
+}
+
+// Evaluate returns the mean loss of m over data without updating
+// parameters.
+func Evaluate(m *Model, data Data, lossName string) (float64, error) {
+	lossFn, err := LossByName(lossName)
+	if err != nil {
+		return 0, err
+	}
+	n := data.Len()
+	if n == 0 {
+		return 0, fmt.Errorf("nn: empty evaluation data")
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		x, y := data.Sample(i)
+		loss, _ := lossFn.Eval(m.Forward(x), y)
+		total += loss
+	}
+	return total / float64(n), nil
+}
+
+type trainableParam struct {
+	param *tensor.Tensor
+	grad  *tensor.Tensor
+}
+
+// trainableParams pairs each selected layer's parameter tensors with
+// their gradient tensors. layers == nil selects everything.
+func trainableParams(m *Model, layers []string) []trainableParam {
+	selected := func(string) bool { return true }
+	if len(layers) > 0 {
+		set := make(map[string]bool, len(layers))
+		for _, l := range layers {
+			set[l] = true
+		}
+		selected = func(name string) bool { return set[name] }
+	}
+	var out []trainableParam
+	for _, l := range m.Layers {
+		if !selected(l.Name()) {
+			continue
+		}
+		ps, gs := l.Params(), l.Grads()
+		for i := range ps {
+			out = append(out, trainableParam{param: ps[i].Tensor, grad: gs[i].Tensor})
+		}
+	}
+	return out
+}
+
+// SliceData adapts in-memory tensor slices to the Data interface.
+type SliceData struct {
+	X []*tensor.Tensor
+	Y []*tensor.Tensor
+}
+
+// Len implements Data.
+func (d SliceData) Len() int { return len(d.X) }
+
+// Sample implements Data.
+func (d SliceData) Sample(i int) (*tensor.Tensor, *tensor.Tensor) { return d.X[i], d.Y[i] }

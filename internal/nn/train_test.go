@@ -1,0 +1,293 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/rng"
+	"github.com/mmm-go/mmm/internal/tensor"
+)
+
+// xorData is a tiny nonlinear regression problem the FFNN must be able
+// to fit, proving forward/backward/update are wired correctly.
+func xorData() SliceData {
+	var d SliceData
+	for _, c := range [][3]float32{
+		{0, 0, 0}, {0, 1, 1}, {1, 0, 1}, {1, 1, 0},
+	} {
+		d.X = append(d.X, tensor.FromSlice([]float32{c[0], c[1]}, 2))
+		d.Y = append(d.Y, tensor.FromSlice([]float32{c[2]}, 1))
+	}
+	return d
+}
+
+func TestTrainLearnsXOR(t *testing.T) {
+	arch := FFNN("xor", 2, []int{8}, 1)
+	m := MustNewModel(arch, 42)
+	data := xorData()
+	before, err := Evaluate(m, data, "mse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Train(m, data, TrainConfig{
+		Epochs: 2000, BatchSize: 4, LearningRate: 0.5, Seed: 1, Loss: "mse",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Evaluate(m, data, "mse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("training did not reduce loss: %v -> %v", before, after)
+	}
+	if after > 0.01 {
+		t.Fatalf("XOR not learned, final MSE = %v", after)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	// The provenance guarantee: equal (arch seed, data, config) gives
+	// bit-identical parameters.
+	data := xorData()
+	cfg := TrainConfig{Epochs: 50, BatchSize: 2, LearningRate: 0.1, Seed: 9, Loss: "mse"}
+	run := func() []byte {
+		m := MustNewModel(FFNN("xor", 2, []int{8}, 1), 42)
+		if _, err := Train(m, data, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return m.ParamBytes()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("runs produced different parameter sizes")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("training is not bit-deterministic: byte %d differs", i)
+		}
+	}
+}
+
+func TestTrainSeedChangesResult(t *testing.T) {
+	data := xorData()
+	run := func(seed uint64) []byte {
+		m := MustNewModel(FFNN("xor", 2, []int{8}, 1), 42)
+		cfg := TrainConfig{Epochs: 20, BatchSize: 1, LearningRate: 0.1, Seed: seed, Loss: "mse"}
+		if _, err := Train(m, data, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return m.ParamBytes()
+	}
+	a, b := run(1), run(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different shuffle seeds produced identical parameters")
+	}
+}
+
+func TestPartialUpdateOnlyChangesSelectedLayers(t *testing.T) {
+	// The paper's partial update: retrain single layers; only their
+	// parameters may change.
+	m := MustNewModel(FFNN48(), 7)
+	before := map[string][]float32{}
+	for _, p := range m.Params() {
+		before[p.Name] = append([]float32(nil), p.Tensor.Data...)
+	}
+
+	r := rng.New(3)
+	var data SliceData
+	for i := 0; i < 32; i++ {
+		x := tensor.New(4)
+		for j := range x.Data {
+			x.Data[j] = float32(r.NormFloat64())
+		}
+		data.X = append(data.X, x)
+		data.Y = append(data.Y, tensor.FromSlice([]float32{float32(r.NormFloat64())}, 1))
+	}
+
+	cfg := TrainConfig{
+		Epochs: 3, BatchSize: 8, LearningRate: 0.05, Seed: 4, Loss: "mse",
+		TrainLayers: []string{"fc4"},
+	}
+	if _, err := Train(m, data, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, p := range m.Params() {
+		changed := false
+		for i, v := range p.Tensor.Data {
+			if v != before[p.Name][i] {
+				changed = true
+				break
+			}
+		}
+		isTarget := p.Name == "fc4.weight" || p.Name == "fc4.bias"
+		if isTarget && !changed {
+			t.Errorf("%s should have changed in partial update", p.Name)
+		}
+		if !isTarget && changed {
+			t.Errorf("%s changed although frozen", p.Name)
+		}
+	}
+}
+
+func TestTrainConfigValidate(t *testing.T) {
+	good := TrainConfig{Epochs: 1, BatchSize: 1, LearningRate: 0.1, Loss: "mse"}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []TrainConfig{
+		{Epochs: 0, BatchSize: 1, LearningRate: 0.1, Loss: "mse"},
+		{Epochs: 1, BatchSize: 0, LearningRate: 0.1, Loss: "mse"},
+		{Epochs: 1, BatchSize: 1, LearningRate: 0, Loss: "mse"},
+		{Epochs: 1, BatchSize: 1, LearningRate: 0.1, Loss: "hinge"},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	m := MustNewModel(FFNN("t", 2, []int{2}, 1), 1)
+	cfg := TrainConfig{Epochs: 1, BatchSize: 1, LearningRate: 0.1, Loss: "mse"}
+	if _, err := Train(m, SliceData{}, cfg); err == nil {
+		t.Error("empty data accepted")
+	}
+	cfg.TrainLayers = []string{"does-not-exist"}
+	if _, err := Train(m, xorDataDim2(), cfg); err == nil {
+		t.Error("nonexistent train layer accepted")
+	}
+}
+
+func xorDataDim2() SliceData {
+	var d SliceData
+	d.X = append(d.X, tensor.New(2))
+	d.Y = append(d.Y, tensor.New(1))
+	return d
+}
+
+func TestEvaluate(t *testing.T) {
+	m := MustNewModel(FFNN("t", 1, []int{2}, 1), 1)
+	var d SliceData
+	d.X = append(d.X, tensor.FromSlice([]float32{1}, 1))
+	d.Y = append(d.Y, m.Forward(d.X[0]).Clone())
+	loss, err := Evaluate(m, d, "mse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss != 0 {
+		t.Fatalf("self-consistent target gives loss %v, want 0", loss)
+	}
+	if _, err := Evaluate(m, SliceData{}, "mse"); err == nil {
+		t.Error("empty evaluation data accepted")
+	}
+}
+
+func TestCIFARNetTrainStep(t *testing.T) {
+	// One training step on the CNN must run and reduce loss on a
+	// memorization task.
+	m := MustNewModel(CIFARNet(), 1)
+	r := rng.New(5)
+	var d SliceData
+	for i := 0; i < 4; i++ {
+		x := tensor.New(3, 32, 32)
+		for j := range x.Data {
+			x.Data[j] = float32(r.NormFloat64()) * 0.5
+		}
+		y := tensor.New(10)
+		y.Data[i%10] = 1
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, y)
+	}
+	before, _ := Evaluate(m, d, "cross_entropy")
+	_, err := Train(m, d, TrainConfig{
+		Epochs: 30, BatchSize: 4, LearningRate: 0.05, Seed: 2, Loss: "cross_entropy",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := Evaluate(m, d, "cross_entropy")
+	if !(after < before) {
+		t.Fatalf("CNN training did not reduce loss: %v -> %v", before, after)
+	}
+}
+
+func TestMSELoss(t *testing.T) {
+	pred := tensor.FromSlice([]float32{1, 2}, 2)
+	target := tensor.FromSlice([]float32{0, 0}, 2)
+	loss, grad := MSE{}.Eval(pred, target)
+	if math.Abs(loss-2.5) > 1e-6 { // (1+4)/2
+		t.Errorf("MSE loss = %v, want 2.5", loss)
+	}
+	if grad.Data[0] != 1 || grad.Data[1] != 2 { // 2*d/n
+		t.Errorf("MSE grad = %v, want [1 2]", grad.Data)
+	}
+}
+
+func TestCrossEntropyLoss(t *testing.T) {
+	pred := tensor.FromSlice([]float32{0, 0, 0}, 3) // uniform softmax
+	target := tensor.FromSlice([]float32{1, 0, 0}, 3)
+	loss, grad := CrossEntropy{}.Eval(pred, target)
+	if math.Abs(loss-math.Log(3)) > 1e-6 {
+		t.Errorf("CE loss = %v, want ln(3) = %v", loss, math.Log(3))
+	}
+	// grad = softmax - target = [1/3-1, 1/3, 1/3]
+	if math.Abs(float64(grad.Data[0])+2.0/3.0) > 1e-6 {
+		t.Errorf("CE grad[0] = %v, want -2/3", grad.Data[0])
+	}
+}
+
+func TestCrossEntropyNumericallyStable(t *testing.T) {
+	pred := tensor.FromSlice([]float32{1000, -1000}, 2)
+	target := tensor.FromSlice([]float32{1, 0}, 2)
+	loss, grad := CrossEntropy{}.Eval(pred, target)
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("CE loss not stable for large logits: %v", loss)
+	}
+	for _, g := range grad.Data {
+		if math.IsNaN(float64(g)) {
+			t.Fatal("CE grad contains NaN")
+		}
+	}
+}
+
+func BenchmarkFFNN48Forward(b *testing.B) {
+	m := MustNewModel(FFNN48(), 1)
+	x := tensor.FromSlice([]float32{0.1, 0.2, 0.3, 0.4}, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.Forward(x)
+	}
+}
+
+func BenchmarkFFNN48TrainEpoch(b *testing.B) {
+	m := MustNewModel(FFNN48(), 1)
+	r := rng.New(1)
+	var d SliceData
+	for i := 0; i < 64; i++ {
+		x := tensor.New(4)
+		for j := range x.Data {
+			x.Data[j] = float32(r.NormFloat64())
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, tensor.FromSlice([]float32{float32(r.NormFloat64())}, 1))
+	}
+	cfg := TrainConfig{Epochs: 1, BatchSize: 16, LearningRate: 0.01, Seed: 1, Loss: "mse"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(m, d, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package rng provides a small, fully deterministic random number
+// generator used throughout the library.
+//
+// Determinism is a functional requirement, not a convenience: the
+// Provenance approach recovers models by re-executing their training,
+// and recovery is only correct if every random decision (weight
+// initialization, data shuffling, noise injection) is bit-for-bit
+// reproducible from a recorded seed. The standard library's math/rand
+// does not guarantee a stable algorithm across Go releases, so we pin
+// our own.
+//
+// The generator is SplitMix64 (Steele, Lea, Flood 2014): tiny state,
+// excellent statistical quality for non-cryptographic use, and trivially
+// splittable, which lets us derive independent, reproducible streams for
+// separate purposes (e.g. "init of model 17, layer 2" vs "noise of
+// cycle 3") from a single recorded root seed.
+package rng
+
+import "math"
+
+// RNG is a deterministic SplitMix64 random number generator.
+// The zero value is a valid generator seeded with 0; prefer New.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// golden gamma used by SplitMix64 to advance the state.
+const golden = 0x9e3779b97f4a7c15
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += golden
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Split derives a new, statistically independent generator from r.
+// The derived stream is a pure function of r's current state, so a
+// fixed sequence of Split/Uint64 calls is fully reproducible.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64()}
+}
+
+// Derive returns an independent generator for a named purpose.
+// Unlike Split, Derive does not advance r: it mixes the label into a
+// copy of the current state, so the same (state, label) pair always
+// yields the same stream regardless of call order between labels.
+func (r *RNG) Derive(label string) *RNG {
+	h := r.state
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 0x100000001b3 // FNV-1a prime
+	}
+	// One SplitMix64 finalization round to decorrelate similar labels.
+	h += golden
+	z := h
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return &RNG{state: z ^ (z >> 31)}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniform float32 in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / (1 << 24)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the Box-Muller transform. Box-Muller is
+// chosen over ziggurat for its simplicity and bit-stable behaviour.
+func (r *RNG) NormFloat64() float64 {
+	// Draw u1 in (0, 1] to keep the log argument positive.
+	u1 := 1.0 - r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Perm returns a deterministic pseudo-random permutation of [0, n)
+// produced by a Fisher-Yates shuffle.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Sample returns k distinct indices drawn uniformly from [0, n) in
+// selection order. It panics if k > n or k < 0.
+func (r *RNG) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Sample requires 0 <= k <= n")
+	}
+	p := r.Perm(n)
+	return p[:k]
+}
+
+// State returns the current internal state, allowing a stream position
+// to be recorded and later resumed with Restore.
+func (r *RNG) State() uint64 { return r.state }
+
+// Restore sets the internal state previously obtained from State.
+func (r *RNG) Restore(state uint64) { r.state = state }

@@ -1,0 +1,263 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/mmm-go/mmm/internal/core"
+	"github.com/mmm-go/mmm/internal/dataset"
+	"github.com/mmm-go/mmm/internal/nn"
+)
+
+// Client talks to a management Server. It mirrors the approach API:
+// Save, Recover, RecoverModels, plus the operational endpoints.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://manager:8080".
+	BaseURL string
+	// HTTP is the client to use; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// decodeError extracts the server's JSON error envelope.
+func decodeError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var e httpError
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e); err == nil && e.Error != "" {
+		return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.http().Get(c.BaseURL + path)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) postJSON(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return decodeError(resp)
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health checks the server is up.
+func (c *Client) Health() error {
+	var out map[string]string
+	if err := c.getJSON("/healthz", &out); err != nil {
+		return err
+	}
+	if out["status"] != "ok" {
+		return fmt.Errorf("server unhealthy: %v", out)
+	}
+	return nil
+}
+
+// Approaches lists the approach names the server exposes.
+func (c *Client) Approaches() ([]string, error) {
+	var out []string
+	err := c.getJSON("/api/approaches", &out)
+	return out, err
+}
+
+// List returns the set IDs saved under an approach.
+func (c *Client) List(approach string) ([]string, error) {
+	var out []string
+	err := c.getJSON("/api/"+approach+"/sets", &out)
+	return out, err
+}
+
+// Info returns a set's lineage, newest first.
+func (c *Client) Info(approach, setID string) ([]core.SetInfo, error) {
+	var out []core.SetInfo
+	err := c.getJSON("/api/"+approach+"/sets/"+setID, &out)
+	return out, err
+}
+
+// Save uploads a model set. base, updates, and train follow
+// core.SaveRequest semantics.
+func (c *Client) Save(approach string, set *core.ModelSet, base string, updates []core.ModelUpdate, train *core.TrainInfo) (core.SaveResult, error) {
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	mpart, err := mw.CreateFormField("manifest")
+	if err != nil {
+		return core.SaveResult{}, err
+	}
+	manifest := Manifest{
+		Arch: set.Arch, NumModels: set.Len(),
+		Base: base, Updates: updates, Train: train,
+	}
+	if err := json.NewEncoder(mpart).Encode(manifest); err != nil {
+		return core.SaveResult{}, err
+	}
+	ppart, err := mw.CreateFormFile("params", "params.bin")
+	if err != nil {
+		return core.SaveResult{}, err
+	}
+	if _, err := ppart.Write(setToBytes(set)); err != nil {
+		return core.SaveResult{}, err
+	}
+	if err := mw.Close(); err != nil {
+		return core.SaveResult{}, err
+	}
+
+	resp, err := c.http().Post(c.BaseURL+"/api/"+approach+"/sets", mw.FormDataContentType(), &buf)
+	if err != nil {
+		return core.SaveResult{}, err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return core.SaveResult{}, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var res core.SaveResult
+	err = json.NewDecoder(resp.Body).Decode(&res)
+	return res, err
+}
+
+// Recover downloads a full set.
+func (c *Client) Recover(approach, setID string) (*core.ModelSet, error) {
+	manifest, params, err := c.fetchParams("/api/" + approach + "/sets/" + setID + "/params")
+	if err != nil {
+		return nil, err
+	}
+	return setFromBytes(manifest.Arch, manifest.NumModels, params)
+}
+
+// RecoverModels downloads selected models of a set.
+func (c *Client) RecoverModels(approach, setID string, indices []int) (*core.PartialRecovery, error) {
+	strs := make([]string, len(indices))
+	for i, v := range indices {
+		strs[i] = strconv.Itoa(v)
+	}
+	path := "/api/" + approach + "/sets/" + setID + "/params?indices=" + strings.Join(strs, ",")
+	manifest, params, err := c.fetchParams(path)
+	if err != nil {
+		return nil, err
+	}
+	per := manifest.Arch.ParamBytes()
+	if len(params) != per*len(manifest.Indices) {
+		return nil, fmt.Errorf("server: selective recovery returned %d bytes for %d models",
+			len(params), len(manifest.Indices))
+	}
+	out := &core.PartialRecovery{Arch: manifest.Arch, Models: map[int]*nn.Model{}}
+	for i, idx := range manifest.Indices {
+		m, err := nn.NewModelUninitialized(manifest.Arch)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := m.SetParamBytes(params[i*per : (i+1)*per]); err != nil {
+			return nil, err
+		}
+		out.Models[idx] = m
+	}
+	return out, nil
+}
+
+// fetchParams downloads a multipart recovery response.
+func (c *Client) fetchParams(path string) (*RecoveryManifest, []byte, error) {
+	resp, err := c.http().Get(c.BaseURL + path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	mediaType, mtParams, err := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if err != nil || !strings.HasPrefix(mediaType, "multipart/") {
+		return nil, nil, fmt.Errorf("server: unexpected content type %q", resp.Header.Get("Content-Type"))
+	}
+	mr := multipart.NewReader(resp.Body, mtParams["boundary"])
+	var manifest *RecoveryManifest
+	var params []byte
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		switch part.FormName() {
+		case "manifest":
+			manifest = &RecoveryManifest{}
+			if err := json.NewDecoder(part).Decode(manifest); err != nil {
+				return nil, nil, fmt.Errorf("server: parsing recovery manifest: %w", err)
+			}
+		case "params":
+			if params, err = io.ReadAll(part); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if manifest == nil || manifest.Arch == nil {
+		return nil, nil, fmt.Errorf("server: recovery response missing manifest")
+	}
+	return manifest, params, nil
+}
+
+// Verify runs a server-side store verification.
+func (c *Client) Verify(approach string) ([]core.Issue, error) {
+	var out []core.Issue
+	err := c.postJSON("/api/"+approach+"/verify", struct{}{}, &out)
+	return out, err
+}
+
+// Prune expires all sets except the closure of keep.
+func (c *Client) Prune(approach string, keep []string) (*core.PruneReport, error) {
+	var out core.PruneReport
+	if err := c.postJSON("/api/"+approach+"/prune", pruneRequest{Keep: keep}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PutDataset registers a dataset spec in the server's registry and
+// returns its ID — required before saving provenance updates that
+// reference it.
+func (c *Client) PutDataset(spec dataset.Spec) (string, error) {
+	var out map[string]string
+	if err := c.postJSON("/api/datasets", spec, &out); err != nil {
+		return "", err
+	}
+	return out["id"], nil
+}
+
+// Datasets lists the registered dataset IDs.
+func (c *Client) Datasets() ([]string, error) {
+	var out []string
+	err := c.getJSON("/api/datasets", &out)
+	return out, err
+}

@@ -1,0 +1,405 @@
+// Package server exposes multi-model management as an HTTP service:
+// the deployment picture of the paper's Figure 1 — many devices (or a
+// fleet gateway) pushing updated model sets to a central manager, and
+// analysts pulling selected models back out after incidents.
+//
+// The wire format keeps parameters binary end to end: a save request
+// is a multipart body with a JSON "manifest" part (architecture, base
+// set, update records, training info) and a raw "params" part
+// (concatenated little-endian float32, exactly the Baseline file
+// layout); recovery responses mirror it. Nothing is base64'd, so a
+// 5000-model FFNN-48 set costs its 99.9 MB and not 133 MB.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/mmm-go/mmm/internal/core"
+	"github.com/mmm-go/mmm/internal/dataset"
+	"github.com/mmm-go/mmm/internal/nn"
+)
+
+// Manifest is the JSON part of a save request: everything about a set
+// except the parameter bytes.
+type Manifest struct {
+	Arch      *nn.Architecture   `json:"arch"`
+	NumModels int                `json:"num_models"`
+	Base      string             `json:"base,omitempty"`
+	Updates   []core.ModelUpdate `json:"updates,omitempty"`
+	Train     *core.TrainInfo    `json:"train,omitempty"`
+}
+
+// RecoveryManifest is the JSON part of a recovery response.
+type RecoveryManifest struct {
+	Arch      *nn.Architecture `json:"arch"`
+	NumModels int              `json:"num_models"`
+	// Indices is set on selective recoveries: the model index each
+	// consecutive parameter block belongs to.
+	Indices []int `json:"indices,omitempty"`
+}
+
+// Server serves a set of management approaches over HTTP.
+type Server struct {
+	stores     core.Stores
+	approaches map[string]core.Approach
+	mux        *http.ServeMux
+}
+
+// New builds a server over stores, exposing the four standard
+// approaches under their lower-case names (baseline, update,
+// provenance, mmlib).
+func New(stores core.Stores) *Server {
+	s := &Server{
+		stores: stores,
+		approaches: map[string]core.Approach{
+			"baseline":   core.NewBaseline(stores),
+			"update":     core.NewUpdate(stores),
+			"provenance": core.NewProvenance(stores),
+			"mmlib":      core.NewMMlibBase(stores),
+		},
+		mux: http.NewServeMux(),
+	}
+	s.routes()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/approaches", s.handleApproaches)
+	s.mux.HandleFunc("GET /api/{approach}/sets", s.handleList)
+	s.mux.HandleFunc("POST /api/{approach}/sets", s.handleSave)
+	s.mux.HandleFunc("GET /api/{approach}/sets/{id}", s.handleInfo)
+	s.mux.HandleFunc("GET /api/{approach}/sets/{id}/params", s.handleRecover)
+	s.mux.HandleFunc("POST /api/{approach}/verify", s.handleVerify)
+	s.mux.HandleFunc("POST /api/{approach}/prune", s.handlePrune)
+	s.mux.HandleFunc("POST /api/datasets", s.handlePutDataset)
+	s.mux.HandleFunc("GET /api/datasets", s.handleListDatasets)
+}
+
+// httpError is the JSON error envelope.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, httpError{Error: err.Error()})
+}
+
+func (s *Server) approach(w http.ResponseWriter, r *http.Request) (core.Approach, bool) {
+	name := r.PathValue("approach")
+	a, ok := s.approaches[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown approach %q", name))
+		return nil, false
+	}
+	return a, true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleApproaches(w http.ResponseWriter, _ *http.Request) {
+	names := make([]string, 0, len(s.approaches))
+	for n := range s.approaches {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, names)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	a, ok := s.approach(w, r)
+	if !ok {
+		return
+	}
+	l, ok := a.(interface{ SetIDs() ([]string, error) })
+	if !ok {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("approach does not list sets"))
+		return
+	}
+	ids, err := l.SetIDs()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if ids == nil {
+		ids = []string{}
+	}
+	writeJSON(w, http.StatusOK, ids)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	a, ok := s.approach(w, r)
+	if !ok {
+		return
+	}
+	l, ok := a.(core.Lineager)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("approach does not expose lineage"))
+		return
+	}
+	chain, err := l.Lineage(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, chain)
+}
+
+// maxSaveBytes bounds a save request body (manifest + parameters).
+const maxSaveBytes = 1 << 31 // 2 GiB
+
+func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
+	a, ok := s.approach(w, r)
+	if !ok {
+		return
+	}
+	mr, err := r.MultipartReader()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("expected multipart body: %w", err))
+		return
+	}
+
+	var manifest *Manifest
+	var params []byte
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		switch part.FormName() {
+		case "manifest":
+			manifest = &Manifest{}
+			if err := json.NewDecoder(io.LimitReader(part, 1<<24)).Decode(manifest); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("parsing manifest: %w", err))
+				return
+			}
+		case "params":
+			params, err = io.ReadAll(io.LimitReader(part, maxSaveBytes))
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("reading params: %w", err))
+				return
+			}
+		}
+	}
+	if manifest == nil || manifest.Arch == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing manifest part"))
+		return
+	}
+	set, err := setFromBytes(manifest.Arch, manifest.NumModels, params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := a.Save(core.SaveRequest{
+		Set: set, Base: manifest.Base,
+		Updates: manifest.Updates, Train: manifest.Train,
+	})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, res)
+}
+
+func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
+	a, ok := s.approach(w, r)
+	if !ok {
+		return
+	}
+	id := r.PathValue("id")
+
+	var manifest RecoveryManifest
+	var params []byte
+	if raw := r.URL.Query().Get("indices"); raw != "" {
+		indices, err := parseIndices(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		pr, ok := a.(core.PartialRecoverer)
+		if !ok {
+			writeError(w, http.StatusNotImplemented, fmt.Errorf("approach does not support selective recovery"))
+			return
+		}
+		rec, err := pr.RecoverModels(id, indices)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		sorted := make([]int, 0, len(rec.Models))
+		for idx := range rec.Models {
+			sorted = append(sorted, idx)
+		}
+		sort.Ints(sorted)
+		manifest = RecoveryManifest{Arch: rec.Arch, NumModels: len(sorted), Indices: sorted}
+		for _, idx := range sorted {
+			params = rec.Models[idx].AppendParamBytes(params)
+		}
+	} else {
+		set, err := a.Recover(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		manifest = RecoveryManifest{Arch: set.Arch, NumModels: set.Len()}
+		params = setToBytes(set)
+	}
+
+	mw := multipart.NewWriter(w)
+	w.Header().Set("Content-Type", mw.FormDataContentType())
+	w.WriteHeader(http.StatusOK)
+	mpart, err := mw.CreateFormField("manifest")
+	if err == nil {
+		err = json.NewEncoder(mpart).Encode(manifest)
+	}
+	if err == nil {
+		var ppart io.Writer
+		ppart, err = mw.CreateFormFile("params", "params.bin")
+		if err == nil {
+			_, err = ppart.Write(params)
+		}
+	}
+	if err == nil {
+		err = mw.Close()
+	}
+	if err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		return
+	}
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	a, ok := s.approach(w, r)
+	if !ok {
+		return
+	}
+	v, ok := a.(core.Verifier)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("approach does not support verification"))
+		return
+	}
+	issues, err := v.VerifyStore()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if issues == nil {
+		issues = []core.Issue{}
+	}
+	writeJSON(w, http.StatusOK, issues)
+}
+
+// pruneRequest is the JSON body of a prune call.
+type pruneRequest struct {
+	Keep []string `json:"keep"`
+}
+
+func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
+	a, ok := s.approach(w, r)
+	if !ok {
+		return
+	}
+	p, ok := a.(core.Pruner)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("approach does not support pruning"))
+		return
+	}
+	var req pruneRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	report, err := p.Prune(req.Keep)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, report)
+}
+
+func (s *Server) handlePutDataset(w http.ResponseWriter, r *http.Request) {
+	var spec dataset.Spec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.stores.Datasets.Put(spec)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.stores.Datasets.IDs())
+}
+
+// parseIndices parses "1,5,42" into ints.
+func parseIndices(raw string) ([]int, error) {
+	parts := strings.Split(raw, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("invalid index %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// setToBytes serializes a set's parameters in the concatenated layout.
+func setToBytes(set *core.ModelSet) []byte {
+	buf := make([]byte, 0, set.Arch.ParamBytes()*set.Len())
+	for _, m := range set.Models {
+		buf = m.AppendParamBytes(buf)
+	}
+	return buf
+}
+
+// setFromBytes reconstructs a set from the concatenated layout.
+func setFromBytes(arch *nn.Architecture, n int, data []byte) (*core.ModelSet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("server: set needs a positive model count")
+	}
+	per := arch.ParamBytes()
+	if len(data) != per*n {
+		return nil, fmt.Errorf("server: params part has %d bytes, want %d (%d models × %d)",
+			len(data), per*n, n, per)
+	}
+	set := &core.ModelSet{Arch: arch, Models: make([]*nn.Model, n)}
+	for i := 0; i < n; i++ {
+		m, err := nn.NewModelUninitialized(arch)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := m.SetParamBytes(data[i*per : (i+1)*per]); err != nil {
+			return nil, err
+		}
+		set.Models[i] = m
+	}
+	return set, nil
+}

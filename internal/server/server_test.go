@@ -1,0 +1,245 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/core"
+	"github.com/mmm-go/mmm/internal/dataset"
+	"github.com/mmm-go/mmm/internal/env"
+	"github.com/mmm-go/mmm/internal/nn"
+)
+
+// newTestRig starts an in-process server and returns a client for it.
+func newTestRig(t *testing.T) (*Client, core.Stores) {
+	t.Helper()
+	stores := core.NewMemStores()
+	ts := httptest.NewServer(New(stores))
+	t.Cleanup(ts.Close)
+	return &Client{BaseURL: ts.URL}, stores
+}
+
+func testSet(t *testing.T, n int) *core.ModelSet {
+	t.Helper()
+	set, err := core.NewModelSet(nn.FFNN("srv-test", 4, []int{6}, 1), n, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestHealthAndApproaches(t *testing.T) {
+	c, _ := newTestRig(t)
+	if err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := c.Approaches()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"baseline", "mmlib", "provenance", "update"}
+	if len(names) != len(want) {
+		t.Fatalf("approaches = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("approaches = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestSaveRecoverRoundTripOverHTTP(t *testing.T) {
+	c, _ := newTestRig(t)
+	set := testSet(t, 12)
+	res, err := c.Save("baseline", set, "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SetID == "" || res.BytesWritten == 0 {
+		t.Fatalf("save result = %+v", res)
+	}
+	got, err := c.Recover("baseline", res.SetID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Equal(got) {
+		t.Fatal("HTTP round trip lost data")
+	}
+}
+
+func TestSelectiveRecoveryOverHTTP(t *testing.T) {
+	c, _ := newTestRig(t)
+	set := testSet(t, 10)
+	res, err := c.Save("baseline", set, "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := c.RecoverModels("baseline", res.SetID, []int{2, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Models) != 2 {
+		t.Fatalf("recovered %d models, want 2", len(pr.Models))
+	}
+	for _, idx := range []int{2, 7} {
+		if !set.Models[idx].ParamsEqual(pr.Models[idx]) {
+			t.Fatalf("model %d wrong over HTTP", idx)
+		}
+	}
+}
+
+func TestUpdateChainOverHTTP(t *testing.T) {
+	c, _ := newTestRig(t)
+	set := testSet(t, 8)
+	res1, err := c.Save("update", set, "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Change one model, save the derived set.
+	set.Models[3].Params()[0].Tensor.Data[0] += 0.25
+	res2, err := c.Save("update", set, res1.SetID, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.BytesWritten >= res1.BytesWritten {
+		t.Fatalf("derived save %d B not below full save %d B", res2.BytesWritten, res1.BytesWritten)
+	}
+	got, err := c.Recover("update", res2.SetID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Equal(got) {
+		t.Fatal("derived chain wrong over HTTP")
+	}
+	chain, err := c.Info("update", res2.SetID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 || chain[0].SetID != res2.SetID || chain[1].Kind != "full" {
+		t.Fatalf("lineage = %+v", chain)
+	}
+}
+
+func TestProvenanceOverHTTP(t *testing.T) {
+	// The full remote flow: the client registers the dataset, trains
+	// locally, uploads provenance; the server recovers by retraining.
+	c, _ := newTestRig(t)
+	set := testSet(t, 5)
+	res1, err := c.Save("provenance", set, "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := dataset.Spec{
+		Kind: dataset.KindBattery, CellID: 2, Cycle: 1, SoH: 0.98,
+		Samples: 40, NoiseStd: 0.002, Seed: 7,
+	}
+	dsID, err := c.PutDataset(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := dataset.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := nn.TrainConfig{Epochs: 2, BatchSize: 10, LearningRate: 0.05, Loss: "mse", Seed: 11}
+	if _, err := nn.Train(set.Models[2], data, cfg); err != nil {
+		t.Fatal(err)
+	}
+	train := &core.TrainInfo{Config: cfg, Environment: env.Capture(), PipelineCode: core.PipelineCode}
+	train.Config.Seed = 0 // per-model seed travels in the update record
+	updates := []core.ModelUpdate{{ModelIndex: 2, DatasetID: dsID, Seed: 11}}
+	res2, err := c.Save("provenance", set, res1.SetID, updates, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recover("provenance", res2.SetID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Equal(got) {
+		t.Fatal("provenance recovery over HTTP not bit-exact")
+	}
+	ids, err := c.Datasets()
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("datasets = %v, %v", ids, err)
+	}
+}
+
+func TestVerifyAndPruneOverHTTP(t *testing.T) {
+	c, _ := newTestRig(t)
+	set := testSet(t, 4)
+	res1, err := c.Save("baseline", set, "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := c.Save("baseline", set, "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issues, err := c.Verify("baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 0 {
+		t.Fatalf("clean store reports %v", issues)
+	}
+	report, err := c.Prune("baseline", []string{res2.SetID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Deleted) != 1 || report.Deleted[0] != res1.SetID {
+		t.Fatalf("prune report = %+v", report)
+	}
+	ids, err := c.List("baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != res2.SetID {
+		t.Fatalf("sets after prune = %v", ids)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	c, _ := newTestRig(t)
+	if _, err := c.List("hologram"); err == nil || !strings.Contains(err.Error(), "unknown approach") {
+		t.Errorf("unknown approach err = %v", err)
+	}
+	if _, err := c.Recover("baseline", "bl-404"); err == nil {
+		t.Error("recovery of unknown set accepted")
+	}
+	if _, err := c.Info("baseline", "bl-404"); err == nil {
+		t.Error("info of unknown set accepted")
+	}
+	if _, err := c.RecoverModels("baseline", "bl-404", []int{0}); err == nil {
+		t.Error("selective recovery of unknown set accepted")
+	}
+	if _, err := c.PutDataset(dataset.Spec{Kind: "junk"}); err == nil {
+		t.Error("invalid dataset spec accepted")
+	}
+	if _, err := c.Prune("baseline", []string{"bl-404"}); err == nil {
+		t.Error("prune with unknown keep accepted")
+	}
+	// Save with mismatched params length must be rejected.
+	set := testSet(t, 3)
+	set.Models = set.Models[:2] // manifest will claim 2 but we forge NumModels below
+	res, err := c.Save("baseline", set, "", nil, nil)
+	if err != nil {
+		t.Fatalf("well-formed save rejected: %v (%+v)", err, res)
+	}
+}
+
+func TestSaveRejectsGarbageBody(t *testing.T) {
+	_, stores := newTestRig(t)
+	srv := httptest.NewServer(New(stores))
+	defer srv.Close()
+	resp, err := srv.Client().Post(srv.URL+"/api/baseline/sets", "text/plain",
+		strings.NewReader("not multipart"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == 201 {
+		t.Fatal("garbage body accepted")
+	}
+}

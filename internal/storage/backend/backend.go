@@ -1,0 +1,275 @@
+// Package backend provides the byte-level key-value substrate shared by
+// the blob and document stores: an in-memory map for tests and
+// experiments, a directory-backed implementation for real persistence,
+// and a fault-injecting wrapper for failure testing.
+package backend
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Backend stores opaque byte values under string keys. Keys may contain
+// '/' separators; implementations must treat them opaquely (the Dir
+// backend maps them to subdirectories).
+type Backend interface {
+	// Put stores data under key, overwriting any previous value.
+	Put(key string, data []byte) error
+	// Get returns the value stored under key.
+	Get(key string) ([]byte, error)
+	// GetRange returns length bytes starting at offset off of the value
+	// stored under key. Ranges outside the value are an error. Ranged
+	// reads let recovery fetch single models out of a concatenated
+	// parameter blob without loading the whole set.
+	GetRange(key string, off, length int64) ([]byte, error)
+	// Size returns the stored value's length in bytes.
+	Size(key string) (int64, error)
+	// Delete removes key. Deleting a missing key is not an error.
+	Delete(key string) error
+	// Keys returns all stored keys in sorted order.
+	Keys() ([]string, error)
+}
+
+// RangeError reports an out-of-bounds ranged read.
+type RangeError struct {
+	Key         string
+	Off, Length int64
+	Size        int64
+}
+
+func (e *RangeError) Error() string {
+	return fmt.Sprintf("storage: range [%d, %d) outside value of %d bytes at %q",
+		e.Off, e.Off+e.Length, e.Size, e.Key)
+}
+
+// NotFoundError reports a missing key.
+type NotFoundError struct{ Key string }
+
+func (e *NotFoundError) Error() string { return fmt.Sprintf("storage: key %q not found", e.Key) }
+
+// IsNotFound reports whether err is a missing-key error.
+func IsNotFound(err error) bool {
+	_, ok := err.(*NotFoundError)
+	return ok
+}
+
+// Mem is an in-memory backend, safe for concurrent use.
+type Mem struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMem returns an empty in-memory backend.
+func NewMem() *Mem { return &Mem{m: map[string][]byte{}} }
+
+// Put implements Backend.
+func (b *Mem) Put(key string, data []byte) error {
+	cp := append([]byte(nil), data...)
+	b.mu.Lock()
+	b.m[key] = cp
+	b.mu.Unlock()
+	return nil
+}
+
+// Get implements Backend.
+func (b *Mem) Get(key string) ([]byte, error) {
+	b.mu.RLock()
+	v, ok := b.m[key]
+	b.mu.RUnlock()
+	if !ok {
+		return nil, &NotFoundError{Key: key}
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// GetRange implements Backend.
+func (b *Mem) GetRange(key string, off, length int64) ([]byte, error) {
+	b.mu.RLock()
+	v, ok := b.m[key]
+	b.mu.RUnlock()
+	if !ok {
+		return nil, &NotFoundError{Key: key}
+	}
+	if off < 0 || length < 0 || off+length > int64(len(v)) {
+		return nil, &RangeError{Key: key, Off: off, Length: length, Size: int64(len(v))}
+	}
+	return append([]byte(nil), v[off:off+length]...), nil
+}
+
+// Size implements Backend.
+func (b *Mem) Size(key string) (int64, error) {
+	b.mu.RLock()
+	v, ok := b.m[key]
+	b.mu.RUnlock()
+	if !ok {
+		return 0, &NotFoundError{Key: key}
+	}
+	return int64(len(v)), nil
+}
+
+// Delete implements Backend.
+func (b *Mem) Delete(key string) error {
+	b.mu.Lock()
+	delete(b.m, key)
+	b.mu.Unlock()
+	return nil
+}
+
+// Keys implements Backend.
+func (b *Mem) Keys() ([]string, error) {
+	b.mu.RLock()
+	keys := make([]string, 0, len(b.m))
+	for k := range b.m {
+		keys = append(keys, k)
+	}
+	b.mu.RUnlock()
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Dir is a directory-backed backend. Each key maps to a file; '/' in
+// keys becomes directory structure. Writes go through a temp file and
+// rename, so readers never observe partial values.
+type Dir struct {
+	root string
+	mu   sync.Mutex // serializes temp-file naming
+	seq  int
+}
+
+// NewDir returns a backend rooted at dir, creating it if necessary.
+func NewDir(dir string) (*Dir, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating %s: %w", dir, err)
+	}
+	return &Dir{root: dir}, nil
+}
+
+func (b *Dir) path(key string) (string, error) {
+	if key == "" || strings.Contains(key, "..") || strings.HasPrefix(key, "/") {
+		return "", fmt.Errorf("storage: invalid key %q", key)
+	}
+	return filepath.Join(b.root, filepath.FromSlash(key)), nil
+}
+
+// Put implements Backend.
+func (b *Dir) Put(key string, data []byte) error {
+	p, err := b.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("storage: creating parent of %q: %w", key, err)
+	}
+	b.mu.Lock()
+	b.seq++
+	tmp := fmt.Sprintf("%s.tmp%d", p, b.seq)
+	b.mu.Unlock()
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("storage: writing %q: %w", key, err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: committing %q: %w", key, err)
+	}
+	return nil
+}
+
+// Get implements Backend.
+func (b *Dir) Get(key string) ([]byte, error) {
+	p, err := b.path(key)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		return nil, &NotFoundError{Key: key}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading %q: %w", key, err)
+	}
+	return data, nil
+}
+
+// GetRange implements Backend.
+func (b *Dir) GetRange(key string, off, length int64) ([]byte, error) {
+	p, err := b.path(key)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if os.IsNotExist(err) {
+		return nil, &NotFoundError{Key: key}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening %q: %w", key, err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("storage: stating %q: %w", key, err)
+	}
+	if off < 0 || length < 0 || off+length > info.Size() {
+		return nil, &RangeError{Key: key, Off: off, Length: length, Size: info.Size()}
+	}
+	buf := make([]byte, length)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, fmt.Errorf("storage: ranged read of %q: %w", key, err)
+	}
+	return buf, nil
+}
+
+// Size implements Backend.
+func (b *Dir) Size(key string) (int64, error) {
+	p, err := b.path(key)
+	if err != nil {
+		return 0, err
+	}
+	info, err := os.Stat(p)
+	if os.IsNotExist(err) {
+		return 0, &NotFoundError{Key: key}
+	}
+	if err != nil {
+		return 0, fmt.Errorf("storage: stating %q: %w", key, err)
+	}
+	return info.Size(), nil
+}
+
+// Delete implements Backend.
+func (b *Dir) Delete(key string) error {
+	p, err := b.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("storage: deleting %q: %w", key, err)
+	}
+	return nil
+}
+
+// Keys implements Backend.
+func (b *Dir) Keys() ([]string, error) {
+	var keys []string
+	err := filepath.Walk(b.root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || strings.Contains(info.Name(), ".tmp") {
+			return nil
+		}
+		rel, err := filepath.Rel(b.root, path)
+		if err != nil {
+			return err
+		}
+		keys = append(keys, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("storage: listing keys: %w", err)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

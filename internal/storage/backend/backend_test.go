@@ -1,0 +1,223 @@
+package backend
+
+import (
+	"fmt"
+	"testing"
+)
+
+// backendContract runs the behavioural contract every Backend must obey.
+func backendContract(t *testing.T, newBackend func(t *testing.T) Backend) {
+	t.Run("put get round trip", func(t *testing.T) {
+		b := newBackend(t)
+		if err := b.Put("a/b/key1", []byte("hello")); err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.Get("a/b/key1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "hello" {
+			t.Fatalf("Get = %q, want hello", got)
+		}
+	})
+
+	t.Run("get missing", func(t *testing.T) {
+		b := newBackend(t)
+		_, err := b.Get("missing")
+		if !IsNotFound(err) {
+			t.Fatalf("Get missing key: err = %v, want NotFoundError", err)
+		}
+	})
+
+	t.Run("overwrite", func(t *testing.T) {
+		b := newBackend(t)
+		must(t, b.Put("k", []byte("v1")))
+		must(t, b.Put("k", []byte("v2")))
+		got, err := b.Get("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "v2" {
+			t.Fatalf("Get after overwrite = %q, want v2", got)
+		}
+	})
+
+	t.Run("delete", func(t *testing.T) {
+		b := newBackend(t)
+		must(t, b.Put("k", []byte("v")))
+		must(t, b.Delete("k"))
+		if _, err := b.Get("k"); !IsNotFound(err) {
+			t.Fatalf("Get after delete: err = %v, want NotFoundError", err)
+		}
+		// Deleting a missing key is not an error.
+		must(t, b.Delete("k"))
+	})
+
+	t.Run("keys sorted", func(t *testing.T) {
+		b := newBackend(t)
+		for _, k := range []string{"z", "a", "m/n"} {
+			must(t, b.Put(k, []byte("x")))
+		}
+		keys, err := b.Keys()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"a", "m/n", "z"}
+		if len(keys) != len(want) {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+		for i := range want {
+			if keys[i] != want[i] {
+				t.Fatalf("Keys = %v, want %v", keys, want)
+			}
+		}
+	})
+
+	t.Run("stored value isolated from caller mutation", func(t *testing.T) {
+		b := newBackend(t)
+		data := []byte("orig")
+		must(t, b.Put("k", data))
+		data[0] = 'X'
+		got, err := b.Get("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "orig" {
+			t.Fatalf("stored value changed with caller's buffer: %q", got)
+		}
+	})
+
+	t.Run("empty value", func(t *testing.T) {
+		b := newBackend(t)
+		must(t, b.Put("k", nil))
+		got, err := b.Get("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("Get empty value = %v", got)
+		}
+	})
+
+	t.Run("ranged read", func(t *testing.T) {
+		b := newBackend(t)
+		must(t, b.Put("k", []byte("0123456789")))
+		got, err := b.GetRange("k", 3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "3456" {
+			t.Fatalf("GetRange = %q, want 3456", got)
+		}
+		// Full range and zero-length range are valid.
+		if got, err = b.GetRange("k", 0, 10); err != nil || string(got) != "0123456789" {
+			t.Fatalf("full GetRange = %q, %v", got, err)
+		}
+		if got, err = b.GetRange("k", 10, 0); err != nil || len(got) != 0 {
+			t.Fatalf("empty GetRange = %q, %v", got, err)
+		}
+	})
+
+	t.Run("ranged read out of bounds", func(t *testing.T) {
+		b := newBackend(t)
+		must(t, b.Put("k", []byte("01234")))
+		for _, r := range [][2]int64{{3, 3}, {-1, 2}, {0, -1}, {6, 0}} {
+			if _, err := b.GetRange("k", r[0], r[1]); err == nil {
+				t.Errorf("range [%d,+%d) accepted on 5-byte value", r[0], r[1])
+			}
+		}
+	})
+
+	t.Run("ranged read missing key", func(t *testing.T) {
+		b := newBackend(t)
+		if _, err := b.GetRange("missing", 0, 1); !IsNotFound(err) {
+			t.Fatalf("GetRange on missing key: err = %v, want NotFoundError", err)
+		}
+	})
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemContract(t *testing.T) {
+	backendContract(t, func(t *testing.T) Backend { return NewMem() })
+}
+
+func TestDirContract(t *testing.T) {
+	backendContract(t, func(t *testing.T) Backend {
+		d, err := NewDir(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	})
+}
+
+func TestDirRejectsBadKeys(t *testing.T) {
+	d, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "../escape", "/absolute"} {
+		if err := d.Put(key, []byte("x")); err == nil {
+			t.Errorf("key %q accepted", key)
+		}
+	}
+}
+
+func TestDirPersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	d1, _ := NewDir(dir)
+	must(t, d1.Put("sets/abc", []byte("payload")))
+	d2, _ := NewDir(dir)
+	got, err := d2.Get("sets/abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("reopened Get = %q", got)
+	}
+}
+
+func TestFaultyFailNextPuts(t *testing.T) {
+	f := NewFaulty(NewMem())
+	f.FailNextPuts(2)
+	if err := f.Put("a", nil); err != ErrInjected {
+		t.Fatalf("first Put err = %v, want injected", err)
+	}
+	if err := f.Put("b", nil); err != ErrInjected {
+		t.Fatalf("second Put err = %v, want injected", err)
+	}
+	if err := f.Put("c", nil); err != nil {
+		t.Fatalf("third Put err = %v, want nil", err)
+	}
+}
+
+func TestFaultyFailNextGets(t *testing.T) {
+	f := NewFaulty(NewMem())
+	must(t, f.Put("k", []byte("v")))
+	f.FailNextGets(1)
+	if _, err := f.Get("k"); err != ErrInjected {
+		t.Fatalf("Get err = %v, want injected", err)
+	}
+	if _, err := f.Get("k"); err != nil {
+		t.Fatalf("second Get err = %v, want nil", err)
+	}
+}
+
+func TestFaultyFailPutsAfter(t *testing.T) {
+	f := NewFaulty(NewMem())
+	f.FailPutsAfter(3)
+	for i := 0; i < 3; i++ {
+		if err := f.Put(fmt.Sprintf("k%d", i), nil); err != nil {
+			t.Fatalf("Put %d err = %v", i, err)
+		}
+	}
+	if err := f.Put("k3", nil); err != ErrInjected {
+		t.Fatalf("Put after limit err = %v, want injected", err)
+	}
+}

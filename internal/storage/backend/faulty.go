@@ -1,0 +1,103 @@
+package backend
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the error returned by a Faulty backend when a fault
+// fires.
+var ErrInjected = errors.New("storage: injected fault")
+
+// Faulty wraps a Backend and fails operations on demand. Tests use it
+// to verify that store errors surface through the management approaches
+// instead of corrupting saved sets.
+type Faulty struct {
+	Inner Backend
+
+	mu        sync.Mutex
+	failPuts  int // fail the next n Puts
+	failGets  int // fail the next n Gets
+	putsSeen  int
+	failAfter int // fail all Puts after this many succeed (-1: disabled)
+}
+
+// NewFaulty wraps inner with fault injection disabled.
+func NewFaulty(inner Backend) *Faulty {
+	return &Faulty{Inner: inner, failAfter: -1}
+}
+
+// FailNextPuts makes the next n Put calls return ErrInjected.
+func (f *Faulty) FailNextPuts(n int) {
+	f.mu.Lock()
+	f.failPuts = n
+	f.mu.Unlock()
+}
+
+// FailNextGets makes the next n Get calls return ErrInjected.
+func (f *Faulty) FailNextGets(n int) {
+	f.mu.Lock()
+	f.failGets = n
+	f.mu.Unlock()
+}
+
+// FailPutsAfter lets n Puts succeed and fails every Put afterwards,
+// simulating a store that dies mid-save.
+func (f *Faulty) FailPutsAfter(n int) {
+	f.mu.Lock()
+	f.failAfter = n
+	f.putsSeen = 0
+	f.mu.Unlock()
+}
+
+// Put implements Backend.
+func (f *Faulty) Put(key string, data []byte) error {
+	f.mu.Lock()
+	if f.failPuts > 0 {
+		f.failPuts--
+		f.mu.Unlock()
+		return ErrInjected
+	}
+	if f.failAfter >= 0 {
+		if f.putsSeen >= f.failAfter {
+			f.mu.Unlock()
+			return ErrInjected
+		}
+		f.putsSeen++
+	}
+	f.mu.Unlock()
+	return f.Inner.Put(key, data)
+}
+
+// Get implements Backend.
+func (f *Faulty) Get(key string) ([]byte, error) {
+	f.mu.Lock()
+	if f.failGets > 0 {
+		f.failGets--
+		f.mu.Unlock()
+		return nil, ErrInjected
+	}
+	f.mu.Unlock()
+	return f.Inner.Get(key)
+}
+
+// GetRange implements Backend. Ranged reads share the Get fault budget.
+func (f *Faulty) GetRange(key string, off, length int64) ([]byte, error) {
+	f.mu.Lock()
+	if f.failGets > 0 {
+		f.failGets--
+		f.mu.Unlock()
+		return nil, ErrInjected
+	}
+	f.mu.Unlock()
+	return f.Inner.GetRange(key, off, length)
+}
+
+// Size implements Backend.
+func (f *Faulty) Size(key string) (int64, error) { return f.Inner.Size(key) }
+
+// Delete implements Backend.
+func (f *Faulty) Delete(key string) error { return f.Inner.Delete(key) }
+
+// Keys implements Backend.
+func (f *Faulty) Keys() ([]string, error) { return f.Inner.Keys() }

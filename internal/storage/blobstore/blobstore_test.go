@@ -1,0 +1,113 @@
+package blobstore
+
+import (
+	"testing"
+	"time"
+
+	"github.com/mmm-go/mmm/internal/storage/backend"
+	"github.com/mmm-go/mmm/internal/storage/latency"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := NewMem()
+	if err := s.Put("params/set1.bin", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("params/set1.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 {
+		t.Fatalf("Get = %v", got)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := NewMem()
+	if _, err := s.Get("nope"); !backend.IsNotFound(err) {
+		t.Fatalf("err = %v, want not-found", err)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	s := NewMem()
+	if err := s.Put("a", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.PutOps != 2 || st.BytesWritten != 150 {
+		t.Errorf("write stats = %+v", st)
+	}
+	if st.GetOps != 1 || st.BytesRead != 100 {
+		t.Errorf("read stats = %+v", st)
+	}
+	s.ResetStats()
+	if s.Stats() != (Stats{}) {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestStatsNotCountedOnError(t *testing.T) {
+	f := backend.NewFaulty(backend.NewMem())
+	s := New(f, latency.CostModel{}, nil)
+	f.FailNextPuts(1)
+	if err := s.Put("a", make([]byte, 10)); err == nil {
+		t.Fatal("injected fault not surfaced")
+	}
+	if st := s.Stats(); st.PutOps != 0 || st.BytesWritten != 0 {
+		t.Errorf("failed write counted: %+v", st)
+	}
+}
+
+func TestLatencyCharged(t *testing.T) {
+	var clock latency.Clock
+	model := latency.CostModel{
+		WriteOp: time.Millisecond, ReadOp: 2 * time.Millisecond,
+		WriteMBps: 1, ReadMBps: 1, // 1 MB/s: 1e6 bytes = 1 s
+	}
+	s := New(backend.NewMem(), model, &clock)
+	if err := s.Put("big", make([]byte, 1e6)); err != nil {
+		t.Fatal(err)
+	}
+	want := time.Second + time.Millisecond
+	if got := clock.Elapsed(); got != want {
+		t.Fatalf("after Put clock = %v, want %v", got, want)
+	}
+	clock.Reset()
+	if _, err := s.Get("big"); err != nil {
+		t.Fatal(err)
+	}
+	want = time.Second + 2*time.Millisecond
+	if got := clock.Elapsed(); got != want {
+		t.Fatalf("after Get clock = %v, want %v", got, want)
+	}
+}
+
+func TestDeleteAndKeys(t *testing.T) {
+	s := NewMem()
+	for _, k := range []string{"b", "a"} {
+		if err := s.Put(k, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "a" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	keys, _ = s.Keys()
+	if len(keys) != 1 || keys[0] != "b" {
+		t.Fatalf("Keys after delete = %v", keys)
+	}
+}

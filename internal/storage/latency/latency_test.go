@@ -1,0 +1,111 @@
+package latency
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(time.Second)
+	c.Advance(500 * time.Millisecond)
+	if got := c.Elapsed(); got != 1500*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 1.5s", got)
+	}
+	c.Reset()
+	if c.Elapsed() != 0 {
+		t.Fatal("Reset did not zero the clock")
+	}
+}
+
+func TestClockIgnoresNonPositive(t *testing.T) {
+	var c Clock
+	c.Advance(-time.Second)
+	c.Advance(0)
+	if c.Elapsed() != 0 {
+		t.Fatalf("Elapsed = %v after non-positive advances", c.Elapsed())
+	}
+}
+
+func TestClockConcurrent(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Elapsed(); got != 8*1000*time.Microsecond {
+		t.Fatalf("Elapsed = %v, want 8ms", got)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := CostModel{
+		WriteOp: time.Millisecond, ReadOp: 2 * time.Millisecond,
+		WriteMBps: 100, ReadMBps: 200,
+	}
+	// Writing 100 MB at 100 MB/s = 1 s plus the 1 ms op cost.
+	if got := m.WriteCost(100e6); got != time.Second+time.Millisecond {
+		t.Errorf("WriteCost = %v, want 1.001s", got)
+	}
+	if got := m.ReadCost(100e6); got != 500*time.Millisecond+2*time.Millisecond {
+		t.Errorf("ReadCost = %v, want 502ms", got)
+	}
+}
+
+func TestCostModelZeroThroughputIsFree(t *testing.T) {
+	m := CostModel{WriteOp: time.Millisecond}
+	if got := m.WriteCost(1e9); got != time.Millisecond {
+		t.Errorf("WriteCost with zero throughput = %v, want 1ms", got)
+	}
+	if got := m.ReadCost(1e9); got != 0 {
+		t.Errorf("ReadCost of zero model = %v, want 0", got)
+	}
+}
+
+func TestSetupProfiles(t *testing.T) {
+	m1, server := M1(), Server()
+	// The load-bearing calibration facts (see latency package comment):
+	// the server's document store is much faster per operation...
+	if !(server.Doc.WriteOp < m1.Doc.WriteOp) {
+		t.Error("server doc writes should be cheaper than M1")
+	}
+	if !(server.Doc.ReadOp < m1.Doc.ReadOp) {
+		t.Error("server doc reads should be cheaper than M1")
+	}
+	// ...while the M1's built-in SSD streams bulk writes faster.
+	if !(m1.Blob.WriteMBps > server.Blob.WriteMBps) {
+		t.Error("M1 blob write throughput should exceed server")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"m1", "server", "zero", ""} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) not found", name)
+		}
+	}
+	if _, ok := ByName("gpu"); ok {
+		t.Error("ByName accepted unknown setup")
+	}
+}
+
+func TestStopwatchIncludesModeledTime(t *testing.T) {
+	var c Clock
+	sw := StartStopwatch(&c)
+	c.Advance(3 * time.Second)
+	got := sw.Elapsed()
+	if got < 3*time.Second {
+		t.Fatalf("Elapsed = %v, want >= 3s of modeled time", got)
+	}
+	if got > 4*time.Second {
+		t.Fatalf("Elapsed = %v, real overhead implausibly large", got)
+	}
+}

@@ -1,0 +1,137 @@
+package tensor
+
+import "fmt"
+
+// Convolution and pooling primitives for the CIFAR CNN. Layouts follow
+// the usual CHW convention: images are (channels, height, width) and
+// kernels are (outC, inC, kH, kW). Only what the paper's 6,882-parameter
+// CNN needs is implemented: 'same' padded stride-1 convolution and 2×2
+// max pooling.
+
+// Conv2DSame computes a stride-1 'same'-padded 2-D convolution of the
+// input x (inC×h×w) with kernel k (outC×inC×kH×kW) plus per-output-
+// channel bias, producing (outC×h×w).
+func Conv2DSame(x, k, bias *Tensor) *Tensor {
+	if x.Dims() != 3 || k.Dims() != 4 {
+		panic("tensor: Conv2DSame requires 3-D input and 4-D kernel")
+	}
+	inC, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	outC, kInC, kh, kw := k.Shape[0], k.Shape[1], k.Shape[2], k.Shape[3]
+	if inC != kInC {
+		panic(fmt.Sprintf("tensor: Conv2DSame channel mismatch: input %d, kernel %d", inC, kInC))
+	}
+	if bias.Len() != outC {
+		panic(fmt.Sprintf("tensor: Conv2DSame bias length %d, want %d", bias.Len(), outC))
+	}
+	padH, padW := kh/2, kw/2
+	out := New(outC, h, w)
+	for oc := 0; oc < outC; oc++ {
+		b := bias.Data[oc]
+		for oy := 0; oy < h; oy++ {
+			for ox := 0; ox < w; ox++ {
+				s := b
+				for ic := 0; ic < inC; ic++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := oy + ky - padH
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox + kx - padW
+							if ix < 0 || ix >= w {
+								continue
+							}
+							s += x.Data[(ic*h+iy)*w+ix] * k.Data[((oc*inC+ic)*kh+ky)*kw+kx]
+						}
+					}
+				}
+				out.Data[(oc*h+oy)*w+ox] = s
+			}
+		}
+	}
+	return out
+}
+
+// Conv2DSameBackward computes the gradients of a 'same' convolution:
+// given upstream gradient gradOut (outC×h×w), it returns the gradient
+// w.r.t. the input x, the kernel k, and the bias.
+func Conv2DSameBackward(x, k, gradOut *Tensor) (gradX, gradK, gradB *Tensor) {
+	inC, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	outC, _, kh, kw := k.Shape[0], k.Shape[1], k.Shape[2], k.Shape[3]
+	padH, padW := kh/2, kw/2
+	gradX = New(inC, h, w)
+	gradK = New(outC, inC, kh, kw)
+	gradB = New(outC)
+	for oc := 0; oc < outC; oc++ {
+		for oy := 0; oy < h; oy++ {
+			for ox := 0; ox < w; ox++ {
+				g := gradOut.Data[(oc*h+oy)*w+ox]
+				if g == 0 {
+					continue
+				}
+				gradB.Data[oc] += g
+				for ic := 0; ic < inC; ic++ {
+					for ky := 0; ky < kh; ky++ {
+						iy := oy + ky - padH
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kw; kx++ {
+							ix := ox + kx - padW
+							if ix < 0 || ix >= w {
+								continue
+							}
+							gradK.Data[((oc*inC+ic)*kh+ky)*kw+kx] += g * x.Data[(ic*h+iy)*w+ix]
+							gradX.Data[(ic*h+iy)*w+ix] += g * k.Data[((oc*inC+ic)*kh+ky)*kw+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradX, gradK, gradB
+}
+
+// MaxPool2 performs 2×2 max pooling with stride 2 on x (c×h×w) and
+// additionally returns the argmax index (into x.Data) per output cell,
+// which the backward pass needs.
+func MaxPool2(x *Tensor) (*Tensor, []int) {
+	if x.Dims() != 3 {
+		panic("tensor: MaxPool2 requires a 3-D tensor")
+	}
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh, ow := h/2, w/2
+	out := New(c, oh, ow)
+	arg := make([]int, out.Len())
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				bestIdx := (ch*h+2*oy)*w + 2*ox
+				best := x.Data[bestIdx]
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						idx := (ch*h+2*oy+dy)*w + 2*ox + dx
+						if x.Data[idx] > best {
+							best = x.Data[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				o := (ch*oh+oy)*ow + ox
+				out.Data[o] = best
+				arg[o] = bestIdx
+			}
+		}
+	}
+	return out, arg
+}
+
+// MaxPool2Backward routes the upstream gradient back to the argmax
+// positions recorded by MaxPool2.
+func MaxPool2Backward(inputShape []int, arg []int, gradOut *Tensor) *Tensor {
+	gradX := New(inputShape...)
+	for o, idx := range arg {
+		gradX.Data[idx] += gradOut.Data[o]
+	}
+	return gradX
+}

@@ -1,0 +1,171 @@
+package tensor
+
+import (
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/rng"
+)
+
+func TestConv2DSameIdentityKernel(t *testing.T) {
+	// A 1-channel 3×3 identity kernel (1 at center) must reproduce the input.
+	x := FromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 3, 3)
+	k := New(1, 1, 3, 3)
+	k.Set(1, 0, 0, 1, 1)
+	b := New(1)
+	y := Conv2DSame(x, k, b)
+	if !y.Equal(x) {
+		t.Fatalf("identity conv changed input: %v", y.Data)
+	}
+}
+
+func TestConv2DSameShiftKernel(t *testing.T) {
+	// Kernel with 1 at top-left shifts the image down-right (with zero pad).
+	x := FromSlice([]float32{
+		1, 2,
+		3, 4,
+	}, 1, 2, 2)
+	k := New(1, 1, 3, 3)
+	k.Set(1, 0, 0, 0, 0)
+	y := Conv2DSame(x, k, New(1))
+	want := FromSlice([]float32{
+		0, 0,
+		0, 1,
+	}, 1, 2, 2)
+	if !y.Equal(want) {
+		t.Fatalf("shift conv = %v, want %v", y.Data, want.Data)
+	}
+}
+
+func TestConv2DSameBias(t *testing.T) {
+	x := New(1, 2, 2)
+	k := New(2, 1, 3, 3)
+	b := FromSlice([]float32{5, -1}, 2)
+	y := Conv2DSame(x, k, b)
+	for i := 0; i < 4; i++ {
+		if y.Data[i] != 5 {
+			t.Fatalf("channel 0 element %d = %v, want bias 5", i, y.Data[i])
+		}
+		if y.Data[4+i] != -1 {
+			t.Fatalf("channel 1 element %d = %v, want bias -1", i, y.Data[4+i])
+		}
+	}
+}
+
+func TestConv2DSameMultiChannel(t *testing.T) {
+	// Two input channels, kernel summing both center pixels.
+	x := New(2, 2, 2)
+	x.Set(3, 0, 0, 0)
+	x.Set(4, 1, 0, 0)
+	k := New(1, 2, 1, 1)
+	k.Set(1, 0, 0, 0, 0)
+	k.Set(2, 0, 1, 0, 0)
+	y := Conv2DSame(x, k, New(1))
+	if got := y.At(0, 0, 0); got != 11 { // 3*1 + 4*2
+		t.Fatalf("multi-channel conv = %v, want 11", got)
+	}
+}
+
+// numericalGradCheck verifies analytic conv gradients against central
+// finite differences on a random instance.
+func TestConv2DSameBackwardNumerical(t *testing.T) {
+	r := rng.New(77)
+	x := randTensor(r, 2, 4, 4)
+	k := randTensor(r, 3, 2, 3, 3)
+	b := randTensor(r, 3)
+	gradOut := randTensor(r, 3, 4, 4)
+
+	loss := func(x, k, b *Tensor) float64 {
+		return Dot(Conv2DSame(x, k, b), gradOut)
+	}
+
+	gradX, gradK, gradB := Conv2DSameBackward(x, k, gradOut)
+
+	const eps = 1e-2
+	const tol = 2e-2
+	check := func(name string, param, grad *Tensor, idxs []int) {
+		for _, i := range idxs {
+			orig := param.Data[i]
+			param.Data[i] = orig + eps
+			up := loss(x, k, b)
+			param.Data[i] = orig - eps
+			down := loss(x, k, b)
+			param.Data[i] = orig
+			numeric := (up - down) / (2 * eps)
+			analytic := float64(grad.Data[i])
+			if diff := numeric - analytic; diff > tol || diff < -tol {
+				t.Errorf("%s grad[%d]: numeric %v, analytic %v", name, i, numeric, analytic)
+			}
+		}
+	}
+	check("x", x, gradX, []int{0, 5, 17, 31})
+	check("k", k, gradK, []int{0, 7, 20, 53})
+	check("b", b, gradB, []int{0, 1, 2})
+}
+
+func TestMaxPool2Known(t *testing.T) {
+	x := FromSlice([]float32{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		-1, -2, 0, 0,
+		-3, -4, 0, 9,
+	}, 1, 4, 4)
+	y, arg := MaxPool2(x)
+	want := FromSlice([]float32{4, 8, -1, 9}, 1, 2, 2)
+	if !y.Equal(want) {
+		t.Fatalf("MaxPool2 = %v, want %v", y.Data, want.Data)
+	}
+	// arg[0] must point at value 4, which lives at flat index 5.
+	if arg[0] != 5 {
+		t.Fatalf("argmax[0] = %d, want 5", arg[0])
+	}
+}
+
+func TestMaxPool2Backward(t *testing.T) {
+	x := FromSlice([]float32{
+		1, 2,
+		3, 4,
+	}, 1, 2, 2)
+	y, arg := MaxPool2(x)
+	if y.Len() != 1 {
+		t.Fatalf("pooled length %d, want 1", y.Len())
+	}
+	gradOut := FromSlice([]float32{10}, 1, 1, 1)
+	gradX := MaxPool2Backward(x.Shape, arg, gradOut)
+	want := FromSlice([]float32{0, 0, 0, 10}, 1, 2, 2)
+	if !gradX.Equal(want) {
+		t.Fatalf("MaxPool2Backward = %v, want %v", gradX.Data, want.Data)
+	}
+}
+
+func TestMaxPool2OddDimensionsTruncate(t *testing.T) {
+	x := New(1, 5, 5)
+	y, _ := MaxPool2(x)
+	if y.Shape[1] != 2 || y.Shape[2] != 2 {
+		t.Fatalf("pooled shape = %v, want [1 2 2]", y.Shape)
+	}
+}
+
+func BenchmarkConv2DSame(b *testing.B) {
+	r := rng.New(1)
+	x := randTensor(r, 3, 32, 32)
+	k := randTensor(r, 15, 3, 5, 5)
+	bias := randTensor(r, 15)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Conv2DSame(x, k, bias)
+	}
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	r := rng.New(1)
+	x := randTensor(r, 64, 64)
+	y := randTensor(r, 64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MatMul(x, y)
+	}
+}

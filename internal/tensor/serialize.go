@@ -1,0 +1,90 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The management approaches persist parameters as raw little-endian
+// float32 bytes with no per-tensor framing: the Baseline approach
+// concatenates every model's parameters into one binary file and relies
+// on the (single, shared) architecture to know how many floats belong
+// to each layer. These helpers implement that encoding.
+
+// AppendBytes appends t's elements as little-endian float32 to dst and
+// returns the extended slice. Shape is intentionally not encoded.
+func (t *Tensor) AppendBytes(dst []byte) []byte {
+	for _, v := range t.Data {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+	}
+	return dst
+}
+
+// Bytes returns t's elements as little-endian float32 bytes.
+func (t *Tensor) Bytes() []byte {
+	return t.AppendBytes(make([]byte, 0, 4*len(t.Data)))
+}
+
+// SetFromBytes fills t's elements from little-endian float32 bytes.
+// It returns the number of bytes consumed.
+func (t *Tensor) SetFromBytes(b []byte) (int, error) {
+	need := 4 * len(t.Data)
+	if len(b) < need {
+		return 0, fmt.Errorf("tensor: need %d bytes for shape %v, have %d", need, t.Shape, len(b))
+	}
+	for i := range t.Data {
+		t.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return need, nil
+}
+
+// AppendXORBytes appends the byte-wise XOR of a's and b's raw float32
+// encodings to dst. XOR deltas of related parameter tensors are mostly
+// zero bytes (retrained floats keep their sign, exponent, and high
+// mantissa bits), which general-purpose compressors then crunch — the
+// delta-encoding technique of ModelHub-style parameter archives.
+func AppendXORBytes(dst []byte, a, b *Tensor) []byte {
+	mustSameShape(a, b, "AppendXORBytes")
+	for i := range a.Data {
+		x := math.Float32bits(a.Data[i]) ^ math.Float32bits(b.Data[i])
+		dst = binary.LittleEndian.AppendUint32(dst, x)
+	}
+	return dst
+}
+
+// XORFromBytes XORs t's elements with the little-endian float32 words
+// in b, in place: applying an XOR delta on top of the base value it was
+// computed from restores the target value exactly. It returns the
+// number of bytes consumed.
+func (t *Tensor) XORFromBytes(b []byte) (int, error) {
+	need := 4 * len(t.Data)
+	if len(b) < need {
+		return 0, fmt.Errorf("tensor: need %d bytes for shape %v, have %d", need, t.Shape, len(b))
+	}
+	for i := range t.Data {
+		x := math.Float32bits(t.Data[i]) ^ binary.LittleEndian.Uint32(b[4*i:])
+		t.Data[i] = math.Float32frombits(x)
+	}
+	return need, nil
+}
+
+// WriteTo writes t's raw float32 bytes to w.
+func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(t.Bytes())
+	return int64(n), err
+}
+
+// ReadFrom fills t from exactly 4*Len() bytes read from r.
+func (t *Tensor) ReadFrom(r io.Reader) (int64, error) {
+	buf := make([]byte, 4*len(t.Data))
+	n, err := io.ReadFull(r, buf)
+	if err != nil {
+		return int64(n), fmt.Errorf("tensor: reading %d bytes for shape %v: %w", len(buf), t.Shape, err)
+	}
+	if _, err := t.SetFromBytes(buf); err != nil {
+		return int64(n), err
+	}
+	return int64(n), nil
+}

@@ -1,0 +1,330 @@
+// Package tensor implements dense float32 tensors and the small set of
+// numeric operations needed to train and evaluate the paper's model
+// architectures (fully connected battery models and a small CNN).
+//
+// Parameters are float32 because the paper's storage accounting assumes
+// 4-byte floats ("All approaches save all 4,993 parameters per model
+// represented by 4 Byte floats"). Accumulations inside operations use
+// float64 where it is cheap to do so, keeping training numerically
+// stable without changing the stored representation.
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tensor is a dense, row-major float32 tensor.
+//
+// The zero value is an empty scalar-less tensor; use New or the
+// constructors below. Data is exposed so that hot loops in the nn
+// package can operate without bounds-check overhead from accessors;
+// callers must not change the length of Data.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New returns a zero-filled tensor of the given shape.
+// A tensor with no dimensions has a single element (a scalar).
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice returns a tensor of the given shape backed by a copy of data.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	t := New(shape...)
+	if len(data) != len(t.Data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (need %d)", len(data), shape, len(t.Data)))
+	}
+	copy(t.Data, data)
+	return t
+}
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.Shape) }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float32, len(t.Data))}
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view-copy of t with a new shape of equal size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.Shape, len(t.Data), shape, n))
+	}
+	c := t.Clone()
+	c.Shape = append([]int(nil), shape...)
+	return c
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set assigns the element at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index %v does not match shape %v", idx, t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether t and o have the same shape and bit-identical data.
+// Bit-identity (not epsilon closeness) is deliberate: the management
+// approaches guarantee exact recovery, and tests assert it through here.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i := range t.Data {
+		if t.Data[i] != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// AddInPlace adds o element-wise into t.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	mustSameShape(t, o, "AddInPlace")
+	for i := range t.Data {
+		t.Data[i] += o.Data[i]
+	}
+}
+
+// SubInPlace subtracts o element-wise from t.
+func (t *Tensor) SubInPlace(o *Tensor) {
+	mustSameShape(t, o, "SubInPlace")
+	for i := range t.Data {
+		t.Data[i] -= o.Data[i]
+	}
+}
+
+// ScaleInPlace multiplies every element of t by s.
+func (t *Tensor) ScaleInPlace(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AXPYInPlace computes t += a*x, the update step of plain SGD.
+func (t *Tensor) AXPYInPlace(a float32, x *Tensor) {
+	mustSameShape(t, x, "AXPYInPlace")
+	for i := range t.Data {
+		t.Data[i] += a * x.Data[i]
+	}
+}
+
+// Add returns t + o as a new tensor.
+func Add(t, o *Tensor) *Tensor {
+	c := t.Clone()
+	c.AddInPlace(o)
+	return c
+}
+
+// Sub returns t - o as a new tensor.
+func Sub(t, o *Tensor) *Tensor {
+	c := t.Clone()
+	c.SubInPlace(o)
+	return c
+}
+
+// Dot returns the inner product of two equally shaped tensors,
+// accumulated in float64.
+func Dot(a, b *Tensor) float64 {
+	mustSameShape(a, b, "Dot")
+	var s float64
+	for i := range a.Data {
+		s += float64(a.Data[i]) * float64(b.Data[i])
+	}
+	return s
+}
+
+// MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n).
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: MatMul requires 2-D tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	c := New(m, n)
+	// ikj loop order: streams through B and C rows, cache-friendly.
+	for i := 0; i < m; i++ {
+		ar := a.Data[i*k : (i+1)*k]
+		cr := c.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := ar[p]
+			if av == 0 {
+				continue
+			}
+			br := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				cr[j] += av * br[j]
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransA computes C = Aᵀ·B for 2-D tensors A (k×m) and B (k×n).
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: MatMulTransA requires 2-D tensors")
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		ar := a.Data[p*m : (p+1)*m]
+		br := b.Data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := ar[i]
+			if av == 0 {
+				continue
+			}
+			cr := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				cr[j] += av * br[j]
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransB computes C = A·Bᵀ for 2-D tensors A (m×k) and B (n×k).
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: MatMulTransB requires 2-D tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		ar := a.Data[i*k : (i+1)*k]
+		cr := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			br := b.Data[j*k : (j+1)*k]
+			var s float32
+			for p := 0; p < k; p++ {
+				s += ar[p] * br[p]
+			}
+			cr[j] = s
+		}
+	}
+	return c
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic("tensor: Transpose requires a 2-D tensor")
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	c := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			c.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return c
+}
+
+// Sum returns the sum of all elements, accumulated in float64.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value.
+func (t *Tensor) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.Data {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// String renders a compact description, useful in test failures.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v", t.Shape)
+	if len(t.Data) <= 8 {
+		fmt.Fprintf(&b, "%v", t.Data)
+	} else {
+		fmt.Fprintf(&b, "[%v %v %v ... %v]", t.Data[0], t.Data[1], t.Data[2], t.Data[len(t.Data)-1])
+	}
+	return b.String()
+}
+
+func mustSameShape(a, b *Tensor, op string) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.Shape, b.Shape))
+	}
+}

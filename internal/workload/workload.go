@@ -1,0 +1,312 @@
+// Package workload drives the paper's evaluation scenario (Figure 2):
+// one initial use case U1 managing n freshly deployed models, followed
+// by iterations of use case U3 in which a subset of models is fully or
+// partially retrained on newly collected, aged data.
+//
+// The paper's defaults, reproduced by DefaultConfig: n = 5000 battery
+// cell models (FFNN-48), 5% of models fully updated and 5% partially
+// updated per cycle, training data aging via a state-of-health
+// decrement per cycle plus fresh measurement noise.
+package workload
+
+import (
+	"fmt"
+
+	"github.com/mmm-go/mmm/internal/core"
+	"github.com/mmm-go/mmm/internal/dataset"
+	"github.com/mmm-go/mmm/internal/env"
+	"github.com/mmm-go/mmm/internal/nn"
+	"github.com/mmm-go/mmm/internal/rng"
+)
+
+// Mode selects how model updates are produced.
+type Mode string
+
+// Update modes.
+const (
+	// ModeTrain retrains updated models on their cycle datasets — the
+	// real pipeline; provenance recovery reproduces it exactly.
+	ModeTrain Mode = "train"
+	// ModePerturb applies a deterministic parameter perturbation
+	// instead of training. Storage and timing behaviour of all
+	// approaches is identical (the same layers change), but provenance
+	// recovery cannot reproduce perturbed models; use only for
+	// storage/TTS sweeps at large n. Experiments that use it say so.
+	ModePerturb Mode = "perturb"
+)
+
+// Config parameterizes a fleet scenario.
+type Config struct {
+	// Arch is the model architecture (default FFNN-48).
+	Arch *nn.Architecture
+	// NumModels is n; the paper uses 5000.
+	NumModels int
+	// FullUpdateRate and PartialUpdateRate are the per-cycle fractions
+	// of models receiving full and partial updates (paper: 5% + 5%).
+	FullUpdateRate    float64
+	PartialUpdateRate float64
+	// DataKind selects battery or CIFAR data.
+	DataKind dataset.Kind
+	// SamplesPerDataset is the per-update training-set size.
+	SamplesPerDataset int
+	// Epochs, BatchSize, LearningRate, Loss configure training.
+	Epochs       int
+	BatchSize    int
+	LearningRate float32
+	Loss         string
+	// Optimizer selects the SGD variant (zero value: plain SGD). It is
+	// part of every cycle's recorded provenance.
+	Optimizer nn.OptimizerConfig
+	// InitialSoH and SoHDecrement drive battery aging per cycle.
+	InitialSoH   float64
+	SoHDecrement float64
+	// NoiseStd is the measurement noise added to training targets.
+	NoiseStd float64
+	// Seed is the fleet root seed; everything derives from it.
+	Seed uint64
+	// Mode selects training or fast perturbation (see Mode docs).
+	Mode Mode
+	// PartialLayers are the layers a partial update retrains; empty
+	// defaults to the final linear layer.
+	PartialLayers []string
+}
+
+// DefaultConfig returns the paper's default scenario.
+func DefaultConfig() Config {
+	return Config{
+		Arch:              nn.FFNN48(),
+		NumModels:         5000,
+		FullUpdateRate:    0.05,
+		PartialUpdateRate: 0.05,
+		DataKind:          dataset.KindBattery,
+		SamplesPerDataset: 200,
+		Epochs:            2,
+		BatchSize:         32,
+		LearningRate:      0.05,
+		Loss:              "mse",
+		InitialSoH:        1.0,
+		SoHDecrement:      0.02,
+		NoiseStd:          0.002,
+		Seed:              2023,
+		Mode:              ModeTrain,
+	}
+}
+
+// CIFARConfig returns the paper's image-classification variant.
+func CIFARConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Arch = nn.CIFARNet()
+	cfg.DataKind = dataset.KindCIFAR
+	cfg.SamplesPerDataset = 20
+	cfg.Epochs = 1
+	cfg.BatchSize = 10
+	cfg.LearningRate = 0.02
+	cfg.Loss = "cross_entropy"
+	return cfg
+}
+
+// Validate rejects impossible configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Arch == nil:
+		return fmt.Errorf("workload: architecture required")
+	case c.NumModels <= 0:
+		return fmt.Errorf("workload: model count must be positive")
+	case c.FullUpdateRate < 0 || c.PartialUpdateRate < 0 ||
+		c.FullUpdateRate+c.PartialUpdateRate > 1:
+		return fmt.Errorf("workload: update rates must be non-negative and sum to at most 1")
+	case c.SamplesPerDataset <= 0:
+		return fmt.Errorf("workload: samples per dataset must be positive")
+	case c.Mode != ModeTrain && c.Mode != ModePerturb:
+		return fmt.Errorf("workload: unknown mode %q", c.Mode)
+	}
+	if c.Mode == ModeTrain {
+		if err := c.trainConfig().Validate(); err != nil {
+			return fmt.Errorf("workload: %w", err)
+		}
+	}
+	return nil
+}
+
+func (c Config) trainConfig() nn.TrainConfig {
+	return nn.TrainConfig{
+		Epochs: c.Epochs, BatchSize: c.BatchSize,
+		LearningRate: c.LearningRate, Loss: c.Loss,
+		Optimizer: c.Optimizer,
+	}
+}
+
+// partialLayers resolves the layer set of a partial update.
+func (c Config) partialLayers() []string {
+	if len(c.PartialLayers) > 0 {
+		return c.PartialLayers
+	}
+	for i := len(c.Arch.Layers) - 1; i >= 0; i-- {
+		l := c.Arch.Layers[i]
+		if l.Kind == nn.KindLinear || l.Kind == nn.KindConv2D {
+			return []string{l.Name}
+		}
+	}
+	return nil
+}
+
+// Fleet is a running scenario: the current in-memory state of all
+// models plus the cycle counter.
+type Fleet struct {
+	Config Config
+	Set    *core.ModelSet
+	// Registry is the external dataset store updates register into.
+	Registry *dataset.Registry
+	cycle    int
+}
+
+// New builds the U1 state: n freshly initialized models.
+func New(cfg Config, reg *dataset.Registry) (*Fleet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if reg == nil {
+		return nil, fmt.Errorf("workload: dataset registry required")
+	}
+	set, err := core.NewModelSet(cfg.Arch, cfg.NumModels, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Fleet{Config: cfg, Set: set, Registry: reg}, nil
+}
+
+// Resume continues a scenario from a recovered model set: the fleet
+// picks up at the given completed-cycle count, so the next RunCycle is
+// cycle+1. Because selection, data, and training are all derived from
+// (cfg.Seed, cycle), a resumed fleet produces exactly the updates the
+// original would have.
+func Resume(cfg Config, reg *dataset.Registry, set *core.ModelSet, cycle int) (*Fleet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if reg == nil {
+		return nil, fmt.Errorf("workload: dataset registry required")
+	}
+	if set == nil || set.Len() != cfg.NumModels {
+		return nil, fmt.Errorf("workload: resumed set must have %d models", cfg.NumModels)
+	}
+	if cycle < 0 {
+		return nil, fmt.Errorf("workload: cycle must be non-negative, got %d", cycle)
+	}
+	return &Fleet{Config: cfg, Set: set, Registry: reg, cycle: cycle}, nil
+}
+
+// Cycle returns the number of completed U3 iterations.
+func (f *Fleet) Cycle() int { return f.cycle }
+
+// TrainInfo returns the cycle-shared training description approaches
+// persist (Provenance saves it once per set).
+func (f *Fleet) TrainInfo() *core.TrainInfo {
+	return &core.TrainInfo{
+		Config:       f.Config.trainConfig(),
+		Environment:  env.Capture(),
+		PipelineCode: core.PipelineCode,
+	}
+}
+
+// RunCycle performs one U3 iteration: it deterministically selects the
+// models to update, registers their cycle datasets, updates the models
+// in place (training or perturbation), and returns the update records
+// a management approach needs to save the resulting set.
+func (f *Fleet) RunCycle() ([]core.ModelUpdate, error) {
+	f.cycle++
+	cfg := f.Config
+	n := cfg.NumModels
+	numFull := int(cfg.FullUpdateRate * float64(n))
+	numPartial := int(cfg.PartialUpdateRate * float64(n))
+
+	// Deterministic selection: a fresh permutation per cycle, first
+	// slice fully updated, second slice partially updated.
+	selector := rng.New(cfg.Seed).Derive(fmt.Sprintf("select/%d", f.cycle))
+	chosen := selector.Sample(n, numFull+numPartial)
+
+	soh := cfg.InitialSoH - cfg.SoHDecrement*float64(f.cycle)
+	if soh < 0.1 {
+		soh = 0.1 // battery at end of life; clamp to keep specs valid
+	}
+
+	updates := make([]core.ModelUpdate, 0, len(chosen))
+	for i, idx := range chosen {
+		var layers []string
+		if i >= numFull {
+			layers = cfg.partialLayers()
+		}
+		spec := dataset.Spec{
+			Kind: cfg.DataKind, CellID: idx, Cycle: f.cycle,
+			SoH: soh, Samples: cfg.SamplesPerDataset,
+			NoiseStd: cfg.NoiseStd, Seed: cfg.Seed,
+		}
+		if cfg.DataKind == dataset.KindCIFAR {
+			spec.SoH = 0 // not meaningful for image data
+		}
+		id, err := f.Registry.Put(spec)
+		if err != nil {
+			return nil, fmt.Errorf("workload: registering dataset for model %d: %w", idx, err)
+		}
+		seed := updateSeed(cfg.Seed, f.cycle, idx)
+		if err := f.applyUpdate(idx, id, layers, seed); err != nil {
+			return nil, err
+		}
+		updates = append(updates, core.ModelUpdate{
+			ModelIndex: idx, DatasetID: id, TrainLayers: layers, Seed: seed,
+		})
+	}
+	return updates, nil
+}
+
+// applyUpdate updates one model in place.
+func (f *Fleet) applyUpdate(idx int, datasetID string, layers []string, seed uint64) error {
+	switch f.Config.Mode {
+	case ModeTrain:
+		data, err := f.Registry.Materialize(datasetID)
+		if err != nil {
+			return fmt.Errorf("workload: materializing dataset of model %d: %w", idx, err)
+		}
+		cfg := f.Config.trainConfig()
+		cfg.Seed = seed
+		cfg.TrainLayers = layers
+		if _, err := nn.Train(f.Set.Models[idx], data, cfg); err != nil {
+			return fmt.Errorf("workload: training model %d: %w", idx, err)
+		}
+	case ModePerturb:
+		perturbModel(f.Set.Models[idx], layers, seed)
+	}
+	return nil
+}
+
+// perturbModel applies a deterministic parameter nudge to the selected
+// layers (all layers when layers is empty) — the fast stand-in for
+// training in storage/TTS sweeps.
+func perturbModel(m *nn.Model, layers []string, seed uint64) {
+	selected := func(string) bool { return true }
+	if len(layers) > 0 {
+		set := make(map[string]bool, len(layers))
+		for _, l := range layers {
+			set[l] = true
+		}
+		selected = func(name string) bool { return set[name] }
+	}
+	r := rng.New(seed).Derive("perturb")
+	for _, l := range m.Layers {
+		if !selected(l.Name()) {
+			continue
+		}
+		for _, p := range l.Params() {
+			for i := range p.Tensor.Data {
+				p.Tensor.Data[i] += float32(r.NormFloat64()) * 0.01
+			}
+		}
+	}
+}
+
+// updateSeed derives the deterministic training seed of one model
+// update from (fleet seed, cycle, model index).
+func updateSeed(fleetSeed uint64, cycle, idx int) uint64 {
+	s := rng.New(fleetSeed).Derive(fmt.Sprintf("update/%d/%d", cycle, idx))
+	return s.Uint64()
+}

@@ -1,0 +1,392 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/core"
+	"github.com/mmm-go/mmm/internal/dataset"
+	"github.com/mmm-go/mmm/internal/nn"
+)
+
+// smallConfig is a fast battery scenario for tests.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumModels = 20
+	cfg.FullUpdateRate = 0.10
+	cfg.PartialUpdateRate = 0.10
+	cfg.SamplesPerDataset = 40
+	cfg.Epochs = 1
+	return cfg
+}
+
+func newFleet(t *testing.T, cfg Config) *Fleet {
+	t.Helper()
+	f, err := New(cfg, dataset.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.NumModels != 5000 {
+		t.Errorf("NumModels = %d, want 5000", cfg.NumModels)
+	}
+	if cfg.Arch.ParamCount() != 4993 {
+		t.Errorf("default architecture has %d params, want FFNN-48's 4993", cfg.Arch.ParamCount())
+	}
+	if cfg.FullUpdateRate != 0.05 || cfg.PartialUpdateRate != 0.05 {
+		t.Errorf("update rates = %v/%v, want 0.05/0.05", cfg.FullUpdateRate, cfg.PartialUpdateRate)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCIFARConfigValid(t *testing.T) {
+	cfg := CIFARConfig()
+	if cfg.Arch.ParamCount() != 6882 {
+		t.Errorf("CIFAR arch has %d params, want 6882", cfg.Arch.ParamCount())
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Arch = nil },
+		func(c *Config) { c.NumModels = 0 },
+		func(c *Config) { c.FullUpdateRate = -0.1 },
+		func(c *Config) { c.FullUpdateRate, c.PartialUpdateRate = 0.6, 0.6 },
+		func(c *Config) { c.SamplesPerDataset = 0 },
+		func(c *Config) { c.Mode = "magic" },
+		func(c *Config) { c.Epochs = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := smallConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRunCycleUpdatesExpectedCount(t *testing.T) {
+	f := newFleet(t, smallConfig())
+	updates, err := f.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10% full + 10% partial of 20 models = 4 updates.
+	if len(updates) != 4 {
+		t.Fatalf("cycle produced %d updates, want 4", len(updates))
+	}
+	full, partial := 0, 0
+	for _, u := range updates {
+		if len(u.TrainLayers) == 0 {
+			full++
+		} else {
+			partial++
+		}
+	}
+	if full != 2 || partial != 2 {
+		t.Fatalf("full/partial split = %d/%d, want 2/2", full, partial)
+	}
+}
+
+func TestRunCycleModelIndicesDistinct(t *testing.T) {
+	f := newFleet(t, smallConfig())
+	updates, err := f.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, u := range updates {
+		if seen[u.ModelIndex] {
+			t.Fatalf("model %d updated twice in one cycle", u.ModelIndex)
+		}
+		seen[u.ModelIndex] = true
+	}
+}
+
+func TestRunCycleOnlyTouchesSelectedModels(t *testing.T) {
+	f := newFleet(t, smallConfig())
+	before := f.Set.Clone()
+	updates, err := f.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	updated := map[int]bool{}
+	for _, u := range updates {
+		updated[u.ModelIndex] = true
+	}
+	for i := range f.Set.Models {
+		changed := !f.Set.Models[i].ParamsEqual(before.Models[i])
+		if updated[i] && !changed {
+			t.Errorf("model %d selected for update but unchanged", i)
+		}
+		if !updated[i] && changed {
+			t.Errorf("model %d changed although not selected", i)
+		}
+	}
+}
+
+func TestPartialUpdateTouchesOnlyPartialLayers(t *testing.T) {
+	f := newFleet(t, smallConfig())
+	before := f.Set.Clone()
+	updates, err := f.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range updates {
+		if len(u.TrainLayers) == 0 {
+			continue
+		}
+		allowed := map[string]bool{}
+		for _, l := range u.TrainLayers {
+			allowed[l+".weight"] = true
+			allowed[l+".bias"] = true
+		}
+		cur := f.Set.Models[u.ModelIndex].Params()
+		prev := before.Models[u.ModelIndex].Params()
+		for pi := range cur {
+			if !cur[pi].Tensor.Equal(prev[pi].Tensor) && !allowed[cur[pi].Name] {
+				t.Errorf("partial update of model %d changed %s", u.ModelIndex, cur[pi].Name)
+			}
+		}
+	}
+}
+
+func TestScenarioDeterministic(t *testing.T) {
+	run := func() *core.ModelSet {
+		f := newFleet(t, smallConfig())
+		for c := 0; c < 2; c++ {
+			if _, err := f.RunCycle(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f.Set
+	}
+	a, b := run(), run()
+	if !a.Equal(b) {
+		t.Fatal("two runs of the same scenario diverged")
+	}
+}
+
+func TestCyclesDiffer(t *testing.T) {
+	f := newFleet(t, smallConfig())
+	u1, err := f.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := f.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dataset references must be cycle-specific even for equal models.
+	ids := map[string]bool{}
+	for _, u := range u1 {
+		ids[u.DatasetID] = true
+	}
+	for _, u := range u2 {
+		if ids[u.DatasetID] {
+			t.Fatalf("dataset %s reused across cycles", u.DatasetID)
+		}
+	}
+	if f.Cycle() != 2 {
+		t.Fatalf("Cycle() = %d, want 2", f.Cycle())
+	}
+}
+
+func TestPerturbModeChangesSameLayersAsTraining(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Mode = ModePerturb
+	f := newFleet(t, cfg)
+	before := f.Set.Clone()
+	updates, err := f.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range updates {
+		cur := f.Set.Models[u.ModelIndex].Params()
+		prev := before.Models[u.ModelIndex].Params()
+		for pi := range cur {
+			changed := !cur[pi].Tensor.Equal(prev[pi].Tensor)
+			shouldChange := len(u.TrainLayers) == 0 ||
+				cur[pi].Name == u.TrainLayers[0]+".weight" ||
+				cur[pi].Name == u.TrainLayers[0]+".bias"
+			if changed != shouldChange {
+				t.Errorf("perturb model %d param %s: changed=%v, want %v",
+					u.ModelIndex, cur[pi].Name, changed, shouldChange)
+			}
+		}
+	}
+}
+
+func TestWorkloadProvenanceRoundTrip(t *testing.T) {
+	// End-to-end determinism: a provenance save of a workload cycle
+	// recovers bit-exactly (training mode only).
+	reg := dataset.NewRegistry()
+	cfg := smallConfig()
+	f, err := New(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := core.NewMemStores()
+	st.Datasets = reg
+	p := core.NewProvenance(st)
+
+	res0, err := p.Save(core.SaveRequest{Set: f.Set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates, err := f.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := p.Save(core.SaveRequest{
+		Set: f.Set, Base: res0.SetID, Updates: updates, Train: f.TrainInfo(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Recover(res1.SetID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Set.Equal(got) {
+		t.Fatal("workload provenance recovery not bit-exact")
+	}
+}
+
+func TestTrainInfoComplete(t *testing.T) {
+	f := newFleet(t, smallConfig())
+	info := f.TrainInfo()
+	if err := info.Config.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if info.PipelineCode == "" || info.Environment.GoVersion == "" {
+		t.Fatal("train info incomplete")
+	}
+}
+
+func TestPartialLayersDefaultIsLastLinear(t *testing.T) {
+	cfg := smallConfig()
+	got := cfg.partialLayers()
+	if len(got) != 1 || got[0] != "fc4" {
+		t.Fatalf("default partial layers = %v, want [fc4]", got)
+	}
+	cfg.Arch = nn.CIFARNet()
+	got = cfg.partialLayers()
+	if len(got) != 1 || got[0] != "fc2" {
+		t.Fatalf("CIFAR partial layers = %v, want [fc2]", got)
+	}
+}
+
+func TestWorkloadWithMomentumProvenanceRoundTrip(t *testing.T) {
+	// The optimizer choice is part of a cycle's provenance; a fleet
+	// trained with momentum must still recover bit-exactly.
+	reg := dataset.NewRegistry()
+	cfg := smallConfig()
+	cfg.Optimizer = nn.OptimizerConfig{Name: "momentum", Momentum: 0.9}
+	f, err := New(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := core.NewMemStores()
+	st.Datasets = reg
+	p := core.NewProvenance(st)
+	res0, err := p.Save(core.SaveRequest{Set: f.Set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates, err := f.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := p.Save(core.SaveRequest{
+		Set: f.Set, Base: res0.SetID, Updates: updates, Train: f.TrainInfo(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Recover(res1.SetID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Set.Equal(got) {
+		t.Fatal("momentum-trained fleet not recovered exactly")
+	}
+}
+
+func TestWorkloadRejectsBadOptimizer(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Optimizer = nn.OptimizerConfig{Name: "galactic"}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown optimizer accepted by workload config")
+	}
+}
+
+func TestResume(t *testing.T) {
+	reg := dataset.NewRegistry()
+	cfg := smallConfig()
+	original, err := New(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := original.RunCycle(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume a copy of the state at cycle 1 and run cycle 2 on both:
+	// the resumed fleet must match the original exactly.
+	resumed, err := Resume(cfg, reg, original.Set.Clone(), original.Cycle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	uo, err := original.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ur, err := resumed.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uo) != len(ur) {
+		t.Fatalf("update counts differ: %d vs %d", len(uo), len(ur))
+	}
+	for i := range uo {
+		if uo[i].ModelIndex != ur[i].ModelIndex || uo[i].DatasetID != ur[i].DatasetID ||
+			uo[i].Seed != ur[i].Seed {
+			t.Fatalf("update %d differs: %+v vs %+v", i, uo[i], ur[i])
+		}
+	}
+	if !original.Set.Equal(resumed.Set) {
+		t.Fatal("resumed fleet diverged from original")
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	reg := dataset.NewRegistry()
+	cfg := smallConfig()
+	f, err := New(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(cfg, nil, f.Set, 0); err == nil {
+		t.Error("nil registry accepted")
+	}
+	if _, err := Resume(cfg, reg, nil, 0); err == nil {
+		t.Error("nil set accepted")
+	}
+	if _, err := Resume(cfg, reg, f.Set, -1); err == nil {
+		t.Error("negative cycle accepted")
+	}
+	small := cfg
+	small.NumModels = cfg.NumModels + 5
+	if _, err := Resume(small, reg, f.Set, 0); err == nil {
+		t.Error("set size mismatch accepted")
+	}
+}

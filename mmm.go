@@ -1,0 +1,262 @@
+// Package mmm is a Go library for efficient multi-model management: it
+// saves and recovers *sets* of deep-learning models that share one
+// architecture but have diverging parameters (one model per battery
+// cell, per user, per device, ...), reproducing the approaches of
+// "Efficient Multi-Model Management" (EDBT 2023).
+//
+// # Approaches
+//
+//   - NewBaseline: one metadata document, one architecture definition,
+//     and one concatenated parameter binary per set. Fast saves, fast
+//     independent recovery.
+//   - NewUpdate: Baseline for the initial set, then only hash-detected
+//     changed layers per derived set. Much smaller derived saves, a
+//     recursive (but bounded, see Update.SnapshotInterval) recovery.
+//   - NewProvenance: Baseline for the initial set, then training
+//     provenance (pipeline info once, one dataset reference per updated
+//     model) instead of parameters. Tiny derived saves; recovery
+//     re-executes training deterministically and is therefore exact but
+//     compute-heavy.
+//   - NewMMlibBase: the single-model reference point the paper compares
+//     against (per-model metadata, architecture, code, environment);
+//     provided for benchmarking, not for production use.
+//
+// Advise picks an approach for a scenario, implementing the heuristic
+// selection the paper names as future work.
+//
+// # Quickstart
+//
+//	stores := mmm.NewMemStores()
+//	approach := mmm.NewBaseline(stores)
+//	set, _ := mmm.NewModelSet(mmm.FFNN48(), 1000, seed)
+//	res, _ := approach.Save(mmm.SaveRequest{Set: set})
+//	recovered, _ := approach.Recover(res.SetID)
+//
+// See examples/ for complete programs, including the paper's battery
+// fleet scenario and bit-exact provenance recovery.
+package mmm
+
+import (
+	"fmt"
+
+	"github.com/mmm-go/mmm/internal/core"
+	"github.com/mmm-go/mmm/internal/dataset"
+	"github.com/mmm-go/mmm/internal/nn"
+	"github.com/mmm-go/mmm/internal/server"
+	"github.com/mmm-go/mmm/internal/storage/backend"
+	"github.com/mmm-go/mmm/internal/storage/blobstore"
+	"github.com/mmm-go/mmm/internal/storage/docstore"
+	"github.com/mmm-go/mmm/internal/storage/latency"
+	"github.com/mmm-go/mmm/internal/tensor"
+	"github.com/mmm-go/mmm/internal/workload"
+)
+
+// Core management types.
+type (
+	// Approach is a multi-model management strategy: Save a set of
+	// models, Recover it later by its set ID.
+	Approach = core.Approach
+	// ModelSet is an in-memory set of models sharing one architecture.
+	ModelSet = core.ModelSet
+	// SaveRequest describes one save operation (the set, its base set,
+	// and — for Provenance — what was retrained and how).
+	SaveRequest = core.SaveRequest
+	// SaveResult reports the new set ID and what the save cost.
+	SaveResult = core.SaveResult
+	// ModelUpdate records one model's retraining within a cycle.
+	ModelUpdate = core.ModelUpdate
+	// TrainInfo is the cycle-shared training-pipeline description.
+	TrainInfo = core.TrainInfo
+	// Stores bundles the document store, blob store, and dataset
+	// registry an approach persists into.
+	Stores = core.Stores
+	// Baseline is the full-snapshot multi-model approach.
+	Baseline = core.Baseline
+	// Update is the delta approach.
+	Update = core.Update
+	// Provenance is the provenance approach.
+	Provenance = core.Provenance
+	// MMlibBase is the single-model reference approach.
+	MMlibBase = core.MMlibBase
+	// RecoveryBudget bounds provenance retraining during recovery.
+	RecoveryBudget = core.RecoveryBudget
+	// PartialRecoverer recovers a subset of a saved set's models — the
+	// paper's post-accident access pattern. All four approaches
+	// implement it.
+	PartialRecoverer = core.PartialRecoverer
+	// PartialRecovery is the result of a selective recovery.
+	PartialRecovery = core.PartialRecovery
+	// Pruner expires saved sets while keeping recovery chains intact.
+	Pruner = core.Pruner
+	// PruneReport summarizes a prune operation.
+	PruneReport = core.PruneReport
+	// Verifier checks store integrity without materializing models.
+	Verifier = core.Verifier
+	// Issue is one problem found by store verification.
+	Issue = core.Issue
+	// Lineager exposes a saved set's recovery chain.
+	Lineager = core.Lineager
+	// Exporter writes a set's recovery chain to a portable tar archive.
+	Exporter = core.Exporter
+	// SetInfo is the public view of a saved set's metadata.
+	SetInfo = core.SetInfo
+	// Scenario describes a deployment for approach selection.
+	Scenario = core.Scenario
+	// Recommendation is Advise's ranked answer.
+	Recommendation = core.Recommendation
+)
+
+// Model and training types.
+type (
+	// Architecture is a model's computational structure.
+	Architecture = nn.Architecture
+	// Model is an instantiated architecture with parameters.
+	Model = nn.Model
+	// TrainConfig fully describes one deterministic training run.
+	TrainConfig = nn.TrainConfig
+	// TrainingData is the sample view the trainer consumes.
+	TrainingData = nn.Data
+	// Tensor is a dense float32 tensor — model inputs, outputs, and
+	// parameters.
+	Tensor = tensor.Tensor
+)
+
+// NewTensor returns a tensor of the given shape backed by a copy of
+// data (e.g. NewTensor([]float32{i, t, q, soc}, 4) as an FFNN input).
+var NewTensor = tensor.FromSlice
+
+// Dataset types.
+type (
+	// DatasetSpec deterministically describes one generated dataset.
+	DatasetSpec = dataset.Spec
+	// Dataset is materialized training data.
+	Dataset = dataset.Dataset
+	// DatasetRegistry is the external training-data store Provenance
+	// references into.
+	DatasetRegistry = dataset.Registry
+)
+
+// Workload types.
+type (
+	// WorkloadConfig parameterizes the paper's U1/U3 fleet scenario.
+	WorkloadConfig = workload.Config
+	// Fleet is a running scenario.
+	Fleet = workload.Fleet
+)
+
+// Approach constructors.
+var (
+	NewBaseline   = core.NewBaseline
+	NewUpdate     = core.NewUpdate
+	NewProvenance = core.NewProvenance
+	NewMMlibBase  = core.NewMMlibBase
+)
+
+// NewModelSet builds n freshly initialized models of arch, seeded
+// reproducibly.
+var NewModelSet = core.NewModelSet
+
+// NewMemStores returns in-memory stores for tests and quickstarts.
+var NewMemStores = core.NewMemStores
+
+// Advise recommends a management approach for a scenario.
+var Advise = core.Advise
+
+// ImportArchive restores an exported recovery-chain archive into
+// stores.
+var ImportArchive = core.ImportArchive
+
+// Paper architectures.
+var (
+	// FFNN48 is the 4,993-parameter battery-cell model.
+	FFNN48 = nn.FFNN48
+	// FFNN69 is the 10,075-parameter battery-cell model.
+	FFNN69 = nn.FFNN69
+	// CIFARNet is the 6,882-parameter image classifier.
+	CIFARNet = nn.CIFARNet
+	// FFNN builds a custom fully connected architecture.
+	FFNN = nn.FFNN
+	// ArchitectureByName resolves one of the paper architectures.
+	ArchitectureByName = nn.ByName
+)
+
+// NewModel instantiates an architecture with seeded parameters.
+var NewModel = nn.NewModel
+
+// Train runs deterministic mini-batch SGD (bit-reproducible given
+// equal inputs — the property provenance recovery relies on).
+var Train = nn.Train
+
+// Evaluate returns a model's mean loss over data.
+var Evaluate = nn.Evaluate
+
+// SaveModel writes one model as a self-contained deployable file
+// (architecture + parameters); LoadModel reads it back.
+var (
+	SaveModel = nn.SaveModel
+	LoadModel = nn.LoadModel
+)
+
+// GenerateDataset materializes the dataset described by spec.
+var GenerateDataset = dataset.Generate
+
+// NewDatasetRegistry returns an in-memory dataset registry.
+var NewDatasetRegistry = dataset.NewRegistry
+
+// OpenDatasetRegistry returns a registry persisted under dir.
+var OpenDatasetRegistry = dataset.OpenRegistry
+
+// Workload constructors.
+var (
+	// NewFleet builds the U1 state of a scenario.
+	NewFleet = workload.New
+	// DefaultWorkload is the paper's default battery scenario.
+	DefaultWorkload = workload.DefaultConfig
+	// CIFARWorkload is the paper's image-classification scenario.
+	CIFARWorkload = workload.CIFARConfig
+)
+
+// Remote management service (see cmd/mmserve).
+type (
+	// ManagementServer is an http.Handler exposing the four approaches
+	// over REST; parameters travel as raw binary multipart parts.
+	ManagementServer = server.Server
+	// ManagementClient talks to a ManagementServer: Save, Recover,
+	// RecoverModels, Verify, Prune, PutDataset.
+	ManagementClient = server.Client
+)
+
+// NewManagementServer builds an HTTP management service over stores.
+var NewManagementServer = server.New
+
+// Model-quality metrics.
+var (
+	// MAE is the mean absolute error of a model over data.
+	MAE = nn.MAE
+	// RMSE is the root-mean-square error of a model over data.
+	RMSE = nn.RMSE
+	// Accuracy is the argmax classification accuracy over one-hot data.
+	Accuracy = nn.Accuracy
+)
+
+// OpenDirStores returns stores persisted under dir (blobs/, docs/, and
+// datasets/ subdirectories), suitable for durable model management.
+func OpenDirStores(dir string) (Stores, error) {
+	blobs, err := backend.NewDir(dir + "/blobs")
+	if err != nil {
+		return Stores{}, fmt.Errorf("mmm: opening blob store: %w", err)
+	}
+	docs, err := backend.NewDir(dir + "/docs")
+	if err != nil {
+		return Stores{}, fmt.Errorf("mmm: opening doc store: %w", err)
+	}
+	reg, err := dataset.OpenRegistry(dir + "/datasets")
+	if err != nil {
+		return Stores{}, fmt.Errorf("mmm: opening dataset registry: %w", err)
+	}
+	return Stores{
+		Docs:     docstore.New(docs, latency.CostModel{}, nil),
+		Blobs:    blobstore.New(blobs, latency.CostModel{}, nil),
+		Datasets: reg,
+	}, nil
+}

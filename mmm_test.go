@@ -1,0 +1,170 @@
+package mmm_test
+
+import (
+	"testing"
+
+	mmm "github.com/mmm-go/mmm"
+)
+
+// The facade tests exercise the library exactly as a downstream user
+// would: through the public package only.
+
+func TestQuickstartRoundTrip(t *testing.T) {
+	stores := mmm.NewMemStores()
+	approach := mmm.NewBaseline(stores)
+	set, err := mmm.NewModelSet(mmm.FFNN48(), 25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := approach.Save(mmm.SaveRequest{Set: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := approach.Recover(res.SetID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Equal(recovered) {
+		t.Fatal("quickstart round trip lost data")
+	}
+}
+
+func TestAllApproachesThroughFacade(t *testing.T) {
+	stores := mmm.NewMemStores()
+	approaches := []mmm.Approach{
+		mmm.NewBaseline(stores),
+		mmm.NewUpdate(stores),
+		mmm.NewProvenance(stores),
+		mmm.NewMMlibBase(stores),
+	}
+	set, err := mmm.NewModelSet(mmm.FFNN48(), 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range approaches {
+		res, err := a.Save(mmm.SaveRequest{Set: set})
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		got, err := a.Recover(res.SetID)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if !set.Equal(got) {
+			t.Fatalf("%s: round trip lost data", a.Name())
+		}
+	}
+}
+
+func TestFleetWorkflowThroughFacade(t *testing.T) {
+	cfg := mmm.DefaultWorkload()
+	cfg.NumModels = 20
+	cfg.FullUpdateRate = 0.1
+	cfg.PartialUpdateRate = 0.1
+	cfg.SamplesPerDataset = 30
+	cfg.Epochs = 1
+
+	reg := mmm.NewDatasetRegistry()
+	fleet, err := mmm.NewFleet(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := mmm.NewMemStores()
+	stores.Datasets = reg
+	p := mmm.NewProvenance(stores)
+
+	res, err := p.Save(mmm.SaveRequest{Set: fleet.Set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates, err := fleet.RunCycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := p.Save(mmm.SaveRequest{
+		Set: fleet.Set, Base: res.SetID, Updates: updates, Train: fleet.TrainInfo(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Recover(res2.SetID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fleet.Set.Equal(got) {
+		t.Fatal("fleet provenance recovery not exact through facade")
+	}
+}
+
+func TestOpenDirStoresPersists(t *testing.T) {
+	dir := t.TempDir()
+	stores, err := mmm.OpenDirStores(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := mmm.NewModelSet(mmm.FFNN48(), 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mmm.NewBaseline(stores).Save(mmm.SaveRequest{Set: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := mmm.OpenDirStores(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mmm.NewBaseline(reopened).Recover(res.SetID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Equal(got) {
+		t.Fatal("on-disk stores lost the saved set")
+	}
+}
+
+func TestAdviseThroughFacade(t *testing.T) {
+	rec, err := mmm.Advise(mmm.Scenario{
+		NumModels: 5000, ParamCount: 4993, UpdateRate: 0.1,
+		SavesPerRecovery: 1000, RetrainCost: 0,
+		StorageWeight: 10, SaveWeight: 1, RecoverWeight: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Approach == "" || len(rec.Ranking) != 4 {
+		t.Fatalf("incomplete recommendation: %+v", rec)
+	}
+}
+
+func TestTrainingThroughFacade(t *testing.T) {
+	spec := mmm.DatasetSpec{
+		Kind: "battery", CellID: 1, SoH: 1, Samples: 50, NoiseStd: 0.001, Seed: 5,
+	}
+	data, err := mmm.GenerateDataset(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := mmm.NewModel(mmm.FFNN48(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := mmm.Evaluate(model, data, "mse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = mmm.Train(model, data, mmm.TrainConfig{
+		Epochs: 5, BatchSize: 10, LearningRate: 0.05, Loss: "mse", Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := mmm.Evaluate(model, data, "mse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(after < before) {
+		t.Fatalf("training did not improve the battery model: %v -> %v", before, after)
+	}
+}
