@@ -1,0 +1,24 @@
+# Developer entry points. CI should run `make check`.
+
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full gate: compile everything, vet, run the suite twice —
+# once plain, once under the race detector.
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -10,7 +10,9 @@
 package mmm_test
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"github.com/mmm-go/mmm/internal/core"
 	"github.com/mmm-go/mmm/internal/experiments"
@@ -307,4 +309,79 @@ func BenchmarkRecoverBaseline(b *testing.B) {
 
 func BenchmarkRecoverMMlibBase(b *testing.B) {
 	benchRecoverOnce(b, func(st core.Stores) core.Approach { return core.NewMMlibBase(st) })
+}
+
+// Parallel-engine benchmarks: the same operation at 1 and 8 workers on
+// a 1000-model FFNN-48 fleet. The speedup metrics compare the median
+// per-op time at 8 workers against a serial reference measured in the
+// same process, so `go test -bench=Parallel` directly reports what
+// WithConcurrency buys on this machine.
+
+// benchSerialReference times one run of op with a serial approach.
+func benchSerialReference(b *testing.B, op func() error) time.Duration {
+	b.Helper()
+	start := time.Now()
+	if err := op(); err != nil {
+		b.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+// BenchmarkSaveParallel measures the save path of Update — parameter
+// concatenation plus per-layer SHA-256 hashing, the most compute-heavy
+// save in the repository — at 8 workers and reports the speedup over
+// serial execution as tts_speedup_x.
+func BenchmarkSaveParallel(b *testing.B) {
+	ctx := context.Background()
+	set, err := core.NewModelSet(nn.FFNN48(), 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	serial := benchSerialReference(b, func() error {
+		a := core.NewUpdate(core.NewMemStores(), core.WithConcurrency(1))
+		_, err := a.SaveContext(ctx, core.SaveRequest{Set: set})
+		return err
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := core.NewUpdate(core.NewMemStores(), core.WithConcurrency(8))
+		if _, err := a.SaveContext(ctx, core.SaveRequest{Set: set}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(serial.Seconds()/perOp, "tts_speedup_x")
+}
+
+// BenchmarkRecoverParallel measures the recover path of Baseline —
+// decoding 1000 models from the concatenated parameter blob — at 8
+// workers and reports the speedup over serial execution as
+// ttr_speedup_x.
+func BenchmarkRecoverParallel(b *testing.B) {
+	ctx := context.Background()
+	set, err := core.NewModelSet(nn.FFNN48(), 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := core.NewMemStores()
+	res, err := core.NewBaseline(st).SaveContext(ctx, core.SaveRequest{Set: set})
+	if err != nil {
+		b.Fatal(err)
+	}
+	serialApproach := core.NewBaseline(st, core.WithConcurrency(1))
+	serial := benchSerialReference(b, func() error {
+		_, err := serialApproach.RecoverContext(ctx, res.SetID)
+		return err
+	})
+	a := core.NewBaseline(st, core.WithConcurrency(8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.RecoverContext(ctx, res.SetID); err != nil {
+			b.Fatal(err)
+		}
+	}
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(serial.Seconds()/perOp, "ttr_speedup_x")
 }

@@ -52,6 +52,7 @@ func main() {
 		samples = flag.Int("samples", 60, "training samples per update dataset")
 		epochs  = flag.Int("epochs", 1, "training epochs per update")
 		rate    = flag.Float64("rate", 0.10, "total update rate per cycle (half full, half partial)")
+		workers = flag.Int("workers", 1, "save/recover concurrency (1 = paper-faithful serial timing)")
 		csv     = flag.Bool("csv", false, "emit series as CSV instead of tables")
 	)
 	flag.Parse()
@@ -73,6 +74,7 @@ func main() {
 		SamplesPerDataset: *samples,
 		Epochs:            *epochs,
 		Seed:              2023,
+		Workers:           *workers,
 	}
 
 	run := func(name string) error {

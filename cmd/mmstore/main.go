@@ -22,10 +22,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	mmm "github.com/mmm-go/mmm"
 	"github.com/mmm-go/mmm/internal/core"
@@ -34,13 +37,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C cancels the operation in flight; save rollback guarantees
+	// the store is left without a half-written set.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintf(os.Stderr, "mmstore: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("mmstore", flag.ContinueOnError)
 	var (
 		dir      = fs.String("dir", "./mmstore-data", "store directory")
@@ -53,6 +60,7 @@ func run(args []string) error {
 		verify   = fs.String("verify-against", "", "second set ID to compare with after recover")
 		rate     = fs.Float64("rate", 0.10, "total update rate per cycle")
 		samples  = fs.Int("samples", 100, "training samples per update dataset")
+		workers  = fs.Int("workers", 1, "save/recover concurrency (1 = serial)")
 	)
 	keep := fs.String("keep", "", "comma-separated set IDs to keep for prune")
 	out := fs.String("out", "", "output path for export/extract")
@@ -71,7 +79,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	appr, err := buildApproach(*approach, stores)
+	appr, err := buildApproach(*approach, stores, *workers)
 	if err != nil {
 		return err
 	}
@@ -94,7 +102,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err := appr.Save(mmm.SaveRequest{Set: fleet.Set})
+		res, err := appr.SaveContext(ctx, mmm.SaveRequest{Set: fleet.Set})
 		if err != nil {
 			return err
 		}
@@ -106,7 +114,7 @@ func run(args []string) error {
 		if *base == "" {
 			return fmt.Errorf("cycle requires -base")
 		}
-		set, err := appr.Recover(*base)
+		set, err := appr.RecoverContext(ctx, *base)
 		if err != nil {
 			return err
 		}
@@ -124,7 +132,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		res, err := appr.Save(mmm.SaveRequest{
+		res, err := appr.SaveContext(ctx, mmm.SaveRequest{
 			Set: fleet.Set, Base: *base, Updates: updates, Train: fleet.TrainInfo(),
 		})
 		if err != nil {
@@ -138,14 +146,14 @@ func run(args []string) error {
 		if *setID == "" {
 			return fmt.Errorf("recover requires -set")
 		}
-		set, err := appr.Recover(*setID)
+		set, err := appr.RecoverContext(ctx, *setID)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("recovered %s: %d models of %s (%d parameters each)\n",
 			*setID, set.Len(), set.Arch.Name, set.Arch.ParamCount())
 		if *verify != "" {
-			other, err := appr.Recover(*verify)
+			other, err := appr.RecoverContext(ctx, *verify)
 			if err != nil {
 				return err
 			}
@@ -175,7 +183,7 @@ func run(args []string) error {
 		if *setID == "" {
 			return fmt.Errorf("inspect requires -set")
 		}
-		set, err := appr.Recover(*setID)
+		set, err := appr.RecoverContext(ctx, *setID)
 		if err != nil {
 			return err
 		}
@@ -271,7 +279,7 @@ func run(args []string) error {
 		if !ok {
 			return fmt.Errorf("approach %s does not support selective recovery", appr.Name())
 		}
-		rec, err := pr.RecoverModels(*setID, []int{*modelIdx})
+		rec, err := pr.RecoverModelsContext(ctx, *setID, []int{*modelIdx})
 		if err != nil {
 			return err
 		}
@@ -308,16 +316,17 @@ func run(args []string) error {
 }
 
 // buildApproach constructs the requested management approach.
-func buildApproach(name string, stores mmm.Stores) (mmm.Approach, error) {
+func buildApproach(name string, stores mmm.Stores, workers int) (mmm.Approach, error) {
+	opt := mmm.WithConcurrency(workers)
 	switch name {
 	case "baseline":
-		return mmm.NewBaseline(stores), nil
+		return mmm.NewBaseline(stores, opt), nil
 	case "update":
-		return mmm.NewUpdate(stores), nil
+		return mmm.NewUpdate(stores, opt), nil
 	case "provenance":
-		return mmm.NewProvenance(stores), nil
+		return mmm.NewProvenance(stores, opt), nil
 	case "mmlib":
-		return mmm.NewMMlibBase(stores), nil
+		return mmm.NewMMlibBase(stores, opt), nil
 	}
 	return nil, fmt.Errorf("unknown approach %q (want baseline, update, provenance, or mmlib)", name)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,7 +14,7 @@ import (
 func runArgs(t *testing.T, dir string, args ...string) error {
 	t.Helper()
 	full := append([]string{args[0], "-dir", dir}, args[1:]...)
-	return run(full)
+	return run(context.Background(), full)
 }
 
 func storeDir(t *testing.T) string {
@@ -80,7 +81,7 @@ func TestPruneCommand(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	dir := storeDir(t)
-	if err := run(nil); err == nil {
+	if err := run(context.Background(), nil); err == nil {
 		t.Error("missing command accepted")
 	}
 	if err := runArgs(t, dir, "teleport"); err == nil {
@@ -125,7 +126,7 @@ func TestBuildApproachNames(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		a, err := buildApproach(name, st)
+		a, err := buildApproach(name, st, 2)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -137,7 +138,7 @@ func TestBuildApproachNames(t *testing.T) {
 		}
 	}
 	st, _ := openTestStores(t)
-	if _, err := buildApproach("nope", st); err == nil ||
+	if _, err := buildApproach("nope", st, 1); err == nil ||
 		!strings.Contains(err.Error(), "unknown approach") {
 		t.Error("unknown approach not rejected")
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	n := flag.Int("n", 500, "fleet size")
 	flag.Parse()
 
@@ -37,7 +39,7 @@ func main() {
 	}
 
 	// Archive U1 and three update cycles.
-	res, err := approach.Save(mmm.SaveRequest{Set: fleet.Set})
+	res, err := approach.SaveContext(ctx, mmm.SaveRequest{Set: fleet.Set})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +50,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err = approach.Save(mmm.SaveRequest{
+		res, err = approach.SaveContext(ctx, mmm.SaveRequest{
 			Set: fleet.Set, Base: ids[len(ids)-1], Updates: updates, Train: fleet.TrainInfo(),
 		})
 		if err != nil {
@@ -69,11 +71,11 @@ func main() {
 	fmt.Printf("\nincident on cells %v — recovering only those models\n", damaged)
 
 	readBefore := stores.Blobs.Stats().BytesRead
-	latest, err := approach.RecoverModels(ids[len(ids)-1], damaged)
+	latest, err := approach.RecoverModelsContext(ctx, ids[len(ids)-1], damaged)
 	if err != nil {
 		log.Fatal(err)
 	}
-	earlier, err := approach.RecoverModels(ids[1], damaged)
+	earlier, err := approach.RecoverModelsContext(ctx, ids[1], damaged)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	n := flag.Int("n", 250, "fleet size (the paper uses 5000)")
 	cycles := flag.Int("cycles", 3, "number of update cycles")
 	flag.Parse()
@@ -53,7 +55,7 @@ func main() {
 
 	// U1: save the freshly deployed fleet.
 	for _, r := range rigs {
-		res, err := r.approach.Save(mmm.SaveRequest{Set: fleet.Set})
+		res, err := r.approach.SaveContext(ctx, mmm.SaveRequest{Set: fleet.Set})
 		if err != nil {
 			log.Fatalf("%s: %v", r.approach.Name(), err)
 		}
@@ -69,7 +71,7 @@ func main() {
 		}
 		fmt.Printf("cycle %d: retrained %d of %d models\n", c, len(updates), fleet.Set.Len())
 		for _, r := range rigs {
-			res, err := r.approach.Save(mmm.SaveRequest{
+			res, err := r.approach.SaveContext(ctx, mmm.SaveRequest{
 				Set: fleet.Set, Base: r.baseID,
 				Updates: updates, Train: fleet.TrainInfo(),
 			})
@@ -101,7 +103,7 @@ func main() {
 	// four representations must decode to the same models.
 	fmt.Println("\nverifying recovery of the final set:")
 	for _, r := range rigs {
-		got, err := r.approach.Recover(r.baseID)
+		got, err := r.approach.RecoverContext(ctx, r.baseID)
 		if err != nil {
 			log.Fatalf("%s: %v", r.approach.Name(), err)
 		}

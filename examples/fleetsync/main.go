@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,8 +24,9 @@ func main() {
 	// The central manager (normally: cmd/mmserve on another machine).
 	manager := httptest.NewServer(mmm.NewManagementServer(mmm.NewMemStores()))
 	defer manager.Close()
+	ctx := context.Background()
 	client := &mmm.ManagementClient{BaseURL: manager.URL}
-	if err := client.Health(); err != nil {
+	if err := client.Health(ctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("management service up at %s\n", manager.URL)
@@ -41,7 +43,7 @@ func main() {
 	}
 
 	// U1: push the initial fleet with the Update approach.
-	res, err := client.Save("update", fleet.Set, "", nil, nil)
+	res, err := client.Save(ctx, "update", fleet.Set, "", nil, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,11 +63,11 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			if _, err := client.PutDataset(spec); err != nil {
+			if _, err := client.PutDataset(ctx, spec); err != nil {
 				log.Fatal(err)
 			}
 		}
-		dres, err := client.Save("update", fleet.Set, base, updates, fleet.TrainInfo())
+		dres, err := client.Save(ctx, "update", fleet.Set, base, updates, fleet.TrainInfo())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,7 +77,7 @@ func main() {
 	}
 
 	// The analyst: inspect lineage, then pull three cells' models.
-	chain, err := client.Info("update", base)
+	chain, err := client.Info(ctx, "update", base)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,7 +87,7 @@ func main() {
 			info.SetID, info.Kind, info.Depth, info.NumModels)
 	}
 
-	pr, err := client.RecoverModels("update", base, []int{3, 57, 110})
+	pr, err := client.RecoverModels(ctx, "update", base, []int{3, 57, 110})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,7 +101,7 @@ func main() {
 		len(pr.Models), exact)
 
 	// Housekeeping: server-side integrity check.
-	issues, err := client.Verify("update")
+	issues, err := client.Verify(ctx, "update")
 	if err != nil {
 		log.Fatal(err)
 	}

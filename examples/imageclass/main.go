@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	n := flag.Int("n", 4, "number of classifiers")
 	samples := flag.Int("samples", 40, "training images per classifier")
 	flag.Parse()
@@ -53,7 +55,7 @@ func main() {
 	}
 
 	// Save the trained set (initial save = full snapshot + hash info).
-	res, err := approach.Save(mmm.SaveRequest{Set: set})
+	res, err := approach.SaveContext(ctx, mmm.SaveRequest{Set: set})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,7 +77,7 @@ func main() {
 	}
 
 	// The derived save persists only classifier 0's changed layers.
-	res2, err := approach.Save(mmm.SaveRequest{Set: set, Base: res.SetID})
+	res2, err := approach.SaveContext(ctx, mmm.SaveRequest{Set: set, Base: res.SetID})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,7 +86,7 @@ func main() {
 		100*float64(res2.BytesWritten)/float64(res.BytesWritten))
 
 	// Recover and verify the models still classify identically.
-	recovered, err := approach.Recover(res2.SetID)
+	recovered, err := approach.RecoverContext(ctx, res2.SetID)
 	if err != nil {
 		log.Fatal(err)
 	}

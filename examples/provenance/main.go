@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	n := flag.Int("n", 50, "fleet size")
 	flag.Parse()
 
@@ -38,7 +40,7 @@ func main() {
 	}
 
 	// U1: full snapshot (Baseline's logic).
-	res, err := approach.Save(mmm.SaveRequest{Set: fleet.Set})
+	res, err := approach.SaveContext(ctx, mmm.SaveRequest{Set: fleet.Set})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		dres, err := approach.Save(mmm.SaveRequest{
+		dres, err := approach.SaveContext(ctx, mmm.SaveRequest{
 			Set: fleet.Set, Base: base, Updates: updates, Train: fleet.TrainInfo(),
 		})
 		if err != nil {
@@ -70,7 +72,7 @@ func main() {
 	// referenced dataset, retrain with the recorded seed and layers.
 	fmt.Println("\nrecovering by re-training:")
 	for i, id := range ids {
-		got, err := approach.Recover(id)
+		got, err := approach.RecoverContext(ctx, id)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,6 +11,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Stores: in-memory here; use mmm.OpenDirStores for durability.
 	stores := mmm.NewMemStores()
 	approach := mmm.NewBaseline(stores)
@@ -23,14 +25,14 @@ func main() {
 
 	// Saving the whole set costs three store writes: one metadata
 	// document, one architecture definition, one parameter binary.
-	res, err := approach.Save(mmm.SaveRequest{Set: set})
+	res, err := approach.SaveContext(ctx, mmm.SaveRequest{Set: set})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("saved %d models as %s: %.2f MB in %d store writes\n",
 		set.Len(), res.SetID, float64(res.BytesWritten)/1e6, res.WriteOps)
 
-	recovered, err := approach.Recover(res.SetID)
+	recovered, err := approach.RecoverContext(ctx, res.SetID)
 	if err != nil {
 		log.Fatal(err)
 	}

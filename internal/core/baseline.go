@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Baseline is the paper's first multi-model approach: it represents a
 // set of n models by exactly three artifacts — one metadata document,
@@ -10,8 +13,9 @@ import "fmt"
 // collapses O(n) store writes into O(1) (O3), while every set remains
 // independently recoverable.
 type Baseline struct {
-	stores Stores
-	ids    idAllocator
+	stores  Stores
+	ids     idAllocator
+	workers int
 }
 
 // collection and blob namespace of Baseline.
@@ -21,22 +25,24 @@ const (
 )
 
 // NewBaseline returns a Baseline approach over the given stores.
-func NewBaseline(stores Stores) *Baseline {
-	return &Baseline{stores: stores, ids: idAllocator{prefix: "bl"}}
+func NewBaseline(stores Stores, opts ...Option) *Baseline {
+	s := newSettings(opts)
+	return &Baseline{stores: stores, ids: idAllocator{prefix: "bl"}, workers: s.workers}
 }
 
 // Name implements Approach.
 func (b *Baseline) Name() string { return "Baseline" }
 
-// Save implements Approach. Baseline treats initial and derived sets
-// identically: every save is a full, self-contained snapshot, so
+// SaveContext implements Approach. Baseline treats initial and derived
+// sets identically: every save is a full, self-contained snapshot, so
 // req.Base and req.Updates are ignored by design.
-func (b *Baseline) Save(req SaveRequest) (SaveResult, error) {
+func (b *Baseline) SaveContext(ctx context.Context, req SaveRequest) (SaveResult, error) {
 	if err := validateSave(req); err != nil {
 		return SaveResult{}, err
 	}
-	startBytes := b.stores.writtenBytes()
-	startOps := b.stores.writeOps()
+	if err := ctx.Err(); err != nil {
+		return SaveResult{}, err
+	}
 
 	existing, err := b.stores.Docs.IDs(baselineCollection)
 	if err != nil {
@@ -44,19 +50,24 @@ func (b *Baseline) Save(req SaveRequest) (SaveResult, error) {
 	}
 	setID := b.ids.allocate(existing)
 
-	if err := fullSave(b.stores, baselineCollection, baselineBlobPrefix, b.Name(), setID, req, nil); err != nil {
+	op := newSaveOp(b.stores)
+	if err := fullSave(ctx, op, baselineCollection, baselineBlobPrefix, b.Name(), setID, req, nil, b.workers); err != nil {
+		op.rollback()
 		return SaveResult{}, err
 	}
-	return SaveResult{
-		SetID:        setID,
-		BytesWritten: b.stores.writtenBytes() - startBytes,
-		WriteOps:     b.stores.writeOps() - startOps,
-	}, nil
+	return op.result(setID), nil
 }
 
-// Recover implements Approach: load metadata and architecture, then
-// read all parameters sequentially from the single binary file.
-func (b *Baseline) Recover(setID string) (*ModelSet, error) {
+// Save implements Approach.
+//
+// Deprecated: use SaveContext.
+func (b *Baseline) Save(req SaveRequest) (SaveResult, error) {
+	return b.SaveContext(context.Background(), req)
+}
+
+// RecoverContext implements Approach: load metadata and architecture,
+// then decode all parameters from the single binary file.
+func (b *Baseline) RecoverContext(ctx context.Context, setID string) (*ModelSet, error) {
 	meta, err := loadMeta(b.stores, baselineCollection, setID)
 	if err != nil {
 		return nil, err
@@ -64,7 +75,14 @@ func (b *Baseline) Recover(setID string) (*ModelSet, error) {
 	if meta.Approach != b.Name() {
 		return nil, fmt.Errorf("core: set %q was saved by %s, not Baseline", setID, meta.Approach)
 	}
-	return fullRecover(b.stores, baselineBlobPrefix, meta)
+	return fullRecover(ctx, b.stores, baselineBlobPrefix, meta, b.workers)
+}
+
+// Recover implements Approach.
+//
+// Deprecated: use RecoverContext.
+func (b *Baseline) Recover(setID string) (*ModelSet, error) {
+	return b.RecoverContext(context.Background(), setID)
 }
 
 // SetIDs lists all sets saved by this approach, in save order.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -81,8 +82,12 @@ func TestBaselineConstantWriteOps(t *testing.T) {
 
 func TestBaselineRecoverUnknownSet(t *testing.T) {
 	b := NewBaseline(NewMemStores())
-	if _, err := b.Recover("bl-999999"); err == nil {
+	_, err := b.Recover("bl-999999")
+	if err == nil {
 		t.Fatal("unknown set recovered")
+	}
+	if !errors.Is(err, ErrSetNotFound) {
+		t.Fatalf("err = %v, want ErrSetNotFound", err)
 	}
 }
 

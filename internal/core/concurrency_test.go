@@ -1,0 +1,276 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/dataset"
+	"github.com/mmm-go/mmm/internal/storage/backend"
+	"github.com/mmm-go/mmm/internal/storage/blobstore"
+	"github.com/mmm-go/mmm/internal/storage/latency"
+)
+
+// approachesUnderTest builds all four approaches over st with the given
+// concurrency.
+func approachesUnderTest(st Stores, workers int) []Approach {
+	opt := WithConcurrency(workers)
+	return []Approach{
+		NewBaseline(st, opt),
+		NewUpdate(st, opt),
+		NewProvenance(st, opt),
+		NewMMlibBase(st, opt),
+	}
+}
+
+// TestParallelSaveDeterministic saves the same scenario serially and
+// with 8 workers and requires identical set IDs, identical save costs,
+// byte-identical blob contents, and bit-identical recovered models —
+// concurrency must be a pure throughput knob.
+func TestParallelSaveDeterministic(t *testing.T) {
+	reg := dataset.NewRegistry()
+	set := mustNewSet(t, 12)
+	updates := runCycle(t, set, reg, 1, []int{2}, []int{5, 9})
+	finalState := set.Clone()
+
+	for i := range approachesUnderTest(NewMemStores(), 1) {
+		stSerial := Stores{Docs: NewMemStores().Docs, Blobs: NewMemStores().Blobs, Datasets: reg}
+		stParallel := Stores{Docs: NewMemStores().Docs, Blobs: NewMemStores().Blobs, Datasets: reg}
+		serial := approachesUnderTest(stSerial, 1)[i]
+		parallel := approachesUnderTest(stParallel, 8)[i]
+		t.Run(serial.Name(), func(t *testing.T) {
+			ctx := context.Background()
+			// U1: the initial full save. Use the pre-cycle state so the
+			// derived save below has honest deltas.
+			initial := mustNewSet(t, 12)
+			reqs := []SaveRequest{
+				{Set: initial},
+				{Set: finalState, Updates: updates, Train: testTrainInfo()},
+			}
+			var ids [2][]string
+			for uc, req := range reqs {
+				if uc == 1 {
+					req.Base = ids[0][0]
+				}
+				resSerial, err := serial.SaveContext(ctx, req)
+				if err != nil {
+					t.Fatalf("serial save %d: %v", uc, err)
+				}
+				reqP := req
+				if uc == 1 {
+					reqP.Base = ids[1][0]
+				}
+				resParallel, err := parallel.SaveContext(ctx, reqP)
+				if err != nil {
+					t.Fatalf("parallel save %d: %v", uc, err)
+				}
+				if resSerial.SetID != resParallel.SetID {
+					t.Fatalf("save %d: set ID %q (serial) vs %q (8 workers)", uc, resSerial.SetID, resParallel.SetID)
+				}
+				if resSerial.BytesWritten != resParallel.BytesWritten || resSerial.WriteOps != resParallel.WriteOps {
+					t.Errorf("save %d: cost (%d B, %d ops) serial vs (%d B, %d ops) parallel",
+						uc, resSerial.BytesWritten, resSerial.WriteOps, resParallel.BytesWritten, resParallel.WriteOps)
+				}
+				ids[0] = append(ids[0], resSerial.SetID)
+				ids[1] = append(ids[1], resParallel.SetID)
+			}
+
+			// Every stored blob must be byte-identical.
+			keysSerial, err := stSerial.Blobs.Keys()
+			if err != nil {
+				t.Fatal(err)
+			}
+			keysParallel, err := stParallel.Blobs.Keys()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(keysSerial) != len(keysParallel) {
+				t.Fatalf("blob keys: %v serial vs %v parallel", keysSerial, keysParallel)
+			}
+			for _, k := range keysSerial {
+				a, err := stSerial.Blobs.Get(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := stParallel.Blobs.Get(k)
+				if err != nil {
+					t.Fatalf("blob %q missing from parallel store: %v", k, err)
+				}
+				if !bytes.Equal(a, b) {
+					t.Errorf("blob %q differs between serial and parallel save", k)
+				}
+			}
+
+			// Both recoveries must reproduce the final state bit-exactly.
+			for uc, want := range []*ModelSet{initial, finalState} {
+				gotSerial, err := serial.RecoverContext(ctx, ids[0][uc])
+				if err != nil {
+					t.Fatalf("serial recover %d: %v", uc, err)
+				}
+				gotParallel, err := parallel.RecoverContext(ctx, ids[1][uc])
+				if err != nil {
+					t.Fatalf("parallel recover %d: %v", uc, err)
+				}
+				if !want.Equal(gotSerial) || !want.Equal(gotParallel) {
+					t.Errorf("use case %d: recovered parameters differ from saved state", uc)
+				}
+			}
+
+			// Selective recovery must be deterministic too.
+			prSerial, ok := serial.(PartialRecoverer)
+			if !ok {
+				return
+			}
+			prParallel := parallel.(PartialRecoverer)
+			a, err := prSerial.RecoverModelsContext(ctx, ids[0][1], []int{2, 9})
+			if err != nil {
+				t.Fatalf("serial selective recover: %v", err)
+			}
+			b, err := prParallel.RecoverModelsContext(ctx, ids[1][1], []int{2, 9})
+			if err != nil {
+				t.Fatalf("parallel selective recover: %v", err)
+			}
+			for _, idx := range []int{2, 9} {
+				if !finalState.Models[idx].ParamsEqual(a.Models[idx]) || !finalState.Models[idx].ParamsEqual(b.Models[idx]) {
+					t.Errorf("selective recovery of model %d not bit-identical", idx)
+				}
+			}
+		})
+	}
+}
+
+// cancellingBackend cancels a context after a fixed number of Puts,
+// simulating an interrupt that arrives while a save is writing.
+type cancellingBackend struct {
+	backend.Backend
+	mu     sync.Mutex
+	after  int
+	cancel context.CancelFunc
+}
+
+func (c *cancellingBackend) Put(key string, data []byte) error {
+	err := c.Backend.Put(key, data)
+	c.mu.Lock()
+	c.after--
+	if c.after == 0 {
+		c.cancel()
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// TestSaveCancellationLeavesNoOrphans interrupts a save after its first
+// blob write and requires full rollback: no blobs, no documents, and a
+// clean verifier report.
+func TestSaveCancellationLeavesNoOrphans(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cb := &cancellingBackend{Backend: backend.NewMem(), after: 1, cancel: cancel}
+	st := NewMemStores()
+	st.Blobs = blobstore.New(cb, latency.CostModel{}, nil)
+
+	b := NewBaseline(st, WithConcurrency(4))
+	_, err := b.SaveContext(ctx, SaveRequest{Set: mustNewSet(t, 8)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled save returned %v, want context.Canceled", err)
+	}
+
+	keys, err := st.Blobs.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 0 {
+		t.Errorf("cancelled save left orphaned blobs: %v", keys)
+	}
+	ids, err := st.Docs.IDs(baselineCollection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Errorf("cancelled save left metadata documents: %v", ids)
+	}
+	issues, err := b.VerifyStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 0 {
+		t.Errorf("store not clean after cancelled save: %v", issues)
+	}
+}
+
+// TestRecoverPreCancelled requires every approach to refuse work on an
+// already-cancelled context.
+func TestRecoverPreCancelled(t *testing.T) {
+	st := NewMemStores()
+	ctx := context.Background()
+	for _, a := range approachesUnderTest(st, 2) {
+		res, err := a.SaveContext(ctx, SaveRequest{Set: mustNewSet(t, 4)})
+		if err != nil {
+			t.Fatalf("%s: save: %v", a.Name(), err)
+		}
+		cancelled, cancel := context.WithCancel(ctx)
+		cancel()
+		if _, err := a.RecoverContext(cancelled, res.SetID); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: recover on cancelled context returned %v, want context.Canceled", a.Name(), err)
+		}
+	}
+}
+
+// TestConcurrentSavesAttributeCosts runs two saves on the same stores
+// at the same time and requires each SaveResult to report exactly its
+// own bytes — the per-operation accounting the global store counters
+// could not provide.
+func TestConcurrentSavesAttributeCosts(t *testing.T) {
+	// Reference costs from solo saves on fresh stores.
+	small, large := mustNewSet(t, 4), mustNewSet(t, 16)
+	soloSmall, err := NewBaseline(NewMemStores()).SaveContext(context.Background(), SaveRequest{Set: small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloLarge, err := NewBaseline(NewMemStores()).SaveContext(context.Background(), SaveRequest{Set: large})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := NewMemStores()
+	b := NewBaseline(st, WithConcurrency(4))
+	var wg sync.WaitGroup
+	results := make([]SaveResult, 2)
+	errs := make([]error, 2)
+	for i, set := range []*ModelSet{small, large} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = b.SaveContext(context.Background(), SaveRequest{Set: set})
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent save %d: %v", i, err)
+		}
+	}
+	if results[0].SetID == results[1].SetID {
+		t.Fatalf("concurrent saves share set ID %q", results[0].SetID)
+	}
+	if results[0].BytesWritten != soloSmall.BytesWritten || results[0].WriteOps != soloSmall.WriteOps {
+		t.Errorf("small save attributed (%d B, %d ops), solo reference (%d B, %d ops)",
+			results[0].BytesWritten, results[0].WriteOps, soloSmall.BytesWritten, soloSmall.WriteOps)
+	}
+	if results[1].BytesWritten != soloLarge.BytesWritten || results[1].WriteOps != soloLarge.WriteOps {
+		t.Errorf("large save attributed (%d B, %d ops), solo reference (%d B, %d ops)",
+			results[1].BytesWritten, results[1].WriteOps, soloLarge.BytesWritten, soloLarge.WriteOps)
+	}
+	// Both sets must still recover cleanly.
+	for i, want := range []*ModelSet{small, large} {
+		got, err := b.RecoverContext(context.Background(), results[i].SetID)
+		if err != nil {
+			t.Fatalf("recover after concurrent saves: %v", err)
+		}
+		if !want.Equal(got) {
+			t.Errorf("set %d corrupted by concurrent save", i)
+		}
+	}
+}

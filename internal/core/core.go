@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/mmm-go/mmm/internal/dataset"
@@ -107,17 +108,6 @@ func NewMemStores() Stores {
 	}
 }
 
-// writtenBytes returns the total bytes written so far across both
-// stores; Save implementations snapshot it to report per-save storage.
-func (s Stores) writtenBytes() int64 {
-	return s.Docs.Stats().BytesWritten + s.Blobs.Stats().BytesWritten
-}
-
-// writeOps returns the total write operations so far across both stores.
-func (s Stores) writeOps() int64 {
-	return s.Docs.Stats().InsertOps + s.Blobs.Stats().PutOps
-}
-
 // TrainInfo is the training-pipeline description shared by all models
 // of one update cycle. The Provenance approach persists it once per set
 // (MMlib-style management would persist the code and environment per
@@ -173,13 +163,30 @@ type SaveResult struct {
 }
 
 // Approach is a multi-model management strategy.
+//
+// The context-aware methods are the primary API: per-model work (
+// serialization, hashing, decoding, retraining) runs on the approach's
+// worker pool (see WithConcurrency) and honors ctx cancellation. A
+// cancelled or failed save rolls back the artifacts it already wrote,
+// so the store never holds a partially saved set.
 type Approach interface {
 	// Name returns the approach's evaluation label.
 	Name() string
-	// Save persists the model set and returns its new set ID.
-	Save(req SaveRequest) (SaveResult, error)
-	// Recover loads the set saved under setID, exactly as saved
+	// SaveContext persists the model set and returns its new set ID.
+	SaveContext(ctx context.Context, req SaveRequest) (SaveResult, error)
+	// RecoverContext loads the set saved under setID, exactly as saved
 	// (Provenance with a recovery budget is the documented exception).
+	// Unknown set IDs return an error wrapping ErrSetNotFound.
+	RecoverContext(ctx context.Context, setID string) (*ModelSet, error)
+	// Save persists the model set and returns its new set ID.
+	//
+	// Deprecated: use SaveContext. Save is SaveContext with
+	// context.Background().
+	Save(req SaveRequest) (SaveResult, error)
+	// Recover loads the set saved under setID.
+	//
+	// Deprecated: use RecoverContext. Recover is RecoverContext with
+	// context.Background().
 	Recover(setID string) (*ModelSet, error)
 }
 

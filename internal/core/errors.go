@@ -1,0 +1,21 @@
+package core
+
+import "errors"
+
+// Sentinel errors of the management layer. They are wrapped with
+// additional context (set IDs, model indices) via %w, so callers match
+// them with errors.Is instead of string comparison.
+var (
+	// ErrSetNotFound reports that no set is saved under the requested
+	// set ID (in the approach's own namespace).
+	ErrSetNotFound = errors.New("core: set not found")
+
+	// ErrCorruptBlob reports that a stored artifact failed an integrity
+	// check during recovery: wrong size, truncated framing, a layer
+	// hash mismatch after applying a diff, or trailing bytes.
+	ErrCorruptBlob = errors.New("core: corrupt blob")
+
+	// ErrBudgetExceeded reports that a request exceeds a configured
+	// resource budget (e.g. the server's per-save payload limit).
+	ErrBudgetExceeded = errors.New("core: budget exceeded")
+)

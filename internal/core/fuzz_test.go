@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"github.com/mmm-go/mmm/internal/nn"
@@ -42,7 +43,10 @@ func FuzzBuildSetFromParams(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	good := concatParams(set)
+	good, err := concatParams(context.Background(), set, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Add(good, 2)
 	f.Add(good[:len(good)-1], 2)
 	f.Add([]byte{}, 0)
@@ -52,14 +56,14 @@ func FuzzBuildSetFromParams(f *testing.F) {
 		if n < 0 || n > 8 {
 			return
 		}
-		got, err := buildSetFromParams(arch, n, data)
+		got, err := buildSetFromParams(context.Background(), arch, n, data, 1)
 		if err != nil {
 			return
 		}
 		if got.Len() != n {
 			t.Fatalf("decoded %d models, want %d", got.Len(), n)
 		}
-		if out := concatParams(got); len(out) != len(data) {
+		if out, err := concatParams(context.Background(), got, 1); err != nil || len(out) != len(data) {
 			t.Fatalf("accepted %d bytes but re-encodes to %d", len(data), len(out))
 		}
 	})

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
+	"github.com/mmm-go/mmm/internal/core/pool"
 	"github.com/mmm-go/mmm/internal/env"
 	"github.com/mmm-go/mmm/internal/nn"
 )
@@ -17,8 +19,9 @@ import (
 // 8 KB of model-independent data per model — exactly the behaviour the
 // paper's approaches optimize away.
 type MMlibBase struct {
-	stores Stores
-	ids    idAllocator
+	stores  Stores
+	ids     idAllocator
+	workers int
 }
 
 // Collections and blob namespace of MMlibBase.
@@ -31,8 +34,9 @@ const (
 )
 
 // NewMMlibBase returns an MMlibBase approach over the given stores.
-func NewMMlibBase(stores Stores) *MMlibBase {
-	return &MMlibBase{stores: stores, ids: idAllocator{prefix: "ml"}}
+func NewMMlibBase(stores Stores, opts ...Option) *MMlibBase {
+	s := newSettings(opts)
+	return &MMlibBase{stores: stores, ids: idAllocator{prefix: "ml"}, workers: s.workers}
 }
 
 // Name implements Approach.
@@ -66,14 +70,17 @@ type codeDoc struct {
 	DataLoader   string `json:"data_loader"`
 }
 
-// Save implements Approach. Like Baseline, every save is a full
-// snapshot; unlike Baseline, each model is persisted separately.
-func (m *MMlibBase) Save(req SaveRequest) (SaveResult, error) {
+// SaveContext implements Approach. Like Baseline, every save is a full
+// snapshot; unlike Baseline, each model is persisted separately. The
+// per-model bundles are independent, so they are written by the worker
+// pool; the set document that makes the save visible is written last.
+func (m *MMlibBase) SaveContext(ctx context.Context, req SaveRequest) (SaveResult, error) {
 	if err := validateSave(req); err != nil {
 		return SaveResult{}, err
 	}
-	startBytes := m.stores.writtenBytes()
-	startOps := m.stores.writeOps()
+	if err := ctx.Err(); err != nil {
+		return SaveResult{}, err
+	}
 
 	existing, err := m.stores.Docs.IDs(mmlibSetCollection)
 	if err != nil {
@@ -89,25 +96,25 @@ func (m *MMlibBase) Save(req SaveRequest) (SaveResult, error) {
 		DataLoader:   dataLoaderCode,
 	}
 
-	modelIDs := make([]string, len(req.Set.Models))
-	for i, model := range req.Set.Models {
+	op := newSaveOp(m.stores)
+	err = pool.Run(ctx, m.workers, len(req.Set.Models), func(i int) error {
+		model := req.Set.Models[i]
 		modelID := fmt.Sprintf("%s-m%05d", setID, i)
-		modelIDs[i] = modelID
 
 		// One architecture blob and one framed parameter blob per model:
 		// the redundancy O1 targets.
-		if err := saveArchBlob(m.stores, fmt.Sprintf("%s/%s/%d/arch.json", mmlibBlobPrefix, setID, i), req.Set.Arch); err != nil {
-			return SaveResult{}, err
+		if err := saveArchBlob(op, fmt.Sprintf("%s/%s/%d/arch.json", mmlibBlobPrefix, setID, i), req.Set.Arch); err != nil {
+			return err
 		}
-		if err := m.stores.Blobs.Put(fmt.Sprintf("%s/%s/%d/params.bin", mmlibBlobPrefix, setID, i), frameParams(model)); err != nil {
-			return SaveResult{}, fmt.Errorf("core: writing params of model %d: %w", i, err)
+		if err := op.putBlob(fmt.Sprintf("%s/%s/%d/params.bin", mmlibBlobPrefix, setID, i), frameParams(model)); err != nil {
+			return fmt.Errorf("core: writing params of model %d: %w", i, err)
 		}
 		// Three documents per model: metadata, environment, code.
-		if err := m.stores.Docs.Insert(mmlibEnvCollection, modelID, environment); err != nil {
-			return SaveResult{}, fmt.Errorf("core: writing env of model %d: %w", i, err)
+		if err := op.insertDoc(mmlibEnvCollection, modelID, environment); err != nil {
+			return fmt.Errorf("core: writing env of model %d: %w", i, err)
 		}
-		if err := m.stores.Docs.Insert(mmlibCodeCollection, modelID, code); err != nil {
-			return SaveResult{}, fmt.Errorf("core: writing code of model %d: %w", i, err)
+		if err := op.insertDoc(mmlibCodeCollection, modelID, code); err != nil {
+			return fmt.Errorf("core: writing code of model %d: %w", i, err)
 		}
 		meta := modelMeta{
 			ModelID: modelID, SetID: setID, Index: i,
@@ -116,9 +123,14 @@ func (m *MMlibBase) Save(req SaveRequest) (SaveResult, error) {
 			SaveFormat: "framed-state-dict-v1",
 			CodeDocID:  modelID, EnvDocID: modelID,
 		}
-		if err := m.stores.Docs.Insert(mmlibMetaCollection, modelID, meta); err != nil {
-			return SaveResult{}, fmt.Errorf("core: writing metadata of model %d: %w", i, err)
+		if err := op.insertDoc(mmlibMetaCollection, modelID, meta); err != nil {
+			return fmt.Errorf("core: writing metadata of model %d: %w", i, err)
 		}
+		return nil
+	})
+	if err != nil {
+		op.rollback()
+		return SaveResult{}, err
 	}
 
 	setDoc := setMeta{
@@ -126,22 +138,29 @@ func (m *MMlibBase) Save(req SaveRequest) (SaveResult, error) {
 		ArchName: req.Set.Arch.Name, NumModels: len(req.Set.Models),
 		ParamCount: req.Set.Arch.ParamCount(),
 	}
-	if err := m.stores.Docs.Insert(mmlibSetCollection, setID, setDoc); err != nil {
+	if err := op.insertDoc(mmlibSetCollection, setID, setDoc); err != nil {
+		op.rollback()
 		return SaveResult{}, fmt.Errorf("core: writing set document: %w", err)
 	}
 
-	return SaveResult{
-		SetID:        setID,
-		BytesWritten: m.stores.writtenBytes() - startBytes,
-		WriteOps:     m.stores.writeOps() - startOps,
-	}, nil
+	return op.result(setID), nil
 }
 
-// Recover implements Approach: every model is loaded individually —
-// metadata, environment, and code documents plus two blobs per model,
-// mirroring MMlib's full-bundle restore. These O(n) store round trips
-// are why MMlib-base's TTR is an order of magnitude above Baseline's.
-func (m *MMlibBase) Recover(setID string) (*ModelSet, error) {
+// Save implements Approach.
+//
+// Deprecated: use SaveContext.
+func (m *MMlibBase) Save(req SaveRequest) (SaveResult, error) {
+	return m.SaveContext(context.Background(), req)
+}
+
+// RecoverContext implements Approach: every model is loaded
+// individually — metadata, environment, and code documents plus two
+// blobs per model, mirroring MMlib's full-bundle restore. These O(n)
+// store round trips are why MMlib-base's TTR is an order of magnitude
+// above Baseline's. The per-model restores are independent and run on
+// the worker pool; model slots commit by index, and the set's shared
+// architecture is deterministically taken from model 0's bundle.
+func (m *MMlibBase) RecoverContext(ctx context.Context, setID string) (*ModelSet, error) {
 	meta, err := loadMeta(m.stores, mmlibSetCollection, setID)
 	if err != nil {
 		return nil, err
@@ -150,41 +169,30 @@ func (m *MMlibBase) Recover(setID string) (*ModelSet, error) {
 		return nil, fmt.Errorf("core: set %q was saved by %s, not MMlib-base", setID, meta.Approach)
 	}
 	set := &ModelSet{Models: make([]*nn.Model, meta.NumModels)}
-	for i := 0; i < meta.NumModels; i++ {
-		modelID := fmt.Sprintf("%s-m%05d", setID, i)
-		var mm modelMeta
-		if err := m.stores.Docs.Get(mmlibMetaCollection, modelID, &mm); err != nil {
-			return nil, fmt.Errorf("core: loading metadata of model %d: %w", i, err)
-		}
-		var ed envDoc
-		if err := m.stores.Docs.Get(mmlibEnvCollection, mm.EnvDocID, &ed); err != nil {
-			return nil, fmt.Errorf("core: loading env of model %d: %w", i, err)
-		}
-		var cd codeDoc
-		if err := m.stores.Docs.Get(mmlibCodeCollection, mm.CodeDocID, &cd); err != nil {
-			return nil, fmt.Errorf("core: loading code of model %d: %w", i, err)
-		}
-		arch, err := loadArchBlob(m.stores, fmt.Sprintf("%s/%s/%d/arch.json", mmlibBlobPrefix, setID, i))
+	archs := make([]*nn.Architecture, meta.NumModels)
+	err = pool.Run(ctx, m.workers, meta.NumModels, func(i int) error {
+		model, arch, err := m.recoverOne(setID, i)
 		if err != nil {
-			return nil, fmt.Errorf("core: loading arch of model %d: %w", i, err)
+			return err
 		}
-		raw, err := m.stores.Blobs.Get(fmt.Sprintf("%s/%s/%d/params.bin", mmlibBlobPrefix, setID, i))
-		if err != nil {
-			return nil, fmt.Errorf("core: loading params of model %d: %w", i, err)
-		}
-		model, err := nn.NewModelUninitialized(arch)
-		if err != nil {
-			return nil, err
-		}
-		if err := unframeParams(model, raw); err != nil {
-			return nil, fmt.Errorf("core: parsing params of model %d: %w", i, err)
-		}
-		if set.Arch == nil {
-			set.Arch = arch
-		}
+		archs[i] = arch
 		set.Models[i] = model
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if meta.NumModels > 0 {
+		set.Arch = archs[0]
 	}
 	return set, nil
+}
+
+// Recover implements Approach.
+//
+// Deprecated: use RecoverContext.
+func (m *MMlibBase) Recover(setID string) (*ModelSet, error) {
+	return m.RecoverContext(context.Background(), setID)
 }
 
 // SetIDs lists all sets saved by this approach, in save order.
@@ -213,28 +221,28 @@ func unframeParams(m *nn.Model, buf []byte) error {
 	off := 0
 	for _, p := range m.Params() {
 		if off+2 > len(buf) {
-			return fmt.Errorf("core: truncated state dict at key length")
+			return fmt.Errorf("core: truncated state dict at key length: %w", ErrCorruptBlob)
 		}
 		kl := int(binary.LittleEndian.Uint16(buf[off:]))
 		off += 2
 		if off+kl > len(buf) {
-			return fmt.Errorf("core: truncated state dict at key")
+			return fmt.Errorf("core: truncated state dict at key: %w", ErrCorruptBlob)
 		}
 		key := string(buf[off : off+kl])
 		off += kl
 		if key != p.Name {
-			return fmt.Errorf("core: state dict key %q, want %q", key, p.Name)
+			return fmt.Errorf("core: state dict key %q, want %q: %w", key, p.Name, ErrCorruptBlob)
 		}
 		if off+4 > len(buf) {
-			return fmt.Errorf("core: truncated state dict at value length")
+			return fmt.Errorf("core: truncated state dict at value length: %w", ErrCorruptBlob)
 		}
 		vl := int(binary.LittleEndian.Uint32(buf[off:]))
 		off += 4
 		if vl != 4*p.Tensor.Len() {
-			return fmt.Errorf("core: value of %q has %d bytes, want %d", key, vl, 4*p.Tensor.Len())
+			return fmt.Errorf("core: value of %q has %d bytes, want %d: %w", key, vl, 4*p.Tensor.Len(), ErrCorruptBlob)
 		}
 		if off+vl > len(buf) {
-			return fmt.Errorf("core: truncated state dict at value")
+			return fmt.Errorf("core: truncated state dict at value: %w", ErrCorruptBlob)
 		}
 		if _, err := p.Tensor.SetFromBytes(buf[off : off+vl]); err != nil {
 			return err
@@ -242,7 +250,7 @@ func unframeParams(m *nn.Model, buf []byte) error {
 		off += vl
 	}
 	if off != len(buf) {
-		return fmt.Errorf("core: %d trailing bytes in state dict", len(buf)-off)
+		return fmt.Errorf("core: %d trailing bytes in state dict: %w", len(buf)-off, ErrCorruptBlob)
 	}
 	return nil
 }

@@ -1,0 +1,38 @@
+package core
+
+import "github.com/mmm-go/mmm/internal/core/pool"
+
+// settings holds the resolved construction options shared by all
+// approaches.
+type settings struct {
+	// workers bounds the approach's per-model concurrency.
+	workers int
+}
+
+// Option configures an approach at construction time.
+type Option func(*settings)
+
+// WithConcurrency bounds the number of workers an approach uses for
+// per-model work during save and recovery. The default is
+// runtime.GOMAXPROCS(0). n == 1 runs everything serially on the calling
+// goroutine; because parallel workers write into disjoint, pre-offset
+// slots and results are committed in model-index order, every setting
+// produces byte-identical artifacts and identical set IDs — only the
+// wall-clock time changes. Values below 1 are treated as 1.
+func WithConcurrency(n int) Option {
+	return func(s *settings) {
+		if n < 1 {
+			n = 1
+		}
+		s.workers = n
+	}
+}
+
+// newSettings resolves opts over the defaults.
+func newSettings(opts []Option) settings {
+	s := settings{workers: pool.DefaultWorkers()}
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
+}

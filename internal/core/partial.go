@@ -3,10 +3,12 @@ package core
 import (
 	"bytes"
 	"compress/zlib"
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
+	"github.com/mmm-go/mmm/internal/core/pool"
 	"github.com/mmm-go/mmm/internal/env"
 	"github.com/mmm-go/mmm/internal/hashing"
 	"github.com/mmm-go/mmm/internal/nn"
@@ -40,8 +42,14 @@ type PartialRecovery struct {
 // PartialRecoverer is implemented by approaches that can recover a
 // subset of a saved set. All four approaches implement it.
 type PartialRecoverer interface {
+	// RecoverModelsContext recovers the models at the given indices of
+	// the set saved under setID, honoring ctx cancellation.
+	RecoverModelsContext(ctx context.Context, setID string, indices []int) (*PartialRecovery, error)
 	// RecoverModels recovers the models at the given indices of the set
 	// saved under setID.
+	//
+	// Deprecated: use RecoverModelsContext. RecoverModels is
+	// RecoverModelsContext with context.Background().
 	RecoverModels(setID string, indices []int) (*PartialRecovery, error)
 }
 
@@ -67,34 +75,43 @@ func validateIndices(indices []int, numModels int) ([]int, error) {
 }
 
 // rangedModels reads the selected models out of a fullSave parameter
-// blob using ranged reads.
-func rangedModels(st Stores, blobPrefix string, meta setMeta, indices []int) (*PartialRecovery, error) {
+// blob using ranged reads, one independent read+decode per index.
+func rangedModels(ctx context.Context, st Stores, blobPrefix string, meta setMeta, indices []int, workers int) (*PartialRecovery, error) {
 	arch, err := loadArchBlob(st, blobPrefix+"/"+meta.SetID+"/arch.json")
 	if err != nil {
 		return nil, err
 	}
 	perModel := int64(arch.ParamBytes())
 	key := blobPrefix + "/" + meta.SetID + "/params.bin"
-	out := &PartialRecovery{Arch: arch, Models: make(map[int]*nn.Model, len(indices))}
-	for _, idx := range indices {
+	models := make([]*nn.Model, len(indices))
+	err = pool.Run(ctx, workers, len(indices), func(k int) error {
+		idx := indices[k]
 		raw, err := st.Blobs.GetRange(key, int64(idx)*perModel, perModel)
 		if err != nil {
-			return nil, fmt.Errorf("core: reading model %d: %w", idx, err)
+			return fmt.Errorf("core: reading model %d: %w", idx, err)
 		}
 		m, err := nn.NewModelUninitialized(arch)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := m.SetParamBytes(raw); err != nil {
-			return nil, fmt.Errorf("core: recovering model %d: %w", idx, err)
+			return fmt.Errorf("core: recovering model %d: %w", idx, err)
 		}
-		out.Models[idx] = m
+		models[k] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &PartialRecovery{Arch: arch, Models: make(map[int]*nn.Model, len(indices))}
+	for k, idx := range indices {
+		out.Models[idx] = models[k]
 	}
 	return out, nil
 }
 
-// RecoverModels implements PartialRecoverer for Baseline.
-func (b *Baseline) RecoverModels(setID string, indices []int) (*PartialRecovery, error) {
+// RecoverModelsContext implements PartialRecoverer for Baseline.
+func (b *Baseline) RecoverModelsContext(ctx context.Context, setID string, indices []int) (*PartialRecovery, error) {
 	meta, err := loadMeta(b.stores, baselineCollection, setID)
 	if err != nil {
 		return nil, err
@@ -106,11 +123,18 @@ func (b *Baseline) RecoverModels(setID string, indices []int) (*PartialRecovery,
 	if err != nil {
 		return nil, err
 	}
-	return rangedModels(b.stores, baselineBlobPrefix, meta, idx)
+	return rangedModels(ctx, b.stores, baselineBlobPrefix, meta, idx, b.workers)
 }
 
-// RecoverModels implements PartialRecoverer for MMlibBase.
-func (m *MMlibBase) RecoverModels(setID string, indices []int) (*PartialRecovery, error) {
+// RecoverModels implements PartialRecoverer.
+//
+// Deprecated: use RecoverModelsContext.
+func (b *Baseline) RecoverModels(setID string, indices []int) (*PartialRecovery, error) {
+	return b.RecoverModelsContext(context.Background(), setID, indices)
+}
+
+// RecoverModelsContext implements PartialRecoverer for MMlibBase.
+func (m *MMlibBase) RecoverModelsContext(ctx context.Context, setID string, indices []int) (*PartialRecovery, error) {
 	meta, err := loadMeta(m.stores, mmlibSetCollection, setID)
 	if err != nil {
 		return nil, err
@@ -122,18 +146,32 @@ func (m *MMlibBase) RecoverModels(setID string, indices []int) (*PartialRecovery
 	if err != nil {
 		return nil, err
 	}
-	out := &PartialRecovery{Models: make(map[int]*nn.Model, len(idx))}
-	for _, i := range idx {
-		model, arch, err := m.recoverOne(setID, i)
+	models := make([]*nn.Model, len(idx))
+	archs := make([]*nn.Architecture, len(idx))
+	err = pool.Run(ctx, m.workers, len(idx), func(k int) error {
+		model, arch, err := m.recoverOne(setID, idx[k])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if out.Arch == nil {
-			out.Arch = arch
-		}
-		out.Models[i] = model
+		models[k] = model
+		archs[k] = arch
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &PartialRecovery{Arch: archs[0], Models: make(map[int]*nn.Model, len(idx))}
+	for k, i := range idx {
+		out.Models[i] = models[k]
 	}
 	return out, nil
+}
+
+// RecoverModels implements PartialRecoverer.
+//
+// Deprecated: use RecoverModelsContext.
+func (m *MMlibBase) RecoverModels(setID string, indices []int) (*PartialRecovery, error) {
+	return m.RecoverModelsContext(context.Background(), setID, indices)
 }
 
 // recoverOne loads one model the MMlib way (all three documents plus
@@ -185,8 +223,8 @@ func paramByteSizes(arch *nn.Architecture) []int {
 	return sizes
 }
 
-// RecoverModels implements PartialRecoverer for Update.
-func (u *Update) RecoverModels(setID string, indices []int) (*PartialRecovery, error) {
+// RecoverModelsContext implements PartialRecoverer for Update.
+func (u *Update) RecoverModelsContext(ctx context.Context, setID string, indices []int) (*PartialRecovery, error) {
 	meta, err := loadMeta(u.stores, updateCollection, setID)
 	if err != nil {
 		return nil, err
@@ -199,10 +237,10 @@ func (u *Update) RecoverModels(setID string, indices []int) (*PartialRecovery, e
 		return nil, err
 	}
 	if meta.Kind == "full" {
-		return rangedModels(u.stores, updateBlobPrefix, meta, idx)
+		return rangedModels(ctx, u.stores, updateBlobPrefix, meta, idx, u.workers)
 	}
 
-	base, err := u.RecoverModels(meta.Base, idx)
+	base, err := u.RecoverModelsContext(ctx, meta.Base, idx)
 	if err != nil {
 		return nil, fmt.Errorf("core: recovering base of %q: %w", setID, err)
 	}
@@ -243,50 +281,78 @@ func (u *Update) RecoverModels(setID string, indices []int) (*PartialRecovery, e
 		}
 	}
 
+	// Walk the diff list once to locate the wanted entries' offsets;
+	// the selected segments then read and apply independently.
+	type application struct {
+		e   diffEntry
+		off int64
+	}
+	var apply []application
+	seen := make(map[diffEntry]bool, len(diff.Entries))
 	var off int64
 	for _, e := range diff.Entries {
 		if e.P < 0 || e.P >= len(sizes) {
 			return nil, fmt.Errorf("core: diff references parameter %d of model %d", e.P, e.M)
 		}
-		size := int64(sizes[e.P])
 		if wanted[e.M] {
-			var segment []byte
-			if whole != nil {
-				if off+size > int64(len(whole)) {
-					return nil, fmt.Errorf("core: diff blob truncated at model %d", e.M)
-				}
-				segment = whole[off : off+size]
-			} else {
-				var err error
-				segment, err = u.stores.Blobs.GetRange(blobKey, off, size)
-				if err != nil {
-					return nil, fmt.Errorf("core: reading diff of model %d: %w", e.M, err)
-				}
+			if seen[e] {
+				return nil, fmt.Errorf("core: duplicate diff entry (%d,%d): %w", e.M, e.P, ErrCorruptBlob)
 			}
-			model, ok := base.Models[e.M]
-			if !ok {
-				return nil, fmt.Errorf("core: base recovery missing model %d", e.M)
+			seen[e] = true
+			apply = append(apply, application{e: e, off: off})
+		}
+		off += int64(sizes[e.P])
+	}
+
+	err = pool.Run(ctx, u.workers, len(apply), func(k int) error {
+		e, off := apply[k].e, apply[k].off
+		size := int64(sizes[e.P])
+		var segment []byte
+		if whole != nil {
+			if off+size > int64(len(whole)) {
+				return fmt.Errorf("core: diff blob truncated at model %d: %w", e.M, ErrCorruptBlob)
 			}
-			t := model.Params()[e.P].Tensor
-			if diff.Delta {
-				if _, err := t.XORFromBytes(segment); err != nil {
-					return nil, fmt.Errorf("core: applying diff for model %d param %d: %w", e.M, e.P, err)
-				}
-			} else if _, err := t.SetFromBytes(segment); err != nil {
-				return nil, fmt.Errorf("core: applying diff for model %d param %d: %w", e.M, e.P, err)
-			}
-			if got := hashing.Tensor(t); e.M < len(stored.Models) && e.P < len(stored.Models[e.M]) &&
-				got != stored.Models[e.M][e.P] {
-				return nil, fmt.Errorf("core: model %d param %d hash mismatch after applying diff", e.M, e.P)
+			segment = whole[off : off+size]
+		} else {
+			var err error
+			segment, err = u.stores.Blobs.GetRange(blobKey, off, size)
+			if err != nil {
+				return fmt.Errorf("core: reading diff of model %d: %w", e.M, err)
 			}
 		}
-		off += size
+		model, ok := base.Models[e.M]
+		if !ok {
+			return fmt.Errorf("core: base recovery missing model %d", e.M)
+		}
+		t := model.Params()[e.P].Tensor
+		if diff.Delta {
+			if _, err := t.XORFromBytes(segment); err != nil {
+				return fmt.Errorf("core: applying diff for model %d param %d: %w", e.M, e.P, err)
+			}
+		} else if _, err := t.SetFromBytes(segment); err != nil {
+			return fmt.Errorf("core: applying diff for model %d param %d: %w", e.M, e.P, err)
+		}
+		if got := hashing.Tensor(t); e.M < len(stored.Models) && e.P < len(stored.Models[e.M]) &&
+			got != stored.Models[e.M][e.P] {
+			return fmt.Errorf("core: model %d param %d hash mismatch after applying diff: %w", e.M, e.P, ErrCorruptBlob)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return base, nil
 }
 
-// RecoverModels implements PartialRecoverer for Provenance.
-func (p *Provenance) RecoverModels(setID string, indices []int) (*PartialRecovery, error) {
+// RecoverModels implements PartialRecoverer.
+//
+// Deprecated: use RecoverModelsContext.
+func (u *Update) RecoverModels(setID string, indices []int) (*PartialRecovery, error) {
+	return u.RecoverModelsContext(context.Background(), setID, indices)
+}
+
+// RecoverModelsContext implements PartialRecoverer for Provenance.
+func (p *Provenance) RecoverModelsContext(ctx context.Context, setID string, indices []int) (*PartialRecovery, error) {
 	meta, err := loadMeta(p.stores, provenanceCollection, setID)
 	if err != nil {
 		return nil, err
@@ -299,10 +365,10 @@ func (p *Provenance) RecoverModels(setID string, indices []int) (*PartialRecover
 		return nil, err
 	}
 	if meta.Kind == "full" {
-		return rangedModels(p.stores, provenanceBlobPrefix, meta, idx)
+		return rangedModels(ctx, p.stores, provenanceBlobPrefix, meta, idx, p.workers)
 	}
 
-	base, err := p.RecoverModels(meta.Base, idx)
+	base, err := p.RecoverModelsContext(ctx, meta.Base, idx)
 	if err != nil {
 		return nil, fmt.Errorf("core: recovering base of %q: %w", setID, err)
 	}
@@ -321,20 +387,56 @@ func (p *Provenance) RecoverModels(setID string, indices []int) (*PartialRecover
 	for _, i := range idx {
 		wanted[i] = true
 	}
+	// Parallel across models, recorded order within each model — same
+	// grouping as full recovery.
+	order := make([]int, 0, len(idx))
+	perModel := make(map[int][]ModelUpdate)
 	for _, u := range updates.Updates {
 		if !wanted[u.ModelIndex] {
 			continue
 		}
-		data, err := p.stores.Datasets.Materialize(u.DatasetID)
-		if err != nil {
-			return nil, fmt.Errorf("core: resolving dataset of model %d: %w", u.ModelIndex, err)
+		if _, ok := perModel[u.ModelIndex]; !ok {
+			order = append(order, u.ModelIndex)
 		}
-		cfg := train.Config
-		cfg.Seed = u.Seed
-		cfg.TrainLayers = u.TrainLayers
-		if _, err := nn.Train(base.Models[u.ModelIndex], data, cfg); err != nil {
-			return nil, fmt.Errorf("core: re-training model %d: %w", u.ModelIndex, err)
+		perModel[u.ModelIndex] = append(perModel[u.ModelIndex], u)
+	}
+	err = pool.Run(ctx, p.workers, len(order), func(k int) error {
+		for _, u := range perModel[order[k]] {
+			data, err := p.stores.Datasets.Materialize(u.DatasetID)
+			if err != nil {
+				return fmt.Errorf("core: resolving dataset of model %d: %w", u.ModelIndex, err)
+			}
+			cfg := train.Config
+			cfg.Seed = u.Seed
+			cfg.TrainLayers = u.TrainLayers
+			if _, err := nn.Train(base.Models[u.ModelIndex], data, cfg); err != nil {
+				return fmt.Errorf("core: re-training model %d: %w", u.ModelIndex, err)
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return base, nil
 }
+
+// RecoverModels implements PartialRecoverer.
+//
+// Deprecated: use RecoverModelsContext.
+func (p *Provenance) RecoverModels(setID string, indices []int) (*PartialRecovery, error) {
+	return p.RecoverModelsContext(context.Background(), setID, indices)
+}
+
+// compile-time interface checks: all four approaches implement the
+// context-aware Approach and PartialRecoverer contracts.
+var (
+	_ Approach         = (*Baseline)(nil)
+	_ Approach         = (*Update)(nil)
+	_ Approach         = (*Provenance)(nil)
+	_ Approach         = (*MMlibBase)(nil)
+	_ PartialRecoverer = (*Baseline)(nil)
+	_ PartialRecoverer = (*Update)(nil)
+	_ PartialRecoverer = (*Provenance)(nil)
+	_ PartialRecoverer = (*MMlibBase)(nil)
+)

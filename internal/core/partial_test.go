@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"github.com/mmm-go/mmm/internal/nn"
@@ -142,7 +143,7 @@ func TestPartialRecoveryValidation(t *testing.T) {
 	if _, err := b.RecoverModels(res.SetID, []int{-1}); err == nil {
 		t.Error("negative index accepted")
 	}
-	if _, err := b.RecoverModels("bl-404", []int{0}); err == nil {
+	if _, err := b.RecoverModels("bl-404", []int{0}); !errors.Is(err, ErrSetNotFound) {
 		t.Error("unknown set accepted")
 	}
 	// Duplicates are tolerated (deduplicated).

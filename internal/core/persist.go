@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
 
+	"github.com/mmm-go/mmm/internal/core/pool"
 	"github.com/mmm-go/mmm/internal/nn"
+	"github.com/mmm-go/mmm/internal/storage/backend"
 )
 
 // setMeta is the per-set metadata document shared by all approaches.
@@ -43,50 +46,131 @@ func (a *idAllocator) allocate(existing []string) string {
 	return id
 }
 
+// saveOp tracks every write one save operation issues so that (1) the
+// SaveResult reports exactly this save's bytes and write ops — global
+// store counters misattribute costs when saves run concurrently — and
+// (2) a failed or cancelled save can roll its artifacts back, leaving
+// no orphaned blobs or documents behind.
+type saveOp struct {
+	st    Stores
+	mu    sync.Mutex
+	bytes int64
+	ops   int64
+	blobs []string    // written blob keys, in write order
+	docs  [][2]string // written (collection, id) pairs, in write order
+}
+
+func newSaveOp(st Stores) *saveOp { return &saveOp{st: st} }
+
+// putBlob writes a blob and records its cost.
+func (op *saveOp) putBlob(key string, data []byte) error {
+	if err := op.st.Blobs.Put(key, data); err != nil {
+		return err
+	}
+	op.mu.Lock()
+	op.bytes += int64(len(data))
+	op.ops++
+	op.blobs = append(op.blobs, key)
+	op.mu.Unlock()
+	return nil
+}
+
+// insertDoc writes a document and records its cost (the encoded JSON
+// length, matching the document store's own accounting).
+func (op *saveOp) insertDoc(collection, id string, doc any) error {
+	n, err := op.st.Docs.InsertSized(collection, id, doc)
+	if err != nil {
+		return err
+	}
+	op.mu.Lock()
+	op.bytes += n
+	op.ops++
+	op.docs = append(op.docs, [2]string{collection, id})
+	op.mu.Unlock()
+	return nil
+}
+
+// rollback deletes everything the save wrote, newest first, so an
+// aborted save leaves the store exactly as it found it. Deletion
+// errors are ignored: rollback runs on an already-failing path and
+// must not mask the original error.
+func (op *saveOp) rollback() {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	for i := len(op.docs) - 1; i >= 0; i-- {
+		_ = op.st.Docs.Delete(op.docs[i][0], op.docs[i][1])
+	}
+	for i := len(op.blobs) - 1; i >= 0; i-- {
+		_ = op.st.Blobs.Delete(op.blobs[i])
+	}
+}
+
+// result reports what this save wrote.
+func (op *saveOp) result(setID string) SaveResult {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	return SaveResult{SetID: setID, BytesWritten: op.bytes, WriteOps: op.ops}
+}
+
 // concatParams serializes all models' parameters back to back — one
 // binary artifact for the whole set. This is Baseline's central move:
 // "we iterate over all models, concatenate the floating-point numbers
 // representing the parameters, and save them to one binary file".
-func concatParams(set *ModelSet) []byte {
+// Every model's bytes land at a precomputed offset, so workers fill
+// disjoint regions and the result is byte-identical at any concurrency.
+func concatParams(ctx context.Context, set *ModelSet, workers int) ([]byte, error) {
 	perModel := set.Arch.ParamBytes()
-	buf := make([]byte, 0, perModel*len(set.Models))
-	for _, m := range set.Models {
-		buf = m.AppendParamBytes(buf)
+	buf := make([]byte, perModel*len(set.Models))
+	err := pool.Run(ctx, workers, len(set.Models), func(i int) error {
+		dst := buf[i*perModel : i*perModel : (i+1)*perModel]
+		out := set.Models[i].AppendParamBytes(dst)
+		if len(out) != perModel {
+			return fmt.Errorf("core: model %d serialized to %d bytes, want %d", i, len(out), perModel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return buf
+	return buf, nil
 }
 
 // buildSetFromParams reconstructs n models of arch by reading their
-// parameters sequentially from one concatenated binary buffer: "we read
-// the parameters sequentially from the parameter file to fully recover
-// all models".
-func buildSetFromParams(arch *nn.Architecture, n int, data []byte) (*ModelSet, error) {
+// parameters from one concatenated binary buffer: "we read the
+// parameters sequentially from the parameter file to fully recover all
+// models". Model offsets are a pure function of the architecture, so
+// workers decode disjoint segments into disjoint slots.
+func buildSetFromParams(ctx context.Context, arch *nn.Architecture, n int, data []byte, workers int) (*ModelSet, error) {
 	perModel := arch.ParamBytes()
 	if len(data) != perModel*n {
-		return nil, fmt.Errorf("core: parameter blob has %d bytes, want %d (%d models × %d)",
-			len(data), perModel*n, n, perModel)
+		return nil, fmt.Errorf("core: parameter blob has %d bytes, want %d (%d models × %d): %w",
+			len(data), perModel*n, n, perModel, ErrCorruptBlob)
 	}
 	set := &ModelSet{Arch: arch, Models: make([]*nn.Model, n)}
-	for i := 0; i < n; i++ {
+	err := pool.Run(ctx, workers, n, func(i int) error {
 		m, err := nn.NewModelUninitialized(arch)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := m.SetParamBytes(data[i*perModel : (i+1)*perModel]); err != nil {
-			return nil, fmt.Errorf("core: recovering model %d: %w", i, err)
+			return fmt.Errorf("core: recovering model %d: %w", i, err)
 		}
 		set.Models[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return set, nil
 }
 
 // saveArchBlob persists the (single, shared) architecture definition.
-func saveArchBlob(st Stores, key string, arch *nn.Architecture) error {
+func saveArchBlob(op *saveOp, key string, arch *nn.Architecture) error {
 	blob, err := json.Marshal(arch)
 	if err != nil {
 		return fmt.Errorf("core: marshaling architecture: %w", err)
 	}
-	if err := st.Blobs.Put(key, blob); err != nil {
+	if err := op.putBlob(key, blob); err != nil {
 		return fmt.Errorf("core: writing architecture: %w", err)
 	}
 	return nil
@@ -111,8 +195,10 @@ func loadArchBlob(st Stores, key string) (*nn.Architecture, error) {
 // fullSave implements "Baseline's logic": one metadata document, one
 // architecture blob, one concatenated parameter blob. Update and
 // Provenance reuse it for their initial sets. extend, when non-nil, may
-// mutate the metadata document before it is written.
-func fullSave(st Stores, collection, blobPrefix, approach, setID string, req SaveRequest, extend func(*setMeta)) error {
+// mutate the metadata document before it is written. The metadata
+// document is written last: a set only becomes visible once its
+// artifacts are complete.
+func fullSave(ctx context.Context, op *saveOp, collection, blobPrefix, approach, setID string, req SaveRequest, extend func(*setMeta), workers int) error {
 	meta := setMeta{
 		SetID:      setID,
 		Approach:   approach,
@@ -124,20 +210,30 @@ func fullSave(st Stores, collection, blobPrefix, approach, setID string, req Sav
 	if extend != nil {
 		extend(&meta)
 	}
-	if err := saveArchBlob(st, blobPrefix+"/"+setID+"/arch.json", req.Set.Arch); err != nil {
+	if err := saveArchBlob(op, blobPrefix+"/"+setID+"/arch.json", req.Set.Arch); err != nil {
 		return err
 	}
-	if err := st.Blobs.Put(blobPrefix+"/"+setID+"/params.bin", concatParams(req.Set)); err != nil {
+	params, err := concatParams(ctx, req.Set, workers)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := op.putBlob(blobPrefix+"/"+setID+"/params.bin", params); err != nil {
 		return fmt.Errorf("core: writing parameters: %w", err)
 	}
-	if err := st.Docs.Insert(collection, setID, meta); err != nil {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := op.insertDoc(collection, setID, meta); err != nil {
 		return fmt.Errorf("core: writing metadata: %w", err)
 	}
 	return nil
 }
 
 // fullRecover reverses fullSave.
-func fullRecover(st Stores, blobPrefix string, meta setMeta) (*ModelSet, error) {
+func fullRecover(ctx context.Context, st Stores, blobPrefix string, meta setMeta, workers int) (*ModelSet, error) {
 	arch, err := loadArchBlob(st, blobPrefix+"/"+meta.SetID+"/arch.json")
 	if err != nil {
 		return nil, err
@@ -146,13 +242,18 @@ func fullRecover(st Stores, blobPrefix string, meta setMeta) (*ModelSet, error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: reading parameters: %w", err)
 	}
-	return buildSetFromParams(arch, meta.NumModels, data)
+	return buildSetFromParams(ctx, arch, meta.NumModels, data, workers)
 }
 
-// loadMeta fetches a set's metadata document.
+// loadMeta fetches a set's metadata document. A missing document means
+// the set was never saved (in this approach's namespace): callers get
+// an error wrapping ErrSetNotFound.
 func loadMeta(st Stores, collection, setID string) (setMeta, error) {
 	var meta setMeta
 	if err := st.Docs.Get(collection, setID, &meta); err != nil {
+		if backend.IsNotFound(err) {
+			return setMeta{}, fmt.Errorf("core: loading metadata of %q: %w", setID, ErrSetNotFound)
+		}
 		return setMeta{}, fmt.Errorf("core: loading metadata of %q: %w", setID, err)
 	}
 	return meta, nil

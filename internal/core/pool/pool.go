@@ -1,0 +1,90 @@
+// Package pool provides the bounded worker pool the management
+// approaches use for their per-model work: parameter serialization and
+// layer hashing on the save path, parameter decoding, diff application,
+// and retraining on the recover path.
+//
+// The design follows the chunked fan-out idiom of parallel encoders:
+// the caller partitions its work into n independent index-addressed
+// tasks whose outputs land in disjoint, pre-sized slots (a slice entry,
+// a sub-slice of one preallocated buffer). Workers pull indices from a
+// shared counter, so results are bitwise independent of scheduling and
+// a run with one worker is byte-identical to a run with many.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the default concurrency of the approaches:
+// one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Run executes fn(0), fn(1), ..., fn(n-1) using at most workers
+// goroutines and returns the first error encountered. After an error or
+// a context cancellation, remaining tasks are skipped (tasks already
+// running are allowed to finish). With workers <= 1 the tasks run
+// serially on the calling goroutine, in index order.
+//
+// fn must be safe for concurrent invocation with distinct indices when
+// workers > 1.
+func Run(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Workers pull the next index from a shared counter; the first
+	// error cancels the run and wins.
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

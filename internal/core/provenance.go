@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/mmm-go/mmm/internal/core/pool"
 	"github.com/mmm-go/mmm/internal/env"
 	"github.com/mmm-go/mmm/internal/nn"
 	"github.com/mmm-go/mmm/internal/tensor"
@@ -21,8 +23,9 @@ import (
 // the associated dataset". Because this library's trainer is
 // bit-deterministic, recovery is exact.
 type Provenance struct {
-	stores Stores
-	ids    idAllocator
+	stores  Stores
+	ids     idAllocator
+	workers int
 
 	// RecoveryBudget, when non-nil, caps the retraining work during
 	// recovery — the paper's own measurement trick ("we — exclusively
@@ -60,8 +63,9 @@ const (
 )
 
 // NewProvenance returns a Provenance approach over the given stores.
-func NewProvenance(stores Stores) *Provenance {
-	return &Provenance{stores: stores, ids: idAllocator{prefix: "pv"}}
+func NewProvenance(stores Stores, opts ...Option) *Provenance {
+	s := newSettings(opts)
+	return &Provenance{stores: stores, ids: idAllocator{prefix: "pv"}, workers: s.workers}
 }
 
 // Name implements Approach.
@@ -72,14 +76,16 @@ type updatesDoc struct {
 	Updates []ModelUpdate `json:"updates"`
 }
 
-// Save implements Approach. Initial sets are saved with Baseline's
-// logic (complete representations); derived sets save provenance only.
-func (p *Provenance) Save(req SaveRequest) (SaveResult, error) {
+// SaveContext implements Approach. Initial sets are saved with
+// Baseline's logic (complete representations); derived sets save
+// provenance only.
+func (p *Provenance) SaveContext(ctx context.Context, req SaveRequest) (SaveResult, error) {
 	if err := validateSave(req); err != nil {
 		return SaveResult{}, err
 	}
-	startBytes := p.stores.writtenBytes()
-	startOps := p.stores.writeOps()
+	if err := ctx.Err(); err != nil {
+		return SaveResult{}, err
+	}
 
 	existing, err := p.stores.Docs.IDs(provenanceCollection)
 	if err != nil {
@@ -98,23 +104,27 @@ func (p *Provenance) Save(req SaveRequest) (SaveResult, error) {
 			full = true
 		}
 	}
+	op := newSaveOp(p.stores)
 	if full {
-		if err := fullSave(p.stores, provenanceCollection, provenanceBlobPrefix, p.Name(), setID, req, nil); err != nil {
-			return SaveResult{}, err
-		}
+		err = fullSave(ctx, op, provenanceCollection, provenanceBlobPrefix, p.Name(), setID, req, nil, p.workers)
 	} else {
-		if err := p.saveDerived(setID, req); err != nil {
-			return SaveResult{}, err
-		}
+		err = p.saveDerived(ctx, op, setID, req)
 	}
-	return SaveResult{
-		SetID:        setID,
-		BytesWritten: p.stores.writtenBytes() - startBytes,
-		WriteOps:     p.stores.writeOps() - startOps,
-	}, nil
+	if err != nil {
+		op.rollback()
+		return SaveResult{}, err
+	}
+	return op.result(setID), nil
 }
 
-func (p *Provenance) saveDerived(setID string, req SaveRequest) error {
+// Save implements Approach.
+//
+// Deprecated: use SaveContext.
+func (p *Provenance) Save(req SaveRequest) (SaveResult, error) {
+	return p.SaveContext(context.Background(), req)
+}
+
+func (p *Provenance) saveDerived(ctx context.Context, op *saveOp, setID string, req SaveRequest) error {
 	if req.Train == nil {
 		return fmt.Errorf("core: provenance save of a derived set requires training info")
 	}
@@ -137,11 +147,14 @@ func (p *Provenance) saveDerived(setID string, req SaveRequest) error {
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	// Training info and environment once per set, references per model.
-	if err := p.stores.Docs.Insert(provenanceTrainCollection, setID, req.Train); err != nil {
+	if err := op.insertDoc(provenanceTrainCollection, setID, req.Train); err != nil {
 		return fmt.Errorf("core: writing training info: %w", err)
 	}
-	if err := p.stores.Docs.Insert(provenanceUpdateCollection, setID, updatesDoc{Updates: req.Updates}); err != nil {
+	if err := op.insertDoc(provenanceUpdateCollection, setID, updatesDoc{Updates: req.Updates}); err != nil {
 		return fmt.Errorf("core: writing update records: %w", err)
 	}
 	meta := setMeta{
@@ -150,14 +163,18 @@ func (p *Provenance) saveDerived(setID string, req SaveRequest) error {
 		ArchName: req.Set.Arch.Name, NumModels: len(req.Set.Models),
 		ParamCount: req.Set.Arch.ParamCount(),
 	}
-	if err := p.stores.Docs.Insert(provenanceCollection, setID, meta); err != nil {
+	if err := op.insertDoc(provenanceCollection, setID, meta); err != nil {
 		return fmt.Errorf("core: writing metadata: %w", err)
 	}
 	return nil
 }
 
-// Recover implements Approach.
-func (p *Provenance) Recover(setID string) (*ModelSet, error) {
+// RecoverContext implements Approach. Re-executed trainings are the
+// single most compute-heavy loop in the repository; updates are grouped
+// by model and retrained on the worker pool — parallel across models,
+// in recorded order within each model, so the result is bit-identical
+// at any concurrency.
+func (p *Provenance) RecoverContext(ctx context.Context, setID string) (*ModelSet, error) {
 	meta, err := loadMeta(p.stores, provenanceCollection, setID)
 	if err != nil {
 		return nil, err
@@ -166,10 +183,10 @@ func (p *Provenance) Recover(setID string) (*ModelSet, error) {
 		return nil, fmt.Errorf("core: set %q was saved by %s, not Provenance", setID, meta.Approach)
 	}
 	if meta.Kind == "full" {
-		return fullRecover(p.stores, provenanceBlobPrefix, meta)
+		return fullRecover(ctx, p.stores, provenanceBlobPrefix, meta, p.workers)
 	}
 
-	set, err := p.Recover(meta.Base)
+	set, err := p.RecoverContext(ctx, meta.Base)
 	if err != nil {
 		return nil, fmt.Errorf("core: recovering base of %q: %w", setID, err)
 	}
@@ -193,33 +210,56 @@ func (p *Provenance) Recover(setID string) (*ModelSet, error) {
 	if b := p.RecoveryBudget; b != nil && b.MaxUpdatesPerSet > 0 && len(todo) > b.MaxUpdatesPerSet {
 		todo = todo[:b.MaxUpdatesPerSet]
 	}
+	// Group the re-executions by model: updates of distinct models are
+	// independent, updates of one model must replay in recorded order.
+	order := make([]int, 0, len(todo))
+	perModel := make(map[int][]ModelUpdate, len(todo))
 	for _, u := range todo {
 		if u.ModelIndex < 0 || u.ModelIndex >= len(set.Models) {
 			return nil, fmt.Errorf("core: update record references model %d outside set of %d",
 				u.ModelIndex, len(set.Models))
 		}
-		data, err := p.stores.Datasets.Materialize(u.DatasetID)
-		if err != nil {
-			return nil, fmt.Errorf("core: resolving dataset of model %d: %w", u.ModelIndex, err)
+		if _, ok := perModel[u.ModelIndex]; !ok {
+			order = append(order, u.ModelIndex)
 		}
-		cfg := train.Config
-		cfg.Seed = u.Seed
-		cfg.TrainLayers = u.TrainLayers
+		perModel[u.ModelIndex] = append(perModel[u.ModelIndex], u)
+	}
+	err = pool.Run(ctx, p.workers, len(order), func(k int) error {
+		for _, u := range perModel[order[k]] {
+			data, err := p.stores.Datasets.Materialize(u.DatasetID)
+			if err != nil {
+				return fmt.Errorf("core: resolving dataset of model %d: %w", u.ModelIndex, err)
+			}
+			cfg := train.Config
+			cfg.Seed = u.Seed
+			cfg.TrainLayers = u.TrainLayers
 
-		var trainData nn.Data = data
-		if b := p.RecoveryBudget; b != nil {
-			if b.MaxSamples > 0 && data.Len() > b.MaxSamples {
-				trainData = truncatedData{data: data, n: b.MaxSamples}
+			var trainData nn.Data = data
+			if b := p.RecoveryBudget; b != nil {
+				if b.MaxSamples > 0 && data.Len() > b.MaxSamples {
+					trainData = truncatedData{data: data, n: b.MaxSamples}
+				}
+				if b.MaxEpochs > 0 && cfg.Epochs > b.MaxEpochs {
+					cfg.Epochs = b.MaxEpochs
+				}
 			}
-			if b.MaxEpochs > 0 && cfg.Epochs > b.MaxEpochs {
-				cfg.Epochs = b.MaxEpochs
+			if _, err := nn.Train(set.Models[u.ModelIndex], trainData, cfg); err != nil {
+				return fmt.Errorf("core: re-training model %d: %w", u.ModelIndex, err)
 			}
 		}
-		if _, err := nn.Train(set.Models[u.ModelIndex], trainData, cfg); err != nil {
-			return nil, fmt.Errorf("core: re-training model %d: %w", u.ModelIndex, err)
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return set, nil
+}
+
+// Recover implements Approach.
+//
+// Deprecated: use RecoverContext.
+func (p *Provenance) Recover(setID string) (*ModelSet, error) {
+	return p.RecoverContext(context.Background(), setID)
 }
 
 // SetIDs lists all sets saved by this approach, in save order.

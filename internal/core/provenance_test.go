@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -171,7 +172,7 @@ func TestProvenanceChainDepth(t *testing.T) {
 
 func TestProvenanceRecoverUnknownSet(t *testing.T) {
 	p := NewProvenance(NewMemStores())
-	if _, err := p.Recover("pv-404"); err == nil {
+	if _, err := p.Recover("pv-404"); !errors.Is(err, ErrSetNotFound) {
 		t.Fatal("unknown set recovered")
 	}
 }

@@ -3,9 +3,11 @@ package core
 import (
 	"bytes"
 	"compress/zlib"
+	"context"
 	"fmt"
 	"io"
 
+	"github.com/mmm-go/mmm/internal/core/pool"
 	"github.com/mmm-go/mmm/internal/hashing"
 	"github.com/mmm-go/mmm/internal/tensor"
 )
@@ -26,8 +28,9 @@ import (
 //   - Compress zlib-compresses the diff blob (the compression future
 //     work of §4.5).
 type Update struct {
-	stores Stores
-	ids    idAllocator
+	stores  Stores
+	ids     idAllocator
+	workers int
 
 	// SnapshotInterval k > 0 forces a full snapshot whenever the
 	// recovery chain would otherwise grow to k. 0 disables snapshots
@@ -63,8 +66,9 @@ const (
 )
 
 // NewUpdate returns an Update approach over the given stores.
-func NewUpdate(stores Stores) *Update {
-	return &Update{stores: stores, ids: idAllocator{prefix: "up"}}
+func NewUpdate(stores Stores, opts ...Option) *Update {
+	s := newSettings(opts)
+	return &Update{stores: stores, ids: idAllocator{prefix: "up"}, workers: s.workers}
 }
 
 // Name implements Approach.
@@ -91,13 +95,14 @@ type diffDoc struct {
 	Delta bool `json:"delta,omitempty"`
 }
 
-// Save implements Approach.
-func (u *Update) Save(req SaveRequest) (SaveResult, error) {
+// SaveContext implements Approach.
+func (u *Update) SaveContext(ctx context.Context, req SaveRequest) (SaveResult, error) {
 	if err := validateSave(req); err != nil {
 		return SaveResult{}, err
 	}
-	startBytes := u.stores.writtenBytes()
-	startOps := u.stores.writeOps()
+	if err := ctx.Err(); err != nil {
+		return SaveResult{}, err
+	}
 
 	existing, err := u.stores.Docs.IDs(updateCollection)
 	if err != nil {
@@ -105,7 +110,10 @@ func (u *Update) Save(req SaveRequest) (SaveResult, error) {
 	}
 	setID := u.ids.allocate(existing)
 
-	hashes := setHashes(req.Set)
+	hashes, err := setHashes(ctx, req.Set, u.workers)
+	if err != nil {
+		return SaveResult{}, err
+	}
 
 	full := req.Base == ""
 	depth := 0
@@ -126,36 +134,41 @@ func (u *Update) Save(req SaveRequest) (SaveResult, error) {
 		}
 	}
 
+	op := newSaveOp(u.stores)
 	if full {
-		err = fullSave(u.stores, updateCollection, updateBlobPrefix, u.Name(), setID, req, func(m *setMeta) {
+		err = fullSave(ctx, op, updateCollection, updateBlobPrefix, u.Name(), setID, req, func(m *setMeta) {
 			m.Depth = 0
-		})
-		if err != nil {
-			return SaveResult{}, err
-		}
+		}, u.workers)
 	} else {
-		if err := u.saveDerived(setID, req, hashes, depth); err != nil {
-			return SaveResult{}, err
+		err = u.saveDerived(ctx, op, setID, req, hashes, depth)
+	}
+	if err == nil {
+		// The hash document is written for full and derived saves alike:
+		// it is what lets the *next* save detect changes "without having
+		// to load the full representation of the previous model".
+		if err = ctx.Err(); err == nil {
+			if derr := op.insertDoc(updateHashCollection, setID, hashDoc{Models: hashes}); derr != nil {
+				err = fmt.Errorf("core: writing hash info: %w", derr)
+			}
 		}
 	}
-
-	// The hash document is written for full and derived saves alike:
-	// it is what lets the *next* save detect changes "without having to
-	// load the full representation of the previous model".
-	if err := u.stores.Docs.Insert(updateHashCollection, setID, hashDoc{Models: hashes}); err != nil {
-		return SaveResult{}, fmt.Errorf("core: writing hash info: %w", err)
+	if err != nil {
+		op.rollback()
+		return SaveResult{}, err
 	}
+	return op.result(setID), nil
+}
 
-	return SaveResult{
-		SetID:        setID,
-		BytesWritten: u.stores.writtenBytes() - startBytes,
-		WriteOps:     u.stores.writeOps() - startOps,
-	}, nil
+// Save implements Approach.
+//
+// Deprecated: use SaveContext.
+func (u *Update) Save(req SaveRequest) (SaveResult, error) {
+	return u.SaveContext(context.Background(), req)
 }
 
 // saveDerived persists only the parameters whose hashes changed
 // relative to the base set.
-func (u *Update) saveDerived(setID string, req SaveRequest, hashes [][]string, depth int) error {
+func (u *Update) saveDerived(ctx context.Context, op *saveOp, setID string, req SaveRequest, hashes [][]string, depth int) error {
 	var baseHashes hashDoc
 	if err := u.stores.Docs.Get(updateHashCollection, req.Base, &baseHashes); err != nil {
 		return fmt.Errorf("core: loading base hash info: %w", err)
@@ -193,21 +206,38 @@ func (u *Update) saveDerived(setID string, req SaveRequest, hashes [][]string, d
 			changedModels = append(changedModels, m)
 		}
 		var err error
-		basePartial, err = u.RecoverModels(req.Base, changedModels)
+		basePartial, err = u.RecoverModelsContext(ctx, req.Base, changedModels)
 		if err != nil {
 			return fmt.Errorf("core: reading base values for delta encoding: %w", err)
 		}
 	}
 
-	var blob []byte
-	for _, e := range entries {
+	// Every entry's bytes land at a precomputed offset, so workers fill
+	// disjoint regions of one blob and the layout matches the serial
+	// entry-order concatenation exactly.
+	offs := make([]int, len(entries)+1)
+	for k, e := range entries {
+		offs[k+1] = offs[k] + 4*req.Set.Models[e.M].Params()[e.P].Tensor.Len()
+	}
+	blob := make([]byte, offs[len(entries)])
+	err := pool.Run(ctx, u.workers, len(entries), func(k int) error {
+		e := entries[k]
+		dst := blob[offs[k]:offs[k]:offs[k+1]]
 		cur := req.Set.Models[e.M].Params()[e.P].Tensor
 		if basePartial != nil {
 			base := basePartial.Models[e.M].Params()[e.P].Tensor
-			blob = tensor.AppendXORBytes(blob, cur, base)
+			dst = tensor.AppendXORBytes(dst, cur, base)
 		} else {
-			blob = cur.AppendBytes(blob)
+			dst = cur.AppendBytes(dst)
 		}
+		if len(dst) != offs[k+1]-offs[k] {
+			return fmt.Errorf("core: diff entry (%d,%d) serialized to %d bytes, want %d",
+				e.M, e.P, len(dst), offs[k+1]-offs[k])
+		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
 	compressed := false
@@ -227,11 +257,14 @@ func (u *Update) saveDerived(setID string, req SaveRequest, hashes [][]string, d
 		}
 	}
 
-	if err := u.stores.Blobs.Put(updateBlobPrefix+"/"+setID+"/diff.bin", blob); err != nil {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := op.putBlob(updateBlobPrefix+"/"+setID+"/diff.bin", blob); err != nil {
 		return fmt.Errorf("core: writing diff blob: %w", err)
 	}
 	doc := diffDoc{Entries: entries, Compressed: compressed, Delta: basePartial != nil}
-	if err := u.stores.Docs.Insert(updateDiffCollection, setID, doc); err != nil {
+	if err := op.insertDoc(updateDiffCollection, setID, doc); err != nil {
 		return fmt.Errorf("core: writing diff list: %w", err)
 	}
 	meta := setMeta{
@@ -240,17 +273,17 @@ func (u *Update) saveDerived(setID string, req SaveRequest, hashes [][]string, d
 		ArchName: req.Set.Arch.Name, NumModels: len(req.Set.Models),
 		ParamCount: req.Set.Arch.ParamCount(),
 	}
-	if err := u.stores.Docs.Insert(updateCollection, setID, meta); err != nil {
+	if err := op.insertDoc(updateCollection, setID, meta); err != nil {
 		return fmt.Errorf("core: writing metadata: %w", err)
 	}
 	return nil
 }
 
-// Recover implements Approach. Derived sets recover recursively: "to
-// recover a given model set saved in iteration i of U3, we have to
+// RecoverContext implements Approach. Derived sets recover recursively:
+// "to recover a given model set saved in iteration i of U3, we have to
 // recover the model saved in the previous iteration to apply the saved
 // differences in parameters".
-func (u *Update) Recover(setID string) (*ModelSet, error) {
+func (u *Update) RecoverContext(ctx context.Context, setID string) (*ModelSet, error) {
 	meta, err := loadMeta(u.stores, updateCollection, setID)
 	if err != nil {
 		return nil, err
@@ -259,10 +292,10 @@ func (u *Update) Recover(setID string) (*ModelSet, error) {
 		return nil, fmt.Errorf("core: set %q was saved by %s, not Update", setID, meta.Approach)
 	}
 	if meta.Kind == "full" {
-		return fullRecover(u.stores, updateBlobPrefix, meta)
+		return fullRecover(ctx, u.stores, updateBlobPrefix, meta, u.workers)
 	}
 
-	set, err := u.Recover(meta.Base)
+	set, err := u.RecoverContext(ctx, meta.Base)
 	if err != nil {
 		return nil, fmt.Errorf("core: recovering base of %q: %w", setID, err)
 	}
@@ -294,8 +327,11 @@ func (u *Update) Recover(setID string) (*ModelSet, error) {
 		return nil, fmt.Errorf("core: loading hash info: %w", err)
 	}
 
-	off := 0
-	for _, e := range diff.Entries {
+	// Validate the diff list and precompute every entry's blob offset;
+	// entries then apply independently (each touches one tensor).
+	offs := make([]int, len(diff.Entries)+1)
+	seen := make(map[diffEntry]bool, len(diff.Entries))
+	for k, e := range diff.Entries {
 		if e.M < 0 || e.M >= len(set.Models) {
 			return nil, fmt.Errorf("core: diff references model %d outside set of %d", e.M, len(set.Models))
 		}
@@ -303,31 +339,55 @@ func (u *Update) Recover(setID string) (*ModelSet, error) {
 		if e.P < 0 || e.P >= len(params) {
 			return nil, fmt.Errorf("core: diff references parameter %d of model %d", e.P, e.M)
 		}
-		t := params[e.P].Tensor
-		var n int
+		if seen[e] {
+			return nil, fmt.Errorf("core: duplicate diff entry (%d,%d): %w", e.M, e.P, ErrCorruptBlob)
+		}
+		seen[e] = true
+		offs[k+1] = offs[k] + 4*params[e.P].Tensor.Len()
+	}
+	if offs[len(diff.Entries)] > len(blob) {
+		return nil, fmt.Errorf("core: diff blob has %d bytes, diff list implies %d: %w",
+			len(blob), offs[len(diff.Entries)], ErrCorruptBlob)
+	}
+
+	err = pool.Run(ctx, u.workers, len(diff.Entries), func(k int) error {
+		e := diff.Entries[k]
+		t := set.Models[e.M].Params()[e.P].Tensor
+		segment := blob[offs[k]:offs[k+1]]
 		var err error
 		if diff.Delta {
 			// The tensor currently holds the base value; XOR restores
 			// the target value.
-			n, err = t.XORFromBytes(blob[off:])
+			_, err = t.XORFromBytes(segment)
 		} else {
-			n, err = t.SetFromBytes(blob[off:])
+			_, err = t.SetFromBytes(segment)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("core: applying diff for model %d param %d: %w", e.M, e.P, err)
+			return fmt.Errorf("core: applying diff for model %d param %d: %w", e.M, e.P, err)
 		}
-		off += n
 		// Integrity check: the applied layer must hash to what the save
 		// recorded for this set.
 		if got := hashing.Tensor(t); e.M < len(stored.Models) && e.P < len(stored.Models[e.M]) &&
 			got != stored.Models[e.M][e.P] {
-			return nil, fmt.Errorf("core: model %d param %d hash mismatch after applying diff", e.M, e.P)
+			return fmt.Errorf("core: model %d param %d hash mismatch after applying diff: %w", e.M, e.P, ErrCorruptBlob)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if off != len(blob) {
-		return nil, fmt.Errorf("core: %d trailing bytes in diff blob", len(blob)-off)
+	if offs[len(diff.Entries)] != len(blob) {
+		return nil, fmt.Errorf("core: %d trailing bytes in diff blob: %w",
+			len(blob)-offs[len(diff.Entries)], ErrCorruptBlob)
 	}
 	return set, nil
+}
+
+// Recover implements Approach.
+//
+// Deprecated: use RecoverContext.
+func (u *Update) Recover(setID string) (*ModelSet, error) {
+	return u.RecoverContext(context.Background(), setID)
 }
 
 // SetIDs lists all sets saved by this approach, in save order.
@@ -345,11 +405,16 @@ func (u *Update) ChainDepth(setID string) (int, error) {
 	return meta.Depth, nil
 }
 
-// setHashes hashes every model's layers.
-func setHashes(set *ModelSet) [][]string {
+// setHashes hashes every model's layers. Hashing is the save path's
+// compute-heavy step and parallelizes per model.
+func setHashes(ctx context.Context, set *ModelSet, workers int) ([][]string, error) {
 	out := make([][]string, len(set.Models))
-	for i, m := range set.Models {
-		out[i] = hashing.ModelList(m)
+	err := pool.Run(ctx, workers, len(set.Models), func(i int) error {
+		out[i] = hashing.ModelList(set.Models[i])
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"github.com/mmm-go/mmm/internal/nn"
@@ -237,7 +238,7 @@ func TestUpdateCorruptDiffBlobDetected(t *testing.T) {
 func TestUpdateSaveWithUnknownBase(t *testing.T) {
 	u := NewUpdate(NewMemStores())
 	set := mustNewSet(t, 2)
-	if _, err := u.Save(SaveRequest{Set: set, Base: "up-404"}); err == nil {
+	if _, err := u.Save(SaveRequest{Set: set, Base: "up-404"}); !errors.Is(err, ErrSetNotFound) {
 		t.Fatal("save against unknown base accepted")
 	}
 }
@@ -254,7 +255,7 @@ func TestUpdateSaveBaseSizeMismatch(t *testing.T) {
 
 func TestUpdateRecoverUnknownSet(t *testing.T) {
 	u := NewUpdate(NewMemStores())
-	if _, err := u.Recover("up-404"); err == nil {
+	if _, err := u.Recover("up-404"); !errors.Is(err, ErrSetNotFound) {
 		t.Fatal("unknown set recovered")
 	}
 }

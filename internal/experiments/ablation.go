@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -53,7 +54,7 @@ func RunSnapshotAblation(o Options, intervals []int) (*SnapshotAblation, error) 
 			if i > 0 {
 				req.Updates = tr.updates[i-1]
 			}
-			res, err := u.Save(req)
+			res, err := u.SaveContext(context.Background(), req)
 			if err != nil {
 				return nil, fmt.Errorf("snapshot interval %d: %w", interval, err)
 			}
@@ -72,7 +73,7 @@ func RunSnapshotAblation(o Options, intervals []int) (*SnapshotAblation, error) 
 		}
 		for r := 0; r < runs; r++ {
 			sw := latency.StartStopwatch(clock)
-			if _, err := u.Recover(lastID); err != nil {
+			if _, err := u.RecoverContext(context.Background(), lastID); err != nil {
 				return nil, fmt.Errorf("snapshot interval %d: %w", interval, err)
 			}
 			ds = append(ds, sw.Elapsed())
@@ -147,7 +148,7 @@ func RunUpdateVariantAblation(o Options) (*VariantAblation, error) {
 			if i > 0 {
 				req.Updates = tr.updates[i-1]
 			}
-			res, err := u.Save(req)
+			res, err := u.SaveContext(context.Background(), req)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", v.name, err)
 			}
@@ -195,8 +196,8 @@ func RunBlobLayoutAblation(o Options) (*BlobLayoutAblation, error) {
 		return nil, err
 	}
 	out := &BlobLayoutAblation{}
-	for _, r := range newRigs(latency.Zero(), tr.registry) {
-		res, err := r.approach.Save(core.SaveRequest{Set: tr.states[0], Train: tr.train})
+	for _, r := range newRigs(latency.Zero(), tr.registry, o.Workers) {
+		res, err := r.approach.SaveContext(context.Background(), core.SaveRequest{Set: tr.states[0], Train: tr.train})
 		if err != nil {
 			return nil, err
 		}

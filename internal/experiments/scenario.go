@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/mmm-go/mmm/internal/core"
@@ -38,6 +39,10 @@ type Options struct {
 	Epochs            int
 	// Seed is the scenario root seed.
 	Seed uint64
+	// Workers is the per-approach save/recover concurrency
+	// (core.WithConcurrency). 0 or 1 keeps the paper-faithful serial
+	// execution; results are bit-identical at any setting.
+	Workers int
 }
 
 // DefaultOptions returns the paper's configuration at a reduced fleet
@@ -55,6 +60,7 @@ func DefaultOptions() Options {
 		SamplesPerDataset: 60,
 		Epochs:            1,
 		Seed:              2023,
+		Workers:           1,
 	}
 }
 
@@ -131,7 +137,10 @@ type rig struct {
 
 // newRigs builds the four approaches over fresh in-memory stores using
 // the given latency setup, all sharing the scenario's dataset registry.
-func newRigs(setup latency.Setup, reg *dataset.Registry) []*rig {
+func newRigs(setup latency.Setup, reg *dataset.Registry, workers int) []*rig {
+	if workers < 1 {
+		workers = 1
+	}
 	build := func(name string) *rig {
 		clock := &latency.Clock{}
 		st := core.Stores{
@@ -142,13 +151,13 @@ func newRigs(setup latency.Setup, reg *dataset.Registry) []*rig {
 		r := &rig{name: name, stores: st, clock: clock}
 		switch name {
 		case "MMlib-base":
-			r.approach = core.NewMMlibBase(st)
+			r.approach = core.NewMMlibBase(st, core.WithConcurrency(workers))
 		case "Baseline":
-			r.approach = core.NewBaseline(st)
+			r.approach = core.NewBaseline(st, core.WithConcurrency(workers))
 		case "Update":
-			r.approach = core.NewUpdate(st)
+			r.approach = core.NewUpdate(st, core.WithConcurrency(workers))
 		case "Provenance":
-			r.approach = core.NewProvenance(st)
+			r.approach = core.NewProvenance(st, core.WithConcurrency(workers))
 		default:
 			panic(fmt.Sprintf("experiments: unknown approach %q", name))
 		}
@@ -172,7 +181,7 @@ func saveAll(r *rig, tr *trace) ([]core.SaveResult, []string, error) {
 		if i > 0 {
 			req.Updates = tr.updates[i-1]
 		}
-		res, err := r.approach.Save(req)
+		res, err := r.approach.SaveContext(context.Background(), req)
 		if err != nil {
 			return nil, nil, fmt.Errorf("%s: saving use case %d: %w", r.name, i, err)
 		}

@@ -17,7 +17,7 @@ func RunStorage(o Options) (*Series, error) {
 	title := fmt.Sprintf("Storage consumption per use case (%s, n=%d, %g%%+%g%% updates)",
 		o.ArchName, o.NumModels, o.FullRate*100, o.PartialRate*100)
 	s := newSeries(title, "MB", o.Cycles)
-	for _, r := range newRigs(o.Setup, tr.registry) {
+	for _, r := range newRigs(o.Setup, tr.registry, o.Workers) {
 		results, _, err := saveAll(r, tr)
 		if err != nil {
 			return nil, err
@@ -132,7 +132,7 @@ func RunStorageOverhead(o Options) (*OverheadReport, error) {
 		U1MB:             map[string]float64{},
 		SavingVsMMlibPct: map[string]float64{},
 	}
-	for _, r := range newRigs(o.Setup, tr.registry) {
+	for _, r := range newRigs(o.Setup, tr.registry, o.Workers) {
 		results, _, err := saveAll(r, tr)
 		if err != nil {
 			return nil, err

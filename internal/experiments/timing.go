@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,7 +32,7 @@ func RunTTS(o Options) (*Series, error) {
 	}
 	for run := 0; run < runs; run++ {
 		// Fresh stores per run so every run saves the same state.
-		for _, r := range newRigs(o.Setup, tr.registry) {
+		for _, r := range newRigs(o.Setup, tr.registry, o.Workers) {
 			base := ""
 			for i, state := range tr.states {
 				req := core.SaveRequest{Set: state, Base: base, Train: tr.train}
@@ -39,7 +40,7 @@ func RunTTS(o Options) (*Series, error) {
 					req.Updates = tr.updates[i-1]
 				}
 				sw := latency.StartStopwatch(r.clock)
-				res, err := r.approach.Save(req)
+				res, err := r.approach.SaveContext(context.Background(), req)
 				if err != nil {
 					return nil, fmt.Errorf("%s: run %d use case %d: %w", r.name, run, i, err)
 				}
@@ -74,7 +75,7 @@ func RunTTR(o Options, provenanceBudget *core.RecoveryBudget) (*Series, error) {
 	if runs <= 0 {
 		runs = 1
 	}
-	for _, r := range newRigs(o.Setup, tr.registry) {
+	for _, r := range newRigs(o.Setup, tr.registry, o.Workers) {
 		_, ids, err := saveAll(r, tr)
 		if err != nil {
 			return nil, err
@@ -86,7 +87,7 @@ func RunTTR(o Options, provenanceBudget *core.RecoveryBudget) (*Series, error) {
 			var ds []time.Duration
 			for run := 0; run < runs; run++ {
 				sw := latency.StartStopwatch(r.clock)
-				set, err := r.approach.Recover(id)
+				set, err := r.approach.RecoverContext(context.Background(), id)
 				if err != nil {
 					return nil, fmt.Errorf("%s: recovering %s: %w", r.name, id, err)
 				}

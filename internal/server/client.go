@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -17,7 +18,8 @@ import (
 )
 
 // Client talks to a management Server. It mirrors the approach API:
-// Save, Recover, RecoverModels, plus the operational endpoints.
+// Save, Recover, RecoverModels, plus the operational endpoints. Every
+// method takes a context that cancels the request in flight.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://manager:8080".
 	BaseURL string
@@ -32,18 +34,35 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-// decodeError extracts the server's JSON error envelope.
+// decodeError extracts the server's JSON error envelope. A 404 wraps
+// core.ErrSetNotFound so callers can test with errors.Is across the
+// HTTP boundary.
 func decodeError(resp *http.Response) error {
 	defer resp.Body.Close()
+	msg := fmt.Sprintf("HTTP %d", resp.StatusCode)
 	var e httpError
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e); err == nil && e.Error != "" {
-		return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		msg = fmt.Sprintf("%s (HTTP %d)", e.Error, resp.StatusCode)
 	}
-	return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("server: %s: %w", msg, core.ErrSetNotFound)
+	}
+	return fmt.Errorf("server: %s", msg)
 }
 
-func (c *Client) getJSON(path string, out any) error {
-	resp, err := c.http().Get(c.BaseURL + path)
+func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	return c.http().Do(req)
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	resp, err := c.do(ctx, http.MethodGet, path, "", nil)
 	if err != nil {
 		return err
 	}
@@ -54,12 +73,12 @@ func (c *Client) getJSON(path string, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-func (c *Client) postJSON(path string, in, out any) error {
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	resp, err := c.http().Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	resp, err := c.do(ctx, http.MethodPost, path, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -74,9 +93,9 @@ func (c *Client) postJSON(path string, in, out any) error {
 }
 
 // Health checks the server is up.
-func (c *Client) Health() error {
+func (c *Client) Health(ctx context.Context) error {
 	var out map[string]string
-	if err := c.getJSON("/healthz", &out); err != nil {
+	if err := c.getJSON(ctx, "/healthz", &out); err != nil {
 		return err
 	}
 	if out["status"] != "ok" {
@@ -86,29 +105,29 @@ func (c *Client) Health() error {
 }
 
 // Approaches lists the approach names the server exposes.
-func (c *Client) Approaches() ([]string, error) {
+func (c *Client) Approaches(ctx context.Context) ([]string, error) {
 	var out []string
-	err := c.getJSON("/api/approaches", &out)
+	err := c.getJSON(ctx, "/api/approaches", &out)
 	return out, err
 }
 
 // List returns the set IDs saved under an approach.
-func (c *Client) List(approach string) ([]string, error) {
+func (c *Client) List(ctx context.Context, approach string) ([]string, error) {
 	var out []string
-	err := c.getJSON("/api/"+approach+"/sets", &out)
+	err := c.getJSON(ctx, "/api/"+approach+"/sets", &out)
 	return out, err
 }
 
 // Info returns a set's lineage, newest first.
-func (c *Client) Info(approach, setID string) ([]core.SetInfo, error) {
+func (c *Client) Info(ctx context.Context, approach, setID string) ([]core.SetInfo, error) {
 	var out []core.SetInfo
-	err := c.getJSON("/api/"+approach+"/sets/"+setID, &out)
+	err := c.getJSON(ctx, "/api/"+approach+"/sets/"+setID, &out)
 	return out, err
 }
 
 // Save uploads a model set. base, updates, and train follow
 // core.SaveRequest semantics.
-func (c *Client) Save(approach string, set *core.ModelSet, base string, updates []core.ModelUpdate, train *core.TrainInfo) (core.SaveResult, error) {
+func (c *Client) Save(ctx context.Context, approach string, set *core.ModelSet, base string, updates []core.ModelUpdate, train *core.TrainInfo) (core.SaveResult, error) {
 	var buf bytes.Buffer
 	mw := multipart.NewWriter(&buf)
 	mpart, err := mw.CreateFormField("manifest")
@@ -133,7 +152,7 @@ func (c *Client) Save(approach string, set *core.ModelSet, base string, updates 
 		return core.SaveResult{}, err
 	}
 
-	resp, err := c.http().Post(c.BaseURL+"/api/"+approach+"/sets", mw.FormDataContentType(), &buf)
+	resp, err := c.do(ctx, http.MethodPost, "/api/"+approach+"/sets", mw.FormDataContentType(), &buf)
 	if err != nil {
 		return core.SaveResult{}, err
 	}
@@ -147,8 +166,8 @@ func (c *Client) Save(approach string, set *core.ModelSet, base string, updates 
 }
 
 // Recover downloads a full set.
-func (c *Client) Recover(approach, setID string) (*core.ModelSet, error) {
-	manifest, params, err := c.fetchParams("/api/" + approach + "/sets/" + setID + "/params")
+func (c *Client) Recover(ctx context.Context, approach, setID string) (*core.ModelSet, error) {
+	manifest, params, err := c.fetchParams(ctx, "/api/"+approach+"/sets/"+setID+"/params")
 	if err != nil {
 		return nil, err
 	}
@@ -156,13 +175,13 @@ func (c *Client) Recover(approach, setID string) (*core.ModelSet, error) {
 }
 
 // RecoverModels downloads selected models of a set.
-func (c *Client) RecoverModels(approach, setID string, indices []int) (*core.PartialRecovery, error) {
+func (c *Client) RecoverModels(ctx context.Context, approach, setID string, indices []int) (*core.PartialRecovery, error) {
 	strs := make([]string, len(indices))
 	for i, v := range indices {
 		strs[i] = strconv.Itoa(v)
 	}
 	path := "/api/" + approach + "/sets/" + setID + "/params?indices=" + strings.Join(strs, ",")
-	manifest, params, err := c.fetchParams(path)
+	manifest, params, err := c.fetchParams(ctx, path)
 	if err != nil {
 		return nil, err
 	}
@@ -186,8 +205,8 @@ func (c *Client) RecoverModels(approach, setID string, indices []int) (*core.Par
 }
 
 // fetchParams downloads a multipart recovery response.
-func (c *Client) fetchParams(path string) (*RecoveryManifest, []byte, error) {
-	resp, err := c.http().Get(c.BaseURL + path)
+func (c *Client) fetchParams(ctx context.Context, path string) (*RecoveryManifest, []byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, path, "", nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -229,16 +248,16 @@ func (c *Client) fetchParams(path string) (*RecoveryManifest, []byte, error) {
 }
 
 // Verify runs a server-side store verification.
-func (c *Client) Verify(approach string) ([]core.Issue, error) {
+func (c *Client) Verify(ctx context.Context, approach string) ([]core.Issue, error) {
 	var out []core.Issue
-	err := c.postJSON("/api/"+approach+"/verify", struct{}{}, &out)
+	err := c.postJSON(ctx, "/api/"+approach+"/verify", struct{}{}, &out)
 	return out, err
 }
 
 // Prune expires all sets except the closure of keep.
-func (c *Client) Prune(approach string, keep []string) (*core.PruneReport, error) {
+func (c *Client) Prune(ctx context.Context, approach string, keep []string) (*core.PruneReport, error) {
 	var out core.PruneReport
-	if err := c.postJSON("/api/"+approach+"/prune", pruneRequest{Keep: keep}, &out); err != nil {
+	if err := c.postJSON(ctx, "/api/"+approach+"/prune", pruneRequest{Keep: keep}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -247,17 +266,17 @@ func (c *Client) Prune(approach string, keep []string) (*core.PruneReport, error
 // PutDataset registers a dataset spec in the server's registry and
 // returns its ID — required before saving provenance updates that
 // reference it.
-func (c *Client) PutDataset(spec dataset.Spec) (string, error) {
+func (c *Client) PutDataset(ctx context.Context, spec dataset.Spec) (string, error) {
 	var out map[string]string
-	if err := c.postJSON("/api/datasets", spec, &out); err != nil {
+	if err := c.postJSON(ctx, "/api/datasets", spec, &out); err != nil {
 		return "", err
 	}
 	return out["id"], nil
 }
 
 // Datasets lists the registered dataset IDs.
-func (c *Client) Datasets() ([]string, error) {
+func (c *Client) Datasets(ctx context.Context) ([]string, error) {
 	var out []string
-	err := c.getJSON("/api/datasets", &out)
+	err := c.getJSON(ctx, "/api/datasets", &out)
 	return out, err
 }

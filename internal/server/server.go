@@ -13,6 +13,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"mime/multipart"
@@ -54,15 +55,16 @@ type Server struct {
 
 // New builds a server over stores, exposing the four standard
 // approaches under their lower-case names (baseline, update,
-// provenance, mmlib).
-func New(stores core.Stores) *Server {
+// provenance, mmlib). Options (e.g. core.WithConcurrency) are applied
+// to every approach.
+func New(stores core.Stores, opts ...core.Option) *Server {
 	s := &Server{
 		stores: stores,
 		approaches: map[string]core.Approach{
-			"baseline":   core.NewBaseline(stores),
-			"update":     core.NewUpdate(stores),
-			"provenance": core.NewProvenance(stores),
-			"mmlib":      core.NewMMlibBase(stores),
+			"baseline":   core.NewBaseline(stores, opts...),
+			"update":     core.NewUpdate(stores, opts...),
+			"provenance": core.NewProvenance(stores, opts...),
+			"mmlib":      core.NewMMlibBase(stores, opts...),
 		},
 		mux: http.NewServeMux(),
 	}
@@ -196,9 +198,14 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		case "params":
-			params, err = io.ReadAll(io.LimitReader(part, maxSaveBytes))
+			params, err = io.ReadAll(io.LimitReader(part, maxSaveBytes+1))
 			if err != nil {
 				writeError(w, http.StatusBadRequest, fmt.Errorf("reading params: %w", err))
+				return
+			}
+			if len(params) > maxSaveBytes {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("params part exceeds %d bytes: %w", maxSaveBytes, core.ErrBudgetExceeded))
 				return
 			}
 		}
@@ -212,15 +219,37 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := a.Save(core.SaveRequest{
+	res, err := a.SaveContext(r.Context(), core.SaveRequest{
 		Set: set, Base: manifest.Base,
 		Updates: manifest.Updates, Train: manifest.Train,
 	})
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, saveStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, res)
+}
+
+// saveStatus maps a save error onto an HTTP status.
+func saveStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrSetNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrBudgetExceeded):
+		return http.StatusRequestEntityTooLarge
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// recoverStatus maps a recover error onto an HTTP status: unknown sets
+// are 404, everything else (corrupt blobs, foreign sets, store faults)
+// is a 422.
+func recoverStatus(err error) int {
+	if errors.Is(err, core.ErrSetNotFound) {
+		return http.StatusNotFound
+	}
+	return http.StatusUnprocessableEntity
 }
 
 func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
@@ -243,9 +272,9 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusNotImplemented, fmt.Errorf("approach does not support selective recovery"))
 			return
 		}
-		rec, err := pr.RecoverModels(id, indices)
+		rec, err := pr.RecoverModelsContext(r.Context(), id, indices)
 		if err != nil {
-			writeError(w, http.StatusNotFound, err)
+			writeError(w, recoverStatus(err), err)
 			return
 		}
 		sorted := make([]int, 0, len(rec.Models))
@@ -258,9 +287,9 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 			params = rec.Models[idx].AppendParamBytes(params)
 		}
 	} else {
-		set, err := a.Recover(id)
+		set, err := a.RecoverContext(r.Context(), id)
 		if err != nil {
-			writeError(w, http.StatusNotFound, err)
+			writeError(w, recoverStatus(err), err)
 			return
 		}
 		manifest = RecoveryManifest{Arch: set.Arch, NumModels: set.Len()}

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -30,11 +32,12 @@ func testSet(t *testing.T, n int) *core.ModelSet {
 }
 
 func TestHealthAndApproaches(t *testing.T) {
+	ctx := context.Background()
 	c, _ := newTestRig(t)
-	if err := c.Health(); err != nil {
+	if err := c.Health(ctx); err != nil {
 		t.Fatal(err)
 	}
-	names, err := c.Approaches()
+	names, err := c.Approaches(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,16 +53,17 @@ func TestHealthAndApproaches(t *testing.T) {
 }
 
 func TestSaveRecoverRoundTripOverHTTP(t *testing.T) {
+	ctx := context.Background()
 	c, _ := newTestRig(t)
 	set := testSet(t, 12)
-	res, err := c.Save("baseline", set, "", nil, nil)
+	res, err := c.Save(ctx, "baseline", set, "", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.SetID == "" || res.BytesWritten == 0 {
 		t.Fatalf("save result = %+v", res)
 	}
-	got, err := c.Recover("baseline", res.SetID)
+	got, err := c.Recover(ctx, "baseline", res.SetID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,13 +73,14 @@ func TestSaveRecoverRoundTripOverHTTP(t *testing.T) {
 }
 
 func TestSelectiveRecoveryOverHTTP(t *testing.T) {
+	ctx := context.Background()
 	c, _ := newTestRig(t)
 	set := testSet(t, 10)
-	res, err := c.Save("baseline", set, "", nil, nil)
+	res, err := c.Save(ctx, "baseline", set, "", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pr, err := c.RecoverModels("baseline", res.SetID, []int{2, 7})
+	pr, err := c.RecoverModels(ctx, "baseline", res.SetID, []int{2, 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,29 +95,30 @@ func TestSelectiveRecoveryOverHTTP(t *testing.T) {
 }
 
 func TestUpdateChainOverHTTP(t *testing.T) {
+	ctx := context.Background()
 	c, _ := newTestRig(t)
 	set := testSet(t, 8)
-	res1, err := c.Save("update", set, "", nil, nil)
+	res1, err := c.Save(ctx, "update", set, "", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Change one model, save the derived set.
 	set.Models[3].Params()[0].Tensor.Data[0] += 0.25
-	res2, err := c.Save("update", set, res1.SetID, nil, nil)
+	res2, err := c.Save(ctx, "update", set, res1.SetID, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res2.BytesWritten >= res1.BytesWritten {
 		t.Fatalf("derived save %d B not below full save %d B", res2.BytesWritten, res1.BytesWritten)
 	}
-	got, err := c.Recover("update", res2.SetID)
+	got, err := c.Recover(ctx, "update", res2.SetID)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !set.Equal(got) {
 		t.Fatal("derived chain wrong over HTTP")
 	}
-	chain, err := c.Info("update", res2.SetID)
+	chain, err := c.Info(ctx, "update", res2.SetID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,9 +130,10 @@ func TestUpdateChainOverHTTP(t *testing.T) {
 func TestProvenanceOverHTTP(t *testing.T) {
 	// The full remote flow: the client registers the dataset, trains
 	// locally, uploads provenance; the server recovers by retraining.
+	ctx := context.Background()
 	c, _ := newTestRig(t)
 	set := testSet(t, 5)
-	res1, err := c.Save("provenance", set, "", nil, nil)
+	res1, err := c.Save(ctx, "provenance", set, "", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +141,7 @@ func TestProvenanceOverHTTP(t *testing.T) {
 		Kind: dataset.KindBattery, CellID: 2, Cycle: 1, SoH: 0.98,
 		Samples: 40, NoiseStd: 0.002, Seed: 7,
 	}
-	dsID, err := c.PutDataset(spec)
+	dsID, err := c.PutDataset(ctx, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,49 +156,50 @@ func TestProvenanceOverHTTP(t *testing.T) {
 	train := &core.TrainInfo{Config: cfg, Environment: env.Capture(), PipelineCode: core.PipelineCode}
 	train.Config.Seed = 0 // per-model seed travels in the update record
 	updates := []core.ModelUpdate{{ModelIndex: 2, DatasetID: dsID, Seed: 11}}
-	res2, err := c.Save("provenance", set, res1.SetID, updates, train)
+	res2, err := c.Save(ctx, "provenance", set, res1.SetID, updates, train)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Recover("provenance", res2.SetID)
+	got, err := c.Recover(ctx, "provenance", res2.SetID)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !set.Equal(got) {
 		t.Fatal("provenance recovery over HTTP not bit-exact")
 	}
-	ids, err := c.Datasets()
+	ids, err := c.Datasets(ctx)
 	if err != nil || len(ids) != 1 {
 		t.Fatalf("datasets = %v, %v", ids, err)
 	}
 }
 
 func TestVerifyAndPruneOverHTTP(t *testing.T) {
+	ctx := context.Background()
 	c, _ := newTestRig(t)
 	set := testSet(t, 4)
-	res1, err := c.Save("baseline", set, "", nil, nil)
+	res1, err := c.Save(ctx, "baseline", set, "", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := c.Save("baseline", set, "", nil, nil)
+	res2, err := c.Save(ctx, "baseline", set, "", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	issues, err := c.Verify("baseline")
+	issues, err := c.Verify(ctx, "baseline")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(issues) != 0 {
 		t.Fatalf("clean store reports %v", issues)
 	}
-	report, err := c.Prune("baseline", []string{res2.SetID})
+	report, err := c.Prune(ctx, "baseline", []string{res2.SetID})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(report.Deleted) != 1 || report.Deleted[0] != res1.SetID {
 		t.Fatalf("prune report = %+v", report)
 	}
-	ids, err := c.List("baseline")
+	ids, err := c.List(ctx, "baseline")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,29 +209,30 @@ func TestVerifyAndPruneOverHTTP(t *testing.T) {
 }
 
 func TestHTTPErrors(t *testing.T) {
+	ctx := context.Background()
 	c, _ := newTestRig(t)
-	if _, err := c.List("hologram"); err == nil || !strings.Contains(err.Error(), "unknown approach") {
+	if _, err := c.List(ctx, "hologram"); err == nil || !strings.Contains(err.Error(), "unknown approach") {
 		t.Errorf("unknown approach err = %v", err)
 	}
-	if _, err := c.Recover("baseline", "bl-404"); err == nil {
-		t.Error("recovery of unknown set accepted")
+	if _, err := c.Recover(ctx, "baseline", "bl-404"); !errors.Is(err, core.ErrSetNotFound) {
+		t.Errorf("recovery of unknown set: err = %v, want core.ErrSetNotFound", err)
 	}
-	if _, err := c.Info("baseline", "bl-404"); err == nil {
+	if _, err := c.Info(ctx, "baseline", "bl-404"); err == nil {
 		t.Error("info of unknown set accepted")
 	}
-	if _, err := c.RecoverModels("baseline", "bl-404", []int{0}); err == nil {
-		t.Error("selective recovery of unknown set accepted")
+	if _, err := c.RecoverModels(ctx, "baseline", "bl-404", []int{0}); !errors.Is(err, core.ErrSetNotFound) {
+		t.Errorf("selective recovery of unknown set: err = %v, want core.ErrSetNotFound", err)
 	}
-	if _, err := c.PutDataset(dataset.Spec{Kind: "junk"}); err == nil {
+	if _, err := c.PutDataset(ctx, dataset.Spec{Kind: "junk"}); err == nil {
 		t.Error("invalid dataset spec accepted")
 	}
-	if _, err := c.Prune("baseline", []string{"bl-404"}); err == nil {
+	if _, err := c.Prune(ctx, "baseline", []string{"bl-404"}); err == nil {
 		t.Error("prune with unknown keep accepted")
 	}
 	// Save with mismatched params length must be rejected.
 	set := testSet(t, 3)
 	set.Models = set.Models[:2] // manifest will claim 2 but we forge NumModels below
-	res, err := c.Save("baseline", set, "", nil, nil)
+	res, err := c.Save(ctx, "baseline", set, "", nil, nil)
 	if err != nil {
 		t.Fatalf("well-formed save rejected: %v (%+v)", err, res)
 	}

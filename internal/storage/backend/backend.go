@@ -5,6 +5,7 @@
 package backend
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -51,10 +52,10 @@ type NotFoundError struct{ Key string }
 
 func (e *NotFoundError) Error() string { return fmt.Sprintf("storage: key %q not found", e.Key) }
 
-// IsNotFound reports whether err is a missing-key error.
+// IsNotFound reports whether err is, or wraps, a missing-key error.
 func IsNotFound(err error) bool {
-	_, ok := err.(*NotFoundError)
-	return ok
+	var nf *NotFoundError
+	return errors.As(err, &nf)
 }
 
 // Mem is an in-memory backend, safe for concurrent use.

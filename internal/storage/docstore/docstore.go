@@ -61,16 +61,25 @@ func docKey(collection, id string) (string, error) {
 // Insert marshals doc as JSON and stores it under (collection, id),
 // overwriting any previous document.
 func (s *Store) Insert(collection, id string, doc any) error {
+	_, err := s.InsertSized(collection, id, doc)
+	return err
+}
+
+// InsertSized is Insert, additionally returning the encoded document's
+// byte length — the size the store's write statistics are charged with.
+// Callers that attribute storage consumption to individual operations
+// (e.g. a SaveResult) use it instead of diffing global counters.
+func (s *Store) InsertSized(collection, id string, doc any) (int64, error) {
 	key, err := docKey(collection, id)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	data, err := json.Marshal(doc)
 	if err != nil {
-		return fmt.Errorf("docstore: marshaling %s/%s: %w", collection, id, err)
+		return 0, fmt.Errorf("docstore: marshaling %s/%s: %w", collection, id, err)
 	}
 	if err := s.backend.Put(key, data); err != nil {
-		return err
+		return 0, err
 	}
 	s.mu.Lock()
 	s.stats.InsertOps++
@@ -79,7 +88,7 @@ func (s *Store) Insert(collection, id string, doc any) error {
 	if s.clock != nil {
 		s.clock.Advance(s.model.WriteCost(len(data)))
 	}
-	return nil
+	return int64(len(data)), nil
 }
 
 // Get unmarshals the document at (collection, id) into out.

@@ -27,10 +27,15 @@
 // # Quickstart
 //
 //	stores := mmm.NewMemStores()
-//	approach := mmm.NewBaseline(stores)
+//	approach := mmm.NewBaseline(stores, mmm.WithConcurrency(8))
 //	set, _ := mmm.NewModelSet(mmm.FFNN48(), 1000, seed)
-//	res, _ := approach.Save(mmm.SaveRequest{Set: set})
-//	recovered, _ := approach.Recover(res.SetID)
+//	res, _ := approach.SaveContext(ctx, mmm.SaveRequest{Set: set})
+//	recovered, _ := approach.RecoverContext(ctx, res.SetID)
+//
+// Saves and recoveries take a context and honor cancellation: an
+// interrupted save rolls back everything it wrote. WithConcurrency
+// sets the per-operation worker count; results are bit-identical at
+// any setting, so concurrency is purely a throughput knob.
 //
 // See examples/ for complete programs, including the paper's battery
 // fleet scenario and bit-exact provenance recovery.
@@ -150,6 +155,30 @@ var (
 	NewUpdate     = core.NewUpdate
 	NewProvenance = core.NewProvenance
 	NewMMlibBase  = core.NewMMlibBase
+)
+
+// Option configures an approach at construction time.
+type Option = core.Option
+
+// WithConcurrency sets how many workers an approach uses for the
+// per-model portions of saves and recoveries. The default is
+// runtime.GOMAXPROCS(0); 1 forces serial execution. Outputs are
+// byte-identical at every setting.
+var WithConcurrency = core.WithConcurrency
+
+// Sentinel errors, testable with errors.Is across every layer
+// (including the HTTP client, which maps server responses back onto
+// them).
+var (
+	// ErrSetNotFound reports a recover/lineage request for an unknown
+	// set ID.
+	ErrSetNotFound = core.ErrSetNotFound
+	// ErrCorruptBlob reports a stored artifact that fails structural or
+	// hash validation during recovery.
+	ErrCorruptBlob = core.ErrCorruptBlob
+	// ErrBudgetExceeded reports a request that exceeds a configured
+	// size or compute budget.
+	ErrBudgetExceeded = core.ErrBudgetExceeded
 )
 
 // NewModelSet builds n freshly initialized models of arch, seeded
