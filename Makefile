@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race fsck-smoke fuzz check bench
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,35 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# End-to-end durability smoke test through the real CLI and a real
+# on-disk store: save a fleet, assert fsck passes, flip a single byte
+# in a saved parameter blob, and assert fsck detects the damage.
+fsck-smoke: build
+	@set -eu; \
+	tmp=$$(mktemp -d); \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/mmstore init -dir "$$tmp/store" -approach baseline -n 5 -samples 30 >/dev/null; \
+	$(GO) run ./cmd/mmstore fsck -dir "$$tmp/store" >/dev/null; \
+	blob="$$tmp/store/blobs/baseline/bl-000001/params.bin"; \
+	byte=$$(od -An -tu1 -j100 -N1 "$$blob" | tr -d ' '); \
+	printf "$$(printf '\\%03o' $$(( (byte + 1) % 256 )))" | dd of="$$blob" bs=1 seek=100 conv=notrunc status=none; \
+	if $(GO) run ./cmd/mmstore fsck -dir "$$tmp/store" >/dev/null 2>&1; then \
+		echo "fsck-smoke FAILED: flipped byte not detected"; exit 1; \
+	fi; \
+	echo "fsck-smoke OK: corruption detected"
+
+# Short-budget fuzzing of the two property suites: checksummed blob
+# round trips and the sim-vs-dir backend oracle. The committed seed
+# corpora under testdata/fuzz/ always run; the small time budget adds
+# fresh mutated inputs on top.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzChecksumRoundTrip -fuzztime=10s ./internal/storage/blobstore
+	$(GO) test -run=NONE -fuzz=FuzzBackendOracle -fuzztime=10s ./internal/storage/sim
+
 # The full gate: compile everything, vet, run the suite twice —
-# once plain, once under the race detector.
-check: build vet test race
+# once plain, once under the race detector — then the durability
+# smoke test and the short fuzz pass.
+check: build vet test race fsck-smoke fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem

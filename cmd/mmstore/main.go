@@ -9,6 +9,7 @@
 //	mmstore -dir ./store list    -approach baseline
 //	mmstore -dir ./store inspect -approach baseline -set <set-id>
 //	mmstore -dir ./store verify  -approach baseline
+//	mmstore -dir ./store fsck    [-repair]
 //	mmstore -dir ./store prune   -approach baseline -keep <id>[,<id>...]
 //	mmstore -dir ./store export  -approach update -set <set-id> -out chain.tar
 //	mmstore -dir ./store import  -in chain.tar
@@ -19,6 +20,9 @@
 // cycle on it (5% full + 5% partial retraining by default), and saves
 // the result (use case U3). recover loads a set; with -verify-against
 // it recovers a second set and reports whether they are bit-identical.
+// fsck checks the whole store across all approaches — blob checksums,
+// set completeness, orphaned crash debris — and with -repair deletes
+// the orphans. -retries N retries transient store I/O errors.
 package main
 
 import (
@@ -61,6 +65,8 @@ func run(ctx context.Context, args []string) error {
 		rate     = fs.Float64("rate", 0.10, "total update rate per cycle")
 		samples  = fs.Int("samples", 100, "training samples per update dataset")
 		workers  = fs.Int("workers", 1, "save/recover concurrency (1 = serial)")
+		retries  = fs.Int("retries", 1, "total tries per store operation (>1 retries transient I/O errors)")
+		repair   = fs.Bool("repair", false, "fsck: delete orphaned crash debris")
 	)
 	keep := fs.String("keep", "", "comma-separated set IDs to keep for prune")
 	out := fs.String("out", "", "output path for export/extract")
@@ -68,14 +74,14 @@ func run(ctx context.Context, args []string) error {
 	modelIdx := fs.Int("model", -1, "model index for extract")
 	if len(args) == 0 {
 		fs.Usage()
-		return fmt.Errorf("missing command: init, cycle, recover, list, inspect, verify, or prune")
+		return fmt.Errorf("missing command: init, cycle, recover, list, inspect, verify, fsck, or prune")
 	}
 	cmd := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
 
-	stores, err := mmm.OpenDirStores(*dir)
+	stores, err := mmm.OpenDirStoresWith(*dir, mmm.StoreOptions{RetryAttempts: *retries})
 	if err != nil {
 		return err
 	}
@@ -226,6 +232,27 @@ func run(ctx context.Context, args []string) error {
 			fmt.Println(i)
 		}
 		return fmt.Errorf("%d issue(s) found", len(issues))
+
+	case "fsck":
+		report, err := mmm.Fsck(stores, mmm.FsckOptions{Repair: *repair})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("checked %d set(s), verified %.3f MB of blob data\n",
+			report.Sets, float64(report.BytesVerified)/1e6)
+		for _, issue := range report.Issues {
+			fmt.Println(issue)
+		}
+		if report.Damaged() {
+			return fmt.Errorf("store damaged: %d issue(s) concern committed data", len(report.Issues))
+		}
+		if len(report.Issues) > 0 && !*repair {
+			return fmt.Errorf("%d orphan(s) found (rerun with -repair to delete)", len(report.Issues))
+		}
+		if report.Clean() {
+			fmt.Println("store clean")
+		}
+		return nil
 
 	case "prune":
 		p, ok := appr.(core.Pruner)

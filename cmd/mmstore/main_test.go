@@ -120,6 +120,76 @@ func TestVerifyAgainstReportsIdentical(t *testing.T) {
 	}
 }
 
+func TestFsckCommand(t *testing.T) {
+	dir := storeDir(t)
+	if err := runArgs(t, dir, "init", "-approach", "baseline", "-n", "5", "-samples", "30"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(t, dir, "fsck"); err != nil {
+		t.Fatalf("fsck of healthy store: %v", err)
+	}
+
+	// Flip one byte of the saved parameter blob on disk; fsck must
+	// report the store as damaged.
+	path := filepath.Join(dir, "blobs", "baseline", "bl-000001", "params.bin")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := len(raw) / 2
+	raw[at] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(t, dir, "fsck"); err == nil || !strings.Contains(err.Error(), "damaged") {
+		t.Fatalf("fsck of corrupted store: err = %v, want damaged", err)
+	}
+	// Repair must refuse to touch the damage.
+	if err := runArgs(t, dir, "fsck", "-repair"); err == nil {
+		t.Fatal("fsck -repair of damaged store reported success")
+	}
+	raw[at] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(t, dir, "fsck"); err != nil {
+		t.Fatalf("fsck after restore: %v", err)
+	}
+
+	// Plant orphaned crash debris: plain fsck flags it and asks for
+	// -repair, -repair deletes it, the store comes back clean.
+	orphanDir := filepath.Join(dir, "blobs", "baseline", "bl-999999")
+	if err := os.MkdirAll(orphanDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(orphanDir, "params.bin"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(t, dir, "fsck"); err == nil || !strings.Contains(err.Error(), "repair") {
+		t.Fatalf("fsck with orphan: err = %v, want repair hint", err)
+	}
+	if err := runArgs(t, dir, "fsck", "-repair"); err != nil {
+		t.Fatalf("fsck -repair: %v", err)
+	}
+	if err := runArgs(t, dir, "fsck"); err != nil {
+		t.Fatalf("fsck after repair: %v", err)
+	}
+	// The committed set survived repair.
+	if err := runArgs(t, dir, "recover", "-approach", "baseline", "-set", "bl-000001"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetriesFlag(t *testing.T) {
+	dir := storeDir(t)
+	if err := runArgs(t, dir, "init", "-approach", "baseline", "-n", "4", "-samples", "30", "-retries", "3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(t, dir, "recover", "-approach", "baseline", "-set", "bl-000001", "-retries", "3"); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBuildApproachNames(t *testing.T) {
 	for _, name := range []string{"baseline", "update", "provenance", "mmlib"} {
 		st, err := openTestStores(t)

@@ -51,7 +51,7 @@ func (b *Baseline) SaveContext(ctx context.Context, req SaveRequest) (SaveResult
 	setID := b.ids.allocate(existing)
 
 	op := newSaveOp(b.stores)
-	if err := fullSave(ctx, op, baselineCollection, baselineBlobPrefix, b.Name(), setID, req, nil, b.workers); err != nil {
+	if err := fullSave(ctx, op, baselineCollection, baselineBlobPrefix, b.Name(), setID, req, nil, nil, b.workers); err != nil {
 		op.rollback()
 		return SaveResult{}, err
 	}

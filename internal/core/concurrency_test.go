@@ -6,10 +6,12 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/mmm-go/mmm/internal/dataset"
 	"github.com/mmm-go/mmm/internal/storage/backend"
 	"github.com/mmm-go/mmm/internal/storage/blobstore"
+	"github.com/mmm-go/mmm/internal/storage/docstore"
 	"github.com/mmm-go/mmm/internal/storage/latency"
 )
 
@@ -272,5 +274,173 @@ func TestConcurrentSavesAttributeCosts(t *testing.T) {
 		if !want.Equal(got) {
 			t.Errorf("set %d corrupted by concurrent save", i)
 		}
+	}
+}
+
+// faultyStores builds Stores whose blob and document traffic runs
+// through Faulty wrappers, exposing both the wrappers and the raw
+// backends underneath.
+func faultyStores(reg *dataset.Registry) (st Stores, fBlob, fDoc *backend.Faulty, rawBlob, rawDoc *backend.Mem) {
+	rawBlob, rawDoc = backend.NewMem(), backend.NewMem()
+	fBlob, fDoc = backend.NewFaulty(rawBlob), backend.NewFaulty(rawDoc)
+	st = Stores{
+		Docs:     docstore.New(fDoc, latency.CostModel{}, nil),
+		Blobs:    blobstore.New(fBlob, latency.CostModel{}, nil),
+		Datasets: reg,
+	}
+	return st, fBlob, fDoc, rawBlob, rawDoc
+}
+
+// residualKeys returns every raw backend key, including internal ones
+// like checksum manifests that the stores hide — rollback must remove
+// those too.
+func residualKeys(t *testing.T, backends ...*backend.Mem) []string {
+	t.Helper()
+	var all []string
+	for _, b := range backends {
+		keys, err := b.Keys()
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, keys...)
+	}
+	return all
+}
+
+// TestFaultInjectedSavesRollBackCompletely drives every approach with 8
+// workers against stores that die after k writes, for every k up to a
+// full save, and requires a failed save to leave ZERO residual raw
+// backend keys — no blobs, no documents, and no checksum manifests.
+func TestFaultInjectedSavesRollBackCompletely(t *testing.T) {
+	builders := map[string]func(Stores) Approach{
+		"MMlibBase":  func(st Stores) Approach { return NewMMlibBase(st, WithConcurrency(8)) },
+		"Baseline":   func(st Stores) Approach { return NewBaseline(st, WithConcurrency(8)) },
+		"Update":     func(st Stores) Approach { return NewUpdate(st, WithConcurrency(8)) },
+		"Provenance": func(st Stores) Approach { return NewProvenance(st, WithConcurrency(8)) },
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			for k := 0; ; k++ {
+				reg := dataset.NewRegistry()
+				st, fBlob, _, rawBlob, rawDoc := faultyStores(reg)
+				a := build(st)
+				fBlob.FailPutsAfter(k)
+				set := mustNewSet(t, 5)
+				_, err := a.SaveContext(context.Background(), SaveRequest{Set: set})
+				if err == nil {
+					// k grew past the save's write count: the fleet saved
+					// clean. Recover to close the cycle and stop.
+					if k == 0 {
+						t.Fatal("save succeeded with FailPutsAfter(0)")
+					}
+					return
+				}
+				if !errors.Is(err, backend.ErrInjected) {
+					t.Fatalf("k=%d: save failed with %v, want injected fault", k, err)
+				}
+				if keys := residualKeys(t, rawBlob, rawDoc); len(keys) != 0 {
+					t.Fatalf("k=%d: failed save left residual keys %v", k, keys)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultInjectedDocWritesRollBackCompletely is the document-store
+// mirror: the doc backend dies after k writes mid-save.
+func TestFaultInjectedDocWritesRollBackCompletely(t *testing.T) {
+	for k := 0; ; k++ {
+		st, _, fDoc, rawBlob, rawDoc := faultyStores(dataset.NewRegistry())
+		a := NewMMlibBase(st, WithConcurrency(8)) // most documents per save
+		fDoc.FailPutsAfter(k)
+		_, err := a.SaveContext(context.Background(), SaveRequest{Set: mustNewSet(t, 5)})
+		if err == nil {
+			if k == 0 {
+				t.Fatal("save succeeded with FailPutsAfter(0)")
+			}
+			return
+		}
+		if !errors.Is(err, backend.ErrInjected) {
+			t.Fatalf("k=%d: save failed with %v, want injected fault", k, err)
+		}
+		if keys := residualKeys(t, rawBlob, rawDoc); len(keys) != 0 {
+			t.Fatalf("k=%d: failed save left residual keys %v", k, keys)
+		}
+	}
+}
+
+// TestRollbackWithFailingDeletesIsRepairable models the worst case: the
+// save fails AND the rollback's deletes fail too. The debris this
+// leaves must be exactly what fsck classifies as orphans and repairs.
+func TestRollbackWithFailingDeletesIsRepairable(t *testing.T) {
+	st, fBlob, _, rawBlob, rawDoc := faultyStores(dataset.NewRegistry())
+	b := NewBaseline(st, WithConcurrency(8))
+	fBlob.FailPutsAfter(2)      // fail while writing params.bin
+	fBlob.FailNextDeletes(1000) // rollback cannot delete blobs either
+	if _, err := b.SaveContext(context.Background(), SaveRequest{Set: mustNewSet(t, 5)}); err == nil {
+		t.Fatal("save unexpectedly succeeded")
+	}
+	fBlob.FailNextDeletes(0)
+	if keys := residualKeys(t, rawBlob, rawDoc); len(keys) == 0 {
+		t.Skip("rollback succeeded despite injected delete faults")
+	}
+	report, err := Fsck(st, FsckOptions{Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Damaged() {
+		t.Fatalf("rollback debris misclassified as damage:\n%v", report.Issues)
+	}
+	if keys := residualKeys(t, rawBlob, rawDoc); len(keys) != 0 {
+		t.Fatalf("fsck repair left residual keys %v", keys)
+	}
+}
+
+// TestRecoverModelsFaultInjection exercises the selective-recovery read
+// path (GetRange) under injected faults: the fault surfaces as an
+// error, and the same call succeeds once the fault clears.
+func TestRecoverModelsFaultInjection(t *testing.T) {
+	st, fBlob, _, _, _ := faultyStores(dataset.NewRegistry())
+	b := NewBaseline(st, WithConcurrency(8))
+	set := mustNewSet(t, 6)
+	res, err := b.SaveContext(context.Background(), SaveRequest{Set: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fBlob.FailNextRangeGets(1)
+	if _, err := b.RecoverModelsContext(context.Background(), res.SetID, []int{1, 4}); !errors.Is(err, backend.ErrInjected) {
+		t.Fatalf("selective recovery with injected range fault returned %v, want ErrInjected", err)
+	}
+	partial, err := b.RecoverModelsContext(context.Background(), res.SetID, []int{1, 4})
+	if err != nil {
+		t.Fatalf("selective recovery after fault cleared: %v", err)
+	}
+	for _, idx := range []int{1, 4} {
+		if !set.Models[idx].ParamsEqual(partial.Models[idx]) {
+			t.Errorf("model %d not bit-identical after fault recovery", idx)
+		}
+	}
+
+	// A Retry wrapper underneath absorbs the same transient fault.
+	rawBlob2 := backend.NewMem()
+	fBlob2 := backend.NewFaulty(rawBlob2)
+	retried := Stores{
+		Docs:     docstore.NewMem(),
+		Blobs:    blobstore.New(&backend.Retry{Inner: fBlob2, Sleep: func(d time.Duration) {}}, latency.CostModel{}, nil),
+		Datasets: dataset.NewRegistry(),
+	}
+	b2 := NewBaseline(retried, WithConcurrency(8))
+	res2, err := b2.SaveContext(context.Background(), SaveRequest{Set: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fBlob2.FailNextRangeGets(1)
+	partial2, err := b2.RecoverModelsContext(context.Background(), res2.SetID, []int{2})
+	if err != nil {
+		t.Fatalf("selective recovery through Retry wrapper: %v", err)
+	}
+	if !set.Models[2].ParamsEqual(partial2.Models[2]) {
+		t.Error("model 2 not bit-identical through Retry wrapper")
 	}
 }

@@ -1,6 +1,10 @@
 package core
 
-import "errors"
+import (
+	"errors"
+
+	"github.com/mmm-go/mmm/internal/storage/blobstore"
+)
 
 // Sentinel errors of the management layer. They are wrapped with
 // additional context (set IDs, model indices) via %w, so callers match
@@ -18,4 +22,11 @@ var (
 	// ErrBudgetExceeded reports that a request exceeds a configured
 	// resource budget (e.g. the server's per-save payload limit).
 	ErrBudgetExceeded = errors.New("core: budget exceeded")
+
+	// ErrChecksumMismatch reports that a stored blob's bytes no longer
+	// match the checksums recorded when it was written — bit rot or
+	// external tampering, as opposed to the structural damage
+	// ErrCorruptBlob covers. It aliases the blob store's sentinel so
+	// callers can match either layer's errors with errors.Is.
+	ErrChecksumMismatch = blobstore.ErrChecksumMismatch
 )

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Store-wide fsck: where VerifyStore asks "does every committed set
+// have its artifacts?", Fsck additionally asks the converse — "does
+// every artifact belong to a committed set?" — and verifies every blob
+// against its recorded checksums. The two directions together give the
+// store's durability invariant: metadata present ⇔ all referenced
+// artifacts present and intact, and nothing else in the namespaces.
+//
+// Unreferenced artifacts are the residue of a crash mid-save: saves
+// write blobs and auxiliary documents first and commit by writing the
+// set metadata document last, so a crash leaves artifacts without
+// metadata, never the reverse. Those orphans are invisible to every
+// read path and safe to delete; Repair does so. Corrupt-but-referenced
+// blobs are the opposite case — real data gone bad — and are only ever
+// reported.
+
+// Fsck issue kinds.
+const (
+	// FsckChecksum is a blob whose bytes fail checksum verification.
+	FsckChecksum = "checksum"
+	// FsckManifest is a checksum manifest entry without its blob.
+	FsckManifest = "manifest"
+	// FsckUnchecksummed is a blob with no recorded checksums.
+	FsckUnchecksummed = "unchecksummed"
+	// FsckOrphanBlob is a blob no committed set references.
+	FsckOrphanBlob = "orphan-blob"
+	// FsckOrphanDoc is a document no committed set references.
+	FsckOrphanDoc = "orphan-doc"
+	// FsckSet is a committed set with missing or inconsistent artifacts.
+	FsckSet = "set"
+)
+
+// FsckIssue is one problem found by Fsck.
+type FsckIssue struct {
+	// Kind classifies the issue (the Fsck* constants).
+	Kind string `json:"kind"`
+	// Key is the blob key the issue concerns, if any.
+	Key string `json:"key,omitempty"`
+	// Collection and DocID name the document the issue concerns, if any.
+	Collection string `json:"collection,omitempty"`
+	DocID      string `json:"doc_id,omitempty"`
+	// SetID is the committed set the issue concerns, if any.
+	SetID string `json:"set_id,omitempty"`
+	// Problem describes the issue.
+	Problem string `json:"problem"`
+	// Orphan marks debris of an uncommitted save: invisible to reads and
+	// safe to delete. Issues with Orphan false are never auto-repaired.
+	Orphan bool `json:"orphan,omitempty"`
+	// Repaired reports that this run deleted the orphan.
+	Repaired bool `json:"repaired,omitempty"`
+}
+
+func (i FsckIssue) String() string {
+	loc := i.Key
+	if loc == "" && i.Collection != "" {
+		loc = i.Collection + "/" + i.DocID
+	}
+	if loc == "" {
+		loc = i.SetID
+	}
+	s := fmt.Sprintf("[%s] %s: %s", i.Kind, loc, i.Problem)
+	if i.Repaired {
+		s += " (repaired)"
+	}
+	return s
+}
+
+// FsckOptions configures a Fsck run.
+type FsckOptions struct {
+	// Repair deletes orphaned partial writes (and dangling manifest
+	// entries). Corrupt or missing referenced artifacts are never
+	// touched.
+	Repair bool
+}
+
+// FsckReport is the result of a Fsck run.
+type FsckReport struct {
+	// Sets is the number of committed sets seen across all approaches.
+	Sets int `json:"sets"`
+	// BytesVerified counts blob bytes read for checksum verification.
+	BytesVerified int64 `json:"bytes_verified"`
+	// Issues lists everything found, in deterministic order.
+	Issues []FsckIssue `json:"issues,omitempty"`
+}
+
+// Clean reports whether the store has no issues at all.
+func (r *FsckReport) Clean() bool { return len(r.Issues) == 0 }
+
+// Damaged reports whether any issue concerns committed data (anything
+// beyond deletable orphans).
+func (r *FsckReport) Damaged() bool {
+	for _, i := range r.Issues {
+		if !i.Orphan {
+			return true
+		}
+	}
+	return false
+}
+
+// refSet is the closure of artifacts committed sets reference.
+type refSet struct {
+	blobs map[string]bool    // blob keys
+	docs  map[[2]string]bool // (collection, id)
+	// unsafePrefix marks approach blob namespaces where reference
+	// analysis is incomplete (unreadable set metadata): orphan
+	// classification there would risk deleting live data.
+	unsafePrefix map[string]bool
+}
+
+func newRefSet() *refSet {
+	return &refSet{blobs: map[string]bool{}, docs: map[[2]string]bool{}, unsafePrefix: map[string]bool{}}
+}
+
+func (r *refSet) blob(key string)    { r.blobs[key] = true }
+func (r *refSet) doc(col, id string) { r.docs[[2]string{col, id}] = true }
+func (r *refSet) fullBlobs(prefix, id string) {
+	r.blob(prefix + "/" + id + "/arch.json")
+	r.blob(prefix + "/" + id + "/params.bin")
+}
+
+// fsckCollections are the document collections fsck owns. Documents in
+// other collections are outside the management system and left alone.
+var fsckCollections = []string{
+	mmlibSetCollection, mmlibMetaCollection, mmlibEnvCollection, mmlibCodeCollection,
+	baselineCollection,
+	updateCollection, updateHashCollection, updateDiffCollection,
+	provenanceCollection, provenanceTrainCollection, provenanceUpdateCollection,
+}
+
+// fsckBlobPrefixes are the blob namespaces fsck owns.
+var fsckBlobPrefixes = []string{
+	mmlibBlobPrefix, baselineBlobPrefix, updateBlobPrefix, provenanceBlobPrefix,
+}
+
+// references computes every artifact the committed sets of all four
+// approaches reference. sets is the number of committed sets seen.
+func references(st Stores) (refs *refSet, sets int, err error) {
+	refs = newRefSet()
+
+	// MMlibBase: per-model bundles.
+	ids, err := st.Docs.IDs(mmlibSetCollection)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, id := range ids {
+		sets++
+		refs.doc(mmlibSetCollection, id)
+		meta, err := loadMeta(st, mmlibSetCollection, id)
+		if err != nil {
+			refs.unsafePrefix[mmlibBlobPrefix] = true
+			continue
+		}
+		for i := 0; i < meta.NumModels; i++ {
+			modelID := fmt.Sprintf("%s-m%05d", id, i)
+			refs.doc(mmlibMetaCollection, modelID)
+			refs.doc(mmlibEnvCollection, modelID)
+			refs.doc(mmlibCodeCollection, modelID)
+			refs.blob(fmt.Sprintf("%s/%s/%d/arch.json", mmlibBlobPrefix, id, i))
+			refs.blob(fmt.Sprintf("%s/%s/%d/params.bin", mmlibBlobPrefix, id, i))
+		}
+	}
+
+	// Baseline: one metadata document, two blobs.
+	ids, err = st.Docs.IDs(baselineCollection)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, id := range ids {
+		sets++
+		refs.doc(baselineCollection, id)
+		if _, err := loadMeta(st, baselineCollection, id); err != nil {
+			refs.unsafePrefix[baselineBlobPrefix] = true
+			continue
+		}
+		refs.fullBlobs(baselineBlobPrefix, id)
+	}
+
+	// Update: hash document always; full blobs or diff document + blob.
+	ids, err = st.Docs.IDs(updateCollection)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, id := range ids {
+		sets++
+		refs.doc(updateCollection, id)
+		refs.doc(updateHashCollection, id)
+		meta, err := loadMeta(st, updateCollection, id)
+		if err != nil {
+			refs.unsafePrefix[updateBlobPrefix] = true
+			continue
+		}
+		if meta.Kind == "full" {
+			refs.fullBlobs(updateBlobPrefix, id)
+		} else {
+			refs.doc(updateDiffCollection, id)
+			refs.blob(updateBlobPrefix + "/" + id + "/diff.bin")
+		}
+	}
+
+	// Provenance: full blobs or training-replay documents.
+	ids, err = st.Docs.IDs(provenanceCollection)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, id := range ids {
+		sets++
+		refs.doc(provenanceCollection, id)
+		meta, err := loadMeta(st, provenanceCollection, id)
+		if err != nil {
+			refs.unsafePrefix[provenanceBlobPrefix] = true
+			continue
+		}
+		if meta.Kind == "full" {
+			refs.fullBlobs(provenanceBlobPrefix, id)
+		} else {
+			refs.doc(provenanceTrainCollection, id)
+			refs.doc(provenanceUpdateCollection, id)
+		}
+	}
+	return refs, sets, nil
+}
+
+// ownedPrefix returns the approach blob namespace key belongs to, or "".
+func ownedPrefix(key string) string {
+	for _, p := range fsckBlobPrefixes {
+		if strings.HasPrefix(key, p+"/") {
+			return p
+		}
+	}
+	return ""
+}
+
+// Fsck checks the whole store: per-blob checksums, set completeness for
+// every approach, and the absence of orphaned partial writes. With
+// opts.Repair, orphans are deleted; everything else is only reported.
+func Fsck(st Stores, opts FsckOptions) (*FsckReport, error) {
+	report := &FsckReport{}
+	refs, sets, err := references(st)
+	if err != nil {
+		return nil, err
+	}
+	report.Sets = sets
+
+	// Direction 1: every committed set's artifacts present and
+	// consistent. VerifyStore also covers Update/Provenance base chains.
+	for _, v := range []Verifier{
+		NewMMlibBase(st), NewBaseline(st), NewUpdate(st), NewProvenance(st),
+	} {
+		issues, err := v.VerifyStore()
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range issues {
+			report.Issues = append(report.Issues, FsckIssue{
+				Kind: FsckSet, SetID: i.SetID, Problem: i.Problem,
+			})
+		}
+	}
+
+	// Direction 2a: blob bytes match their recorded checksums.
+	integrity, bytesRead, err := st.Blobs.Integrity()
+	if err != nil {
+		return nil, err
+	}
+	report.BytesVerified = bytesRead
+	flagged := map[string]bool{}
+	for _, i := range integrity {
+		flagged[i.Key] = true
+		prefix := ownedPrefix(i.Key)
+		orphanable := prefix != "" && !refs.unsafePrefix[prefix] && !refs.blobs[i.Key]
+		switch {
+		case i.Mismatch:
+			report.Issues = append(report.Issues, FsckIssue{
+				Kind: FsckChecksum, Key: i.Key, Problem: i.Problem, Orphan: orphanable,
+			})
+		case i.Dangling:
+			// A manifest entry without its blob is pure bookkeeping
+			// debris regardless of references; deleting it never loses
+			// data.
+			report.Issues = append(report.Issues, FsckIssue{
+				Kind: FsckManifest, Key: i.Key, Problem: i.Problem, Orphan: true,
+			})
+		default:
+			report.Issues = append(report.Issues, FsckIssue{
+				Kind: FsckUnchecksummed, Key: i.Key, Problem: i.Problem, Orphan: orphanable,
+			})
+		}
+	}
+
+	// Direction 2b: no unreferenced blobs in owned namespaces.
+	keys, err := st.Blobs.Keys()
+	if err != nil {
+		return nil, err
+	}
+	for _, key := range keys {
+		prefix := ownedPrefix(key)
+		if prefix == "" || refs.blobs[key] || flagged[key] || refs.unsafePrefix[prefix] {
+			continue
+		}
+		report.Issues = append(report.Issues, FsckIssue{
+			Kind: FsckOrphanBlob, Key: key,
+			Problem: "blob not referenced by any committed set (orphaned partial write)",
+			Orphan:  true,
+		})
+	}
+
+	// Direction 2c: no unreferenced documents in owned collections.
+	for _, col := range fsckCollections {
+		ids, err := st.Docs.IDs(col)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range ids {
+			if refs.docs[[2]string{col, id}] {
+				continue
+			}
+			report.Issues = append(report.Issues, FsckIssue{
+				Kind: FsckOrphanDoc, Collection: col, DocID: id,
+				Problem: "document not referenced by any committed set (orphaned partial write)",
+				Orphan:  true,
+			})
+		}
+	}
+
+	sort.SliceStable(report.Issues, func(a, b int) bool {
+		ia, ib := report.Issues[a], report.Issues[b]
+		if ia.Kind != ib.Kind {
+			return ia.Kind < ib.Kind
+		}
+		if ia.Key != ib.Key {
+			return ia.Key < ib.Key
+		}
+		if ia.Collection != ib.Collection {
+			return ia.Collection < ib.Collection
+		}
+		return ia.DocID+ia.SetID < ib.DocID+ib.SetID
+	})
+
+	if opts.Repair {
+		for k := range report.Issues {
+			issue := &report.Issues[k]
+			if !issue.Orphan {
+				continue
+			}
+			switch {
+			case issue.Key != "":
+				// Blobs.Delete removes the blob and its manifest entry;
+				// for dangling manifests the blob half is a no-op.
+				if err := st.Blobs.Delete(issue.Key); err != nil {
+					return nil, fmt.Errorf("core: fsck repair of blob %q: %w", issue.Key, err)
+				}
+			case issue.Collection != "":
+				if err := st.Docs.Delete(issue.Collection, issue.DocID); err != nil {
+					return nil, fmt.Errorf("core: fsck repair of %s/%s: %w", issue.Collection, issue.DocID, err)
+				}
+			}
+			issue.Repaired = true
+		}
+	}
+	return report, nil
+}

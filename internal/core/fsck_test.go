@@ -1,0 +1,260 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/dataset"
+	"github.com/mmm-go/mmm/internal/storage/backend"
+	"github.com/mmm-go/mmm/internal/storage/blobstore"
+	"github.com/mmm-go/mmm/internal/storage/docstore"
+	"github.com/mmm-go/mmm/internal/storage/latency"
+)
+
+// rawStores builds in-memory Stores and also exposes the raw backends,
+// so tests can corrupt bytes or plant debris underneath the stores.
+func rawStores() (Stores, *backend.Mem, *backend.Mem) {
+	blobBE := backend.NewMem()
+	docBE := backend.NewMem()
+	st := Stores{
+		Docs:     docstore.New(docBE, latency.CostModel{}, nil),
+		Blobs:    blobstore.New(blobBE, latency.CostModel{}, nil),
+		Datasets: dataset.NewRegistry(),
+	}
+	return st, blobBE, docBE
+}
+
+// populateAllApproaches saves sets with every approach, including a
+// U1→U3 chain for Update and a derived Provenance set, and returns the
+// recoverable (approach, setID) pairs.
+func populateAllApproaches(t *testing.T, st Stores) map[string][]string {
+	t.Helper()
+	saved := map[string][]string{}
+
+	set := mustNewSet(t, 3)
+	ml := NewMMlibBase(st)
+	saved["MMlibBase"] = append(saved["MMlibBase"], mustSave(t, ml, SaveRequest{Set: set}).SetID)
+
+	bl := NewBaseline(st)
+	saved["Baseline"] = append(saved["Baseline"], mustSave(t, bl, SaveRequest{Set: set}).SetID)
+
+	up := NewUpdate(st)
+	upSet := mustNewSet(t, 3)
+	base := mustSave(t, up, SaveRequest{Set: upSet}).SetID
+	saved["Update"] = append(saved["Update"], base)
+	runCycle(t, upSet, st.Datasets, 1, []int{0}, []int{2})
+	derived := mustSave(t, up, SaveRequest{Set: upSet, Base: base}).SetID
+	saved["Update"] = append(saved["Update"], derived)
+
+	pv := NewProvenance(st)
+	pvSet := mustNewSet(t, 3)
+	pvBase := mustSave(t, pv, SaveRequest{Set: pvSet}).SetID
+	saved["Provenance"] = append(saved["Provenance"], pvBase)
+	updates := runCycle(t, pvSet, st.Datasets, 1, []int{1}, nil)
+	pvDerived := mustSave(t, pv, SaveRequest{
+		Set: pvSet, Base: pvBase, Updates: updates, Train: testTrainInfo(),
+	}).SetID
+	saved["Provenance"] = append(saved["Provenance"], pvDerived)
+
+	return saved
+}
+
+func mustFsck(t *testing.T, st Stores, opts FsckOptions) *FsckReport {
+	t.Helper()
+	report, err := Fsck(st, opts)
+	if err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+	return report
+}
+
+func TestFsckCleanAfterSaves(t *testing.T) {
+	st, _, _ := rawStores()
+	populateAllApproaches(t, st)
+	report := mustFsck(t, st, FsckOptions{})
+	if !report.Clean() {
+		t.Fatalf("fsck of healthy store found issues:\n%v", report.Issues)
+	}
+	if report.Sets != 6 {
+		t.Errorf("fsck saw %d sets, want 6", report.Sets)
+	}
+	if report.BytesVerified == 0 {
+		t.Error("fsck verified no bytes")
+	}
+}
+
+// TestFsckDetectsFlippedByteInEveryBlob is the issue's acceptance
+// criterion: a single flipped byte in ANY saved blob must be detected.
+func TestFsckDetectsFlippedByteInEveryBlob(t *testing.T) {
+	st, blobBE, _ := rawStores()
+	populateAllApproaches(t, st)
+	keys, err := st.Blobs.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) == 0 {
+		t.Fatal("no blobs saved")
+	}
+	for _, key := range keys {
+		raw, err := blobBE.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(raw) == 0 {
+			continue
+		}
+		at := len(raw) / 2
+		raw[at] ^= 0x01
+		if err := blobBE.Put(key, raw); err != nil {
+			t.Fatal(err)
+		}
+
+		report := mustFsck(t, st, FsckOptions{})
+		found := false
+		for _, issue := range report.Issues {
+			if issue.Kind == FsckChecksum && issue.Key == key {
+				found = true
+				if issue.Orphan {
+					t.Errorf("%s: referenced corrupt blob classified as orphan", key)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: flipped byte not detected; issues: %v", key, report.Issues)
+		}
+		if !report.Damaged() {
+			t.Errorf("%s: report not marked damaged", key)
+		}
+
+		raw[at] ^= 0x01 // restore
+		if err := blobBE.Put(key, raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if report := mustFsck(t, st, FsckOptions{}); !report.Clean() {
+		t.Fatalf("store dirty after restores: %v", report.Issues)
+	}
+}
+
+func TestFsckRepairDeletesOnlyOrphans(t *testing.T) {
+	st, blobBE, _ := rawStores()
+	saved := populateAllApproaches(t, st)
+
+	// Plant the three kinds of crash debris:
+	// an uncommitted blob in an owned namespace…
+	if err := st.Blobs.Put("baseline/bl-999999/params.bin", []byte("torn")); err != nil {
+		t.Fatal(err)
+	}
+	// …an uncommitted document (hash info without its set metadata)…
+	if err := st.Docs.Insert(updateHashCollection, "up-999999", hashDoc{}); err != nil {
+		t.Fatal(err)
+	}
+	// …and a dangling manifest entry (blob vanished underneath).
+	if err := st.Blobs.Put("update/up-888888/diff.bin", []byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	if err := blobBE.Delete("update/up-888888/diff.bin"); err != nil {
+		t.Fatal(err)
+	}
+
+	report := mustFsck(t, st, FsckOptions{})
+	if len(report.Issues) != 3 {
+		t.Fatalf("issues = %v, want 3", report.Issues)
+	}
+	for _, issue := range report.Issues {
+		if !issue.Orphan {
+			t.Errorf("debris issue not orphan: %+v", issue)
+		}
+	}
+	if report.Damaged() {
+		t.Error("orphans alone must not mark the store damaged")
+	}
+
+	repaired := mustFsck(t, st, FsckOptions{Repair: true})
+	for _, issue := range repaired.Issues {
+		if !issue.Repaired {
+			t.Errorf("orphan not repaired: %+v", issue)
+		}
+	}
+	if report := mustFsck(t, st, FsckOptions{}); !report.Clean() {
+		t.Fatalf("store dirty after repair: %v", report.Issues)
+	}
+
+	// Every committed set still recovers after repair.
+	for name, ids := range saved {
+		a := approachByName(st, name)
+		for _, id := range ids {
+			if _, err := a.Recover(id); err != nil {
+				t.Errorf("%s recover %s after repair: %v", name, id, err)
+			}
+		}
+	}
+}
+
+func approachByName(st Stores, name string) Approach {
+	switch name {
+	case "MMlibBase":
+		return NewMMlibBase(st)
+	case "Baseline":
+		return NewBaseline(st)
+	case "Update":
+		return NewUpdate(st)
+	case "Provenance":
+		return NewProvenance(st)
+	}
+	panic("unknown approach " + name)
+}
+
+func TestFsckNeverRepairsCorruptReferencedBlobs(t *testing.T) {
+	st, blobBE, _ := rawStores()
+	bl := NewBaseline(st)
+	id := mustSave(t, bl, SaveRequest{Set: mustNewSet(t, 2)}).SetID
+	key := "baseline/" + id + "/params.bin"
+	raw, err := blobBE.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xff
+	if err := blobBE.Put(key, raw); err != nil {
+		t.Fatal(err)
+	}
+
+	report := mustFsck(t, st, FsckOptions{Repair: true})
+	if report.Clean() {
+		t.Fatal("corruption undetected")
+	}
+	for _, issue := range report.Issues {
+		if issue.Repaired {
+			t.Errorf("repair touched referenced data: %+v", issue)
+		}
+	}
+	if _, err := blobBE.Get(key); err != nil {
+		t.Fatalf("referenced blob deleted by repair: %v", err)
+	}
+}
+
+func TestFsckSuppressesOrphanClassificationOnUnreadableMeta(t *testing.T) {
+	st, _, docBE := rawStores()
+	bl := NewBaseline(st)
+	id := mustSave(t, bl, SaveRequest{Set: mustNewSet(t, 2)}).SetID
+
+	// Destroy the set's metadata document in place (not deleting it —
+	// the set is still listed, but reference analysis cannot see what it
+	// points to).
+	if err := docBE.Put(baselineCollection+"/"+id+".json", []byte("{broken")); err != nil {
+		t.Fatal(err)
+	}
+	report := mustFsck(t, st, FsckOptions{Repair: true})
+	if report.Clean() {
+		t.Fatal("unreadable metadata undetected")
+	}
+	// The set's blobs must NOT be classified (or deleted) as orphans.
+	for _, issue := range report.Issues {
+		if strings.HasPrefix(issue.Key, "baseline/") && issue.Orphan {
+			t.Errorf("blob of set with unreadable metadata treated as orphan: %+v", issue)
+		}
+	}
+	if _, err := st.Blobs.Size("baseline/" + id + "/params.bin"); err != nil {
+		t.Fatalf("parameter blob was deleted: %v", err)
+	}
+}

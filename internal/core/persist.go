@@ -197,8 +197,11 @@ func loadArchBlob(st Stores, key string) (*nn.Architecture, error) {
 // Provenance reuse it for their initial sets. extend, when non-nil, may
 // mutate the metadata document before it is written. The metadata
 // document is written last: a set only becomes visible once its
-// artifacts are complete.
-func fullSave(ctx context.Context, op *saveOp, collection, blobPrefix, approach, setID string, req SaveRequest, extend func(*setMeta), workers int) error {
+// artifacts are complete. preMeta, when non-nil, runs after the blobs
+// but before the metadata document — the hook for approaches that must
+// persist auxiliary documents inside the same commit boundary (a crash
+// after the metadata write must never leave them missing).
+func fullSave(ctx context.Context, op *saveOp, collection, blobPrefix, approach, setID string, req SaveRequest, extend func(*setMeta), preMeta func() error, workers int) error {
 	meta := setMeta{
 		SetID:      setID,
 		Approach:   approach,
@@ -225,6 +228,11 @@ func fullSave(ctx context.Context, op *saveOp, collection, blobPrefix, approach,
 	}
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if preMeta != nil {
+		if err := preMeta(); err != nil {
+			return err
+		}
 	}
 	if err := op.insertDoc(collection, setID, meta); err != nil {
 		return fmt.Errorf("core: writing metadata: %w", err)

@@ -106,7 +106,7 @@ func (p *Provenance) SaveContext(ctx context.Context, req SaveRequest) (SaveResu
 	}
 	op := newSaveOp(p.stores)
 	if full {
-		err = fullSave(ctx, op, provenanceCollection, provenanceBlobPrefix, p.Name(), setID, req, nil, p.workers)
+		err = fullSave(ctx, op, provenanceCollection, provenanceBlobPrefix, p.Name(), setID, req, nil, nil, p.workers)
 	} else {
 		err = p.saveDerived(ctx, op, setID, req)
 	}

@@ -135,22 +135,24 @@ func (u *Update) SaveContext(ctx context.Context, req SaveRequest) (SaveResult, 
 	}
 
 	op := newSaveOp(u.stores)
+	// The hash document is written for full and derived saves alike: it
+	// is what lets the *next* save detect changes "without having to
+	// load the full representation of the previous model". It must land
+	// *before* the set's metadata document — the metadata doc is the
+	// commit record, and a crash in between must never yield a visible
+	// set whose hash info is missing.
+	writeHashes := func() error {
+		if err := op.insertDoc(updateHashCollection, setID, hashDoc{Models: hashes}); err != nil {
+			return fmt.Errorf("core: writing hash info: %w", err)
+		}
+		return nil
+	}
 	if full {
 		err = fullSave(ctx, op, updateCollection, updateBlobPrefix, u.Name(), setID, req, func(m *setMeta) {
 			m.Depth = 0
-		}, u.workers)
+		}, writeHashes, u.workers)
 	} else {
-		err = u.saveDerived(ctx, op, setID, req, hashes, depth)
-	}
-	if err == nil {
-		// The hash document is written for full and derived saves alike:
-		// it is what lets the *next* save detect changes "without having
-		// to load the full representation of the previous model".
-		if err = ctx.Err(); err == nil {
-			if derr := op.insertDoc(updateHashCollection, setID, hashDoc{Models: hashes}); derr != nil {
-				err = fmt.Errorf("core: writing hash info: %w", derr)
-			}
-		}
+		err = u.saveDerived(ctx, op, setID, req, hashes, depth, writeHashes)
 	}
 	if err != nil {
 		op.rollback()
@@ -167,8 +169,9 @@ func (u *Update) Save(req SaveRequest) (SaveResult, error) {
 }
 
 // saveDerived persists only the parameters whose hashes changed
-// relative to the base set.
-func (u *Update) saveDerived(ctx context.Context, op *saveOp, setID string, req SaveRequest, hashes [][]string, depth int) error {
+// relative to the base set. preMeta runs just before the metadata
+// document — the set's commit record — is written.
+func (u *Update) saveDerived(ctx context.Context, op *saveOp, setID string, req SaveRequest, hashes [][]string, depth int, preMeta func() error) error {
 	var baseHashes hashDoc
 	if err := u.stores.Docs.Get(updateHashCollection, req.Base, &baseHashes); err != nil {
 		return fmt.Errorf("core: loading base hash info: %w", err)
@@ -266,6 +269,11 @@ func (u *Update) saveDerived(ctx context.Context, op *saveOp, setID string, req 
 	doc := diffDoc{Entries: entries, Compressed: compressed, Delta: basePartial != nil}
 	if err := op.insertDoc(updateDiffCollection, setID, doc); err != nil {
 		return fmt.Errorf("core: writing diff list: %w", err)
+	}
+	if preMeta != nil {
+		if err := preMeta(); err != nil {
+			return err
+		}
 	}
 	meta := setMeta{
 		SetID: setID, Approach: u.Name(), Kind: "derived",

@@ -34,9 +34,10 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-// decodeError extracts the server's JSON error envelope. A 404 wraps
-// core.ErrSetNotFound so callers can test with errors.Is across the
-// HTTP boundary.
+// decodeError extracts the server's JSON error envelope and, when the
+// envelope carries an error code, wraps the matching core sentinel so
+// callers can test with errors.Is across the HTTP boundary. A 404
+// without a code still wraps core.ErrSetNotFound for older servers.
 func decodeError(resp *http.Response) error {
 	defer resp.Body.Close()
 	msg := fmt.Sprintf("HTTP %d", resp.StatusCode)
@@ -44,10 +45,29 @@ func decodeError(resp *http.Response) error {
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e); err == nil && e.Error != "" {
 		msg = fmt.Sprintf("%s (HTTP %d)", e.Error, resp.StatusCode)
 	}
+	if sentinel := sentinelForCode(e.Code); sentinel != nil {
+		return fmt.Errorf("server: %s: %w", msg, sentinel)
+	}
 	if resp.StatusCode == http.StatusNotFound {
 		return fmt.Errorf("server: %s: %w", msg, core.ErrSetNotFound)
 	}
 	return fmt.Errorf("server: %s", msg)
+}
+
+// sentinelForCode inverts errorCode: wire code → core sentinel.
+func sentinelForCode(code string) error {
+	switch code {
+	case codeSetNotFound:
+		return core.ErrSetNotFound
+	case codeChecksumMismatch:
+		return core.ErrChecksumMismatch
+	case codeCorruptBlob:
+		return core.ErrCorruptBlob
+	case codeBudgetExceeded:
+		return core.ErrBudgetExceeded
+	default:
+		return nil
+	}
 }
 
 func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader) (*http.Response, error) {
@@ -258,6 +278,16 @@ func (c *Client) Verify(ctx context.Context, approach string) ([]core.Issue, err
 func (c *Client) Prune(ctx context.Context, approach string, keep []string) (*core.PruneReport, error) {
 	var out core.PruneReport
 	if err := c.postJSON(ctx, "/api/"+approach+"/prune", pruneRequest{Keep: keep}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Fsck runs a server-side store-wide integrity check across all
+// approaches; repair additionally deletes orphaned crash debris.
+func (c *Client) Fsck(ctx context.Context, repair bool) (*core.FsckReport, error) {
+	var out core.FsckReport
+	if err := c.postJSON(ctx, "/api/fsck", fsckRequest{Repair: repair}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

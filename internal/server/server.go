@@ -86,11 +86,41 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/{approach}/prune", s.handlePrune)
 	s.mux.HandleFunc("POST /api/datasets", s.handlePutDataset)
 	s.mux.HandleFunc("GET /api/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("POST /api/fsck", s.handleFsck)
 }
 
-// httpError is the JSON error envelope.
+// httpError is the JSON error envelope. Code carries the sentinel the
+// error wraps, so clients can reconstruct errors.Is semantics across
+// the HTTP boundary instead of matching on status codes alone.
 type httpError struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// Error codes carried in the envelope.
+const (
+	codeSetNotFound      = "set_not_found"
+	codeChecksumMismatch = "checksum_mismatch"
+	codeCorruptBlob      = "corrupt_blob"
+	codeBudgetExceeded   = "budget_exceeded"
+)
+
+// errorCode maps an error onto its wire code ("" if it wraps no known
+// sentinel). Checksum mismatches are tested before generic corruption:
+// they are the more specific diagnosis.
+func errorCode(err error) string {
+	switch {
+	case errors.Is(err, core.ErrSetNotFound):
+		return codeSetNotFound
+	case errors.Is(err, core.ErrChecksumMismatch):
+		return codeChecksumMismatch
+	case errors.Is(err, core.ErrCorruptBlob):
+		return codeCorruptBlob
+	case errors.Is(err, core.ErrBudgetExceeded):
+		return codeBudgetExceeded
+	default:
+		return ""
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -100,7 +130,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, httpError{Error: err.Error()})
+	writeJSON(w, status, httpError{Error: err.Error(), Code: errorCode(err)})
 }
 
 func (s *Server) approach(w http.ResponseWriter, r *http.Request) (core.Approach, bool) {
@@ -243,13 +273,19 @@ func saveStatus(err error) int {
 }
 
 // recoverStatus maps a recover error onto an HTTP status: unknown sets
-// are 404, everything else (corrupt blobs, foreign sets, store faults)
+// are 404, detected bit rot (checksum mismatch) is a 500 — the data
+// the server promised to keep is gone, which is a server fault, not a
+// request fault — and everything else (foreign sets, malformed docs)
 // is a 422.
 func recoverStatus(err error) int {
-	if errors.Is(err, core.ErrSetNotFound) {
+	switch {
+	case errors.Is(err, core.ErrSetNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, core.ErrChecksumMismatch):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusUnprocessableEntity
 	}
-	return http.StatusUnprocessableEntity
 }
 
 func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
@@ -363,6 +399,31 @@ func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
 	report, err := p.Prune(req.Keep)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, report)
+}
+
+// fsckRequest is the JSON body of a fsck call.
+type fsckRequest struct {
+	Repair bool `json:"repair"`
+}
+
+// handleFsck runs a store-wide integrity check across every approach's
+// namespace — checksums, set completeness, orphan detection — and
+// optionally deletes the orphans. Unlike /api/{approach}/verify, this
+// is not scoped to one approach: crash debris has no owner.
+func (s *Server) handleFsck(w http.ResponseWriter, r *http.Request) {
+	var req fsckRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	report, err := core.Fsck(s.stores, core.FsckOptions{Repair: req.Repair})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, report)

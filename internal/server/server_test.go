@@ -11,6 +11,10 @@ import (
 	"github.com/mmm-go/mmm/internal/dataset"
 	"github.com/mmm-go/mmm/internal/env"
 	"github.com/mmm-go/mmm/internal/nn"
+	"github.com/mmm-go/mmm/internal/storage/backend"
+	"github.com/mmm-go/mmm/internal/storage/blobstore"
+	"github.com/mmm-go/mmm/internal/storage/docstore"
+	"github.com/mmm-go/mmm/internal/storage/latency"
 )
 
 // newTestRig starts an in-process server and returns a client for it.
@@ -235,6 +239,91 @@ func TestHTTPErrors(t *testing.T) {
 	res, err := c.Save(ctx, "baseline", set, "", nil, nil)
 	if err != nil {
 		t.Fatalf("well-formed save rejected: %v (%+v)", err, res)
+	}
+}
+
+// newRawRig starts a server whose raw blob backend the test can reach
+// underneath the checksumming store, to corrupt bytes in place.
+func newRawRig(t *testing.T) (*Client, core.Stores, *backend.Mem) {
+	t.Helper()
+	blobBE := backend.NewMem()
+	stores := core.Stores{
+		Docs:     docstore.New(backend.NewMem(), latency.CostModel{}, nil),
+		Blobs:    blobstore.New(blobBE, latency.CostModel{}, nil),
+		Datasets: dataset.NewRegistry(),
+	}
+	ts := httptest.NewServer(New(stores))
+	t.Cleanup(ts.Close)
+	return &Client{BaseURL: ts.URL}, stores, blobBE
+}
+
+func TestChecksumMismatchOverHTTP(t *testing.T) {
+	ctx := context.Background()
+	c, _, blobBE := newRawRig(t)
+	set := testSet(t, 4)
+	res, err := c.Save(ctx, "baseline", set, "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte of the parameter blob underneath the store.
+	key := "baseline/" + res.SetID + "/params.bin"
+	raw, err := blobBE.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := blobBE.Put(key, raw); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = c.Recover(ctx, "baseline", res.SetID)
+	if !errors.Is(err, core.ErrChecksumMismatch) {
+		t.Fatalf("recover of corrupt set: err = %v, want core.ErrChecksumMismatch", err)
+	}
+	// Bit rot is the server's fault, not the request's.
+	if !strings.Contains(err.Error(), "HTTP 500") {
+		t.Errorf("checksum mismatch reported as %v, want HTTP 500", err)
+	}
+}
+
+func TestFsckOverHTTP(t *testing.T) {
+	ctx := context.Background()
+	c, stores, _ := newRawRig(t)
+	set := testSet(t, 3)
+	if _, err := c.Save(ctx, "baseline", set, "", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := c.Fsck(ctx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() || report.Sets != 1 {
+		t.Fatalf("fsck of healthy store = %+v", report)
+	}
+
+	// Plant an uncommitted blob; fsck must report it as a deletable
+	// orphan, and fsck --repair must remove it.
+	if err := stores.Blobs.Put("baseline/bl-999999/params.bin", []byte("torn")); err != nil {
+		t.Fatal(err)
+	}
+	report, err = c.Fsck(ctx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Issues) != 1 || !report.Issues[0].Orphan || report.Damaged() {
+		t.Fatalf("fsck with planted orphan = %+v", report)
+	}
+	repaired, err := c.Fsck(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repaired.Issues) != 1 || !repaired.Issues[0].Repaired {
+		t.Fatalf("fsck repair = %+v", repaired)
+	}
+	if report, err = c.Fsck(ctx, false); err != nil || !report.Clean() {
+		t.Fatalf("store after repair = %+v, %v", report, err)
 	}
 }
 

@@ -15,11 +15,13 @@ var ErrInjected = errors.New("storage: injected fault")
 type Faulty struct {
 	Inner Backend
 
-	mu        sync.Mutex
-	failPuts  int // fail the next n Puts
-	failGets  int // fail the next n Gets
-	putsSeen  int
-	failAfter int // fail all Puts after this many succeed (-1: disabled)
+	mu         sync.Mutex
+	failPuts   int // fail the next n Puts
+	failGets   int // fail the next n Gets
+	failRanges int // fail the next n GetRanges (before falling back to the Get budget)
+	failDels   int // fail the next n Deletes
+	putsSeen   int
+	failAfter  int // fail all Puts after this many succeed (-1: disabled)
 }
 
 // NewFaulty wraps inner with fault injection disabled.
@@ -38,6 +40,24 @@ func (f *Faulty) FailNextPuts(n int) {
 func (f *Faulty) FailNextGets(n int) {
 	f.mu.Lock()
 	f.failGets = n
+	f.mu.Unlock()
+}
+
+// FailNextRangeGets makes the next n GetRange calls return ErrInjected.
+// Recovery paths fetch single models out of concatenated blobs through
+// GetRange exclusively, so they are untestable under the Get budget
+// alone.
+func (f *Faulty) FailNextRangeGets(n int) {
+	f.mu.Lock()
+	f.failRanges = n
+	f.mu.Unlock()
+}
+
+// FailNextDeletes makes the next n Delete calls return ErrInjected —
+// the rollback and prune paths' failure mode.
+func (f *Faulty) FailNextDeletes(n int) {
+	f.mu.Lock()
+	f.failDels = n
 	f.mu.Unlock()
 }
 
@@ -81,9 +101,15 @@ func (f *Faulty) Get(key string) ([]byte, error) {
 	return f.Inner.Get(key)
 }
 
-// GetRange implements Backend. Ranged reads share the Get fault budget.
+// GetRange implements Backend. Ranged reads consume their own budget
+// first and fall back to sharing the Get budget.
 func (f *Faulty) GetRange(key string, off, length int64) ([]byte, error) {
 	f.mu.Lock()
+	if f.failRanges > 0 {
+		f.failRanges--
+		f.mu.Unlock()
+		return nil, ErrInjected
+	}
 	if f.failGets > 0 {
 		f.failGets--
 		f.mu.Unlock()
@@ -97,7 +123,16 @@ func (f *Faulty) GetRange(key string, off, length int64) ([]byte, error) {
 func (f *Faulty) Size(key string) (int64, error) { return f.Inner.Size(key) }
 
 // Delete implements Backend.
-func (f *Faulty) Delete(key string) error { return f.Inner.Delete(key) }
+func (f *Faulty) Delete(key string) error {
+	f.mu.Lock()
+	if f.failDels > 0 {
+		f.failDels--
+		f.mu.Unlock()
+		return ErrInjected
+	}
+	f.mu.Unlock()
+	return f.Inner.Delete(key)
+}
 
 // Keys implements Backend.
 func (f *Faulty) Keys() ([]string, error) { return f.Inner.Keys() }

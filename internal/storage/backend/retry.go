@@ -1,0 +1,121 @@
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Retry wraps a Backend and re-issues operations that fail with
+// transient errors, with exponential backoff between attempts. Every
+// Backend operation is safe to retry: Put and Delete are idempotent
+// (overwrite / missing-key-is-fine semantics) and reads are pure, so
+// the wrapper retries them all uniformly. Flaky disks and remote stores
+// that drop the occasional request stop failing whole saves.
+type Retry struct {
+	Inner Backend
+
+	// Attempts is the total number of tries per operation (first call
+	// included). Values below 1 mean the DefaultRetryAttempts.
+	Attempts int
+	// Backoff is the sleep before the first retry; it doubles on every
+	// further retry. Zero means DefaultRetryBackoff.
+	Backoff time.Duration
+	// Transient reports whether an error is worth retrying. Nil means
+	// TransientError.
+	Transient func(error) bool
+	// Sleep is the sleeping function, replaceable in tests. Nil means
+	// time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryAttempts is the total try count of a zero-configured
+// Retry.
+const DefaultRetryAttempts = 3
+
+// DefaultRetryBackoff is the first-retry backoff of a zero-configured
+// Retry.
+const DefaultRetryBackoff = 10 * time.Millisecond
+
+// NewRetry wraps inner with default retry behavior.
+func NewRetry(inner Backend) *Retry { return &Retry{Inner: inner} }
+
+// TransientError is the default retry predicate: everything is
+// presumed transient except the errors that deterministically recur —
+// missing keys, out-of-bounds ranges, and invalid keys.
+func TransientError(err error) bool {
+	var rangeErr *RangeError
+	return err != nil && !IsNotFound(err) && !errors.As(err, &rangeErr)
+}
+
+func (r *Retry) attempts() int {
+	if r.Attempts < 1 {
+		return DefaultRetryAttempts
+	}
+	return r.Attempts
+}
+
+func (r *Retry) transient(err error) bool {
+	if r.Transient != nil {
+		return r.Transient(err)
+	}
+	return TransientError(err)
+}
+
+// do runs op up to Attempts times, backing off between tries.
+func (r *Retry) do(op func() error) error {
+	backoff := r.Backoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op()
+		if err == nil || !r.transient(err) {
+			return err
+		}
+		if attempt >= r.attempts() {
+			return fmt.Errorf("storage: giving up after %d attempts: %w", attempt, err)
+		}
+		sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// Put implements Backend.
+func (r *Retry) Put(key string, data []byte) error {
+	return r.do(func() error { return r.Inner.Put(key, data) })
+}
+
+// Get implements Backend.
+func (r *Retry) Get(key string) (data []byte, err error) {
+	err = r.do(func() error { data, err = r.Inner.Get(key); return err })
+	return data, err
+}
+
+// GetRange implements Backend.
+func (r *Retry) GetRange(key string, off, length int64) (data []byte, err error) {
+	err = r.do(func() error { data, err = r.Inner.GetRange(key, off, length); return err })
+	return data, err
+}
+
+// Size implements Backend.
+func (r *Retry) Size(key string) (n int64, err error) {
+	err = r.do(func() error { n, err = r.Inner.Size(key); return err })
+	return n, err
+}
+
+// Delete implements Backend.
+func (r *Retry) Delete(key string) error {
+	return r.do(func() error { return r.Inner.Delete(key) })
+}
+
+// Keys implements Backend.
+func (r *Retry) Keys() (keys []string, err error) {
+	err = r.do(func() error { keys, err = r.Inner.Keys(); return err })
+	return keys, err
+}

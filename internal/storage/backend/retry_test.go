@@ -1,0 +1,113 @@
+package backend
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// newFlakyRetry wires a Faulty under a Retry whose sleeps are recorded
+// instead of taken.
+func newFlakyRetry(inner Backend) (*Faulty, *Retry, *[]time.Duration) {
+	f := NewFaulty(inner)
+	var slept []time.Duration
+	r := &Retry{Inner: f, Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	return f, r, &slept
+}
+
+func TestRetryRecoversFromTransientFaults(t *testing.T) {
+	f, r, slept := newFlakyRetry(NewMem())
+
+	f.FailNextPuts(2)
+	if err := r.Put("k", []byte("v")); err != nil {
+		t.Fatalf("Put after 2 transient faults: %v", err)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(*slept))
+	}
+	if (*slept)[0] != DefaultRetryBackoff || (*slept)[1] != 2*DefaultRetryBackoff {
+		t.Errorf("backoffs = %v, want doubling from %v", *slept, DefaultRetryBackoff)
+	}
+
+	f.FailNextGets(2)
+	got, err := r.Get("k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Get after 2 transient faults: %q, %v", got, err)
+	}
+
+	f.FailNextRangeGets(2)
+	got, err = r.GetRange("k", 0, 1)
+	if err != nil || string(got) != "v" {
+		t.Fatalf("GetRange after 2 transient faults: %q, %v", got, err)
+	}
+
+	f.FailNextDeletes(2)
+	if err := r.Delete("k"); err != nil {
+		t.Fatalf("Delete after 2 transient faults: %v", err)
+	}
+	if _, err := r.Get("k"); !IsNotFound(err) {
+		t.Fatalf("Get after Delete: %v, want not-found", err)
+	}
+}
+
+func TestRetryGivesUpAfterAttempts(t *testing.T) {
+	f, r, slept := newFlakyRetry(NewMem())
+	f.FailNextPuts(3) // default Attempts is 3, so all tries fail
+	err := r.Put("k", []byte("v"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Put = %v, want wrapped ErrInjected", err)
+	}
+	if len(*slept) != 2 {
+		t.Errorf("slept %d times, want 2 (between 3 attempts)", len(*slept))
+	}
+}
+
+func TestRetryDoesNotRetryPermanentErrors(t *testing.T) {
+	mem := NewMem()
+	calls := 0
+	r := &Retry{Inner: mem, Sleep: func(time.Duration) { calls++ }}
+
+	if _, err := r.Get("missing"); !IsNotFound(err) {
+		t.Fatalf("Get missing: %v", err)
+	}
+	if err := mem.Put("k", []byte("0123")); err != nil {
+		t.Fatal(err)
+	}
+	var rangeErr *RangeError
+	if _, err := r.GetRange("k", 2, 10); !errors.As(err, &rangeErr) {
+		t.Fatalf("out-of-bounds GetRange: %v", err)
+	}
+	if calls != 0 {
+		t.Errorf("slept %d times on permanent errors, want 0", calls)
+	}
+}
+
+func TestRetryCustomAttemptsAndPredicate(t *testing.T) {
+	f := NewFaulty(NewMem())
+	r := &Retry{Inner: f, Attempts: 5, Sleep: func(time.Duration) {}}
+	f.FailNextPuts(4)
+	if err := r.Put("k", []byte("v")); err != nil {
+		t.Fatalf("Put with Attempts=5 after 4 faults: %v", err)
+	}
+
+	// A predicate that treats everything as permanent disables retries.
+	r.Transient = func(error) bool { return false }
+	f.FailNextPuts(1)
+	if err := r.Put("k", []byte("v")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Put with never-transient predicate: %v", err)
+	}
+}
+
+func TestFaultyGetRangeFallsBackToGetBudget(t *testing.T) {
+	f := NewFaulty(NewMem())
+	if err := f.Put("k", []byte("0123")); err != nil {
+		t.Fatal(err)
+	}
+	f.FailNextGets(1)
+	if _, err := f.GetRange("k", 0, 2); !errors.Is(err, ErrInjected) {
+		t.Fatalf("GetRange with Get budget: %v, want ErrInjected", err)
+	}
+	if _, err := f.GetRange("k", 0, 2); err != nil {
+		t.Fatalf("budget not consumed: %v", err)
+	}
+}

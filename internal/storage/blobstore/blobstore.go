@@ -11,6 +11,9 @@
 package blobstore
 
 import (
+	"fmt"
+	"hash/crc32"
+	"strings"
 	"sync"
 
 	"github.com/mmm-go/mmm/internal/storage/backend"
@@ -48,9 +51,21 @@ func NewMem() *Store {
 	return New(backend.NewMem(), latency.CostModel{}, nil)
 }
 
-// Put stores data under key.
+// Put stores data under key and records its checksums in the store
+// manifest. The blob is written first, so a manifest entry's presence
+// implies its blob completed; if the manifest write fails, the blob is
+// removed again so no half-committed pair remains. Manifest traffic is
+// bookkeeping and is charged to neither the statistics nor the latency
+// model.
 func (s *Store) Put(key string, data []byte) error {
+	if strings.HasPrefix(key, manifestPrefix) {
+		return fmt.Errorf("storage: key %q is in the reserved %q namespace", key, manifestPrefix)
+	}
 	if err := s.backend.Put(key, data); err != nil {
+		return err
+	}
+	if err := s.writeManifest(key, data); err != nil {
+		_ = s.backend.Delete(key)
 		return err
 	}
 	s.mu.Lock()
@@ -63,11 +78,23 @@ func (s *Store) Put(key string, data []byte) error {
 	return nil
 }
 
-// Get returns the blob stored under key.
+// Get returns the blob stored under key, verified against its recorded
+// checksums. Corrupted blobs return an error wrapping
+// ErrChecksumMismatch; blobs without a manifest entry (written before
+// checksumming existed) are returned unverified.
 func (s *Store) Get(key string) ([]byte, error) {
 	data, err := s.backend.Get(key)
 	if err != nil {
 		return nil, err
+	}
+	m, ok, err := s.readManifest(key)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		if err := verifyWhole(key, m, data); err != nil {
+			return nil, err
+		}
 	}
 	s.mu.Lock()
 	s.stats.GetOps++
@@ -80,32 +107,97 @@ func (s *Store) Get(key string) ([]byte, error) {
 }
 
 // GetRange returns length bytes starting at off of the blob under key.
-// Like Get it counts as one read operation, but only the requested
+// Like Get it counts as one read operation, and only the requested
 // bytes are charged — the point of ranged reads when recovering single
-// models out of a large parameter blob.
+// models out of a large parameter blob. Verification is chunked: the
+// backend read is widened to chunk boundaries and only the chunks
+// overlapping the request are checked, so a small ranged read costs at
+// most one extra chunk on each side instead of the whole blob.
 func (s *Store) GetRange(key string, off, length int64) ([]byte, error) {
-	data, err := s.backend.GetRange(key, off, length)
+	m, ok, err := s.readManifest(key)
 	if err != nil {
 		return nil, err
 	}
+	if !ok {
+		data, err := s.backend.GetRange(key, off, length)
+		if err != nil {
+			return nil, err
+		}
+		s.chargeRead(len(data))
+		return data, nil
+	}
+	if off < 0 || length < 0 || off+length > m.Size {
+		return nil, &backend.RangeError{Key: key, Off: off, Length: length, Size: m.Size}
+	}
+	// Widen to chunk boundaries.
+	start := off / m.ChunkSize * m.ChunkSize
+	end := off + length
+	if rem := end % m.ChunkSize; rem != 0 {
+		end += m.ChunkSize - rem
+	}
+	if end > m.Size {
+		end = m.Size
+	}
+	wide, err := s.backend.GetRange(key, start, end-start)
+	if err != nil {
+		return nil, err
+	}
+	for i := start / m.ChunkSize; i*m.ChunkSize < end; i++ {
+		cs := i * m.ChunkSize
+		ce := cs + m.ChunkSize
+		if ce > end {
+			ce = end
+		}
+		if int(i) >= len(m.CRCs) {
+			return nil, &ChecksumError{Key: key, Chunk: -1}
+		}
+		if got := crc32.Checksum(wide[cs-start:ce-start], castagnoli); got != m.CRCs[i] {
+			return nil, &ChecksumError{Key: key, Chunk: int(i), Want: m.CRCs[i], Got: got}
+		}
+	}
+	data := wide[off-start : off-start+length]
+	s.chargeRead(len(data))
+	return data, nil
+}
+
+// chargeRead accounts one read of n bytes.
+func (s *Store) chargeRead(n int) {
 	s.mu.Lock()
 	s.stats.GetOps++
-	s.stats.BytesRead += int64(len(data))
+	s.stats.BytesRead += int64(n)
 	s.mu.Unlock()
 	if s.clock != nil {
-		s.clock.Advance(s.model.ReadCost(len(data)))
+		s.clock.Advance(s.model.ReadCost(n))
 	}
-	return data, nil
 }
 
 // Size returns the stored blob's length in bytes without reading it.
 func (s *Store) Size(key string) (int64, error) { return s.backend.Size(key) }
 
-// Delete removes key; missing keys are not an error.
-func (s *Store) Delete(key string) error { return s.backend.Delete(key) }
+// Delete removes key and its manifest entry; missing keys are not an
+// error.
+func (s *Store) Delete(key string) error {
+	if err := s.backend.Delete(key); err != nil {
+		return err
+	}
+	return s.backend.Delete(manifestPrefix + key)
+}
 
-// Keys returns all stored keys in sorted order.
-func (s *Store) Keys() ([]string, error) { return s.backend.Keys() }
+// Keys returns all stored blob keys in sorted order. Manifest entries
+// are internal and not listed.
+func (s *Store) Keys() ([]string, error) {
+	keys, err := s.backend.Keys()
+	if err != nil {
+		return nil, err
+	}
+	out := keys[:0]
+	for _, k := range keys {
+		if !strings.HasPrefix(k, manifestPrefix) {
+			out = append(out, k)
+		}
+	}
+	return out, nil
+}
 
 // Stats returns a snapshot of the traffic counters.
 func (s *Store) Stats() Stats {

@@ -1,0 +1,217 @@
+package blobstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"github.com/mmm-go/mmm/internal/storage/backend"
+)
+
+// Blob integrity: every Put records a manifest entry holding CRC32C
+// checksums of the blob's fixed-size chunks, and every Get/GetRange
+// verifies the chunks it touches before returning data. Deduplicated
+// multi-model storage concentrates blast radius — one shared parameter
+// blob stands in for thousands of models — so silent corruption must be
+// detected at the read path, not discovered as garbage parameters.
+//
+// Manifest entries live in the same backend under the reserved
+// ".integrity/" key prefix, which the store hides from Keys and refuses
+// in Put, so they travel with the data (a directory copy of a Dir
+// backend keeps its checksums) without appearing as blobs.
+
+// manifestPrefix is the reserved backend namespace for manifest
+// entries. A blob at key K has its manifest entry at manifestPrefix+K.
+const manifestPrefix = ".integrity/"
+
+// checksumChunkSize is the granularity of checksum verification.
+// Ranged reads verify only the chunks overlapping the request, so the
+// chunk size bounds the read amplification of a small GetRange (at most
+// two extra chunks) while keeping manifest entries small (8 bytes of
+// JSON per 64 KiB of blob).
+const checksumChunkSize = 64 * 1024
+
+// castagnoli is the CRC32C polynomial table (iSCSI / ext4 / NeurStore
+// tensor pages use the same polynomial).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrChecksumMismatch reports that stored bytes do not match the
+// checksum recorded when they were written. Errors returned from Get,
+// GetRange, and Check wrap it; match with errors.Is.
+var ErrChecksumMismatch = errors.New("storage: blob checksum mismatch")
+
+// ErrNoChecksum reports that a blob has no recorded manifest entry, so
+// its integrity cannot be verified (a store written before checksumming
+// existed, or a blob whose manifest entry was lost).
+var ErrNoChecksum = errors.New("storage: no checksum recorded")
+
+// ChecksumError carries the details of one checksum failure.
+type ChecksumError struct {
+	Key   string
+	Chunk int // -1: size mismatch between manifest and blob
+	Want  uint32
+	Got   uint32
+}
+
+func (e *ChecksumError) Error() string {
+	if e.Chunk < 0 {
+		return fmt.Sprintf("storage: blob %q does not match its recorded size", e.Key)
+	}
+	return fmt.Sprintf("storage: blob %q chunk %d has CRC32C %08x, recorded %08x",
+		e.Key, e.Chunk, e.Got, e.Want)
+}
+
+// Unwrap makes errors.Is(err, ErrChecksumMismatch) hold.
+func (e *ChecksumError) Unwrap() error { return ErrChecksumMismatch }
+
+// blobManifest is one blob's integrity record.
+type blobManifest struct {
+	Size      int64    `json:"size"`
+	ChunkSize int64    `json:"chunk_size"`
+	CRCs      []uint32 `json:"crcs"`
+}
+
+// chunkCRCs checksums data in checksumChunkSize chunks.
+func chunkCRCs(data []byte) []uint32 {
+	n := (len(data) + checksumChunkSize - 1) / checksumChunkSize
+	crcs := make([]uint32, 0, n)
+	for off := 0; off < len(data); off += checksumChunkSize {
+		end := off + checksumChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		crcs = append(crcs, crc32.Checksum(data[off:end], castagnoli))
+	}
+	return crcs
+}
+
+// writeManifest records data's checksums for key. Called after the blob
+// itself is durable, so a manifest entry's presence implies a fully
+// written blob.
+func (s *Store) writeManifest(key string, data []byte) error {
+	m := blobManifest{Size: int64(len(data)), ChunkSize: checksumChunkSize, CRCs: chunkCRCs(data)}
+	enc, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("storage: encoding manifest of %q: %w", key, err)
+	}
+	return s.backend.Put(manifestPrefix+key, enc)
+}
+
+// readManifest loads key's manifest entry. ok is false when no entry
+// exists (legacy blob).
+func (s *Store) readManifest(key string) (m blobManifest, ok bool, err error) {
+	raw, err := s.backend.Get(manifestPrefix + key)
+	if backend.IsNotFound(err) {
+		return blobManifest{}, false, nil
+	}
+	if err != nil {
+		return blobManifest{}, false, err
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return blobManifest{}, false, fmt.Errorf("storage: parsing manifest of %q: %w", key, err)
+	}
+	if m.ChunkSize <= 0 {
+		return blobManifest{}, false, fmt.Errorf("storage: manifest of %q has chunk size %d", key, m.ChunkSize)
+	}
+	return m, true, nil
+}
+
+// verifyWhole checks all of data against m.
+func verifyWhole(key string, m blobManifest, data []byte) error {
+	if int64(len(data)) != m.Size {
+		return &ChecksumError{Key: key, Chunk: -1}
+	}
+	got := chunkCRCs(data)
+	if len(got) != len(m.CRCs) {
+		return &ChecksumError{Key: key, Chunk: -1}
+	}
+	for i, crc := range got {
+		if crc != m.CRCs[i] {
+			return &ChecksumError{Key: key, Chunk: i, Want: m.CRCs[i], Got: crc}
+		}
+	}
+	return nil
+}
+
+// Check reads the blob at key in full and verifies it against its
+// recorded checksums. It returns a ChecksumError (wrapping
+// ErrChecksumMismatch) on corruption, ErrNoChecksum if no manifest
+// entry exists, and the backend's NotFoundError if the blob is missing.
+func (s *Store) Check(key string) error {
+	m, ok, err := s.readManifest(key)
+	if err != nil {
+		return err
+	}
+	data, err := s.backend.Get(key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("storage: blob %q: %w", key, ErrNoChecksum)
+	}
+	return verifyWhole(key, m, data)
+}
+
+// IntegrityIssue is one problem found by an Integrity scan.
+type IntegrityIssue struct {
+	// Key is the blob key the issue concerns.
+	Key string
+	// Problem describes the issue.
+	Problem string
+	// Dangling marks a manifest entry whose blob is gone; Delete(Key)
+	// removes it.
+	Dangling bool
+	// Mismatch marks a failed checksum verification.
+	Mismatch bool
+}
+
+func (i IntegrityIssue) String() string { return i.Key + ": " + i.Problem }
+
+// Integrity scans the whole store: every manifest entry must have its
+// blob, every blob should have a manifest entry, and every
+// blob/manifest pair must verify. It returns the issues found and the
+// number of blob bytes read.
+func (s *Store) Integrity() ([]IntegrityIssue, int64, error) {
+	raw, err := s.backend.Keys()
+	if err != nil {
+		return nil, 0, err
+	}
+	manifests := map[string]bool{}
+	var blobs []string
+	for _, k := range raw {
+		if len(k) > len(manifestPrefix) && k[:len(manifestPrefix)] == manifestPrefix {
+			manifests[k[len(manifestPrefix):]] = true
+		} else {
+			blobs = append(blobs, k)
+		}
+	}
+	var issues []IntegrityIssue
+	var bytesRead int64
+	for _, k := range blobs {
+		if !manifests[k] {
+			issues = append(issues, IntegrityIssue{Key: k, Problem: "no checksum recorded"})
+			continue
+		}
+		delete(manifests, k)
+		err := s.Check(k)
+		if sz, serr := s.backend.Size(k); serr == nil {
+			bytesRead += sz
+		}
+		if err != nil {
+			issues = append(issues, IntegrityIssue{Key: k, Problem: err.Error(),
+				Mismatch: errors.Is(err, ErrChecksumMismatch)})
+		}
+	}
+	dangling := make([]string, 0, len(manifests))
+	for k := range manifests {
+		dangling = append(dangling, k)
+	}
+	sort.Strings(dangling)
+	for _, k := range dangling {
+		issues = append(issues, IntegrityIssue{Key: k,
+			Problem: "checksum manifest entry without blob (orphaned partial write)", Dangling: true})
+	}
+	return issues, bytesRead, nil
+}

@@ -1,0 +1,246 @@
+package blobstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/storage/backend"
+	"github.com/mmm-go/mmm/internal/storage/latency"
+)
+
+// corrupt flips one byte of the raw backend value at key, bypassing the
+// store so the manifest entry keeps the original checksums.
+func corrupt(t *testing.T, b backend.Backend, key string, at int) {
+	t.Helper()
+	raw, err := b.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[at] ^= 0xff
+	if err := b.Put(key, raw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetDetectsFlippedByte(t *testing.T) {
+	mem := backend.NewMem()
+	s := New(mem, latency.CostModel{}, nil)
+	data := make([]byte, 3*checksumChunkSize/2) // spans two chunks
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := s.Put("p/blob.bin", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("p/blob.bin")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("clean get: %v", err)
+	}
+	if err := s.Check("p/blob.bin"); err != nil {
+		t.Fatalf("clean check: %v", err)
+	}
+
+	for _, at := range []int{0, checksumChunkSize - 1, checksumChunkSize, len(data) - 1} {
+		corrupt(t, mem, "p/blob.bin", at)
+		if _, err := s.Get("p/blob.bin"); !errors.Is(err, ErrChecksumMismatch) {
+			t.Errorf("flipped byte %d: Get returned %v, want ErrChecksumMismatch", at, err)
+		}
+		if err := s.Check("p/blob.bin"); !errors.Is(err, ErrChecksumMismatch) {
+			t.Errorf("flipped byte %d: Check returned %v, want ErrChecksumMismatch", at, err)
+		}
+		corrupt(t, mem, "p/blob.bin", at) // restore
+	}
+}
+
+func TestGetRangeVerifiesOnlyCoveringChunks(t *testing.T) {
+	mem := backend.NewMem()
+	s := New(mem, latency.CostModel{}, nil)
+	data := make([]byte, 4*checksumChunkSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := s.Put("k", data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt a byte in chunk 3; reads inside chunks 0-2 must still
+	// succeed, reads touching chunk 3 must fail.
+	corrupt(t, mem, "k", 3*checksumChunkSize+5)
+	got, err := s.GetRange("k", 10, int64(checksumChunkSize))
+	if err != nil {
+		t.Fatalf("range in clean chunks: %v", err)
+	}
+	if !bytes.Equal(got, data[10:10+checksumChunkSize]) {
+		t.Error("range read returned wrong bytes")
+	}
+	if _, err := s.GetRange("k", int64(3*checksumChunkSize), 16); !errors.Is(err, ErrChecksumMismatch) {
+		t.Errorf("range over corrupt chunk returned %v, want ErrChecksumMismatch", err)
+	}
+	// Unaligned range spanning the clean/corrupt boundary also fails.
+	if _, err := s.GetRange("k", int64(3*checksumChunkSize)-8, 16); !errors.Is(err, ErrChecksumMismatch) {
+		t.Errorf("boundary range returned %v, want ErrChecksumMismatch", err)
+	}
+}
+
+func TestGetRangeBoundsComeFromManifest(t *testing.T) {
+	s := NewMem()
+	if err := s.Put("k", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetRange("k", 8, 4); err == nil {
+		t.Error("out-of-bounds range succeeded")
+	}
+	got, err := s.GetRange("k", 8, 2)
+	if err != nil || string(got) != "89" {
+		t.Fatalf("tail range: %q, %v", got, err)
+	}
+	if got, err := s.GetRange("k", 4, 0); err != nil || len(got) != 0 {
+		t.Fatalf("empty range: %q, %v", got, err)
+	}
+}
+
+func TestLegacyBlobWithoutManifestReadsUnverified(t *testing.T) {
+	mem := backend.NewMem()
+	s := New(mem, latency.CostModel{}, nil)
+	// Simulate a pre-checksum store: blob written straight to the
+	// backend with no manifest entry.
+	if err := mem.Put("old/params.bin", []byte("legacy")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("old/params.bin")
+	if err != nil || string(got) != "legacy" {
+		t.Fatalf("legacy get: %q, %v", got, err)
+	}
+	if got, err := s.GetRange("old/params.bin", 2, 3); err != nil || string(got) != "gac" {
+		t.Fatalf("legacy range: %q, %v", got, err)
+	}
+	if err := s.Check("old/params.bin"); !errors.Is(err, ErrNoChecksum) {
+		t.Fatalf("legacy check: %v, want ErrNoChecksum", err)
+	}
+}
+
+func TestKeysHideManifestEntriesAndReservedKeysRejected(t *testing.T) {
+	s := NewMem()
+	if err := s.Put("a/b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != "a/b" {
+		t.Fatalf("Keys() = %v, want [a/b]", keys)
+	}
+	if err := s.Put(manifestPrefix+"evil", []byte("x")); err == nil {
+		t.Error("reserved-namespace Put succeeded")
+	}
+}
+
+func TestDeleteRemovesManifestEntry(t *testing.T) {
+	mem := backend.NewMem()
+	s := New(mem, latency.CostModel{}, nil)
+	if err := s.Put("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := mem.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 0 {
+		t.Fatalf("delete left backend keys %v", raw)
+	}
+}
+
+func TestIntegrityScan(t *testing.T) {
+	mem := backend.NewMem()
+	s := New(mem, latency.CostModel{}, nil)
+	for _, k := range []string{"p/a", "p/b", "p/c"} {
+		if err := s.Put(k, bytes.Repeat([]byte(k), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	issues, _, err := s.Integrity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 0 {
+		t.Fatalf("clean store has issues: %v", issues)
+	}
+
+	corrupt(t, mem, "p/a", 7)                 // checksum mismatch
+	if err := mem.Delete("p/b"); err != nil { // dangling manifest
+		t.Fatal(err)
+	}
+	if err := mem.Put("p/d", []byte("new")); err != nil { // no manifest
+		t.Fatal(err)
+	}
+	issues, _, err = s.Integrity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]IntegrityIssue{}
+	for _, i := range issues {
+		byKey[i.Key] = i
+	}
+	if len(issues) != 3 {
+		t.Fatalf("issues = %v, want 3", issues)
+	}
+	if !byKey["p/a"].Mismatch {
+		t.Errorf("p/a: %+v, want mismatch", byKey["p/a"])
+	}
+	if !byKey["p/b"].Dangling {
+		t.Errorf("p/b: %+v, want dangling", byKey["p/b"])
+	}
+	if i, ok := byKey["p/d"]; !ok || i.Dangling || i.Mismatch {
+		t.Errorf("p/d: %+v, want unchecksummed", i)
+	}
+	// Repairing the dangling entry via Delete clears it.
+	if err := s.Delete("p/b"); err != nil {
+		t.Fatal(err)
+	}
+	issues, _, err = s.Integrity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 2 {
+		t.Fatalf("after repair: %v, want 2 issues", issues)
+	}
+}
+
+// FuzzChecksumRoundTrip puts arbitrary data, reads it back in full and
+// by range, and verifies a single flipped byte is always detected.
+func FuzzChecksumRoundTrip(f *testing.F) {
+	f.Add([]byte("hello blob"), uint16(2), uint16(4), uint16(3))
+	f.Add([]byte{}, uint16(0), uint16(0), uint16(0))
+	f.Add(bytes.Repeat([]byte{0xaa}, 300), uint16(100), uint16(150), uint16(299))
+	f.Fuzz(func(t *testing.T, data []byte, off16, len16, flip16 uint16) {
+		mem := backend.NewMem()
+		s := New(mem, latency.CostModel{}, nil)
+		if err := s.Put("k", data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Get("k")
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("round trip: %v", err)
+		}
+		if len(data) > 0 {
+			off := int64(off16) % int64(len(data))
+			length := int64(len16) % (int64(len(data)) - off + 1)
+			r, err := s.GetRange("k", off, length)
+			if err != nil {
+				t.Fatalf("range [%d,%d): %v", off, off+length, err)
+			}
+			if !bytes.Equal(r, data[off:off+length]) {
+				t.Fatalf("range [%d,%d) returned wrong bytes", off, off+length)
+			}
+			corrupt(t, mem, "k", int(flip16)%len(data))
+			if _, err := s.Get("k"); !errors.Is(err, ErrChecksumMismatch) {
+				t.Fatalf("flipped byte undetected: %v", err)
+			}
+		}
+	})
+}

@@ -148,6 +148,25 @@ func (s *Store) Delete(collection, id string) error {
 	return s.backend.Delete(key)
 }
 
+// Collections returns the names of all collections holding at least
+// one document, sorted.
+func (s *Store) Collections() ([]string, error) {
+	keys, err := s.backend.Keys()
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, k := range keys {
+		if i := strings.IndexByte(k, '/'); i > 0 {
+			name := k[:i]
+			if len(names) == 0 || names[len(names)-1] != name {
+				names = append(names, name)
+			}
+		}
+	}
+	return names, nil
+}
+
 // IDs returns the ids of all documents in collection, sorted.
 func (s *Store) IDs(collection string) ([]string, error) {
 	keys, err := s.backend.Keys()

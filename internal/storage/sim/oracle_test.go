@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/storage/backend"
+)
+
+// The oracle tests drive a sim Node and a real filesystem (Dir) backend
+// with the same operation sequence and require identical observable
+// behavior — values, key listings, and error classes. The sim backend
+// is only a trustworthy stand-in for crash testing if it is
+// semantically indistinguishable from the backend real stores run on.
+
+// oracleKeys is the pool of keys the oracle draws from. No key is a
+// directory-prefix of another: the Dir backend cannot hold both a file
+// "a" and a file "a/b", a filesystem restriction the byte-oriented
+// backends don't share and which the Backend contract doesn't require
+// callers to exercise.
+var oracleKeys = []string{"a", "b/c", "d/e/f", "g", "h/i"}
+
+// errClass buckets an error for cross-backend comparison. Messages
+// differ between implementations; classes must not.
+func errClass(err error) string {
+	var rangeErr *backend.RangeError
+	switch {
+	case err == nil:
+		return "nil"
+	case backend.IsNotFound(err):
+		return "notfound"
+	case errors.As(err, &rangeErr):
+		return "range"
+	default:
+		return "other"
+	}
+}
+
+// oracleStep applies one op (decoded from three bytes) to both backends
+// and reports any divergence.
+func oracleStep(sim, real backend.Backend, opByte, keyByte, argByte byte) error {
+	key := oracleKeys[int(keyByte)%len(oracleKeys)]
+	switch opByte % 6 {
+	case 0: // Put
+		data := bytes.Repeat([]byte{argByte}, int(argByte)%97)
+		e1, e2 := sim.Put(key, data), real.Put(key, data)
+		if errClass(e1) != errClass(e2) {
+			return fmt.Errorf("Put(%q): sim %v, real %v", key, e1, e2)
+		}
+	case 1: // Get
+		v1, e1 := sim.Get(key)
+		v2, e2 := real.Get(key)
+		if errClass(e1) != errClass(e2) || !bytes.Equal(v1, v2) {
+			return fmt.Errorf("Get(%q): sim (%d bytes, %v), real (%d bytes, %v)", key, len(v1), e1, len(v2), e2)
+		}
+	case 2: // GetRange, off and length from argByte (may be out of bounds)
+		off, length := int64(argByte%13), int64(argByte%29)
+		v1, e1 := sim.GetRange(key, off, length)
+		v2, e2 := real.GetRange(key, off, length)
+		if errClass(e1) != errClass(e2) || !bytes.Equal(v1, v2) {
+			return fmt.Errorf("GetRange(%q, %d, %d): sim (%q, %v), real (%q, %v)", key, off, length, v1, e1, v2, e2)
+		}
+	case 3: // Size
+		n1, e1 := sim.Size(key)
+		n2, e2 := real.Size(key)
+		if errClass(e1) != errClass(e2) || n1 != n2 {
+			return fmt.Errorf("Size(%q): sim (%d, %v), real (%d, %v)", key, n1, e1, n2, e2)
+		}
+	case 4: // Delete
+		e1, e2 := sim.Delete(key), real.Delete(key)
+		if errClass(e1) != errClass(e2) {
+			return fmt.Errorf("Delete(%q): sim %v, real %v", key, e1, e2)
+		}
+	case 5: // Keys
+		k1, e1 := sim.Keys()
+		k2, e2 := real.Keys()
+		if errClass(e1) != errClass(e2) || fmt.Sprint(k1) != fmt.Sprint(k2) {
+			return fmt.Errorf("Keys(): sim (%v, %v), real (%v, %v)", k1, e1, k2, e2)
+		}
+	}
+	return nil
+}
+
+func TestOracleSimMatchesDirBackend(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 20; round++ {
+		real, err := backend.NewDir(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := NewWorld().Node("oracle")
+		for step := 0; step < 200; step++ {
+			op, key, arg := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+			if err := oracleStep(node, real, op, key, arg); err != nil {
+				t.Fatalf("round %d step %d: %v", round, step, err)
+			}
+		}
+	}
+}
+
+// FuzzBackendOracle feeds arbitrary op sequences (three bytes per op)
+// to the sim and Dir backends in lockstep.
+func FuzzBackendOracle(f *testing.F) {
+	f.Add([]byte{0, 0, 5, 1, 0, 0, 4, 0, 0, 1, 0, 0})    // put, get, delete, get
+	f.Add([]byte{0, 1, 50, 2, 1, 7, 3, 1, 0, 5, 0, 0})   // put, range, size, keys
+	f.Add([]byte{0, 2, 96, 0, 2, 3, 2, 2, 255, 4, 2, 0}) // overwrite, oob range, delete
+	f.Fuzz(func(t *testing.T, program []byte) {
+		real, err := backend.NewDir(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := NewWorld().Node("oracle")
+		for i := 0; i+2 < len(program); i += 3 {
+			if err := oracleStep(node, real, program[i], program[i+1], program[i+2]); err != nil {
+				t.Fatalf("op %d: %v", i/3, err)
+			}
+		}
+	})
+}

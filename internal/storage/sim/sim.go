@@ -1,0 +1,180 @@
+// Package sim provides a simulated storage world for crash-consistency
+// testing. A World hands out named Backend nodes (one per store — e.g.
+// "docs" and "blobs") that record every mutation into a single shared
+// trace while executing against in-memory state. Replay(n) rebuilds the
+// durable state after exactly the first n mutations — the state a
+// machine would find on disk had it crashed at that point — so a test
+// can enumerate *every* crash point of a save and assert that each one
+// leaves the store either fully invisible or fully recoverable.
+//
+// The model matches the Dir backend's semantics: each Put is atomic
+// (temp file + rename) and each Delete is atomic, so crashes land
+// between operations, never inside one. Reads are not recorded — they
+// don't change durable state.
+package sim
+
+import (
+	"sync"
+
+	"github.com/mmm-go/mmm/internal/storage/backend"
+)
+
+// OpKind identifies a mutation type in a trace.
+type OpKind int
+
+const (
+	// OpPut is a completed Put.
+	OpPut OpKind = iota
+	// OpDelete is a completed Delete.
+	OpDelete
+)
+
+func (k OpKind) String() string {
+	if k == OpPut {
+		return "put"
+	}
+	return "delete"
+}
+
+// Op is one recorded mutation.
+type Op struct {
+	// Node is the name of the node the mutation hit.
+	Node string
+	// Kind is the mutation type.
+	Kind OpKind
+	// Key is the backend key.
+	Key string
+	// Data is the bytes written (nil for deletes). The slice is a copy;
+	// callers may not share state with the writer.
+	Data []byte
+}
+
+// World is a set of named backend nodes sharing one mutation trace.
+// Safe for concurrent use.
+type World struct {
+	mu    sync.Mutex
+	nodes map[string]*Node
+	trace []Op
+}
+
+// NewWorld returns an empty world.
+func NewWorld() *World {
+	return &World{nodes: map[string]*Node{}}
+}
+
+// Node returns the named backend node, creating it on first use.
+func (w *World) Node(name string) *Node {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n, ok := w.nodes[name]
+	if !ok {
+		n = &Node{world: w, name: name, mem: backend.NewMem()}
+		w.nodes[name] = n
+	}
+	return n
+}
+
+// Ops returns a copy of the mutation trace so far.
+func (w *World) Ops() []Op {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Op(nil), w.trace...)
+}
+
+// Len returns the number of recorded mutations.
+func (w *World) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.trace)
+}
+
+// record appends op to the trace. Called with the node's mutation
+// already applied; the append and the application are covered by the
+// same world lock, so concurrent writers serialize into a consistent
+// order.
+func (w *World) record(op Op) {
+	w.trace = append(w.trace, op)
+}
+
+// Replay returns fresh in-memory backends holding the durable state
+// after exactly the first n mutations — the disk a crashed machine
+// would reboot to. The returned map has one entry per node name that
+// exists in the world (nodes created after the first n ops still appear,
+// empty). Replay does not disturb the live world; call it once per
+// crash point.
+func (w *World) Replay(n int) map[string]backend.Backend {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n > len(w.trace) {
+		n = len(w.trace)
+	}
+	out := make(map[string]backend.Backend, len(w.nodes))
+	for name := range w.nodes {
+		out[name] = backend.NewMem()
+	}
+	for _, op := range w.trace[:n] {
+		b, ok := out[op.Node]
+		if !ok {
+			b = backend.NewMem()
+			out[op.Node] = b
+		}
+		switch op.Kind {
+		case OpPut:
+			_ = b.Put(op.Key, op.Data)
+		case OpDelete:
+			_ = b.Delete(op.Key)
+		}
+	}
+	return out
+}
+
+// Node is one simulated storage node. It implements backend.Backend;
+// mutations are applied to in-memory state and recorded in the owning
+// world's trace atomically.
+type Node struct {
+	world *World
+	name  string
+	mem   *backend.Mem
+}
+
+// Name returns the node's name in the world.
+func (n *Node) Name() string { return n.name }
+
+// Put implements backend.Backend.
+func (n *Node) Put(key string, data []byte) error {
+	n.world.mu.Lock()
+	defer n.world.mu.Unlock()
+	if err := n.mem.Put(key, data); err != nil {
+		return err
+	}
+	n.world.record(Op{Node: n.name, Kind: OpPut, Key: key, Data: append([]byte(nil), data...)})
+	return nil
+}
+
+// Get implements backend.Backend.
+func (n *Node) Get(key string) ([]byte, error) { return n.mem.Get(key) }
+
+// GetRange implements backend.Backend.
+func (n *Node) GetRange(key string, off, length int64) ([]byte, error) {
+	return n.mem.GetRange(key, off, length)
+}
+
+// Size implements backend.Backend.
+func (n *Node) Size(key string) (int64, error) { return n.mem.Size(key) }
+
+// Delete implements backend.Backend.
+func (n *Node) Delete(key string) error {
+	n.world.mu.Lock()
+	defer n.world.mu.Unlock()
+	if err := n.mem.Delete(key); err != nil {
+		return err
+	}
+	n.world.record(Op{Node: n.name, Kind: OpDelete, Key: key})
+	return nil
+}
+
+// Keys implements backend.Backend.
+func (n *Node) Keys() ([]string, error) { return n.mem.Keys() }

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/storage/backend"
+)
+
+func TestWorldRecordsAndReplaysPrefixes(t *testing.T) {
+	w := NewWorld()
+	blobs := w.Node("blobs")
+	docs := w.Node("docs")
+
+	ops := []func() error{
+		func() error { return blobs.Put("m/params.bin", []byte("pppp")) },
+		func() error { return docs.Put("sets/s1", []byte(`{"id":"s1"}`)) },
+		func() error { return blobs.Delete("m/params.bin") },
+		func() error { return blobs.Put("m/arch.json", []byte("{}")) },
+	}
+	for i, op := range ops {
+		if err := op(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if w.Len() != 4 {
+		t.Fatalf("trace length = %d, want 4", w.Len())
+	}
+
+	type state map[string]map[string]string // node -> key -> value
+	want := []state{
+		{"blobs": {}, "docs": {}},
+		{"blobs": {"m/params.bin": "pppp"}, "docs": {}},
+		{"blobs": {"m/params.bin": "pppp"}, "docs": {"sets/s1": `{"id":"s1"}`}},
+		{"blobs": {}, "docs": {"sets/s1": `{"id":"s1"}`}},
+		{"blobs": {"m/arch.json": "{}"}, "docs": {"sets/s1": `{"id":"s1"}`}},
+	}
+	for n, ws := range want {
+		got := w.Replay(n)
+		for node, kv := range ws {
+			b, ok := got[node]
+			if !ok {
+				t.Fatalf("replay(%d): node %q missing", n, node)
+			}
+			keys, err := b.Keys()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(keys) != len(kv) {
+				t.Errorf("replay(%d) node %q: keys %v, want %d entries", n, node, keys, len(kv))
+			}
+			for k, v := range kv {
+				data, err := b.Get(k)
+				if err != nil || string(data) != v {
+					t.Errorf("replay(%d) node %q key %q: %q, %v; want %q", n, node, k, data, err, v)
+				}
+			}
+		}
+	}
+
+	// Replaying must not disturb the live world.
+	if data, err := blobs.Get("m/arch.json"); err != nil || string(data) != "{}" {
+		t.Fatalf("live node after replays: %q, %v", data, err)
+	}
+	// Out-of-range prefixes clamp.
+	if got := w.Replay(99); len(got) != 2 {
+		t.Errorf("replay(99) nodes = %d, want 2", len(got))
+	}
+	if keys, _ := w.Replay(-1)["blobs"].Keys(); len(keys) != 0 {
+		t.Errorf("replay(-1) blobs keys = %v, want empty", keys)
+	}
+}
+
+func TestReplayCopiesData(t *testing.T) {
+	w := NewWorld()
+	n := w.Node("blobs")
+	data := []byte("abc")
+	if err := n.Put("k", data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X' // mutating the caller's slice must not leak into the trace
+	got := w.Replay(1)
+	v, err := got["blobs"].Get("k")
+	if err != nil || !bytes.Equal(v, []byte("abc")) {
+		t.Fatalf("replayed value %q, %v; want abc", v, err)
+	}
+}
+
+func TestFailedOpsAreNotRecorded(t *testing.T) {
+	w := NewWorld()
+	n := w.Node("blobs")
+	if err := n.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Get("missing"); !backend.IsNotFound(err) {
+		t.Fatalf("Get missing: %v", err)
+	}
+	if w.Len() != 1 {
+		t.Fatalf("trace length = %d after failed read, want 1", w.Len())
+	}
+	// Reads never extend the trace.
+	if _, err := n.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.GetRange("k", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Size("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Keys(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 1 {
+		t.Fatalf("trace length = %d after reads, want 1", w.Len())
+	}
+}
+
+func TestNodeIsStablePerName(t *testing.T) {
+	w := NewWorld()
+	if w.Node("a") != w.Node("a") {
+		t.Error("Node returned distinct instances for one name")
+	}
+	if w.Node("a") == w.Node("b") {
+		t.Error("distinct names share a node")
+	}
+}

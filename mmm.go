@@ -109,6 +109,13 @@ type (
 	Scenario = core.Scenario
 	// Recommendation is Advise's ranked answer.
 	Recommendation = core.Recommendation
+	// FsckOptions configures a store-wide integrity check.
+	FsckOptions = core.FsckOptions
+	// FsckReport is the result of Fsck: committed sets seen, bytes
+	// checksummed, and every issue found.
+	FsckReport = core.FsckReport
+	// FsckIssue is one problem found by Fsck.
+	FsckIssue = core.FsckIssue
 )
 
 // Model and training types.
@@ -179,7 +186,20 @@ var (
 	// ErrBudgetExceeded reports a request that exceeds a configured
 	// size or compute budget.
 	ErrBudgetExceeded = core.ErrBudgetExceeded
+	// ErrChecksumMismatch reports a stored blob whose bytes no longer
+	// match the checksum recorded when it was written — bit rot or
+	// external modification, as opposed to the structural damage
+	// ErrCorruptBlob reports.
+	ErrChecksumMismatch = core.ErrChecksumMismatch
 )
+
+// Fsck checks the whole store across every approach's namespace:
+// verifies each blob against its recorded checksum, each committed set
+// against its referenced artifacts, and reports crash debris (orphaned
+// blobs and documents invisible to reads). With FsckOptions.Repair it
+// additionally deletes the orphans; damaged committed data is only ever
+// reported, never deleted.
+var Fsck = core.Fsck
 
 // NewModelSet builds n freshly initialized models of arch, seeded
 // reproducibly.
@@ -268,9 +288,24 @@ var (
 	Accuracy = nn.Accuracy
 )
 
+// StoreOptions configures OpenDirStoresWith.
+type StoreOptions struct {
+	// RetryAttempts wraps the blob and document backends in a retry
+	// layer that re-issues transiently failing operations up to this
+	// many total tries with exponential backoff. Values below 2 disable
+	// retrying. Every backend operation is idempotent, so retrying is
+	// always safe.
+	RetryAttempts int
+}
+
 // OpenDirStores returns stores persisted under dir (blobs/, docs/, and
 // datasets/ subdirectories), suitable for durable model management.
 func OpenDirStores(dir string) (Stores, error) {
+	return OpenDirStoresWith(dir, StoreOptions{})
+}
+
+// OpenDirStoresWith is OpenDirStores with explicit store options.
+func OpenDirStoresWith(dir string, opts StoreOptions) (Stores, error) {
 	blobs, err := backend.NewDir(dir + "/blobs")
 	if err != nil {
 		return Stores{}, fmt.Errorf("mmm: opening blob store: %w", err)
@@ -283,9 +318,14 @@ func OpenDirStores(dir string) (Stores, error) {
 	if err != nil {
 		return Stores{}, fmt.Errorf("mmm: opening dataset registry: %w", err)
 	}
+	var blobBE, docBE backend.Backend = blobs, docs
+	if opts.RetryAttempts > 1 {
+		blobBE = &backend.Retry{Inner: blobBE, Attempts: opts.RetryAttempts}
+		docBE = &backend.Retry{Inner: docBE, Attempts: opts.RetryAttempts}
+	}
 	return Stores{
-		Docs:     docstore.New(docs, latency.CostModel{}, nil),
-		Blobs:    blobstore.New(blobs, latency.CostModel{}, nil),
+		Docs:     docstore.New(docBE, latency.CostModel{}, nil),
+		Blobs:    blobstore.New(blobBE, latency.CostModel{}, nil),
 		Datasets: reg,
 	}, nil
 }
