@@ -235,7 +235,7 @@ func run(ctx context.Context, args []string) error {
 
 	case "fsck":
 		report, err := mmm.Fsck(stores, mmm.FsckOptions{Repair: *repair})
-		if err != nil {
+		if report == nil {
 			return err
 		}
 		fmt.Printf("checked %d set(s), verified %.3f MB of blob data\n",
@@ -243,8 +243,11 @@ func run(ctx context.Context, args []string) error {
 		for _, issue := range report.Issues {
 			fmt.Println(issue)
 		}
-		if report.Damaged() {
-			return fmt.Errorf("store damaged: %d issue(s) concern committed data", len(report.Issues))
+		if err != nil {
+			return err
+		}
+		if n := report.DamagedCount(); n > 0 {
+			return fmt.Errorf("store damaged: %d issue(s) concern committed data", n)
 		}
 		if len(report.Issues) > 0 && !*repair {
 			return fmt.Errorf("%d orphan(s) found (rerun with -repair to delete)", len(report.Issues))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -55,6 +56,8 @@ type FsckIssue struct {
 	Orphan bool `json:"orphan,omitempty"`
 	// Repaired reports that this run deleted the orphan.
 	Repaired bool `json:"repaired,omitempty"`
+	// RepairError records why this run failed to delete the orphan.
+	RepairError string `json:"repair_error,omitempty"`
 }
 
 func (i FsckIssue) String() string {
@@ -68,6 +71,9 @@ func (i FsckIssue) String() string {
 	s := fmt.Sprintf("[%s] %s: %s", i.Kind, loc, i.Problem)
 	if i.Repaired {
 		s += " (repaired)"
+	}
+	if i.RepairError != "" {
+		s += " (repair failed: " + i.RepairError + ")"
 	}
 	return s
 }
@@ -95,13 +101,17 @@ func (r *FsckReport) Clean() bool { return len(r.Issues) == 0 }
 
 // Damaged reports whether any issue concerns committed data (anything
 // beyond deletable orphans).
-func (r *FsckReport) Damaged() bool {
+func (r *FsckReport) Damaged() bool { return r.DamagedCount() > 0 }
+
+// DamagedCount counts the issues that concern committed data.
+func (r *FsckReport) DamagedCount() int {
+	n := 0
 	for _, i := range r.Issues {
 		if !i.Orphan {
-			return true
+			n++
 		}
 	}
-	return false
+	return n
 }
 
 // refSet is the closure of artifacts committed sets reference.
@@ -112,10 +122,20 @@ type refSet struct {
 	// analysis is incomplete (unreadable set metadata): orphan
 	// classification there would risk deleting live data.
 	unsafePrefix map[string]bool
+	// unsafeCols marks document collections with the same problem: the
+	// per-set auxiliary documents cannot be enumerated without the set
+	// metadata, so nothing in these collections may be classified as an
+	// orphan.
+	unsafeCols map[string]bool
 }
 
 func newRefSet() *refSet {
-	return &refSet{blobs: map[string]bool{}, docs: map[[2]string]bool{}, unsafePrefix: map[string]bool{}}
+	return &refSet{
+		blobs:        map[string]bool{},
+		docs:         map[[2]string]bool{},
+		unsafePrefix: map[string]bool{},
+		unsafeCols:   map[string]bool{},
+	}
 }
 
 func (r *refSet) blob(key string)    { r.blobs[key] = true }
@@ -154,7 +174,12 @@ func references(st Stores) (refs *refSet, sets int, err error) {
 		refs.doc(mmlibSetCollection, id)
 		meta, err := loadMeta(st, mmlibSetCollection, id)
 		if err != nil {
+			// The per-model document IDs need meta.NumModels; without it
+			// none of the auxiliary collections can be classified safely.
 			refs.unsafePrefix[mmlibBlobPrefix] = true
+			refs.unsafeCols[mmlibMetaCollection] = true
+			refs.unsafeCols[mmlibEnvCollection] = true
+			refs.unsafeCols[mmlibCodeCollection] = true
 			continue
 		}
 		for i := 0; i < meta.NumModels; i++ {
@@ -193,7 +218,11 @@ func references(st Stores) (refs *refSet, sets int, err error) {
 		refs.doc(updateHashCollection, id)
 		meta, err := loadMeta(st, updateCollection, id)
 		if err != nil {
+			// Kind is unknown, so reference the diff document too (its ID
+			// is the set ID): a reference to a document that turns out not
+			// to exist only suppresses orphan classification.
 			refs.unsafePrefix[updateBlobPrefix] = true
+			refs.doc(updateDiffCollection, id)
 			continue
 		}
 		if meta.Kind == "full" {
@@ -215,6 +244,8 @@ func references(st Stores) (refs *refSet, sets int, err error) {
 		meta, err := loadMeta(st, provenanceCollection, id)
 		if err != nil {
 			refs.unsafePrefix[provenanceBlobPrefix] = true
+			refs.doc(provenanceTrainCollection, id)
+			refs.doc(provenanceUpdateCollection, id)
 			continue
 		}
 		if meta.Kind == "full" {
@@ -240,6 +271,8 @@ func ownedPrefix(key string) string {
 // Fsck checks the whole store: per-blob checksums, set completeness for
 // every approach, and the absence of orphaned partial writes. With
 // opts.Repair, orphans are deleted; everything else is only reported.
+// When repairs fail the full report is still returned alongside the
+// aggregate error, with each failure recorded on its issue.
 func Fsck(st Stores, opts FsckOptions) (*FsckReport, error) {
 	report := &FsckReport{}
 	refs, sets, err := references(st)
@@ -313,6 +346,9 @@ func Fsck(st Stores, opts FsckOptions) (*FsckReport, error) {
 
 	// Direction 2c: no unreferenced documents in owned collections.
 	for _, col := range fsckCollections {
+		if refs.unsafeCols[col] {
+			continue
+		}
 		ids, err := st.Docs.IDs(col)
 		if err != nil {
 			return nil, err
@@ -344,24 +380,37 @@ func Fsck(st Stores, opts FsckOptions) (*FsckReport, error) {
 	})
 
 	if opts.Repair {
+		// One failed deletion must not abandon the rest of the repairs
+		// (or the report): record it on the issue, keep going, and hand
+		// the caller the full report next to the aggregate error.
+		var repairErrs []error
 		for k := range report.Issues {
 			issue := &report.Issues[k]
 			if !issue.Orphan {
 				continue
 			}
+			var err error
 			switch {
 			case issue.Key != "":
 				// Blobs.Delete removes the blob and its manifest entry;
 				// for dangling manifests the blob half is a no-op.
-				if err := st.Blobs.Delete(issue.Key); err != nil {
-					return nil, fmt.Errorf("core: fsck repair of blob %q: %w", issue.Key, err)
+				if err = st.Blobs.Delete(issue.Key); err != nil {
+					err = fmt.Errorf("core: fsck repair of blob %q: %w", issue.Key, err)
 				}
 			case issue.Collection != "":
-				if err := st.Docs.Delete(issue.Collection, issue.DocID); err != nil {
-					return nil, fmt.Errorf("core: fsck repair of %s/%s: %w", issue.Collection, issue.DocID, err)
+				if err = st.Docs.Delete(issue.Collection, issue.DocID); err != nil {
+					err = fmt.Errorf("core: fsck repair of %s/%s: %w", issue.Collection, issue.DocID, err)
 				}
 			}
+			if err != nil {
+				issue.RepairError = err.Error()
+				repairErrs = append(repairErrs, err)
+				continue
+			}
 			issue.Repaired = true
+		}
+		if len(repairErrs) > 0 {
+			return report, errors.Join(repairErrs...)
 		}
 	}
 	return report, nil

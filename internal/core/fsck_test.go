@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -188,6 +189,117 @@ func TestFsckRepairDeletesOnlyOrphans(t *testing.T) {
 				t.Errorf("%s recover %s after repair: %v", name, id, err)
 			}
 		}
+	}
+}
+
+// TestFsckRepairSparesAuxiliaryDocsOnUnreadableMeta corrupts each
+// approach's set metadata document in place — the bit-rot case fsck
+// targets — and asserts that repair deletes NOTHING: with the metadata
+// unreadable, reference analysis cannot tell the set's auxiliary
+// documents (update diffs, per-model mmlib docs, provenance replay
+// docs) from crash debris, so none of them may be classified as
+// orphans.
+func TestFsckRepairSparesAuxiliaryDocsOnUnreadableMeta(t *testing.T) {
+	st, blobBE, docBE := rawStores()
+	saved := populateAllApproaches(t, st)
+
+	corruptDoc := func(col, id string) {
+		t.Helper()
+		if err := docBE.Put(col+"/"+id+".json", []byte("{broken")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corruptDoc(mmlibSetCollection, saved["MMlibBase"][0])
+	corruptDoc(updateCollection, saved["Update"][1])         // derived set: has diff artifacts
+	corruptDoc(provenanceCollection, saved["Provenance"][1]) // derived set: has replay docs
+
+	blobsBefore, err := blobBE.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	docsBefore, err := docBE.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := Fsck(st, FsckOptions{Repair: true})
+	if err != nil {
+		t.Fatalf("fsck: %v", err)
+	}
+	if report.Clean() {
+		t.Fatal("unreadable metadata undetected")
+	}
+	for _, issue := range report.Issues {
+		if issue.Orphan {
+			t.Errorf("artifact of set with unreadable metadata classified as orphan: %+v", issue)
+		}
+	}
+
+	blobsAfter, err := blobBE.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	docsAfter, err := docBE.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(blobsBefore, blobsAfter) {
+		t.Errorf("repair deleted blobs:\nbefore %v\nafter  %v", blobsBefore, blobsAfter)
+	}
+	if !reflect.DeepEqual(docsBefore, docsAfter) {
+		t.Errorf("repair deleted documents:\nbefore %v\nafter  %v", docsBefore, docsAfter)
+	}
+}
+
+func TestFsckRepairContinuesPastDeleteFailures(t *testing.T) {
+	blobBE := backend.NewFaulty(backend.NewMem())
+	st := Stores{
+		Docs:     docstore.New(backend.NewMem(), latency.CostModel{}, nil),
+		Blobs:    blobstore.New(blobBE, latency.CostModel{}, nil),
+		Datasets: dataset.NewRegistry(),
+	}
+	// Two orphan blobs and one orphan document, repair order: the
+	// baseline blob first (issues sort by kind, then key).
+	if err := st.Blobs.Put("baseline/bl-000001/params.bin", []byte("torn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Blobs.Put("update/up-000002/diff.bin", []byte("torn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Docs.Insert(updateHashCollection, "up-000002", hashDoc{}); err != nil {
+		t.Fatal(err)
+	}
+
+	blobBE.FailNextDeletes(1)
+	report, err := Fsck(st, FsckOptions{Repair: true})
+	if err == nil {
+		t.Fatal("repair failure not surfaced as an error")
+	}
+	if report == nil {
+		t.Fatal("report discarded on repair failure")
+	}
+	var failed, repaired int
+	for _, issue := range report.Issues {
+		switch {
+		case issue.RepairError != "":
+			failed++
+			if issue.Repaired {
+				t.Errorf("issue both repaired and failed: %+v", issue)
+			}
+		case issue.Repaired:
+			repaired++
+		}
+	}
+	if failed != 1 || repaired != 2 {
+		t.Fatalf("failed=%d repaired=%d, want 1 and 2; issues: %v", failed, repaired, report.Issues)
+	}
+
+	// A rerun without faults finishes the job.
+	if report := mustFsck(t, st, FsckOptions{Repair: true}); len(report.Issues) != 1 {
+		t.Fatalf("rerun issues = %v, want the one surviving orphan", report.Issues)
+	}
+	if report := mustFsck(t, st, FsckOptions{}); !report.Clean() {
+		t.Fatalf("store dirty after rerun: %v", report.Issues)
 	}
 }
 

@@ -53,19 +53,36 @@ func NewMem() *Store {
 
 // Put stores data under key and records its checksums in the store
 // manifest. The blob is written first, so a manifest entry's presence
-// implies its blob completed; if the manifest write fails, the blob is
-// removed again so no half-committed pair remains. Manifest traffic is
-// bookkeeping and is charged to neither the statistics nor the latency
-// model.
+// implies its blob completed; if the manifest write fails, a fresh key
+// is removed again so no half-committed pair remains, and an
+// overwritten key is restored to its previous committed value — a
+// transient bookkeeping failure must not destroy data that was already
+// durable. Manifest traffic is bookkeeping and is charged to neither
+// the statistics nor the latency model.
 func (s *Store) Put(key string, data []byte) error {
 	if strings.HasPrefix(key, manifestPrefix) {
 		return fmt.Errorf("storage: key %q is in the reserved %q namespace", key, manifestPrefix)
 	}
+	old, oldErr := s.backend.Get(key)
 	if err := s.backend.Put(key, data); err != nil {
 		return err
 	}
 	if err := s.writeManifest(key, data); err != nil {
-		_ = s.backend.Delete(key)
+		switch {
+		case oldErr == nil:
+			// Overwrite: put the old bytes back. Its manifest entry was
+			// never touched, so the restored pair verifies again. If the
+			// restore itself fails, the new bytes stay behind the old
+			// manifest and fsck reports the mismatch instead of losing
+			// the key outright.
+			_ = s.backend.Put(key, old)
+		case backend.IsNotFound(oldErr):
+			_ = s.backend.Delete(key)
+		default:
+			// Existence unknown (the snapshot read failed): deleting
+			// could destroy a committed blob, so leave the bytes for
+			// fsck.
+		}
 		return err
 	}
 	s.mu.Lock()

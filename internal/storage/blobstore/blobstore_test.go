@@ -1,6 +1,7 @@
 package blobstore
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -62,6 +63,61 @@ func TestStatsNotCountedOnError(t *testing.T) {
 	}
 	if st := s.Stats(); st.PutOps != 0 || st.BytesWritten != 0 {
 		t.Errorf("failed write counted: %+v", st)
+	}
+}
+
+func TestPutManifestFailureRollsBackFreshKey(t *testing.T) {
+	f := backend.NewFaulty(backend.NewMem())
+	s := New(f, latency.CostModel{}, nil)
+	f.FailPutsAfter(1) // blob write succeeds, manifest write fails
+	if err := s.Put("a", []byte("torn")); err == nil {
+		t.Fatal("Put succeeded despite manifest write failure")
+	}
+	f.FailPutsAfter(-1)
+	if _, err := s.Get("a"); !backend.IsNotFound(err) {
+		t.Fatalf("half-committed fresh key survived rollback: %v", err)
+	}
+	if keys, _ := s.Keys(); len(keys) != 0 {
+		t.Fatalf("Keys after rollback = %v, want none", keys)
+	}
+}
+
+// manifestFaulty fails Puts into the manifest namespace while letting
+// blob writes (including Put's rollback restore) through, modeling a
+// transient failure of exactly the bookkeeping write.
+type manifestFaulty struct {
+	backend.Backend
+	fail bool
+}
+
+func (b *manifestFaulty) Put(key string, data []byte) error {
+	if b.fail && strings.HasPrefix(key, manifestPrefix) {
+		return backend.ErrInjected
+	}
+	return b.Backend.Put(key, data)
+}
+
+func TestPutManifestFailurePreservesOverwrittenBlob(t *testing.T) {
+	f := &manifestFaulty{Backend: backend.NewMem()}
+	s := New(f, latency.CostModel{}, nil)
+	oldValue := []byte("old committed value")
+	if err := s.Put("a", oldValue); err != nil {
+		t.Fatal(err)
+	}
+	f.fail = true // blob overwrite succeeds, manifest write fails
+	if err := s.Put("a", []byte("replacement")); err == nil {
+		t.Fatal("Put succeeded despite manifest write failure")
+	}
+	f.fail = false
+	got, err := s.Get("a")
+	if err != nil {
+		t.Fatalf("previous committed value unreadable after failed overwrite: %v", err)
+	}
+	if string(got) != string(oldValue) {
+		t.Fatalf("Get = %q, want the previous committed value %q", got, oldValue)
+	}
+	if issues, _, err := s.Integrity(); err != nil || len(issues) != 0 {
+		t.Fatalf("store inconsistent after failed overwrite: %v, %v", issues, err)
 	}
 }
 
