@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fsck-smoke fuzz check bench
+.PHONY: build test vet race fsck-smoke metrics-smoke fuzz check bench
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,33 @@ fsck-smoke: build
 	fi; \
 	echo "fsck-smoke OK: corruption detected"
 
+# End-to-end observability smoke test: start mmserve on a scratch
+# store, save a tiny set over HTTP, and assert /metrics exposes a
+# nonzero TTS histogram plus backend counters.
+metrics-smoke: build
+	@set -eu; \
+	tmp=$$(mktemp -d); \
+	srv=; \
+	trap 'test -z "$$srv" || kill "$$srv" 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/mmserve" ./cmd/mmserve; \
+	"$$tmp/mmserve" -dir "$$tmp/store" -addr 127.0.0.1:18471 >/dev/null 2>&1 & srv=$$!; \
+	up=; \
+	for i in $$(seq 1 50); do \
+		if curl -sf http://127.0.0.1:18471/healthz >/dev/null 2>&1; then up=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	test -n "$$up" || { echo "metrics-smoke FAILED: server never came up"; exit 1; }; \
+	printf '%s' '{"arch":{"name":"smoke-ffnn","input":[4],"layers":[{"name":"fc1","kind":"linear","in":4,"out":1}]},"num_models":2}' > "$$tmp/manifest.json"; \
+	head -c 40 /dev/zero > "$$tmp/params.bin"; \
+	curl -sf -F "manifest=<$$tmp/manifest.json" -F "params=@$$tmp/params.bin" \
+		http://127.0.0.1:18471/api/baseline/sets >/dev/null; \
+	curl -sf http://127.0.0.1:18471/metrics > "$$tmp/metrics.txt"; \
+	grep -Eq 'mmm_save_seconds_count\{approach="Baseline"\} [1-9]' "$$tmp/metrics.txt" || { \
+		echo "metrics-smoke FAILED: no nonzero TTS histogram"; exit 1; }; \
+	grep -q 'mmm_backend_ops_total' "$$tmp/metrics.txt" || { \
+		echo "metrics-smoke FAILED: no backend counters"; exit 1; }; \
+	echo "metrics-smoke OK: /metrics exposes save timings"
+
 # Short-budget fuzzing of the two property suites: checksummed blob
 # round trips and the sim-vs-dir backend oracle. The committed seed
 # corpora under testdata/fuzz/ always run; the small time budget adds
@@ -44,7 +71,7 @@ fuzz:
 # The full gate: compile everything, vet, run the suite twice —
 # once plain, once under the race detector — then the durability
 # smoke test and the short fuzz pass.
-check: build vet test race fsck-smoke fuzz
+check: build vet test race fsck-smoke metrics-smoke fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"github.com/mmm-go/mmm/internal/dataset"
+	"github.com/mmm-go/mmm/internal/obs"
 )
 
 func main() {
@@ -30,14 +32,24 @@ func main() {
 		seed    = flag.Uint64("seed", 2023, "root seed")
 		list    = flag.Bool("list", false, "list registered datasets and exit")
 		show    = flag.String("show", "", "print a dataset's spec and summary stats")
+		verbose = flag.Bool("v", false, "print a metrics snapshot to stderr when done")
 	)
 	flag.Parse()
 
+	if *verbose {
+		defer fmt.Fprintf(os.Stderr, "\nmetrics:\n%s", obs.Default.Summary())
+	}
 	if err := run(*dir, *kind, *cells, *cycles, *samples, *noise, *soh, *sohDec, *seed, *list, *show); err != nil {
 		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
 		os.Exit(1)
 	}
 }
+
+// Dataset-generation metric families.
+const (
+	metricDatasets       = "mmm_datasets_generated_total"
+	metricDatasetSeconds = "mmm_dataset_generate_seconds"
+)
 
 func run(dir, kind string, cells, cycles, samples int, noise, soh, sohDec float64, seed uint64, list bool, show string) error {
 	reg, err := dataset.OpenRegistry(dir)
@@ -87,10 +99,15 @@ func run(dir, kind string, cells, cycles, samples int, noise, soh, sohDec float6
 				spec.SoH = 0
 				spec.NoiseStd = 0
 			}
+			start := time.Now()
 			id, err := reg.Put(spec)
 			if err != nil {
 				return fmt.Errorf("cell %d cycle %d: %w", cell, cycle, err)
 			}
+			obs.Default.Describe(metricDatasets, "Datasets generated and registered, by kind.")
+			obs.Default.Counter(metricDatasets, obs.L("kind", kind)).Inc()
+			obs.Default.Describe(metricDatasetSeconds, "Dataset generation and registration latency in seconds.")
+			obs.Default.Histogram(metricDatasetSeconds, obs.TimeBuckets).Observe(time.Since(start).Seconds())
 			fmt.Printf("registered %s (cell %d, cycle %d, SoH %.2f)\n", id, cell, cycle, cycleSoH)
 		}
 	}

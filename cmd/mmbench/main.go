@@ -36,6 +36,7 @@ import (
 
 	"github.com/mmm-go/mmm/internal/core"
 	"github.com/mmm-go/mmm/internal/experiments"
+	"github.com/mmm-go/mmm/internal/obs"
 	"github.com/mmm-go/mmm/internal/storage/latency"
 	"github.com/mmm-go/mmm/internal/workload"
 )
@@ -54,6 +55,7 @@ func main() {
 		rate    = flag.Float64("rate", 0.10, "total update rate per cycle (half full, half partial)")
 		workers = flag.Int("workers", 1, "save/recover concurrency (1 = paper-faithful serial timing)")
 		csv     = flag.Bool("csv", false, "emit series as CSV instead of tables")
+		metrics = flag.Bool("metrics", false, "print a metrics snapshot after each experiment (suppressed under -csv)")
 	)
 	flag.Parse()
 
@@ -80,7 +82,15 @@ func main() {
 	run := func(name string) error {
 		start := time.Now()
 		fmt.Printf("== %s ==\n", name)
-		defer func() { fmt.Printf("   (%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond)) }()
+		// Each experiment gets a clean metrics window so the snapshot
+		// attributes operations to this experiment alone.
+		obs.Default.Reset()
+		defer func() {
+			if *metrics && !*csv {
+				fmt.Printf("-- metrics (%s) --\n%s", name, obs.Default.Summary())
+			}
+			fmt.Printf("   (%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		}()
 		switch name {
 		case "storage":
 			s, err := experiments.RunStorage(opts)

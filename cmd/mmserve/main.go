@@ -20,6 +20,11 @@
 //	POST /api/{approach}/prune                   {"keep": ["..."]}
 //	POST /api/datasets                           register a dataset spec
 //	GET  /api/datasets
+//	GET  /metrics                                Prometheus text format
+//
+// With -debug-addr, net/http/pprof profiling handlers are served on a
+// second, separate listener (keep it loopback-only; profiles expose
+// internals that the data API should not).
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	mmm "github.com/mmm-go/mmm"
@@ -35,14 +41,18 @@ import (
 
 func main() {
 	var (
-		dir  = flag.String("dir", "./mmstore-data", "store directory")
-		addr = flag.String("addr", ":8080", "listen address")
+		dir       = flag.String("dir", "./mmstore-data", "store directory")
+		addr      = flag.String("addr", ":8080", "listen address")
+		debugAddr = flag.String("debug-addr", "", "optional address for net/http/pprof (e.g. localhost:6060); disabled when empty")
 	)
 	flag.Parse()
 
 	stores, err := mmm.OpenDirStores(*dir)
 	if err != nil {
 		log.Fatalf("mmserve: %v", err)
+	}
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -52,6 +62,23 @@ func main() {
 	fmt.Printf("mmserve: serving %s on %s\n", *dir, *addr)
 	if err := srv.ListenAndServe(); err != nil {
 		log.Fatalf("mmserve: %v", err)
+	}
+}
+
+// serveDebug runs the pprof handlers on their own mux and listener so
+// profiling never shares a port (or an accidental route) with the data
+// API.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	fmt.Printf("mmserve: pprof on %s/debug/pprof/\n", addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Printf("mmserve: pprof server: %v", err)
 	}
 }
 

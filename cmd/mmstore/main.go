@@ -67,6 +67,7 @@ func run(ctx context.Context, args []string) error {
 		workers  = fs.Int("workers", 1, "save/recover concurrency (1 = serial)")
 		retries  = fs.Int("retries", 1, "total tries per store operation (>1 retries transient I/O errors)")
 		repair   = fs.Bool("repair", false, "fsck: delete orphaned crash debris")
+		verbose  = fs.Bool("v", false, "print a metrics snapshot to stderr after the command")
 	)
 	keep := fs.String("keep", "", "comma-separated set IDs to keep for prune")
 	out := fs.String("out", "", "output path for export/extract")
@@ -79,6 +80,13 @@ func run(ctx context.Context, args []string) error {
 	cmd := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	if *verbose {
+		// Deferred so the snapshot also covers failed commands — the
+		// error counters are exactly what -v is for then.
+		defer func() {
+			fmt.Fprintf(os.Stderr, "\nmetrics:\n%s", mmm.DefaultMetrics.Summary())
+		}()
 	}
 
 	stores, err := mmm.OpenDirStoresWith(*dir, mmm.StoreOptions{RetryAttempts: *retries})

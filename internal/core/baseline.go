@@ -16,6 +16,7 @@ type Baseline struct {
 	stores  Stores
 	ids     idAllocator
 	workers int
+	metrics *approachObs
 }
 
 // collection and blob namespace of Baseline.
@@ -27,7 +28,8 @@ const (
 // NewBaseline returns a Baseline approach over the given stores.
 func NewBaseline(stores Stores, opts ...Option) *Baseline {
 	s := newSettings(opts)
-	return &Baseline{stores: stores, ids: idAllocator{prefix: "bl"}, workers: s.workers}
+	return &Baseline{stores: stores, ids: idAllocator{prefix: "bl"}, workers: s.workers,
+		metrics: newApproachObs(s.metrics, "Baseline")}
 }
 
 // Name implements Approach.
@@ -37,6 +39,14 @@ func (b *Baseline) Name() string { return "Baseline" }
 // sets identically: every save is a full, self-contained snapshot, so
 // req.Base and req.Updates are ignored by design.
 func (b *Baseline) SaveContext(ctx context.Context, req SaveRequest) (SaveResult, error) {
+	sp := b.metrics.begin("save", "")
+	res, err := b.save(ctx, req)
+	sp.SetID = res.SetID
+	b.metrics.endSave(sp, res, err)
+	return res, err
+}
+
+func (b *Baseline) save(ctx context.Context, req SaveRequest) (SaveResult, error) {
 	if err := validateSave(req); err != nil {
 		return SaveResult{}, err
 	}
@@ -68,6 +78,13 @@ func (b *Baseline) Save(req SaveRequest) (SaveResult, error) {
 // RecoverContext implements Approach: load metadata and architecture,
 // then decode all parameters from the single binary file.
 func (b *Baseline) RecoverContext(ctx context.Context, setID string) (*ModelSet, error) {
+	sp := b.metrics.begin("recover", setID)
+	set, err := b.recover(ctx, setID)
+	b.metrics.endRecover(sp, 0, err)
+	return set, err
+}
+
+func (b *Baseline) recover(ctx context.Context, setID string) (*ModelSet, error) {
 	meta, err := loadMeta(b.stores, baselineCollection, setID)
 	if err != nil {
 		return nil, err

@@ -23,6 +23,12 @@ var (
 	// resource budget (e.g. the server's per-save payload limit).
 	ErrBudgetExceeded = errors.New("core: budget exceeded")
 
+	// ErrBaseMismatch reports a derived save whose set is structurally
+	// incompatible with its declared base (different architecture or
+	// parameter count). Accepting such a save would persist a set that
+	// recovers corrupt or not at all.
+	ErrBaseMismatch = errors.New("core: set incompatible with base")
+
 	// ErrChecksumMismatch reports that a stored blob's bytes no longer
 	// match the checksums recorded when it was written — bit rot or
 	// external tampering, as opposed to the structural damage

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+
+	"github.com/mmm-go/mmm/internal/obs"
+)
+
+// Metric families recorded by the approaches. The names are exported so
+// dashboards, the server, and tests reference one definition; the
+// backend-level counters live in the backend package.
+const (
+	// MetricSaveSeconds is the TTS histogram, labeled by approach.
+	MetricSaveSeconds = "mmm_save_seconds"
+	// MetricRecoverSeconds is the TTR histogram, labeled by approach.
+	MetricRecoverSeconds = "mmm_recover_seconds"
+	// MetricPartialRecoverSeconds times selective recoveries.
+	MetricPartialRecoverSeconds = "mmm_partial_recover_seconds"
+	// MetricOps counts operations, labeled by approach and op.
+	MetricOps = "mmm_ops_total"
+	// MetricOpErrors counts failed operations.
+	MetricOpErrors = "mmm_op_errors_total"
+	// MetricSaveBytes counts bytes written by successful saves.
+	MetricSaveBytes = "mmm_save_bytes_total"
+	// MetricSaveWriteOps counts store writes issued by successful saves.
+	MetricSaveWriteOps = "mmm_save_write_ops_total"
+	// MetricDiffBytes is the per-derived-save diff blob size histogram.
+	MetricDiffBytes = "mmm_update_diff_bytes"
+	// MetricDiffEntries counts changed layers across derived saves.
+	MetricDiffEntries = "mmm_update_diff_entries_total"
+	// MetricChainDepth is the recovery-chain length walked per recovery.
+	MetricChainDepth = "mmm_recover_chain_depth"
+	// MetricIntegrityFailures counts recoveries/saves failing integrity
+	// checks, labeled by kind ("checksum" or "corrupt").
+	MetricIntegrityFailures = "mmm_integrity_failures_total"
+)
+
+// approachObs records one approach's operations into an obs.Registry:
+// TTS/TTR histograms, operation and error counters, diff volumes, chain
+// depths, and integrity failures — the paper's evaluation quantities as
+// runtime signals.
+type approachObs struct {
+	reg      *obs.Registry
+	approach string
+}
+
+func newApproachObs(reg *obs.Registry, approach string) *approachObs {
+	if reg == nil {
+		reg = obs.Default
+	}
+	reg.Describe(MetricSaveSeconds, "Time to save a model set (TTS), in seconds.")
+	reg.Describe(MetricRecoverSeconds, "Time to recover a model set (TTR), in seconds.")
+	reg.Describe(MetricPartialRecoverSeconds, "Time to recover selected models of a set, in seconds.")
+	reg.Describe(MetricOps, "Save/recover operations started, by approach and operation.")
+	reg.Describe(MetricOpErrors, "Save/recover operations that failed, by approach and operation.")
+	reg.Describe(MetricSaveBytes, "Bytes written by successful saves, by approach.")
+	reg.Describe(MetricSaveWriteOps, "Store writes issued by successful saves, by approach.")
+	reg.Describe(MetricDiffBytes, "Diff blob size per derived Update save, in bytes.")
+	reg.Describe(MetricDiffEntries, "Changed layers persisted across derived Update saves.")
+	reg.Describe(MetricChainDepth, "Recovery-chain length walked per recovery.")
+	reg.Describe(MetricIntegrityFailures, "Operations failed on integrity checks, by approach and kind.")
+	return &approachObs{reg: reg, approach: approach}
+}
+
+func (o *approachObs) label() obs.Label { return obs.L("approach", o.approach) }
+
+// begin opens a trace span for op on setID (setID may still be unknown
+// for saves; the caller fills it in once allocated).
+func (o *approachObs) begin(op, setID string) *obs.Span {
+	return obs.StartSpan(op, o.approach, setID)
+}
+
+// endSave closes sp and records the save: TTS and write costs on
+// success, error and integrity counters on failure.
+func (o *approachObs) endSave(sp *obs.Span, res SaveResult, err error) {
+	sp.End(err)
+	l := o.label()
+	o.reg.Counter(MetricOps, l, obs.L("op", sp.Op)).Inc()
+	if err != nil {
+		o.reg.Counter(MetricOpErrors, l, obs.L("op", sp.Op)).Inc()
+		o.integrity(err)
+		return
+	}
+	o.reg.Histogram(MetricSaveSeconds, obs.TimeBuckets, l).Observe(sp.Duration().Seconds())
+	o.reg.Counter(MetricSaveBytes, l).Add(res.BytesWritten)
+	o.reg.Counter(MetricSaveWriteOps, l).Add(res.WriteOps)
+}
+
+// endRecover closes sp and records the recovery: TTR (full or partial,
+// by sp.Op) and the chain depth walked on success, error and integrity
+// counters on failure. depth < 0 means "no chain" and skips the depth
+// histogram.
+func (o *approachObs) endRecover(sp *obs.Span, depth int, err error) {
+	sp.End(err)
+	l := o.label()
+	o.reg.Counter(MetricOps, l, obs.L("op", sp.Op)).Inc()
+	if err != nil {
+		o.reg.Counter(MetricOpErrors, l, obs.L("op", sp.Op)).Inc()
+		o.integrity(err)
+		return
+	}
+	name := MetricRecoverSeconds
+	if sp.Op == "partial_recover" {
+		name = MetricPartialRecoverSeconds
+	}
+	o.reg.Histogram(name, obs.TimeBuckets, l).Observe(sp.Duration().Seconds())
+	if depth >= 0 {
+		o.reg.Histogram(MetricChainDepth, obs.DepthBuckets, l).Observe(float64(depth))
+	}
+}
+
+// integrity classifies err into the integrity-failure counter; other
+// error kinds (cancellations, I/O) are counted by MetricOpErrors only.
+func (o *approachObs) integrity(err error) {
+	var kind string
+	switch {
+	case errors.Is(err, ErrChecksumMismatch):
+		kind = "checksum"
+	case errors.Is(err, ErrCorruptBlob):
+		kind = "corrupt"
+	default:
+		return
+	}
+	o.reg.Counter(MetricIntegrityFailures, o.label(), obs.L("kind", kind)).Inc()
+}
+
+// diffStats records one derived save's diff volume.
+func (o *approachObs) diffStats(entries, blobBytes int) {
+	o.reg.Histogram(MetricDiffBytes, obs.SizeBuckets, o.label()).Observe(float64(blobBytes))
+	o.reg.Counter(MetricDiffEntries, o.label()).Add(int64(entries))
+}

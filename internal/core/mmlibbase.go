@@ -22,6 +22,7 @@ type MMlibBase struct {
 	stores  Stores
 	ids     idAllocator
 	workers int
+	metrics *approachObs
 }
 
 // Collections and blob namespace of MMlibBase.
@@ -36,7 +37,8 @@ const (
 // NewMMlibBase returns an MMlibBase approach over the given stores.
 func NewMMlibBase(stores Stores, opts ...Option) *MMlibBase {
 	s := newSettings(opts)
-	return &MMlibBase{stores: stores, ids: idAllocator{prefix: "ml"}, workers: s.workers}
+	return &MMlibBase{stores: stores, ids: idAllocator{prefix: "ml"}, workers: s.workers,
+		metrics: newApproachObs(s.metrics, "MMlib-base")}
 }
 
 // Name implements Approach.
@@ -75,6 +77,14 @@ type codeDoc struct {
 // per-model bundles are independent, so they are written by the worker
 // pool; the set document that makes the save visible is written last.
 func (m *MMlibBase) SaveContext(ctx context.Context, req SaveRequest) (SaveResult, error) {
+	sp := m.metrics.begin("save", "")
+	res, err := m.save(ctx, req)
+	sp.SetID = res.SetID
+	m.metrics.endSave(sp, res, err)
+	return res, err
+}
+
+func (m *MMlibBase) save(ctx context.Context, req SaveRequest) (SaveResult, error) {
 	if err := validateSave(req); err != nil {
 		return SaveResult{}, err
 	}
@@ -161,6 +171,13 @@ func (m *MMlibBase) Save(req SaveRequest) (SaveResult, error) {
 // the worker pool; model slots commit by index, and the set's shared
 // architecture is deterministically taken from model 0's bundle.
 func (m *MMlibBase) RecoverContext(ctx context.Context, setID string) (*ModelSet, error) {
+	sp := m.metrics.begin("recover", setID)
+	set, err := m.recover(ctx, setID)
+	m.metrics.endRecover(sp, 0, err)
+	return set, err
+}
+
+func (m *MMlibBase) recover(ctx context.Context, setID string) (*ModelSet, error) {
 	meta, err := loadMeta(m.stores, mmlibSetCollection, setID)
 	if err != nil {
 		return nil, err

@@ -1,12 +1,18 @@
 package core
 
-import "github.com/mmm-go/mmm/internal/core/pool"
+import (
+	"github.com/mmm-go/mmm/internal/core/pool"
+	"github.com/mmm-go/mmm/internal/obs"
+)
 
 // settings holds the resolved construction options shared by all
 // approaches.
 type settings struct {
 	// workers bounds the approach's per-model concurrency.
 	workers int
+	// metrics is the registry operations record into (obs.Default when
+	// unset).
+	metrics *obs.Registry
 }
 
 // Option configures an approach at construction time.
@@ -28,9 +34,17 @@ func WithConcurrency(n int) Option {
 	}
 }
 
+// WithMetrics directs an approach's operation metrics (TTS/TTR
+// histograms, error and integrity counters) into reg instead of the
+// process-wide obs.Default — the isolation tests and embedders with
+// their own registries need.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *settings) { s.metrics = reg }
+}
+
 // newSettings resolves opts over the defaults.
 func newSettings(opts []Option) settings {
-	s := settings{workers: pool.DefaultWorkers()}
+	s := settings{workers: pool.DefaultWorkers(), metrics: obs.Default}
 	for _, o := range opts {
 		o(&s)
 	}

@@ -1,11 +1,8 @@
 package core
 
 import (
-	"bytes"
-	"compress/zlib"
 	"context"
 	"fmt"
-	"io"
 	"sort"
 
 	"github.com/mmm-go/mmm/internal/core/pool"
@@ -112,6 +109,13 @@ func rangedModels(ctx context.Context, st Stores, blobPrefix string, meta setMet
 
 // RecoverModelsContext implements PartialRecoverer for Baseline.
 func (b *Baseline) RecoverModelsContext(ctx context.Context, setID string, indices []int) (*PartialRecovery, error) {
+	sp := b.metrics.begin("partial_recover", setID)
+	rec, err := b.recoverModels(ctx, setID, indices)
+	b.metrics.endRecover(sp, 0, err)
+	return rec, err
+}
+
+func (b *Baseline) recoverModels(ctx context.Context, setID string, indices []int) (*PartialRecovery, error) {
 	meta, err := loadMeta(b.stores, baselineCollection, setID)
 	if err != nil {
 		return nil, err
@@ -135,6 +139,13 @@ func (b *Baseline) RecoverModels(setID string, indices []int) (*PartialRecovery,
 
 // RecoverModelsContext implements PartialRecoverer for MMlibBase.
 func (m *MMlibBase) RecoverModelsContext(ctx context.Context, setID string, indices []int) (*PartialRecovery, error) {
+	sp := m.metrics.begin("partial_recover", setID)
+	rec, err := m.recoverModels(ctx, setID, indices)
+	m.metrics.endRecover(sp, 0, err)
+	return rec, err
+}
+
+func (m *MMlibBase) recoverModels(ctx context.Context, setID string, indices []int) (*PartialRecovery, error) {
 	meta, err := loadMeta(m.stores, mmlibSetCollection, setID)
 	if err != nil {
 		return nil, err
@@ -225,6 +236,17 @@ func paramByteSizes(arch *nn.Architecture) []int {
 
 // RecoverModelsContext implements PartialRecoverer for Update.
 func (u *Update) RecoverModelsContext(ctx context.Context, setID string, indices []int) (*PartialRecovery, error) {
+	sp := u.metrics.begin("partial_recover", setID)
+	visited := map[string]bool{}
+	rec, err := u.recoverModels(ctx, setID, indices, visited)
+	u.metrics.endRecover(sp, len(visited)-1, err)
+	return rec, err
+}
+
+func (u *Update) recoverModels(ctx context.Context, setID string, indices []int, visited map[string]bool) (*PartialRecovery, error) {
+	if err := checkChain(visited, setID); err != nil {
+		return nil, err
+	}
 	meta, err := loadMeta(u.stores, updateCollection, setID)
 	if err != nil {
 		return nil, err
@@ -240,7 +262,7 @@ func (u *Update) RecoverModelsContext(ctx context.Context, setID string, indices
 		return rangedModels(ctx, u.stores, updateBlobPrefix, meta, idx, u.workers)
 	}
 
-	base, err := u.RecoverModelsContext(ctx, meta.Base, idx)
+	base, err := u.recoverModels(ctx, meta.Base, idx, visited)
 	if err != nil {
 		return nil, fmt.Errorf("core: recovering base of %q: %w", setID, err)
 	}
@@ -261,28 +283,10 @@ func (u *Update) RecoverModelsContext(ctx context.Context, setID string, indices
 	sizes := paramByteSizes(base.Arch)
 	blobKey := updateBlobPrefix + "/" + setID + "/diff.bin"
 
-	// A compressed blob has no stable offsets; fall back to reading and
-	// decompressing it whole. Uncompressed blobs support ranged reads.
-	var whole []byte
-	if diff.Compressed {
-		raw, err := u.stores.Blobs.Get(blobKey)
-		if err != nil {
-			return nil, fmt.Errorf("core: loading diff blob: %w", err)
-		}
-		zr, err := zlib.NewReader(bytes.NewReader(raw))
-		if err != nil {
-			return nil, fmt.Errorf("core: opening compressed diff blob: %w", err)
-		}
-		if whole, err = io.ReadAll(zr); err != nil {
-			return nil, fmt.Errorf("core: decompressing diff blob: %w", err)
-		}
-		if err := zr.Close(); err != nil {
-			return nil, err
-		}
-	}
-
-	// Walk the diff list once to locate the wanted entries' offsets;
-	// the selected segments then read and apply independently.
+	// Walk the diff list once to locate the wanted entries' offsets; the
+	// selected segments then read and apply independently. The walk also
+	// yields the blob's total (decompressed) size, which bounds the
+	// decompression of compressed blobs below.
 	type application struct {
 		e   diffEntry
 		off int64
@@ -302,6 +306,20 @@ func (u *Update) RecoverModelsContext(ctx context.Context, setID string, indices
 			apply = append(apply, application{e: e, off: off})
 		}
 		off += int64(sizes[e.P])
+	}
+
+	// A compressed blob has no stable offsets; fall back to reading and
+	// decompressing it whole — capped at the size the diff list implies.
+	// Uncompressed blobs support ranged reads.
+	var whole []byte
+	if diff.Compressed {
+		raw, err := u.stores.Blobs.Get(blobKey)
+		if err != nil {
+			return nil, fmt.Errorf("core: loading diff blob: %w", err)
+		}
+		if whole, err = decompressExact(raw, int(off)); err != nil {
+			return nil, err
+		}
 	}
 
 	err = pool.Run(ctx, u.workers, len(apply), func(k int) error {
@@ -332,8 +350,12 @@ func (u *Update) RecoverModelsContext(ctx context.Context, setID string, indices
 		} else if _, err := t.SetFromBytes(segment); err != nil {
 			return fmt.Errorf("core: applying diff for model %d param %d: %w", e.M, e.P, err)
 		}
-		if got := hashing.Tensor(t); e.M < len(stored.Models) && e.P < len(stored.Models[e.M]) &&
-			got != stored.Models[e.M][e.P] {
+		// A hash document that does not cover the entry would silently
+		// disable the integrity check, so it is corruption.
+		if e.M >= len(stored.Models) || e.P >= len(stored.Models[e.M]) {
+			return fmt.Errorf("core: hash info does not cover model %d param %d: %w", e.M, e.P, ErrCorruptBlob)
+		}
+		if got := hashing.Tensor(t); got != stored.Models[e.M][e.P] {
 			return fmt.Errorf("core: model %d param %d hash mismatch after applying diff: %w", e.M, e.P, ErrCorruptBlob)
 		}
 		return nil
@@ -353,6 +375,17 @@ func (u *Update) RecoverModels(setID string, indices []int) (*PartialRecovery, e
 
 // RecoverModelsContext implements PartialRecoverer for Provenance.
 func (p *Provenance) RecoverModelsContext(ctx context.Context, setID string, indices []int) (*PartialRecovery, error) {
+	sp := p.metrics.begin("partial_recover", setID)
+	visited := map[string]bool{}
+	rec, err := p.recoverModels(ctx, setID, indices, visited)
+	p.metrics.endRecover(sp, len(visited)-1, err)
+	return rec, err
+}
+
+func (p *Provenance) recoverModels(ctx context.Context, setID string, indices []int, visited map[string]bool) (*PartialRecovery, error) {
+	if err := checkChain(visited, setID); err != nil {
+		return nil, err
+	}
 	meta, err := loadMeta(p.stores, provenanceCollection, setID)
 	if err != nil {
 		return nil, err
@@ -368,7 +401,7 @@ func (p *Provenance) RecoverModelsContext(ctx context.Context, setID string, ind
 		return rangedModels(ctx, p.stores, provenanceBlobPrefix, meta, idx, p.workers)
 	}
 
-	base, err := p.RecoverModelsContext(ctx, meta.Base, idx)
+	base, err := p.recoverModels(ctx, meta.Base, idx, visited)
 	if err != nil {
 		return nil, fmt.Errorf("core: recovering base of %q: %w", setID, err)
 	}

@@ -26,6 +26,7 @@ type Provenance struct {
 	stores  Stores
 	ids     idAllocator
 	workers int
+	metrics *approachObs
 
 	// RecoveryBudget, when non-nil, caps the retraining work during
 	// recovery — the paper's own measurement trick ("we — exclusively
@@ -65,7 +66,8 @@ const (
 // NewProvenance returns a Provenance approach over the given stores.
 func NewProvenance(stores Stores, opts ...Option) *Provenance {
 	s := newSettings(opts)
-	return &Provenance{stores: stores, ids: idAllocator{prefix: "pv"}, workers: s.workers}
+	return &Provenance{stores: stores, ids: idAllocator{prefix: "pv"}, workers: s.workers,
+		metrics: newApproachObs(s.metrics, "Provenance")}
 }
 
 // Name implements Approach.
@@ -80,6 +82,14 @@ type updatesDoc struct {
 // Baseline's logic (complete representations); derived sets save
 // provenance only.
 func (p *Provenance) SaveContext(ctx context.Context, req SaveRequest) (SaveResult, error) {
+	sp := p.metrics.begin("save", "")
+	res, err := p.save(ctx, req)
+	sp.SetID = res.SetID
+	p.metrics.endSave(sp, res, err)
+	return res, err
+}
+
+func (p *Provenance) save(ctx context.Context, req SaveRequest) (SaveResult, error) {
 	if err := validateSave(req); err != nil {
 		return SaveResult{}, err
 	}
@@ -135,9 +145,17 @@ func (p *Provenance) saveDerived(ctx context.Context, op *saveOp, setID string, 
 	if err != nil {
 		return fmt.Errorf("core: provenance save: %w", err)
 	}
+	// Recovery replays training on top of the base's models, so a base
+	// with a different architecture or model count can never reproduce
+	// this set.
+	if baseMeta.ArchName != req.Set.Arch.Name || baseMeta.ParamCount != req.Set.Arch.ParamCount() {
+		return fmt.Errorf("core: provenance save: base %q is %q with %d params, set is %q with %d params: %w",
+			req.Base, baseMeta.ArchName, baseMeta.ParamCount,
+			req.Set.Arch.Name, req.Set.Arch.ParamCount(), ErrBaseMismatch)
+	}
 	if baseMeta.NumModels != len(req.Set.Models) {
-		return fmt.Errorf("core: provenance save: base has %d models, set has %d",
-			baseMeta.NumModels, len(req.Set.Models))
+		return fmt.Errorf("core: provenance save: base has %d models, set has %d: %w",
+			baseMeta.NumModels, len(req.Set.Models), ErrBaseMismatch)
 	}
 	// Saving provenance that cannot be resolved would make the set
 	// unrecoverable; fail fast instead.
@@ -175,6 +193,17 @@ func (p *Provenance) saveDerived(ctx context.Context, op *saveOp, setID string, 
 // in recorded order within each model, so the result is bit-identical
 // at any concurrency.
 func (p *Provenance) RecoverContext(ctx context.Context, setID string) (*ModelSet, error) {
+	sp := p.metrics.begin("recover", setID)
+	visited := map[string]bool{}
+	set, err := p.recover(ctx, setID, visited)
+	p.metrics.endRecover(sp, len(visited)-1, err)
+	return set, err
+}
+
+func (p *Provenance) recover(ctx context.Context, setID string, visited map[string]bool) (*ModelSet, error) {
+	if err := checkChain(visited, setID); err != nil {
+		return nil, err
+	}
 	meta, err := loadMeta(p.stores, provenanceCollection, setID)
 	if err != nil {
 		return nil, err
@@ -186,7 +215,7 @@ func (p *Provenance) RecoverContext(ctx context.Context, setID string) (*ModelSe
 		return fullRecover(ctx, p.stores, provenanceBlobPrefix, meta, p.workers)
 	}
 
-	set, err := p.RecoverContext(ctx, meta.Base)
+	set, err := p.recover(ctx, meta.Base, visited)
 	if err != nil {
 		return nil, fmt.Errorf("core: recovering base of %q: %w", setID, err)
 	}

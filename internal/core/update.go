@@ -9,6 +9,7 @@ import (
 
 	"github.com/mmm-go/mmm/internal/core/pool"
 	"github.com/mmm-go/mmm/internal/hashing"
+	"github.com/mmm-go/mmm/internal/obs"
 	"github.com/mmm-go/mmm/internal/tensor"
 )
 
@@ -31,6 +32,7 @@ type Update struct {
 	stores  Stores
 	ids     idAllocator
 	workers int
+	metrics *approachObs
 
 	// SnapshotInterval k > 0 forces a full snapshot whenever the
 	// recovery chain would otherwise grow to k. 0 disables snapshots
@@ -68,7 +70,8 @@ const (
 // NewUpdate returns an Update approach over the given stores.
 func NewUpdate(stores Stores, opts ...Option) *Update {
 	s := newSettings(opts)
-	return &Update{stores: stores, ids: idAllocator{prefix: "up"}, workers: s.workers}
+	return &Update{stores: stores, ids: idAllocator{prefix: "up"}, workers: s.workers,
+		metrics: newApproachObs(s.metrics, "Update")}
 }
 
 // Name implements Approach.
@@ -97,6 +100,14 @@ type diffDoc struct {
 
 // SaveContext implements Approach.
 func (u *Update) SaveContext(ctx context.Context, req SaveRequest) (SaveResult, error) {
+	sp := u.metrics.begin("save", "")
+	res, err := u.save(ctx, sp, req)
+	sp.SetID = res.SetID
+	u.metrics.endSave(sp, res, err)
+	return res, err
+}
+
+func (u *Update) save(ctx context.Context, sp *obs.Span, req SaveRequest) (SaveResult, error) {
 	if err := validateSave(req); err != nil {
 		return SaveResult{}, err
 	}
@@ -114,6 +125,7 @@ func (u *Update) SaveContext(ctx context.Context, req SaveRequest) (SaveResult, 
 	if err != nil {
 		return SaveResult{}, err
 	}
+	sp.Phase("hash")
 
 	full := req.Base == ""
 	depth := 0
@@ -122,15 +134,24 @@ func (u *Update) SaveContext(ctx context.Context, req SaveRequest) (SaveResult, 
 		if err != nil {
 			return SaveResult{}, fmt.Errorf("core: update save: %w", err)
 		}
+		// A derived set must be structurally identical to its base:
+		// diffs are positional (model index, parameter index), so a
+		// different architecture or model count would persist a set that
+		// recovers corrupt or not at all.
+		if baseMeta.ArchName != req.Set.Arch.Name || baseMeta.ParamCount != req.Set.Arch.ParamCount() {
+			return SaveResult{}, fmt.Errorf("core: update save: base %q is %q with %d params, set is %q with %d params: %w",
+				req.Base, baseMeta.ArchName, baseMeta.ParamCount,
+				req.Set.Arch.Name, req.Set.Arch.ParamCount(), ErrBaseMismatch)
+		}
+		if baseMeta.NumModels != len(req.Set.Models) {
+			return SaveResult{}, fmt.Errorf("core: update save: base has %d models, set has %d: %w",
+				baseMeta.NumModels, len(req.Set.Models), ErrBaseMismatch)
+		}
 		depth = baseMeta.Depth + 1
 		if u.SnapshotInterval > 0 && depth >= u.SnapshotInterval {
 			// Cut the recovery chain with a full snapshot.
 			full = true
 			depth = 0
-		}
-		if baseMeta.NumModels != len(req.Set.Models) {
-			return SaveResult{}, fmt.Errorf("core: update save: base has %d models, set has %d",
-				baseMeta.NumModels, len(req.Set.Models))
 		}
 	}
 
@@ -158,6 +179,7 @@ func (u *Update) SaveContext(ctx context.Context, req SaveRequest) (SaveResult, 
 		op.rollback()
 		return SaveResult{}, err
 	}
+	sp.Phase("write")
 	return op.result(setID), nil
 }
 
@@ -209,7 +231,9 @@ func (u *Update) saveDerived(ctx context.Context, op *saveOp, setID string, req 
 			changedModels = append(changedModels, m)
 		}
 		var err error
-		basePartial, err = u.RecoverModelsContext(ctx, req.Base, changedModels)
+		// The private entry point skips the partial-recovery metrics: this
+		// read is part of the save, not a user-facing recovery.
+		basePartial, err = u.recoverModels(ctx, req.Base, changedModels, map[string]bool{})
 		if err != nil {
 			return fmt.Errorf("core: reading base values for delta encoding: %w", err)
 		}
@@ -263,6 +287,7 @@ func (u *Update) saveDerived(ctx context.Context, op *saveOp, setID string, req 
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	u.metrics.diffStats(len(entries), len(blob))
 	if err := op.putBlob(updateBlobPrefix+"/"+setID+"/diff.bin", blob); err != nil {
 		return fmt.Errorf("core: writing diff blob: %w", err)
 	}
@@ -292,6 +317,30 @@ func (u *Update) saveDerived(ctx context.Context, op *saveOp, setID string, req 
 // recover the model saved in the previous iteration to apply the saved
 // differences in parameters".
 func (u *Update) RecoverContext(ctx context.Context, setID string) (*ModelSet, error) {
+	sp := u.metrics.begin("recover", setID)
+	visited := map[string]bool{}
+	set, err := u.recover(ctx, setID, visited)
+	u.metrics.endRecover(sp, len(visited)-1, err)
+	return set, err
+}
+
+// checkChain guards the recursive recovery walk: every visited set ID
+// is recorded, and a revisit fails instead of recursing forever. A
+// revisit also subsumes any depth bound — set IDs are unique, so a
+// chain longer than the number of sets must repeat one. Corrupt
+// metadata is the only way to produce a cycle, hence ErrCorruptBlob.
+func checkChain(visited map[string]bool, setID string) error {
+	if visited[setID] {
+		return fmt.Errorf("core: base chain revisits set %q — metadata cycle: %w", setID, ErrCorruptBlob)
+	}
+	visited[setID] = true
+	return nil
+}
+
+func (u *Update) recover(ctx context.Context, setID string, visited map[string]bool) (*ModelSet, error) {
+	if err := checkChain(visited, setID); err != nil {
+		return nil, err
+	}
 	meta, err := loadMeta(u.stores, updateCollection, setID)
 	if err != nil {
 		return nil, err
@@ -303,7 +352,7 @@ func (u *Update) RecoverContext(ctx context.Context, setID string) (*ModelSet, e
 		return fullRecover(ctx, u.stores, updateBlobPrefix, meta, u.workers)
 	}
 
-	set, err := u.RecoverContext(ctx, meta.Base)
+	set, err := u.recover(ctx, meta.Base, visited)
 	if err != nil {
 		return nil, fmt.Errorf("core: recovering base of %q: %w", setID, err)
 	}
@@ -312,31 +361,16 @@ func (u *Update) RecoverContext(ctx context.Context, setID string) (*ModelSet, e
 	if err := u.stores.Docs.Get(updateDiffCollection, setID, &diff); err != nil {
 		return nil, fmt.Errorf("core: loading diff list: %w", err)
 	}
-	blob, err := u.stores.Blobs.Get(updateBlobPrefix + "/" + setID + "/diff.bin")
-	if err != nil {
-		return nil, fmt.Errorf("core: loading diff blob: %w", err)
-	}
-	if diff.Compressed {
-		zr, err := zlib.NewReader(bytes.NewReader(blob))
-		if err != nil {
-			return nil, fmt.Errorf("core: opening compressed diff blob: %w", err)
-		}
-		blob, err = io.ReadAll(zr)
-		if err != nil {
-			return nil, fmt.Errorf("core: decompressing diff blob: %w", err)
-		}
-		if err := zr.Close(); err != nil {
-			return nil, err
-		}
-	}
-
 	var stored hashDoc
 	if err := u.stores.Docs.Get(updateHashCollection, setID, &stored); err != nil {
 		return nil, fmt.Errorf("core: loading hash info: %w", err)
 	}
 
-	// Validate the diff list and precompute every entry's blob offset;
-	// entries then apply independently (each touches one tensor).
+	// Validate the diff list and precompute every entry's blob offset
+	// *before* touching the blob: the final offset is the exact
+	// decompressed size a compressed blob must inflate to, which bounds
+	// decompression below. Entries then apply independently (each
+	// touches one tensor).
 	offs := make([]int, len(diff.Entries)+1)
 	seen := make(map[diffEntry]bool, len(diff.Entries))
 	for k, e := range diff.Entries {
@@ -353,9 +387,20 @@ func (u *Update) RecoverContext(ctx context.Context, setID string) (*ModelSet, e
 		seen[e] = true
 		offs[k+1] = offs[k] + 4*params[e.P].Tensor.Len()
 	}
-	if offs[len(diff.Entries)] > len(blob) {
+	want := offs[len(diff.Entries)]
+
+	blob, err := u.stores.Blobs.Get(updateBlobPrefix + "/" + setID + "/diff.bin")
+	if err != nil {
+		return nil, fmt.Errorf("core: loading diff blob: %w", err)
+	}
+	if diff.Compressed {
+		if blob, err = decompressExact(blob, want); err != nil {
+			return nil, err
+		}
+	}
+	if len(blob) != want {
 		return nil, fmt.Errorf("core: diff blob has %d bytes, diff list implies %d: %w",
-			len(blob), offs[len(diff.Entries)], ErrCorruptBlob)
+			len(blob), want, ErrCorruptBlob)
 	}
 
 	err = pool.Run(ctx, u.workers, len(diff.Entries), func(k int) error {
@@ -374,9 +419,12 @@ func (u *Update) RecoverContext(ctx context.Context, setID string) (*ModelSet, e
 			return fmt.Errorf("core: applying diff for model %d param %d: %w", e.M, e.P, err)
 		}
 		// Integrity check: the applied layer must hash to what the save
-		// recorded for this set.
-		if got := hashing.Tensor(t); e.M < len(stored.Models) && e.P < len(stored.Models[e.M]) &&
-			got != stored.Models[e.M][e.P] {
+		// recorded for this set. A hash document that does not cover the
+		// entry would silently disable the check, so it is corruption.
+		if e.M >= len(stored.Models) || e.P >= len(stored.Models[e.M]) {
+			return fmt.Errorf("core: hash info does not cover model %d param %d: %w", e.M, e.P, ErrCorruptBlob)
+		}
+		if got := hashing.Tensor(t); got != stored.Models[e.M][e.P] {
 			return fmt.Errorf("core: model %d param %d hash mismatch after applying diff: %w", e.M, e.P, ErrCorruptBlob)
 		}
 		return nil
@@ -384,11 +432,28 @@ func (u *Update) RecoverContext(ctx context.Context, setID string) (*ModelSet, e
 	if err != nil {
 		return nil, err
 	}
-	if offs[len(diff.Entries)] != len(blob) {
-		return nil, fmt.Errorf("core: %d trailing bytes in diff blob: %w",
-			len(blob)-offs[len(diff.Entries)], ErrCorruptBlob)
-	}
 	return set, nil
+}
+
+// decompressExact inflates a zlib blob known to hold exactly want
+// bytes. Reading is capped at want+1 bytes, so a corrupt or hostile
+// blob cannot act as a decompression bomb; any deviation from the
+// expected size — either direction — is corruption.
+func decompressExact(blob []byte, want int) ([]byte, error) {
+	zr, err := zlib.NewReader(bytes.NewReader(blob))
+	if err != nil {
+		return nil, fmt.Errorf("core: opening compressed diff blob: %v: %w", err, ErrCorruptBlob)
+	}
+	defer zr.Close()
+	out, err := io.ReadAll(io.LimitReader(zr, int64(want)+1))
+	if err != nil {
+		return nil, fmt.Errorf("core: decompressing diff blob: %v: %w", err, ErrCorruptBlob)
+	}
+	if len(out) != want {
+		return nil, fmt.Errorf("core: compressed diff blob inflates to %d bytes or more, diff list implies %d: %w",
+			len(out), want, ErrCorruptBlob)
+	}
+	return out, nil
 }
 
 // Recover implements Approach.

@@ -248,8 +248,8 @@ func TestUpdateSaveBaseSizeMismatch(t *testing.T) {
 	u := NewUpdate(st)
 	res := mustSave(t, u, SaveRequest{Set: mustNewSet(t, 4)})
 	other := mustNewSet(t, 6)
-	if _, err := u.Save(SaveRequest{Set: other, Base: res.SetID}); err == nil {
-		t.Fatal("derived save with mismatched set size accepted")
+	if _, err := u.Save(SaveRequest{Set: other, Base: res.SetID}); !errors.Is(err, ErrBaseMismatch) {
+		t.Fatalf("derived save with mismatched set size: err = %v, want ErrBaseMismatch", err)
 	}
 }
 

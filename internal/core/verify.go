@@ -106,7 +106,7 @@ func (u *Update) VerifyStore() ([]Issue, error) {
 	for _, id := range ids {
 		known[id] = true
 	}
-	var issues []Issue
+	issues := baseChainCycles(u.stores, updateCollection, ids)
 	for _, id := range ids {
 		meta, err := loadMeta(u.stores, updateCollection, id)
 		if err != nil {
@@ -166,12 +166,18 @@ func (u *Update) VerifyStore() ([]Issue, error) {
 }
 
 // loadArchFromChain walks a derived set's chain to the full snapshot
-// that stores the architecture.
+// that stores the architecture. Cyclic chains terminate with an error
+// instead of walking forever.
 func loadArchFromChain(st Stores, blobPrefix, collection string, meta setMeta) (arch *nn.Architecture, err error) {
+	seen := map[string]bool{}
 	for meta.Kind != "full" {
 		if meta.Base == "" {
 			return nil, fmt.Errorf("derived set %q has no base", meta.SetID)
 		}
+		if seen[meta.SetID] {
+			return nil, fmt.Errorf("base chain contains a cycle at %q", meta.SetID)
+		}
+		seen[meta.SetID] = true
 		meta, err = loadMeta(st, collection, meta.Base)
 		if err != nil {
 			return nil, err
@@ -182,6 +188,42 @@ func loadArchFromChain(st Stores, blobPrefix, collection string, meta setMeta) (
 		return nil, err
 	}
 	return a, nil
+}
+
+// baseChainCycles reports every set whose base chain never reaches a
+// full snapshot because the metadata forms a cycle. Such a set is
+// unrecoverable (recovery fails with ErrCorruptBlob instead of
+// recursing forever), so fsck must flag it. Clean walks are memoized,
+// keeping the scan linear over healthy stores.
+func baseChainCycles(st Stores, collection string, ids []string) []Issue {
+	var issues []Issue
+	safe := map[string]bool{}
+	for _, id := range ids {
+		seen := map[string]bool{}
+		cur := id
+		cyclic := false
+		for !safe[cur] {
+			if seen[cur] {
+				issues = append(issues, Issue{id, fmt.Sprintf("base chain contains a cycle at %q — set unrecoverable", cur)})
+				cyclic = true
+				break
+			}
+			seen[cur] = true
+			meta, err := loadMeta(st, collection, cur)
+			if err != nil || meta.Kind == "full" || meta.Base == "" {
+				// Terminates here; unreadable or missing bases are
+				// reported by the per-set checks.
+				break
+			}
+			cur = meta.Base
+		}
+		if !cyclic {
+			for s := range seen {
+				safe[s] = true
+			}
+		}
+	}
+	return issues
 }
 
 // VerifyStore implements Verifier for Provenance. It additionally
@@ -195,7 +237,7 @@ func (p *Provenance) VerifyStore() ([]Issue, error) {
 	for _, id := range ids {
 		known[id] = true
 	}
-	var issues []Issue
+	issues := baseChainCycles(p.stores, provenanceCollection, ids)
 	for _, id := range ids {
 		meta, err := loadMeta(p.stores, provenanceCollection, id)
 		if err != nil {

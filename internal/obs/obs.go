@@ -1,0 +1,341 @@
+// Package obs is the runtime observability layer of the model
+// management system: dependency-free metrics (atomic counters, gauges,
+// and fixed-bucket histograms) plus lightweight per-operation trace
+// spans.
+//
+// The paper evaluates three quantities — storage consumption,
+// time-to-save (TTS), and time-to-recover (TTR) — but until this
+// package they were only measurable by running the offline experiment
+// harness. obs makes them first-class runtime signals: the storage
+// backends count operations, bytes, errors, and retries; the core
+// save/recover paths record TTS/TTR histograms, diff sizes, chain
+// depths, and integrity failures; and mmserve renders everything as
+// Prometheus text on GET /metrics.
+//
+// Everything is safe for concurrent use: metric values are single
+// atomic words (histogram buckets are an array of them), so recording
+// from the 8-worker save/recover pool costs a few uncontended atomic
+// adds per operation. Series creation takes a registry lock, so hot
+// paths should look series up once and hold on to them where possible —
+// though lookup itself is a map read under a mutex and remains cheap
+// relative to any store I/O.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind enumerates the metric kinds a registry can hold.
+type Kind string
+
+// Supported metric kinds.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Label is one name/value pair attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing metric value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Negative deltas are ignored: counters only go up.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets. Bounds are upper
+// bucket boundaries (inclusive), in increasing order; an implicit +Inf
+// bucket catches everything above the last bound.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	sum    atomic.Uint64  // float64 bits, CAS-updated
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, the last
+// entry being the +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// TimeBuckets are the default histogram bounds for durations in
+// seconds: 1ms to 60s, roughly geometric. They cover everything from an
+// in-memory save of a small set to a provenance retraining chain.
+var TimeBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// SizeBuckets are the default histogram bounds for byte sizes: 1 KiB to
+// 1 GiB in powers of four.
+var SizeBuckets = []float64{
+	1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+	1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30,
+}
+
+// DepthBuckets are the default histogram bounds for recovery-chain
+// depths.
+var DepthBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64}
+
+// series is one labeled instance of a metric family.
+type series struct {
+	labels []Label
+	key    string // canonical label rendering, sort and identity key
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is all series of one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	bounds []float64 // histogram families only
+	series map[string]*series
+}
+
+// Registry holds metric families and hands out their series. The zero
+// value is not usable; call New.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Default is the process-wide registry: the approaches, storage
+// backends, and HTTP server record here unless configured otherwise,
+// and mmserve's GET /metrics renders it.
+var Default = New()
+
+// labelKey renders labels canonically: sorted by key, escaped, joined.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var b strings.Builder
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	return b.String()
+}
+
+// Describe sets the help text of a metric family, creating the family
+// lazily if it does not exist yet. Describing is optional; undescribed
+// families render without a # HELP line.
+func (r *Registry) Describe(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		f.help = help
+		return
+	}
+	r.families[name] = &family{name: name, help: help, series: map[string]*series{}}
+}
+
+// get returns (creating if needed) the series of name with labels,
+// checking the kind matches any previous registration.
+func (r *Registry) get(name string, kind Kind, bounds []float64, labels []Label) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, series: map[string]*series{}}
+		r.families[name] = f
+	}
+	if f.kind == "" {
+		f.kind = kind
+		if kind == KindHistogram {
+			f.bounds = append([]float64(nil), bounds...)
+			sort.Float64s(f.bounds)
+		}
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	key := labelKey(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: append([]Label(nil), labels...), key: key}
+		switch kind {
+		case KindCounter:
+			s.c = &Counter{}
+		case KindGauge:
+			s.g = &Gauge{}
+		case KindHistogram:
+			s.h = newHistogram(f.bounds)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the counter series of name with labels, creating it
+// on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	return r.get(name, KindCounter, nil, labels).c
+}
+
+// Gauge returns the gauge series of name with labels, creating it on
+// first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	return r.get(name, KindGauge, nil, labels).g
+}
+
+// Histogram returns the histogram series of name with labels, creating
+// it on first use. The bounds of the first creation win; later calls
+// for the same family reuse them regardless of the bounds argument.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	return r.get(name, KindHistogram, bounds, labels).h
+}
+
+// Sample is one series' state in a Snapshot.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Kind   Kind
+	// Value is the counter or gauge value.
+	Value int64
+	// Histogram state; Buckets is non-cumulative, the last entry being
+	// the +Inf bucket.
+	Count   int64
+	Sum     float64
+	Bounds  []float64
+	Buckets []int64
+}
+
+// Help returns the help text registered for a family ("" if none).
+func (r *Registry) Help(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		return f.help
+	}
+	return ""
+}
+
+// Snapshot returns the state of every series, sorted by family name and
+// label key. Values are read atomically per word; a snapshot taken
+// while writers are active is internally consistent per value, not
+// across values — exactly what a metrics scrape needs.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []Sample
+	for _, n := range names {
+		f := r.families[n]
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			sample := Sample{Name: n, Labels: s.labels, Kind: f.kind}
+			switch f.kind {
+			case KindCounter:
+				sample.Value = s.c.Value()
+			case KindGauge:
+				sample.Value = s.g.Value()
+			case KindHistogram:
+				sample.Count = s.h.Count()
+				sample.Sum = s.h.Sum()
+				sample.Bounds = s.h.Bounds()
+				sample.Buckets = s.h.BucketCounts()
+			}
+			out = append(out, sample)
+		}
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// Reset removes every series while keeping family registrations (kind,
+// bounds, help), so a benchmark can isolate per-run measurements.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		f.series = map[string]*series{}
+	}
+}

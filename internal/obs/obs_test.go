@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("ops_total", L("op", "put"))
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("ops_total", L("op", "put")); again != c {
+		t.Fatal("same name+labels should return the same counter")
+	}
+	if other := r.Counter("ops_total", L("op", "get")); other == c {
+		t.Fatal("different labels should return a different counter")
+	}
+
+	g := r.Gauge("in_flight")
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 102.565 {
+		t.Fatalf("sum = %v, want 102.565", got)
+	}
+	// Bounds are inclusive: 0.01 lands in the first bucket.
+	want := []int64{2, 1, 1, 2}
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket[%d] = %d, want %d (%v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("x_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("x_total")
+}
+
+// TestConcurrentIncrements exercises counter, gauge, and histogram
+// writes plus series creation and snapshots from many goroutines; run
+// under -race it is the package's data-race check for the 8-worker pool
+// scenario.
+func TestConcurrentIncrements(t *testing.T) {
+	r := New()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("conc_total", L("w", "shared")).Inc()
+				r.Gauge("conc_gauge").Add(1)
+				r.Histogram("conc_seconds", TimeBuckets).Observe(0.003)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	total := int64(workers * perWorker)
+	if got := r.Counter("conc_total", L("w", "shared")).Value(); got != total {
+		t.Fatalf("counter = %d, want %d", got, total)
+	}
+	if got := r.Gauge("conc_gauge").Value(); got != total {
+		t.Fatalf("gauge = %d, want %d", got, total)
+	}
+	h := r.Histogram("conc_seconds", TimeBuckets)
+	if got := h.Count(); got != total {
+		t.Fatalf("histogram count = %d, want %d", got, total)
+	}
+	if got, want := h.Sum(), 0.003*float64(total); got < want*0.999 || got > want*1.001 {
+		t.Fatalf("histogram sum = %v, want ~%v", got, want)
+	}
+}
+
+func TestSnapshotDeterministicAndReset(t *testing.T) {
+	r := New()
+	r.Counter("b_total", L("x", "2")).Inc()
+	r.Counter("b_total", L("x", "1")).Inc()
+	r.Counter("a_total").Inc()
+	s := r.Snapshot()
+	if len(s) != 3 {
+		t.Fatalf("snapshot len = %d, want 3", len(s))
+	}
+	if s[0].Name != "a_total" || s[1].Labels[0].Value != "1" || s[2].Labels[0].Value != "2" {
+		t.Fatalf("snapshot not sorted: %+v", s)
+	}
+
+	r.Reset()
+	if got := len(r.Snapshot()); got != 0 {
+		t.Fatalf("snapshot after reset has %d series, want 0", got)
+	}
+	// Families survive reset; new series start from zero.
+	if got := r.Counter("a_total").Value(); got != 0 {
+		t.Fatalf("counter after reset = %d, want 0", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Describe("mmm_save_seconds", "Time to save a model set.")
+	h := r.Histogram("mmm_save_seconds", []float64{0.1, 1}, L("approach", "Update"))
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+	r.Counter("mmm_backend_ops_total", L("store", "blobs"), L("op", "put")).Add(7)
+	r.Gauge("mmm_inflight").Set(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP mmm_save_seconds Time to save a model set.",
+		"# TYPE mmm_save_seconds histogram",
+		`mmm_save_seconds_bucket{approach="Update",le="0.1"} 1`,
+		`mmm_save_seconds_bucket{approach="Update",le="1"} 2`,
+		`mmm_save_seconds_bucket{approach="Update",le="+Inf"} 3`,
+		`mmm_save_seconds_sum{approach="Update"} 3.55`,
+		`mmm_save_seconds_count{approach="Update"} 3`,
+		"# TYPE mmm_backend_ops_total counter",
+		`mmm_backend_ops_total{op="put",store="blobs"} 7`,
+		"# TYPE mmm_inflight gauge",
+		"mmm_inflight 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n---\n%s", want, out)
+		}
+	}
+	// The text format requires every line to be a comment or a sample.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" || strings.HasPrefix(line, "# ") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := New()
+	r.Counter("ops_total", L("op", "put")).Add(3)
+	r.Histogram("lat_seconds", []float64{1}).Observe(0.5)
+	out := r.Summary()
+	for _, want := range []string{"ops_total", `{op="put"}`, "count=1", "mean=0.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q\n---\n%s", want, out)
+		}
+	}
+	if got := New().Summary(); !strings.Contains(got, "no metrics") {
+		t.Errorf("empty summary = %q", got)
+	}
+}
+
+func TestSpan(t *testing.T) {
+	s := StartSpan("save", "Update", "up-000001")
+	base := time.Now()
+	step := 0
+	s.now = func() time.Time { step++; return base.Add(time.Duration(step) * 10 * time.Millisecond) }
+	s.Start = base
+	s.last = base
+
+	s.Phase("diff")
+	s.Phase("write")
+	var ended *Span
+	s.OnEnd(func(sp *Span) { ended = sp })
+	s.End(nil)
+	s.End(errors.New("ignored")) // second End is a no-op
+
+	if ended != s {
+		t.Fatal("OnEnd hook did not fire with the span")
+	}
+	if s.Err() != nil {
+		t.Fatalf("err = %v, want nil (second End must not overwrite)", s.Err())
+	}
+	ph := s.Phases()
+	if len(ph) != 2 || ph[0].Name != "diff" || ph[1].Name != "write" {
+		t.Fatalf("phases = %+v", ph)
+	}
+	if ph[0].Dur != 10*time.Millisecond || ph[1].Dur != 10*time.Millisecond {
+		t.Fatalf("phase durations = %v, %v", ph[0].Dur, ph[1].Dur)
+	}
+	if s.Duration() != 30*time.Millisecond {
+		t.Fatalf("duration = %v, want 30ms", s.Duration())
+	}
+	line := s.String()
+	for _, want := range []string{"save", "approach=Update", "set=up-000001", "diff=10ms", "ok"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("span line missing %q: %s", want, line)
+		}
+	}
+
+	agg := PhaseBreakdown([]*Span{s, s})
+	if len(agg) != 2 || agg[0].Dur != 20*time.Millisecond {
+		t.Fatalf("breakdown = %+v", agg)
+	}
+}

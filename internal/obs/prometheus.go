@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4), the format every Prometheus-
+// compatible scraper accepts. Rendered by hand on purpose: the whole
+// repo is dependency-free, and the format is a few lines of escaping
+// rules, not a client library's worth of machinery.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Snapshot()
+	var lastName string
+	for _, s := range samples {
+		if s.Name != lastName {
+			if help := r.Help(s.Name); help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, escapeHelp(help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+			lastName = s.Name
+		}
+		if err := writeSample(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, s Sample) error {
+	switch s.Kind {
+	case KindCounter, KindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", s.Name, renderLabels(s.Labels, "", ""), s.Value)
+		return err
+	case KindHistogram:
+		cum := int64(0)
+		for i, c := range s.Buckets {
+			cum += c
+			le := "+Inf"
+			if i < len(s.Bounds) {
+				le = formatFloat(s.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, renderLabels(s.Labels, "le", le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, renderLabels(s.Labels, "", ""), formatFloat(s.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, renderLabels(s.Labels, "", ""), s.Count)
+		return err
+	}
+	return fmt.Errorf("obs: unknown metric kind %q", s.Kind)
+}
+
+// renderLabels renders a label set as {k="v",...}, optionally appending
+// one extra pair (the histogram "le" label). Empty sets render as "".
+func renderLabels(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, escapeValue(l.Value))
+	}
+	if extraKey != "" {
+		if len(sorted) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus expects: integral
+// values without exponent noise, +Inf spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+func escapeHelp(s string) string {
+	return strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(s)
+}
+
+func escapeValue(s string) string {
+	// %q in renderLabels already escapes quotes and backslashes; this
+	// hook exists for newline normalization so one odd label cannot
+	// break the whole exposition.
+	return strings.ReplaceAll(s, "\n", " ")
+}
+
+// Summary renders the registry as indented human-readable text for CLI
+// output (mmstore -v, mmbench). Histograms show count/mean rather than
+// buckets: a terminal reader wants "37 saves averaging 12ms", not
+// cumulative bucket math.
+func (r *Registry) Summary() string {
+	samples := r.Snapshot()
+	if len(samples) == 0 {
+		return "(no metrics recorded)\n"
+	}
+	var b strings.Builder
+	var lastName string
+	for _, s := range samples {
+		if s.Name != lastName {
+			fmt.Fprintf(&b, "%s\n", s.Name)
+			lastName = s.Name
+		}
+		label := renderLabels(s.Labels, "", "")
+		if label == "" {
+			label = "{}"
+		}
+		switch s.Kind {
+		case KindCounter, KindGauge:
+			fmt.Fprintf(&b, "  %-48s %d\n", label, s.Value)
+		case KindHistogram:
+			mean := 0.0
+			if s.Count > 0 {
+				mean = s.Sum / float64(s.Count)
+			}
+			fmt.Fprintf(&b, "  %-48s count=%d sum=%s mean=%s\n", label, s.Count, formatFloat(s.Sum), formatFloat(mean))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// spanSeq numbers spans process-wide so concurrent operations are
+// distinguishable in logs.
+var spanSeq atomic.Int64
+
+// Span is a lightweight per-operation trace: one save, recover, or
+// partial recover, with named phase timings. It is not a distributed
+// tracing span — there is no propagation — just enough structure to
+// answer "where did this operation's time go" from a log line.
+//
+// A span is owned by one operation but phases may be marked from the
+// goroutine running it; the internal lock makes concurrent Phase calls
+// safe if an operation fans out.
+type Span struct {
+	ID       string
+	Op       string // "save", "recover", "partial_recover", ...
+	Approach string
+	SetID    string
+	Start    time.Time
+
+	mu     sync.Mutex
+	phases []Phase
+	last   time.Time
+	end    time.Time
+	err    error
+	onEnd  func(*Span)
+	now    func() time.Time
+}
+
+// Phase is one named step of a span with its duration.
+type Phase struct {
+	Name string
+	Dur  time.Duration
+}
+
+// StartSpan opens a span for op on approach/setID. setID may be empty
+// when the operation allocates the ID itself; call SetID's setter once
+// known.
+func StartSpan(op, approach, setID string) *Span {
+	now := time.Now()
+	return &Span{
+		ID:       fmt.Sprintf("op-%06d", spanSeq.Add(1)),
+		Op:       op,
+		Approach: approach,
+		SetID:    setID,
+		Start:    now,
+		last:     now,
+		now:      time.Now,
+	}
+}
+
+// OnEnd registers fn to run when End is called, after the duration is
+// final. Used to feed span results into metrics without the call sites
+// caring.
+func (s *Span) OnEnd(fn func(*Span)) *Span {
+	s.mu.Lock()
+	s.onEnd = fn
+	s.mu.Unlock()
+	return s
+}
+
+// Phase closes the current phase under name: the elapsed time since the
+// previous Phase call (or the span start) is recorded against it.
+func (s *Span) Phase(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	s.phases = append(s.phases, Phase{Name: name, Dur: now.Sub(s.last)})
+	s.last = now
+}
+
+// End closes the span with the operation's outcome and fires any OnEnd
+// hook. It is safe to call once; later calls are no-ops.
+func (s *Span) End(err error) {
+	s.mu.Lock()
+	if !s.end.IsZero() {
+		s.mu.Unlock()
+		return
+	}
+	s.end = s.now()
+	s.err = err
+	hook := s.onEnd
+	s.mu.Unlock()
+	if hook != nil {
+		hook(s)
+	}
+}
+
+// Duration returns the span's total wall time (so far, if not ended).
+func (s *Span) Duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return s.now().Sub(s.Start)
+	}
+	return s.end.Sub(s.Start)
+}
+
+// Err returns the outcome recorded at End (nil before End).
+func (s *Span) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Phases returns a copy of the recorded phases in order.
+func (s *Span) Phases() []Phase {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Phase(nil), s.phases...)
+}
+
+// String renders the span as a single log-friendly line, e.g.
+//
+//	op-000003 save approach=Update set=up-000002 total=12.3ms phases[diff=8.1ms write=4.2ms] ok
+func (s *Span) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s approach=%s", s.ID, s.Op, s.Approach)
+	if s.SetID != "" {
+		fmt.Fprintf(&b, " set=%s", s.SetID)
+	}
+	total := s.end.Sub(s.Start)
+	if s.end.IsZero() {
+		total = s.now().Sub(s.Start)
+	}
+	fmt.Fprintf(&b, " total=%s", total.Round(time.Microsecond))
+	if len(s.phases) > 0 {
+		b.WriteString(" phases[")
+		for i, p := range s.phases {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s=%s", p.Name, p.Dur.Round(time.Microsecond))
+		}
+		b.WriteByte(']')
+	}
+	if s.err != nil {
+		fmt.Fprintf(&b, " err=%q", s.err.Error())
+	} else if !s.end.IsZero() {
+		b.WriteString(" ok")
+	}
+	return b.String()
+}
+
+// PhaseBreakdown aggregates phases by name, longest first — handy for a
+// quick profile over a batch of spans.
+func PhaseBreakdown(spans []*Span) []Phase {
+	total := map[string]time.Duration{}
+	for _, s := range spans {
+		for _, p := range s.Phases() {
+			total[p.Name] += p.Dur
+		}
+	}
+	out := make([]Phase, 0, len(total))
+	for name, d := range total {
+		out = append(out, Phase{Name: name, Dur: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dur != out[j].Dur {
+			return out[i].Dur > out[j].Dur
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

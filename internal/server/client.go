@@ -65,6 +65,8 @@ func sentinelForCode(code string) error {
 		return core.ErrCorruptBlob
 	case codeBudgetExceeded:
 		return core.ErrBudgetExceeded
+	case codeBaseMismatch:
+		return core.ErrBaseMismatch
 	default:
 		return nil
 	}
@@ -302,6 +304,21 @@ func (c *Client) PutDataset(ctx context.Context, spec dataset.Spec) (string, err
 		return "", err
 	}
 	return out["id"], nil
+}
+
+// Metrics downloads the server's metrics in Prometheus text
+// exposition format.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/metrics", "", nil)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
 }
 
 // Datasets lists the registered dataset IDs.

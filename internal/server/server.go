@@ -21,10 +21,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/mmm-go/mmm/internal/core"
 	"github.com/mmm-go/mmm/internal/dataset"
 	"github.com/mmm-go/mmm/internal/nn"
+	"github.com/mmm-go/mmm/internal/obs"
 )
 
 // Manifest is the JSON part of a save request: everything about a set
@@ -51,13 +53,33 @@ type Server struct {
 	stores     core.Stores
 	approaches map[string]core.Approach
 	mux        *http.ServeMux
+	metrics    *obs.Registry
 }
+
+// HTTP-layer metric names.
+const (
+	metricHTTPRequests = "mmm_http_requests_total"
+	metricHTTPSeconds  = "mmm_http_request_seconds"
+)
 
 // New builds a server over stores, exposing the four standard
 // approaches under their lower-case names (baseline, update,
 // provenance, mmlib). Options (e.g. core.WithConcurrency) are applied
-// to every approach.
+// to every approach. Metrics go to obs.Default and are served on
+// GET /metrics; use NewWithMetrics to isolate them.
 func New(stores core.Stores, opts ...core.Option) *Server {
+	return NewWithMetrics(stores, obs.Default, opts...)
+}
+
+// NewWithMetrics is New with an explicit metrics registry: approach
+// and HTTP instrumentation record into reg, and GET /metrics renders
+// reg. A core.WithMetrics in opts overrides the approach wiring but
+// not what /metrics serves.
+func NewWithMetrics(stores core.Stores, reg *obs.Registry, opts ...core.Option) *Server {
+	if reg == nil {
+		reg = obs.Default
+	}
+	opts = append([]core.Option{core.WithMetrics(reg)}, opts...)
 	s := &Server{
 		stores: stores,
 		approaches: map[string]core.Approach{
@@ -66,14 +88,42 @@ func New(stores core.Stores, opts ...core.Option) *Server {
 			"provenance": core.NewProvenance(stores, opts...),
 			"mmlib":      core.NewMMlibBase(stores, opts...),
 		},
-		mux: http.NewServeMux(),
+		mux:     http.NewServeMux(),
+		metrics: reg,
 	}
+	reg.Describe(metricHTTPRequests, "HTTP requests served, by route pattern and status code.")
+	reg.Describe(metricHTTPSeconds, "HTTP request latency in seconds, by route pattern.")
 	s.routes()
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// statusWriter captures the response status for request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler. Every request is counted and
+// timed under its route pattern (not the raw URL, which would explode
+// label cardinality with set IDs).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	_, route := s.mux.Handler(r)
+	if route == "" {
+		route = "unmatched"
+	}
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	s.metrics.Histogram(metricHTTPSeconds, obs.TimeBuckets,
+		obs.L("route", route)).Observe(time.Since(start).Seconds())
+	s.metrics.Counter(metricHTTPRequests,
+		obs.L("route", route), obs.L("code", strconv.Itoa(sw.status))).Inc()
+}
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -87,6 +137,15 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/datasets", s.handlePutDataset)
 	s.mux.HandleFunc("GET /api/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /api/fsck", s.handleFsck)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// handleMetrics renders the registry in Prometheus text exposition
+// format (version 0.0.4), written by hand — the server takes no
+// dependency on a metrics client library.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
 }
 
 // httpError is the JSON error envelope. Code carries the sentinel the
@@ -103,6 +162,7 @@ const (
 	codeChecksumMismatch = "checksum_mismatch"
 	codeCorruptBlob      = "corrupt_blob"
 	codeBudgetExceeded   = "budget_exceeded"
+	codeBaseMismatch     = "base_mismatch"
 )
 
 // errorCode maps an error onto its wire code ("" if it wraps no known
@@ -118,6 +178,8 @@ func errorCode(err error) string {
 		return codeCorruptBlob
 	case errors.Is(err, core.ErrBudgetExceeded):
 		return codeBudgetExceeded
+	case errors.Is(err, core.ErrBaseMismatch):
+		return codeBaseMismatch
 	default:
 		return ""
 	}

@@ -3,7 +3,11 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -11,6 +15,7 @@ import (
 	"github.com/mmm-go/mmm/internal/dataset"
 	"github.com/mmm-go/mmm/internal/env"
 	"github.com/mmm-go/mmm/internal/nn"
+	"github.com/mmm-go/mmm/internal/obs"
 	"github.com/mmm-go/mmm/internal/storage/backend"
 	"github.com/mmm-go/mmm/internal/storage/blobstore"
 	"github.com/mmm-go/mmm/internal/storage/docstore"
@@ -339,5 +344,127 @@ func TestSaveRejectsGarbageBody(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode == 201 {
 		t.Fatal("garbage body accepted")
+	}
+}
+
+// instrumentedMemStores builds in-memory stores whose backends record
+// into reg — the same wrapping mmm.OpenDirStoresWith applies on disk.
+func instrumentedMemStores(reg *obs.Registry) core.Stores {
+	return core.Stores{
+		Docs:     docstore.New(backend.Instrument(backend.NewMem(), reg, "docs"), latency.CostModel{}, nil),
+		Blobs:    blobstore.New(backend.Instrument(backend.NewMem(), reg, "blobs"), latency.CostModel{}, nil),
+		Datasets: dataset.NewRegistry(),
+	}
+}
+
+// expositionLine matches one Prometheus text-format sample:
+// name{labels} value.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+="[^"]*"(,[a-zA-Z0-9_]+="[^"]*")*\})? ` +
+		`(\+Inf|-Inf|NaN|-?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?)$`)
+
+func TestMetricsEndpoint(t *testing.T) {
+	ctx := context.Background()
+	reg := obs.New()
+	stores := instrumentedMemStores(reg)
+	ts := httptest.NewServer(NewWithMetrics(stores, reg))
+	t.Cleanup(ts.Close)
+	c := &Client{BaseURL: ts.URL}
+
+	// One save and one full recovery per approach, over the wire.
+	approaches := map[string]string{
+		"baseline":   "Baseline",
+		"update":     "Update",
+		"provenance": "Provenance",
+		"mmlib":      "MMlib-base",
+	}
+	for ap := range approaches {
+		set := testSet(t, 3)
+		res, err := c.Save(ctx, ap, set, "", nil, nil)
+		if err != nil {
+			t.Fatalf("%s save: %v", ap, err)
+		}
+		if _, err := c.Recover(ctx, ap, res.SetID); err != nil {
+			t.Fatalf("%s recover: %v", ap, err)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+
+	// The whole exposition must parse line by line.
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+
+	// TTS and TTR histograms for all four approaches, with the exact
+	// operation counts the loop above performed.
+	for _, name := range approaches {
+		for _, series := range []string{
+			fmt.Sprintf("mmm_save_seconds_count{approach=%q} 1", name),
+			fmt.Sprintf("mmm_recover_seconds_count{approach=%q} 1", name),
+		} {
+			if !strings.Contains(text, series) {
+				t.Errorf("metrics missing %q", series)
+			}
+		}
+	}
+
+	// Backend traffic flowed through the instrumented backends, and
+	// the HTTP middleware counted the requests themselves.
+	for _, substr := range []string{
+		`mmm_backend_ops_total{op="put",store="blobs"}`,
+		`mmm_backend_ops_total{op="get",store="blobs"}`,
+		`mmm_backend_ops_total{op="put",store="docs"}`,
+		`mmm_backend_write_bytes_total{store="blobs"}`,
+		`mmm_backend_read_bytes_total{store="blobs"}`,
+		`mmm_http_requests_total{code="201",route="POST /api/{approach}/sets"} 4`,
+		`mmm_http_requests_total{code="200",route="GET /api/{approach}/sets/{id}/params"} 4`,
+	} {
+		if !strings.Contains(text, substr) {
+			t.Errorf("metrics missing %q", substr)
+		}
+	}
+
+	// The client helper fetches the same exposition.
+	viaClient, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(viaClient, "mmm_save_seconds_count") {
+		t.Error("Client.Metrics missing TTS series")
+	}
+}
+
+func TestSaveBaseMismatchOverHTTP(t *testing.T) {
+	ctx := context.Background()
+	c, _ := newTestRig(t)
+	set := testSet(t, 4)
+	res, err := c.Save(ctx, "update", set, "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A derived save whose set shape disagrees with the base must come
+	// back as ErrBaseMismatch across the HTTP boundary.
+	smaller := testSet(t, 2)
+	_, err = c.Save(ctx, "update", smaller, res.SetID, nil, nil)
+	if !errors.Is(err, core.ErrBaseMismatch) {
+		t.Fatalf("mismatched derived save error = %v, want ErrBaseMismatch", err)
 	}
 }

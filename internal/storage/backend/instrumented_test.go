@@ -1,0 +1,95 @@
+package backend
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/mmm-go/mmm/internal/obs"
+)
+
+func TestInstrumentedCounts(t *testing.T) {
+	reg := obs.New()
+	be := Instrument(NewMem(), reg, "blobs")
+
+	if err := be.Put("a", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.GetRange("a", 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.Size("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.Keys(); err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.Get("missing"); !IsNotFound(err) {
+		t.Fatalf("get missing = %v, want not-found", err)
+	}
+
+	store := obs.L("store", "blobs")
+	for op, want := range map[string]int64{
+		"put": 1, "get": 2, "get_range": 1, "size": 1, "keys": 1, "delete": 1,
+	} {
+		if got := reg.Counter(MetricOps, store, obs.L("op", op)).Value(); got != want {
+			t.Errorf("ops{%s} = %d, want %d", op, got, want)
+		}
+	}
+	if got := reg.Counter(MetricErrors, store, obs.L("op", "get")).Value(); got != 1 {
+		t.Errorf("errors{get} = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricWriteBytes, store).Value(); got != 5 {
+		t.Errorf("write bytes = %d, want 5", got)
+	}
+	// 5 from Get + 3 from GetRange; the failed Get adds nothing.
+	if got := reg.Counter(MetricReadBytes, store).Value(); got != 8 {
+		t.Errorf("read bytes = %d, want 8", got)
+	}
+}
+
+// flaky fails the first n calls of each operation.
+type flaky struct {
+	Backend
+	failures int
+}
+
+func (f *flaky) Put(key string, data []byte) error {
+	if f.failures > 0 {
+		f.failures--
+		return errors.New("transient failure")
+	}
+	return f.Backend.Put(key, data)
+}
+
+func TestRetryOnRetryHook(t *testing.T) {
+	reg := obs.New()
+	inner := Instrument(&flaky{Backend: NewMem(), failures: 2}, reg, "docs")
+	retries := RetryCounter(reg, "docs")
+	r := &Retry{
+		Inner:    inner,
+		Attempts: 3,
+		Sleep:    func(time.Duration) {},
+		OnRetry:  retries.Inc,
+	}
+	if err := r.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if got := retries.Value(); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+	// Instrumented sits inside Retry, so each physical attempt counts.
+	store := obs.L("store", "docs")
+	if got := reg.Counter(MetricOps, store, obs.L("op", "put")).Value(); got != 3 {
+		t.Errorf("ops{put} = %d, want 3", got)
+	}
+	if got := reg.Counter(MetricErrors, store, obs.L("op", "put")).Value(); got != 2 {
+		t.Errorf("errors{put} = %d, want 2", got)
+	}
+}

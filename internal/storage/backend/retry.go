@@ -27,6 +27,9 @@ type Retry struct {
 	// Sleep is the sleeping function, replaceable in tests. Nil means
 	// time.Sleep.
 	Sleep func(time.Duration)
+	// OnRetry, if set, is called once per re-issued attempt (not for
+	// the first try) — the observability hook for retry counters.
+	OnRetry func()
 }
 
 // DefaultRetryAttempts is the total try count of a zero-configured
@@ -80,6 +83,9 @@ func (r *Retry) do(op func() error) error {
 		}
 		if attempt >= r.attempts() {
 			return fmt.Errorf("storage: giving up after %d attempts: %w", attempt, err)
+		}
+		if r.OnRetry != nil {
+			r.OnRetry()
 		}
 		sleep(backoff)
 		backoff *= 2

@@ -47,6 +47,7 @@ import (
 	"github.com/mmm-go/mmm/internal/core"
 	"github.com/mmm-go/mmm/internal/dataset"
 	"github.com/mmm-go/mmm/internal/nn"
+	"github.com/mmm-go/mmm/internal/obs"
 	"github.com/mmm-go/mmm/internal/server"
 	"github.com/mmm-go/mmm/internal/storage/backend"
 	"github.com/mmm-go/mmm/internal/storage/blobstore"
@@ -173,6 +174,23 @@ type Option = core.Option
 // byte-identical at every setting.
 var WithConcurrency = core.WithConcurrency
 
+// MetricsRegistry holds runtime metrics: counters, gauges, and
+// histograms, renderable as Prometheus text or a human summary.
+type MetricsRegistry = obs.Registry
+
+// DefaultMetrics is the process-wide metrics registry. Approaches and
+// instrumented stores record into it unless redirected with
+// WithMetrics, and the management server's GET /metrics renders it.
+var DefaultMetrics = obs.Default
+
+// NewMetricsRegistry returns an empty, isolated metrics registry.
+var NewMetricsRegistry = obs.New
+
+// WithMetrics directs an approach's operation metrics (TTS/TTR
+// histograms, error and integrity counters) into a specific registry
+// instead of DefaultMetrics.
+var WithMetrics = core.WithMetrics
+
 // Sentinel errors, testable with errors.Is across every layer
 // (including the HTTP client, which maps server responses back onto
 // them).
@@ -191,6 +209,10 @@ var (
 	// external modification, as opposed to the structural damage
 	// ErrCorruptBlob reports.
 	ErrChecksumMismatch = core.ErrChecksumMismatch
+	// ErrBaseMismatch reports a derived save whose set is structurally
+	// incompatible with its declared base (different architecture,
+	// parameter count, or model count).
+	ErrBaseMismatch = core.ErrBaseMismatch
 )
 
 // Fsck checks the whole store across every approach's namespace:
@@ -318,10 +340,15 @@ func OpenDirStoresWith(dir string, opts StoreOptions) (Stores, error) {
 	if err != nil {
 		return Stores{}, fmt.Errorf("mmm: opening dataset registry: %w", err)
 	}
-	var blobBE, docBE backend.Backend = blobs, docs
+	// Instrumented sits inside Retry so every physical attempt shows up
+	// in the op counters, and retries in their own counter.
+	var blobBE, docBE backend.Backend = backend.Instrument(blobs, nil, "blobs"),
+		backend.Instrument(docs, nil, "docs")
 	if opts.RetryAttempts > 1 {
-		blobBE = &backend.Retry{Inner: blobBE, Attempts: opts.RetryAttempts}
-		docBE = &backend.Retry{Inner: docBE, Attempts: opts.RetryAttempts}
+		blobBE = &backend.Retry{Inner: blobBE, Attempts: opts.RetryAttempts,
+			OnRetry: backend.RetryCounter(nil, "blobs").Inc}
+		docBE = &backend.Retry{Inner: docBE, Attempts: opts.RetryAttempts,
+			OnRetry: backend.RetryCounter(nil, "docs").Inc}
 	}
 	return Stores{
 		Docs:     docstore.New(docBE, latency.CostModel{}, nil),
