@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fsck-smoke metrics-smoke fuzz check bench
+.PHONY: build test vet race fsck-smoke metrics-smoke chaos-smoke fuzz check bench
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,14 @@ metrics-smoke: build
 		echo "metrics-smoke FAILED: no backend counters"; exit 1; }; \
 	echo "metrics-smoke OK: /metrics exposes save timings"
 
+# Resilience smoke test: the chaos suite drives seeded network-fault
+# save/recover round trips (injected resets, truncation, 503 bursts),
+# graceful-drain and drain-deadline shutdown against a real listener,
+# and degraded recovery over HTTP — all under the race detector, since
+# drain and retry paths are where data races would hide.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'Chaos' ./internal/server
+
 # Short-budget fuzzing of the two property suites: checksummed blob
 # round trips and the sim-vs-dir backend oracle. The committed seed
 # corpora under testdata/fuzz/ always run; the small time budget adds
@@ -69,9 +77,9 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzBackendOracle -fuzztime=10s ./internal/storage/sim
 
 # The full gate: compile everything, vet, run the suite twice —
-# once plain, once under the race detector — then the durability
-# smoke test and the short fuzz pass.
-check: build vet test race fsck-smoke metrics-smoke fuzz
+# once plain, once under the race detector — then the durability,
+# observability, and resilience smoke tests and the short fuzz pass.
+check: build vet test race fsck-smoke metrics-smoke chaos-smoke fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem

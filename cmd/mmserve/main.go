@@ -9,33 +9,51 @@
 //
 // Endpoints (see internal/server for the wire format):
 //
-//	GET  /healthz
+//	GET  /healthz                                liveness
+//	GET  /readyz                                 readiness (503 while draining)
 //	GET  /api/approaches
 //	GET  /api/{approach}/sets
 //	POST /api/{approach}/sets                    multipart: manifest + params
 //	GET  /api/{approach}/sets/{id}               lineage
 //	GET  /api/{approach}/sets/{id}/params        full recovery
 //	GET  /api/{approach}/sets/{id}/params?indices=1,5   selective recovery
+//	GET  /api/{approach}/sets/{id}/params?partial=1     degraded recovery
 //	POST /api/{approach}/verify
 //	POST /api/{approach}/prune                   {"keep": ["..."]}
 //	POST /api/datasets                           register a dataset spec
 //	GET  /api/datasets
 //	GET  /metrics                                Prometheus text format
 //
+// On SIGINT/SIGTERM the server drains gracefully: /readyz flips to
+// 503, new API requests are rejected with Retry-After, and in-flight
+// requests get -drain-timeout to finish before being canceled (a
+// canceled save rolls back its partial writes).
+//
 // With -debug-addr, net/http/pprof profiling handlers are served on a
 // second, separate listener (keep it loopback-only; profiles expose
 // internals that the data API should not).
+//
+// With -chaos-seed, the API listener injects deterministic connection
+// faults (resets, truncations, latency) — a fault drill against the
+// real binary, not for production.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	mmm "github.com/mmm-go/mmm"
+	"github.com/mmm-go/mmm/internal/netchaos"
 	"github.com/mmm-go/mmm/internal/server"
 )
 
@@ -44,40 +62,100 @@ func main() {
 		dir       = flag.String("dir", "./mmstore-data", "store directory")
 		addr      = flag.String("addr", ":8080", "listen address")
 		debugAddr = flag.String("debug-addr", "", "optional address for net/http/pprof (e.g. localhost:6060); disabled when empty")
+
+		drainTimeout = flag.Duration("drain-timeout", server.DefaultDrainTimeout,
+			"how long in-flight requests get to finish after SIGINT/SIGTERM before being canceled")
+		readTimeout = flag.Duration("read-timeout", 0,
+			"max duration for reading an entire request, body included (0 = no limit)")
+		writeTimeout = flag.Duration("write-timeout", 0,
+			"max duration for writing a response (0 = no limit)")
+		idleTimeout = flag.Duration("idle-timeout", 2*time.Minute,
+			"max keep-alive idle time per connection (0 = no limit)")
+		requestTimeout = flag.Duration("request-timeout", 0,
+			"per-request handling deadline applied via context (0 = no deadline)")
+		maxBodyBytes = flag.Int64("max-body-bytes", 0,
+			"request body cap in bytes; oversized bodies get 413 (0 = handler-level limits only)")
+
+		chaosSeed = flag.Uint64("chaos-seed", 0,
+			"inject deterministic connection faults on the API listener, seeded here (0 = disabled)")
+		chaosMaxFaults = flag.Int("chaos-max-faults", 0,
+			"cap on injected faults when -chaos-seed is set (0 = unlimited)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	stores, err := mmm.OpenDirStores(*dir)
 	if err != nil {
 		log.Fatalf("mmserve: %v", err)
 	}
+	api := server.NewWithConfig(stores, nil, server.Config{
+		RequestTimeout: *requestTimeout,
+		MaxBodyBytes:   *maxBodyBytes,
+	})
+
 	if *debugAddr != "" {
-		go serveDebug(*debugAddr)
+		go serveDebug(ctx, *debugAddr, *readTimeout, *writeTimeout, *idleTimeout)
 	}
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           logging(server.New(stores)),
+
+	hs := &http.Server{
+		Handler:           logging(api),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("mmserve: %v", err)
+	}
+	if *chaosSeed != 0 {
+		fmt.Printf("mmserve: CHAOS listener enabled (seed %d)\n", *chaosSeed)
+		ln = netchaos.WrapListener(ln, netchaos.Config{
+			Seed: *chaosSeed, Reset: 0.05, Truncate: 0.05,
+			LatencyP: 0.10, Latency: 50 * time.Millisecond,
+			MaxFaults: *chaosMaxFaults,
+		})
+	}
+
 	fmt.Printf("mmserve: serving %s on %s\n", *dir, *addr)
-	if err := srv.ListenAndServe(); err != nil {
+	err = server.ServeListener(ctx, hs, api, ln, *drainTimeout)
+	switch {
+	case err == nil:
+		fmt.Println("mmserve: drained cleanly")
+	case errors.Is(err, context.DeadlineExceeded):
+		log.Printf("mmserve: drain deadline (%v) passed; in-flight requests were canceled", *drainTimeout)
+	default:
 		log.Fatalf("mmserve: %v", err)
 	}
 }
 
 // serveDebug runs the pprof handlers on their own mux and listener so
 // profiling never shares a port (or an accidental route) with the data
-// API.
-func serveDebug(addr string) {
+// API. It shuts down when ctx is canceled.
+func serveDebug(ctx context.Context, addr string, readTimeout, writeTimeout, idleTimeout time.Duration) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	srv := &http.Server{
+		Addr: addr, Handler: mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       readTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
 	fmt.Printf("mmserve: pprof on %s/debug/pprof/\n", addr)
-	if err := srv.ListenAndServe(); err != nil {
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("mmserve: pprof server: %v", err)
 	}
 }

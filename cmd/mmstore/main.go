@@ -23,6 +23,14 @@
 // fsck checks the whole store across all approaches — blob checksums,
 // set completeness, orphaned crash debris — and with -repair deletes
 // the orphans. -retries N retries transient store I/O errors.
+//
+// With -server URL, commands run against a remote mmserve instead of a
+// local directory: the client waits for /readyz (bounded by
+// -wait-ready), retries idempotent requests with backoff, and saves
+// under a generated Idempotency-Key so retries cannot duplicate sets.
+// recover additionally accepts -partial for degraded recovery.
+// cycle, export, and import need direct store access and stay
+// local-only.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	mmm "github.com/mmm-go/mmm"
 	"github.com/mmm-go/mmm/internal/core"
@@ -73,6 +82,9 @@ func run(ctx context.Context, args []string) error {
 	out := fs.String("out", "", "output path for export/extract")
 	in := fs.String("in", "", "input archive path for import")
 	modelIdx := fs.Int("model", -1, "model index for extract")
+	serverURL := fs.String("server", "", "manage a remote mmserve at this URL instead of a local store directory")
+	waitReady := fs.Duration("wait-ready", 10*time.Second, "with -server: how long to wait for the server's /readyz before the first request")
+	partial := fs.Bool("partial", false, "with -server: recover in degraded mode, skipping damaged models and reporting them")
 	if len(args) == 0 {
 		fs.Usage()
 		return fmt.Errorf("missing command: init, cycle, recover, list, inspect, verify, fsck, or prune")
@@ -80,6 +92,14 @@ func run(ctx context.Context, args []string) error {
 	cmd := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	if *serverURL != "" {
+		return runRemote(ctx, cmd, remoteFlags{
+			server: *serverURL, approach: *approach, setID: *setID,
+			verify: *verify, keep: *keep, out: *out, archName: *archName,
+			n: *n, seed: *seed, modelIdx: *modelIdx, repair: *repair,
+			partial: *partial, waitReady: *waitReady,
+		})
 	}
 	if *verbose {
 		// Deferred so the snapshot also covers failed commands — the

@@ -1,0 +1,255 @@
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	mmm "github.com/mmm-go/mmm"
+	"github.com/mmm-go/mmm/internal/dataset"
+	"github.com/mmm-go/mmm/internal/nn"
+	"github.com/mmm-go/mmm/internal/server"
+)
+
+// Remote mode: with -server, mmstore manages a running mmserve
+// instance over HTTP instead of opening a store directory. The client
+// waits for the server's /readyz before the first request (so a tool
+// launched next to the server does not race its startup), retries
+// idempotent requests, and saves under a generated Idempotency-Key so
+// a connection fault mid-save cannot duplicate the set.
+//
+// Commands that need raw store access (cycle, export, import) or local
+// training stay local-only.
+
+// remoteSession is the per-invocation remote state.
+type remoteSession struct {
+	client   *server.Client
+	approach string
+}
+
+// newRemoteSession builds the client and waits for readiness.
+func newRemoteSession(ctx context.Context, baseURL, approach string, waitReady time.Duration) (*remoteSession, error) {
+	c := &server.Client{
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		Breaker: &server.Breaker{},
+	}
+	if err := c.WaitReady(ctx, waitReady); err != nil {
+		return nil, err
+	}
+	return &remoteSession{client: c, approach: approach}, nil
+}
+
+// newIdempotencyKey generates a fresh random save key.
+func newIdempotencyKey() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("generating idempotency key: %w", err)
+	}
+	return "mmstore-" + hex.EncodeToString(b[:]), nil
+}
+
+// runRemote dispatches one command against a remote server. The flag
+// values mirror run's locals.
+func runRemote(ctx context.Context, cmd string, f remoteFlags) error {
+	switch cmd {
+	case "cycle", "export", "import":
+		return fmt.Errorf("%s needs direct store access; run it on the server host without -server", cmd)
+	}
+	s, err := newRemoteSession(ctx, f.server, f.approach, f.waitReady)
+	if err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "init":
+		cfg := mmm.DefaultWorkload()
+		arch, err := mmm.ArchitectureByName(f.archName)
+		if err != nil {
+			return err
+		}
+		cfg.Arch = arch
+		cfg.NumModels = f.n
+		cfg.Seed = f.seed
+		// Fresh fleets reference no datasets; a throwaway registry
+		// satisfies the constructor.
+		fleet, err := mmm.NewFleet(cfg, dataset.NewRegistry())
+		if err != nil {
+			return err
+		}
+		key, err := newIdempotencyKey()
+		if err != nil {
+			return err
+		}
+		res, err := s.client.SaveWithKey(ctx, s.approach, key, fleet.Set, "", nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("saved initial set %s: %d models, %.3f MB, %d store writes\n",
+			res.SetID, fleet.Set.Len(), float64(res.BytesWritten)/1e6, res.WriteOps)
+		return nil
+
+	case "list":
+		ids, err := s.client.List(ctx, s.approach)
+		if err != nil {
+			return err
+		}
+		if len(ids) == 0 {
+			fmt.Println("no sets saved")
+			return nil
+		}
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return nil
+
+	case "recover":
+		if f.setID == "" {
+			return fmt.Errorf("recover requires -set")
+		}
+		if f.partial {
+			rec, report, err := s.client.RecoverPartial(ctx, s.approach, f.setID)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("recovered %s (degraded mode): %s\n", f.setID, report)
+			for _, fail := range report.Failures {
+				fmt.Printf("  lost model %d: %s\n", fail.ModelIndex, fail.Error)
+			}
+			_ = rec
+			return nil
+		}
+		set, err := s.client.Recover(ctx, s.approach, f.setID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recovered %s: %d models of %s (%d parameters each)\n",
+			f.setID, set.Len(), set.Arch.Name, set.Arch.ParamCount())
+		if f.verify != "" {
+			other, err := s.client.Recover(ctx, s.approach, f.verify)
+			if err != nil {
+				return err
+			}
+			if set.Equal(other) {
+				fmt.Printf("%s and %s are bit-identical\n", f.setID, f.verify)
+			} else {
+				fmt.Printf("%s and %s differ\n", f.setID, f.verify)
+			}
+		}
+		return nil
+
+	case "inspect":
+		if f.setID == "" {
+			return fmt.Errorf("inspect requires -set")
+		}
+		chain, err := s.client.Info(ctx, s.approach, f.setID)
+		if err != nil {
+			return err
+		}
+		info := chain[0]
+		fmt.Printf("set:          %s\n", info.SetID)
+		fmt.Printf("approach:     %s\n", info.Approach)
+		fmt.Printf("models:       %d\n", info.NumModels)
+		fmt.Printf("architecture: %s (%d parameters)\n", info.ArchName, info.ParamCount)
+		fmt.Printf("chain depth:  %d\n", info.Depth)
+		fmt.Println("lineage (newest first):")
+		for _, e := range chain {
+			fmt.Printf("  %s  kind=%-7s depth=%d\n", e.SetID, e.Kind, e.Depth)
+		}
+		return nil
+
+	case "verify":
+		issues, err := s.client.Verify(ctx, s.approach)
+		if err != nil {
+			return err
+		}
+		if len(issues) == 0 {
+			fmt.Println("store consistent: no issues found")
+			return nil
+		}
+		for _, i := range issues {
+			fmt.Println(i)
+		}
+		return fmt.Errorf("%d issue(s) found", len(issues))
+
+	case "fsck":
+		report, err := s.client.Fsck(ctx, f.repair)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("checked %d set(s), verified %.3f MB of blob data\n",
+			report.Sets, float64(report.BytesVerified)/1e6)
+		for _, issue := range report.Issues {
+			fmt.Println(issue)
+		}
+		if n := report.DamagedCount(); n > 0 {
+			return fmt.Errorf("store damaged: %d issue(s) concern committed data", n)
+		}
+		if len(report.Issues) > 0 && !f.repair {
+			return fmt.Errorf("%d orphan(s) found (rerun with -repair to delete)", len(report.Issues))
+		}
+		if report.Clean() {
+			fmt.Println("store clean")
+		}
+		return nil
+
+	case "prune":
+		var keepIDs []string
+		if f.keep != "" {
+			keepIDs = strings.Split(f.keep, ",")
+		}
+		report, err := s.client.Prune(ctx, s.approach, keepIDs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("kept %d set(s), deleted %d, freed %.3f MB\n",
+			len(report.Kept), len(report.Deleted), float64(report.FreedBytes)/1e6)
+		for _, id := range report.Deleted {
+			fmt.Println("deleted", id)
+		}
+		return nil
+
+	case "extract":
+		if f.setID == "" || f.out == "" || f.modelIdx < 0 {
+			return fmt.Errorf("extract requires -set, -model, and -out")
+		}
+		rec, err := s.client.RecoverModels(ctx, s.approach, f.setID, []int{f.modelIdx})
+		if err != nil {
+			return err
+		}
+		out, err := os.Create(f.out)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := nn.SaveModel(rec.Models[f.modelIdx], out); err != nil {
+			return err
+		}
+		fmt.Printf("extracted model %d of %s to %s (%s, %d parameters)\n",
+			f.modelIdx, f.setID, f.out, rec.Arch.Name, rec.Arch.ParamCount())
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// remoteFlags carries the parsed flag values runRemote needs.
+type remoteFlags struct {
+	server    string
+	approach  string
+	setID     string
+	verify    string
+	keep      string
+	out       string
+	archName  string
+	n         int
+	seed      uint64
+	modelIdx  int
+	repair    bool
+	partial   bool
+	waitReady time.Duration
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Degraded recovery: the paper's workload saves every model ever
+// generated, so a recovery of an n≫1000-model set should not fail
+// outright because one model's bytes rotted. WithPartialResults turns
+// per-model failures (corrupt blobs, checksum mismatches, unreadable
+// documents, unresolvable datasets) into recorded skips: the caller
+// gets every model that still recovers plus a RecoveryReport naming
+// exactly what was lost and why. Without the option, recovery keeps
+// its fail-closed contract — any damage fails the whole set.
+
+// ModelFailure names one model that could not be recovered.
+type ModelFailure struct {
+	ModelIndex int    `json:"model_index"`
+	Error      string `json:"error"`
+}
+
+// RecoveryReport is the outcome of a degraded recovery.
+type RecoveryReport struct {
+	SetID string `json:"set_id"`
+	// Requested is the number of distinct models asked for, Recovered
+	// how many came back, Skipped how many were dropped on per-model
+	// failures. Requested == Recovered + Skipped.
+	Requested int `json:"requested"`
+	Recovered int `json:"recovered"`
+	Skipped   int `json:"skipped"`
+	// Failures lists the skipped models in index order.
+	Failures []ModelFailure `json:"failures,omitempty"`
+}
+
+// Degraded reports whether any model was skipped.
+func (r *RecoveryReport) Degraded() bool { return r != nil && r.Skipped > 0 }
+
+func (r *RecoveryReport) String() string {
+	if !r.Degraded() {
+		return fmt.Sprintf("recovered %d/%d models of %q", r.Recovered, r.Requested, r.SetID)
+	}
+	return fmt.Sprintf("recovered %d/%d models of %q (%d skipped, first: model %d: %s)",
+		r.Recovered, r.Requested, r.SetID, r.Skipped,
+		r.Failures[0].ModelIndex, r.Failures[0].Error)
+}
+
+// RecoverOption configures one recovery call.
+type RecoverOption func(*recoverSettings)
+
+// WithPartialResults switches a recovery to degraded mode: models that
+// fail to recover are skipped instead of failing the set, and the
+// outcome is written into report (which may be nil to just enable the
+// mode). A degraded recovery still fails when nothing at all could be
+// recovered, and whole-set damage (unreadable metadata, a broken
+// recovery chain) keeps failing regardless.
+func WithPartialResults(report *RecoveryReport) RecoverOption {
+	return func(rs *recoverSettings) {
+		rs.partial = true
+		rs.report = report
+	}
+}
+
+// recoverSettings is the resolved per-call recovery configuration plus
+// the skip ledger degraded mode accumulates into.
+type recoverSettings struct {
+	partial bool
+	report  *RecoveryReport
+
+	mu       sync.Mutex
+	failures map[int]error
+}
+
+func newRecoverSettings(opts []RecoverOption) *recoverSettings {
+	rs := &recoverSettings{failures: map[int]error{}}
+	for _, o := range opts {
+		o(rs)
+	}
+	return rs
+}
+
+// skip records a per-model failure and reports whether degraded mode
+// absorbs it. Cancellation is never absorbed: a canceled recovery must
+// fail, not masquerade as a degraded one. The first error per model
+// index wins; later failures of the same model are deduplicated (a
+// model can fail once in a base set and again at every diff layer).
+func (rs *recoverSettings) skip(idx int, err error) bool {
+	if rs == nil || !rs.partial {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if _, ok := rs.failures[idx]; !ok {
+		rs.failures[idx] = err
+	}
+	return true
+}
+
+// skipCount returns how many models were skipped so far.
+func (rs *recoverSettings) skipCount() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return len(rs.failures)
+}
+
+// finish settles a recovery: it strips skipped models from rec, fills
+// the caller's report, and enforces the degraded-mode floor — if
+// nothing was recovered, the recovery fails with the lowest-index
+// failure so "degraded" can never mean "silently empty".
+func (rs *recoverSettings) finish(setID string, rec *PartialRecovery, err error) (*PartialRecovery, error) {
+	indices := make([]int, 0, len(rs.failures))
+	rs.mu.Lock()
+	for idx := range rs.failures {
+		indices = append(indices, idx)
+	}
+	rs.mu.Unlock()
+	sort.Ints(indices)
+
+	if err == nil && rec != nil {
+		// A model that failed at any layer must not surface in the
+		// result, even if an earlier layer recovered a stale state.
+		for _, idx := range indices {
+			delete(rec.Models, idx)
+		}
+	}
+
+	report := RecoveryReport{SetID: setID}
+	if rec != nil {
+		report.Recovered = len(rec.Models)
+	}
+	report.Skipped = len(indices)
+	report.Requested = report.Recovered + report.Skipped
+	for _, idx := range indices {
+		report.Failures = append(report.Failures, ModelFailure{ModelIndex: idx, Error: rs.failures[idx].Error()})
+	}
+	if rs.report != nil {
+		*rs.report = report
+	}
+
+	if err != nil {
+		return nil, err
+	}
+	if rs.partial && report.Recovered == 0 && report.Skipped > 0 {
+		return nil, fmt.Errorf("core: degraded recovery of %q lost all %d requested models, first failure: %w",
+			setID, report.Skipped, rs.failures[indices[0]])
+	}
+	return rec, nil
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/dataset"
+	"github.com/mmm-go/mmm/internal/obs"
+)
+
+// flipByte corrupts one byte of a stored blob underneath the blob
+// store, so the recorded checksums stay stale — the way real bit rot
+// arrives.
+func flipByte(t *testing.T, be interface {
+	Get(string) ([]byte, error)
+	Put(string, []byte) error
+}, key string, off int) {
+	t.Helper()
+	raw, err := be.Get(key)
+	if err != nil {
+		t.Fatalf("reading %s for corruption: %v", key, err)
+	}
+	raw[off] ^= 0xFF
+	if err := be.Put(key, raw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegradedRecoveryMMlibSkipsCorruptModel(t *testing.T) {
+	st, blobBE, _ := rawStores()
+	reg := obs.New()
+	m := NewMMlibBase(st, WithMetrics(reg))
+	set := mustNewSet(t, 6)
+	res := mustSave(t, m, SaveRequest{Set: set})
+	all := []int{0, 1, 2, 3, 4, 5}
+
+	flipByte(t, blobBE, fmt.Sprintf("%s/%s/%d/params.bin", mmlibBlobPrefix, res.SetID, 2), 10)
+
+	// Default mode keeps the fail-closed contract.
+	if _, err := m.RecoverModelsContext(context.Background(), res.SetID, all); !errors.Is(err, ErrChecksumMismatch) {
+		t.Fatalf("strict recovery: err = %v, want ErrChecksumMismatch", err)
+	}
+
+	// Degraded mode returns the n-1 survivors plus a report naming the
+	// casualty.
+	var report RecoveryReport
+	rec, err := m.RecoverModelsContext(context.Background(), res.SetID, all, WithPartialResults(&report))
+	if err != nil {
+		t.Fatalf("degraded recovery: %v", err)
+	}
+	if len(rec.Models) != 5 {
+		t.Fatalf("recovered %d models, want 5", len(rec.Models))
+	}
+	if _, ok := rec.Models[2]; ok {
+		t.Fatal("corrupt model 2 present in degraded result")
+	}
+	for _, i := range []int{0, 1, 3, 4, 5} {
+		if !rec.Models[i].ParamsEqual(set.Models[i]) {
+			t.Fatalf("model %d recovered incorrectly", i)
+		}
+	}
+	if report.Requested != 6 || report.Recovered != 5 || report.Skipped != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	if !report.Degraded() {
+		t.Fatal("report not marked degraded")
+	}
+	if len(report.Failures) != 1 || report.Failures[0].ModelIndex != 2 {
+		t.Fatalf("failures = %+v", report.Failures)
+	}
+	if !strings.Contains(report.Failures[0].Error, "model 2") {
+		t.Fatalf("failure does not name the model: %q", report.Failures[0].Error)
+	}
+	if got := reg.Counter(MetricDegradedSkips, obs.L("approach", m.Name())).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricDegradedSkips, got)
+	}
+
+	// A nil report enables the mode without collecting the outcome.
+	rec, err = m.RecoverModelsContext(context.Background(), res.SetID, all, WithPartialResults(nil))
+	if err != nil || len(rec.Models) != 5 {
+		t.Fatalf("nil-report degraded recovery: %d models, err %v", len(rec.Models), err)
+	}
+}
+
+func TestDegradedRecoveryUpdateChainSkipsDiffDamage(t *testing.T) {
+	st, blobBE, _ := rawStores()
+	u := NewUpdate(st)
+	set := mustNewSet(t, 6)
+	base := mustSave(t, u, SaveRequest{Set: set})
+	runCycle(t, set, st.Datasets, 1, []int{2}, []int{5})
+	derived := mustSave(t, u, SaveRequest{Set: set, Base: base.SetID})
+
+	flipByte(t, blobBE, updateBlobPrefix+"/"+derived.SetID+"/diff.bin", 0)
+
+	if _, err := u.RecoverModelsContext(context.Background(), derived.SetID, []int{1, 2, 5}); !errors.Is(err, ErrChecksumMismatch) {
+		t.Fatalf("strict recovery: err = %v, want ErrChecksumMismatch", err)
+	}
+
+	// Models 2 and 5 depend on the damaged diff blob; model 1 is
+	// untouched since the base save and must still recover.
+	var report RecoveryReport
+	rec, err := u.RecoverModelsContext(context.Background(), derived.SetID, []int{1, 2, 5}, WithPartialResults(&report))
+	if err != nil {
+		t.Fatalf("degraded recovery: %v", err)
+	}
+	if len(rec.Models) != 1 {
+		t.Fatalf("recovered %d models, want 1", len(rec.Models))
+	}
+	if !rec.Models[1].ParamsEqual(set.Models[1]) {
+		t.Fatal("surviving model 1 recovered incorrectly")
+	}
+	if report.Requested != 3 || report.Recovered != 1 || report.Skipped != 2 {
+		t.Fatalf("report = %+v", report)
+	}
+	if len(report.Failures) != 2 || report.Failures[0].ModelIndex != 2 || report.Failures[1].ModelIndex != 5 {
+		t.Fatalf("failures = %+v", report.Failures)
+	}
+}
+
+func TestDegradedRecoveryProvenanceSkipsLostDataset(t *testing.T) {
+	st, _, _ := rawStores()
+	p := NewProvenance(st)
+	set := mustNewSet(t, 4)
+	base := mustSave(t, p, SaveRequest{Set: set})
+	updates := runCycle(t, set, st.Datasets, 1, []int{1}, nil)
+	derived := mustSave(t, p, SaveRequest{
+		Set: set, Base: base.SetID, Updates: updates, Train: testTrainInfo(),
+	})
+
+	// Replace the dataset registry with an empty one: replaying model 1's
+	// training can no longer resolve its dataset.
+	lost := st
+	lost.Datasets = dataset.NewRegistry()
+	pLost := NewProvenance(lost)
+
+	if _, err := pLost.RecoverModelsContext(context.Background(), derived.SetID, []int{0, 1}); err == nil {
+		t.Fatal("strict recovery succeeded without the dataset")
+	}
+
+	var report RecoveryReport
+	rec, err := pLost.RecoverModelsContext(context.Background(), derived.SetID, []int{0, 1}, WithPartialResults(&report))
+	if err != nil {
+		t.Fatalf("degraded recovery: %v", err)
+	}
+	if len(rec.Models) != 1 || rec.Models[0] == nil {
+		t.Fatalf("recovered %v, want model 0 only", rec.Models)
+	}
+	if !rec.Models[0].ParamsEqual(set.Models[0]) {
+		t.Fatal("surviving model 0 recovered incorrectly")
+	}
+	if report.Skipped != 1 || len(report.Failures) != 1 || report.Failures[0].ModelIndex != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+}
+
+func TestDegradedRecoveryAllLostFails(t *testing.T) {
+	st, blobBE, _ := rawStores()
+	b := NewBaseline(st)
+	set := mustNewSet(t, 3)
+	res := mustSave(t, b, SaveRequest{Set: set})
+
+	// The test architecture packs every model into the first checksum
+	// chunk, so one flipped byte takes out every ranged read.
+	flipByte(t, blobBE, baselineBlobPrefix+"/"+res.SetID+"/params.bin", 4)
+
+	var report RecoveryReport
+	_, err := b.RecoverModelsContext(context.Background(), res.SetID, []int{0, 1, 2}, WithPartialResults(&report))
+	if err == nil {
+		t.Fatal("degraded recovery that lost every model succeeded")
+	}
+	if !errors.Is(err, ErrChecksumMismatch) {
+		t.Fatalf("all-lost error does not carry the cause: %v", err)
+	}
+	if report.Recovered != 0 || report.Skipped != 3 {
+		t.Fatalf("report = %+v", report)
+	}
+}
+
+func TestDegradedRecoveryCancellationNotAbsorbed(t *testing.T) {
+	st := NewMemStores()
+	b := NewBaseline(st)
+	res := mustSave(t, b, SaveRequest{Set: mustNewSet(t, 3)})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := b.RecoverModelsContext(ctx, res.SetID, []int{0, 1, 2}, WithPartialResults(nil))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled degraded recovery: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRecoveryReportString(t *testing.T) {
+	clean := &RecoveryReport{SetID: "bl-000001", Requested: 4, Recovered: 4}
+	if clean.Degraded() {
+		t.Fatal("clean report marked degraded")
+	}
+	if s := clean.String(); !strings.Contains(s, "4/4") {
+		t.Fatalf("clean String() = %q", s)
+	}
+	degraded := &RecoveryReport{
+		SetID: "bl-000002", Requested: 4, Recovered: 3, Skipped: 1,
+		Failures: []ModelFailure{{ModelIndex: 2, Error: "corrupt blob"}},
+	}
+	s := degraded.String()
+	if !strings.Contains(s, "3/4") || !strings.Contains(s, "model 2") {
+		t.Fatalf("degraded String() = %q", s)
+	}
+	var nilReport *RecoveryReport
+	if nilReport.Degraded() {
+		t.Fatal("nil report marked degraded")
+	}
+}

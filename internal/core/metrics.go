@@ -33,6 +33,9 @@ const (
 	// MetricIntegrityFailures counts recoveries/saves failing integrity
 	// checks, labeled by kind ("checksum" or "corrupt").
 	MetricIntegrityFailures = "mmm_integrity_failures_total"
+	// MetricDegradedSkips counts models skipped by degraded recoveries
+	// (WithPartialResults), labeled by approach.
+	MetricDegradedSkips = "mmm_recover_degraded_skips_total"
 )
 
 // approachObs records one approach's operations into an obs.Registry:
@@ -59,6 +62,7 @@ func newApproachObs(reg *obs.Registry, approach string) *approachObs {
 	reg.Describe(MetricDiffEntries, "Changed layers persisted across derived Update saves.")
 	reg.Describe(MetricChainDepth, "Recovery-chain length walked per recovery.")
 	reg.Describe(MetricIntegrityFailures, "Operations failed on integrity checks, by approach and kind.")
+	reg.Describe(MetricDegradedSkips, "Models skipped by degraded recoveries, by approach.")
 	return &approachObs{reg: reg, approach: approach}
 }
 
@@ -122,6 +126,15 @@ func (o *approachObs) integrity(err error) {
 		return
 	}
 	o.reg.Counter(MetricIntegrityFailures, o.label(), obs.L("kind", kind)).Inc()
+}
+
+// degradedSkips counts models a degraded recovery dropped. Skips are
+// recorded instead of aborting, so they surface here, not in
+// MetricOpErrors.
+func (o *approachObs) degradedSkips(n int) {
+	if n > 0 {
+		o.reg.Counter(MetricDegradedSkips, o.label()).Add(int64(n))
+	}
 }
 
 // diffStats records one derived save's diff volume.

@@ -40,8 +40,9 @@ type PartialRecovery struct {
 // subset of a saved set. All four approaches implement it.
 type PartialRecoverer interface {
 	// RecoverModelsContext recovers the models at the given indices of
-	// the set saved under setID, honoring ctx cancellation.
-	RecoverModelsContext(ctx context.Context, setID string, indices []int) (*PartialRecovery, error)
+	// the set saved under setID, honoring ctx cancellation. Options
+	// configure the call; see WithPartialResults for degraded recovery.
+	RecoverModelsContext(ctx context.Context, setID string, indices []int, opts ...RecoverOption) (*PartialRecovery, error)
 	// RecoverModels recovers the models at the given indices of the set
 	// saved under setID.
 	//
@@ -72,8 +73,10 @@ func validateIndices(indices []int, numModels int) ([]int, error) {
 }
 
 // rangedModels reads the selected models out of a fullSave parameter
-// blob using ranged reads, one independent read+decode per index.
-func rangedModels(ctx context.Context, st Stores, blobPrefix string, meta setMeta, indices []int, workers int) (*PartialRecovery, error) {
+// blob using ranged reads, one independent read+decode per index. In
+// degraded mode (rs), models whose range fails to read or decode are
+// skipped instead of failing the call.
+func rangedModels(ctx context.Context, st Stores, blobPrefix string, meta setMeta, indices []int, workers int, rs *recoverSettings) (*PartialRecovery, error) {
 	arch, err := loadArchBlob(st, blobPrefix+"/"+meta.SetID+"/arch.json")
 	if err != nil {
 		return nil, err
@@ -83,18 +86,24 @@ func rangedModels(ctx context.Context, st Stores, blobPrefix string, meta setMet
 	models := make([]*nn.Model, len(indices))
 	err = pool.Run(ctx, workers, len(indices), func(k int) error {
 		idx := indices[k]
-		raw, err := st.Blobs.GetRange(key, int64(idx)*perModel, perModel)
-		if err != nil {
-			return fmt.Errorf("core: reading model %d: %w", idx, err)
+		one := func() error {
+			raw, err := st.Blobs.GetRange(key, int64(idx)*perModel, perModel)
+			if err != nil {
+				return fmt.Errorf("core: reading model %d: %w", idx, err)
+			}
+			m, err := nn.NewModelUninitialized(arch)
+			if err != nil {
+				return err
+			}
+			if _, err := m.SetParamBytes(raw); err != nil {
+				return fmt.Errorf("core: recovering model %d: %w", idx, err)
+			}
+			models[k] = m
+			return nil
 		}
-		m, err := nn.NewModelUninitialized(arch)
-		if err != nil {
+		if err := one(); err != nil && !rs.skip(idx, err) {
 			return err
 		}
-		if _, err := m.SetParamBytes(raw); err != nil {
-			return fmt.Errorf("core: recovering model %d: %w", idx, err)
-		}
-		models[k] = m
 		return nil
 	})
 	if err != nil {
@@ -102,20 +111,25 @@ func rangedModels(ctx context.Context, st Stores, blobPrefix string, meta setMet
 	}
 	out := &PartialRecovery{Arch: arch, Models: make(map[int]*nn.Model, len(indices))}
 	for k, idx := range indices {
-		out.Models[idx] = models[k]
+		if models[k] != nil {
+			out.Models[idx] = models[k]
+		}
 	}
 	return out, nil
 }
 
 // RecoverModelsContext implements PartialRecoverer for Baseline.
-func (b *Baseline) RecoverModelsContext(ctx context.Context, setID string, indices []int) (*PartialRecovery, error) {
+func (b *Baseline) RecoverModelsContext(ctx context.Context, setID string, indices []int, opts ...RecoverOption) (*PartialRecovery, error) {
+	rs := newRecoverSettings(opts)
 	sp := b.metrics.begin("partial_recover", setID)
-	rec, err := b.recoverModels(ctx, setID, indices)
+	rec, err := b.recoverModels(ctx, setID, indices, rs)
+	rec, err = rs.finish(setID, rec, err)
 	b.metrics.endRecover(sp, 0, err)
+	b.metrics.degradedSkips(rs.skipCount())
 	return rec, err
 }
 
-func (b *Baseline) recoverModels(ctx context.Context, setID string, indices []int) (*PartialRecovery, error) {
+func (b *Baseline) recoverModels(ctx context.Context, setID string, indices []int, rs *recoverSettings) (*PartialRecovery, error) {
 	meta, err := loadMeta(b.stores, baselineCollection, setID)
 	if err != nil {
 		return nil, err
@@ -127,7 +141,7 @@ func (b *Baseline) recoverModels(ctx context.Context, setID string, indices []in
 	if err != nil {
 		return nil, err
 	}
-	return rangedModels(ctx, b.stores, baselineBlobPrefix, meta, idx, b.workers)
+	return rangedModels(ctx, b.stores, baselineBlobPrefix, meta, idx, b.workers, rs)
 }
 
 // RecoverModels implements PartialRecoverer.
@@ -138,14 +152,17 @@ func (b *Baseline) RecoverModels(setID string, indices []int) (*PartialRecovery,
 }
 
 // RecoverModelsContext implements PartialRecoverer for MMlibBase.
-func (m *MMlibBase) RecoverModelsContext(ctx context.Context, setID string, indices []int) (*PartialRecovery, error) {
+func (m *MMlibBase) RecoverModelsContext(ctx context.Context, setID string, indices []int, opts ...RecoverOption) (*PartialRecovery, error) {
+	rs := newRecoverSettings(opts)
 	sp := m.metrics.begin("partial_recover", setID)
-	rec, err := m.recoverModels(ctx, setID, indices)
+	rec, err := m.recoverModels(ctx, setID, indices, rs)
+	rec, err = rs.finish(setID, rec, err)
 	m.metrics.endRecover(sp, 0, err)
+	m.metrics.degradedSkips(rs.skipCount())
 	return rec, err
 }
 
-func (m *MMlibBase) recoverModels(ctx context.Context, setID string, indices []int) (*PartialRecovery, error) {
+func (m *MMlibBase) recoverModels(ctx context.Context, setID string, indices []int, rs *recoverSettings) (*PartialRecovery, error) {
 	meta, err := loadMeta(m.stores, mmlibSetCollection, setID)
 	if err != nil {
 		return nil, err
@@ -162,6 +179,9 @@ func (m *MMlibBase) recoverModels(ctx context.Context, setID string, indices []i
 	err = pool.Run(ctx, m.workers, len(idx), func(k int) error {
 		model, arch, err := m.recoverOne(setID, idx[k])
 		if err != nil {
+			if rs.skip(idx[k], err) {
+				return nil
+			}
 			return err
 		}
 		models[k] = model
@@ -171,9 +191,12 @@ func (m *MMlibBase) recoverModels(ctx context.Context, setID string, indices []i
 	if err != nil {
 		return nil, err
 	}
-	out := &PartialRecovery{Arch: archs[0], Models: make(map[int]*nn.Model, len(idx))}
+	out := &PartialRecovery{Models: make(map[int]*nn.Model, len(idx))}
 	for k, i := range idx {
-		out.Models[i] = models[k]
+		if models[k] != nil {
+			out.Models[i] = models[k]
+			out.Arch = archs[k]
+		}
 	}
 	return out, nil
 }
@@ -235,15 +258,18 @@ func paramByteSizes(arch *nn.Architecture) []int {
 }
 
 // RecoverModelsContext implements PartialRecoverer for Update.
-func (u *Update) RecoverModelsContext(ctx context.Context, setID string, indices []int) (*PartialRecovery, error) {
+func (u *Update) RecoverModelsContext(ctx context.Context, setID string, indices []int, opts ...RecoverOption) (*PartialRecovery, error) {
+	rs := newRecoverSettings(opts)
 	sp := u.metrics.begin("partial_recover", setID)
 	visited := map[string]bool{}
-	rec, err := u.recoverModels(ctx, setID, indices, visited)
+	rec, err := u.recoverModels(ctx, setID, indices, visited, rs)
+	rec, err = rs.finish(setID, rec, err)
 	u.metrics.endRecover(sp, len(visited)-1, err)
+	u.metrics.degradedSkips(rs.skipCount())
 	return rec, err
 }
 
-func (u *Update) recoverModels(ctx context.Context, setID string, indices []int, visited map[string]bool) (*PartialRecovery, error) {
+func (u *Update) recoverModels(ctx context.Context, setID string, indices []int, visited map[string]bool, rs *recoverSettings) (*PartialRecovery, error) {
 	if err := checkChain(visited, setID); err != nil {
 		return nil, err
 	}
@@ -259,10 +285,10 @@ func (u *Update) recoverModels(ctx context.Context, setID string, indices []int,
 		return nil, err
 	}
 	if meta.Kind == "full" {
-		return rangedModels(ctx, u.stores, updateBlobPrefix, meta, idx, u.workers)
+		return rangedModels(ctx, u.stores, updateBlobPrefix, meta, idx, u.workers, rs)
 	}
 
-	base, err := u.recoverModels(ctx, meta.Base, idx, visited)
+	base, err := u.recoverModels(ctx, meta.Base, idx, visited, rs)
 	if err != nil {
 		return nil, fmt.Errorf("core: recovering base of %q: %w", setID, err)
 	}
@@ -324,39 +350,48 @@ func (u *Update) recoverModels(ctx context.Context, setID string, indices []int,
 
 	err = pool.Run(ctx, u.workers, len(apply), func(k int) error {
 		e, off := apply[k].e, apply[k].off
-		size := int64(sizes[e.P])
-		var segment []byte
-		if whole != nil {
-			if off+size > int64(len(whole)) {
-				return fmt.Errorf("core: diff blob truncated at model %d: %w", e.M, ErrCorruptBlob)
+		one := func() error {
+			size := int64(sizes[e.P])
+			var segment []byte
+			if whole != nil {
+				if off+size > int64(len(whole)) {
+					return fmt.Errorf("core: diff blob truncated at model %d: %w", e.M, ErrCorruptBlob)
+				}
+				segment = whole[off : off+size]
+			} else {
+				var err error
+				segment, err = u.stores.Blobs.GetRange(blobKey, off, size)
+				if err != nil {
+					return fmt.Errorf("core: reading diff of model %d: %w", e.M, err)
+				}
 			}
-			segment = whole[off : off+size]
-		} else {
-			var err error
-			segment, err = u.stores.Blobs.GetRange(blobKey, off, size)
-			if err != nil {
-				return fmt.Errorf("core: reading diff of model %d: %w", e.M, err)
+			model, ok := base.Models[e.M]
+			if !ok {
+				return fmt.Errorf("core: base recovery missing model %d", e.M)
 			}
-		}
-		model, ok := base.Models[e.M]
-		if !ok {
-			return fmt.Errorf("core: base recovery missing model %d", e.M)
-		}
-		t := model.Params()[e.P].Tensor
-		if diff.Delta {
-			if _, err := t.XORFromBytes(segment); err != nil {
+			t := model.Params()[e.P].Tensor
+			if diff.Delta {
+				if _, err := t.XORFromBytes(segment); err != nil {
+					return fmt.Errorf("core: applying diff for model %d param %d: %w", e.M, e.P, err)
+				}
+			} else if _, err := t.SetFromBytes(segment); err != nil {
 				return fmt.Errorf("core: applying diff for model %d param %d: %w", e.M, e.P, err)
 			}
-		} else if _, err := t.SetFromBytes(segment); err != nil {
-			return fmt.Errorf("core: applying diff for model %d param %d: %w", e.M, e.P, err)
+			// A hash document that does not cover the entry would silently
+			// disable the integrity check, so it is corruption.
+			if e.M >= len(stored.Models) || e.P >= len(stored.Models[e.M]) {
+				return fmt.Errorf("core: hash info does not cover model %d param %d: %w", e.M, e.P, ErrCorruptBlob)
+			}
+			if got := hashing.Tensor(t); got != stored.Models[e.M][e.P] {
+				return fmt.Errorf("core: model %d param %d hash mismatch after applying diff: %w", e.M, e.P, ErrCorruptBlob)
+			}
+			return nil
 		}
-		// A hash document that does not cover the entry would silently
-		// disable the integrity check, so it is corruption.
-		if e.M >= len(stored.Models) || e.P >= len(stored.Models[e.M]) {
-			return fmt.Errorf("core: hash info does not cover model %d param %d: %w", e.M, e.P, ErrCorruptBlob)
-		}
-		if got := hashing.Tensor(t); got != stored.Models[e.M][e.P] {
-			return fmt.Errorf("core: model %d param %d hash mismatch after applying diff: %w", e.M, e.P, ErrCorruptBlob)
+		// In degraded mode a failed diff application drops model e.M
+		// (rs.finish strips it even if other entries applied cleanly);
+		// the other requested models keep recovering.
+		if err := one(); err != nil && !rs.skip(e.M, err) {
+			return err
 		}
 		return nil
 	})
@@ -374,15 +409,18 @@ func (u *Update) RecoverModels(setID string, indices []int) (*PartialRecovery, e
 }
 
 // RecoverModelsContext implements PartialRecoverer for Provenance.
-func (p *Provenance) RecoverModelsContext(ctx context.Context, setID string, indices []int) (*PartialRecovery, error) {
+func (p *Provenance) RecoverModelsContext(ctx context.Context, setID string, indices []int, opts ...RecoverOption) (*PartialRecovery, error) {
+	rs := newRecoverSettings(opts)
 	sp := p.metrics.begin("partial_recover", setID)
 	visited := map[string]bool{}
-	rec, err := p.recoverModels(ctx, setID, indices, visited)
+	rec, err := p.recoverModels(ctx, setID, indices, visited, rs)
+	rec, err = rs.finish(setID, rec, err)
 	p.metrics.endRecover(sp, len(visited)-1, err)
+	p.metrics.degradedSkips(rs.skipCount())
 	return rec, err
 }
 
-func (p *Provenance) recoverModels(ctx context.Context, setID string, indices []int, visited map[string]bool) (*PartialRecovery, error) {
+func (p *Provenance) recoverModels(ctx context.Context, setID string, indices []int, visited map[string]bool, rs *recoverSettings) (*PartialRecovery, error) {
 	if err := checkChain(visited, setID); err != nil {
 		return nil, err
 	}
@@ -398,10 +436,10 @@ func (p *Provenance) recoverModels(ctx context.Context, setID string, indices []
 		return nil, err
 	}
 	if meta.Kind == "full" {
-		return rangedModels(ctx, p.stores, provenanceBlobPrefix, meta, idx, p.workers)
+		return rangedModels(ctx, p.stores, provenanceBlobPrefix, meta, idx, p.workers, rs)
 	}
 
-	base, err := p.recoverModels(ctx, meta.Base, idx, visited)
+	base, err := p.recoverModels(ctx, meta.Base, idx, visited, rs)
 	if err != nil {
 		return nil, fmt.Errorf("core: recovering base of %q: %w", setID, err)
 	}
@@ -434,17 +472,28 @@ func (p *Provenance) recoverModels(ctx context.Context, setID string, indices []
 		perModel[u.ModelIndex] = append(perModel[u.ModelIndex], u)
 	}
 	err = pool.Run(ctx, p.workers, len(order), func(k int) error {
-		for _, u := range perModel[order[k]] {
-			data, err := p.stores.Datasets.Materialize(u.DatasetID)
-			if err != nil {
-				return fmt.Errorf("core: resolving dataset of model %d: %w", u.ModelIndex, err)
+		idx := order[k]
+		one := func() error {
+			for _, u := range perModel[idx] {
+				model, ok := base.Models[idx]
+				if !ok {
+					return fmt.Errorf("core: base recovery missing model %d", idx)
+				}
+				data, err := p.stores.Datasets.Materialize(u.DatasetID)
+				if err != nil {
+					return fmt.Errorf("core: resolving dataset of model %d: %w", u.ModelIndex, err)
+				}
+				cfg := train.Config
+				cfg.Seed = u.Seed
+				cfg.TrainLayers = u.TrainLayers
+				if _, err := nn.Train(model, data, cfg); err != nil {
+					return fmt.Errorf("core: re-training model %d: %w", u.ModelIndex, err)
+				}
 			}
-			cfg := train.Config
-			cfg.Seed = u.Seed
-			cfg.TrainLayers = u.TrainLayers
-			if _, err := nn.Train(base.Models[u.ModelIndex], data, cfg); err != nil {
-				return fmt.Errorf("core: re-training model %d: %w", u.ModelIndex, err)
-			}
+			return nil
+		}
+		if err := one(); err != nil && !rs.skip(idx, err) {
+			return err
 		}
 		return nil
 	})

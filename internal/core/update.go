@@ -233,7 +233,7 @@ func (u *Update) saveDerived(ctx context.Context, op *saveOp, setID string, req 
 		var err error
 		// The private entry point skips the partial-recovery metrics: this
 		// read is part of the save, not a user-facing recovery.
-		basePartial, err = u.recoverModels(ctx, req.Base, changedModels, map[string]bool{})
+		basePartial, err = u.recoverModels(ctx, req.Base, changedModels, map[string]bool{}, newRecoverSettings(nil))
 		if err != nil {
 			return fmt.Errorf("core: reading base values for delta encoding: %w", err)
 		}

@@ -1,0 +1,336 @@
+// Package netchaos injects network-level faults deterministically, so
+// resilience tests can prove what the storage-level crash machinery
+// (internal/storage/sim) proves for durability: that the save/recover
+// path survives the failures production networks actually produce.
+//
+// Two injection points cover both halves of a connection:
+//
+//   - Transport wraps an http.RoundTripper on the client side and
+//     injects connection resets, dropped responses (the request WAS
+//     processed — the dangerous case for exactly-once semantics),
+//     synthesized 503 bursts, truncated response bodies, and latency.
+//   - Listener wraps a net.Listener on the server side and injects
+//     accept-time resets, mid-response truncation, and latency.
+//
+// All decisions derive from a SplitMix64 seed (internal/rng), so a
+// failing chaos run replays exactly from its seed. A Script overrides
+// the probabilistic plan with an explicit fault sequence for tests
+// that need one precise failure at one precise point.
+package netchaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/mmm-go/mmm/internal/rng"
+)
+
+// Fault enumerates the injectable network faults.
+type Fault int
+
+// The fault kinds. FaultNone passes the operation through untouched.
+const (
+	FaultNone Fault = iota
+	// FaultReset fails the operation before the request reaches the
+	// server (client) or closes the connection at accept (server).
+	FaultReset
+	// FaultDropResponse delivers the request, lets the server process
+	// it fully, then discards the response and reports a reset — the
+	// case that makes naive retry a duplicate-write machine.
+	FaultDropResponse
+	// FaultServerBusy synthesizes a 503 with a Retry-After header
+	// without delivering the request (client transport only).
+	FaultServerBusy
+	// FaultTruncate delivers the request but cuts the response body
+	// short (client) or closes the connection after a byte budget
+	// (server).
+	FaultTruncate
+	// FaultLatency delays the operation, then passes it through.
+	FaultLatency
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultReset:
+		return "reset"
+	case FaultDropResponse:
+		return "drop-response"
+	case FaultServerBusy:
+		return "server-busy"
+	case FaultTruncate:
+		return "truncate"
+	case FaultLatency:
+		return "latency"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// Config selects which faults an injector produces and how often.
+// Probabilities are evaluated cumulatively in the declared order
+// against one uniform draw per operation, so they must sum to ≤ 1.
+type Config struct {
+	// Seed drives every probabilistic decision. The same seed over the
+	// same operation sequence yields the same fault sequence.
+	Seed uint64
+	// Reset, DropResponse, ServerBusy, Truncate are per-operation
+	// injection probabilities in [0, 1].
+	Reset        float64
+	DropResponse float64
+	ServerBusy   float64
+	Truncate     float64
+	// LatencyP is the probability of injecting Latency extra delay.
+	LatencyP float64
+	Latency  time.Duration
+	// MaxFaults bounds the total number of injected faults; once
+	// reached, everything passes through. 0 means unlimited — combine
+	// with a retry budget that exceeds the expected fault count, or
+	// chaos can starve the operation forever.
+	MaxFaults int
+	// Script, when non-empty, replaces the probabilistic plan: faults
+	// are consumed in order, one per operation, and operations beyond
+	// the script pass through untouched.
+	Script []Fault
+}
+
+// planner hands out the fault for each successive operation.
+type planner struct {
+	cfg      Config
+	mu       sync.Mutex
+	rng      *rng.RNG
+	pos      int // script position
+	injected int
+	perFault map[Fault]int
+}
+
+func newPlanner(cfg Config) *planner {
+	return &planner{cfg: cfg, rng: rng.New(cfg.Seed), perFault: map[Fault]int{}}
+}
+
+func (p *planner) next() Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f := FaultNone
+	switch {
+	case len(p.cfg.Script) > 0:
+		if p.pos < len(p.cfg.Script) {
+			f = p.cfg.Script[p.pos]
+			p.pos++
+		}
+	case p.cfg.MaxFaults > 0 && p.injected >= p.cfg.MaxFaults:
+	default:
+		u := p.rng.Float64()
+		for _, c := range []struct {
+			prob float64
+			f    Fault
+		}{
+			{p.cfg.Reset, FaultReset},
+			{p.cfg.DropResponse, FaultDropResponse},
+			{p.cfg.ServerBusy, FaultServerBusy},
+			{p.cfg.Truncate, FaultTruncate},
+			{p.cfg.LatencyP, FaultLatency},
+		} {
+			if u < c.prob {
+				f = c.f
+				break
+			}
+			u -= c.prob
+		}
+	}
+	if f != FaultNone {
+		p.injected++
+		p.perFault[f]++
+	}
+	return f
+}
+
+// count returns how many faults were injected so far.
+func (p *planner) count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+// resetErr is the error used for injected resets. It wraps
+// syscall.ECONNRESET so error classifiers treat it exactly like a real
+// peer reset.
+func resetErr(when string) error {
+	return fmt.Errorf("netchaos: connection reset %s: %w", when, syscall.ECONNRESET)
+}
+
+// Transport is a fault-injecting http.RoundTripper.
+type Transport struct {
+	base http.RoundTripper
+	plan *planner
+}
+
+// NewTransport wraps base (nil means http.DefaultTransport) with fault
+// injection per cfg.
+func NewTransport(base http.RoundTripper, cfg Config) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, plan: newPlanner(cfg)}
+}
+
+// Injected returns how many faults the transport injected so far.
+func (t *Transport) Injected() int { return t.plan.count() }
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch f := t.plan.next(); f {
+	case FaultReset:
+		return nil, resetErr("before request")
+	case FaultDropResponse:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		// The server processed the request; the client never learns.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, resetErr("while reading response")
+	case FaultServerBusy:
+		return &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Status:     "503 Service Unavailable",
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header: http.Header{
+				"Retry-After":  []string{"0"},
+				"Content-Type": []string{"application/json"},
+			},
+			Body:          io.NopCloser(strings.NewReader(`{"error":"netchaos: injected overload"}`)),
+			ContentLength: -1,
+			Request:       req,
+		}, nil
+	case FaultTruncate:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		keep := int64(64)
+		if resp.ContentLength > 1 {
+			keep = resp.ContentLength / 2
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, remaining: keep}
+		return resp, nil
+	case FaultLatency:
+		if d := t.plan.cfg.Latency; d > 0 {
+			select {
+			case <-time.After(d):
+			case <-req.Context().Done():
+				return nil, req.Context().Err()
+			}
+		}
+		return t.base.RoundTrip(req)
+	default:
+		return t.base.RoundTrip(req)
+	}
+}
+
+// truncatedBody yields the first remaining bytes of rc, then reports a
+// reset — what a connection cut mid-response looks like to a reader.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, resetErr("mid-body")
+	}
+	if int64(len(p)) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= int64(n)
+	if err == nil && b.remaining <= 0 {
+		err = resetErr("mid-body")
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
+
+// Listener is a fault-injecting net.Listener: each accepted connection
+// draws one fault that shapes its whole lifetime.
+type Listener struct {
+	net.Listener
+	plan *planner
+}
+
+// WrapListener wraps ln with fault injection per cfg. Only FaultReset
+// (close at accept), FaultTruncate (close after a byte budget of
+// writes), and FaultLatency (delay each write) apply; other kinds pass
+// through.
+func WrapListener(ln net.Listener, cfg Config) *Listener {
+	return &Listener{Listener: ln, plan: newPlanner(cfg)}
+}
+
+// Injected returns how many faults the listener injected so far.
+func (l *Listener) Injected() int { return l.plan.count() }
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	switch l.plan.next() {
+	case FaultReset:
+		c.Close()
+		return c, nil
+	case FaultTruncate:
+		return &truncatedConn{Conn: c, budget: 256}, nil
+	case FaultLatency:
+		return &slowConn{Conn: c, delay: l.plan.cfg.Latency}, nil
+	default:
+		return c, nil
+	}
+}
+
+// truncatedConn closes the connection once budget response bytes have
+// been written.
+type truncatedConn struct {
+	net.Conn
+	mu     sync.Mutex
+	budget int64
+}
+
+func (c *truncatedConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget <= 0 {
+		c.Conn.Close()
+		return 0, resetErr("mid-response")
+	}
+	if int64(len(p)) > c.budget {
+		n, _ := c.Conn.Write(p[:c.budget])
+		c.budget = 0
+		c.Conn.Close()
+		return n, resetErr("mid-response")
+	}
+	n, err := c.Conn.Write(p)
+	c.budget -= int64(n)
+	return n, err
+}
+
+// slowConn delays every write by a fixed amount.
+type slowConn struct {
+	net.Conn
+	delay time.Duration
+}
+
+func (c *slowConn) Write(p []byte) (int, error) {
+	if c.delay > 0 {
+		time.Sleep(c.delay)
+	}
+	return c.Conn.Write(p)
+}

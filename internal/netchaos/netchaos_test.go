@@ -1,0 +1,167 @@
+package netchaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// faultSequence draws n faults from a fresh planner with cfg.
+func faultSequence(cfg Config, n int) []Fault {
+	p := newPlanner(cfg)
+	out := make([]Fault, n)
+	for i := range out {
+		out[i] = p.next()
+	}
+	return out
+}
+
+func TestPlannerDeterministicFromSeed(t *testing.T) {
+	cfg := Config{Seed: 42, Reset: 0.2, DropResponse: 0.2, ServerBusy: 0.2, Truncate: 0.1}
+	a := faultSequence(cfg, 200)
+	b := faultSequence(cfg, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	var injected int
+	for _, f := range a {
+		if f != FaultNone {
+			injected++
+		}
+	}
+	// ~70% fault rate over 200 draws: both pure-pass and pure-fault
+	// sequences would mean the probabilities are ignored.
+	if injected == 0 || injected == len(a) {
+		t.Fatalf("injected %d/%d faults, want a mix", injected, len(a))
+	}
+
+	cfg.Seed = 43
+	c := faultSequence(cfg, 200)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestPlannerScriptAndMaxFaults(t *testing.T) {
+	script := []Fault{FaultReset, FaultNone, FaultServerBusy}
+	got := faultSequence(Config{Script: script}, 5)
+	want := []Fault{FaultReset, FaultNone, FaultServerBusy, FaultNone, FaultNone}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scripted draw %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	p := newPlanner(Config{Seed: 1, Reset: 1, MaxFaults: 3})
+	var injected int
+	for i := 0; i < 10; i++ {
+		if p.next() != FaultNone {
+			injected++
+		}
+	}
+	if injected != 3 {
+		t.Fatalf("MaxFaults=3 injected %d faults", injected)
+	}
+}
+
+func TestTransportFaults(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("x", 1024))
+	}))
+	defer ts.Close()
+
+	tr := NewTransport(nil, Config{Script: []Fault{
+		FaultReset, FaultServerBusy, FaultDropResponse, FaultTruncate, FaultNone,
+	}})
+	client := &http.Client{Transport: tr}
+
+	// Reset: the request never happens.
+	if _, err := client.Get(ts.URL); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("reset fault: err = %v, want ECONNRESET", err)
+	}
+
+	// ServerBusy: synthesized 503 with Retry-After.
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("busy fault: status %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	resp.Body.Close()
+
+	// DropResponse: the handler ran, but the client sees a reset.
+	if _, err := client.Get(ts.URL); !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("drop fault: err = %v, want ECONNRESET", err)
+	}
+
+	// Truncate: headers arrive, the body dies halfway.
+	resp, err = client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("truncate fault: read err = %v, want ECONNRESET", err)
+	}
+	if len(body) == 0 || len(body) >= 1024 {
+		t.Fatalf("truncate fault delivered %d of 1024 bytes", len(body))
+	}
+
+	// Script exhausted: clean pass-through.
+	resp, err = client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(body) != 1024 {
+		t.Fatalf("pass-through read %d bytes, err %v", len(body), err)
+	}
+	if tr.Injected() != 4 {
+		t.Fatalf("Injected() = %d, want 4", tr.Injected())
+	}
+}
+
+func TestListenerTruncation(t *testing.T) {
+	inner := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("y", 64*1024))
+	}))
+	inner.Listener = WrapListener(inner.Listener, Config{Script: []Fault{FaultTruncate}})
+	inner.Start()
+	defer inner.Close()
+
+	resp, err := http.Get(inner.URL)
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("truncating listener delivered the full response")
+	}
+
+	// The script is spent; the next connection works end to end.
+	resp, err = http.Get(inner.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(body) != 64*1024 {
+		t.Fatalf("post-chaos read %d bytes, err %v", len(body), err)
+	}
+}

@@ -15,16 +15,30 @@ import (
 	"github.com/mmm-go/mmm/internal/core"
 	"github.com/mmm-go/mmm/internal/dataset"
 	"github.com/mmm-go/mmm/internal/nn"
+	"github.com/mmm-go/mmm/internal/obs"
 )
 
 // Client talks to a management Server. It mirrors the approach API:
 // Save, Recover, RecoverModels, plus the operational endpoints. Every
 // method takes a context that cancels the request in flight.
+//
+// GETs retry transient failures (transport errors, truncated bodies,
+// 502/503/504) with jittered backoff; POSTs are sent once unless made
+// idempotent via SaveWithKey. An optional Breaker stops requests to a
+// server that keeps failing. See retry.go.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://manager:8080".
 	BaseURL string
 	// HTTP is the client to use; nil means http.DefaultClient.
 	HTTP *http.Client
+	// Retry tunes the retry loop; nil uses the defaults documented on
+	// RetryPolicy.
+	Retry *RetryPolicy
+	// Breaker, when set, applies circuit breaking to every request.
+	Breaker *Breaker
+	// Reg receives the mmm_client_* metric series; nil means
+	// obs.Default.
+	Reg *obs.Registry
 }
 
 func (c *Client) http() *http.Client {
@@ -72,15 +86,11 @@ func sentinelForCode(code string) error {
 	}
 }
 
-func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
-	if err != nil {
-		return nil, err
-	}
-	if contentType != "" {
-		req.Header.Set("Content-Type", contentType)
-	}
-	return c.http().Do(req)
+// do sends one logical request through the retry/breaker layer. body
+// must be a full, replayable payload; GETs are retried, other methods
+// are sent once.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) (*http.Response, error) {
+	return c.roundTrip(ctx, method, path, contentType, body, nil, method == http.MethodGet)
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
@@ -100,7 +110,7 @@ func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.do(ctx, http.MethodPost, path, "application/json", bytes.NewReader(body))
+	resp, err := c.do(ctx, http.MethodPost, path, "application/json", body)
 	if err != nil {
 		return err
 	}
@@ -148,8 +158,25 @@ func (c *Client) Info(ctx context.Context, approach, setID string) ([]core.SetIn
 }
 
 // Save uploads a model set. base, updates, and train follow
-// core.SaveRequest semantics.
+// core.SaveRequest semantics. Save is sent once: without an
+// idempotency key a retry could duplicate the set. Use SaveWithKey on
+// unreliable networks.
 func (c *Client) Save(ctx context.Context, approach string, set *core.ModelSet, base string, updates []core.ModelUpdate, train *core.TrainInfo) (core.SaveResult, error) {
+	return c.save(ctx, approach, "", set, base, updates, train)
+}
+
+// SaveWithKey is Save with an Idempotency-Key: the server executes the
+// save once per (approach, key) and replays the recorded result to
+// retries, so the client retries transient failures as freely as a
+// GET. Keys are client-chosen; a fresh operation needs a fresh key.
+func (c *Client) SaveWithKey(ctx context.Context, approach, key string, set *core.ModelSet, base string, updates []core.ModelUpdate, train *core.TrainInfo) (core.SaveResult, error) {
+	if key == "" {
+		return core.SaveResult{}, fmt.Errorf("server: SaveWithKey needs a non-empty key")
+	}
+	return c.save(ctx, approach, key, set, base, updates, train)
+}
+
+func (c *Client) save(ctx context.Context, approach, key string, set *core.ModelSet, base string, updates []core.ModelUpdate, train *core.TrainInfo) (core.SaveResult, error) {
 	var buf bytes.Buffer
 	mw := multipart.NewWriter(&buf)
 	mpart, err := mw.CreateFormField("manifest")
@@ -174,7 +201,12 @@ func (c *Client) Save(ctx context.Context, approach string, set *core.ModelSet, 
 		return core.SaveResult{}, err
 	}
 
-	resp, err := c.do(ctx, http.MethodPost, "/api/"+approach+"/sets", mw.FormDataContentType(), &buf)
+	var header http.Header
+	if key != "" {
+		header = http.Header{IdempotencyKeyHeader: []string{key}}
+	}
+	resp, err := c.roundTrip(ctx, http.MethodPost, "/api/"+approach+"/sets",
+		mw.FormDataContentType(), buf.Bytes(), header, key != "")
 	if err != nil {
 		return core.SaveResult{}, err
 	}
@@ -198,32 +230,60 @@ func (c *Client) Recover(ctx context.Context, approach, setID string) (*core.Mod
 
 // RecoverModels downloads selected models of a set.
 func (c *Client) RecoverModels(ctx context.Context, approach, setID string, indices []int) (*core.PartialRecovery, error) {
-	strs := make([]string, len(indices))
-	for i, v := range indices {
-		strs[i] = strconv.Itoa(v)
+	rec, _, err := c.recoverModels(ctx, approach, setID, indices, false)
+	return rec, err
+}
+
+// RecoverModelsPartial downloads selected models in degraded mode:
+// models the server cannot recover are skipped, and the report names
+// them. See core.WithPartialResults.
+func (c *Client) RecoverModelsPartial(ctx context.Context, approach, setID string, indices []int) (*core.PartialRecovery, *core.RecoveryReport, error) {
+	return c.recoverModels(ctx, approach, setID, indices, true)
+}
+
+// RecoverPartial downloads a whole set in degraded mode, returning the
+// recoverable models plus the report of what was lost.
+func (c *Client) RecoverPartial(ctx context.Context, approach, setID string) (*core.PartialRecovery, *core.RecoveryReport, error) {
+	return c.recoverModels(ctx, approach, setID, nil, true)
+}
+
+func (c *Client) recoverModels(ctx context.Context, approach, setID string, indices []int, partial bool) (*core.PartialRecovery, *core.RecoveryReport, error) {
+	path := "/api/" + approach + "/sets/" + setID + "/params"
+	q := make([]string, 0, 2)
+	if len(indices) > 0 {
+		strs := make([]string, len(indices))
+		for i, v := range indices {
+			strs[i] = strconv.Itoa(v)
+		}
+		q = append(q, "indices="+strings.Join(strs, ","))
 	}
-	path := "/api/" + approach + "/sets/" + setID + "/params?indices=" + strings.Join(strs, ",")
+	if partial {
+		q = append(q, "partial=1")
+	}
+	if len(q) > 0 {
+		path += "?" + strings.Join(q, "&")
+	}
 	manifest, params, err := c.fetchParams(ctx, path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	per := manifest.Arch.ParamBytes()
 	if len(params) != per*len(manifest.Indices) {
-		return nil, fmt.Errorf("server: selective recovery returned %d bytes for %d models",
+		return nil, nil, fmt.Errorf("server: selective recovery returned %d bytes for %d models",
 			len(params), len(manifest.Indices))
 	}
 	out := &core.PartialRecovery{Arch: manifest.Arch, Models: map[int]*nn.Model{}}
 	for i, idx := range manifest.Indices {
 		m, err := nn.NewModelUninitialized(manifest.Arch)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if _, err := m.SetParamBytes(params[i*per : (i+1)*per]); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out.Models[idx] = m
 	}
-	return out, nil
+	return out, manifest.Report, nil
 }
 
 // fetchParams downloads a multipart recovery response.

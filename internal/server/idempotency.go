@@ -1,0 +1,103 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"github.com/mmm-go/mmm/internal/core"
+	"github.com/mmm-go/mmm/internal/storage/backend"
+	"github.com/mmm-go/mmm/internal/storage/docstore"
+)
+
+// The idempotency journal makes save retries safe across connection
+// faults. A client that sends a save with an Idempotency-Key and then
+// loses the connection cannot tell whether the save landed; on retry
+// the journal answers with the recorded result instead of writing a
+// duplicate set. Entries persist in the docstore, so dedup survives a
+// server restart — the exact window (save landed, process bounced,
+// client retried) where in-process state would fail.
+
+// journalCollection holds completed-save records. It is not one of
+// fsck's owned collections, so integrity scans leave it alone.
+const journalCollection = "op_journal"
+
+// journalEntry records one completed save under its idempotency key.
+type journalEntry struct {
+	Approach string          `json:"approach"`
+	Key      string          `json:"key"`
+	Result   core.SaveResult `json:"result"`
+	SavedAt  time.Time       `json:"saved_at"`
+}
+
+// journalID derives the document ID from (approach, key). Keys are
+// client-chosen free text; hashing keeps them collision-free across
+// approaches and safe for any ID syntax.
+func journalID(approach, key string) string {
+	sum := sha256.Sum256([]byte(approach + "\x00" + key))
+	return hex.EncodeToString(sum[:])
+}
+
+// opJournal is the persisted journal plus per-key in-process locks
+// serializing concurrent retries of the same operation.
+type opJournal struct {
+	docs *docstore.Store
+
+	mu    sync.Mutex
+	locks map[string]*keyLock
+}
+
+type keyLock struct {
+	mu   sync.Mutex
+	refs int
+}
+
+func newOpJournal(docs *docstore.Store) *opJournal {
+	return &opJournal{docs: docs, locks: map[string]*keyLock{}}
+}
+
+// lock serializes callers on (approach, key) and returns the unlock
+// function. Lock entries are reference-counted so the map does not
+// grow with every key ever seen.
+func (j *opJournal) lock(approach, key string) func() {
+	id := journalID(approach, key)
+	j.mu.Lock()
+	l := j.locks[id]
+	if l == nil {
+		l = &keyLock{}
+		j.locks[id] = l
+	}
+	l.refs++
+	j.mu.Unlock()
+	l.mu.Lock()
+	return func() {
+		l.mu.Unlock()
+		j.mu.Lock()
+		l.refs--
+		if l.refs == 0 {
+			delete(j.locks, id)
+		}
+		j.mu.Unlock()
+	}
+}
+
+// completed returns the journaled result for (approach, key), if any.
+func (j *opJournal) completed(approach, key string) (core.SaveResult, bool, error) {
+	var e journalEntry
+	err := j.docs.Get(journalCollection, journalID(approach, key), &e)
+	if backend.IsNotFound(err) {
+		return core.SaveResult{}, false, nil
+	}
+	if err != nil {
+		return core.SaveResult{}, false, err
+	}
+	return e.Result, true, nil
+}
+
+// record journals a completed save.
+func (j *opJournal) record(approach, key string, res core.SaveResult) error {
+	return j.docs.Insert(journalCollection, journalID(approach, key), journalEntry{
+		Approach: approach, Key: key, Result: res, SavedAt: time.Now().UTC(),
+	})
+}

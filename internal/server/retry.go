@@ -1,0 +1,384 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/mmm-go/mmm/internal/obs"
+	"github.com/mmm-go/mmm/internal/rng"
+)
+
+// Client-side resilience: the paper's deployment picture has fleet
+// gateways pushing saves over real networks, where connections reset
+// and servers drain. The client retries transient failures with
+// jittered exponential backoff — but only where a retry cannot
+// duplicate work: GETs are safe by construction, and saves become safe
+// once an Idempotency-Key lets the server deduplicate them. A
+// consecutive-failure circuit breaker stops hammering a server that is
+// down, probing it with single requests once a cooldown passes.
+
+// Client-side metric names.
+const (
+	// MetricClientRetries counts retry attempts (not first attempts).
+	MetricClientRetries = "mmm_client_retries_total"
+	// MetricClientBreakerState is the breaker state gauge:
+	// 0 closed, 1 open, 2 half-open.
+	MetricClientBreakerState = "mmm_client_breaker_state"
+)
+
+// ErrCircuitOpen reports that the client's circuit breaker is open and
+// the request was not sent. Match with errors.Is.
+var ErrCircuitOpen = errors.New("server: circuit breaker open")
+
+// RetryPolicy configures the client's retry loop. The zero value of
+// each field picks the default noted on it.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries, first attempt included.
+	// Default 4.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it. Default 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Default 2s.
+	MaxDelay time.Duration
+	// Seed makes the jitter deterministic for tests. Default 1.
+	Seed uint64
+
+	once sync.Once
+	mu   sync.Mutex
+	rand *rng.RNG
+}
+
+func (p *RetryPolicy) attempts() int {
+	if p == nil || p.MaxAttempts <= 0 {
+		return 4
+	}
+	return p.MaxAttempts
+}
+
+// delay computes the jittered backoff before retry number n (1-based).
+// retryAfter is the server's Retry-After hint, if any; it raises the
+// computed delay but stays capped by MaxDelay.
+func (p *RetryPolicy) delay(n int, retryAfter time.Duration) time.Duration {
+	base, max, seed := 50*time.Millisecond, 2*time.Second, uint64(1)
+	if p != nil {
+		if p.BaseDelay > 0 {
+			base = p.BaseDelay
+		}
+		if p.MaxDelay > 0 {
+			max = p.MaxDelay
+		}
+		if p.Seed != 0 {
+			seed = p.Seed
+		}
+	}
+	d := base << (n - 1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > max {
+		d = max
+	}
+	// Full jitter on the upper half: [d/2, d). Synchronized clients
+	// retrying in lockstep would re-create the very overload that
+	// failed them.
+	var f float64
+	if p != nil {
+		p.once.Do(func() { p.rand = rng.New(seed) })
+		p.mu.Lock()
+		f = p.rand.Float64()
+		p.mu.Unlock()
+	} else {
+		f = 0.5
+	}
+	return d/2 + time.Duration(f*float64(d/2))
+}
+
+// Breaker state values, exposed for the state gauge.
+const (
+	BreakerClosed   = 0
+	BreakerOpen     = 1
+	BreakerHalfOpen = 2
+)
+
+// Breaker is a consecutive-failure circuit breaker. Closed passes all
+// requests; Threshold consecutive failures open it; after Cooldown it
+// goes half-open and admits one probe at a time — a probe success
+// closes it, a probe failure re-opens it.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the
+	// breaker. Default 5.
+	Threshold int
+	// Cooldown is how long the breaker stays open before probing.
+	// Default 2s.
+	Cooldown time.Duration
+
+	mu       sync.Mutex
+	state    int
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold <= 0 {
+		return 5
+	}
+	return b.Threshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return 2 * time.Second
+	}
+	return b.Cooldown
+}
+
+// State returns the current breaker state (possibly transitioning
+// open → half-open if the cooldown has passed).
+func (b *Breaker) State() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && time.Since(b.openedAt) >= b.cooldown() {
+		b.state = BreakerHalfOpen
+	}
+	return b.state
+}
+
+// allow reports whether a request may be sent now.
+func (b *Breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Since(b.openedAt) < b.cooldown() {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		fallthrough
+	default: // half-open: one probe in flight at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// onSuccess records a definitive server answer: the path works.
+func (b *Breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// onFailure records a transport-level failure or gateway 5xx.
+func (b *Breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold() {
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+	}
+	b.probing = false
+}
+
+// reg returns the client's metrics registry.
+func (c *Client) reg() *obs.Registry {
+	if c.Reg != nil {
+		return c.Reg
+	}
+	return obs.Default
+}
+
+func (c *Client) noteBreaker() {
+	if c.Breaker == nil {
+		return
+	}
+	c.reg().Gauge(MetricClientBreakerState).Set(int64(c.Breaker.State()))
+}
+
+// retryableStatus reports whether an HTTP status indicates a transient
+// condition worth retrying. 500 is deliberately absent: the server
+// uses it for detected data loss (checksum mismatch), which a retry
+// will not fix.
+func retryableStatus(code int) bool {
+	return code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+// parseRetryAfter reads a Retry-After header in seconds form.
+func parseRetryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// roundTrip sends one logical request. body is the full request body
+// (replayable across attempts); extra headers are applied to every
+// attempt. When retryable, transient failures — transport errors,
+// truncated response bodies, 502/503/504 — are retried with jittered
+// backoff; otherwise the request is sent once. Both paths pass the
+// circuit breaker. The returned response's body is fully read into
+// memory, so reading it cannot fail mid-way.
+func (c *Client) roundTrip(ctx context.Context, method, path, contentType string, body []byte, header http.Header, retryable bool) (*http.Response, error) {
+	attempts := 1
+	if retryable {
+		attempts = c.Retry.attempts()
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			c.reg().Counter(MetricClientRetries).Inc()
+		}
+		if c.Breaker != nil && !c.Breaker.allow() {
+			c.noteBreaker()
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last failure: %v)", ErrCircuitOpen, lastErr)
+			}
+			return nil, ErrCircuitOpen
+		}
+		resp, err := c.attemptOnce(ctx, method, path, contentType, body, header)
+		if err == nil && !retryableStatus(resp.StatusCode) {
+			if c.Breaker != nil {
+				c.Breaker.onSuccess()
+				c.noteBreaker()
+			}
+			return resp, nil
+		}
+		// Transient failure: record it, back off, go again.
+		var retryAfter time.Duration
+		if err == nil {
+			retryAfter = parseRetryAfter(resp)
+			lastErr = fmt.Errorf("server: HTTP %d", resp.StatusCode)
+			resp.Body.Close()
+		} else {
+			lastErr = err
+		}
+		if c.Breaker != nil {
+			c.Breaker.onFailure()
+			c.noteBreaker()
+		}
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+		if attempt < attempts {
+			t := time.NewTimer(c.Retry.delay(attempt, retryAfter))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+		}
+	}
+	return nil, fmt.Errorf("server: request failed after %d attempts: %w", attempts, lastErr)
+}
+
+// attemptOnce sends a single HTTP attempt and buffers the response
+// body, so a body truncated by a dying connection surfaces here as a
+// retryable error rather than in the caller's decoder.
+func (c *Client) attemptOnce(ctx context.Context, method, path, contentType string, body []byte, header http.Header) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("server: reading response body: %w", err)
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(data))
+	return resp, nil
+}
+
+// Ready probes GET /readyz with a single direct request (no retry, no
+// breaker): readiness is a question about right now.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server not ready (HTTP %d)", resp.StatusCode)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&out); err != nil {
+		return fmt.Errorf("server: parsing readiness: %w", err)
+	}
+	if out["status"] != "ready" {
+		return fmt.Errorf("server not ready: %v", out)
+	}
+	return nil
+}
+
+// WaitReady polls /readyz until the server is ready, ctx is done, or
+// timeout passes — the client-side half of orderly startup, so a tool
+// launched alongside the server does not race its first request
+// against the listener coming up.
+func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var lastErr error
+	for {
+		probe, probeCancel := context.WithTimeout(ctx, time.Second)
+		lastErr = c.Ready(probe)
+		probeCancel()
+		if lastErr == nil {
+			return nil
+		}
+		t := time.NewTimer(100 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("server not ready after %v: %w", timeout, lastErr)
+		case <-t.C:
+		}
+	}
+}

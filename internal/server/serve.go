@@ -1,0 +1,91 @@
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Graceful lifecycle: a management server holds multi-gigabyte saves
+// in flight, so stopping one is a protocol, not a kill. When the run
+// context is canceled the server (1) flips /readyz and starts 503ing
+// new work so load balancers drain it, (2) lets in-flight requests
+// finish within the drain deadline, and (3) past the deadline cancels
+// their contexts — a canceled save rolls back its partial writes — and
+// closes what remains. fsck after any of these exits finds no orphans.
+
+// DefaultDrainTimeout bounds the graceful-shutdown wait when the
+// caller does not choose one.
+const DefaultDrainTimeout = 15 * time.Second
+
+// lateGrace is how long canceled in-flight requests get to unwind
+// (roll back, write their error response) after the drain deadline,
+// before connections are closed outright.
+const lateGrace = 2 * time.Second
+
+// ListenAndServe runs hs until ctx is canceled, then drains
+// gracefully. api is the server behind hs.Handler (possibly wrapped in
+// extra middleware); it is told to BeginDrain before shutdown so
+// readiness flips first. See ServeListener for the shutdown protocol.
+func ListenAndServe(ctx context.Context, hs *http.Server, api *Server, drainTimeout time.Duration) error {
+	addr := hs.Addr
+	if addr == "" {
+		addr = ":http"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return ServeListener(ctx, hs, api, ln, drainTimeout)
+}
+
+// ServeListener is ListenAndServe over an existing listener (which may
+// be wrapped, e.g. by netchaos for fault drills). It returns nil after
+// a clean drain, the context's deadline error when in-flight requests
+// had to be canceled, and the serve error if the listener failed
+// before shutdown was requested.
+func ServeListener(ctx context.Context, hs *http.Server, api *Server, ln net.Listener, drainTimeout time.Duration) error {
+	if drainTimeout <= 0 {
+		drainTimeout = DefaultDrainTimeout
+	}
+	// In-flight requests inherit baseCtx: canceling it is the lever
+	// that turns a hung save into a rolled-back one.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	if hs.BaseContext == nil {
+		hs.BaseContext = func(net.Listener) context.Context { return baseCtx }
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	if api != nil {
+		api.BeginDrain()
+	}
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancelDrain()
+	err := hs.Shutdown(drainCtx)
+	if err == nil {
+		<-errc // hs.Serve has returned ErrServerClosed
+		return nil
+	}
+
+	// The drain deadline passed with requests still running. Cancel
+	// them so saves roll back, give them a short grace to unwind, then
+	// close whatever is left.
+	cancelBase()
+	graceCtx, cancelGrace := context.WithTimeout(context.Background(), lateGrace)
+	defer cancelGrace()
+	if gerr := hs.Shutdown(graceCtx); gerr != nil {
+		_ = hs.Close()
+	}
+	<-errc
+	return err
+}

@@ -12,6 +12,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/mmm-go/mmm/internal/core"
@@ -46,6 +48,24 @@ type RecoveryManifest struct {
 	// Indices is set on selective recoveries: the model index each
 	// consecutive parameter block belongs to.
 	Indices []int `json:"indices,omitempty"`
+	// Report is set on degraded recoveries (?partial=1): which models
+	// were skipped and why.
+	Report *core.RecoveryReport `json:"report,omitempty"`
+}
+
+// Config bounds a server's per-request behavior. The zero value means
+// no request timeout, the built-in body cap only, and a 1-second
+// Retry-After hint during drain.
+type Config struct {
+	// RequestTimeout caps each request's handling time via its context;
+	// zero disables the deadline.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request body size via http.MaxBytesReader;
+	// oversized bodies fail with 413. Zero applies no cap beyond the
+	// handler-level limits.
+	MaxBodyBytes int64
+	// RetryAfter is the Retry-After hint sent with drain-mode 503s.
+	RetryAfter time.Duration
 }
 
 // Server serves a set of management approaches over HTTP.
@@ -54,12 +74,17 @@ type Server struct {
 	approaches map[string]core.Approach
 	mux        *http.ServeMux
 	metrics    *obs.Registry
+	cfg        Config
+	draining   atomic.Bool
+	journal    *opJournal
 }
 
 // HTTP-layer metric names.
 const (
 	metricHTTPRequests = "mmm_http_requests_total"
 	metricHTTPSeconds  = "mmm_http_request_seconds"
+	metricHTTPDrained  = "mmm_http_drain_rejects_total"
+	metricHTTPReplays  = "mmm_http_idempotent_replays_total"
 )
 
 // New builds a server over stores, exposing the four standard
@@ -76,8 +101,16 @@ func New(stores core.Stores, opts ...core.Option) *Server {
 // reg. A core.WithMetrics in opts overrides the approach wiring but
 // not what /metrics serves.
 func NewWithMetrics(stores core.Stores, reg *obs.Registry, opts ...core.Option) *Server {
+	return NewWithConfig(stores, reg, Config{}, opts...)
+}
+
+// NewWithConfig is NewWithMetrics with explicit request bounds.
+func NewWithConfig(stores core.Stores, reg *obs.Registry, cfg Config, opts ...core.Option) *Server {
 	if reg == nil {
 		reg = obs.Default
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
 	}
 	opts = append([]core.Option{core.WithMetrics(reg)}, opts...)
 	s := &Server{
@@ -90,11 +123,32 @@ func NewWithMetrics(stores core.Stores, reg *obs.Registry, opts ...core.Option) 
 		},
 		mux:     http.NewServeMux(),
 		metrics: reg,
+		cfg:     cfg,
+		journal: newOpJournal(stores.Docs),
 	}
 	reg.Describe(metricHTTPRequests, "HTTP requests served, by route pattern and status code.")
 	reg.Describe(metricHTTPSeconds, "HTTP request latency in seconds, by route pattern.")
+	reg.Describe(metricHTTPDrained, "Requests rejected with 503 because the server was draining.")
+	reg.Describe(metricHTTPReplays, "Saves answered from the idempotency journal instead of re-executing.")
 	s.routes()
 	return s
+}
+
+// BeginDrain puts the server into drain mode: /readyz starts failing
+// and every request except health, readiness, and metrics is rejected
+// with 503 and a Retry-After hint, while requests already in flight
+// run to completion. Draining is one-way; a draining process is on its
+// way out.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// drainExempt lists the endpoints that keep answering during drain:
+// orchestrators must still be able to probe liveness and readiness,
+// and scrapers must be able to collect the final metrics.
+func drainExempt(path string) bool {
+	return path == "/healthz" || path == "/readyz" || path == "/metrics"
 }
 
 // statusWriter captures the response status for request metrics.
@@ -110,7 +164,9 @@ func (w *statusWriter) WriteHeader(code int) {
 
 // ServeHTTP implements http.Handler. Every request is counted and
 // timed under its route pattern (not the raw URL, which would explode
-// label cardinality with set IDs).
+// label cardinality with set IDs). The resilience middleware lives
+// here too: drain-mode 503s, the request body cap, and the per-request
+// deadline.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	_, route := s.mux.Handler(r)
 	if route == "" {
@@ -118,15 +174,48 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	start := time.Now()
-	s.mux.ServeHTTP(sw, r)
+	s.serve(sw, r)
 	s.metrics.Histogram(metricHTTPSeconds, obs.TimeBuckets,
 		obs.L("route", route)).Observe(time.Since(start).Seconds())
 	s.metrics.Counter(metricHTTPRequests,
 		obs.L("route", route), obs.L("code", strconv.Itoa(sw.status))).Inc()
 }
 
+func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() && !drainExempt(r.URL.Path) {
+		s.metrics.Counter(metricHTTPDrained).Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+		writeError(w, http.StatusServiceUnavailable, errServerDraining)
+		return
+	}
+	if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	}
+	if s.cfg.RequestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// errServerDraining is the drain-mode rejection; clients match it via
+// the 503 status plus Retry-After rather than the envelope code.
+var errServerDraining = errors.New("server is draining; retry against another replica")
+
+// retryAfterSeconds renders d as a Retry-After value, rounding up so a
+// sub-second hint never becomes "retry immediately".
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /api/approaches", s.handleApproaches)
 	s.mux.HandleFunc("GET /api/{approach}/sets", s.handleList)
 	s.mux.HandleFunc("POST /api/{approach}/sets", s.handleSave)
@@ -205,8 +294,23 @@ func (s *Server) approach(w http.ResponseWriter, r *http.Request) (core.Approach
 	return a, true
 }
 
+// handleHealth is liveness: the process is up and serving. It stays
+// 200 during drain — a draining process is alive, just not accepting
+// new work.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is readiness: whether the server wants new traffic. It
+// flips to 503 the moment drain begins, so load balancers stop routing
+// here while in-flight requests finish.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleApproaches(w http.ResponseWriter, _ *http.Request) {
@@ -260,14 +364,39 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 // maxSaveBytes bounds a save request body (manifest + parameters).
 const maxSaveBytes = 1 << 31 // 2 GiB
 
+// IdempotencyKeyHeader lets a save be retried safely: two saves with
+// the same key to the same approach execute once, with the journaled
+// result replayed to later attempts.
+const IdempotencyKeyHeader = "Idempotency-Key"
+
+// ReplayHeader marks a save response that was answered from the
+// idempotency journal instead of executing the save again.
+const ReplayHeader = "Idempotent-Replay"
+
 func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 	a, ok := s.approach(w, r)
 	if !ok {
 		return
 	}
+	if key := r.Header.Get(IdempotencyKeyHeader); key != "" {
+		// The per-key lock serializes concurrent retries of the same
+		// operation; the journal check catches completed ones — before
+		// the body is read, so a replay costs no parsing.
+		unlock := s.journal.lock(a.Name(), key)
+		defer unlock()
+		if res, ok, err := s.journal.completed(a.Name(), key); err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("reading op journal: %w", err))
+			return
+		} else if ok {
+			s.metrics.Counter(metricHTTPReplays).Inc()
+			w.Header().Set(ReplayHeader, "true")
+			writeJSON(w, http.StatusCreated, res)
+			return
+		}
+	}
 	mr, err := r.MultipartReader()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("expected multipart body: %w", err))
+		writeError(w, bodyStatus(err), fmt.Errorf("expected multipart body: %w", err))
 		return
 	}
 
@@ -279,20 +408,20 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, bodyStatus(err), err)
 			return
 		}
 		switch part.FormName() {
 		case "manifest":
 			manifest = &Manifest{}
 			if err := json.NewDecoder(io.LimitReader(part, 1<<24)).Decode(manifest); err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("parsing manifest: %w", err))
+				writeError(w, bodyStatus(err), fmt.Errorf("parsing manifest: %w", err))
 				return
 			}
 		case "params":
 			params, err = io.ReadAll(io.LimitReader(part, maxSaveBytes+1))
 			if err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("reading params: %w", err))
+				writeError(w, bodyStatus(err), fmt.Errorf("reading params: %w", err))
 				return
 			}
 			if len(params) > maxSaveBytes {
@@ -319,7 +448,23 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 		writeError(w, saveStatus(err), err)
 		return
 	}
+	if key := r.Header.Get(IdempotencyKeyHeader); key != "" {
+		// Best-effort: the set is durable either way; a failed journal
+		// write only means a retry would re-save rather than replay.
+		_ = s.journal.record(a.Name(), key, res)
+	}
 	writeJSON(w, http.StatusCreated, res)
+}
+
+// bodyStatus maps a request-body read error onto an HTTP status: a
+// body that hit the server's MaxBytesReader cap is 413, anything else
+// malformed is 400.
+func bodyStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) || strings.Contains(err.Error(), "request body too large") {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // saveStatus maps a save error onto an HTTP status.
@@ -356,21 +501,48 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
+	partial := false
+	switch v := r.URL.Query().Get("partial"); v {
+	case "", "0", "false":
+	case "1", "true":
+		partial = true
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid partial value %q", v))
+		return
+	}
 
 	var manifest RecoveryManifest
 	var params []byte
-	if raw := r.URL.Query().Get("indices"); raw != "" {
-		indices, err := parseIndices(raw)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
+	rawIndices := r.URL.Query().Get("indices")
+	if rawIndices != "" || partial {
+		var indices []int
+		var err error
+		if rawIndices != "" {
+			indices, err = parseIndices(rawIndices)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+		} else {
+			// Degraded full recovery: resolve the set size and ask for
+			// every model, so per-model failures turn into skips.
+			indices, err = s.allIndices(a, id)
+			if err != nil {
+				writeError(w, recoverStatus(err), err)
+				return
+			}
 		}
 		pr, ok := a.(core.PartialRecoverer)
 		if !ok {
 			writeError(w, http.StatusNotImplemented, fmt.Errorf("approach does not support selective recovery"))
 			return
 		}
-		rec, err := pr.RecoverModelsContext(r.Context(), id, indices)
+		var opts []core.RecoverOption
+		var report core.RecoveryReport
+		if partial {
+			opts = append(opts, core.WithPartialResults(&report))
+		}
+		rec, err := pr.RecoverModelsContext(r.Context(), id, indices, opts...)
 		if err != nil {
 			writeError(w, recoverStatus(err), err)
 			return
@@ -381,6 +553,9 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 		}
 		sort.Ints(sorted)
 		manifest = RecoveryManifest{Arch: rec.Arch, NumModels: len(sorted), Indices: sorted}
+		if partial {
+			manifest.Report = &report
+		}
 		for _, idx := range sorted {
 			params = rec.Models[idx].AppendParamBytes(params)
 		}
@@ -455,7 +630,7 @@ func (s *Server) handlePrune(w http.ResponseWriter, r *http.Request) {
 	}
 	var req pruneRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, bodyStatus(err), err)
 		return
 	}
 	report, err := p.Prune(req.Keep)
@@ -479,7 +654,7 @@ func (s *Server) handleFsck(w http.ResponseWriter, r *http.Request) {
 	var req fsckRequest
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, bodyStatus(err), err)
 			return
 		}
 	}
@@ -494,7 +669,7 @@ func (s *Server) handleFsck(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePutDataset(w http.ResponseWriter, r *http.Request) {
 	var spec dataset.Spec
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, bodyStatus(err), err)
 		return
 	}
 	id, err := s.stores.Datasets.Put(spec)
@@ -507,6 +682,25 @@ func (s *Server) handlePutDataset(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.stores.Datasets.IDs())
+}
+
+// allIndices resolves setID's model count through the approach's
+// lineage and returns [0, n) — what a degraded full recovery asks for.
+func (s *Server) allIndices(a core.Approach, setID string) ([]int, error) {
+	l, ok := a.(core.Lineager)
+	if !ok {
+		return nil, fmt.Errorf("approach does not expose set metadata")
+	}
+	chain, err := l.Lineage(setID)
+	if err != nil {
+		return nil, err
+	}
+	n := chain[0].NumModels
+	indices := make([]int, n)
+	for i := range indices {
+		indices[i] = i
+	}
+	return indices, nil
 }
 
 // parseIndices parses "1,5,42" into ints.

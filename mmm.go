@@ -300,6 +300,50 @@ type (
 // NewManagementServer builds an HTTP management service over stores.
 var NewManagementServer = server.New
 
+// Resilience layer (see internal/server and docs/ARCHITECTURE.md).
+type (
+	// ManagementServerConfig tunes per-request limits: handling
+	// deadline, body size cap, and the Retry-After hint sent while
+	// draining.
+	ManagementServerConfig = server.Config
+	// ClientRetryPolicy configures the management client's jittered
+	// exponential backoff.
+	ClientRetryPolicy = server.RetryPolicy
+	// ClientBreaker is the client's consecutive-failure circuit
+	// breaker.
+	ClientBreaker = server.Breaker
+)
+
+var (
+	// NewManagementServerWithConfig builds a management service with
+	// explicit limits and a metrics registry.
+	NewManagementServerWithConfig = server.NewWithConfig
+	// ServeManagement runs a management server until ctx is canceled,
+	// then drains gracefully (see cmd/mmserve for the full protocol).
+	ServeManagement = server.ListenAndServe
+	// ServeManagementListener is ServeManagement over an existing
+	// listener (e.g. one wrapped by internal/netchaos).
+	ServeManagementListener = server.ServeListener
+	// ErrCircuitOpen reports a request refused by the client breaker.
+	ErrCircuitOpen = server.ErrCircuitOpen
+)
+
+// Degraded recovery: RecoverModelsContext with WithPartialResults
+// returns every model that survives and a report naming the ones that
+// did not, instead of failing the whole call on the first bad blob.
+type (
+	// RecoverOption configures a RecoverModelsContext call.
+	RecoverOption = core.RecoverOption
+	// RecoveryReport summarizes a degraded recovery.
+	RecoveryReport = core.RecoveryReport
+	// ModelFailure names one model lost during degraded recovery.
+	ModelFailure = core.ModelFailure
+)
+
+// WithPartialResults opts a recovery into degraded mode, filling
+// report with the outcome.
+var WithPartialResults = core.WithPartialResults
+
 // Model-quality metrics.
 var (
 	// MAE is the mean absolute error of a model over data.
