@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fsck-smoke metrics-smoke chaos-smoke fuzz check bench
+.PHONY: build test vet race fsck-smoke metrics-smoke chaos-smoke dedup-smoke fuzz check bench
 
 build:
 	$(GO) build ./...
@@ -68,18 +68,28 @@ metrics-smoke: build
 chaos-smoke:
 	$(GO) test -race -count=1 -run 'Chaos' ./internal/server
 
-# Short-budget fuzzing of the two property suites: checksummed blob
-# round trips and the sim-vs-dir backend oracle. The committed seed
-# corpora under testdata/fuzz/ always run; the small time budget adds
-# fresh mutated inputs on top.
+# Dedup smoke test: the U1→U3-3 workload with and without WithDedup
+# for every approach — physical bytes must shrink, recovery must stay
+# bit-identical, and the chunk lifecycle (prune sharing, GC, fsck,
+# crash enumeration) must hold under the race detector.
+dedup-smoke:
+	$(GO) test -race -count=1 -run 'TestDedup|TestCrashEnumerationDedup' ./internal/core
+	$(GO) test -race -count=1 -run 'TestRunDedupStorage' ./internal/experiments
+
+# Short-budget fuzzing of the property suites: checksummed blob round
+# trips, the sim-vs-dir backend oracle, and chunker reassembly. The
+# committed seed corpora under testdata/fuzz/ always run; the small
+# time budget adds fresh mutated inputs on top.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzChecksumRoundTrip -fuzztime=10s ./internal/storage/blobstore
 	$(GO) test -run=NONE -fuzz=FuzzBackendOracle -fuzztime=10s ./internal/storage/sim
+	$(GO) test -run=NONE -fuzz=FuzzChunker -fuzztime=10s ./internal/storage/cas
 
 # The full gate: compile everything, vet, run the suite twice —
 # once plain, once under the race detector — then the durability,
-# observability, and resilience smoke tests and the short fuzz pass.
-check: build vet test race fsck-smoke metrics-smoke chaos-smoke fuzz
+# observability, resilience, and dedup smoke tests and the short
+# fuzz pass.
+check: build vet test race fsck-smoke metrics-smoke chaos-smoke dedup-smoke fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -9,6 +9,7 @@
 //	mmbench -exp storage-size       # §4.2 FFNN-69 variation
 //	mmbench -exp storage-cifar      # §4.2 CIFAR variation
 //	mmbench -exp storage-overhead   # §4.2 U1 overhead vs MMlib-base
+//	mmbench -dedup                  # physical bytes with vs without WithDedup
 //	mmbench -exp tts -setup m1      # Figure 4a
 //	mmbench -exp tts -setup server  # Figure 4b
 //	mmbench -exp ttr -setup m1      # Figure 5a
@@ -54,6 +55,7 @@ func main() {
 		epochs  = flag.Int("epochs", 1, "training epochs per update")
 		rate    = flag.Float64("rate", 0.10, "total update rate per cycle (half full, half partial)")
 		workers = flag.Int("workers", 1, "save/recover concurrency (1 = paper-faithful serial timing)")
+		dedup   = flag.Bool("dedup", false, "run the dedup storage comparison (shorthand for -exp storage-dedup)")
 		csv     = flag.Bool("csv", false, "emit series as CSV instead of tables")
 		metrics = flag.Bool("metrics", false, "print a metrics snapshot after each experiment (suppressed under -csv)")
 	)
@@ -133,6 +135,19 @@ func main() {
 				return err
 			}
 			return emitSeries(s, *csv)
+		case "storage-dedup":
+			// The headline dedup case is a factory-cloned fleet; the
+			// independent-init run shows what repetition alone buys.
+			for _, clone := range []bool{true, false} {
+				o := opts
+				o.FactoryClone = clone
+				d, err := experiments.RunDedupStorage(o)
+				if err != nil {
+					return err
+				}
+				fmt.Print(d.Table())
+			}
+			return nil
 		case "storage-overhead":
 			rep, err := experiments.RunStorageOverhead(opts)
 			if err != nil {
@@ -210,10 +225,13 @@ func main() {
 	}
 
 	names := []string{*exp}
-	if *exp == "all" {
+	if *dedup {
+		names = []string{"storage-dedup"}
+	} else if *exp == "all" {
 		names = []string{
 			"storage", "storage-rates", "storage-size", "storage-cifar",
-			"storage-overhead", "tts", "ttr", "ttr-extrapolate", "accident", "quality",
+			"storage-overhead", "storage-dedup", "tts", "ttr", "ttr-extrapolate",
+			"accident", "quality",
 			"ablate-snapshot", "ablate-variants", "ablate-blob-layout", "advisor",
 		}
 	}

@@ -61,6 +61,7 @@ func main() {
 	var (
 		dir       = flag.String("dir", "./mmstore-data", "store directory")
 		addr      = flag.String("addr", ":8080", "listen address")
+		dedup     = flag.Bool("dedup", false, "route saves through the content-addressed deduplicating chunk store")
 		debugAddr = flag.String("debug-addr", "", "optional address for net/http/pprof (e.g. localhost:6060); disabled when empty")
 
 		drainTimeout = flag.Duration("drain-timeout", server.DefaultDrainTimeout,
@@ -90,10 +91,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("mmserve: %v", err)
 	}
+	var apiOpts []mmm.Option
+	if *dedup {
+		apiOpts = append(apiOpts, mmm.WithDedup())
+	}
 	api := server.NewWithConfig(stores, nil, server.Config{
 		RequestTimeout: *requestTimeout,
 		MaxBodyBytes:   *maxBodyBytes,
-	})
+	}, apiOpts...)
 
 	if *debugAddr != "" {
 		go serveDebug(ctx, *debugAddr, *readTimeout, *writeTimeout, *idleTimeout)

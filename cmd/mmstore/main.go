@@ -10,6 +10,8 @@
 //	mmstore -dir ./store inspect -approach baseline -set <set-id>
 //	mmstore -dir ./store verify  -approach baseline
 //	mmstore -dir ./store fsck    [-repair]
+//	mmstore -dir ./store du
+//	mmstore -dir ./store gc
 //	mmstore -dir ./store prune   -approach baseline -keep <id>[,<id>...]
 //	mmstore -dir ./store export  -approach update -set <set-id> -out chain.tar
 //	mmstore -dir ./store import  -in chain.tar
@@ -23,6 +25,12 @@
 // fsck checks the whole store across all approaches — blob checksums,
 // set completeness, orphaned crash debris — and with -repair deletes
 // the orphans. -retries N retries transient store I/O errors.
+//
+// -dedup routes saves through the content-addressed chunk store:
+// identical parameter chunks are stored once across sets and
+// approaches. du reports per-set logical versus physical bytes and the
+// store-wide dedup ratio; gc deletes unreferenced chunks left behind
+// by crashes.
 //
 // With -server URL, commands run against a remote mmserve instead of a
 // local directory: the client waits for /readyz (bounded by
@@ -76,6 +84,7 @@ func run(ctx context.Context, args []string) error {
 		workers  = fs.Int("workers", 1, "save/recover concurrency (1 = serial)")
 		retries  = fs.Int("retries", 1, "total tries per store operation (>1 retries transient I/O errors)")
 		repair   = fs.Bool("repair", false, "fsck: delete orphaned crash debris")
+		dedup    = fs.Bool("dedup", false, "route saves through the content-addressed deduplicating chunk store")
 		verbose  = fs.Bool("v", false, "print a metrics snapshot to stderr after the command")
 	)
 	keep := fs.String("keep", "", "comma-separated set IDs to keep for prune")
@@ -87,7 +96,7 @@ func run(ctx context.Context, args []string) error {
 	partial := fs.Bool("partial", false, "with -server: recover in degraded mode, skipping damaged models and reporting them")
 	if len(args) == 0 {
 		fs.Usage()
-		return fmt.Errorf("missing command: init, cycle, recover, list, inspect, verify, fsck, or prune")
+		return fmt.Errorf("missing command: init, cycle, recover, list, inspect, verify, fsck, du, gc, or prune")
 	}
 	cmd := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
@@ -113,7 +122,7 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	appr, err := buildApproach(*approach, stores, *workers)
+	appr, err := buildApproach(*approach, stores, *workers, *dedup)
 	if err != nil {
 		return err
 	}
@@ -285,6 +294,24 @@ func run(ctx context.Context, args []string) error {
 		}
 		return nil
 
+	case "du":
+		report, err := mmm.Du(stores)
+		if err != nil {
+			return err
+		}
+		printDu(report)
+		return nil
+
+	case "gc":
+		report, err := mmm.GCStore(stores, mmm.DefaultMetrics)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("deleted %d chunk(s) (%.3f MB) and %d stale refcount(s), kept %d\n",
+			report.ChunksDeleted, float64(report.BytesFreed)/1e6,
+			report.RefsDeleted, report.ChunksKept)
+		return nil
+
 	case "prune":
 		p, ok := appr.(core.Pruner)
 		if !ok {
@@ -374,19 +401,41 @@ func run(ctx context.Context, args []string) error {
 }
 
 // buildApproach constructs the requested management approach.
-func buildApproach(name string, stores mmm.Stores, workers int) (mmm.Approach, error) {
-	opt := mmm.WithConcurrency(workers)
+func buildApproach(name string, stores mmm.Stores, workers int, dedup bool) (mmm.Approach, error) {
+	opts := []mmm.Option{mmm.WithConcurrency(workers)}
+	if dedup {
+		opts = append(opts, mmm.WithDedup())
+	}
 	switch name {
 	case "baseline":
-		return mmm.NewBaseline(stores, opt), nil
+		return mmm.NewBaseline(stores, opts...), nil
 	case "update":
-		return mmm.NewUpdate(stores, opt), nil
+		return mmm.NewUpdate(stores, opts...), nil
 	case "provenance":
-		return mmm.NewProvenance(stores, opt), nil
+		return mmm.NewProvenance(stores, opts...), nil
 	case "mmlib":
-		return mmm.NewMMlibBase(stores, opt), nil
+		return mmm.NewMMlibBase(stores, opts...), nil
 	}
 	return nil, fmt.Errorf("unknown approach %q (want baseline, update, provenance, or mmlib)", name)
+}
+
+// printDu renders a storage-accounting report, local or remote.
+func printDu(report *mmm.DuReport) {
+	if len(report.Sets) == 0 {
+		fmt.Println("no sets saved")
+	}
+	for _, s := range report.Sets {
+		fmt.Printf("%-11s %-28s logical %10.3f MB  physical %10.3f MB\n",
+			s.Approach, s.SetID,
+			float64(s.LogicalBytes)/1e6, float64(s.PhysicalBytes)/1e6)
+	}
+	fmt.Printf("store-wide: logical %.3f MB, physical %.3f MB (raw %.3f + chunks %.3f + recipes %.3f), %d chunk(s)\n",
+		float64(report.LogicalBytes)/1e6, float64(report.PhysicalBytes)/1e6,
+		float64(report.RawBytes)/1e6, float64(report.ChunkBytes)/1e6,
+		float64(report.RecipeBytes)/1e6, report.Chunks)
+	if report.PhysicalBytes > 0 {
+		fmt.Printf("dedup ratio: %.2fx\n", float64(report.LogicalBytes)/float64(report.PhysicalBytes))
+	}
 }
 
 // listSets returns the saved set IDs of an approach.

@@ -180,6 +180,37 @@ func TestFsckCommand(t *testing.T) {
 	}
 }
 
+func TestDedupLifecycle(t *testing.T) {
+	dir := storeDir(t)
+	// Two identical fleets saved through the chunk store share every
+	// chunk; du, prune, gc, and fsck must all agree on the result.
+	for i := 0; i < 2; i++ {
+		if err := runArgs(t, dir, "init", "-approach", "baseline", "-n", "4", "-samples", "30", "-dedup"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := runArgs(t, dir, "du"); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery needs no -dedup: the read path is always CAS-aware.
+	if err := runArgs(t, dir, "recover", "-approach", "baseline",
+		"-set", "bl-000001", "-verify-against", "bl-000002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(t, dir, "prune", "-approach", "baseline", "-keep", "bl-000002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(t, dir, "gc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(t, dir, "fsck"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(t, dir, "recover", "-approach", "baseline", "-set", "bl-000002"); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRetriesFlag(t *testing.T) {
 	dir := storeDir(t)
 	if err := runArgs(t, dir, "init", "-approach", "baseline", "-n", "4", "-samples", "30", "-retries", "3"); err != nil {
@@ -196,7 +227,7 @@ func TestBuildApproachNames(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		a, err := buildApproach(name, st, 2)
+		a, err := buildApproach(name, st, 2, false)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -208,7 +239,7 @@ func TestBuildApproachNames(t *testing.T) {
 		}
 	}
 	st, _ := openTestStores(t)
-	if _, err := buildApproach("nope", st, 1); err == nil ||
+	if _, err := buildApproach("nope", st, 1, false); err == nil ||
 		!strings.Contains(err.Error(), "unknown approach") {
 		t.Error("unknown approach not rejected")
 	}

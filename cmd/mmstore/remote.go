@@ -56,7 +56,7 @@ func newIdempotencyKey() (string, error) {
 // values mirror run's locals.
 func runRemote(ctx context.Context, cmd string, f remoteFlags) error {
 	switch cmd {
-	case "cycle", "export", "import":
+	case "cycle", "export", "import", "gc":
 		return fmt.Errorf("%s needs direct store access; run it on the server host without -server", cmd)
 	}
 	s, err := newRemoteSession(ctx, f.server, f.approach, f.waitReady)
@@ -194,6 +194,14 @@ func runRemote(ctx context.Context, cmd string, f remoteFlags) error {
 		if report.Clean() {
 			fmt.Println("store clean")
 		}
+		return nil
+
+	case "du":
+		report, err := s.client.Du(ctx)
+		if err != nil {
+			return err
+		}
+		printDu(report)
 		return nil
 
 	case "prune":

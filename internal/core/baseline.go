@@ -17,6 +17,7 @@ type Baseline struct {
 	ids     idAllocator
 	workers int
 	metrics *approachObs
+	dedup   bool
 }
 
 // collection and blob namespace of Baseline.
@@ -29,7 +30,7 @@ const (
 func NewBaseline(stores Stores, opts ...Option) *Baseline {
 	s := newSettings(opts)
 	return &Baseline{stores: stores, ids: idAllocator{prefix: "bl"}, workers: s.workers,
-		metrics: newApproachObs(s.metrics, "Baseline")}
+		metrics: newApproachObs(s.metrics, "Baseline"), dedup: s.dedup}
 }
 
 // Name implements Approach.
@@ -60,7 +61,7 @@ func (b *Baseline) save(ctx context.Context, req SaveRequest) (SaveResult, error
 	}
 	setID := b.ids.allocate(existing)
 
-	op := newSaveOp(b.stores)
+	op := newSaveOp(b.stores, b.dedup, b.metrics.reg)
 	if err := fullSave(ctx, op, baselineCollection, baselineBlobPrefix, b.Name(), setID, req, nil, nil, b.workers); err != nil {
 		op.rollback()
 		return SaveResult{}, err

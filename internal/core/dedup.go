@@ -1,0 +1,124 @@
+package core
+
+import (
+	"strings"
+
+	"github.com/mmm-go/mmm/internal/obs"
+	"github.com/mmm-go/mmm/internal/storage/backend"
+	"github.com/mmm-go/mmm/internal/storage/cas"
+)
+
+// Deduplicated storage: WithDedup routes every blob an approach writes
+// through the content-addressed chunk store (internal/storage/cas)
+// living inside the same blob store under the reserved "cas/"
+// namespace. Only the write path is opt-in; the read path below is
+// always CAS-aware, trying the raw blob first and falling back to a
+// recipe, so one store can hold a mix of deduplicated and plain sets
+// and every set stays readable either way.
+
+// getBlob reads a logical blob: raw bytes if present, else through its
+// CAS recipe. When both are missing the raw error is returned so
+// backend.IsNotFound semantics are preserved.
+func getBlob(st Stores, key string) ([]byte, error) {
+	data, err := st.Blobs.Get(key)
+	if err == nil || !backend.IsNotFound(err) {
+		return data, err
+	}
+	data, cerr := cas.For(st.Blobs).Get(key)
+	if cerr == nil {
+		return data, nil
+	}
+	if backend.IsNotFound(cerr) {
+		return nil, err
+	}
+	return nil, cerr
+}
+
+// getBlobRange is getBlob for a byte range.
+func getBlobRange(st Stores, key string, off, length int64) ([]byte, error) {
+	data, err := st.Blobs.GetRange(key, off, length)
+	if err == nil || !backend.IsNotFound(err) {
+		return data, err
+	}
+	data, cerr := cas.For(st.Blobs).GetRange(key, off, length)
+	if cerr == nil {
+		return data, nil
+	}
+	if backend.IsNotFound(cerr) {
+		return nil, err
+	}
+	return nil, cerr
+}
+
+// blobSize reports a logical blob's size, raw or deduplicated.
+func blobSize(st Stores, key string) (int64, error) {
+	size, err := st.Blobs.Size(key)
+	if err == nil || !backend.IsNotFound(err) {
+		return size, err
+	}
+	size, cerr := cas.For(st.Blobs).Size(key)
+	if cerr == nil {
+		return size, nil
+	}
+	if backend.IsNotFound(cerr) {
+		return 0, err
+	}
+	return 0, cerr
+}
+
+// deleteBlob removes a logical blob and returns the physical bytes
+// actually freed. A raw blob frees its own size; a deduplicated blob
+// releases its references and frees only the recipe plus chunks whose
+// refcount reached zero — chunks still shared with other sets cost
+// nothing to "delete". Missing keys free zero bytes without error.
+func deleteBlob(st Stores, key string) (int64, error) {
+	size, err := st.Blobs.Size(key)
+	switch {
+	case err == nil:
+		return size, st.Blobs.Delete(key)
+	case backend.IsNotFound(err):
+		return cas.For(st.Blobs).Release(key, nil)
+	default:
+		return 0, err
+	}
+}
+
+// GCReport summarizes a dedup garbage-collection pass.
+type GCReport = cas.GCReport
+
+// GCStore deletes every deduplicated chunk no recipe references (and
+// whose persisted refcount is zero) from the store's CAS layer,
+// recording the deletions in reg (nil means obs.Default is skipped; the
+// cas package tolerates nil). Releases already delete chunks eagerly
+// when their refcount reaches zero, so GCStore mainly reclaims debris
+// left by crashes — typically after an Fsck -repair pass.
+func GCStore(st Stores, reg *obs.Registry) (GCReport, error) {
+	return cas.For(st.Blobs).GC(reg)
+}
+
+// blobKeysWithPrefix enumerates the logical blob keys under prefix:
+// raw blobs plus the logical keys of CAS recipes. The CAS namespace
+// itself (chunks, refcounts, recipes) is never reported — those are
+// physical storage, not logical blobs.
+func blobKeysWithPrefix(st Stores, prefix string) ([]string, error) {
+	keys, err := st.Blobs.Keys()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, k := range keys {
+		if logical, ok := cas.LogicalKey(k); ok {
+			if strings.HasPrefix(logical, prefix) {
+				out = append(out, logical)
+			}
+			continue
+		}
+		if cas.IsKey(k) {
+			continue
+		}
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	return out, nil
+}

@@ -297,6 +297,16 @@ func Fsck(st Stores, opts FsckOptions) (*FsckReport, error) {
 		}
 	}
 
+	// CAS direction: recipe/chunk/refcount consistency. Runs before the
+	// checksum direction so debris it identifies (orphan chunks, stale
+	// recipes) also classifies checksum findings on those keys as
+	// orphans.
+	casInfo, err := casFsck(st, refs, report)
+	if err != nil {
+		return nil, err
+	}
+	casRepairs := casInfo.repairs
+
 	// Direction 2a: blob bytes match their recorded checksums.
 	integrity, bytesRead, err := st.Blobs.Integrity()
 	if err != nil {
@@ -307,24 +317,30 @@ func Fsck(st Stores, opts FsckOptions) (*FsckReport, error) {
 	for _, i := range integrity {
 		flagged[i.Key] = true
 		prefix := ownedPrefix(i.Key)
-		orphanable := prefix != "" && !refs.unsafePrefix[prefix] && !refs.blobs[i.Key]
+		orphanable := (prefix != "" && !refs.unsafePrefix[prefix] && !refs.blobs[i.Key]) || casInfo.orphan[i.Key]
+		var kind string
 		switch {
 		case i.Mismatch:
-			report.Issues = append(report.Issues, FsckIssue{
-				Kind: FsckChecksum, Key: i.Key, Problem: i.Problem, Orphan: orphanable,
-			})
+			kind = FsckChecksum
 		case i.Dangling:
 			// A manifest entry without its blob is pure bookkeeping
 			// debris regardless of references; deleting it never loses
 			// data.
-			report.Issues = append(report.Issues, FsckIssue{
-				Kind: FsckManifest, Key: i.Key, Problem: i.Problem, Orphan: true,
-			})
+			kind = FsckManifest
+			orphanable = true
 		default:
-			report.Issues = append(report.Issues, FsckIssue{
-				Kind: FsckUnchecksummed, Key: i.Key, Problem: i.Problem, Orphan: orphanable,
-			})
+			kind = FsckUnchecksummed
 		}
+		// A live refcount with checksum trouble (crash between the ref
+		// write and its manifest) is drift, not damage: repair rewrites
+		// it from the surviving recipes instead of deleting it.
+		if rewrite, ok := casInfo.refRewrite[i.Key]; ok && !i.Dangling {
+			orphanable = true
+			casRepairs[casRepairKey(kind, i.Key)] = rewrite
+		}
+		report.Issues = append(report.Issues, FsckIssue{
+			Kind: kind, Key: i.Key, Problem: i.Problem, Orphan: orphanable,
+		})
 	}
 
 	// Direction 2b: no unreferenced blobs in owned namespaces.
@@ -391,6 +407,10 @@ func Fsck(st Stores, opts FsckOptions) (*FsckReport, error) {
 			}
 			var err error
 			switch {
+			case casRepairs[casRepairKey(issue.Kind, issue.Key)] != nil:
+				if err = casRepairs[casRepairKey(issue.Kind, issue.Key)](); err != nil {
+					err = fmt.Errorf("core: fsck repair of %q: %w", issue.Key, err)
+				}
 			case issue.Key != "":
 				// Blobs.Delete removes the blob and its manifest entry;
 				// for dangling manifests the blob half is a no-op.

@@ -23,6 +23,7 @@ type MMlibBase struct {
 	ids     idAllocator
 	workers int
 	metrics *approachObs
+	dedup   bool
 }
 
 // Collections and blob namespace of MMlibBase.
@@ -38,7 +39,7 @@ const (
 func NewMMlibBase(stores Stores, opts ...Option) *MMlibBase {
 	s := newSettings(opts)
 	return &MMlibBase{stores: stores, ids: idAllocator{prefix: "ml"}, workers: s.workers,
-		metrics: newApproachObs(s.metrics, "MMlib-base")}
+		metrics: newApproachObs(s.metrics, "MMlib-base"), dedup: s.dedup}
 }
 
 // Name implements Approach.
@@ -106,7 +107,7 @@ func (m *MMlibBase) save(ctx context.Context, req SaveRequest) (SaveResult, erro
 		DataLoader:   dataLoaderCode,
 	}
 
-	op := newSaveOp(m.stores)
+	op := newSaveOp(m.stores, m.dedup, m.metrics.reg)
 	err = pool.Run(ctx, m.workers, len(req.Set.Models), func(i int) error {
 		model := req.Set.Models[i]
 		modelID := fmt.Sprintf("%s-m%05d", setID, i)

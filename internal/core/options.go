@@ -13,6 +13,9 @@ type settings struct {
 	// metrics is the registry operations record into (obs.Default when
 	// unset).
 	metrics *obs.Registry
+	// dedup routes blob writes through the content-addressed chunk
+	// store.
+	dedup bool
 }
 
 // Option configures an approach at construction time.
@@ -40,6 +43,20 @@ func WithConcurrency(n int) Option {
 // their own registries need.
 func WithMetrics(reg *obs.Registry) Option {
 	return func(s *settings) { s.metrics = reg }
+}
+
+// WithDedup routes every blob the approach writes — parameter
+// concatenations, architecture definitions, diff blobs, per-model
+// files — through the content-addressed chunk store, so bytes shared
+// with any previously saved set (unchanged models across saves,
+// identical architectures, repeated diffs) are stored once and only
+// referenced. Reads are always dedup-aware regardless of this option:
+// recovered parameters are bit-identical either way, and one store may
+// mix deduplicated and plain sets freely. SaveResult.BytesWritten
+// reports physical bytes (new chunks plus the recipe), which is what
+// the paper's storage-consumption metric measures.
+func WithDedup() Option {
+	return func(s *settings) { s.dedup = true }
 }
 
 // newSettings resolves opts over the defaults.

@@ -87,7 +87,7 @@ func rangedModels(ctx context.Context, st Stores, blobPrefix string, meta setMet
 	err = pool.Run(ctx, workers, len(indices), func(k int) error {
 		idx := indices[k]
 		one := func() error {
-			raw, err := st.Blobs.GetRange(key, int64(idx)*perModel, perModel)
+			raw, err := getBlobRange(st, key, int64(idx)*perModel, perModel)
 			if err != nil {
 				return fmt.Errorf("core: reading model %d: %w", idx, err)
 			}
@@ -228,7 +228,7 @@ func (m *MMlibBase) recoverOne(setID string, i int) (*nn.Model, *nn.Architecture
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: loading arch of model %d: %w", i, err)
 	}
-	raw, err := m.stores.Blobs.Get(fmt.Sprintf("%s/%s/%d/params.bin", mmlibBlobPrefix, setID, i))
+	raw, err := getBlob(m.stores, fmt.Sprintf("%s/%s/%d/params.bin", mmlibBlobPrefix, setID, i))
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: loading params of model %d: %w", i, err)
 	}
@@ -339,7 +339,7 @@ func (u *Update) recoverModels(ctx context.Context, setID string, indices []int,
 	// Uncompressed blobs support ranged reads.
 	var whole []byte
 	if diff.Compressed {
-		raw, err := u.stores.Blobs.Get(blobKey)
+		raw, err := getBlob(u.stores, blobKey)
 		if err != nil {
 			return nil, fmt.Errorf("core: loading diff blob: %w", err)
 		}
@@ -360,7 +360,7 @@ func (u *Update) recoverModels(ctx context.Context, setID string, indices []int,
 				segment = whole[off : off+size]
 			} else {
 				var err error
-				segment, err = u.stores.Blobs.GetRange(blobKey, off, size)
+				segment, err = getBlobRange(u.stores, blobKey, off, size)
 				if err != nil {
 					return fmt.Errorf("core: reading diff of model %d: %w", e.M, err)
 				}

@@ -8,7 +8,9 @@ import (
 
 	"github.com/mmm-go/mmm/internal/core/pool"
 	"github.com/mmm-go/mmm/internal/nn"
+	"github.com/mmm-go/mmm/internal/obs"
 	"github.com/mmm-go/mmm/internal/storage/backend"
+	"github.com/mmm-go/mmm/internal/storage/cas"
 )
 
 // setMeta is the per-set metadata document shared by all approaches.
@@ -53,24 +55,56 @@ func (a *idAllocator) allocate(existing []string) string {
 // no orphaned blobs or documents behind.
 type saveOp struct {
 	st    Stores
+	dedup bool          // route blob writes through the CAS layer
+	reg   *obs.Registry // dedup metrics registry
 	mu    sync.Mutex
 	bytes int64
 	ops   int64
-	blobs []string    // written blob keys, in write order
+	blobs []savedBlob // written blobs, in write order
 	docs  [][2]string // written (collection, id) pairs, in write order
 }
 
-func newSaveOp(st Stores) *saveOp { return &saveOp{st: st} }
+// savedBlob records one written blob and how it was written, so
+// rollback can undo it the matching way (raw delete vs. CAS release).
+type savedBlob struct {
+	key   string
+	dedup bool
+}
+
+func newSaveOp(st Stores, dedup bool, reg *obs.Registry) *saveOp {
+	return &saveOp{st: st, dedup: dedup, reg: reg}
+}
 
 // putBlob writes a blob and records its cost.
 func (op *saveOp) putBlob(key string, data []byte) error {
-	if err := op.st.Blobs.Put(key, data); err != nil {
+	return op.putBlobHinted(key, data, cas.Hints{})
+}
+
+// putBlobHinted is putBlob with chunk-boundary hints for the CAS
+// layer. Under dedup the recorded cost is the write's *physical*
+// footprint — newly stored chunk bytes plus the recipe — so
+// SaveResult.BytesWritten reflects what the store actually grew by;
+// refcount updates are bookkeeping and not counted as write ops.
+func (op *saveOp) putBlobHinted(key string, data []byte, hints cas.Hints) error {
+	if !op.dedup {
+		if err := op.st.Blobs.Put(key, data); err != nil {
+			return err
+		}
+		op.mu.Lock()
+		op.bytes += int64(len(data))
+		op.ops++
+		op.blobs = append(op.blobs, savedBlob{key: key})
+		op.mu.Unlock()
+		return nil
+	}
+	res, err := cas.For(op.st.Blobs).Put(key, data, 0, hints, op.reg)
+	if err != nil {
 		return err
 	}
 	op.mu.Lock()
-	op.bytes += int64(len(data))
-	op.ops++
-	op.blobs = append(op.blobs, key)
+	op.bytes += res.PhysicalBytes
+	op.ops += res.WriteOps
+	op.blobs = append(op.blobs, savedBlob{key: key, dedup: true})
 	op.mu.Unlock()
 	return nil
 }
@@ -101,7 +135,13 @@ func (op *saveOp) rollback() {
 		_ = op.st.Docs.Delete(op.docs[i][0], op.docs[i][1])
 	}
 	for i := len(op.blobs) - 1; i >= 0; i-- {
-		_ = op.st.Blobs.Delete(op.blobs[i])
+		if op.blobs[i].dedup {
+			// Releasing drops exactly the references this save took; a
+			// failed cas.Put has already undone its own partial work.
+			_, _ = cas.For(op.st.Blobs).Release(op.blobs[i].key, op.reg)
+		} else {
+			_ = op.st.Blobs.Delete(op.blobs[i].key)
+		}
 	}
 }
 
@@ -178,7 +218,7 @@ func saveArchBlob(op *saveOp, key string, arch *nn.Architecture) error {
 
 // loadArchBlob reads an architecture definition back.
 func loadArchBlob(st Stores, key string) (*nn.Architecture, error) {
-	blob, err := st.Blobs.Get(key)
+	blob, err := getBlob(st, key)
 	if err != nil {
 		return nil, fmt.Errorf("core: reading architecture: %w", err)
 	}
@@ -223,7 +263,11 @@ func fullSave(ctx context.Context, op *saveOp, collection, blobPrefix, approach,
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if err := op.putBlob(blobPrefix+"/"+setID+"/params.bin", params); err != nil {
+	// Chunking at model-size stride keeps every unchanged model's
+	// chunks byte-identical across saves — the layout-stability the
+	// dedup layer's write-skipping depends on.
+	if err := op.putBlobHinted(blobPrefix+"/"+setID+"/params.bin", params,
+		cas.Hints{Stride: req.Set.Arch.ParamBytes()}); err != nil {
 		return fmt.Errorf("core: writing parameters: %w", err)
 	}
 	if err := ctx.Err(); err != nil {
@@ -246,7 +290,7 @@ func fullRecover(ctx context.Context, st Stores, blobPrefix string, meta setMeta
 	if err != nil {
 		return nil, err
 	}
-	data, err := st.Blobs.Get(blobPrefix + "/" + meta.SetID + "/params.bin")
+	data, err := getBlob(st, blobPrefix+"/"+meta.SetID+"/params.bin")
 	if err != nil {
 		return nil, fmt.Errorf("core: reading parameters: %w", err)
 	}

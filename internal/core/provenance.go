@@ -27,6 +27,7 @@ type Provenance struct {
 	ids     idAllocator
 	workers int
 	metrics *approachObs
+	dedup   bool
 
 	// RecoveryBudget, when non-nil, caps the retraining work during
 	// recovery — the paper's own measurement trick ("we — exclusively
@@ -67,7 +68,7 @@ const (
 func NewProvenance(stores Stores, opts ...Option) *Provenance {
 	s := newSettings(opts)
 	return &Provenance{stores: stores, ids: idAllocator{prefix: "pv"}, workers: s.workers,
-		metrics: newApproachObs(s.metrics, "Provenance")}
+		metrics: newApproachObs(s.metrics, "Provenance"), dedup: s.dedup}
 }
 
 // Name implements Approach.
@@ -114,7 +115,7 @@ func (p *Provenance) save(ctx context.Context, req SaveRequest) (SaveResult, err
 			full = true
 		}
 	}
-	op := newSaveOp(p.stores)
+	op := newSaveOp(p.stores, p.dedup, p.metrics.reg)
 	if full {
 		err = fullSave(ctx, op, provenanceCollection, provenanceBlobPrefix, p.Name(), setID, req, nil, nil, p.workers)
 	} else {

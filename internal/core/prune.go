@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"strings"
 )
 
 // Retention: the paper archives every set ever generated, but a real
@@ -117,22 +116,21 @@ func deleteDocs(st Stores, setID string, collections ...string) (int64, error) {
 	return freed, nil
 }
 
-// deleteBlobsWithPrefix removes all blobs under prefix, summing freed
-// bytes.
+// deleteBlobsWithPrefix removes all logical blobs under prefix — raw
+// blobs and deduplicated ones alike — summing the bytes *physically*
+// freed. Deleting a deduplicated blob releases its chunk references;
+// chunks still referenced by kept sets survive and do not count, so
+// PruneReport.FreedBytes stays honest under sharing.
 func deleteBlobsWithPrefix(st Stores, prefix string) (int64, error) {
-	keys, err := st.Blobs.Keys()
+	keys, err := blobKeysWithPrefix(st, prefix)
 	if err != nil {
 		return 0, err
 	}
 	var freed int64
 	for _, k := range keys {
-		if !strings.HasPrefix(k, prefix) {
-			continue
-		}
-		if size, err := st.Blobs.Size(k); err == nil {
-			freed += size
-		}
-		if err := st.Blobs.Delete(k); err != nil {
+		n, err := deleteBlob(st, k)
+		freed += n
+		if err != nil {
 			return freed, err
 		}
 	}

@@ -74,15 +74,16 @@ func exportChain(st Stores, chain []SetInfo, artifactsOf func(SetInfo) (setArtif
 			}
 		}
 		if arts.blobPrefix != "" {
-			keys, err := st.Blobs.Keys()
+			// Enumerate logical keys so deduplicated sets export too, and
+			// read through the CAS layer: archives carry reassembled
+			// logical bytes and stay importable into any store, dedup or
+			// not.
+			keys, err := blobKeysWithPrefix(st, arts.blobPrefix)
 			if err != nil {
 				return err
 			}
 			for _, k := range keys {
-				if !strings.HasPrefix(k, arts.blobPrefix) {
-					continue
-				}
-				data, err := st.Blobs.Get(k)
+				data, err := getBlob(st, k)
 				if err != nil {
 					return fmt.Errorf("core: exporting blob %s: %w", k, err)
 				}

@@ -10,6 +10,7 @@ import (
 	"github.com/mmm-go/mmm/internal/core/pool"
 	"github.com/mmm-go/mmm/internal/hashing"
 	"github.com/mmm-go/mmm/internal/obs"
+	"github.com/mmm-go/mmm/internal/storage/cas"
 	"github.com/mmm-go/mmm/internal/tensor"
 )
 
@@ -33,6 +34,7 @@ type Update struct {
 	ids     idAllocator
 	workers int
 	metrics *approachObs
+	dedup   bool
 
 	// SnapshotInterval k > 0 forces a full snapshot whenever the
 	// recovery chain would otherwise grow to k. 0 disables snapshots
@@ -71,7 +73,7 @@ const (
 func NewUpdate(stores Stores, opts ...Option) *Update {
 	s := newSettings(opts)
 	return &Update{stores: stores, ids: idAllocator{prefix: "up"}, workers: s.workers,
-		metrics: newApproachObs(s.metrics, "Update")}
+		metrics: newApproachObs(s.metrics, "Update"), dedup: s.dedup}
 }
 
 // Name implements Approach.
@@ -155,7 +157,7 @@ func (u *Update) save(ctx context.Context, sp *obs.Span, req SaveRequest) (SaveR
 		}
 	}
 
-	op := newSaveOp(u.stores)
+	op := newSaveOp(u.stores, u.dedup, u.metrics.reg)
 	// The hash document is written for full and derived saves alike: it
 	// is what lets the *next* save detect changes "without having to
 	// load the full representation of the previous model". It must land
@@ -288,7 +290,14 @@ func (u *Update) saveDerived(ctx context.Context, op *saveOp, setID string, req 
 		return err
 	}
 	u.metrics.diffStats(len(entries), len(blob))
-	if err := op.putBlob(updateBlobPrefix+"/"+setID+"/diff.bin", blob); err != nil {
+	// Chunk the diff blob at its per-entry offsets so a tensor diff
+	// repeated across derived sets dedups cleanly. Compressed blobs
+	// lose that alignment and chunk as one unit.
+	var hints cas.Hints
+	if !compressed {
+		hints.Boundaries = offs
+	}
+	if err := op.putBlobHinted(updateBlobPrefix+"/"+setID+"/diff.bin", blob, hints); err != nil {
 		return fmt.Errorf("core: writing diff blob: %w", err)
 	}
 	doc := diffDoc{Entries: entries, Compressed: compressed, Delta: basePartial != nil}
@@ -389,7 +398,7 @@ func (u *Update) recover(ctx context.Context, setID string, visited map[string]b
 	}
 	want := offs[len(diff.Entries)]
 
-	blob, err := u.stores.Blobs.Get(updateBlobPrefix + "/" + setID + "/diff.bin")
+	blob, err := getBlob(u.stores, updateBlobPrefix+"/"+setID+"/diff.bin")
 	if err != nil {
 		return nil, fmt.Errorf("core: loading diff blob: %w", err)
 	}

@@ -29,10 +29,10 @@ type Verifier interface {
 // verifyFullArtifacts checks the blobs of a fullSave.
 func verifyFullArtifacts(st Stores, blobPrefix string, meta setMeta) []Issue {
 	var issues []Issue
-	if _, err := st.Blobs.Size(blobPrefix + "/" + meta.SetID + "/arch.json"); err != nil {
+	if _, err := blobSize(st, blobPrefix+"/"+meta.SetID+"/arch.json"); err != nil {
 		issues = append(issues, Issue{meta.SetID, "architecture blob missing"})
 	}
-	size, err := st.Blobs.Size(blobPrefix + "/" + meta.SetID + "/params.bin")
+	size, err := blobSize(st, blobPrefix+"/"+meta.SetID+"/params.bin")
 	if err != nil {
 		issues = append(issues, Issue{meta.SetID, "parameter blob missing"})
 	} else if want := int64(4 * meta.ParamCount * meta.NumModels); size != want {
@@ -84,7 +84,7 @@ func (m *MMlibBase) VerifyStore() ([]Issue, error) {
 			}
 			for _, blob := range []string{"arch.json", "params.bin"} {
 				key := fmt.Sprintf("%s/%s/%d/%s", mmlibBlobPrefix, id, i, blob)
-				if _, err := m.stores.Blobs.Size(key); err != nil {
+				if _, err := blobSize(m.stores, key); err != nil {
 					issues = append(issues, Issue{id,
 						fmt.Sprintf("model %d: blob %s missing", i, blob)})
 				}
@@ -133,7 +133,7 @@ func (u *Update) VerifyStore() ([]Issue, error) {
 			issues = append(issues, Issue{id, "diff document missing"})
 			continue
 		}
-		size, err := u.stores.Blobs.Size(updateBlobPrefix + "/" + id + "/diff.bin")
+		size, err := blobSize(u.stores, updateBlobPrefix+"/"+id+"/diff.bin")
 		if err != nil {
 			issues = append(issues, Issue{id, "diff blob missing"})
 			continue

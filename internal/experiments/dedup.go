@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mmm-go/mmm/internal/core"
+)
+
+// DedupRow is one approach's storage consumption with and without the
+// content-addressed chunk store.
+type DedupRow struct {
+	Name string
+	// LogicalMB is the logical blob payload (identical either way).
+	LogicalMB float64
+	// PlainMB and DedupMB are the physical bytes the store holds after
+	// the full workload, raw vs deduplicated (chunks + recipes).
+	PlainMB float64
+	DedupMB float64
+	// SavingsPct is the physical reduction dedup achieved.
+	SavingsPct float64
+	// Chunks is how many distinct chunks the dedup store holds.
+	Chunks int
+}
+
+// DedupStorage compares each approach's physical storage with and
+// without core.WithDedup on the same workload trace.
+type DedupStorage struct {
+	FactoryClone bool
+	Rows         []DedupRow
+}
+
+// RunDedupStorage runs the U1 + Cycles×U3 scenario once and replays it
+// per approach into a raw store and a deduplicating store, reporting
+// the physical bytes each ends up holding. With o.FactoryClone the
+// fleet starts from one cloned prototype, the deployment dedup
+// targets; without it only content that repeats across saves (e.g.
+// Baseline's unchanged models) deduplicates.
+func RunDedupStorage(o Options) (*DedupStorage, error) {
+	tr, err := runScenario(o)
+	if err != nil {
+		return nil, err
+	}
+	out := &DedupStorage{FactoryClone: o.FactoryClone}
+	for _, name := range ApproachOrder {
+		plain := newRig(o.Setup, tr.registry, o.Workers, name, false)
+		dedup := newRig(o.Setup, tr.registry, o.Workers, name, true)
+		if _, _, err := saveAll(plain, tr); err != nil {
+			return nil, err
+		}
+		if _, ids, err := saveAll(dedup, tr); err != nil {
+			return nil, err
+		} else if len(ids) == 0 {
+			return nil, fmt.Errorf("%s: workload produced no saves", name)
+		}
+		duPlain, err := core.Du(plain.stores)
+		if err != nil {
+			return nil, fmt.Errorf("%s: du of plain store: %w", name, err)
+		}
+		duDedup, err := core.Du(dedup.stores)
+		if err != nil {
+			return nil, fmt.Errorf("%s: du of dedup store: %w", name, err)
+		}
+		if duDedup.LogicalBytes != duPlain.LogicalBytes {
+			return nil, fmt.Errorf("%s: logical bytes diverge: plain %d, dedup %d",
+				name, duPlain.LogicalBytes, duDedup.LogicalBytes)
+		}
+		out.Rows = append(out.Rows, DedupRow{
+			Name:       name,
+			LogicalMB:  float64(duDedup.LogicalBytes) / 1e6,
+			PlainMB:    float64(duPlain.PhysicalBytes) / 1e6,
+			DedupMB:    float64(duDedup.PhysicalBytes) / 1e6,
+			SavingsPct: 100 * (1 - float64(duDedup.PhysicalBytes)/float64(duPlain.PhysicalBytes)),
+			Chunks:     duDedup.Chunks,
+		})
+	}
+	return out, nil
+}
+
+// Table renders the comparison.
+func (d *DedupStorage) Table() string {
+	var b strings.Builder
+	init := "independent random init"
+	if d.FactoryClone {
+		init = "factory-cloned fleet"
+	}
+	fmt.Fprintf(&b, "Physical blob storage, raw vs deduplicated (%s)\n", init)
+	fmt.Fprintf(&b, "%-12s%12s%12s%12s%10s%9s\n",
+		"approach", "logical MB", "raw MB", "dedup MB", "saved", "chunks")
+	for _, r := range d.Rows {
+		fmt.Fprintf(&b, "%-12s%12.3f%12.3f%12.3f%9.1f%%%9d\n",
+			r.Name, r.LogicalMB, r.PlainMB, r.DedupMB, r.SavingsPct, r.Chunks)
+	}
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDedupStorageFactoryClone(t *testing.T) {
+	o := testOptions()
+	o.FactoryClone = true
+	d, err := RunDedupStorage(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != len(ApproachOrder) {
+		t.Fatalf("got %d rows, want %d", len(d.Rows), len(ApproachOrder))
+	}
+	for _, r := range d.Rows {
+		if r.DedupMB >= r.PlainMB {
+			t.Errorf("%s: dedup holds %.3f MB, raw %.3f MB — no savings",
+				r.Name, r.DedupMB, r.PlainMB)
+		}
+		if r.Chunks == 0 {
+			t.Errorf("%s: dedup store holds no chunks", r.Name)
+		}
+		if r.Name == "Baseline" && r.SavingsPct < 30 {
+			t.Errorf("Baseline saved %.1f%%, want >= 30%%", r.SavingsPct)
+		}
+	}
+	table := d.Table()
+	for _, want := range []string{"factory-cloned", "dedup MB", "Baseline"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// Without factory cloning only repeated content dedups; Baseline still
+// shrinks because unchanged models are rewritten every cycle.
+func TestRunDedupStorageIndependentInit(t *testing.T) {
+	d, err := RunDedupStorage(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range d.Rows {
+		if r.Name == "Baseline" && r.SavingsPct < 30 {
+			t.Errorf("Baseline saved %.1f%%, want >= 30%% from cross-cycle dedup", r.SavingsPct)
+		}
+	}
+}

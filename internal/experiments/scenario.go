@@ -43,6 +43,10 @@ type Options struct {
 	// (core.WithConcurrency). 0 or 1 keeps the paper-faithful serial
 	// execution; results are bit-identical at any setting.
 	Workers int
+	// FactoryClone initializes the fleet from one cloned prototype
+	// (see workload.Config.FactoryClone) — the deployment pattern the
+	// dedup storage experiment targets.
+	FactoryClone bool
 }
 
 // DefaultOptions returns the paper's configuration at a reduced fleet
@@ -88,6 +92,7 @@ func (o Options) workloadConfig() (workload.Config, error) {
 	if o.Epochs > 0 {
 		cfg.Epochs = o.Epochs
 	}
+	cfg.FactoryClone = o.FactoryClone
 	return cfg, nil
 }
 
@@ -135,37 +140,45 @@ type rig struct {
 	clock    *latency.Clock
 }
 
-// newRigs builds the four approaches over fresh in-memory stores using
-// the given latency setup, all sharing the scenario's dataset registry.
-func newRigs(setup latency.Setup, reg *dataset.Registry, workers int) []*rig {
+// newRig builds one approach over fresh in-memory stores using the
+// given latency setup. With dedup set, saves write through the
+// content-addressed chunk store.
+func newRig(setup latency.Setup, reg *dataset.Registry, workers int, name string, dedup bool) *rig {
 	if workers < 1 {
 		workers = 1
 	}
-	build := func(name string) *rig {
-		clock := &latency.Clock{}
-		st := core.Stores{
-			Docs:     docstore.New(backend.NewMem(), setup.Doc, clock),
-			Blobs:    blobstore.New(backend.NewMem(), setup.Blob, clock),
-			Datasets: reg,
-		}
-		r := &rig{name: name, stores: st, clock: clock}
-		switch name {
-		case "MMlib-base":
-			r.approach = core.NewMMlibBase(st, core.WithConcurrency(workers))
-		case "Baseline":
-			r.approach = core.NewBaseline(st, core.WithConcurrency(workers))
-		case "Update":
-			r.approach = core.NewUpdate(st, core.WithConcurrency(workers))
-		case "Provenance":
-			r.approach = core.NewProvenance(st, core.WithConcurrency(workers))
-		default:
-			panic(fmt.Sprintf("experiments: unknown approach %q", name))
-		}
-		return r
+	clock := &latency.Clock{}
+	st := core.Stores{
+		Docs:     docstore.New(backend.NewMem(), setup.Doc, clock),
+		Blobs:    blobstore.New(backend.NewMem(), setup.Blob, clock),
+		Datasets: reg,
 	}
+	opts := []core.Option{core.WithConcurrency(workers)}
+	if dedup {
+		opts = append(opts, core.WithDedup())
+	}
+	r := &rig{name: name, stores: st, clock: clock}
+	switch name {
+	case "MMlib-base":
+		r.approach = core.NewMMlibBase(st, opts...)
+	case "Baseline":
+		r.approach = core.NewBaseline(st, opts...)
+	case "Update":
+		r.approach = core.NewUpdate(st, opts...)
+	case "Provenance":
+		r.approach = core.NewProvenance(st, opts...)
+	default:
+		panic(fmt.Sprintf("experiments: unknown approach %q", name))
+	}
+	return r
+}
+
+// newRigs builds the four approaches over fresh in-memory stores using
+// the given latency setup, all sharing the scenario's dataset registry.
+func newRigs(setup latency.Setup, reg *dataset.Registry, workers int) []*rig {
 	rigs := make([]*rig, len(ApproachOrder))
 	for i, name := range ApproachOrder {
-		rigs[i] = build(name)
+		rigs[i] = newRig(setup, reg, workers, name, false)
 	}
 	return rigs
 }

@@ -355,6 +355,16 @@ func (c *Client) Fsck(ctx context.Context, repair bool) (*core.FsckReport, error
 	return &out, nil
 }
 
+// Du reports server-side storage occupancy: logical versus physical
+// bytes per set and store-wide, including the dedup ratio.
+func (c *Client) Du(ctx context.Context) (*core.DuReport, error) {
+	var out core.DuReport
+	if err := c.getJSON(ctx, "/api/du", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // PutDataset registers a dataset spec in the server's registry and
 // returns its ID — required before saving provenance updates that
 // reference it.

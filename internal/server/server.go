@@ -226,6 +226,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/datasets", s.handlePutDataset)
 	s.mux.HandleFunc("GET /api/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /api/fsck", s.handleFsck)
+	s.mux.HandleFunc("GET /api/du", s.handleDu)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
 
@@ -659,6 +660,19 @@ func (s *Server) handleFsck(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	report, err := core.Fsck(s.stores, core.FsckOptions{Repair: req.Repair})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, report)
+}
+
+// handleDu reports storage occupancy — logical versus physical bytes
+// per set and store-wide — across every approach's namespace. Like
+// /api/fsck it is store-scoped: deduplicated chunks are shared across
+// approaches, so per-approach accounting would double-count them.
+func (s *Server) handleDu(w http.ResponseWriter, _ *http.Request) {
+	report, err := core.Du(s.stores)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return

@@ -292,6 +292,55 @@ func TestChecksumMismatchOverHTTP(t *testing.T) {
 	}
 }
 
+func TestDuOverHTTP(t *testing.T) {
+	ctx := context.Background()
+	c, stores, _ := newRawRig(t)
+	// Real-size models so chunk sharing dwarfs recipe overhead.
+	set, err := core.NewModelSet(nn.FFNN48(), 3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Save(ctx, "baseline", set, "", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Two deduplicated saves of the same content next to the raw one,
+	// as a CLI running with -dedup against this store would write.
+	dedup := core.NewBaseline(stores, core.WithDedup())
+	for i := 0; i < 2; i++ {
+		if _, err := dedup.Save(core.SaveRequest{Set: set}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	report, duErr := c.Du(ctx)
+	if duErr != nil {
+		t.Fatal(duErr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Sets) != 3 {
+		t.Fatalf("du reports %d sets, want 3: %+v", len(report.Sets), report.Sets)
+	}
+	for _, s := range report.Sets {
+		if s.Approach != "baseline" || s.LogicalBytes == 0 || s.PhysicalBytes == 0 {
+			t.Errorf("implausible du row %+v", s)
+		}
+	}
+	if report.Chunks == 0 || report.ChunkBytes == 0 {
+		t.Errorf("dedup saves left no chunks in du: %+v", report)
+	}
+	// The second dedup save shares every chunk with the first, so the
+	// store holds less than it logically stores.
+	if report.PhysicalBytes >= report.LogicalBytes {
+		t.Errorf("physical %d >= logical %d despite chunk sharing",
+			report.PhysicalBytes, report.LogicalBytes)
+	}
+	if report.DedupRatioPercent <= 100 {
+		t.Errorf("dedup ratio %d%%, want > 100%%", report.DedupRatioPercent)
+	}
+}
+
 func TestFsckOverHTTP(t *testing.T) {
 	ctx := context.Background()
 	c, stores, _ := newRawRig(t)

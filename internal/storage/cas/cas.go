@@ -1,0 +1,724 @@
+package cas
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/mmm-go/mmm/internal/obs"
+	"github.com/mmm-go/mmm/internal/storage/backend"
+	"github.com/mmm-go/mmm/internal/storage/blobstore"
+)
+
+// Key-space layout inside the blob store. Everything is under Prefix,
+// which the blob-store consumers (fsck's orphan analysis, prune's
+// prefix enumeration) treat as a reserved namespace.
+const (
+	Prefix       = "cas/"
+	chunkPrefix  = Prefix + "chunks/"
+	refPrefix    = Prefix + "refs/"
+	recipePrefix = Prefix + "recipes/"
+)
+
+// Dedup metric names exposed on /metrics.
+const (
+	// MetricChunksTotal counts chunks newly written to the store.
+	MetricChunksTotal = "mmm_cas_chunks_total"
+	// MetricDedupBytesTotal counts logical bytes that cost zero blob
+	// writes because their chunk was already present (the dedup win).
+	MetricDedupBytesTotal = "mmm_cas_dedup_bytes_total"
+	// MetricGCDeletedTotal counts chunks deleted by GC.
+	MetricGCDeletedTotal = "mmm_cas_gc_deleted_total"
+	// MetricDedupRatio is logical bytes stored per 100 physical bytes
+	// written, cumulative over the store's lifetime (an integer gauge:
+	// 100 = no dedup, 250 = 2.5× dedup).
+	MetricDedupRatio = "mmm_cas_dedup_ratio_percent"
+)
+
+// ChunkKey returns the blob key of the chunk with the given SHA-256
+// hex hash, fanned out by the first two hex digits.
+func ChunkKey(hash string) string { return chunkPrefix + hash[:2] + "/" + hash }
+
+// RefKey returns the blob key of a chunk's persisted reference count.
+func RefKey(hash string) string { return refPrefix + hash[:2] + "/" + hash }
+
+// RecipeKey returns the blob key of the recipe for a logical key.
+func RecipeKey(logical string) string { return recipePrefix + logical }
+
+// LogicalKey inverts RecipeKey.
+func LogicalKey(recipeKey string) (string, bool) {
+	if !strings.HasPrefix(recipeKey, recipePrefix) {
+		return "", false
+	}
+	return recipeKey[len(recipePrefix):], true
+}
+
+// ChunkHash extracts the hash from a chunk or ref key; ok is false for
+// keys outside those namespaces or with a malformed fan-out.
+func ChunkHash(key string) (hash string, ok bool) {
+	rest := ""
+	switch {
+	case strings.HasPrefix(key, chunkPrefix):
+		rest = key[len(chunkPrefix):]
+	case strings.HasPrefix(key, refPrefix):
+		rest = key[len(refPrefix):]
+	default:
+		return "", false
+	}
+	fan, hash, found := strings.Cut(rest, "/")
+	if !found || len(fan) != 2 || len(hash) != sha256.Size*2 || !strings.HasPrefix(hash, fan) {
+		return "", false
+	}
+	return hash, true
+}
+
+// IsKey reports whether key lives in the reserved CAS namespace.
+func IsKey(key string) bool { return strings.HasPrefix(key, Prefix) }
+
+// IsRefKey reports whether key is a persisted refcount key. Fsck uses
+// this to treat integrity findings on refcounts as repairable — a
+// refcount is derivable from the recipes, never primary data.
+func IsRefKey(key string) bool {
+	_, ok := ChunkHash(key)
+	return ok && strings.HasPrefix(key, refPrefix)
+}
+
+// EncodeRefcount renders a reference count the way the store persists
+// it (ASCII decimal) — fsck uses this to rewrite drifted counts.
+func EncodeRefcount(n int) []byte { return []byte(strconv.Itoa(n)) }
+
+// RecipeChunk is one chunk reference inside a recipe, in blob order.
+type RecipeChunk struct {
+	Hash string `json:"h"`
+	Size int64  `json:"s"`
+}
+
+// Recipe reassembles a logical blob from its chunks.
+type Recipe struct {
+	Size   int64         `json:"size"`
+	Chunks []RecipeChunk `json:"chunks"`
+}
+
+// PutResult reports the physical cost of one deduplicated write.
+type PutResult struct {
+	// PhysicalBytes is what the write actually cost the store: newly
+	// written chunk bytes plus the recipe document.
+	PhysicalBytes int64
+	// WriteOps counts chunk and recipe blob writes (refcount updates
+	// are bookkeeping and excluded).
+	WriteOps int64
+	// NewChunks is how many chunks this write added to the store.
+	NewChunks int
+	// DedupBytes is how many logical bytes were skipped because their
+	// chunk was already present.
+	DedupBytes int64
+}
+
+// GCReport summarizes one garbage-collection pass.
+type GCReport struct {
+	// ChunksDeleted counts chunks removed (unreferenced by any recipe
+	// and with a zero or missing refcount).
+	ChunksDeleted int `json:"chunks_deleted"`
+	// BytesFreed is the payload bytes of the deleted chunks.
+	BytesFreed int64 `json:"bytes_freed"`
+	// RefsDeleted counts refcount files removed (their chunk was gone
+	// or collected).
+	RefsDeleted int `json:"refs_deleted"`
+	// ChunksKept counts chunks that survived the pass.
+	ChunksKept int `json:"chunks_kept"`
+}
+
+// Store is the content-addressed view over one blob store. Use For to
+// obtain the Store of a blob store: the refcount mutex must be shared
+// by every writer touching the same underlying bytes.
+type Store struct {
+	blobs *blobstore.Store
+
+	// refMu serializes refcount read-modify-write cycles and the
+	// delete-at-zero decisions that depend on them.
+	refMu sync.Mutex
+	// pending counts in-flight Puts per chunk hash. A chunk some Put
+	// has registered must not be eagerly deleted even at refcount
+	// zero: the Put may have skipped writing it because it existed and
+	// is about to take a reference.
+	pending map[string]int
+
+	// Cumulative logical/physical byte counters feeding the dedup
+	// ratio gauge.
+	logical, physical atomic.Int64
+}
+
+// stores maps *blobstore.Store → *Store so that all writers over one
+// blob store share refcount serialization.
+var stores sync.Map
+
+// For returns the CAS view of b, creating it on first use.
+func For(b *blobstore.Store) *Store {
+	if s, ok := stores.Load(b); ok {
+		return s.(*Store)
+	}
+	s, _ := stores.LoadOrStore(b, &Store{blobs: b, pending: map[string]int{}})
+	return s.(*Store)
+}
+
+// registry resolves a caller-supplied metrics registry, describing the
+// CAS families on first use.
+func registry(reg *obs.Registry) *obs.Registry {
+	if reg == nil {
+		reg = obs.Default
+	}
+	reg.Describe(MetricChunksTotal, "Chunks newly written to the content-addressed store.")
+	reg.Describe(MetricDedupBytesTotal, "Logical bytes skipped because their chunk already existed.")
+	reg.Describe(MetricGCDeletedTotal, "Chunks deleted by CAS garbage collection.")
+	reg.Describe(MetricDedupRatio, "Cumulative logical bytes stored per 100 physical bytes written.")
+	return reg
+}
+
+func hashChunk(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// readRef returns a chunk's persisted reference count; a missing ref
+// file reads as zero. Callers must hold refMu.
+func (s *Store) readRef(hash string) (int, error) {
+	raw, err := s.blobs.Get(RefKey(hash))
+	if err != nil {
+		if backend.IsNotFound(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	n, err := strconv.Atoi(string(bytes.TrimSpace(raw)))
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("cas: refcount of %s is garbled: %q", hash, raw)
+	}
+	return n, nil
+}
+
+// Put stores data under the logical key: chunks it, writes only the
+// chunks the store does not already have, writes the recipe, and then
+// takes one reference per distinct chunk. A failed Put undoes exactly
+// what it did (its own increments, its recipe, its genuinely new
+// chunks) so a shared chunk is never released by a save that never
+// referenced it.
+//
+// The write order — chunks, recipe, refcounts — is chosen for crash
+// safety: at every prefix of a crashed Put, persisted refcounts are at
+// least the references held by committed sets, so the eager
+// delete-at-zero in Release can never destroy live data. Debris from
+// a crash (orphan chunks, an unreferenced recipe, over-counted refs)
+// is exactly what fsck's CAS pass detects and repairs.
+func (s *Store) Put(key string, data []byte, chunkSize int, hints Hints, reg *obs.Registry) (PutResult, error) {
+	reg = registry(reg)
+	chunks := Chunks(data, chunkSize, hints)
+	recipe := Recipe{Size: int64(len(data)), Chunks: make([]RecipeChunk, len(chunks))}
+	distinct := make([]string, 0, len(chunks))
+	sizeOf := map[string]int64{}
+	for i, c := range chunks {
+		h := hashChunk(c.Data)
+		recipe.Chunks[i] = RecipeChunk{Hash: h, Size: int64(len(c.Data))}
+		if _, ok := sizeOf[h]; !ok {
+			distinct = append(distinct, h)
+			sizeOf[h] = int64(len(c.Data))
+		}
+	}
+
+	// Shield every chunk this Put relies on from concurrent eager
+	// deletion before we decide which ones already exist.
+	s.refMu.Lock()
+	for _, h := range distinct {
+		s.pending[h]++
+	}
+	s.refMu.Unlock()
+	defer func() {
+		s.refMu.Lock()
+		for _, h := range distinct {
+			if s.pending[h]--; s.pending[h] <= 0 {
+				delete(s.pending, h)
+			}
+		}
+		s.refMu.Unlock()
+	}()
+
+	var res PutResult
+	chunkData := map[string][]byte{}
+	for i, c := range chunks {
+		if _, dup := chunkData[recipe.Chunks[i].Hash]; !dup {
+			chunkData[recipe.Chunks[i].Hash] = c.Data
+		}
+	}
+	var newChunks []string
+	undo := func(recipeWritten bool, committed map[string]int) {
+		if recipeWritten {
+			_ = s.blobs.Delete(RecipeKey(key))
+		}
+		s.refMu.Lock()
+		defer s.refMu.Unlock()
+		for h, prev := range committed {
+			if prev == 0 {
+				_ = s.blobs.Delete(RefKey(h))
+			} else {
+				_ = s.blobs.Put(RefKey(h), EncodeRefcount(prev))
+			}
+		}
+		for _, h := range newChunks {
+			n, err := s.readRef(h)
+			if err == nil && n == 0 && s.pending[h] == 1 {
+				_ = s.blobs.Delete(ChunkKey(h))
+				_ = s.blobs.Delete(RefKey(h))
+			}
+		}
+	}
+
+	var newBytes int64
+	for _, h := range distinct {
+		_, err := s.blobs.Size(ChunkKey(h))
+		switch {
+		case err == nil:
+		case backend.IsNotFound(err):
+			if err := s.blobs.Put(ChunkKey(h), chunkData[h]); err != nil {
+				undo(false, nil)
+				return PutResult{}, fmt.Errorf("cas: writing chunk %s: %w", h, err)
+			}
+			newChunks = append(newChunks, h)
+			newBytes += sizeOf[h]
+			res.PhysicalBytes += sizeOf[h]
+			res.WriteOps++
+			res.NewChunks++
+		default:
+			undo(false, nil)
+			return PutResult{}, fmt.Errorf("cas: probing chunk %s: %w", h, err)
+		}
+	}
+	// Everything not physically written — repeats within this blob and
+	// chunks other blobs already stored — was deduplicated.
+	res.DedupBytes = int64(len(data)) - newBytes
+
+	recipeBytes, err := json.Marshal(recipe)
+	if err != nil {
+		undo(false, nil)
+		return PutResult{}, fmt.Errorf("cas: marshaling recipe for %q: %w", key, err)
+	}
+	if err := s.blobs.Put(RecipeKey(key), recipeBytes); err != nil {
+		undo(true, nil)
+		return PutResult{}, fmt.Errorf("cas: writing recipe for %q: %w", key, err)
+	}
+	res.PhysicalBytes += int64(len(recipeBytes))
+	res.WriteOps++
+
+	s.refMu.Lock()
+	committed := map[string]int{}
+	for _, h := range distinct {
+		n, err := s.readRef(h)
+		if err == nil {
+			err = s.blobs.Put(RefKey(h), EncodeRefcount(n+1))
+		}
+		if err != nil {
+			s.refMu.Unlock()
+			undo(true, committed)
+			return PutResult{}, fmt.Errorf("cas: acquiring ref on %s: %w", h, err)
+		}
+		committed[h] = n
+	}
+	s.refMu.Unlock()
+
+	reg.Counter(MetricChunksTotal).Add(int64(res.NewChunks))
+	reg.Counter(MetricDedupBytesTotal).Add(res.DedupBytes)
+	logical := s.logical.Add(int64(len(data)))
+	physical := s.physical.Add(res.PhysicalBytes)
+	if physical > 0 {
+		reg.Gauge(MetricDedupRatio).Set(logical * 100 / physical)
+	}
+	return res, nil
+}
+
+// readRecipe loads and validates the recipe of a logical key. The
+// error preserves backend.IsNotFound for missing recipes.
+func (s *Store) readRecipe(key string) (Recipe, []byte, error) {
+	raw, err := s.blobs.Get(RecipeKey(key))
+	if err != nil {
+		return Recipe{}, nil, err
+	}
+	r, err := DecodeRecipe(raw)
+	if err != nil {
+		return Recipe{}, nil, fmt.Errorf("cas: recipe for %q: %w", key, err)
+	}
+	return r, raw, nil
+}
+
+// DecodeRecipe parses and validates recipe bytes.
+func DecodeRecipe(raw []byte) (Recipe, error) {
+	var r Recipe
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return Recipe{}, fmt.Errorf("cas: garbled recipe: %w", err)
+	}
+	var total int64
+	for _, c := range r.Chunks {
+		if len(c.Hash) != sha256.Size*2 || c.Size <= 0 {
+			return Recipe{}, fmt.Errorf("cas: garbled recipe entry %q/%d", c.Hash, c.Size)
+		}
+		total += c.Size
+	}
+	if total != r.Size || r.Size < 0 {
+		return Recipe{}, fmt.Errorf("cas: recipe chunk sizes sum to %d, want %d", total, r.Size)
+	}
+	return r, nil
+}
+
+// Has reports whether a recipe exists for the logical key.
+func (s *Store) Has(key string) bool {
+	_, err := s.blobs.Size(RecipeKey(key))
+	return err == nil
+}
+
+// Size returns the logical size of the blob stored under key.
+func (s *Store) Size(key string) (int64, error) {
+	r, _, err := s.readRecipe(key)
+	if err != nil {
+		return 0, err
+	}
+	return r.Size, nil
+}
+
+// getChunk reads one chunk and verifies its content address — a
+// defense-in-depth check on top of the blob store's CRC32C manifests.
+func (s *Store) getChunk(hash string, want int64) ([]byte, error) {
+	data, err := s.blobs.Get(ChunkKey(hash))
+	if err != nil {
+		return nil, fmt.Errorf("cas: reading chunk %s: %w", hash, err)
+	}
+	if int64(len(data)) != want || hashChunk(data) != hash {
+		return nil, fmt.Errorf("cas: chunk %s does not match its content address", hash)
+	}
+	return data, nil
+}
+
+// Get reassembles the logical blob stored under key.
+func (s *Store) Get(key string) ([]byte, error) {
+	r, _, err := s.readRecipe(key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, r.Size)
+	for _, c := range r.Chunks {
+		data, err := s.getChunk(c.Hash, c.Size)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+// GetRange reads length bytes at offset off from the logical blob,
+// fetching only the chunks the range overlaps.
+func (s *Store) GetRange(key string, off, length int64) ([]byte, error) {
+	r, _, err := s.readRecipe(key)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || length < 0 || off+length > r.Size {
+		return nil, &backend.RangeError{Key: key, Off: off, Length: length, Size: r.Size}
+	}
+	out := make([]byte, 0, length)
+	var pos int64
+	for _, c := range r.Chunks {
+		lo, hi := pos, pos+c.Size
+		pos = hi
+		if hi <= off {
+			continue
+		}
+		if lo >= off+length {
+			break
+		}
+		data, err := s.getChunk(c.Hash, c.Size)
+		if err != nil {
+			return nil, err
+		}
+		from, to := int64(0), c.Size
+		if off > lo {
+			from = off - lo
+		}
+		if off+length < hi {
+			to = off + length - lo
+		}
+		out = append(out, data[from:to]...)
+	}
+	return out, nil
+}
+
+// Release drops the references the logical key holds and deletes its
+// recipe. Chunks whose refcount reaches zero (and that no in-flight
+// Put is relying on) are deleted eagerly; the returned count is the
+// physical bytes actually freed, recipe included. Releasing a key
+// with no recipe is a no-op — retried prunes and crash replays must
+// converge.
+//
+// The recipe is deleted before any refcount is decremented so that a
+// crash mid-release leaves counts too high (orphan-class debris fsck
+// repairs), never too low.
+func (s *Store) Release(key string, reg *obs.Registry) (freed int64, err error) {
+	_ = registry(reg)
+	r, raw, err := s.readRecipe(key)
+	if err != nil {
+		if backend.IsNotFound(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	if err := s.blobs.Delete(RecipeKey(key)); err != nil {
+		return 0, fmt.Errorf("cas: deleting recipe for %q: %w", key, err)
+	}
+	freed = int64(len(raw))
+
+	distinct := make([]string, 0, len(r.Chunks))
+	sizeOf := map[string]int64{}
+	for _, c := range r.Chunks {
+		if _, ok := sizeOf[c.Hash]; !ok {
+			distinct = append(distinct, c.Hash)
+			sizeOf[c.Hash] = c.Size
+		}
+	}
+	s.refMu.Lock()
+	defer s.refMu.Unlock()
+	for _, h := range distinct {
+		n, err := s.readRef(h)
+		if err != nil {
+			// A garbled refcount is fsck's to rebuild; skipping the
+			// decrement only leaves the count too high, which is safe.
+			continue
+		}
+		if n > 1 {
+			if err := s.blobs.Put(RefKey(h), EncodeRefcount(n-1)); err != nil {
+				return freed, fmt.Errorf("cas: releasing ref on %s: %w", h, err)
+			}
+			continue
+		}
+		if err := s.blobs.Delete(RefKey(h)); err != nil {
+			return freed, fmt.Errorf("cas: deleting ref of %s: %w", h, err)
+		}
+		if s.pending[h] > 0 {
+			continue
+		}
+		if err := s.blobs.Delete(ChunkKey(h)); err != nil {
+			return freed, fmt.Errorf("cas: deleting chunk %s: %w", h, err)
+		}
+		freed += sizeOf[h]
+	}
+	return freed, nil
+}
+
+// GC deletes every chunk that no recipe references and whose persisted
+// refcount is zero or missing, plus refcount files whose chunk is
+// gone. It is the safety net for crash debris Release could not see;
+// a chunk referenced by any recipe — even an uncommitted one — is
+// never collected. GC fails without deleting anything if a recipe is
+// unreadable: run fsck first.
+func (s *Store) GC(reg *obs.Registry) (GCReport, error) {
+	reg = registry(reg)
+	s.refMu.Lock()
+	defer s.refMu.Unlock()
+
+	keys, err := s.blobs.Keys()
+	if err != nil {
+		return GCReport{}, err
+	}
+	referenced := map[string]bool{}
+	chunks := map[string]bool{}
+	var refs []string
+	for _, k := range keys {
+		switch {
+		case strings.HasPrefix(k, recipePrefix):
+			logical, _ := LogicalKey(k)
+			r, _, err := s.readRecipe(logical)
+			if err != nil {
+				return GCReport{}, fmt.Errorf("cas: gc: %w", err)
+			}
+			for _, c := range r.Chunks {
+				referenced[c.Hash] = true
+			}
+		case strings.HasPrefix(k, chunkPrefix):
+			if h, ok := ChunkHash(k); ok {
+				chunks[h] = true
+			}
+		case strings.HasPrefix(k, refPrefix):
+			if h, ok := ChunkHash(k); ok {
+				refs = append(refs, h)
+			}
+		}
+	}
+
+	var report GCReport
+	deleted := map[string]bool{}
+	for h := range chunks {
+		if referenced[h] || s.pending[h] > 0 {
+			report.ChunksKept++
+			continue
+		}
+		n, err := s.readRef(h)
+		if err != nil || n > 0 {
+			report.ChunksKept++
+			continue
+		}
+		size, err := s.blobs.Size(ChunkKey(h))
+		if err != nil && !backend.IsNotFound(err) {
+			return report, err
+		}
+		if err := s.blobs.Delete(ChunkKey(h)); err != nil {
+			return report, err
+		}
+		if err := s.blobs.Delete(RefKey(h)); err != nil {
+			return report, err
+		}
+		deleted[h] = true
+		report.ChunksDeleted++
+		report.BytesFreed += size
+	}
+	for _, h := range refs {
+		if chunks[h] && !deleted[h] {
+			continue
+		}
+		if deleted[h] {
+			continue // ref already deleted alongside its chunk
+		}
+		if err := s.blobs.Delete(RefKey(h)); err != nil {
+			return report, err
+		}
+		report.RefsDeleted++
+	}
+	reg.Counter(MetricGCDeletedTotal).Add(int64(report.ChunksDeleted))
+	return report, nil
+}
+
+// Usage summarizes physical and logical occupancy for `mmstore du`.
+type Usage struct {
+	// Recipes is the number of logical blobs stored.
+	Recipes int `json:"recipes"`
+	// LogicalBytes is the sum of the logical sizes of all recipes.
+	LogicalBytes int64 `json:"logical_bytes"`
+	// Chunks is the number of distinct chunks present.
+	Chunks int `json:"chunks"`
+	// ChunkBytes is the physical payload bytes of those chunks.
+	ChunkBytes int64 `json:"chunk_bytes"`
+	// RecipeBytes is the bytes spent on recipe documents.
+	RecipeBytes int64 `json:"recipe_bytes"`
+}
+
+// Usage scans the CAS namespace and reports occupancy.
+func (s *Store) Usage() (Usage, error) {
+	scan, err := ScanStore(s.blobs)
+	if err != nil {
+		return Usage{}, err
+	}
+	var u Usage
+	u.Recipes = len(scan.Recipes) + len(scan.BadRecipes)
+	for _, r := range scan.Recipes {
+		u.LogicalBytes += r.Size
+	}
+	u.Chunks = len(scan.Chunks)
+	for _, size := range scan.Chunks {
+		u.ChunkBytes += size
+	}
+	u.RecipeBytes = scan.RecipeBytes
+	return u, nil
+}
+
+// Scan is the raw CAS inventory fsck and du build their checks on.
+type Scan struct {
+	// Recipes maps logical keys to their parsed recipes.
+	Recipes map[string]Recipe
+	// BadRecipes maps logical keys to the parse error of their recipe.
+	BadRecipes map[string]error
+	// Chunks maps chunk hashes to their stored payload size.
+	Chunks map[string]int64
+	// Refs maps chunk hashes to their parsed persisted refcount.
+	Refs map[string]int
+	// BadRefs maps chunk hashes to the parse error of their ref file.
+	BadRefs map[string]error
+	// RecipeBytes is the total size of all recipe documents.
+	RecipeBytes int64
+}
+
+// ScanStore inventories the CAS namespace of a blob store without
+// modifying anything.
+func ScanStore(b *blobstore.Store) (*Scan, error) {
+	keys, err := b.Keys()
+	if err != nil {
+		return nil, err
+	}
+	scan := &Scan{
+		Recipes:    map[string]Recipe{},
+		BadRecipes: map[string]error{},
+		Chunks:     map[string]int64{},
+		Refs:       map[string]int{},
+		BadRefs:    map[string]error{},
+	}
+	for _, k := range keys {
+		switch {
+		case strings.HasPrefix(k, recipePrefix):
+			logical, _ := LogicalKey(k)
+			raw, err := b.Get(k)
+			if err != nil {
+				scan.BadRecipes[logical] = err
+				continue
+			}
+			scan.RecipeBytes += int64(len(raw))
+			r, err := DecodeRecipe(raw)
+			if err != nil {
+				scan.BadRecipes[logical] = err
+				continue
+			}
+			scan.Recipes[logical] = r
+		case strings.HasPrefix(k, chunkPrefix):
+			h, ok := ChunkHash(k)
+			if !ok {
+				continue
+			}
+			size, err := b.Size(k)
+			if err != nil {
+				size = 0
+			}
+			scan.Chunks[h] = size
+		case strings.HasPrefix(k, refPrefix):
+			h, ok := ChunkHash(k)
+			if !ok {
+				continue
+			}
+			raw, err := b.Get(k)
+			if err != nil {
+				scan.BadRefs[h] = err
+				continue
+			}
+			n, err := strconv.Atoi(string(bytes.TrimSpace(raw)))
+			if err != nil || n < 0 {
+				scan.BadRefs[h] = fmt.Errorf("cas: garbled refcount %q", raw)
+				continue
+			}
+			scan.Refs[h] = n
+		}
+	}
+	return scan, nil
+}
+
+// RecipeKeys lists the logical keys that have recipes, optionally
+// filtered by logical-key prefix.
+func (s *Store) RecipeKeys(prefix string) ([]string, error) {
+	keys, err := s.blobs.Keys()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, k := range keys {
+		if logical, ok := LogicalKey(k); ok && strings.HasPrefix(logical, prefix) {
+			out = append(out, logical)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package cas
+
+import (
+	"bytes"
+	"testing"
+)
+
+func join(chunks []Chunk) []byte {
+	var out []byte
+	for _, c := range chunks {
+		out = append(out, c.Data...)
+	}
+	return out
+}
+
+func TestChunksRoundTrip(t *testing.T) {
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	cases := []struct {
+		name      string
+		chunkSize int
+		hints     Hints
+	}{
+		{"plain", 64, Hints{}},
+		{"default-size", 0, Hints{}},
+		{"stride", 256, Hints{Stride: 100}},
+		{"boundaries", 0, Hints{Boundaries: []int{1, 999, 500, 500, -3, 1000, 2000}}},
+		{"stride-and-boundaries", 64, Hints{Stride: 300, Boundaries: []int{10, 450}}},
+		{"chunk-larger-than-data", 1 << 20, Hints{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			chunks := Chunks(data, tc.chunkSize, tc.hints)
+			if got := join(chunks); !bytes.Equal(got, data) {
+				t.Fatalf("chunks do not reassemble input: got %d bytes, want %d", len(got), len(data))
+			}
+			off := 0
+			for i, c := range chunks {
+				if c.Offset != off {
+					t.Fatalf("chunk %d offset %d, want %d", i, c.Offset, off)
+				}
+				if len(c.Data) == 0 {
+					t.Fatalf("chunk %d is empty", i)
+				}
+				off += len(c.Data)
+			}
+		})
+	}
+}
+
+func TestChunksEmpty(t *testing.T) {
+	if got := Chunks(nil, 64, Hints{Stride: 8}); got != nil {
+		t.Fatalf("Chunks(nil) = %v, want nil", got)
+	}
+}
+
+// TestChunksStrideStability is the property the dedup design rests
+// on: with a stride of one model's bytes, editing one model changes
+// only that model's chunks.
+func TestChunksStrideStability(t *testing.T) {
+	const perModel = 100
+	a := bytes.Repeat([]byte{7}, perModel*5)
+	b := append([]byte(nil), a...)
+	for i := 2 * perModel; i < 3*perModel; i++ {
+		b[i] ^= 0xff
+	}
+	ca := Chunks(a, 0, Hints{Stride: perModel})
+	cb := Chunks(b, 0, Hints{Stride: perModel})
+	if len(ca) != len(cb) {
+		t.Fatalf("chunk counts differ: %d vs %d", len(ca), len(cb))
+	}
+	for i := range ca {
+		same := bytes.Equal(ca[i].Data, cb[i].Data)
+		wantSame := i != 2
+		if same != wantSame {
+			t.Fatalf("chunk %d: same=%v, want %v", i, same, wantSame)
+		}
+	}
+}
+
+func TestChunksDeterministic(t *testing.T) {
+	data := bytes.Repeat([]byte{1, 2, 3}, 500)
+	h := Hints{Stride: 77, Boundaries: []int{5, 800, 801}}
+	a := Chunks(data, 50, h)
+	b := Chunks(data, 50, h)
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic chunk count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Offset != b[i].Offset || !bytes.Equal(a[i].Data, b[i].Data) {
+			t.Fatalf("nondeterministic chunk %d", i)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package cas
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/obs"
+	"github.com/mmm-go/mmm/internal/storage/blobstore"
+)
+
+// FuzzChunker round-trips arbitrary data through chunking and through
+// a full CAS put/get cycle: chunks must reassemble the input exactly,
+// cover it in order without empty chunks, and a deduplicated store
+// must hand back bit-identical bytes for any (data, chunkSize, stride,
+// boundary) combination.
+func FuzzChunker(f *testing.F) {
+	f.Add([]byte{}, 0, 0, 0)
+	f.Add([]byte("hello world"), 4, 0, 0)
+	f.Add(bytes.Repeat([]byte{7}, 1000), 64, 100, 250)
+	f.Add(bytes.Repeat([]byte{1, 2, 3}, 333), 0, 196, 5)
+	f.Add([]byte{0}, 1, 1, 1)
+	f.Add(bytes.Repeat([]byte{0xff}, 70000), 0, 0, 65536)
+	f.Fuzz(func(t *testing.T, data []byte, chunkSize, stride, boundary int) {
+		hints := Hints{Stride: stride, Boundaries: []int{boundary}}
+		chunks := Chunks(data, chunkSize, hints)
+		off := 0
+		var joined []byte
+		for i, c := range chunks {
+			if len(c.Data) == 0 {
+				t.Fatalf("chunk %d is empty", i)
+			}
+			if c.Offset != off {
+				t.Fatalf("chunk %d offset %d, want %d", i, c.Offset, off)
+			}
+			off += len(c.Data)
+			joined = append(joined, c.Data...)
+		}
+		if !bytes.Equal(joined, data) {
+			t.Fatalf("chunks reassemble to %d bytes, want %d", len(joined), len(data))
+		}
+
+		s := For(blobstore.NewMem())
+		r := obs.New()
+		if _, err := s.Put("fuzz", data, chunkSize, hints, r); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		got, err := s.Get("fuzz")
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("CAS round trip mismatch: %d bytes, want %d", len(got), len(data))
+		}
+		if size, err := s.Size("fuzz"); err != nil || size != int64(len(data)) {
+			t.Fatalf("Size = %d, %v; want %d", size, err, len(data))
+		}
+		if len(data) > 2 {
+			part, err := s.GetRange("fuzz", 1, int64(len(data)-2))
+			if err != nil {
+				t.Fatalf("GetRange: %v", err)
+			}
+			if !bytes.Equal(part, data[1:len(data)-1]) {
+				t.Fatal("CAS range read mismatch")
+			}
+		}
+	})
+}

@@ -69,6 +69,12 @@ type Config struct {
 	// PartialLayers are the layers a partial update retrains; empty
 	// defaults to the final linear layer.
 	PartialLayers []string
+	// FactoryClone initializes every model as a clone of model 0
+	// instead of giving each its own random init. This models fleets
+	// deployed from one factory-trained prototype and is the case
+	// content-addressed deduplication targets: at U1 all models are
+	// byte-identical and diverge only as updates land.
+	FactoryClone bool
 }
 
 // DefaultConfig returns the paper's default scenario.
@@ -171,6 +177,11 @@ func New(cfg Config, reg *dataset.Registry) (*Fleet, error) {
 	set, err := core.NewModelSet(cfg.Arch, cfg.NumModels, cfg.Seed)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.FactoryClone {
+		for i := 1; i < len(set.Models); i++ {
+			set.Models[i] = set.Models[0].Clone()
+		}
 	}
 	return &Fleet{Config: cfg, Set: set, Registry: reg}, nil
 }

@@ -117,6 +117,14 @@ type (
 	FsckReport = core.FsckReport
 	// FsckIssue is one problem found by Fsck.
 	FsckIssue = core.FsckIssue
+	// DuReport is the result of a storage-accounting scan: logical
+	// versus physical bytes per set and store-wide, plus the dedup
+	// ratio.
+	DuReport = core.DuReport
+	// DuSet is one committed set's storage occupancy within a DuReport.
+	DuSet = core.DuSet
+	// GCReport summarizes a dedup chunk garbage-collection pass.
+	GCReport = core.GCReport
 )
 
 // Model and training types.
@@ -191,6 +199,14 @@ var NewMetricsRegistry = obs.New
 // instead of DefaultMetrics.
 var WithMetrics = core.WithMetrics
 
+// WithDedup routes every blob the approach writes through the store's
+// content-addressed deduplicating chunk layer: identical chunks are
+// stored once and shared across sets and approaches, with recovered
+// parameters bit-identical to a plain save. SaveResult.BytesWritten
+// then reports physical bytes (new chunks plus the recipe), which is
+// how dedup savings become visible per save.
+var WithDedup = core.WithDedup
+
 // Sentinel errors, testable with errors.Is across every layer
 // (including the HTTP client, which maps server responses back onto
 // them).
@@ -222,6 +238,15 @@ var (
 // additionally deletes the orphans; damaged committed data is only ever
 // reported, never deleted.
 var Fsck = core.Fsck
+
+// Du scans the managed blob namespaces and reports logical versus
+// physical occupancy per set and store-wide — the deduplication
+// savings ledger.
+var Du = core.Du
+
+// GCStore deletes unreferenced deduplicated chunks from the store's
+// CAS layer; pass DefaultMetrics (or nil) as the registry.
+var GCStore = core.GCStore
 
 // NewModelSet builds n freshly initialized models of arch, seeded
 // reproducibly.
