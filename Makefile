@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fsck-smoke metrics-smoke chaos-smoke dedup-smoke fuzz check bench
+.PHONY: build test vet race fsck-smoke metrics-smoke chaos-smoke dedup-smoke codec-smoke fuzz check bench
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,30 @@ dedup-smoke:
 	$(GO) test -race -count=1 -run 'TestDedup|TestCrashEnumerationDedup' ./internal/core
 	$(GO) test -race -count=1 -run 'TestRunDedupStorage' ./internal/experiments
 
+# Codec smoke test: every codec (raw, zlib, tensor-LZ) through the
+# real CLI against a real on-disk store — init, an update cycle,
+# bit-identical recovery, du, and a flagless fsck — plus the codec
+# matrix suite under the race detector. Stores written with any codec
+# must read back with none configured.
+codec-smoke:
+	$(GO) test -race -count=1 -run 'TestCodec|TestPreCodec|TestCorruptEncoded|TestDiffDocUnknown|TestDedupCodecShares' ./internal/core
+	$(GO) test -race -count=1 ./internal/codec
+	@set -eu; \
+	tmp=$$(mktemp -d); \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	for codec in none zlib tlz; do \
+		dir="$$tmp/store-$$codec"; \
+		$(GO) run -race ./cmd/mmstore init -dir "$$dir" -approach update -codec "$$codec" -dedup -n 4 -samples 30 >/dev/null; \
+		$(GO) run -race ./cmd/mmstore cycle -dir "$$dir" -approach update -codec "$$codec" -dedup -base up-000001 -samples 30 >/dev/null; \
+		$(GO) run -race ./cmd/mmstore recover -dir "$$dir" -approach update -set up-000002 >/dev/null; \
+		$(GO) run -race ./cmd/mmstore du -dir "$$dir" > "$$tmp/du.txt"; \
+		grep -q "codec $$codec" "$$tmp/du.txt" || { \
+			echo "codec-smoke FAILED: du does not report codec $$codec"; exit 1; }; \
+		$(GO) run -race ./cmd/mmstore fsck -dir "$$dir" >/dev/null || { \
+			echo "codec-smoke FAILED: fsck rejects a $$codec store"; exit 1; }; \
+	done; \
+	echo "codec-smoke OK: all codecs save, recover, and fsck clean"
+
 # Short-budget fuzzing of the property suites: checksummed blob round
 # trips, the sim-vs-dir backend oracle, and chunker reassembly. The
 # committed seed corpora under testdata/fuzz/ always run; the small
@@ -84,12 +108,14 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzChecksumRoundTrip -fuzztime=10s ./internal/storage/blobstore
 	$(GO) test -run=NONE -fuzz=FuzzBackendOracle -fuzztime=10s ./internal/storage/sim
 	$(GO) test -run=NONE -fuzz=FuzzChunker -fuzztime=10s ./internal/storage/cas
+	$(GO) test -run=NONE -fuzz=FuzzShuffle -fuzztime=10s ./internal/codec
+	$(GO) test -run=NONE -fuzz=FuzzTLZRoundTrip -fuzztime=10s ./internal/codec
 
 # The full gate: compile everything, vet, run the suite twice —
 # once plain, once under the race detector — then the durability,
-# observability, resilience, and dedup smoke tests and the short
-# fuzz pass.
-check: build vet test race fsck-smoke metrics-smoke chaos-smoke dedup-smoke fuzz
+# observability, resilience, dedup, and codec smoke tests and the
+# short fuzz pass.
+check: build vet test race fsck-smoke metrics-smoke chaos-smoke dedup-smoke codec-smoke fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem

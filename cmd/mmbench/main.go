@@ -10,6 +10,7 @@
 //	mmbench -exp storage-cifar      # §4.2 CIFAR variation
 //	mmbench -exp storage-overhead   # §4.2 U1 overhead vs MMlib-base
 //	mmbench -dedup                  # physical bytes with vs without WithDedup
+//	mmbench -exp compression        # codec storage/TTS/TTR + chunk-pipeline scaling (writes BENCH_compression.json)
 //	mmbench -exp tts -setup m1      # Figure 4a
 //	mmbench -exp tts -setup server  # Figure 4b
 //	mmbench -exp ttr -setup m1      # Figure 5a
@@ -30,6 +31,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,18 +46,20 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (see package docs)")
-		n       = flag.Int("n", 1000, "number of models (paper: 5000)")
-		cycles  = flag.Int("cycles", 3, "number of U3 update cycles")
-		setup   = flag.String("setup", "m1", "hardware profile: m1, server, or zero")
-		runs    = flag.Int("runs", 5, "timing runs per measurement (median reported)")
-		mode    = flag.String("mode", "train", "update mode: train or perturb")
-		arch    = flag.String("arch", "FFNN-48", "architecture: FFNN-48, FFNN-69, CIFAR")
-		samples = flag.Int("samples", 60, "training samples per update dataset")
-		epochs  = flag.Int("epochs", 1, "training epochs per update")
-		rate    = flag.Float64("rate", 0.10, "total update rate per cycle (half full, half partial)")
-		workers = flag.Int("workers", 1, "save/recover concurrency (1 = paper-faithful serial timing)")
-		dedup   = flag.Bool("dedup", false, "run the dedup storage comparison (shorthand for -exp storage-dedup)")
+		exp      = flag.String("exp", "all", "experiment to run (see package docs)")
+		n        = flag.Int("n", 1000, "number of models (paper: 5000)")
+		cycles   = flag.Int("cycles", 3, "number of U3 update cycles")
+		setup    = flag.String("setup", "m1", "hardware profile: m1, server, or zero")
+		runs     = flag.Int("runs", 5, "timing runs per measurement (median reported)")
+		mode     = flag.String("mode", "train", "update mode: train or perturb")
+		arch     = flag.String("arch", "FFNN-48", "architecture: FFNN-48, FFNN-69, CIFAR")
+		samples  = flag.Int("samples", 60, "training samples per update dataset")
+		epochs   = flag.Int("epochs", 1, "training epochs per update")
+		rate     = flag.Float64("rate", 0.10, "total update rate per cycle (half full, half partial)")
+		workers  = flag.Int("workers", 1, "save/recover concurrency (1 = paper-faithful serial timing)")
+		dedup    = flag.Bool("dedup", false, "run the dedup storage comparison (shorthand for -exp storage-dedup)")
+		benchOut = flag.String("bench-out", "BENCH_compression.json",
+			"where -exp compression writes its JSON result (empty = table only)")
 		csv     = flag.Bool("csv", false, "emit series as CSV instead of tables")
 		metrics = flag.Bool("metrics", false, "print a metrics snapshot after each experiment (suppressed under -csv)")
 	)
@@ -178,6 +182,23 @@ func main() {
 			}
 			fmt.Print(ext.Table())
 			return nil
+		case "compression":
+			c, err := experiments.RunCompression(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Print(c.Table())
+			if *benchOut != "" {
+				data, err := json.MarshalIndent(c, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *benchOut)
+			}
+			return nil
 		case "ablate-snapshot":
 			o := opts
 			if o.Cycles < 4 {
@@ -230,7 +251,8 @@ func main() {
 	} else if *exp == "all" {
 		names = []string{
 			"storage", "storage-rates", "storage-size", "storage-cifar",
-			"storage-overhead", "storage-dedup", "tts", "ttr", "ttr-extrapolate",
+			"storage-overhead", "storage-dedup", "compression",
+			"tts", "ttr", "ttr-extrapolate",
 			"accident", "quality",
 			"ablate-snapshot", "ablate-variants", "ablate-blob-layout", "advisor",
 		}

@@ -24,6 +24,12 @@
 //	GET  /api/datasets
 //	GET  /metrics                                Prometheus text format
 //
+// -dedup deduplicates saved blobs through the content-addressed chunk
+// store; -codec compresses them with the named codec (none, zlib, or
+// tlz). Both apply to every approach the server constructs. Save
+// manifests may assert a codec; a mismatch with the server's -codec is
+// rejected with 422 before anything is written.
+//
 // On SIGINT/SIGTERM the server drains gracefully: /readyz flips to
 // 503, new API requests are rejected with Retry-After, and in-flight
 // requests get -drain-timeout to finish before being canceled (a
@@ -62,6 +68,7 @@ func main() {
 		dir       = flag.String("dir", "./mmstore-data", "store directory")
 		addr      = flag.String("addr", ":8080", "listen address")
 		dedup     = flag.Bool("dedup", false, "route saves through the content-addressed deduplicating chunk store")
+		codecID   = flag.String("codec", "", "compression codec for saves: none, zlib, or tlz (default none); clients asserting a different codec in their manifest are rejected with 422")
 		debugAddr = flag.String("debug-addr", "", "optional address for net/http/pprof (e.g. localhost:6060); disabled when empty")
 
 		drainTimeout = flag.Duration("drain-timeout", server.DefaultDrainTimeout,
@@ -98,6 +105,7 @@ func main() {
 	api := server.NewWithConfig(stores, nil, server.Config{
 		RequestTimeout: *requestTimeout,
 		MaxBodyBytes:   *maxBodyBytes,
+		Codec:          *codecID,
 	}, apiOpts...)
 
 	if *debugAddr != "" {

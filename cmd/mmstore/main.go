@@ -32,6 +32,13 @@
 // store-wide dedup ratio; gc deletes unreferenced chunks left behind
 // by crashes.
 //
+// -codec ID compresses saved blobs with the named codec (none, zlib,
+// or tlz): Update diff blobs directly, and every blob's chunk bodies
+// when combined with -dedup. Codec IDs are persisted with the data and
+// every encoded artifact is self-describing, so any mmstore reads any
+// store regardless of the -codec it was written with; du and inspect
+// show each set's codec.
+//
 // With -server URL, commands run against a remote mmserve instead of a
 // local directory: the client waits for /readyz (bounded by
 // -wait-ready), retries idempotent requests with backoff, and saves
@@ -85,6 +92,7 @@ func run(ctx context.Context, args []string) error {
 		retries  = fs.Int("retries", 1, "total tries per store operation (>1 retries transient I/O errors)")
 		repair   = fs.Bool("repair", false, "fsck: delete orphaned crash debris")
 		dedup    = fs.Bool("dedup", false, "route saves through the content-addressed deduplicating chunk store")
+		codecID  = fs.String("codec", "", "compression codec for saves: none, zlib, or tlz (default none)")
 		verbose  = fs.Bool("v", false, "print a metrics snapshot to stderr after the command")
 	)
 	keep := fs.String("keep", "", "comma-separated set IDs to keep for prune")
@@ -122,7 +130,7 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	appr, err := buildApproach(*approach, stores, *workers, *dedup)
+	appr, err := buildApproach(*approach, stores, *workers, *dedup, *codecID)
 	if err != nil {
 		return err
 	}
@@ -244,6 +252,13 @@ func run(ctx context.Context, args []string) error {
 			chain, err := l.Lineage(*setID)
 			if err != nil {
 				return err
+			}
+			if len(chain) > 0 {
+				codecName := chain[0].Codec
+				if codecName == "" {
+					codecName = "none"
+				}
+				fmt.Printf("codec:        %s\n", codecName)
 			}
 			fmt.Println("lineage (newest first):")
 			for _, info := range chain {
@@ -401,10 +416,13 @@ func run(ctx context.Context, args []string) error {
 }
 
 // buildApproach constructs the requested management approach.
-func buildApproach(name string, stores mmm.Stores, workers int, dedup bool) (mmm.Approach, error) {
+func buildApproach(name string, stores mmm.Stores, workers int, dedup bool, codecID string) (mmm.Approach, error) {
 	opts := []mmm.Option{mmm.WithConcurrency(workers)}
 	if dedup {
 		opts = append(opts, mmm.WithDedup())
+	}
+	if codecID != "" {
+		opts = append(opts, mmm.WithCodec(codecID))
 	}
 	switch name {
 	case "baseline":
@@ -425,8 +443,12 @@ func printDu(report *mmm.DuReport) {
 		fmt.Println("no sets saved")
 	}
 	for _, s := range report.Sets {
-		fmt.Printf("%-11s %-28s logical %10.3f MB  physical %10.3f MB\n",
-			s.Approach, s.SetID,
+		codecName := s.Codec
+		if codecName == "" {
+			codecName = "none"
+		}
+		fmt.Printf("%-11s %-28s codec %-5s logical %10.3f MB  physical %10.3f MB\n",
+			s.Approach, s.SetID, codecName,
 			float64(s.LogicalBytes)/1e6, float64(s.PhysicalBytes)/1e6)
 	}
 	fmt.Printf("store-wide: logical %.3f MB, physical %.3f MB (raw %.3f + chunks %.3f + recipes %.3f), %d chunk(s)\n",

@@ -227,7 +227,7 @@ func TestBuildApproachNames(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		a, err := buildApproach(name, st, 2, false)
+		a, err := buildApproach(name, st, 2, false, "")
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -239,7 +239,7 @@ func TestBuildApproachNames(t *testing.T) {
 		}
 	}
 	st, _ := openTestStores(t)
-	if _, err := buildApproach("nope", st, 1, false); err == nil ||
+	if _, err := buildApproach("nope", st, 1, false, ""); err == nil ||
 		!strings.Contains(err.Error(), "unknown approach") {
 		t.Error("unknown approach not rejected")
 	}

@@ -1,0 +1,173 @@
+// Package codec is the pluggable compression layer behind every blob
+// the approaches persist. A Codec turns logical bytes into a (usually
+// smaller) encoded form and back; the package keeps a process-global
+// registry so that stores can name the codec that wrote a blob and any
+// later reader — including one that never configured a codec — can
+// decode it.
+//
+// Two identifiers matter on disk:
+//
+//   - the string ID ("none", "zlib", "tlz") persisted in diff-doc and
+//     CAS-recipe metadata, and
+//   - the one-byte wire ID that prefixes an encoded CAS chunk body so
+//     chunks are self-describing in mixed-codec stores.
+//
+// Both are append-only contracts: an ID, once shipped, keeps its
+// meaning forever, which is what keeps every old store readable.
+//
+// Decode takes the exact decoded size as a bound and fails on any
+// deviation — the decompression-bomb guard is part of the interface
+// contract, not an implementation courtesy.
+package codec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Codec encodes and decodes blob payloads. Implementations must be
+// safe for concurrent use and deterministic: identical input bytes
+// must always produce identical encoded bytes, because CAS chunk
+// bodies written concurrently by different savers must be
+// byte-for-byte interchangeable.
+type Codec interface {
+	// ID is the stable string identifier persisted in store metadata.
+	ID() string
+	// Wire is the stable one-byte identifier that prefixes encoded
+	// CAS chunk bodies.
+	Wire() byte
+	// Encode appends the encoded form of src to dst and returns the
+	// extended slice.
+	Encode(dst, src []byte) ([]byte, error)
+	// Decode decodes src, which must decode to exactly size bytes.
+	// Any deviation — short output, trailing garbage, or encoded
+	// streams that would expand past size — returns an error wrapping
+	// ErrCorrupt.
+	Decode(src []byte, size int) ([]byte, error)
+}
+
+// ErrCorrupt is wrapped by Decode errors when the encoded payload is
+// damaged or does not decode to the promised size.
+var ErrCorrupt = errors.New("codec: corrupt encoded data")
+
+// ErrUnknown is wrapped by Lookup/ByWire errors when no registered
+// codec matches the requested identifier. Readers treat it like
+// corruption: a blob naming a codec this binary does not know cannot
+// be decoded.
+var ErrUnknown = errors.New("codec: unknown codec")
+
+// Stable identifiers of the built-in codecs.
+const (
+	NoneID = "none"
+	ZlibID = "zlib"
+	TLZID  = "tlz"
+)
+
+// Wire bytes of the built-in codecs. These prefix encoded CAS chunk
+// bodies and must never be reassigned.
+const (
+	noneWire byte = 0
+	zlibWire byte = 1
+	tlzWire  byte = 2
+)
+
+var (
+	regMu   sync.RWMutex
+	byID    = map[string]Codec{}
+	byWire  = map[byte]Codec{}
+	idOrder []string
+)
+
+// Register adds c to the process-global registry. Both the string ID
+// and the wire byte must be unused; registering a duplicate returns an
+// error so tests can assert collisions instead of silently shadowing a
+// codec that old stores depend on.
+func Register(c Codec) error {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if c == nil {
+		return errors.New("codec: Register(nil)")
+	}
+	id := c.ID()
+	if id == "" {
+		return errors.New("codec: Register with empty ID")
+	}
+	if _, ok := byID[id]; ok {
+		return fmt.Errorf("codec: codec %q already registered", id)
+	}
+	if prev, ok := byWire[c.Wire()]; ok {
+		return fmt.Errorf("codec: wire byte %d already used by %q", c.Wire(), prev.ID())
+	}
+	byID[id] = c
+	byWire[c.Wire()] = c
+	idOrder = append(idOrder, id)
+	return nil
+}
+
+// mustRegister is Register for the built-ins, which cannot collide.
+func mustRegister(c Codec) {
+	if err := Register(c); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the codec registered under the string id.
+func Lookup(id string) (Codec, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknown, id)
+	}
+	return c, nil
+}
+
+// ByWire returns the codec registered under the one-byte wire id.
+func ByWire(b byte) (Codec, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := byWire[b]
+	if !ok {
+		return nil, fmt.Errorf("%w: wire byte %d", ErrUnknown, b)
+	}
+	return c, nil
+}
+
+// IDs returns the registered codec IDs in sorted order.
+func IDs() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, len(idOrder))
+	copy(out, idOrder)
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	mustRegister(noneCodec{})
+	mustRegister(zlibCodec{})
+	mustRegister(tlzCodec{})
+}
+
+// noneCodec is the identity codec: blobs are stored raw. It exists so
+// "no compression" is an explicit, nameable choice that round-trips
+// through metadata like any other codec.
+type noneCodec struct{}
+
+func (noneCodec) ID() string { return NoneID }
+func (noneCodec) Wire() byte { return noneWire }
+
+func (noneCodec) Encode(dst, src []byte) ([]byte, error) {
+	return append(dst, src...), nil
+}
+
+func (noneCodec) Decode(src []byte, size int) ([]byte, error) {
+	if len(src) != size {
+		return nil, fmt.Errorf("%w: none codec payload is %d bytes, want %d", ErrCorrupt, len(src), size)
+	}
+	out := make([]byte, size)
+	copy(out, src)
+	return out, nil
+}

@@ -1,0 +1,223 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// testInputs covers the shapes that matter: empty, sub-plane tails,
+// exact plane multiples, incompressible noise, runs, and realistic
+// float32 tensor bytes (smoothly varying values whose high bytes
+// repeat — what the tlz pre-transform exists for).
+func testInputs(t *testing.T) map[string][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	noise := make([]byte, 64*1024+5)
+	rng.Read(noise)
+	zeros := make([]byte, 9000)
+	ramp := make([]byte, 999)
+	for i := range ramp {
+		ramp[i] = byte(i)
+	}
+	floats := make([]byte, 0, 4*10000)
+	for i := 0; i < 10000; i++ {
+		v := float32(math.Sin(float64(i)/300)) * 0.05
+		floats = binary.LittleEndian.AppendUint32(floats, math.Float32bits(v))
+	}
+	return map[string][]byte{
+		"empty":  nil,
+		"one":    {42},
+		"three":  {1, 2, 3},
+		"noise":  noise,
+		"zeros":  zeros,
+		"ramp":   ramp,
+		"floats": floats,
+	}
+}
+
+func TestRoundTripAllCodecs(t *testing.T) {
+	for _, id := range IDs() {
+		c, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, src := range testInputs(t) {
+			enc, err := c.Encode(nil, src)
+			if err != nil {
+				t.Fatalf("%s/%s: encode: %v", id, name, err)
+			}
+			dec, err := c.Decode(enc, len(src))
+			if err != nil {
+				t.Fatalf("%s/%s: decode: %v", id, name, err)
+			}
+			if !bytes.Equal(dec, src) {
+				t.Fatalf("%s/%s: round trip diverged (%d in, %d out)", id, name, len(src), len(dec))
+			}
+		}
+	}
+}
+
+// TestEncodeAppends pins the append contract: dst's existing bytes
+// stay untouched in front of the encoded output.
+func TestEncodeAppends(t *testing.T) {
+	src := []byte("hello hello hello hello")
+	for _, id := range IDs() {
+		c, _ := Lookup(id)
+		prefix := []byte{0xAA, 0xBB}
+		enc, err := c.Encode(append([]byte{}, prefix...), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc[:2], prefix) {
+			t.Fatalf("%s: encode clobbered dst prefix", id)
+		}
+		dec, err := c.Decode(enc[2:], len(src))
+		if err != nil {
+			t.Fatalf("%s: decode after prefix strip: %v", id, err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatalf("%s: round trip with prefix diverged", id)
+		}
+	}
+}
+
+// TestDecodeWrongSize pins the exact-size bound: an honest encoding
+// declared with the wrong logical size must fail with ErrCorrupt, both
+// ways (bomb guard and truncation guard).
+func TestDecodeWrongSize(t *testing.T) {
+	src := bytes.Repeat([]byte("abcd1234"), 500)
+	for _, id := range IDs() {
+		c, _ := Lookup(id)
+		enc, err := c.Encode(nil, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, wrong := range []int{len(src) - 1, len(src) + 1, 0} {
+			if _, err := c.Decode(enc, wrong); !errors.Is(err, ErrCorrupt) {
+				t.Errorf("%s: decode with size %d (real %d): err = %v, want ErrCorrupt",
+					id, wrong, len(src), err)
+			}
+		}
+	}
+}
+
+// TestDecodeGarbage feeds non-encodings to every codec: anything but
+// success-with-exact-size must be ErrCorrupt, never a panic.
+func TestDecodeGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, id := range IDs() {
+		c, _ := Lookup(id)
+		for trial := 0; trial < 200; trial++ {
+			garbage := make([]byte, rng.Intn(300))
+			rng.Read(garbage)
+			dec, err := c.Decode(garbage, 1000)
+			if err == nil && len(dec) != 1000 {
+				t.Fatalf("%s: garbage decoded to %d bytes without error", id, len(dec))
+			}
+			if err != nil && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("%s: garbage decode error %v does not wrap ErrCorrupt", id, err)
+			}
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for id, wire := range map[string]byte{NoneID: 0, ZlibID: 1, TLZID: 2} {
+		c, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.ID() != id || c.Wire() != wire {
+			t.Errorf("codec %s: ID=%q Wire=%d, want %q/%d", id, c.ID(), c.Wire(), id, wire)
+		}
+		byWire, err := ByWire(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if byWire != c {
+			t.Errorf("ByWire(%d) != Lookup(%s)", wire, id)
+		}
+	}
+	if _, err := Lookup("no-such-codec"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("Lookup(unknown): err = %v, want ErrUnknown", err)
+	}
+	if _, err := ByWire(200); !errors.Is(err, ErrUnknown) {
+		t.Errorf("ByWire(unknown): err = %v, want ErrUnknown", err)
+	}
+}
+
+// collidingCodec registers under arbitrary identifiers for collision
+// tests.
+type collidingCodec struct {
+	id   string
+	wire byte
+}
+
+func (c collidingCodec) ID() string                             { return c.id }
+func (c collidingCodec) Wire() byte                             { return c.wire }
+func (c collidingCodec) Encode(dst, src []byte) ([]byte, error) { return append(dst, src...), nil }
+func (c collidingCodec) Decode(src []byte, size int) ([]byte, error) {
+	return append([]byte(nil), src...), nil
+}
+
+func TestRegisterRejectsCollisions(t *testing.T) {
+	if err := Register(collidingCodec{id: ZlibID, wire: 77}); err == nil {
+		t.Error("Register accepted a duplicate string ID")
+	}
+	if err := Register(collidingCodec{id: "fresh-id", wire: 1}); err == nil {
+		t.Error("Register accepted a duplicate wire ID")
+	}
+	if err := Register(collidingCodec{id: "", wire: 78}); err == nil {
+		t.Error("Register accepted an empty string ID")
+	}
+	if err := Register(nil); err == nil {
+		t.Error("Register accepted a nil codec")
+	}
+}
+
+// TestTLZDeterministic pins encode determinism — chunk
+// interchangeability across stores depends on identical bytes for
+// identical input.
+func TestTLZDeterministic(t *testing.T) {
+	c, _ := Lookup(TLZID)
+	for name, src := range testInputs(t) {
+		a, err := c.Encode(nil, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := c.Encode(nil, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: two encodes of the same input differ", name)
+		}
+	}
+}
+
+// TestTLZBeatsRawOnTensors sanity-checks the codec's purpose: smooth
+// float32 tensor data must shrink.
+func TestTLZBeatsRawOnTensors(t *testing.T) {
+	src := testInputs(t)["floats"]
+	c, _ := Lookup(TLZID)
+	enc, err := c.Encode(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) >= len(src) {
+		t.Fatalf("tlz did not compress smooth tensor bytes: %d -> %d", len(src), len(enc))
+	}
+}
+
+func TestShuffleUnshuffleIdentity(t *testing.T) {
+	for name, src := range testInputs(t) {
+		got := planeUnshuffle(planeShuffle(src))
+		if !bytes.Equal(got, src) {
+			t.Fatalf("%s: unshuffle(shuffle(x)) != x", name)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzShuffle fuzzes the tensor pre-transform: planeUnshuffle must
+// invert planeShuffle for every input, including lengths that are not
+// multiples of the float32 plane width.
+func FuzzShuffle(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{0, 0, 0, 0, 255})
+	f.Add(bytes.Repeat([]byte{0x3f, 0x80, 0, 0}, 64))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		shuffled := planeShuffle(src)
+		if len(shuffled) != len(src) {
+			t.Fatalf("shuffle changed length: %d -> %d", len(src), len(shuffled))
+		}
+		got := planeUnshuffle(shuffled)
+		if !bytes.Equal(got, src) {
+			t.Fatalf("unshuffle(shuffle(x)) != x for %d bytes", len(src))
+		}
+	})
+}
+
+// FuzzTLZRoundTrip fuzzes the whole codec: every input must encode,
+// decode back bit-identically under the exact-size contract, and do so
+// deterministically.
+func FuzzTLZRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("abcabcabcabc"))
+	f.Add(bytes.Repeat([]byte{0}, 1000))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		c, err := Lookup(TLZID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := c.Encode(nil, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.Decode(enc, len(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatalf("round trip diverged for %d bytes", len(src))
+		}
+	})
+}
+
+// FuzzTLZDecode fuzzes the decoder against adversarial streams: it
+// must either succeed with exactly the declared size or fail wrapping
+// ErrCorrupt — never panic, never over-allocate past the bound.
+func FuzzTLZDecode(f *testing.F) {
+	f.Add([]byte{}, 10)
+	f.Add([]byte{0x80, 0, 0}, 100)
+	f.Add([]byte{0x00, 42}, 1)
+	f.Fuzz(func(t *testing.T, src []byte, size int) {
+		if size < 0 || size > 1<<20 {
+			return
+		}
+		c, err := Lookup(TLZID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.Decode(src, size)
+		if err == nil && len(dec) != size {
+			t.Fatalf("decode returned %d bytes without error, want %d", len(dec), size)
+		}
+		if err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("decode error %v does not wrap ErrCorrupt", err)
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package codec
+
+import (
+	"time"
+
+	"github.com/mmm-go/mmm/internal/obs"
+)
+
+// Compression metric names exposed on /metrics. Every series carries a
+// "codec" label so mixed-codec stores stay distinguishable.
+const (
+	// MetricEncodeSeconds observes wall-clock time spent encoding.
+	MetricEncodeSeconds = "mmm_codec_encode_seconds"
+	// MetricDecodeSeconds observes wall-clock time spent decoding.
+	MetricDecodeSeconds = "mmm_codec_decode_seconds"
+	// MetricLogicalBytesTotal counts logical (uncompressed) bytes fed
+	// through Encode.
+	MetricLogicalBytesTotal = "mmm_codec_logical_bytes_total"
+	// MetricEncodedBytesTotal counts encoded bytes produced, as kept:
+	// when keep-if-smaller logic stores the raw bytes instead, the raw
+	// size is counted, so the ratio of the two counters is the real
+	// on-disk compression ratio.
+	MetricEncodedBytesTotal = "mmm_codec_encoded_bytes_total"
+	// MetricRatio observes per-blob encoded/logical size ratios.
+	MetricRatio = "mmm_codec_ratio"
+)
+
+// Registry resolves a caller-supplied metrics registry, describing the
+// codec families on first use (mirrors the cas package's idiom).
+func Registry(reg *obs.Registry) *obs.Registry {
+	if reg == nil {
+		reg = obs.Default
+	}
+	reg.Describe(MetricEncodeSeconds, "Wall-clock seconds spent in codec Encode.")
+	reg.Describe(MetricDecodeSeconds, "Wall-clock seconds spent in codec Decode.")
+	reg.Describe(MetricLogicalBytesTotal, "Logical bytes fed through codec Encode.")
+	reg.Describe(MetricEncodedBytesTotal, "Bytes kept after codec Encode (raw size when encoding did not shrink).")
+	reg.Describe(MetricRatio, "Per-blob encoded/logical size ratio.")
+	return reg
+}
+
+// ObserveEncode records one encode: logical input bytes, the bytes
+// actually kept (encoded or raw, whichever the keep-if-smaller rule
+// chose), and the wall-clock duration.
+func ObserveEncode(reg *obs.Registry, id string, logical, kept int, d time.Duration) {
+	reg = Registry(reg)
+	l := obs.L("codec", id)
+	reg.Histogram(MetricEncodeSeconds, obs.TimeBuckets, l).Observe(d.Seconds())
+	reg.Counter(MetricLogicalBytesTotal, l).Add(int64(logical))
+	reg.Counter(MetricEncodedBytesTotal, l).Add(int64(kept))
+	if logical > 0 {
+		reg.Histogram(MetricRatio, obs.RatioBuckets, l).Observe(float64(kept) / float64(logical))
+	}
+}
+
+// ObserveDecode records one decode and its wall-clock duration.
+func ObserveDecode(reg *obs.Registry, id string, d time.Duration) {
+	reg = Registry(reg)
+	reg.Histogram(MetricDecodeSeconds, obs.TimeBuckets, obs.L("codec", id)).Observe(d.Seconds())
+}

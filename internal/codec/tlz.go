@@ -1,0 +1,187 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// tlzCodec ("tensor LZ") is a fast pure-Go LZ-class codec tuned for
+// the float32 payloads the approaches persist: raw parameter bytes and
+// XOR diff blobs.
+//
+// Encoding runs in two stages:
+//
+//  1. A byte-plane-shuffle/XOR-delta pre-transform. The payload is
+//     viewed as little-endian 4-byte words and regrouped into four
+//     planes — all byte-0s, then all byte-1s, byte-2s, byte-3s — and
+//     within each plane every byte is XORed with its predecessor.
+//     Related float32 values share sign, exponent, and high mantissa
+//     bits, so the high planes collapse into long runs of (mostly
+//     zero) highly repetitive bytes, exactly what an LZ stage eats.
+//     (This composes with the Update approach's XOR-vs-base delta
+//     encoding, which removes cross-version redundancy before the
+//     codec ever sees the bytes.)
+//
+//  2. A greedy LZ77 over the transformed bytes with a 64 KiB window,
+//     chosen to cover a whole default CAS chunk. The format is a flat
+//     op stream: a control byte below 0x80 introduces a literal run
+//     of control+1 bytes; a control byte >= 0x80 encodes a match of
+//     length (control&0x7f)+4 at a 2-byte little-endian distance-1.
+//
+// Decode reverses both stages into exactly the promised size; any
+// deviation — truncated ops, out-of-window matches, output overrun or
+// underrun — reports ErrCorrupt.
+type tlzCodec struct{}
+
+func (tlzCodec) ID() string { return TLZID }
+func (tlzCodec) Wire() byte { return tlzWire }
+
+const (
+	tlzMinMatch = 4
+	tlzMaxMatch = tlzMinMatch + 0x7f // 131
+	tlzMaxLit   = 0x80               // 128
+	tlzWindow   = 1 << 16
+	tlzHashBits = 15
+)
+
+func (tlzCodec) Encode(dst, src []byte) ([]byte, error) {
+	return lzEncode(dst, planeShuffle(src)), nil
+}
+
+func (tlzCodec) Decode(src []byte, size int) ([]byte, error) {
+	shuffled, err := lzDecode(src, size)
+	if err != nil {
+		return nil, err
+	}
+	return planeUnshuffle(shuffled), nil
+}
+
+// planeShuffle applies the byte-plane-shuffle/XOR-delta pre-transform.
+// The output has the same length as src; the tail (len(src) % 4 bytes)
+// is copied verbatim after the four planes.
+func planeShuffle(src []byte) []byte {
+	n4 := len(src) / 4
+	out := make([]byte, len(src))
+	for p := 0; p < 4; p++ {
+		plane := out[p*n4 : (p+1)*n4]
+		prev := byte(0)
+		for w := 0; w < n4; w++ {
+			b := src[4*w+p]
+			plane[w] = b ^ prev
+			prev = b
+		}
+	}
+	copy(out[4*n4:], src[4*n4:])
+	return out
+}
+
+// planeUnshuffle inverts planeShuffle exactly for any input length.
+func planeUnshuffle(src []byte) []byte {
+	n4 := len(src) / 4
+	out := make([]byte, len(src))
+	for p := 0; p < 4; p++ {
+		plane := src[p*n4 : (p+1)*n4]
+		prev := byte(0)
+		for w := 0; w < n4; w++ {
+			b := plane[w] ^ prev
+			out[4*w+p] = b
+			prev = b
+		}
+	}
+	copy(out[4*n4:], src[4*n4:])
+	return out
+}
+
+func tlzHash(x uint32) uint32 {
+	return (x * 2654435761) >> (32 - tlzHashBits)
+}
+
+// lzEncode appends the greedy LZ77 encoding of src to dst. The hash
+// table stores position+1 so the zero value means "empty" and the
+// table needs no initialization pass. Identical input always produces
+// identical output: CAS chunk bodies written concurrently by
+// different savers must be byte-for-byte interchangeable.
+func lzEncode(dst, src []byte) []byte {
+	var table [1 << tlzHashBits]int32
+	anchor := 0
+	i := 0
+	limit := len(src) - tlzMinMatch
+	for i <= limit {
+		x := binary.LittleEndian.Uint32(src[i:])
+		h := tlzHash(x)
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand >= 0 && i-cand <= tlzWindow && binary.LittleEndian.Uint32(src[cand:]) == x {
+			mlen := tlzMinMatch
+			for i+mlen < len(src) && mlen < tlzMaxMatch && src[cand+mlen] == src[i+mlen] {
+				mlen++
+			}
+			dst = emitLiterals(dst, src[anchor:i])
+			off := i - cand
+			dst = append(dst, 0x80|byte(mlen-tlzMinMatch), byte(off-1), byte((off-1)>>8))
+			i += mlen
+			anchor = i
+		} else {
+			// Accelerate through incompressible stretches: the longer
+			// the current literal run, the bigger the step.
+			i += 1 + (i-anchor)>>6
+		}
+	}
+	return emitLiterals(dst, src[anchor:])
+}
+
+func emitLiterals(dst, lit []byte) []byte {
+	for len(lit) > 0 {
+		n := len(lit)
+		if n > tlzMaxLit {
+			n = tlzMaxLit
+		}
+		dst = append(dst, byte(n-1))
+		dst = append(dst, lit[:n]...)
+		lit = lit[n:]
+	}
+	return dst
+}
+
+// lzDecode decodes an lzEncode stream into exactly size bytes.
+func lzDecode(src []byte, size int) ([]byte, error) {
+	out := make([]byte, 0, size)
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		i++
+		if c < 0x80 {
+			n := int(c) + 1
+			if i+n > len(src) {
+				return nil, fmt.Errorf("%w: tlz literal run past end of input", ErrCorrupt)
+			}
+			if len(out)+n > size {
+				return nil, fmt.Errorf("%w: tlz output exceeds %d bytes", ErrCorrupt, size)
+			}
+			out = append(out, src[i:i+n]...)
+			i += n
+			continue
+		}
+		if i+2 > len(src) {
+			return nil, fmt.Errorf("%w: tlz match op truncated", ErrCorrupt)
+		}
+		mlen := int(c&0x7f) + tlzMinMatch
+		off := 1 + (int(src[i]) | int(src[i+1])<<8)
+		i += 2
+		if off > len(out) {
+			return nil, fmt.Errorf("%w: tlz match distance %d exceeds output %d", ErrCorrupt, off, len(out))
+		}
+		if len(out)+mlen > size {
+			return nil, fmt.Errorf("%w: tlz output exceeds %d bytes", ErrCorrupt, size)
+		}
+		pos := len(out) - off
+		// Byte-by-byte copy: matches may overlap their own output.
+		for k := 0; k < mlen; k++ {
+			out = append(out, out[pos+k])
+		}
+	}
+	if len(out) != size {
+		return nil, fmt.Errorf("%w: tlz payload decodes to %d bytes, want %d", ErrCorrupt, len(out), size)
+	}
+	return out, nil
+}

@@ -1,0 +1,49 @@
+package codec
+
+import (
+	"bytes"
+	"compress/zlib"
+	"fmt"
+	"io"
+)
+
+// zlibCodec wraps the stdlib DEFLATE path the Update approach has
+// always used for diff blobs. Decode preserves the decompression-bomb
+// guard from that original path: the stream is read through a limit of
+// size+1 bytes, so a blob that inflates past the promised size is cut
+// off and reported as corrupt instead of ballooning in memory.
+type zlibCodec struct{}
+
+func (zlibCodec) ID() string { return ZlibID }
+func (zlibCodec) Wire() byte { return zlibWire }
+
+func (zlibCodec) Encode(dst, src []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(len(src)/2 + 64)
+	zw := zlib.NewWriter(&buf)
+	if _, err := zw.Write(src); err != nil {
+		return nil, fmt.Errorf("codec: zlib encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("codec: zlib encode: %w", err)
+	}
+	return append(dst, buf.Bytes()...), nil
+}
+
+func (zlibCodec) Decode(src []byte, size int) ([]byte, error) {
+	zr, err := zlib.NewReader(bytes.NewReader(src))
+	if err != nil {
+		return nil, fmt.Errorf("%w: zlib header: %v", ErrCorrupt, err)
+	}
+	defer zr.Close()
+	// Read at most one byte past the promised size: a well-formed blob
+	// stops exactly at size, anything longer is a bomb or corruption.
+	out, err := io.ReadAll(io.LimitReader(zr, int64(size)+1))
+	if err != nil {
+		return nil, fmt.Errorf("%w: zlib stream: %v", ErrCorrupt, err)
+	}
+	if len(out) != size {
+		return nil, fmt.Errorf("%w: zlib payload decodes to %d bytes, want %d", ErrCorrupt, len(out), size)
+	}
+	return out, nil
+}

@@ -18,6 +18,7 @@ type Baseline struct {
 	workers int
 	metrics *approachObs
 	dedup   bool
+	codec   string
 }
 
 // collection and blob namespace of Baseline.
@@ -30,7 +31,7 @@ const (
 func NewBaseline(stores Stores, opts ...Option) *Baseline {
 	s := newSettings(opts)
 	return &Baseline{stores: stores, ids: idAllocator{prefix: "bl"}, workers: s.workers,
-		metrics: newApproachObs(s.metrics, "Baseline"), dedup: s.dedup}
+		metrics: newApproachObs(s.metrics, "Baseline"), dedup: s.dedup, codec: s.codec}
 }
 
 // Name implements Approach.
@@ -61,7 +62,11 @@ func (b *Baseline) save(ctx context.Context, req SaveRequest) (SaveResult, error
 	}
 	setID := b.ids.allocate(existing)
 
-	op := newSaveOp(b.stores, b.dedup, b.metrics.reg)
+	cdc, err := resolveCodec(b.codec)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	op := newSaveOp(b.stores, b.dedup, cdc, b.codec, b.workers, b.metrics.reg)
 	if err := fullSave(ctx, op, baselineCollection, baselineBlobPrefix, b.Name(), setID, req, nil, nil, b.workers); err != nil {
 		op.rollback()
 		return SaveResult{}, err

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 
 	"github.com/mmm-go/mmm/internal/obs"
@@ -31,7 +33,17 @@ func getBlob(st Stores, key string) ([]byte, error) {
 	if backend.IsNotFound(cerr) {
 		return nil, err
 	}
-	return nil, cerr
+	return nil, mapCorrupt(cerr)
+}
+
+// mapCorrupt translates the CAS layer's corruption sentinel — a chunk
+// body that is damaged, names an unknown codec, or fails to decode —
+// into the core-level ErrCorruptBlob callers test for.
+func mapCorrupt(err error) error {
+	if errors.Is(err, cas.ErrCorrupt) {
+		return fmt.Errorf("core: %v: %w", err, ErrCorruptBlob)
+	}
+	return err
 }
 
 // getBlobRange is getBlob for a byte range.
@@ -47,7 +59,7 @@ func getBlobRange(st Stores, key string, off, length int64) ([]byte, error) {
 	if backend.IsNotFound(cerr) {
 		return nil, err
 	}
-	return nil, cerr
+	return nil, mapCorrupt(cerr)
 }
 
 // blobSize reports a logical blob's size, raw or deduplicated.

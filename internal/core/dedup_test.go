@@ -34,12 +34,13 @@ func factoryFleet(t *testing.T, arch *nn.Architecture, n int) *ModelSet {
 // U3-2, U3-3 (one model retrained per update cycle) and returns the
 // commits. Training is deterministic, so a plain and a dedup run over
 // fresh stores produce bit-identical parameter histories.
-func runDedupWorkload(t *testing.T, st Stores, name string, dedup bool) []crashCommit {
+func runDedupWorkload(t *testing.T, st Stores, name string, dedup bool, extra ...Option) []crashCommit {
 	t.Helper()
 	opts := []Option{WithConcurrency(1)}
 	if dedup {
 		opts = append(opts, WithDedup())
 	}
+	opts = append(opts, extra...)
 	var a Approach
 	switch name {
 	case "Baseline":

@@ -20,11 +20,14 @@ type DuSet struct {
 	// LogicalBytes is what the set's blobs hold when reassembled.
 	LogicalBytes int64 `json:"logical_bytes"`
 	// PhysicalBytes is the blob payload the set would occupy alone:
-	// raw blob bytes plus the distinct chunks its recipes reference.
-	// Chunks shared between sets count toward each referencing set, so
-	// this column sums to more than the store holds whenever dedup is
-	// saving space.
+	// raw blob bytes plus the distinct chunks its recipes reference
+	// (at their stored — possibly compressed — sizes). Chunks shared
+	// between sets count toward each referencing set, so this column
+	// sums to more than the store holds whenever dedup is saving space.
 	PhysicalBytes int64 `json:"physical_bytes"`
+	// Codec is the compression codec ID the set was saved with (""
+	// for none).
+	Codec string `json:"codec,omitempty"`
 }
 
 // DuReport is the result of a storage-accounting scan.
@@ -109,6 +112,9 @@ func Du(st Stores) (*DuReport, error) {
 		for _, id := range ids {
 			setPrefix := ap.prefix + "/" + id + "/"
 			row := DuSet{Approach: ap.name, SetID: id}
+			if meta, err := loadMeta(st, ap.collection, id); err == nil {
+				row.Codec = meta.Codec
+			}
 			for k, size := range rawSizes {
 				if strings.HasPrefix(k, setPrefix) {
 					row.LogicalBytes += size

@@ -12,13 +12,16 @@ type SetInfo struct {
 	ArchName   string `json:"arch_name"`
 	NumModels  int    `json:"num_models"`
 	ParamCount int    `json:"param_count"`
+	// Codec is the compression codec ID the set was saved with (""
+	// for none, including pre-codec sets).
+	Codec string `json:"codec,omitempty"`
 }
 
 func infoFromMeta(m setMeta) SetInfo {
 	return SetInfo{
 		SetID: m.SetID, Approach: m.Approach, Kind: m.Kind, Base: m.Base,
 		Depth: m.Depth, ArchName: m.ArchName, NumModels: m.NumModels,
-		ParamCount: m.ParamCount,
+		ParamCount: m.ParamCount, Codec: m.Codec,
 	}
 }
 

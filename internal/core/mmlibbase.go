@@ -24,6 +24,7 @@ type MMlibBase struct {
 	workers int
 	metrics *approachObs
 	dedup   bool
+	codec   string
 }
 
 // Collections and blob namespace of MMlibBase.
@@ -39,7 +40,7 @@ const (
 func NewMMlibBase(stores Stores, opts ...Option) *MMlibBase {
 	s := newSettings(opts)
 	return &MMlibBase{stores: stores, ids: idAllocator{prefix: "ml"}, workers: s.workers,
-		metrics: newApproachObs(s.metrics, "MMlib-base"), dedup: s.dedup}
+		metrics: newApproachObs(s.metrics, "MMlib-base"), dedup: s.dedup, codec: s.codec}
 }
 
 // Name implements Approach.
@@ -107,7 +108,11 @@ func (m *MMlibBase) save(ctx context.Context, req SaveRequest) (SaveResult, erro
 		DataLoader:   dataLoaderCode,
 	}
 
-	op := newSaveOp(m.stores, m.dedup, m.metrics.reg)
+	cdc, err := resolveCodec(m.codec)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	op := newSaveOp(m.stores, m.dedup, cdc, m.codec, m.workers, m.metrics.reg)
 	err = pool.Run(ctx, m.workers, len(req.Set.Models), func(i int) error {
 		model := req.Set.Models[i]
 		modelID := fmt.Sprintf("%s-m%05d", setID, i)
@@ -147,7 +152,7 @@ func (m *MMlibBase) save(ctx context.Context, req SaveRequest) (SaveResult, erro
 	setDoc := setMeta{
 		SetID: setID, Approach: m.Name(), Kind: "full",
 		ArchName: req.Set.Arch.Name, NumModels: len(req.Set.Models),
-		ParamCount: req.Set.Arch.ParamCount(),
+		ParamCount: req.Set.Arch.ParamCount(), Codec: op.codecID,
 	}
 	if err := op.insertDoc(mmlibSetCollection, setID, setDoc); err != nil {
 		op.rollback()

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+
+	"github.com/mmm-go/mmm/internal/codec"
 	"github.com/mmm-go/mmm/internal/core/pool"
 	"github.com/mmm-go/mmm/internal/obs"
 )
@@ -16,6 +19,9 @@ type settings struct {
 	// dedup routes blob writes through the content-addressed chunk
 	// store.
 	dedup bool
+	// codec is the compression codec ID blobs are encoded with (""
+	// means none; see WithCodec).
+	codec string
 }
 
 // Option configures an approach at construction time.
@@ -57,6 +63,44 @@ func WithMetrics(reg *obs.Registry) Option {
 // the paper's storage-consumption metric measures.
 func WithDedup() Option {
 	return func(s *settings) { s.dedup = true }
+}
+
+// WithCodec selects the compression codec — by its registered ID
+// ("none", "zlib", "tlz", or anything added via codec.Register) — for
+// the blobs the approach writes. All four approaches honor it:
+//
+//   - Update encodes its diff blobs with the codec (keeping the
+//     encoded form only when it is smaller), generalizing the old
+//     hard-coded zlib bool.
+//   - Under WithDedup, every blob's CAS chunk bodies are encoded
+//     per chunk, fanned out across the WithConcurrency worker pool;
+//     diff blobs are then chunk-compressed rather than pre-compressed
+//     so chunk-level deduplication still sees stable boundaries.
+//   - Full-snapshot parameter blobs written without dedup stay raw:
+//     ranged partial recovery depends on byte offsets into them.
+//
+// The codec ID is persisted in set metadata, diff documents, and CAS
+// recipes, and every encoded artifact is self-describing, so stores
+// written with any codec — or none, including stores from before
+// codecs existed — are always readable regardless of what later
+// writers configure. The ID is validated when a save first runs; an
+// unregistered ID fails the save.
+func WithCodec(id string) Option {
+	return func(s *settings) { s.codec = id }
+}
+
+// resolveCodec maps a configured codec ID to the codec a saveOp should
+// encode with: nil for "" (unset) and "none", the registered codec
+// otherwise. Called at save time because construction cannot fail.
+func resolveCodec(id string) (codec.Codec, error) {
+	if id == "" || id == codec.NoneID {
+		return nil, nil
+	}
+	c, err := codec.Lookup(id)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return c, nil
 }
 
 // newSettings resolves opts over the defaults.

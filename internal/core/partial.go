@@ -334,16 +334,16 @@ func (u *Update) recoverModels(ctx context.Context, setID string, indices []int,
 		off += int64(sizes[e.P])
 	}
 
-	// A compressed blob has no stable offsets; fall back to reading and
-	// decompressing it whole — capped at the size the diff list implies.
-	// Uncompressed blobs support ranged reads.
+	// An encoded blob has no stable offsets; fall back to reading and
+	// decoding it whole — capped at the size the diff list implies.
+	// Raw blobs support ranged reads.
 	var whole []byte
-	if diff.Compressed {
+	if id := diffCodecID(diff); id != "" {
 		raw, err := getBlob(u.stores, blobKey)
 		if err != nil {
 			return nil, fmt.Errorf("core: loading diff blob: %w", err)
 		}
-		if whole, err = decompressExact(raw, int(off)); err != nil {
+		if whole, err = decodeDiffBlob(u.metrics.reg, raw, int(off), id); err != nil {
 			return nil, err
 		}
 	}

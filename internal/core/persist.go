@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/mmm-go/mmm/internal/codec"
 	"github.com/mmm-go/mmm/internal/core/pool"
 	"github.com/mmm-go/mmm/internal/nn"
 	"github.com/mmm-go/mmm/internal/obs"
@@ -25,6 +26,11 @@ type setMeta struct {
 	ArchName   string `json:"arch_name"`
 	NumModels  int    `json:"num_models"`
 	ParamCount int    `json:"param_count"`
+	// Codec is the compression codec ID the set was saved with (""
+	// for none, including every pre-codec set). Recovery never needs
+	// it — encoded artifacts are self-describing — but du, inspect,
+	// and the server surface it.
+	Codec string `json:"codec,omitempty"`
 }
 
 // idAllocator hands out sequential set IDs per approach, resuming from
@@ -54,14 +60,17 @@ func (a *idAllocator) allocate(existing []string) string {
 // (2) a failed or cancelled save can roll its artifacts back, leaving
 // no orphaned blobs or documents behind.
 type saveOp struct {
-	st    Stores
-	dedup bool          // route blob writes through the CAS layer
-	reg   *obs.Registry // dedup metrics registry
-	mu    sync.Mutex
-	bytes int64
-	ops   int64
-	blobs []savedBlob // written blobs, in write order
-	docs  [][2]string // written (collection, id) pairs, in write order
+	st      Stores
+	dedup   bool        // route blob writes through the CAS layer
+	codec   codec.Codec // per-chunk/diff compression; nil stores raw
+	codecID string      // configured codec ID as persisted in metadata
+	workers int         // encode fan-out under dedup
+	reg     *obs.Registry
+	mu      sync.Mutex
+	bytes   int64
+	ops     int64
+	blobs   []savedBlob // written blobs, in write order
+	docs    [][2]string // written (collection, id) pairs, in write order
 }
 
 // savedBlob records one written blob and how it was written, so
@@ -71,8 +80,8 @@ type savedBlob struct {
 	dedup bool
 }
 
-func newSaveOp(st Stores, dedup bool, reg *obs.Registry) *saveOp {
-	return &saveOp{st: st, dedup: dedup, reg: reg}
+func newSaveOp(st Stores, dedup bool, cdc codec.Codec, codecID string, workers int, reg *obs.Registry) *saveOp {
+	return &saveOp{st: st, dedup: dedup, codec: cdc, codecID: codecID, workers: workers, reg: reg}
 }
 
 // putBlob writes a blob and records its cost.
@@ -97,7 +106,8 @@ func (op *saveOp) putBlobHinted(key string, data []byte, hints cas.Hints) error 
 		op.mu.Unlock()
 		return nil
 	}
-	res, err := cas.For(op.st.Blobs).Put(key, data, 0, hints, op.reg)
+	res, err := cas.For(op.st.Blobs).PutEncoded(key, data, 0, hints,
+		cas.Encoding{Codec: op.codec, Workers: op.workers}, op.reg)
 	if err != nil {
 		return err
 	}
@@ -249,6 +259,7 @@ func fullSave(ctx context.Context, op *saveOp, collection, blobPrefix, approach,
 		ArchName:   req.Set.Arch.Name,
 		NumModels:  len(req.Set.Models),
 		ParamCount: req.Set.Arch.ParamCount(),
+		Codec:      op.codecID,
 	}
 	if extend != nil {
 		extend(&meta)

@@ -28,6 +28,7 @@ type Provenance struct {
 	workers int
 	metrics *approachObs
 	dedup   bool
+	codec   string
 
 	// RecoveryBudget, when non-nil, caps the retraining work during
 	// recovery — the paper's own measurement trick ("we — exclusively
@@ -68,7 +69,7 @@ const (
 func NewProvenance(stores Stores, opts ...Option) *Provenance {
 	s := newSettings(opts)
 	return &Provenance{stores: stores, ids: idAllocator{prefix: "pv"}, workers: s.workers,
-		metrics: newApproachObs(s.metrics, "Provenance"), dedup: s.dedup}
+		metrics: newApproachObs(s.metrics, "Provenance"), dedup: s.dedup, codec: s.codec}
 }
 
 // Name implements Approach.
@@ -115,7 +116,11 @@ func (p *Provenance) save(ctx context.Context, req SaveRequest) (SaveResult, err
 			full = true
 		}
 	}
-	op := newSaveOp(p.stores, p.dedup, p.metrics.reg)
+	cdc, err := resolveCodec(p.codec)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	op := newSaveOp(p.stores, p.dedup, cdc, p.codec, p.workers, p.metrics.reg)
 	if full {
 		err = fullSave(ctx, op, provenanceCollection, provenanceBlobPrefix, p.Name(), setID, req, nil, nil, p.workers)
 	} else {
@@ -180,7 +185,7 @@ func (p *Provenance) saveDerived(ctx context.Context, op *saveOp, setID string, 
 		SetID: setID, Approach: p.Name(), Kind: "derived",
 		Base: req.Base, Depth: baseMeta.Depth + 1,
 		ArchName: req.Set.Arch.Name, NumModels: len(req.Set.Models),
-		ParamCount: req.Set.Arch.ParamCount(),
+		ParamCount: req.Set.Arch.ParamCount(), Codec: op.codecID,
 	}
 	if err := op.insertDoc(provenanceCollection, setID, meta); err != nil {
 		return fmt.Errorf("core: writing metadata: %w", err)

@@ -186,7 +186,7 @@ func plantCompressedDiff(t *testing.T, u *Update, st Stores) (id string, want in
 	if err := st.Docs.Get(updateDiffCollection, res.SetID, &diff); err != nil {
 		t.Fatal(err)
 	}
-	if !diff.Compressed {
+	if diffCodecID(diff) == "" {
 		t.Fatal("sparsified diff was not compressed; test needs a compressed blob")
 	}
 	sizes := paramByteSizes(set.Arch)

@@ -1,12 +1,11 @@
 package core
 
 import (
-	"bytes"
-	"compress/zlib"
 	"context"
 	"fmt"
-	"io"
+	"time"
 
+	"github.com/mmm-go/mmm/internal/codec"
 	"github.com/mmm-go/mmm/internal/core/pool"
 	"github.com/mmm-go/mmm/internal/hashing"
 	"github.com/mmm-go/mmm/internal/obs"
@@ -27,20 +26,26 @@ import (
 //     full snapshot every k-th set ("recursively increasing recovery
 //     times ... can be prevented by saving intermediate model
 //     snapshots using the baseline approach", §2.2).
-//   - Compress zlib-compresses the diff blob (the compression future
-//     work of §4.5).
+//   - WithCodec compresses the diff blob with a pluggable codec (the
+//     compression future work of §4.5).
 type Update struct {
 	stores  Stores
 	ids     idAllocator
 	workers int
 	metrics *approachObs
 	dedup   bool
+	codec   string
 
 	// SnapshotInterval k > 0 forces a full snapshot whenever the
 	// recovery chain would otherwise grow to k. 0 disables snapshots
 	// (the paper's evaluated configuration).
 	SnapshotInterval int
 	// Compress enables zlib compression of derived sets' diff blobs.
+	//
+	// Deprecated: use WithCodec("zlib") — or another registered codec —
+	// at construction instead. The field keeps working as an alias for
+	// WithCodec("zlib") when no codec option was given, so existing
+	// callers and stores behave exactly as before.
 	Compress bool
 	// ModelGranularity diffs at whole-model instead of per-layer
 	// granularity: if any layer changed, all of the model's parameters
@@ -73,7 +78,7 @@ const (
 func NewUpdate(stores Stores, opts ...Option) *Update {
 	s := newSettings(opts)
 	return &Update{stores: stores, ids: idAllocator{prefix: "up"}, workers: s.workers,
-		metrics: newApproachObs(s.metrics, "Update"), dedup: s.dedup}
+		metrics: newApproachObs(s.metrics, "Update"), dedup: s.dedup, codec: s.codec}
 }
 
 // Name implements Approach.
@@ -94,10 +99,29 @@ type diffEntry struct {
 
 // diffDoc lists a derived set's changes and how its blob is encoded.
 type diffDoc struct {
-	Entries    []diffEntry `json:"entries"`
-	Compressed bool        `json:"compressed,omitempty"`
+	Entries []diffEntry `json:"entries"`
+	// Compressed marks a zlib-encoded blob. It predates Codec and is
+	// still written alongside Codec == "zlib" so binaries from before
+	// the codec layer can read stores written by newer ones.
+	Compressed bool `json:"compressed,omitempty"`
 	// Delta marks the blob as XOR deltas against base values.
 	Delta bool `json:"delta,omitempty"`
+	// Codec is the ID of the codec the blob is encoded with; ""
+	// means raw for pre-codec documents (unless Compressed is set).
+	Codec string `json:"codec,omitempty"`
+}
+
+// diffCodecID resolves the codec a diff blob was stored with: the
+// explicit codec ID when present, "zlib" for pre-codec compressed
+// blobs, "" for raw bytes.
+func diffCodecID(diff diffDoc) string {
+	if diff.Codec != "" && diff.Codec != codec.NoneID {
+		return diff.Codec
+	}
+	if diff.Codec == "" && diff.Compressed {
+		return codec.ZlibID
+	}
+	return ""
 }
 
 // SaveContext implements Approach.
@@ -157,7 +181,17 @@ func (u *Update) save(ctx context.Context, sp *obs.Span, req SaveRequest) (SaveR
 		}
 	}
 
-	op := newSaveOp(u.stores, u.dedup, u.metrics.reg)
+	// The deprecated Compress bool acts as WithCodec("zlib") when no
+	// codec was configured.
+	codecID := u.codec
+	if codecID == "" && u.Compress {
+		codecID = codec.ZlibID
+	}
+	cdc, err := resolveCodec(codecID)
+	if err != nil {
+		return SaveResult{}, err
+	}
+	op := newSaveOp(u.stores, u.dedup, cdc, codecID, u.workers, u.metrics.reg)
 	// The hash document is written for full and derived saves alike: it
 	// is what lets the *next* save detect changes "without having to
 	// load the full representation of the previous model". It must land
@@ -269,21 +303,25 @@ func (u *Update) saveDerived(ctx context.Context, op *saveOp, setID string, req 
 		return err
 	}
 
-	compressed := false
-	if u.Compress && len(blob) > 0 {
-		var cbuf bytes.Buffer
-		zw := zlib.NewWriter(&cbuf)
-		if _, err := zw.Write(blob); err != nil {
-			return fmt.Errorf("core: compressing diff blob: %w", err)
+	// Encode the diff blob with the configured codec, keeping the
+	// encoded form only when it actually shrinks. Under dedup the blob
+	// deliberately stays raw at this level: the per-entry boundary
+	// hints keep chunk-level deduplication effective, and the CAS layer
+	// compresses each chunk body with the same codec on its own.
+	encodedWith := ""
+	if op.codec != nil && !op.dedup && len(blob) > 0 {
+		start := time.Now()
+		enc, err := op.codec.Encode(nil, blob)
+		if err != nil {
+			return fmt.Errorf("core: encoding diff blob: %w", err)
 		}
-		if err := zw.Close(); err != nil {
-			return fmt.Errorf("core: compressing diff blob: %w", err)
+		kept := len(blob)
+		if len(enc) < len(blob) {
+			blob = enc
+			encodedWith = op.codec.ID()
+			kept = len(enc)
 		}
-		// Keep compression only when it actually helps.
-		if cbuf.Len() < len(blob) {
-			blob = cbuf.Bytes()
-			compressed = true
-		}
+		codec.ObserveEncode(op.reg, op.codec.ID(), offs[len(entries)], kept, time.Since(start))
 	}
 
 	if err := ctx.Err(); err != nil {
@@ -291,16 +329,22 @@ func (u *Update) saveDerived(ctx context.Context, op *saveOp, setID string, req 
 	}
 	u.metrics.diffStats(len(entries), len(blob))
 	// Chunk the diff blob at its per-entry offsets so a tensor diff
-	// repeated across derived sets dedups cleanly. Compressed blobs
-	// lose that alignment and chunk as one unit.
+	// repeated across derived sets dedups cleanly. Encoded blobs lose
+	// that alignment and chunk as one unit.
 	var hints cas.Hints
-	if !compressed {
+	if encodedWith == "" {
 		hints.Boundaries = offs
 	}
 	if err := op.putBlobHinted(updateBlobPrefix+"/"+setID+"/diff.bin", blob, hints); err != nil {
 		return fmt.Errorf("core: writing diff blob: %w", err)
 	}
-	doc := diffDoc{Entries: entries, Compressed: compressed, Delta: basePartial != nil}
+	doc := diffDoc{
+		Entries: entries, Delta: basePartial != nil,
+		Codec: encodedWith,
+		// Old readers only know the zlib bool; keep it in sync so they
+		// can still open stores written by codec-aware binaries.
+		Compressed: encodedWith == codec.ZlibID,
+	}
 	if err := op.insertDoc(updateDiffCollection, setID, doc); err != nil {
 		return fmt.Errorf("core: writing diff list: %w", err)
 	}
@@ -313,7 +357,7 @@ func (u *Update) saveDerived(ctx context.Context, op *saveOp, setID string, req 
 		SetID: setID, Approach: u.Name(), Kind: "derived",
 		Base: req.Base, Depth: depth,
 		ArchName: req.Set.Arch.Name, NumModels: len(req.Set.Models),
-		ParamCount: req.Set.Arch.ParamCount(),
+		ParamCount: req.Set.Arch.ParamCount(), Codec: op.codecID,
 	}
 	if err := op.insertDoc(updateCollection, setID, meta); err != nil {
 		return fmt.Errorf("core: writing metadata: %w", err)
@@ -402,8 +446,8 @@ func (u *Update) recover(ctx context.Context, setID string, visited map[string]b
 	if err != nil {
 		return nil, fmt.Errorf("core: loading diff blob: %w", err)
 	}
-	if diff.Compressed {
-		if blob, err = decompressExact(blob, want); err != nil {
+	if id := diffCodecID(diff); id != "" {
+		if blob, err = decodeDiffBlob(u.metrics.reg, blob, want, id); err != nil {
 			return nil, err
 		}
 	}
@@ -444,24 +488,21 @@ func (u *Update) recover(ctx context.Context, setID string, visited map[string]b
 	return set, nil
 }
 
-// decompressExact inflates a zlib blob known to hold exactly want
-// bytes. Reading is capped at want+1 bytes, so a corrupt or hostile
-// blob cannot act as a decompression bomb; any deviation from the
-// expected size — either direction — is corruption.
-func decompressExact(blob []byte, want int) ([]byte, error) {
-	zr, err := zlib.NewReader(bytes.NewReader(blob))
+// decodeDiffBlob decodes an encoded diff blob known to hold exactly
+// want bytes. Every codec's Decode enforces the exact-size bound (the
+// decompression-bomb guard), so any deviation — including an
+// unregistered codec ID — is corruption.
+func decodeDiffBlob(reg *obs.Registry, blob []byte, want int, id string) ([]byte, error) {
+	c, err := codec.Lookup(id)
 	if err != nil {
-		return nil, fmt.Errorf("core: opening compressed diff blob: %v: %w", err, ErrCorruptBlob)
+		return nil, fmt.Errorf("core: diff blob names codec %q this build does not know: %v: %w", id, err, ErrCorruptBlob)
 	}
-	defer zr.Close()
-	out, err := io.ReadAll(io.LimitReader(zr, int64(want)+1))
+	start := time.Now()
+	out, err := c.Decode(blob, want)
 	if err != nil {
-		return nil, fmt.Errorf("core: decompressing diff blob: %v: %w", err, ErrCorruptBlob)
+		return nil, fmt.Errorf("core: decoding diff blob (%s): %v: %w", id, err, ErrCorruptBlob)
 	}
-	if len(out) != want {
-		return nil, fmt.Errorf("core: compressed diff blob inflates to %d bytes or more, diff list implies %d: %w",
-			len(out), want, ErrCorruptBlob)
-	}
+	codec.ObserveDecode(reg, id, time.Since(start))
 	return out, nil
 }
 

@@ -138,7 +138,7 @@ func (u *Update) VerifyStore() ([]Issue, error) {
 			issues = append(issues, Issue{id, "diff blob missing"})
 			continue
 		}
-		if !diff.Compressed {
+		if diffCodecID(diff) == "" {
 			arch, archErr := loadArchFromChain(u.stores, updateBlobPrefix, updateCollection, meta)
 			if archErr != nil {
 				issues = append(issues, Issue{id, "cannot resolve architecture: " + archErr.Error()})

@@ -110,7 +110,8 @@ type VariantAblation struct {
 }
 
 // RunUpdateVariantAblation compares the paper's per-layer Update
-// against model-granularity hashing and zlib-compressed diffs.
+// against model-granularity hashing and codec-compressed diffs (zlib
+// and the tensor-tuned tlz, selected via core.WithCodec).
 func RunUpdateVariantAblation(o Options) (*VariantAblation, error) {
 	tr, err := runScenario(o)
 	if err != nil {
@@ -118,12 +119,17 @@ func RunUpdateVariantAblation(o Options) (*VariantAblation, error) {
 	}
 	variants := []struct {
 		name      string
+		opts      []core.Option
 		configure func(*core.Update)
 	}{
-		{"layer-granularity (paper)", func(u *core.Update) {}},
-		{"model-granularity", func(u *core.Update) { u.ModelGranularity = true }},
-		{"layer + zlib diffs", func(u *core.Update) { u.Compress = true }},
-		{"layer + xor-delta + zlib", func(u *core.Update) { u.Compress = true; u.DeltaEncoding = true }},
+		{"layer-granularity (paper)", nil, nil},
+		{"model-granularity", nil, func(u *core.Update) { u.ModelGranularity = true }},
+		{"layer + zlib diffs", []core.Option{core.WithCodec("zlib")}, nil},
+		{"layer + tlz diffs", []core.Option{core.WithCodec("tlz")}, nil},
+		{"layer + xor-delta + zlib", []core.Option{core.WithCodec("zlib")},
+			func(u *core.Update) { u.DeltaEncoding = true }},
+		{"layer + xor-delta + tlz", []core.Option{core.WithCodec("tlz")},
+			func(u *core.Update) { u.DeltaEncoding = true }},
 	}
 	out := &VariantAblation{}
 	for i := 0; i <= o.Cycles; i++ {
@@ -139,8 +145,10 @@ func RunUpdateVariantAblation(o Options) (*VariantAblation, error) {
 			Blobs:    blobstore.NewMem(),
 			Datasets: tr.registry,
 		}
-		u := core.NewUpdate(st)
-		v.configure(u)
+		u := core.NewUpdate(st, v.opts...)
+		if v.configure != nil {
+			v.configure(u)
+		}
 		var row []float64
 		base := ""
 		for i, state := range tr.states {

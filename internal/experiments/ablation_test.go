@@ -39,7 +39,7 @@ func TestRunUpdateVariantAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(a.Variants) != 4 {
+	if len(a.Variants) != 6 {
 		t.Fatalf("got %d variants", len(a.Variants))
 	}
 	// Model granularity must cost more than layer granularity on every

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/codec"
+)
+
+func TestRunCompression(t *testing.T) {
+	o := testOptions()
+	c, err := RunCompression(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Rows) != len(CompressionCodecs) {
+		t.Fatalf("got %d rows, want %d", len(c.Rows), len(CompressionCodecs))
+	}
+	var none, tlz *CompressionRow
+	for i := range c.Rows {
+		r := &c.Rows[i]
+		if r.TotalMB <= 0 || r.SaveWall <= 0 || r.RecoverWall <= 0 {
+			t.Errorf("row %s has non-positive measurements: %+v", r.Codec, r)
+		}
+		switch r.Codec {
+		case codec.NoneID:
+			none = r
+		case codec.TLZID:
+			tlz = r
+		}
+	}
+	if none == nil || tlz == nil {
+		t.Fatal("missing none or tlz row")
+	}
+	// Trained diffs are dense float32 churn; tlz must not *expand*
+	// them (keep-if-smaller bounds it at the raw size).
+	if tlz.DerivedMB > none.DerivedMB {
+		t.Errorf("tlz derived bytes %.4f MB exceed raw %.4f MB", tlz.DerivedMB, none.DerivedMB)
+	}
+	if len(c.Pipeline) == 0 {
+		t.Fatal("no pipeline measurements")
+	}
+	for _, p := range c.Pipeline {
+		if p.Workers < 8 || p.SerialMS <= 0 || p.ParallelMS <= 0 || p.Speedup <= 0 {
+			t.Errorf("pipeline row %+v has degenerate measurements", p)
+		}
+		if p.Store == "" {
+			t.Errorf("pipeline row %s does not name its paced store", p.Codec)
+		}
+		// The paced store sleeps real per-write latency, so fanning the
+		// encode+write tasks across 8 workers must overlap it even on a
+		// single-CPU host. Allow slack for scheduler noise on tiny test
+		// blobs; the bench artifact is the authoritative measurement.
+		if p.Speedup < 1.05 {
+			t.Errorf("pipeline row %s: speedup %.2fx shows no overlap from 8 workers",
+				p.Codec, p.Speedup)
+		}
+	}
+	table := c.Table()
+	for _, want := range []string{"tlz", "zlib", "speedup"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}

@@ -142,8 +142,9 @@ type rig struct {
 
 // newRig builds one approach over fresh in-memory stores using the
 // given latency setup. With dedup set, saves write through the
-// content-addressed chunk store.
-func newRig(setup latency.Setup, reg *dataset.Registry, workers int, name string, dedup bool) *rig {
+// content-addressed chunk store. extra options (e.g. core.WithCodec)
+// are appended after the rig's own.
+func newRig(setup latency.Setup, reg *dataset.Registry, workers int, name string, dedup bool, extra ...core.Option) *rig {
 	if workers < 1 {
 		workers = 1
 	}
@@ -157,6 +158,7 @@ func newRig(setup latency.Setup, reg *dataset.Registry, workers int, name string
 	if dedup {
 		opts = append(opts, core.WithDedup())
 	}
+	opts = append(opts, extra...)
 	r := &rig{name: name, stores: st, clock: clock}
 	switch name {
 	case "MMlib-base":

@@ -145,6 +145,12 @@ var SizeBuckets = []float64{
 // depths.
 var DepthBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64}
 
+// RatioBuckets are the default histogram bounds for dimensionless
+// ratios such as compressed-size / logical-size: 1 means "no change",
+// below 1 is a win, above 1 an expansion that keep-if-smaller logic
+// should have rejected.
+var RatioBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 1, 1.1}
+
 // series is one labeled instance of a metric family.
 type series struct {
 	labels []Label

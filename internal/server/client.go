@@ -39,6 +39,13 @@ type Client struct {
 	// Reg receives the mmm_client_* metric series; nil means
 	// obs.Default.
 	Reg *obs.Registry
+	// Codec, when non-empty, is stamped into every save manifest as an
+	// assertion about the server's configured compression codec. A
+	// server whose codec differs rejects the save with 422 before
+	// writing anything, so a client that cares about on-disk encoding
+	// fails fast instead of discovering a mismatch at audit time.
+	// Leave empty to accept whatever the server is configured with.
+	Codec string
 }
 
 func (c *Client) http() *http.Client {
@@ -186,6 +193,7 @@ func (c *Client) save(ctx context.Context, approach, key string, set *core.Model
 	manifest := Manifest{
 		Arch: set.Arch, NumModels: set.Len(),
 		Base: base, Updates: updates, Train: train,
+		Codec: c.Codec,
 	}
 	if err := json.NewEncoder(mpart).Encode(manifest); err != nil {
 		return core.SaveResult{}, err

@@ -39,6 +39,11 @@ type Manifest struct {
 	Base      string             `json:"base,omitempty"`
 	Updates   []core.ModelUpdate `json:"updates,omitempty"`
 	Train     *core.TrainInfo    `json:"train,omitempty"`
+	// Codec, when set, asserts the compression codec the client
+	// expects the save to be stored with. The server's approaches are
+	// constructed once with the server-wide codec (Config.Codec), so a
+	// mismatching assertion is rejected rather than silently ignored.
+	Codec string `json:"codec,omitempty"`
 }
 
 // RecoveryManifest is the JSON part of a recovery response.
@@ -51,6 +56,10 @@ type RecoveryManifest struct {
 	// Report is set on degraded recoveries (?partial=1): which models
 	// were skipped and why.
 	Report *core.RecoveryReport `json:"report,omitempty"`
+	// Codec is the compression codec ID the recovered set was saved
+	// with ("" for none). The parameter bytes in the response are
+	// always decoded — this is provenance, not an encoding marker.
+	Codec string `json:"codec,omitempty"`
 }
 
 // Config bounds a server's per-request behavior. The zero value means
@@ -66,6 +75,11 @@ type Config struct {
 	MaxBodyBytes int64
 	// RetryAfter is the Retry-After hint sent with drain-mode 503s.
 	RetryAfter time.Duration
+	// Codec is the compression codec ID every approach is constructed
+	// with (equivalent to appending core.WithCodec(Codec) to the
+	// options); "" stores blobs raw. Stores written with other codecs
+	// remain readable — the codec only affects new saves.
+	Codec string
 }
 
 // Server serves a set of management approaches over HTTP.
@@ -113,6 +127,9 @@ func NewWithConfig(stores core.Stores, reg *obs.Registry, cfg Config, opts ...co
 		cfg.RetryAfter = time.Second
 	}
 	opts = append([]core.Option{core.WithMetrics(reg)}, opts...)
+	if cfg.Codec != "" {
+		opts = append(opts, core.WithCodec(cfg.Codec))
+	}
 	s := &Server{
 		stores: stores,
 		approaches: map[string]core.Approach{
@@ -374,6 +391,30 @@ const IdempotencyKeyHeader = "Idempotency-Key"
 // idempotency journal instead of executing the save again.
 const ReplayHeader = "Idempotent-Replay"
 
+// effectiveCodec is the codec ID new saves are stored with, "none"
+// when unconfigured, so clients can assert against a stable name.
+func (s *Server) effectiveCodec() string {
+	if s.cfg.Codec == "" {
+		return "none"
+	}
+	return s.cfg.Codec
+}
+
+// setCodec looks up the codec ID a stored set was saved with, best
+// effort: "" when the approach has no lineage support or the set is
+// unknown.
+func (s *Server) setCodec(a core.Approach, id string) string {
+	l, ok := a.(core.Lineager)
+	if !ok {
+		return ""
+	}
+	chain, err := l.Lineage(id)
+	if err != nil || len(chain) == 0 {
+		return ""
+	}
+	return chain[0].Codec
+}
+
 func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 	a, ok := s.approach(w, r)
 	if !ok {
@@ -434,6 +475,11 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 	}
 	if manifest == nil || manifest.Arch == nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing manifest part"))
+		return
+	}
+	if manifest.Codec != "" && manifest.Codec != s.effectiveCodec() {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("manifest asserts codec %q but this server stores with %q", manifest.Codec, s.effectiveCodec()))
 		return
 	}
 	set, err := setFromBytes(manifest.Arch, manifest.NumModels, params)
@@ -553,7 +599,7 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 			sorted = append(sorted, idx)
 		}
 		sort.Ints(sorted)
-		manifest = RecoveryManifest{Arch: rec.Arch, NumModels: len(sorted), Indices: sorted}
+		manifest = RecoveryManifest{Arch: rec.Arch, NumModels: len(sorted), Indices: sorted, Codec: s.setCodec(a, id)}
 		if partial {
 			manifest.Report = &report
 		}
@@ -566,7 +612,7 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 			writeError(w, recoverStatus(err), err)
 			return
 		}
-		manifest = RecoveryManifest{Arch: set.Arch, NumModels: set.Len()}
+		manifest = RecoveryManifest{Arch: set.Arch, NumModels: set.Len(), Codec: s.setCodec(a, id)}
 		params = setToBytes(set)
 	}
 

@@ -2,19 +2,31 @@ package cas
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"github.com/mmm-go/mmm/internal/codec"
+	"github.com/mmm-go/mmm/internal/core/pool"
 	"github.com/mmm-go/mmm/internal/obs"
 	"github.com/mmm-go/mmm/internal/storage/backend"
 	"github.com/mmm-go/mmm/internal/storage/blobstore"
 )
+
+// ErrCorrupt is wrapped by read errors when a chunk's stored bytes can
+// no longer be turned into the payload its content address promises —
+// a damaged raw chunk, a framed chunk naming an unregistered codec, or
+// an encoded body that fails to decode. Callers map it onto their own
+// corruption sentinel.
+var ErrCorrupt = errors.New("cas: corrupt chunk")
 
 // Key-space layout inside the blob store. Everything is under Prefix,
 // which the blob-store consumers (fsck's orphan analysis, prune's
@@ -94,15 +106,46 @@ func IsRefKey(key string) bool {
 func EncodeRefcount(n int) []byte { return []byte(strconv.Itoa(n)) }
 
 // RecipeChunk is one chunk reference inside a recipe, in blob order.
+// Hash addresses the LOGICAL (uncompressed) chunk bytes and Size is
+// their logical length: content addressing is codec-independent, so a
+// chunk written by a zlib saver deduplicates against the same bytes
+// written by a tlz saver. How a chunk body is stored on disk is the
+// chunk's own business (see the frame format in getChunk).
 type RecipeChunk struct {
 	Hash string `json:"h"`
 	Size int64  `json:"s"`
 }
 
-// Recipe reassembles a logical blob from its chunks.
+// Recipe reassembles a logical blob from its chunks. Codec records the
+// codec ID the writer was configured with ("" for pre-codec recipes
+// and uncompressed writes); it is introspective metadata — readers
+// never need it, because chunk bodies are self-describing.
 type Recipe struct {
 	Size   int64         `json:"size"`
 	Chunks []RecipeChunk `json:"chunks"`
+	Codec  string        `json:"codec,omitempty"`
+}
+
+// Encoding selects per-chunk compression for a Put. The zero value
+// stores chunk bodies raw, matching every store written before codecs
+// existed.
+type Encoding struct {
+	// Codec compresses each newly written chunk body, keeping the
+	// encoded form only when it is strictly smaller than the raw
+	// chunk. nil (or the "none" codec) stores bodies raw.
+	Codec codec.Codec
+	// Workers bounds the encode fan-out across chunks; <= 0 uses one
+	// worker per CPU.
+	Workers int
+}
+
+// encoder returns the effective codec of the Encoding, nil when
+// encoding is a no-op.
+func (e Encoding) encoder() codec.Codec {
+	if e.Codec == nil || e.Codec.ID() == codec.NoneID {
+		return nil
+	}
+	return e.Codec
 }
 
 // PutResult reports the physical cost of one deduplicated write.
@@ -216,9 +259,23 @@ func (s *Store) readRef(hash string) (int, error) {
 // a crash (orphan chunks, an unreferenced recipe, over-counted refs)
 // is exactly what fsck's CAS pass detects and repairs.
 func (s *Store) Put(key string, data []byte, chunkSize int, hints Hints, reg *obs.Registry) (PutResult, error) {
+	return s.PutEncoded(key, data, chunkSize, hints, Encoding{}, reg)
+}
+
+// PutEncoded is Put with per-chunk compression: newly written chunk
+// bodies are encoded with enc.Codec (fanned out across enc.Workers)
+// and stored framed — one wire-ID byte followed by the encoded payload
+// — whenever that is strictly smaller than the raw chunk. Content
+// addresses and recipes always describe the logical bytes, so
+// deduplication is codec-independent and a store may freely mix codecs
+// across writes.
+func (s *Store) PutEncoded(key string, data []byte, chunkSize int, hints Hints, enc Encoding, reg *obs.Registry) (PutResult, error) {
 	reg = registry(reg)
 	chunks := Chunks(data, chunkSize, hints)
 	recipe := Recipe{Size: int64(len(data)), Chunks: make([]RecipeChunk, len(chunks))}
+	if enc.Codec != nil {
+		recipe.Codec = enc.Codec.ID()
+	}
 	distinct := make([]string, 0, len(chunks))
 	sizeOf := map[string]int64{}
 	for i, c := range chunks {
@@ -277,25 +334,80 @@ func (s *Store) Put(key string, data []byte, chunkSize int, hints Hints, reg *ob
 		}
 	}
 
-	var newBytes int64
+	missing := make([]string, 0, len(distinct))
 	for _, h := range distinct {
 		_, err := s.blobs.Size(ChunkKey(h))
 		switch {
 		case err == nil:
 		case backend.IsNotFound(err):
-			if err := s.blobs.Put(ChunkKey(h), chunkData[h]); err != nil {
-				undo(false, nil)
-				return PutResult{}, fmt.Errorf("cas: writing chunk %s: %w", h, err)
-			}
-			newChunks = append(newChunks, h)
-			newBytes += sizeOf[h]
-			res.PhysicalBytes += sizeOf[h]
-			res.WriteOps++
-			res.NewChunks++
+			missing = append(missing, h)
 		default:
 			undo(false, nil)
 			return PutResult{}, fmt.Errorf("cas: probing chunk %s: %w", h, err)
 		}
+	}
+
+	// Encode and store the missing chunk bodies, fanned out across the
+	// worker pool: each task compresses one chunk and immediately
+	// writes it, so one chunk's encode overlaps another chunk's store
+	// latency. The hashes in missing are distinct and every slot is
+	// disjoint, so the stored bytes are identical at any concurrency.
+	// An encoded body is kept only when it shrinks; otherwise the raw
+	// chunk is stored exactly as a pre-codec store would have.
+	// bodyLen[i] > 0 records a completed write (chunk bodies are never
+	// empty) so undo stays exact even when a later task fails. Plain
+	// Put call sites (no codec, no worker count) keep their serial,
+	// index-ordered writes.
+	c := enc.encoder()
+	workers := enc.Workers
+	if workers <= 0 {
+		if c != nil {
+			workers = pool.DefaultWorkers()
+		} else {
+			workers = 1
+		}
+	}
+	bodyLen := make([]int64, len(missing))
+	var logicalIn, keptOut atomic.Int64
+	start := time.Now()
+	runErr := pool.Run(context.Background(), workers, len(missing), func(i int) error {
+		h := missing[i]
+		body := chunkData[h]
+		if c != nil {
+			framed, err := encodeFrame(c, body)
+			if err != nil {
+				return fmt.Errorf("cas: encoding chunk %s with %s: %w", h, c.ID(), err)
+			}
+			logicalIn.Add(int64(len(body)))
+			if framed != nil {
+				body = framed
+			}
+			keptOut.Add(int64(len(body)))
+		}
+		if err := s.blobs.Put(ChunkKey(h), body); err != nil {
+			return fmt.Errorf("cas: writing chunk %s: %w", h, err)
+		}
+		bodyLen[i] = int64(len(body))
+		return nil
+	})
+	if c != nil && len(missing) > 0 {
+		codec.ObserveEncode(reg, c.ID(), int(logicalIn.Load()), int(keptOut.Load()), time.Since(start))
+	}
+
+	var newBytes int64
+	for i, h := range missing {
+		if bodyLen[i] == 0 {
+			continue
+		}
+		newChunks = append(newChunks, h)
+		newBytes += sizeOf[h]
+		res.PhysicalBytes += bodyLen[i]
+		res.WriteOps++
+		res.NewChunks++
+	}
+	if runErr != nil {
+		undo(false, nil)
+		return PutResult{}, runErr
 	}
 	// Everything not physically written — repeats within this blob and
 	// chunks other blobs already stored — was deduplicated.
@@ -372,6 +484,14 @@ func DecodeRecipe(raw []byte) (Recipe, error) {
 	return r, nil
 }
 
+// Recipe returns the stored recipe for a logical key — the
+// introspective view of how the blob is chunked and which codec its
+// bodies were encoded with.
+func (s *Store) Recipe(key string) (Recipe, error) {
+	r, _, err := s.readRecipe(key)
+	return r, err
+}
+
 // Has reports whether a recipe exists for the logical key.
 func (s *Store) Has(key string) bool {
 	_, err := s.blobs.Size(RecipeKey(key))
@@ -387,32 +507,101 @@ func (s *Store) Size(key string) (int64, error) {
 	return r.Size, nil
 }
 
-// getChunk reads one chunk and verifies its content address — a
-// defense-in-depth check on top of the blob store's CRC32C manifests.
+// encodeFrame returns the framed encoded body of raw under c — the
+// codec's wire byte followed by the encoded payload — or nil when the
+// frame would not be strictly smaller than the raw chunk, in which
+// case the caller stores raw bytes. Strict shrinkage is what makes
+// stored bodies unambiguous: a raw body always has exactly the logical
+// length, a framed body never does.
+func encodeFrame(c codec.Codec, raw []byte) ([]byte, error) {
+	framed := make([]byte, 1, len(raw))
+	framed[0] = c.Wire()
+	framed, err := c.Encode(framed, raw)
+	if err != nil {
+		return nil, err
+	}
+	if len(framed) >= len(raw) {
+		return nil, nil
+	}
+	return framed, nil
+}
+
+// getChunk reads one chunk body and returns the logical bytes its
+// content address promises — a defense-in-depth check on top of the
+// blob store's CRC32C manifests.
 func (s *Store) getChunk(hash string, want int64) ([]byte, error) {
 	data, err := s.blobs.Get(ChunkKey(hash))
 	if err != nil {
 		return nil, fmt.Errorf("cas: reading chunk %s: %w", hash, err)
 	}
-	if int64(len(data)) != want || hashChunk(data) != hash {
-		return nil, fmt.Errorf("cas: chunk %s does not match its content address", hash)
-	}
-	return data, nil
+	return decodeChunkBody(hash, want, data)
 }
 
-// Get reassembles the logical blob stored under key.
+// decodeChunkBody turns a stored chunk body back into logical bytes.
+// Bodies are self-describing: a body of exactly the logical size that
+// hashes to the content address is raw (the only format pre-codec
+// stores ever wrote); anything else must be a frame — wire-ID byte
+// plus encoded payload — that decodes to bytes matching the address.
+// Everything that fits neither reading is damage.
+func decodeChunkBody(hash string, want int64, body []byte) ([]byte, error) {
+	if int64(len(body)) == want && hashChunk(body) == hash {
+		return body, nil
+	}
+	if len(body) == 0 || int64(len(body)) >= want {
+		return nil, fmt.Errorf("%w: chunk %s does not match its content address", ErrCorrupt, hash)
+	}
+	c, err := codec.ByWire(body[0])
+	if err != nil {
+		return nil, fmt.Errorf("%w: chunk %s: %v", ErrCorrupt, hash, err)
+	}
+	start := time.Now()
+	out, err := c.Decode(body[1:], int(want))
+	if err != nil {
+		return nil, fmt.Errorf("%w: chunk %s (%s): %v", ErrCorrupt, hash, c.ID(), err)
+	}
+	if hashChunk(out) != hash {
+		return nil, fmt.Errorf("%w: chunk %s (%s): decoded bytes do not match the content address", ErrCorrupt, hash, c.ID())
+	}
+	codec.ObserveDecode(nil, c.ID(), time.Since(start))
+	return out, nil
+}
+
+// VerifyChunk reads a chunk's stored body and verifies it still yields
+// the logical bytes its content address promises. fsck uses it to tell
+// compressed chunk bodies (whose stored size legitimately differs from
+// the recipe's logical size) apart from genuine damage.
+func (s *Store) VerifyChunk(hash string, logicalSize int64) error {
+	_, err := s.getChunk(hash, logicalSize)
+	return err
+}
+
+// Get reassembles the logical blob stored under key. Chunk fetch and
+// decode fan out across one worker per CPU into disjoint slots of the
+// preallocated result, so decompression of large blobs scales with
+// cores while remaining byte-identical to a serial read.
 func (s *Store) Get(key string) ([]byte, error) {
 	r, _, err := s.readRecipe(key)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, 0, r.Size)
-	for _, c := range r.Chunks {
+	out := make([]byte, r.Size)
+	offs := make([]int64, len(r.Chunks))
+	var pos int64
+	for i, c := range r.Chunks {
+		offs[i] = pos
+		pos += c.Size
+	}
+	err = pool.Run(context.Background(), pool.DefaultWorkers(), len(r.Chunks), func(i int) error {
+		c := r.Chunks[i]
 		data, err := s.getChunk(c.Hash, c.Size)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, data...)
+		copy(out[offs[i]:offs[i]+c.Size], data)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -507,10 +696,16 @@ func (s *Store) Release(key string, reg *obs.Registry) (freed int64, err error) 
 		if s.pending[h] > 0 {
 			continue
 		}
+		// Report the stored (possibly compressed) size, not the logical
+		// one: freed bytes are a physical-occupancy number.
+		size, serr := s.blobs.Size(ChunkKey(h))
+		if serr != nil {
+			size = sizeOf[h]
+		}
 		if err := s.blobs.Delete(ChunkKey(h)); err != nil {
 			return freed, fmt.Errorf("cas: deleting chunk %s: %w", h, err)
 		}
-		freed += sizeOf[h]
+		freed += size
 	}
 	return freed, nil
 }

@@ -1,0 +1,60 @@
+package latency
+
+import (
+	"time"
+
+	"github.com/mmm-go/mmm/internal/storage/backend"
+)
+
+// Paced wraps a backend and turns a CostModel into real wall-clock
+// delay: every data operation sleeps its modeled cost around the
+// underlying call. The Clock-based instrumentation in this package
+// charges modeled time to a shared counter, which sums costs and so
+// cannot express overlap between concurrent operations; Paced makes
+// callers actually wait, so a benchmark of a parallel pipeline over a
+// Paced store measures true overlap of compute with store latency —
+// the effect a real device or remote store would show. Size, Delete,
+// and Keys are metadata traffic and stay free.
+type Paced struct {
+	inner backend.Backend
+	model CostModel
+}
+
+// Pace returns b with model's costs imposed as real sleeps.
+func Pace(b backend.Backend, model CostModel) *Paced {
+	return &Paced{inner: b, model: model}
+}
+
+// Put sleeps the modeled write cost, then stores data under key.
+func (p *Paced) Put(key string, data []byte) error {
+	time.Sleep(p.model.WriteCost(len(data)))
+	return p.inner.Put(key, data)
+}
+
+// Get returns the stored value after sleeping its modeled read cost.
+func (p *Paced) Get(key string) ([]byte, error) {
+	v, err := p.inner.Get(key)
+	if err == nil {
+		time.Sleep(p.model.ReadCost(len(v)))
+	}
+	return v, err
+}
+
+// GetRange returns the requested slice after sleeping its modeled read
+// cost.
+func (p *Paced) GetRange(key string, off, length int64) ([]byte, error) {
+	v, err := p.inner.GetRange(key, off, length)
+	if err == nil {
+		time.Sleep(p.model.ReadCost(len(v)))
+	}
+	return v, err
+}
+
+// Size reports the stored value's length; metadata probes are free.
+func (p *Paced) Size(key string) (int64, error) { return p.inner.Size(key) }
+
+// Delete removes key; free like all metadata traffic.
+func (p *Paced) Delete(key string) error { return p.inner.Delete(key) }
+
+// Keys lists the stored keys; free like all metadata traffic.
+func (p *Paced) Keys() ([]string, error) { return p.inner.Keys() }

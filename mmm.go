@@ -44,6 +44,7 @@ package mmm
 import (
 	"fmt"
 
+	"github.com/mmm-go/mmm/internal/codec"
 	"github.com/mmm-go/mmm/internal/core"
 	"github.com/mmm-go/mmm/internal/dataset"
 	"github.com/mmm-go/mmm/internal/nn"
@@ -207,6 +208,39 @@ var WithMetrics = core.WithMetrics
 // how dedup savings become visible per save.
 var WithDedup = core.WithDedup
 
+// WithCodec selects, by registered ID, the compression codec an
+// approach encodes its blobs with: Update diff blobs directly, and —
+// under WithDedup — every blob's CAS chunk bodies, fanned out across
+// the WithConcurrency worker pool. The codec ID is persisted alongside
+// the data and every encoded artifact is self-describing, so stores
+// remain readable regardless of what codec later writers configure.
+// Built-in IDs: CodecNone, CodecZlib, CodecTLZ.
+var WithCodec = core.WithCodec
+
+// Codec is a pluggable compression codec; implement it and register
+// with RegisterCodec to store blobs in a custom encoding.
+type Codec = codec.Codec
+
+// RegisterCodec adds a codec to the process-wide registry under its
+// ID() and Wire() identifiers. Register at init time, before any store
+// writes; both identifiers are persisted on disk and must never be
+// reused for a different encoding.
+var RegisterCodec = codec.Register
+
+// Built-in codec IDs for WithCodec.
+const (
+	// CodecNone stores blobs raw (the default).
+	CodecNone = codec.NoneID
+	// CodecZlib is DEFLATE via compress/zlib — best ratio, slowest.
+	CodecZlib = codec.ZlibID
+	// CodecTLZ is the tensor-tuned LZ codec: a byte-plane/XOR-delta
+	// pre-transform over float32 data followed by a fast LZ77 pass.
+	CodecTLZ = codec.TLZID
+)
+
+// CodecIDs lists every registered codec ID, sorted.
+var CodecIDs = codec.IDs
+
 // Sentinel errors, testable with errors.Is across every layer
 // (including the HTTP client, which maps server responses back onto
 // them).
@@ -240,8 +274,9 @@ var (
 var Fsck = core.Fsck
 
 // Du scans the managed blob namespaces and reports logical versus
-// physical occupancy per set and store-wide — the deduplication
-// savings ledger.
+// physical occupancy per set and store-wide — the deduplication and
+// compression savings ledger. Each set row also names the codec it was
+// saved with.
 var Du = core.Du
 
 // GCStore deletes unreferenced deduplicated chunks from the store's
