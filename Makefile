@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fsck-smoke metrics-smoke chaos-smoke dedup-smoke codec-smoke fuzz check bench
+.PHONY: build test vet race race-stress fsck-smoke metrics-smoke chaos-smoke dedup-smoke codec-smoke fuzz check bench
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,13 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# Serving-tier concurrency battery: the chunk cache's eviction/promotion
+# machinery and the CAS read paths (parallel recover + save + GC +
+# eviction with pinned in-flight reads) under the race detector,
+# repeated to shake out schedule-dependent interleavings.
+race-stress:
+	$(GO) test -race -count=3 -run 'Stress' ./internal/storage/cache ./internal/storage/cas
 
 # End-to-end durability smoke test through the real CLI and a real
 # on-disk store: save a fleet, assert fsck passes, flip a single byte
@@ -108,6 +115,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzChecksumRoundTrip -fuzztime=10s ./internal/storage/blobstore
 	$(GO) test -run=NONE -fuzz=FuzzBackendOracle -fuzztime=10s ./internal/storage/sim
 	$(GO) test -run=NONE -fuzz=FuzzChunker -fuzztime=10s ./internal/storage/cas
+	$(GO) test -run=NONE -fuzz=FuzzIndexDecode -fuzztime=10s ./internal/storage/cas
 	$(GO) test -run=NONE -fuzz=FuzzShuffle -fuzztime=10s ./internal/codec
 	$(GO) test -run=NONE -fuzz=FuzzTLZRoundTrip -fuzztime=10s ./internal/codec
 
@@ -115,7 +123,7 @@ fuzz:
 # once plain, once under the race detector — then the durability,
 # observability, resilience, dedup, and codec smoke tests and the
 # short fuzz pass.
-check: build vet test race fsck-smoke metrics-smoke chaos-smoke dedup-smoke codec-smoke fuzz
+check: build vet test race race-stress fsck-smoke metrics-smoke chaos-smoke dedup-smoke codec-smoke fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -17,6 +17,7 @@
 //	mmbench -exp ttr -setup server  # Figure 5b
 //	mmbench -exp ttr-extrapolate    # §4.4 realistic-training intuition
 //	mmbench -exp accident           # selective post-accident recovery
+//	mmbench -exp serve              # hot-path serving: cold vs warm chunk cache (writes BENCH_serve.json)
 //	mmbench -exp quality            # stale-vs-retrained model loss per cycle
 //	mmbench -exp ablate-snapshot    # Update snapshot-interval ablation
 //	mmbench -exp ablate-variants    # Update hash-granularity/compression
@@ -35,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"github.com/mmm-go/mmm/internal/core"
@@ -60,6 +62,10 @@ func main() {
 		dedup    = flag.Bool("dedup", false, "run the dedup storage comparison (shorthand for -exp storage-dedup)")
 		benchOut = flag.String("bench-out", "BENCH_compression.json",
 			"where -exp compression writes its JSON result (empty = table only)")
+		serveOut = flag.String("serve-out", "BENCH_serve.json",
+			"where -exp serve writes its JSON result (empty = table only)")
+		cacheBytes = flag.Int64("cache-bytes", 256<<20,
+			"serving-tier chunk cache budget for -exp serve, in bytes")
 		csv     = flag.Bool("csv", false, "emit series as CSV instead of tables")
 		metrics = flag.Bool("metrics", false, "print a metrics snapshot after each experiment (suppressed under -csv)")
 	)
@@ -189,14 +195,23 @@ func main() {
 			}
 			fmt.Print(c.Table())
 			if *benchOut != "" {
-				data, err := json.MarshalIndent(c, "", "  ")
-				if err != nil {
-					return err
-				}
-				if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+				if err := writeJSONAtomic(*benchOut, c); err != nil {
 					return err
 				}
 				fmt.Printf("wrote %s\n", *benchOut)
+			}
+			return nil
+		case "serve":
+			sv, err := experiments.RunServe(opts, *cacheBytes)
+			if err != nil {
+				return err
+			}
+			fmt.Print(sv.Table())
+			if *serveOut != "" {
+				if err := writeJSONAtomic(*serveOut, sv); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *serveOut)
 			}
 			return nil
 		case "ablate-snapshot":
@@ -253,7 +268,7 @@ func main() {
 			"storage", "storage-rates", "storage-size", "storage-cifar",
 			"storage-overhead", "storage-dedup", "compression",
 			"tts", "ttr", "ttr-extrapolate",
-			"accident", "quality",
+			"accident", "serve", "quality",
 			"ablate-snapshot", "ablate-variants", "ablate-blob-layout", "advisor",
 		}
 	}
@@ -263,6 +278,34 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// writeJSONAtomic marshals v and writes it to path via a temp file and
+// rename, so a failure mid-experiment (or mid-write) never leaves a
+// truncated half-JSON result behind — the previous file, if any, stays
+// intact until the new one is complete.
+func writeJSONAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // emitSeries prints a series as a table or CSV.

@@ -30,6 +30,11 @@
 // manifests may assert a codec; a mismatch with the server's -codec is
 // rejected with 422 before anything is written.
 //
+// -cache-bytes bounds the in-memory serving-tier chunk cache (default
+// 256 MiB): repeated recoveries of warm sets are answered from decoded
+// chunks in memory instead of store reads plus decompression. Set 0 to
+// disable; recovered bytes are identical either way.
+//
 // On SIGINT/SIGTERM the server drains gracefully: /readyz flips to
 // 503, new API requests are rejected with Retry-After, and in-flight
 // requests get -drain-timeout to finish before being canceled (a
@@ -65,10 +70,12 @@ import (
 
 func main() {
 	var (
-		dir       = flag.String("dir", "./mmstore-data", "store directory")
-		addr      = flag.String("addr", ":8080", "listen address")
-		dedup     = flag.Bool("dedup", false, "route saves through the content-addressed deduplicating chunk store")
-		codecID   = flag.String("codec", "", "compression codec for saves: none, zlib, or tlz (default none); clients asserting a different codec in their manifest are rejected with 422")
+		dir        = flag.String("dir", "./mmstore-data", "store directory")
+		addr       = flag.String("addr", ":8080", "listen address")
+		dedup      = flag.Bool("dedup", false, "route saves through the content-addressed deduplicating chunk store")
+		codecID    = flag.String("codec", "", "compression codec for saves: none, zlib, or tlz (default none); clients asserting a different codec in their manifest are rejected with 422")
+		cacheBytes = flag.Int64("cache-bytes", 256<<20,
+			"in-memory serving-tier chunk cache budget in bytes; repeated recoveries of warm sets skip store reads and decompression (0 = disabled)")
 		debugAddr = flag.String("debug-addr", "", "optional address for net/http/pprof (e.g. localhost:6060); disabled when empty")
 
 		drainTimeout = flag.Duration("drain-timeout", server.DefaultDrainTimeout,
@@ -106,6 +113,7 @@ func main() {
 		RequestTimeout: *requestTimeout,
 		MaxBodyBytes:   *maxBodyBytes,
 		Codec:          *codecID,
+		CacheBytes:     *cacheBytes,
 	}, apiOpts...)
 
 	if *debugAddr != "" {

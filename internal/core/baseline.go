@@ -30,6 +30,7 @@ const (
 // NewBaseline returns a Baseline approach over the given stores.
 func NewBaseline(stores Stores, opts ...Option) *Baseline {
 	s := newSettings(opts)
+	s.attachCache(stores)
 	return &Baseline{stores: stores, ids: idAllocator{prefix: "bl"}, workers: s.workers,
 		metrics: newApproachObs(s.metrics, "Baseline"), dedup: s.dedup, codec: s.codec}
 }

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/storage/cas"
+)
+
+// servingApproach is the intersection of contracts the serving-tier
+// matrix exercises: full and selective recovery.
+type servingApproach interface {
+	Approach
+	PartialRecoverer
+}
+
+// servingFactories builds each approach over the given stores.
+var servingFactories = []struct {
+	name string
+	make func(st Stores, opts ...Option) servingApproach
+}{
+	{"baseline", func(st Stores, opts ...Option) servingApproach { return NewBaseline(st, opts...) }},
+	{"mmlib", func(st Stores, opts ...Option) servingApproach { return NewMMlibBase(st, opts...) }},
+	{"update", func(st Stores, opts ...Option) servingApproach { return NewUpdate(st, opts...) }},
+	{"provenance", func(st Stores, opts ...Option) servingApproach { return NewProvenance(st, opts...) }},
+}
+
+// TestCacheOnOffRecoveryEquality is the serving tier's core property:
+// across the whole approach × codec × dedup matrix, recovery through a
+// chunk cache returns byte-identical models to recovery without one —
+// cold and warm alike. Each cell saves the same fleet (a full snapshot
+// plus one incremental save) into two sibling stores, one cached and
+// one not, and compares every recovered parameter.
+func TestCacheOnOffRecoveryEquality(t *testing.T) {
+	for _, f := range servingFactories {
+		for _, codecID := range []string{"none", "zlib", "tlz"} {
+			for _, dedup := range []bool{false, true} {
+				name := fmt.Sprintf("%s/%s/dedup=%v", f.name, codecID, dedup)
+				t.Run(name, func(t *testing.T) {
+					runCacheEqualityCell(t, f.make, codecID, dedup)
+				})
+			}
+		}
+	}
+}
+
+func runCacheEqualityCell(t *testing.T, make func(Stores, ...Option) servingApproach, codecID string, dedup bool) {
+	t.Helper()
+	stOn := NewMemStores()
+	// The off-store shares the dataset registry so both sides record —
+	// and provenance recovery resolves — the same dataset IDs.
+	stOff := NewMemStores()
+	stOff.Datasets = stOn.Datasets
+
+	opts := []Option{WithCodec(codecID)}
+	if dedup {
+		opts = append(opts, WithDedup())
+	}
+	aOn := make(stOn, append([]Option{WithChunkCache(8 << 20)}, opts...)...)
+	aOff := make(stOff, opts...)
+	if cas.For(stOff.Blobs).ChunkCache() != nil {
+		t.Fatal("uncached store grew a cache")
+	}
+
+	set := mustNewSet(t, 4)
+	full := SaveRequest{Set: set, Train: testTrainInfo()}
+	idOn := mustSave(t, aOn, full).SetID
+	idOff := mustSave(t, aOff, full).SetID
+	updates := runCycle(t, set, stOn.Datasets, 1, []int{1}, []int{2})
+	idOn = mustSave(t, aOn, SaveRequest{
+		Set: set, Base: idOn, Updates: updates, Train: testTrainInfo(),
+	}).SetID
+	idOff = mustSave(t, aOff, SaveRequest{
+		Set: set, Base: idOff, Updates: updates, Train: testTrainInfo(),
+	}).SetID
+
+	compareFull := func(pass string) {
+		got := mustRecover(t, aOn, idOn)
+		want := mustRecover(t, aOff, idOff)
+		if len(got.Models) != len(set.Models) || len(want.Models) != len(set.Models) {
+			t.Fatalf("%s: recovered %d/%d models, want %d", pass, len(got.Models), len(want.Models), len(set.Models))
+		}
+		for i := range set.Models {
+			if !got.Models[i].ParamsEqual(want.Models[i]) {
+				t.Fatalf("%s: model %d differs between cached and uncached recovery", pass, i)
+			}
+			if !got.Models[i].ParamsEqual(set.Models[i]) {
+				t.Fatalf("%s: model %d differs from the saved truth", pass, i)
+			}
+		}
+	}
+	comparePartial := func(pass string, indices []int) {
+		got, err := aOn.RecoverModels(idOn, indices)
+		if err != nil {
+			t.Fatalf("%s: cached partial recovery: %v", pass, err)
+		}
+		want, err := aOff.RecoverModels(idOff, indices)
+		if err != nil {
+			t.Fatalf("%s: uncached partial recovery: %v", pass, err)
+		}
+		for _, i := range indices {
+			if got.Models[i] == nil || want.Models[i] == nil {
+				t.Fatalf("%s: model %d missing from partial recovery", pass, i)
+			}
+			if !got.Models[i].ParamsEqual(want.Models[i]) {
+				t.Fatalf("%s: partial model %d differs between cached and uncached", pass, i)
+			}
+			if !got.Models[i].ParamsEqual(set.Models[i]) {
+				t.Fatalf("%s: partial model %d differs from the saved truth", pass, i)
+			}
+		}
+	}
+
+	compareFull("cold")
+	compareFull("warm")
+	comparePartial("cold", []int{0, 2})
+	comparePartial("warm", []int{0, 2})
+
+	c := cas.For(stOn.Blobs).ChunkCache()
+	if c == nil {
+		t.Fatal("WithChunkCache attached no cache")
+	}
+	if dedup && c.Stats().Hits == 0 {
+		t.Error("warm dedup recovery recorded no cache hits")
+	}
+}

@@ -87,7 +87,13 @@ func deleteBlob(st Stores, key string) (int64, error) {
 	size, err := st.Blobs.Size(key)
 	switch {
 	case err == nil:
-		return size, st.Blobs.Delete(key)
+		if derr := st.Blobs.Delete(key); derr != nil {
+			return size, derr
+		}
+		// Drop any cached parse of the raw blob (per-set chunk
+		// indexes live on the serving-tier cache under their key).
+		cas.For(st.Blobs).InvalidateRaw(key)
+		return size, nil
 	case backend.IsNotFound(err):
 		return cas.For(st.Blobs).Release(key, nil)
 	default:

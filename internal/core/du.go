@@ -85,7 +85,11 @@ func Du(st Stores) (*DuReport, error) {
 		}
 		rawSizes[k] = size
 		report.RawBytes += size
-		report.LogicalBytes += size
+		// Chunk indexes are derived bookkeeping like recipes: physical
+		// occupancy, but not part of the set's reassembled content.
+		if !isChunkIndexKey(k) {
+			report.LogicalBytes += size
+		}
 	}
 	for logical, r := range scan.Recipes {
 		if ownedPrefix(logical) == "" {
@@ -117,7 +121,9 @@ func Du(st Stores) (*DuReport, error) {
 			}
 			for k, size := range rawSizes {
 				if strings.HasPrefix(k, setPrefix) {
-					row.LogicalBytes += size
+					if !isChunkIndexKey(k) {
+						row.LogicalBytes += size
+					}
 					row.PhysicalBytes += size
 				}
 			}

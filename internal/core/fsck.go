@@ -143,6 +143,9 @@ func (r *refSet) doc(col, id string) { r.docs[[2]string{col, id}] = true }
 func (r *refSet) fullBlobs(prefix, id string) {
 	r.blob(prefix + "/" + id + "/arch.json")
 	r.blob(prefix + "/" + id + "/params.bin")
+	// The chunk index is optional (dedup saves only); referencing a
+	// blob that does not exist merely suppresses orphan classification.
+	r.blob(prefix + "/" + id + "/" + chunkIndexFile)
 }
 
 // fsckCollections are the document collections fsck owns. Documents in

@@ -39,6 +39,7 @@ const (
 // NewMMlibBase returns an MMlibBase approach over the given stores.
 func NewMMlibBase(stores Stores, opts ...Option) *MMlibBase {
 	s := newSettings(opts)
+	s.attachCache(stores)
 	return &MMlibBase{stores: stores, ids: idAllocator{prefix: "ml"}, workers: s.workers,
 		metrics: newApproachObs(s.metrics, "MMlib-base"), dedup: s.dedup, codec: s.codec}
 }

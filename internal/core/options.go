@@ -6,6 +6,7 @@ import (
 	"github.com/mmm-go/mmm/internal/codec"
 	"github.com/mmm-go/mmm/internal/core/pool"
 	"github.com/mmm-go/mmm/internal/obs"
+	"github.com/mmm-go/mmm/internal/storage/cas"
 )
 
 // settings holds the resolved construction options shared by all
@@ -22,6 +23,9 @@ type settings struct {
 	// codec is the compression codec ID blobs are encoded with (""
 	// means none; see WithCodec).
 	codec string
+	// cacheBytes sizes the in-memory serving-tier chunk cache attached
+	// to the blob store (0 means no cache; see WithChunkCache).
+	cacheBytes int64
 }
 
 // Option configures an approach at construction time.
@@ -87,6 +91,28 @@ func WithDedup() Option {
 // unregistered ID fails the save.
 func WithCodec(id string) Option {
 	return func(s *settings) { s.codec = id }
+}
+
+// WithChunkCache attaches an in-memory serving-tier cache of at most
+// bytes to the approach's blob store. The cache holds decoded chunk
+// bodies (keyed by content address, admission weighted by how many
+// sets share the chunk), parsed CAS recipes, and per-set chunk
+// indexes, so repeated recoveries of warm sets skip both store round
+// trips and codec decode work. The cache lives on the store, not the
+// approach: all approaches sharing one blob store share one cache, and
+// it is grow-only — the largest budget requested wins. Recovered bytes
+// are identical with or without a cache; only latency changes. Values
+// <= 0 leave the store uncached.
+func WithChunkCache(bytes int64) Option {
+	return func(s *settings) { s.cacheBytes = bytes }
+}
+
+// attachCache wires the resolved cache budget onto the stores' CAS
+// layer. Every approach constructor calls it.
+func (s settings) attachCache(st Stores) {
+	if s.cacheBytes > 0 {
+		cas.For(st.Blobs).EnableCache(s.cacheBytes, s.metrics)
+	}
 }
 
 // resolveCodec maps a configured codec ID to the codec a saveOp should

@@ -83,11 +83,24 @@ func rangedModels(ctx context.Context, st Stores, blobPrefix string, meta setMet
 	}
 	perModel := int64(arch.ParamBytes())
 	key := blobPrefix + "/" + meta.SetID + "/params.bin"
+	// Dedup saves persisted a chunk index: load it once and resolve
+	// each model's chunks from it directly. Sets without one (plain
+	// saves, pre-index stores) use ranged blob reads — same bytes.
+	ix, err := loadChunkIndex(st, blobPrefix, meta.SetID)
+	if err != nil {
+		return nil, err
+	}
 	models := make([]*nn.Model, len(indices))
 	err = pool.Run(ctx, workers, len(indices), func(k int) error {
 		idx := indices[k]
 		one := func() error {
-			raw, err := getBlobRange(st, key, int64(idx)*perModel, perModel)
+			var raw []byte
+			var err error
+			if ix != nil {
+				raw, err = readViaIndex(st, ix, int64(idx)*perModel, perModel)
+			} else {
+				raw, err = getBlobRange(st, key, int64(idx)*perModel, perModel)
+			}
 			if err != nil {
 				return fmt.Errorf("core: reading model %d: %w", idx, err)
 			}

@@ -119,6 +119,24 @@ func (op *saveOp) putBlobHinted(key string, data []byte, hints cas.Hints) error 
 	return nil
 }
 
+// putBlobRaw writes a blob directly to the blob store even under
+// dedup. Tiny derived artifacts (the per-set chunk index) are not
+// worth chunking — and must stay raw so reading them never recurses
+// through the CAS layer they describe. Any cached parse of a previous
+// blob under the key is invalidated.
+func (op *saveOp) putBlobRaw(key string, data []byte) error {
+	if err := op.st.Blobs.Put(key, data); err != nil {
+		return err
+	}
+	cas.For(op.st.Blobs).InvalidateRaw(key)
+	op.mu.Lock()
+	op.bytes += int64(len(data))
+	op.ops++
+	op.blobs = append(op.blobs, savedBlob{key: key})
+	op.mu.Unlock()
+	return nil
+}
+
 // insertDoc writes a document and records its cost (the encoded JSON
 // length, matching the document store's own accounting).
 func (op *saveOp) insertDoc(collection, id string, doc any) error {
@@ -151,6 +169,7 @@ func (op *saveOp) rollback() {
 			_, _ = cas.For(op.st.Blobs).Release(op.blobs[i].key, op.reg)
 		} else {
 			_ = op.st.Blobs.Delete(op.blobs[i].key)
+			cas.For(op.st.Blobs).InvalidateRaw(op.blobs[i].key)
 		}
 	}
 }
@@ -280,6 +299,12 @@ func fullSave(ctx context.Context, op *saveOp, collection, blobPrefix, approach,
 	if err := op.putBlobHinted(blobPrefix+"/"+setID+"/params.bin", params,
 		cas.Hints{Stride: req.Set.Arch.ParamBytes()}); err != nil {
 		return fmt.Errorf("core: writing parameters: %w", err)
+	}
+	// Dedup saves also persist the params blob's chunk index, inside
+	// the commit boundary: selective recovery resolves chunks from it
+	// without walking the recipe.
+	if err := writeChunkIndex(op, blobPrefix, setID, int64(req.Set.Arch.ParamBytes())); err != nil {
+		return err
 	}
 	if err := ctx.Err(); err != nil {
 		return err

@@ -68,6 +68,7 @@ const (
 // NewProvenance returns a Provenance approach over the given stores.
 func NewProvenance(stores Stores, opts ...Option) *Provenance {
 	s := newSettings(opts)
+	s.attachCache(stores)
 	return &Provenance{stores: stores, ids: idAllocator{prefix: "pv"}, workers: s.workers,
 		metrics: newApproachObs(s.metrics, "Provenance"), dedup: s.dedup, codec: s.codec}
 }

@@ -77,6 +77,7 @@ const (
 // NewUpdate returns an Update approach over the given stores.
 func NewUpdate(stores Stores, opts ...Option) *Update {
 	s := newSettings(opts)
+	s.attachCache(stores)
 	return &Update{stores: stores, ids: idAllocator{prefix: "up"}, workers: s.workers,
 		metrics: newApproachObs(s.metrics, "Update"), dedup: s.dedup, codec: s.codec}
 }

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/mmm-go/mmm/internal/core"
+	"github.com/mmm-go/mmm/internal/storage/backend"
+	"github.com/mmm-go/mmm/internal/storage/blobstore"
+	"github.com/mmm-go/mmm/internal/storage/cas"
+	"github.com/mmm-go/mmm/internal/storage/docstore"
+	"github.com/mmm-go/mmm/internal/storage/latency"
+)
+
+// Serve reports the hot-path serving scenario: a manager answering
+// high-QPS selective recoveries of a small hot set of models, with the
+// parameter store paced to a real SSD cost model (actual slept
+// latency, not simulated time). The comparison is the same store cold
+// (every request pays store round trips and decode work) versus warm
+// (requests answered from the in-memory serving-tier chunk cache).
+// Metadata documents are held unpaced — the metadata DB is small and
+// assumed resident; the cache covers the blob side.
+type Serve struct {
+	Approach  string `json:"approach"`
+	Store     string `json:"store"`
+	Models    int    `json:"models"`
+	HotModels int    `json:"hot_models"`
+	// Requests is the number of single-model recoveries per phase.
+	Requests int     `json:"requests"`
+	CacheMB  float64 `json:"cache_mb"`
+	// Cold/Warm are per-request latency percentiles in milliseconds.
+	ColdP50MS float64 `json:"cold_p50_ms"`
+	ColdP99MS float64 `json:"cold_p99_ms"`
+	WarmP50MS float64 `json:"warm_p50_ms"`
+	WarmP99MS float64 `json:"warm_p99_ms"`
+	// SpeedupP50/P99 are cold/warm ratios at each percentile.
+	SpeedupP50 float64 `json:"speedup_p50"`
+	SpeedupP99 float64 `json:"speedup_p99"`
+	// Cache counters after the warm phase.
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheBytes   int64 `json:"cache_bytes"`
+	CacheEntries int64 `json:"cache_entries"`
+}
+
+// serveRequests is the per-phase request count; p99 needs a tail.
+const serveRequests = 200
+
+// RunServe saves the scenario's set chain (deduplicated, so the chunk
+// cache's refcount-weighted admission sees shared chunks) into a store
+// whose blob backend sleeps real time per the setup's SSD cost model,
+// then measures single-model recovery latency over a hot set of
+// models: one uncached pass, then a cached pass after one warm-up
+// sweep. Recovered bytes are asserted identical between the phases.
+func RunServe(o Options, cacheBytes int64) (*Serve, error) {
+	if cacheBytes <= 0 {
+		cacheBytes = 256 << 20
+	}
+	tr, err := runScenario(o)
+	if err != nil {
+		return nil, err
+	}
+	st := core.Stores{
+		Docs:     docstore.New(backend.NewMem(), latency.CostModel{}, nil),
+		Blobs:    blobstore.New(latency.Pace(backend.NewMem(), o.Setup.Blob), latency.CostModel{}, nil),
+		Datasets: tr.registry,
+	}
+	workers := o.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	opts := []core.Option{core.WithDedup(), core.WithConcurrency(workers)}
+	saver := &rig{name: "Baseline", stores: st, clock: &latency.Clock{},
+		approach: core.NewBaseline(st, opts...)}
+	_, ids, err := saveAll(saver, tr)
+	if err != nil {
+		return nil, err
+	}
+	last := ids[len(ids)-1]
+	truth := tr.states[len(tr.states)-1]
+
+	hot := o.NumModels
+	if hot > 16 {
+		hot = 16
+	}
+	measure := func(r core.PartialRecoverer, phase string) ([]time.Duration, error) {
+		ds := make([]time.Duration, 0, serveRequests)
+		for i := 0; i < serveRequests; i++ {
+			idx := i % hot
+			start := time.Now()
+			rec, err := r.RecoverModelsContext(context.Background(), last, []int{idx})
+			if err != nil {
+				return nil, fmt.Errorf("%s request %d: %w", phase, i, err)
+			}
+			ds = append(ds, time.Since(start))
+			if m := rec.Models[idx]; m == nil || !m.ParamsEqual(truth.Models[idx]) {
+				return nil, fmt.Errorf("%s request %d: model %d recovered incorrectly", phase, i, idx)
+			}
+		}
+		return ds, nil
+	}
+
+	// Cold: no cache attached yet; every request walks the paced store.
+	cold, err := measure(core.NewBaseline(st, opts...), "cold")
+	if err != nil {
+		return nil, err
+	}
+
+	// Warm: same store, cache-enabled approach, one warm-up sweep.
+	cached := core.NewBaseline(st, append([]core.Option{core.WithChunkCache(cacheBytes)}, opts...)...)
+	for i := 0; i < hot; i++ {
+		if _, err := cached.RecoverModelsContext(context.Background(), last, []int{i}); err != nil {
+			return nil, fmt.Errorf("warm-up of model %d: %w", i, err)
+		}
+	}
+	warm, err := measure(cached, "warm")
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Serve{
+		Approach:  "Baseline",
+		Store:     fmt.Sprintf("mem blobs paced to %s; docs resident", o.Setup.Name),
+		Models:    o.NumModels,
+		HotModels: hot,
+		Requests:  serveRequests,
+		CacheMB:   float64(cacheBytes) / 1e6,
+		ColdP50MS: percentile(cold, 50).Seconds() * 1e3,
+		ColdP99MS: percentile(cold, 99).Seconds() * 1e3,
+		WarmP50MS: percentile(warm, 50).Seconds() * 1e3,
+		WarmP99MS: percentile(warm, 99).Seconds() * 1e3,
+	}
+	if out.WarmP50MS > 0 {
+		out.SpeedupP50 = out.ColdP50MS / out.WarmP50MS
+	}
+	if out.WarmP99MS > 0 {
+		out.SpeedupP99 = out.ColdP99MS / out.WarmP99MS
+	}
+	if c := cas.For(st.Blobs).ChunkCache(); c != nil {
+		s := c.Stats()
+		out.CacheHits, out.CacheMisses = s.Hits, s.Misses
+		out.CacheBytes, out.CacheEntries = s.Bytes, s.Entries
+	}
+	return out, nil
+}
+
+// percentile returns the q-th percentile (nearest-rank) of ds.
+func percentile(ds []time.Duration, q int) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := (len(sorted)*q + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Table renders the serving comparison.
+func (s *Serve) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Hot-path serving: %d single-model recoveries over %d hot models (%s, %s)\n",
+		s.Requests, s.HotModels, s.Approach, s.Store)
+	fmt.Fprintf(&b, "%-8s%14s%14s\n", "phase", "p50 ms", "p99 ms")
+	fmt.Fprintf(&b, "%-8s%14.3f%14.3f\n", "cold", s.ColdP50MS, s.ColdP99MS)
+	fmt.Fprintf(&b, "%-8s%14.3f%14.3f\n", "warm", s.WarmP50MS, s.WarmP99MS)
+	fmt.Fprintf(&b, "speedup %.1fx p50, %.1fx p99 (cache %.0f MB budget: %d hits, %d misses, %d bytes in %d entries)\n",
+		s.SpeedupP50, s.SpeedupP99, s.CacheMB, s.CacheHits, s.CacheMisses, s.CacheBytes, s.CacheEntries)
+	return b.String()
+}

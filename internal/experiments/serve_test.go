@@ -1,0 +1,25 @@
+package experiments
+
+import "testing"
+
+func TestRunServeShape(t *testing.T) {
+	// Zero-latency setup: the point here is that both phases recover
+	// correct bytes and the cache actually engages, not the speedup
+	// (RunServe itself asserts every request against the truth set).
+	sv, err := RunServe(testOptions(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.Requests != serveRequests || sv.HotModels != 16 {
+		t.Fatalf("unexpected shape: %+v", sv)
+	}
+	if sv.CacheHits == 0 {
+		t.Error("warm phase recorded no cache hits")
+	}
+	if sv.ColdP50MS <= 0 || sv.WarmP50MS <= 0 || sv.ColdP99MS < sv.ColdP50MS || sv.WarmP99MS < sv.WarmP50MS {
+		t.Errorf("implausible percentiles: %+v", sv)
+	}
+	if sv.Table() == "" {
+		t.Error("empty table")
+	}
+}

@@ -80,6 +80,11 @@ type Config struct {
 	// options); "" stores blobs raw. Stores written with other codecs
 	// remain readable — the codec only affects new saves.
 	Codec string
+	// CacheBytes attaches an in-memory serving-tier chunk cache of at
+	// most this many bytes to the store (core.WithChunkCache), so
+	// repeated recoveries of warm sets skip store reads and decode
+	// work. Zero or negative leaves the store uncached.
+	CacheBytes int64
 }
 
 // Server serves a set of management approaches over HTTP.
@@ -129,6 +134,9 @@ func NewWithConfig(stores core.Stores, reg *obs.Registry, cfg Config, opts ...co
 	opts = append([]core.Option{core.WithMetrics(reg)}, opts...)
 	if cfg.Codec != "" {
 		opts = append(opts, core.WithCodec(cfg.Codec))
+	}
+	if cfg.CacheBytes > 0 {
+		opts = append(opts, core.WithChunkCache(cfg.CacheBytes))
 	}
 	s := &Server{
 		stores: stores,

@@ -18,6 +18,7 @@ import (
 	"github.com/mmm-go/mmm/internal/obs"
 	"github.com/mmm-go/mmm/internal/storage/backend"
 	"github.com/mmm-go/mmm/internal/storage/blobstore"
+	"github.com/mmm-go/mmm/internal/storage/cas"
 	"github.com/mmm-go/mmm/internal/storage/docstore"
 	"github.com/mmm-go/mmm/internal/storage/latency"
 )
@@ -515,5 +516,24 @@ func TestSaveBaseMismatchOverHTTP(t *testing.T) {
 	_, err = c.Save(ctx, "update", smaller, res.SetID, nil, nil)
 	if !errors.Is(err, core.ErrBaseMismatch) {
 		t.Fatalf("mismatched derived save error = %v, want ErrBaseMismatch", err)
+	}
+}
+
+func TestConfigCacheBytesAttachesServingCache(t *testing.T) {
+	stores := core.NewMemStores()
+	NewWithConfig(stores, obs.New(), Config{CacheBytes: 4 << 20})
+	c := cas.For(stores.Blobs).ChunkCache()
+	if c == nil {
+		t.Fatal("Config.CacheBytes attached no chunk cache to the store")
+	}
+	if c.MaxBytes() != 4<<20 {
+		t.Fatalf("cache budget = %d, want %d", c.MaxBytes(), 4<<20)
+	}
+
+	// Zero leaves a fresh store uncached.
+	plain := core.NewMemStores()
+	NewWithConfig(plain, obs.New(), Config{})
+	if cas.For(plain.Blobs).ChunkCache() != nil {
+		t.Fatal("zero CacheBytes attached a cache")
 	}
 }

@@ -1,0 +1,281 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/obs"
+)
+
+// fakeClock is a deterministic logical clock tests advance by hand.
+type fakeClock struct{ t int64 }
+
+func (f *fakeClock) now() int64 { return f.t }
+
+// newTest builds a single-shard cache with a fake clock so eviction
+// order is fully deterministic and observable.
+func newTest(t *testing.T, maxBytes int64) (*Cache, *fakeClock, *obs.Registry) {
+	t.Helper()
+	clk := &fakeClock{}
+	reg := obs.New()
+	c := New(Config{MaxBytes: maxBytes, Shards: 1, Clock: clk.now, Registry: reg})
+	return c, clk, reg
+}
+
+func wantSegments(t *testing.T, c *Cache, probation, protected []string) {
+	t.Helper()
+	gotProb, gotProt := c.segmentKeys()
+	if fmt.Sprint(gotProb) != fmt.Sprint(probation) {
+		t.Fatalf("probation order = %v, want %v", gotProb, probation)
+	}
+	if fmt.Sprint(gotProt) != fmt.Sprint(protected) {
+		t.Fatalf("protected order = %v, want %v", gotProt, protected)
+	}
+	if msg := c.checkInvariants(); msg != "" {
+		t.Fatalf("invariant violated: %s", msg)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c, _, _ := newTest(t, 1024)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	val := []byte("hello")
+	if !c.Put("a", val, int64(len(val)), 1) {
+		t.Fatal("put rejected")
+	}
+	got, ok := c.Get("a")
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if string(got.([]byte)) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNewEntriesStartInProbation(t *testing.T) {
+	c, _, _ := newTest(t, 1024)
+	c.Put("a", "v", 10, 1)
+	c.Put("b", "v", 10, 0)
+	if seg := c.segmentOf("a"); seg != "probation" {
+		t.Fatalf("a in %q, want probation", seg)
+	}
+	wantSegments(t, c, []string{"b", "a"}, nil)
+}
+
+func TestSecondTouchPromotes(t *testing.T) {
+	c, clk, _ := newTest(t, 1024)
+	c.Put("a", "v", 10, 1)
+	clk.t++
+	c.Get("a")
+	if seg := c.segmentOf("a"); seg != "protected" {
+		t.Fatalf("a in %q after second touch, want protected", seg)
+	}
+	wantSegments(t, c, nil, []string{"a"})
+}
+
+func TestHighWeightAdmitsDirectlyProtected(t *testing.T) {
+	c, _, _ := newTest(t, 1024)
+	c.Put("shared", "v", 10, ProtectedWeight)
+	c.Put("cold", "v", 10, ProtectedWeight-1)
+	wantSegments(t, c, []string{"cold"}, []string{"shared"})
+}
+
+func TestEvictionDrainsProbationTailFirst(t *testing.T) {
+	// Budget of 100: three probation entries of 30 + one protected of
+	// 30 fills 120 > 100, so the oldest probation entry must go — not
+	// the protected one, even though it is older.
+	c, clk, _ := newTest(t, 100)
+	c.Put("hot", "v", 30, ProtectedWeight) // protected, t=0
+	clk.t++
+	c.Put("p1", "v", 30, 1)
+	clk.t++
+	c.Put("p2", "v", 30, 1)
+	clk.t++
+	c.Put("p3", "v", 30, 1) // 120 bytes → evict p1 (probation tail)
+	wantSegments(t, c, []string{"p3", "p2"}, []string{"hot"})
+	if st := c.Stats(); st.Evictions != 1 || st.Bytes != 90 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProtectedOverflowEvictsDemotedTail(t *testing.T) {
+	c, clk, _ := newTest(t, 100)
+	c.Put("h1", "v", 40, ProtectedWeight)
+	clk.t++
+	c.Put("h2", "v", 40, ProtectedWeight)
+	clk.t++
+	// 80/100 used, protected cap = 80 → h3 demotes the protected tail
+	// (h1) into probation, then eviction removes it.
+	c.Put("h3", "v", 40, ProtectedWeight)
+	wantSegments(t, c, nil, []string{"h3", "h2"})
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUOrderWithinProbation(t *testing.T) {
+	c, clk, _ := newTest(t, 90)
+	c.Put("a", "v", 30, 1)
+	clk.t++
+	c.Put("b", "v", 30, 1)
+	clk.t++
+	c.Put("c", "v", 30, 1)
+	clk.t++
+	// Re-put "a" refreshes it to the front; inserting "d" must then
+	// evict "b", the true tail.
+	c.Put("a", "v", 30, 1)
+	clk.t++
+	c.Put("d", "v", 30, 1)
+	wantSegments(t, c, []string{"d", "a", "c"}, nil)
+}
+
+func TestEvictionFallsBackToProtectedWhenProbationEmpty(t *testing.T) {
+	// Growing a protected entry in place can push the shard over budget
+	// with nothing in probation; eviction must then take the protected
+	// tail rather than loop forever.
+	c, clk, _ := newTest(t, 100)
+	c.Put("h1", "v", 40, ProtectedWeight)
+	clk.t++
+	c.Put("h2", "v", 40, ProtectedWeight)
+	clk.t++
+	c.Put("h2", "v", 70, ProtectedWeight) // 110 > 100, probation empty
+	wantSegments(t, c, nil, []string{"h2"})
+	if st := c.Stats(); st.Evictions != 1 || st.Bytes != 70 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestProtectedOverflowDemotesNotEvicts(t *testing.T) {
+	// Shard budget 100, protected cap 80. Two 40-byte protected
+	// entries fit; a third overflows protected and demotes the tail to
+	// probation — still cached (total 120 > 100 forces one eviction of
+	// the demoted entry; use budget 200 to keep all three).
+	clk := &fakeClock{}
+	c := New(Config{MaxBytes: 200, Shards: 1, ProtectedFrac: 0.5, Clock: clk.now, Registry: obs.New()})
+	c.Put("h1", "v", 40, ProtectedWeight)
+	clk.t++
+	c.Put("h2", "v", 40, ProtectedWeight)
+	clk.t++
+	c.Put("h3", "v", 40, ProtectedWeight) // protected cap 100: 120 > 100 → demote h1
+	wantSegments(t, c, []string{"h1"}, []string{"h3", "h2"})
+	if st := c.Stats(); st.Evictions != 0 || st.Entries != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A touch re-promotes the demoted entry.
+	clk.t++
+	c.Get("h1")
+	if seg := c.segmentOf("h1"); seg != "protected" {
+		t.Fatalf("h1 in %q after touch, want protected", seg)
+	}
+}
+
+func TestOversizedValueRejected(t *testing.T) {
+	c, _, _ := newTest(t, 100)
+	if c.Put("big", "v", 101, 1) {
+		t.Fatal("oversized value admitted")
+	}
+	if st := c.Stats(); st.Rejects != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Fits-exactly is admitted.
+	if !c.Put("fits", "v", 100, 1) {
+		t.Fatal("exact-size value rejected")
+	}
+}
+
+func TestZeroBudgetAdmitsNothing(t *testing.T) {
+	c := New(Config{MaxBytes: 0, Shards: 1, Registry: obs.New()})
+	if c.Put("a", "v", 1, 1) {
+		t.Fatal("admitted into zero-budget cache")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit in zero-budget cache")
+	}
+}
+
+func TestDeleteRemovesAndFreesBudget(t *testing.T) {
+	c, _, _ := newTest(t, 100)
+	c.Put("a", "v", 60, 1)
+	c.Delete("a")
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit after delete")
+	}
+	if st := c.Stats(); st.Bytes != 0 || st.Entries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Freed budget is reusable.
+	if !c.Put("b", "v", 100, 1) {
+		t.Fatal("put rejected after delete freed budget")
+	}
+	c.Delete("missing") // no-op
+	if msg := c.checkInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestRePutUpdatesValueAndSize(t *testing.T) {
+	c, _, _ := newTest(t, 100)
+	c.Put("a", "old", 10, 1)
+	c.Put("a", "new", 40, 1)
+	got, ok := c.Get("a")
+	if !ok || got.(string) != "new" {
+		t.Fatalf("got %v, %v", got, ok)
+	}
+	if st := c.Stats(); st.Bytes != 40 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Growing an entry past budget evicts others, not itself
+	// (it is front-of-list after the refresh).
+	c.Put("b", "v", 50, 1)
+	c.Put("a", "wide", 90, 1)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived over-budget refresh of a")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted itself")
+	}
+}
+
+func TestMetricsRegistered(t *testing.T) {
+	c, _, reg := newTest(t, 100)
+	c.Put("a", "v", 10, 1)
+	c.Get("a")
+	c.Get("nope")
+	snap := reg.Snapshot()
+	found := map[string]bool{}
+	for _, fam := range snap {
+		found[fam.Name] = true
+	}
+	for _, name := range []string{MetricHits, MetricMisses, MetricEvictions, MetricRejects, MetricBytes, MetricEntries} {
+		if !found[name] {
+			t.Fatalf("metric %s not in snapshot", name)
+		}
+	}
+}
+
+func TestShardingSpreadsKeys(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20, Shards: 8, Registry: obs.New()})
+	for i := 0; i < 256; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i, 64, 1)
+	}
+	used := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		if len(s.entries) > 0 {
+			used++
+		}
+		s.mu.Unlock()
+	}
+	if used < 4 {
+		t.Fatalf("only %d/8 shards used", used)
+	}
+	if msg := c.checkInvariants(); msg != "" {
+		t.Fatal(msg)
+	}
+}

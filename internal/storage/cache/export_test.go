@@ -1,0 +1,95 @@
+package cache
+
+// Test-only introspection: the eviction-policy unit tests assert exact
+// segment membership and LRU order, which the public API deliberately
+// does not expose.
+
+// segmentKeys returns the keys of every shard's probation and protected
+// lists, front (most recent) to back. Tests that assert exact order use
+// Shards: 1 so the two slices are globally ordered.
+func (c *Cache) segmentKeys() (probation, protected []string) {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for el := s.probation.Front(); el != nil; el = el.Next() {
+			probation = append(probation, el.Value.(*entry).key)
+		}
+		for el := s.protected.Front(); el != nil; el = el.Next() {
+			protected = append(protected, el.Value.(*entry).key)
+		}
+		s.mu.Unlock()
+	}
+	return probation, protected
+}
+
+// segmentOf reports which segment key sits in: "probation",
+// "protected", or "" when absent.
+func (c *Cache) segmentOf(key string) string {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return ""
+	}
+	if e.seg == segProbation {
+		return "probation"
+	}
+	return "protected"
+}
+
+// checkInvariants re-derives every shard's byte/entry accounting from
+// its lists and reports the first inconsistency found, or "".
+func (c *Cache) checkInvariants() string {
+	var totalBytes, totalEntries int64
+	for i, s := range c.shards {
+		s.mu.Lock()
+		var prob, prot int64
+		for el := s.probation.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*entry)
+			prob += e.size
+			if got, ok := s.entries[e.key]; !ok || got != e {
+				s.mu.Unlock()
+				return "probation element not in map: " + e.key
+			}
+			if e.seg != segProbation {
+				s.mu.Unlock()
+				return "probation element tagged protected: " + e.key
+			}
+		}
+		for el := s.protected.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*entry)
+			prot += e.size
+			if got, ok := s.entries[e.key]; !ok || got != e {
+				s.mu.Unlock()
+				return "protected element not in map: " + e.key
+			}
+			if e.seg != segProtected {
+				s.mu.Unlock()
+				return "protected element tagged probation: " + e.key
+			}
+		}
+		if prob != s.probBytes || prot != s.protBytes {
+			s.mu.Unlock()
+			return "shard byte accounting drifted"
+		}
+		if s.probation.Len()+s.protected.Len() != len(s.entries) {
+			s.mu.Unlock()
+			return "shard entry count drifted"
+		}
+		if s.probBytes+s.protBytes > c.shardCap {
+			s.mu.Unlock()
+			return "shard over budget"
+		}
+		totalBytes += prob + prot
+		totalEntries += int64(len(s.entries))
+		s.mu.Unlock()
+		_ = i
+	}
+	if totalBytes != c.bytes.Load() {
+		return "global byte gauge drifted"
+	}
+	if totalEntries != c.entries.Load() {
+		return "global entry gauge drifted"
+	}
+	return ""
+}

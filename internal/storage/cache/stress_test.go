@@ -1,0 +1,138 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/obs"
+)
+
+// The stress battery hammers one cache from many goroutines and then
+// re-derives every shard's accounting from its lists. Run under -race
+// (make race-stress wires these into make check with -count=3).
+
+func TestStressConcurrentPutGet(t *testing.T) {
+	c := New(Config{MaxBytes: 64 << 10, Shards: 8, Registry: obs.New()})
+	const goroutines = 8
+	const opsPer = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				key := fmt.Sprintf("k-%d", (g*7+i*13)%256)
+				switch i % 3 {
+				case 0:
+					c.Put(key, []byte(key), int64(64+i%512), 1+i%3)
+				case 1:
+					if v, ok := c.Get(key); ok {
+						if _, isBytes := v.([]byte); !isBytes {
+							panic("wrong value type")
+						}
+					}
+				case 2:
+					c.Delete(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if msg := c.checkInvariants(); msg != "" {
+		t.Fatalf("invariant violated after stress: %s", msg)
+	}
+	st := c.Stats()
+	if st.Bytes > c.MaxBytes() {
+		t.Fatalf("over budget after stress: %d > %d", st.Bytes, c.MaxBytes())
+	}
+}
+
+func TestStressEvictionChurn(t *testing.T) {
+	// Budget far below the working set so every Put evicts; checks the
+	// eviction path under contention and that the budget holds.
+	c := New(Config{MaxBytes: 4 << 10, Shards: 4, Registry: obs.New()})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				key := fmt.Sprintf("churn-%d-%d", g, i)
+				c.Put(key, i, 256, i%4)
+				c.Get(key)
+				c.Get(fmt.Sprintf("churn-%d-%d", (g+1)%8, i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if msg := c.checkInvariants(); msg != "" {
+		t.Fatalf("invariant violated: %s", msg)
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatal("expected evictions under churn")
+	}
+}
+
+func TestStressSameKeyAllGoroutines(t *testing.T) {
+	// Maximum contention: every goroutine re-puts, promotes, and
+	// deletes the same key.
+	c := New(Config{MaxBytes: 1 << 20, Shards: 1, Registry: obs.New()})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					c.Put("hot", []byte{byte(i)}, int64(1+i%128), 1)
+				case 1, 2:
+					c.Get("hot")
+				case 3:
+					c.Delete("hot")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if msg := c.checkInvariants(); msg != "" {
+		t.Fatalf("invariant violated: %s", msg)
+	}
+}
+
+func TestStressStatsWhileMutating(t *testing.T) {
+	c := New(Config{MaxBytes: 32 << 10, Shards: 4, Registry: obs.New()})
+	done := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = c.Stats()
+				_ = c.Bytes()
+				_ = c.Len()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				c.Put(fmt.Sprintf("s-%d", i%128), i, 128, i%3)
+				c.Get(fmt.Sprintf("s-%d", (i+g)%128))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(done)
+	<-readerDone
+	if msg := c.checkInvariants(); msg != "" {
+		t.Fatalf("invariant violated: %s", msg)
+	}
+}

@@ -191,6 +191,14 @@ type Store struct {
 	// zero: the Put may have skipped writing it because it existed and
 	// is about to take a reference.
 	pending map[string]int
+	// pinned counts in-flight reads per chunk hash (see Pin). Pinned
+	// chunks are shielded from eager deletion exactly like pending
+	// ones; unlike pending, pins are taken by readers.
+	pinned map[string]int
+
+	// cache is the optional serving-tier object cache (see cache.go);
+	// nil until a consumer calls EnableCache.
+	cache cachePointer
 
 	// Cumulative logical/physical byte counters feeding the dedup
 	// ratio gauge.
@@ -206,7 +214,7 @@ func For(b *blobstore.Store) *Store {
 	if s, ok := stores.Load(b); ok {
 		return s.(*Store)
 	}
-	s, _ := stores.LoadOrStore(b, &Store{blobs: b, pending: map[string]int{}})
+	s, _ := stores.LoadOrStore(b, &Store{blobs: b, pending: map[string]int{}, pinned: map[string]int{}})
 	return s.(*Store)
 }
 
@@ -315,6 +323,7 @@ func (s *Store) PutEncoded(key string, data []byte, chunkSize int, hints Hints, 
 	undo := func(recipeWritten bool, committed map[string]int) {
 		if recipeWritten {
 			_ = s.blobs.Delete(RecipeKey(key))
+			s.invalidateRecipe(key)
 		}
 		s.refMu.Lock()
 		defer s.refMu.Unlock()
@@ -327,9 +336,10 @@ func (s *Store) PutEncoded(key string, data []byte, chunkSize int, hints Hints, 
 		}
 		for _, h := range newChunks {
 			n, err := s.readRef(h)
-			if err == nil && n == 0 && s.pending[h] == 1 {
+			if err == nil && n == 0 && s.pending[h] == 1 && s.pinned[h] == 0 {
 				_ = s.blobs.Delete(ChunkKey(h))
 				_ = s.blobs.Delete(RefKey(h))
+				s.invalidateChunk(h)
 			}
 		}
 	}
@@ -422,6 +432,9 @@ func (s *Store) PutEncoded(key string, data []byte, chunkSize int, hints Hints, 
 		undo(true, nil)
 		return PutResult{}, fmt.Errorf("cas: writing recipe for %q: %w", key, err)
 	}
+	// An overwrite replaced the recipe: drop any cached parse of the
+	// old one.
+	s.invalidateRecipe(key)
 	res.PhysicalBytes += int64(len(recipeBytes))
 	res.WriteOps++
 
@@ -578,12 +591,17 @@ func (s *Store) VerifyChunk(hash string, logicalSize int64) error {
 // Get reassembles the logical blob stored under key. Chunk fetch and
 // decode fan out across one worker per CPU into disjoint slots of the
 // preallocated result, so decompression of large blobs scales with
-// cores while remaining byte-identical to a serial read.
+// cores while remaining byte-identical to a serial read. The chunks
+// being read are pinned for the duration, so a concurrent prune or GC
+// of the last other reference cannot delete them mid-read.
 func (s *Store) Get(key string) ([]byte, error) {
-	r, _, err := s.readRecipe(key)
+	r, err := s.readRecipeCached(key)
 	if err != nil {
 		return nil, err
 	}
+	pins := distinctHashes(r.Chunks)
+	s.Pin(pins...)
+	defer s.Unpin(pins...)
 	out := make([]byte, r.Size)
 	offs := make([]int64, len(r.Chunks))
 	var pos int64
@@ -593,7 +611,7 @@ func (s *Store) Get(key string) ([]byte, error) {
 	}
 	err = pool.Run(context.Background(), pool.DefaultWorkers(), len(r.Chunks), func(i int) error {
 		c := r.Chunks[i]
-		data, err := s.getChunk(c.Hash, c.Size)
+		data, err := s.getChunkCached(c.Hash, c.Size)
 		if err != nil {
 			return err
 		}
@@ -606,16 +624,40 @@ func (s *Store) Get(key string) ([]byte, error) {
 	return out, nil
 }
 
+// distinctHashes returns each chunk hash once, in first-seen order.
+func distinctHashes(chunks []RecipeChunk) []string {
+	out := make([]string, 0, len(chunks))
+	seen := make(map[string]struct{}, len(chunks))
+	for _, c := range chunks {
+		if _, ok := seen[c.Hash]; !ok {
+			seen[c.Hash] = struct{}{}
+			out = append(out, c.Hash)
+		}
+	}
+	return out
+}
+
 // GetRange reads length bytes at offset off from the logical blob,
 // fetching only the chunks the range overlaps.
 func (s *Store) GetRange(key string, off, length int64) ([]byte, error) {
-	r, _, err := s.readRecipe(key)
+	r, err := s.readRecipeCached(key)
 	if err != nil {
 		return nil, err
 	}
 	if off < 0 || length < 0 || off+length > r.Size {
 		return nil, &backend.RangeError{Key: key, Off: off, Length: length, Size: r.Size}
 	}
+	var overlap []string
+	var scan int64
+	for _, c := range r.Chunks {
+		lo, hi := scan, scan+c.Size
+		scan = hi
+		if hi > off && lo < off+length {
+			overlap = append(overlap, c.Hash)
+		}
+	}
+	s.Pin(overlap...)
+	defer s.Unpin(overlap...)
 	out := make([]byte, 0, length)
 	var pos int64
 	for _, c := range r.Chunks {
@@ -627,7 +669,7 @@ func (s *Store) GetRange(key string, off, length int64) ([]byte, error) {
 		if lo >= off+length {
 			break
 		}
-		data, err := s.getChunk(c.Hash, c.Size)
+		data, err := s.getChunkCached(c.Hash, c.Size)
 		if err != nil {
 			return nil, err
 		}
@@ -665,6 +707,7 @@ func (s *Store) Release(key string, reg *obs.Registry) (freed int64, err error) 
 	if err := s.blobs.Delete(RecipeKey(key)); err != nil {
 		return 0, fmt.Errorf("cas: deleting recipe for %q: %w", key, err)
 	}
+	s.invalidateRecipe(key)
 	freed = int64(len(raw))
 
 	distinct := make([]string, 0, len(r.Chunks))
@@ -693,7 +736,7 @@ func (s *Store) Release(key string, reg *obs.Registry) (freed int64, err error) 
 		if err := s.blobs.Delete(RefKey(h)); err != nil {
 			return freed, fmt.Errorf("cas: deleting ref of %s: %w", h, err)
 		}
-		if s.pending[h] > 0 {
+		if s.pending[h] > 0 || s.pinned[h] > 0 {
 			continue
 		}
 		// Report the stored (possibly compressed) size, not the logical
@@ -705,6 +748,7 @@ func (s *Store) Release(key string, reg *obs.Registry) (freed int64, err error) 
 		if err := s.blobs.Delete(ChunkKey(h)); err != nil {
 			return freed, fmt.Errorf("cas: deleting chunk %s: %w", h, err)
 		}
+		s.invalidateChunk(h)
 		freed += size
 	}
 	return freed, nil
@@ -753,7 +797,7 @@ func (s *Store) GC(reg *obs.Registry) (GCReport, error) {
 	var report GCReport
 	deleted := map[string]bool{}
 	for h := range chunks {
-		if referenced[h] || s.pending[h] > 0 {
+		if referenced[h] || s.pending[h] > 0 || s.pinned[h] > 0 {
 			report.ChunksKept++
 			continue
 		}
@@ -772,6 +816,7 @@ func (s *Store) GC(reg *obs.Registry) (GCReport, error) {
 		if err := s.blobs.Delete(RefKey(h)); err != nil {
 			return report, err
 		}
+		s.invalidateChunk(h)
 		deleted[h] = true
 		report.ChunksDeleted++
 		report.BytesFreed += size

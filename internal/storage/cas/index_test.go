@@ -1,0 +1,187 @@
+package cas
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func testIndex(nchunks int) Index {
+	ix := Index{Stride: 4096, Chunks: make([]IndexChunk, nchunks)}
+	for i := range ix.Chunks {
+		size := int64(1000 + i*17)
+		ix.Chunks[i] = IndexChunk{Hash: hashChunk([]byte{byte(i), byte(i >> 8)}), Size: size}
+		ix.Size += size
+	}
+	return ix
+}
+
+func TestIndexEncodeDecodeRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 100} {
+		ix := testIndex(n)
+		got, err := DecodeIndex(ix.Encode())
+		if err != nil {
+			t.Fatalf("n=%d: DecodeIndex: %v", n, err)
+		}
+		if got.Stride != ix.Stride || got.Size != ix.Size || len(got.Chunks) != len(ix.Chunks) {
+			t.Fatalf("n=%d: got %+v, want %+v", n, got, ix)
+		}
+		for i := range got.Chunks {
+			if got.Chunks[i] != ix.Chunks[i] {
+				t.Fatalf("n=%d chunk %d: got %+v, want %+v", n, i, got.Chunks[i], ix.Chunks[i])
+			}
+		}
+	}
+}
+
+func TestBuildIndexMatchesRecipe(t *testing.T) {
+	s, _ := newTestStore(t)
+	data := bytes.Repeat([]byte{7, 8, 9}, 5000)
+	if _, err := s.Put("k", data, 1024, Hints{}, reg(t)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	r, err := s.Recipe("k")
+	if err != nil {
+		t.Fatalf("Recipe: %v", err)
+	}
+	ix := BuildIndex(512, r)
+	if ix.Size != r.Size || len(ix.Chunks) != len(r.Chunks) || ix.Stride != 512 {
+		t.Fatalf("index %+v does not mirror recipe %+v", ix, r)
+	}
+	for i, c := range r.Chunks {
+		if ix.Chunks[i].Hash != c.Hash || ix.Chunks[i].Size != c.Size {
+			t.Fatalf("chunk %d diverged", i)
+		}
+	}
+}
+
+func TestDecodeIndexCorruption(t *testing.T) {
+	valid := testIndex(3).Encode()
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"empty", nil},
+		{"short header", []byte("MMC")},
+		{"bad magic", append([]byte("XXCI"), valid[4:]...)},
+		{"bad version", append([]byte("MMCI\x02"), valid[5:]...)},
+		{"truncated after header", valid[:6]},
+		{"truncated mid chunk", valid[:len(valid)-5]},
+		{"trailing bytes", append(append([]byte{}, valid...), 0)},
+		{"flipped size byte", flipByte(valid, 6)},
+		{"garbage", []byte("MMCI\x01 this is not an index at all")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeIndex(tc.raw)
+			if err == nil {
+				t.Fatal("corrupt index decoded without error")
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error %v does not wrap ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+func flipByte(raw []byte, i int) []byte {
+	out := append([]byte{}, raw...)
+	out[i] ^= 0xff
+	return out
+}
+
+func TestDecodeIndexHugeChunkCountDoesNotAllocate(t *testing.T) {
+	// A forged header claiming 2^40 chunks must be rejected up front,
+	// not trusted as an allocation size.
+	raw := []byte("MMCI\x01")
+	raw = binary.AppendUvarint(raw, 0)       // stride
+	raw = binary.AppendUvarint(raw, 1<<40)   // size
+	raw = binary.AppendUvarint(raw, 1<<40)   // nchunks
+	raw = append(raw, make([]byte, 1024)...) // far too little payload
+	_, err := DecodeIndex(raw)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "exceeds payload") {
+		t.Fatalf("unexpected rejection reason: %v", err)
+	}
+}
+
+func TestIndexLocate(t *testing.T) {
+	// Three chunks of 100/200/300 bytes: blob offsets [0,100), [100,300), [300,600).
+	ix := Index{Size: 600, Chunks: []IndexChunk{
+		{Hash: strings.Repeat("aa", 32), Size: 100},
+		{Hash: strings.Repeat("bb", 32), Size: 200},
+		{Hash: strings.Repeat("cc", 32), Size: 300},
+	}}
+	cases := []struct {
+		off, length int64
+		want        []IndexSpan
+	}{
+		{0, 600, []IndexSpan{
+			{ix.Chunks[0].Hash, 100, 0, 100},
+			{ix.Chunks[1].Hash, 200, 0, 200},
+			{ix.Chunks[2].Hash, 300, 0, 300},
+		}},
+		{0, 50, []IndexSpan{{ix.Chunks[0].Hash, 100, 0, 50}}},
+		{150, 100, []IndexSpan{{ix.Chunks[1].Hash, 200, 50, 150}}},
+		{99, 2, []IndexSpan{
+			{ix.Chunks[0].Hash, 100, 99, 100},
+			{ix.Chunks[1].Hash, 200, 0, 1},
+		}},
+		{300, 300, []IndexSpan{{ix.Chunks[2].Hash, 300, 0, 300}}},
+		{600, 0, nil},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("off=%d,len=%d", tc.off, tc.length), func(t *testing.T) {
+			got, err := ix.Locate(tc.off, tc.length)
+			if err != nil {
+				t.Fatalf("Locate: %v", err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+	if _, err := ix.Locate(0, 601); err == nil {
+		t.Fatal("out-of-range Locate succeeded")
+	}
+	if _, err := ix.Locate(-1, 10); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+// FuzzIndexDecode asserts the index decoder is total: arbitrary bytes
+// either decode to a valid index that re-encodes losslessly, or fail
+// with an error wrapping ErrCorrupt — never a panic, never a silent
+// partial parse.
+func FuzzIndexDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("MMCI\x01"))
+	f.Add(testIndex(0).Encode())
+	f.Add(testIndex(1).Encode())
+	f.Add(testIndex(7).Encode())
+	f.Add(testIndex(7).Encode()[:20])
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ix, err := DecodeIndex(raw)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		// Valid parses must round-trip semantically (byte equality
+		// would be too strong: the varint decoder tolerates
+		// non-minimal encodings the encoder never emits).
+		again, err := DecodeIndex(ix.Encode())
+		if err != nil {
+			t.Fatalf("re-encoding a valid index broke it: %v", err)
+		}
+		if fmt.Sprint(again) != fmt.Sprint(ix) {
+			t.Fatalf("decode/encode not lossless: %+v vs %+v", ix, again)
+		}
+	})
+}

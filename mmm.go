@@ -217,6 +217,16 @@ var WithDedup = core.WithDedup
 // Built-in IDs: CodecNone, CodecZlib, CodecTLZ.
 var WithCodec = core.WithCodec
 
+// WithChunkCache attaches an in-memory serving-tier cache of at most
+// the given bytes to the approach's blob store: decoded chunk bodies
+// (admission weighted by how many sets share each chunk), parsed CAS
+// recipes, and per-set chunk indexes. Repeated recoveries of warm sets
+// then skip store round trips and codec decode work entirely. The
+// cache lives on the store — approaches sharing a store share it, the
+// largest requested budget wins — and recovered bytes are identical
+// with or without it.
+var WithChunkCache = core.WithChunkCache
+
 // Codec is a pluggable compression codec; implement it and register
 // with RegisterCodec to store blobs in a custom encoding.
 type Codec = codec.Codec
