@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-stress fsck-smoke metrics-smoke chaos-smoke dedup-smoke codec-smoke fuzz check bench
+.PHONY: build test vet race race-stress fsck-smoke metrics-smoke chaos-smoke dedup-smoke codec-smoke pull-smoke fuzz check bench
 
 build:
 	$(GO) build ./...
@@ -107,6 +107,32 @@ codec-smoke:
 	done; \
 	echo "codec-smoke OK: all codecs save, recover, and fsck clean"
 
+# Pull-protocol smoke test: the pull/chunk-endpoint/resume suite under
+# the race detector, then the real path end to end — a race-built
+# mmserve with a fault-injecting listener, a dedup set saved over HTTP
+# through the CLI, and two chunk-wise recoveries against an on-disk
+# pull cache (cold fill, then warm re-pull) through the chaotic
+# listener.
+pull-smoke:
+	$(GO) test -race -count=1 -run 'TestPull|TestChunk|TestDecodePullManifest|TestClientClosesBodies' ./internal/server
+	@set -eu; \
+	tmp=$$(mktemp -d); \
+	srv=; \
+	trap 'test -z "$$srv" || kill "$$srv" 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -race -o "$$tmp/mmserve" ./cmd/mmserve; \
+	"$$tmp/mmserve" -dir "$$tmp/store" -dedup -addr 127.0.0.1:18473 \
+		-chaos-seed 7 -chaos-max-faults 6 >/dev/null 2>&1 & srv=$$!; \
+	$(GO) run -race ./cmd/mmstore init -server http://127.0.0.1:18473 \
+		-approach baseline -n 6 >/dev/null; \
+	$(GO) run -race ./cmd/mmstore recover -server http://127.0.0.1:18473 \
+		-approach baseline -set bl-000001 -pull-cache "$$tmp/cache" >/dev/null; \
+	chunks=$$(find "$$tmp/cache/cas/chunks" -type f | wc -l); \
+	test "$$chunks" -ge 1 || { \
+		echo "pull-smoke FAILED: cold pull left no chunks in the cache"; exit 1; }; \
+	$(GO) run -race ./cmd/mmstore recover -server http://127.0.0.1:18473 \
+		-approach baseline -set bl-000001 -pull-cache "$$tmp/cache" >/dev/null; \
+	echo "pull-smoke OK: chunk-wise recovery through a chaotic listener, $$chunks chunks cached"
+
 # Short-budget fuzzing of the property suites: checksummed blob round
 # trips, the sim-vs-dir backend oracle, and chunker reassembly. The
 # committed seed corpora under testdata/fuzz/ always run; the small
@@ -118,12 +144,13 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzIndexDecode -fuzztime=10s ./internal/storage/cas
 	$(GO) test -run=NONE -fuzz=FuzzShuffle -fuzztime=10s ./internal/codec
 	$(GO) test -run=NONE -fuzz=FuzzTLZRoundTrip -fuzztime=10s ./internal/codec
+	$(GO) test -run=NONE -fuzz=FuzzPullManifestDecode -fuzztime=10s ./internal/server
 
 # The full gate: compile everything, vet, run the suite twice —
 # once plain, once under the race detector — then the durability,
 # observability, resilience, dedup, and codec smoke tests and the
 # short fuzz pass.
-check: build vet test race race-stress fsck-smoke metrics-smoke chaos-smoke dedup-smoke codec-smoke fuzz
+check: build vet test race race-stress fsck-smoke metrics-smoke chaos-smoke dedup-smoke codec-smoke pull-smoke fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem

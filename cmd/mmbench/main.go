@@ -18,6 +18,7 @@
 //	mmbench -exp ttr-extrapolate    # §4.4 realistic-training intuition
 //	mmbench -exp accident           # selective post-accident recovery
 //	mmbench -exp serve              # hot-path serving: cold vs warm chunk cache (writes BENCH_serve.json)
+//	mmbench -exp pull               # registry pull protocol: concurrent clients, warm caches, chaos (writes BENCH_pull.json)
 //	mmbench -exp quality            # stale-vs-retrained model loss per cycle
 //	mmbench -exp ablate-snapshot    # Update snapshot-interval ablation
 //	mmbench -exp ablate-variants    # Update hash-granularity/compression
@@ -66,6 +67,9 @@ func main() {
 			"where -exp serve writes its JSON result (empty = table only)")
 		cacheBytes = flag.Int64("cache-bytes", 256<<20,
 			"serving-tier chunk cache budget for -exp serve, in bytes")
+		pullClients = flag.Int("pull-clients", 200, "concurrent clients for -exp pull")
+		pullOut     = flag.String("pull-out", "BENCH_pull.json",
+			"where -exp pull writes its JSON result (empty = table only)")
 		csv     = flag.Bool("csv", false, "emit series as CSV instead of tables")
 		metrics = flag.Bool("metrics", false, "print a metrics snapshot after each experiment (suppressed under -csv)")
 	)
@@ -214,6 +218,19 @@ func main() {
 				fmt.Printf("wrote %s\n", *serveOut)
 			}
 			return nil
+		case "pull":
+			p, err := experiments.RunPull(opts, *pullClients)
+			if err != nil {
+				return err
+			}
+			fmt.Print(p.Table())
+			if *pullOut != "" {
+				if err := writeJSONAtomic(*pullOut, p); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *pullOut)
+			}
+			return nil
 		case "ablate-snapshot":
 			o := opts
 			if o.Cycles < 4 {
@@ -268,7 +285,7 @@ func main() {
 			"storage", "storage-rates", "storage-size", "storage-cifar",
 			"storage-overhead", "storage-dedup", "compression",
 			"tts", "ttr", "ttr-extrapolate",
-			"accident", "serve", "quality",
+			"accident", "serve", "pull", "quality",
 			"ablate-snapshot", "ablate-variants", "ablate-blob-layout", "advisor",
 		}
 	}

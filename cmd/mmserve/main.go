@@ -18,6 +18,8 @@
 //	GET  /api/{approach}/sets/{id}/params        full recovery
 //	GET  /api/{approach}/sets/{id}/params?indices=1,5   selective recovery
 //	GET  /api/{approach}/sets/{id}/params?partial=1     degraded recovery
+//	GET  /api/cas/recipe/{approach}/{id}         pull protocol: chunk digest list
+//	GET  /api/cas/chunk/{hash}?s={size}          pull protocol: one chunk (Range/If-Range resumable)
 //	POST /api/{approach}/verify
 //	POST /api/{approach}/prune                   {"keep": ["..."]}
 //	POST /api/datasets                           register a dataset spec

@@ -102,6 +102,7 @@ func run(ctx context.Context, args []string) error {
 	serverURL := fs.String("server", "", "manage a remote mmserve at this URL instead of a local store directory")
 	waitReady := fs.Duration("wait-ready", 10*time.Second, "with -server: how long to wait for the server's /readyz before the first request")
 	partial := fs.Bool("partial", false, "with -server: recover in degraded mode, skipping damaged models and reporting them")
+	pullCache := fs.String("pull-cache", "", "with -server: directory for the local chunk cache; recoveries diff against it and fetch only missing chunks")
 	if len(args) == 0 {
 		fs.Usage()
 		return fmt.Errorf("missing command: init, cycle, recover, list, inspect, verify, fsck, du, gc, or prune")
@@ -115,7 +116,7 @@ func run(ctx context.Context, args []string) error {
 			server: *serverURL, approach: *approach, setID: *setID,
 			verify: *verify, keep: *keep, out: *out, archName: *archName,
 			n: *n, seed: *seed, modelIdx: *modelIdx, repair: *repair,
-			partial: *partial, waitReady: *waitReady,
+			partial: *partial, waitReady: *waitReady, pullCache: *pullCache,
 		})
 	}
 	if *verbose {

@@ -31,11 +31,22 @@ type remoteSession struct {
 	approach string
 }
 
-// newRemoteSession builds the client and waits for readiness.
-func newRemoteSession(ctx context.Context, baseURL, approach string, waitReady time.Duration) (*remoteSession, error) {
+// newRemoteSession builds the client and waits for readiness. With a
+// pull-cache directory, recoveries go over the chunk-level pull
+// protocol against the local cache; without one, every chunk of a
+// pull-capable set is still fetched chunk-wise, and sets or servers
+// that cannot serve chunks fall back to the multipart download.
+func newRemoteSession(ctx context.Context, baseURL, approach, pullCache string, waitReady time.Duration) (*remoteSession, error) {
 	c := &server.Client{
 		BaseURL: strings.TrimRight(baseURL, "/"),
 		Breaker: &server.Breaker{},
+	}
+	if pullCache != "" {
+		cache, err := server.OpenPullCache(pullCache)
+		if err != nil {
+			return nil, err
+		}
+		c.Cache = cache
 	}
 	if err := c.WaitReady(ctx, waitReady); err != nil {
 		return nil, err
@@ -59,7 +70,7 @@ func runRemote(ctx context.Context, cmd string, f remoteFlags) error {
 	case "cycle", "export", "import", "gc":
 		return fmt.Errorf("%s needs direct store access; run it on the server host without -server", cmd)
 	}
-	s, err := newRemoteSession(ctx, f.server, f.approach, f.waitReady)
+	s, err := newRemoteSession(ctx, f.server, f.approach, f.pullCache, f.waitReady)
 	if err != nil {
 		return err
 	}
@@ -260,4 +271,5 @@ type remoteFlags struct {
 	repair    bool
 	partial   bool
 	waitReady time.Duration
+	pullCache string
 }

@@ -35,4 +35,10 @@ var (
 	// ErrCorruptBlob covers. It aliases the blob store's sentinel so
 	// callers can match either layer's errors with errors.Is.
 	ErrChecksumMismatch = blobstore.ErrChecksumMismatch
+
+	// ErrPullUnavailable reports that a set cannot be served over the
+	// chunk-level pull protocol — it has no single content-addressed
+	// parameter blob (derived sets, per-model layouts, or sets saved
+	// without dedup). Callers fall back to whole-blob recovery.
+	ErrPullUnavailable = errors.New("core: pull transfer unavailable for set")
 )

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/mmm-go/mmm/internal/nn"
+)
+
+// PullSource describes where a set's parameters live for chunk-level
+// transfer: the architecture to rebuild models with and the blob key of
+// the single concatenated parameter file whose CAS recipe the pull
+// protocol exposes. Only full snapshots with one params blob qualify —
+// derived sets (Update/Provenance deltas) and per-model layouts
+// (MMlibBase) recover through chains the client cannot chunk-diff, and
+// report ErrPullUnavailable instead so callers fall back to whole-blob
+// recovery.
+type PullSource struct {
+	Arch      *nn.Architecture
+	NumModels int
+	// ParamsKey is the logical blob key of the concatenated parameter
+	// file. Whether a CAS recipe exists under it (the set was saved
+	// with dedup) is for the caller to probe: the source only proves
+	// the layout is pullable.
+	ParamsKey string
+	// Codec is the codec ID recorded in the set's metadata.
+	Codec string
+}
+
+// PullSourcer is implemented by approaches whose full snapshots can be
+// served over the chunk-level pull protocol.
+type PullSourcer interface {
+	// PullSource resolves setID to its parameter-blob source, or an
+	// error wrapping ErrPullUnavailable when the set exists but has no
+	// single params blob (derived or per-model layout).
+	PullSource(setID string) (PullSource, error)
+}
+
+// fullPullSource resolves a full-snapshot set saved by fullSave: meta
+// plus the architecture blob under the approach's namespace.
+func fullPullSource(st Stores, collection, blobPrefix, setID string) (PullSource, error) {
+	meta, err := loadMeta(st, collection, setID)
+	if err != nil {
+		return PullSource{}, err
+	}
+	if meta.Kind != "full" {
+		return PullSource{}, fmt.Errorf("core: set %q is %s, not a full snapshot: %w",
+			setID, meta.Kind, ErrPullUnavailable)
+	}
+	arch, err := loadArchBlob(st, blobPrefix+"/"+setID+"/arch.json")
+	if err != nil {
+		return PullSource{}, err
+	}
+	return PullSource{
+		Arch:      arch,
+		NumModels: meta.NumModels,
+		ParamsKey: blobPrefix + "/" + setID + "/params.bin",
+		Codec:     meta.Codec,
+	}, nil
+}
+
+// PullSource implements PullSourcer: every Baseline set is a full
+// snapshot.
+func (b *Baseline) PullSource(setID string) (PullSource, error) {
+	return fullPullSource(b.stores, baselineCollection, baselineBlobPrefix, setID)
+}
+
+// PullSource implements PullSourcer for Update's initial (full) sets;
+// derived diff chains report ErrPullUnavailable.
+func (u *Update) PullSource(setID string) (PullSource, error) {
+	return fullPullSource(u.stores, updateCollection, updateBlobPrefix, setID)
+}
+
+// PullSource implements PullSourcer for Provenance's initial (full)
+// sets; derived chains report ErrPullUnavailable.
+func (p *Provenance) PullSource(setID string) (PullSource, error) {
+	return fullPullSource(p.stores, provenanceCollection, provenanceBlobPrefix, setID)
+}
+
+// PullSource implements PullSourcer. MMlibBase stores one file per
+// model, never a single concatenated params blob, so no set it saves is
+// pullable — but a known set must still be distinguishable from a
+// missing one.
+func (m *MMlibBase) PullSource(setID string) (PullSource, error) {
+	if _, err := loadMeta(m.stores, mmlibSetCollection, setID); err != nil {
+		return PullSource{}, err
+	}
+	return PullSource{}, fmt.Errorf("core: set %q is stored per-model: %w", setID, ErrPullUnavailable)
+}

@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/mmm-go/mmm/internal/core"
+	"github.com/mmm-go/mmm/internal/netchaos"
+	"github.com/mmm-go/mmm/internal/nn"
+	"github.com/mmm-go/mmm/internal/obs"
+	"github.com/mmm-go/mmm/internal/server"
+	"github.com/mmm-go/mmm/internal/storage/backend"
+	"github.com/mmm-go/mmm/internal/storage/blobstore"
+	"github.com/mmm-go/mmm/internal/storage/latency"
+)
+
+// Pull reports the registry-style pull scenario: a fleet of concurrent
+// clients recovering a model set from one manager over HTTP via the
+// chunk-level pull protocol, then re-pulling a lightly mutated version
+// of the same set against their warm local caches, then pulling cold
+// through an adversarial network that resets, truncates, and 503s
+// mid-transfer.
+type Pull struct {
+	Models       int     `json:"models"`
+	PerModelKB   float64 `json:"per_model_kb"`
+	FullSetKB    float64 `json:"full_set_kb"`
+	MutatedPct   float64 `json:"mutated_pct"`
+	Clients      int     `json:"clients"`
+	ChaosClients int     `json:"chaos_clients"`
+
+	// Cold: every client pulls v1 with an empty cache.
+	ColdKBPerClient float64 `json:"cold_kb_per_client"`
+	ColdChunks      int64   `json:"cold_chunks_fetched"`
+	ColdP50MS       float64 `json:"cold_p50_ms"`
+	ColdP99MS       float64 `json:"cold_p99_ms"`
+
+	// Warm: the same clients re-pull the mutated v2; only changed
+	// chunks (plus the recipe) cross the wire.
+	WarmKBPerClient float64 `json:"warm_kb_per_client"`
+	WarmChunks      int64   `json:"warm_chunks_fetched"`
+	WarmCacheHits   int64   `json:"warm_cache_hits"`
+	WarmP50MS       float64 `json:"warm_p50_ms"`
+	WarmP99MS       float64 `json:"warm_p99_ms"`
+	// WarmRatio is warm bytes over full-set bytes — the acceptance bar
+	// is < 0.10 for a ~5% mutation.
+	WarmRatio float64 `json:"warm_ratio"`
+
+	// Chaos: fresh clients pull v2 cold through a fault-injecting
+	// transport. Every recovery still verifies byte-identical.
+	ChaosFaults  int64 `json:"chaos_faults_injected"`
+	ChaosResumes int64 `json:"chaos_resumes"`
+	ChaosRetries int64 `json:"chaos_retries"`
+
+	// Fallbacks counts clients that gave up on the pull protocol and
+	// used the multipart path; the scenario expects zero.
+	Fallbacks int64 `json:"fallbacks"`
+}
+
+// pullFleetModels caps the set size for the pull scenario: every one
+// of the (hundreds of) clients transfers the whole set in the cold
+// phase, so the per-client payload — not the fleet size — is what the
+// scenario scales with.
+const pullFleetModels = 64
+
+// RunPull saves a deduplicated set behind a real HTTP server, mutates
+// ~5% of its models into a second version, and drives three client
+// waves against it: cold pulls of v1, warm re-pulls of v2 over the
+// caches the cold wave filled, and cold chaos pulls of v2 through
+// netchaos. Recovered sets are verified equal to the saved truth in
+// every phase.
+func RunPull(o Options, clients int) (*Pull, error) {
+	ctx := context.Background()
+	if clients <= 0 {
+		clients = 200
+	}
+	archName := o.ArchName
+	if archName == "" {
+		archName = "FFNN-48"
+	}
+	arch, err := nn.ByName(archName)
+	if err != nil {
+		return nil, err
+	}
+	models := o.NumModels
+	if models <= 0 || models > pullFleetModels {
+		models = pullFleetModels
+	}
+
+	stores := core.NewMemStores()
+	workers := o.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	api := server.NewWithMetrics(stores, obs.New(), core.WithDedup(), core.WithConcurrency(workers))
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+
+	seed := o.Seed
+	if seed == 0 {
+		seed = 2023
+	}
+	v1, err := core.NewModelSet(arch, models, seed)
+	if err != nil {
+		return nil, err
+	}
+	admin := &server.Client{BaseURL: ts.URL, Reg: obs.New()}
+	res1, err := admin.Save(ctx, "baseline", v1, "", nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("saving v1: %w", err)
+	}
+
+	// v2: the same fleet with ~5% of the models perturbed — the shape
+	// of a partial-update cycle between two pulls.
+	v2 := v1.Clone()
+	changed := models * 5 / 100
+	if changed < 1 {
+		changed = 1
+	}
+	for i := 0; i < changed; i++ {
+		idx := (i * models) / changed
+		m := v2.Models[idx]
+		raw := m.AppendParamBytes(nil)
+		for j := range raw {
+			raw[j] ^= 0x5a
+		}
+		if _, err := m.SetParamBytes(raw); err != nil {
+			return nil, err
+		}
+	}
+	res2, err := admin.Save(ctx, "baseline", v2, "", nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("saving v2: %w", err)
+	}
+
+	newCache := func() *server.PullCache {
+		return server.NewPullCache(blobstore.New(backend.NewMem(), latency.CostModel{}, nil))
+	}
+	// One pooled transport for the whole fleet: with the default two
+	// idle connections per host, hundreds of concurrent clients spend
+	// the experiment churning through ephemeral ports instead of
+	// pulling chunks.
+	base := &http.Transport{MaxIdleConns: 1024, MaxIdleConnsPerHost: 1024}
+	defer base.CloseIdleConnections()
+	httpc := &http.Client{Transport: base}
+	fleet := make([]*server.Client, clients)
+	for i := range fleet {
+		fleet[i] = &server.Client{
+			BaseURL:     ts.URL,
+			HTTP:        httpc,
+			Reg:         obs.New(),
+			Cache:       newCache(),
+			PullWorkers: 2,
+		}
+	}
+
+	// pullWave recovers setID on every client concurrently, verifies
+	// the result against truth, and returns per-request durations.
+	pullWave := func(cs []*server.Client, setID string, truth *core.ModelSet, phase string) ([]time.Duration, error) {
+		ds := make([]time.Duration, len(cs))
+		errs := make([]error, len(cs))
+		var wg sync.WaitGroup
+		for i, c := range cs {
+			wg.Add(1)
+			go func(i int, c *server.Client) {
+				defer wg.Done()
+				start := time.Now()
+				got, err := c.Recover(ctx, "baseline", setID)
+				ds[i] = time.Since(start)
+				if err != nil {
+					errs[i] = fmt.Errorf("%s client %d: %w", phase, i, err)
+					return
+				}
+				if !got.Equal(truth) {
+					errs[i] = fmt.Errorf("%s client %d: recovered set differs from truth", phase, i)
+				}
+			}(i, c)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return ds, nil
+	}
+	sum := func(cs []*server.Client, metric string) int64 {
+		var total int64
+		for _, c := range cs {
+			total += c.Reg.Counter(metric).Value()
+		}
+		return total
+	}
+
+	cold, err := pullWave(fleet, res1.SetID, v1, "cold")
+	if err != nil {
+		return nil, err
+	}
+	coldBytes := sum(fleet, server.MetricPullBytes)
+	coldChunks := sum(fleet, server.MetricPullChunksFetched)
+
+	warm, err := pullWave(fleet, res2.SetID, v2, "warm")
+	if err != nil {
+		return nil, err
+	}
+	warmBytes := sum(fleet, server.MetricPullBytes) - coldBytes
+	warmChunks := sum(fleet, server.MetricPullChunksFetched) - coldChunks
+	warmHits := sum(fleet, server.MetricPullCacheHits)
+
+	// Chaos wave: fresh cold clients behind a fault-injecting
+	// transport. MaxFaults is bounded below the retry budget so every
+	// client converges; the interesting output is that they converge
+	// to byte-identical sets, resuming mid-chunk where truncated.
+	chaosN := clients / 8
+	if chaosN < 8 {
+		chaosN = 8
+	}
+	if chaosN > clients {
+		chaosN = clients
+	}
+	chaosFleet := make([]*server.Client, chaosN)
+	chaosTransports := make([]*netchaos.Transport, chaosN)
+	for i := range chaosFleet {
+		tr := netchaos.NewTransport(base, netchaos.Config{
+			Seed:       seed + uint64(i)*7919,
+			Reset:      0.05,
+			ServerBusy: 0.08,
+			Truncate:   0.08,
+			MaxFaults:  5,
+		})
+		chaosTransports[i] = tr
+		chaosFleet[i] = &server.Client{
+			BaseURL:     ts.URL,
+			HTTP:        &http.Client{Transport: tr},
+			Reg:         obs.New(),
+			Cache:       newCache(),
+			PullWorkers: 2,
+			Retry:       &server.RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond, Seed: seed + uint64(i)},
+		}
+	}
+	if _, err := pullWave(chaosFleet, res2.SetID, v2, "chaos"); err != nil {
+		return nil, err
+	}
+	var chaosFaults int64
+	for _, tr := range chaosTransports {
+		chaosFaults += int64(tr.Injected())
+	}
+
+	per := float64(arch.ParamBytes())
+	full := per * float64(models)
+	out := &Pull{
+		Models:          models,
+		PerModelKB:      per / 1e3,
+		FullSetKB:       full / 1e3,
+		MutatedPct:      100 * float64(changed) / float64(models),
+		Clients:         clients,
+		ChaosClients:    chaosN,
+		ColdKBPerClient: float64(coldBytes) / float64(clients) / 1e3,
+		ColdChunks:      coldChunks,
+		ColdP50MS:       percentile(cold, 50).Seconds() * 1e3,
+		ColdP99MS:       percentile(cold, 99).Seconds() * 1e3,
+		WarmKBPerClient: float64(warmBytes) / float64(clients) / 1e3,
+		WarmChunks:      warmChunks,
+		WarmCacheHits:   warmHits,
+		WarmP50MS:       percentile(warm, 50).Seconds() * 1e3,
+		WarmP99MS:       percentile(warm, 99).Seconds() * 1e3,
+		WarmRatio:       float64(warmBytes) / float64(clients) / full,
+		ChaosFaults:     chaosFaults,
+		ChaosResumes:    sum(chaosFleet, server.MetricPullResumes),
+		ChaosRetries:    sum(chaosFleet, server.MetricClientRetries),
+		Fallbacks:       sum(fleet, server.MetricPullFallbacks) + sum(chaosFleet, server.MetricPullFallbacks),
+	}
+	return out, nil
+}
+
+// Table renders the pull scenario.
+func (p *Pull) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Registry pull: %d clients, %d models x %.1f KB (%.1f KB full set), %.1f%% mutated between pulls\n",
+		p.Clients, p.Models, p.PerModelKB, p.FullSetKB, p.MutatedPct)
+	fmt.Fprintf(&b, "%-8s%16s%14s%12s%12s\n", "phase", "KB/client", "chunks", "p50 ms", "p99 ms")
+	fmt.Fprintf(&b, "%-8s%16.1f%14d%12.3f%12.3f\n", "cold", p.ColdKBPerClient, p.ColdChunks, p.ColdP50MS, p.ColdP99MS)
+	fmt.Fprintf(&b, "%-8s%16.1f%14d%12.3f%12.3f\n", "warm", p.WarmKBPerClient, p.WarmChunks, p.WarmP50MS, p.WarmP99MS)
+	fmt.Fprintf(&b, "warm re-pull moved %.1f%% of full-set bytes (%d cache hits); fallbacks %d\n",
+		100*p.WarmRatio, p.WarmCacheHits, p.Fallbacks)
+	fmt.Fprintf(&b, "chaos: %d clients, %d faults injected, %d mid-chunk resumes, %d retries, all recoveries byte-identical\n",
+		p.ChaosClients, p.ChaosFaults, p.ChaosResumes, p.ChaosRetries)
+	return b.String()
+}

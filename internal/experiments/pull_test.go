@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+// The full scenario runs hundreds of clients; tests run a small fleet
+// and check the properties the benchmark reports at scale.
+func TestRunPull(t *testing.T) {
+	o := DefaultOptions()
+	o.NumModels = 32
+	res, err := RunPull(o, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallbacks != 0 {
+		t.Fatalf("pull scenario fell back to multipart %d times", res.Fallbacks)
+	}
+	if res.WarmRatio >= 0.10 {
+		t.Fatalf("warm re-pull moved %.1f%% of full-set bytes, want < 10%%", 100*res.WarmRatio)
+	}
+	if res.WarmChunks >= res.ColdChunks/4 {
+		t.Fatalf("warm wave fetched %d chunks vs %d cold — cache not diffing", res.WarmChunks, res.ColdChunks)
+	}
+	if res.ChaosFaults == 0 {
+		t.Fatal("chaos wave injected no faults")
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}

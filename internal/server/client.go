@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"mime"
@@ -11,6 +12,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/mmm-go/mmm/internal/core"
 	"github.com/mmm-go/mmm/internal/dataset"
@@ -46,6 +48,17 @@ type Client struct {
 	// fails fast instead of discovering a mismatch at audit time.
 	// Leave empty to accept whatever the server is configured with.
 	Codec string
+	// Cache, when set, is the local content-addressed chunk cache the
+	// pull protocol diffs recoveries against: chunks already present
+	// are never re-downloaded, so re-pulling a lightly mutated set
+	// costs O(changed chunks) on the wire. Recoveries work without a
+	// cache — every chunk is then fetched — and fall back to the
+	// multipart path entirely when the server or set cannot serve
+	// chunks. See PullCache.
+	Cache *PullCache
+	// PullWorkers bounds the parallel chunk fetches of one pull
+	// recovery; 0 means one worker per CPU.
+	PullWorkers int
 }
 
 func (c *Client) http() *http.Client {
@@ -105,10 +118,13 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	if err != nil {
 		return err
 	}
+	// Closed before the status check so no branch — including panics in
+	// the decoder — can leak the body. decodeError's own close is then
+	// a harmless second close.
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return decodeError(resp)
 	}
-	defer resp.Body.Close()
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
@@ -121,10 +137,10 @@ func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
 		return decodeError(resp)
 	}
-	defer resp.Body.Close()
 	if out == nil {
 		return nil
 	}
@@ -218,17 +234,29 @@ func (c *Client) save(ctx context.Context, approach, key string, set *core.Model
 	if err != nil {
 		return core.SaveResult{}, err
 	}
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated {
 		return core.SaveResult{}, decodeError(resp)
 	}
-	defer resp.Body.Close()
 	var res core.SaveResult
 	err = json.NewDecoder(resp.Body).Decode(&res)
 	return res, err
 }
 
-// Recover downloads a full set.
+// Recover downloads a full set. Servers and sets that speak the pull
+// protocol are recovered chunk-wise — recipe diff against the local
+// cache, parallel ranged chunk fetches, per-chunk digest verification —
+// and everything else falls back to the one-shot multipart download.
+// Recovered bytes are identical either way.
 func (c *Client) Recover(ctx context.Context, approach, setID string) (*core.ModelSet, error) {
+	set, ok, err := c.pullRecover(ctx, approach, setID)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return set, nil
+	}
+	c.reg().Counter(MetricPullFallbacks).Inc()
 	manifest, params, err := c.fetchParams(ctx, "/api/"+approach+"/sets/"+setID+"/params")
 	if err != nil {
 		return nil, err
@@ -236,9 +264,19 @@ func (c *Client) Recover(ctx context.Context, approach, setID string) (*core.Mod
 	return setFromBytes(manifest.Arch, manifest.NumModels, params)
 }
 
-// RecoverModels downloads selected models of a set.
+// RecoverModels downloads selected models of a set, over the pull
+// protocol when available (fetching only the chunks overlapping the
+// requested models), falling back to the multipart path otherwise.
 func (c *Client) RecoverModels(ctx context.Context, approach, setID string, indices []int) (*core.PartialRecovery, error) {
-	rec, _, err := c.recoverModels(ctx, approach, setID, indices, false)
+	rec, ok, err := c.pullRecoverModels(ctx, approach, setID, indices)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return rec, nil
+	}
+	c.reg().Counter(MetricPullFallbacks).Inc()
+	rec, _, err = c.recoverModels(ctx, approach, setID, indices, false)
 	return rec, err
 }
 
@@ -294,16 +332,57 @@ func (c *Client) recoverModels(ctx context.Context, approach, setID string, indi
 	return out, manifest.Report, nil
 }
 
-// fetchParams downloads a multipart recovery response.
+// fetchParams downloads a multipart recovery response. Responses whose
+// multipart framing ends before the closing boundary — a connection
+// torn down mid-body after the status line was already out — are
+// transport failures, not data, and are retried like any other
+// transient error rather than surfacing as a nonsensical size mismatch.
 func (c *Client) fetchParams(ctx context.Context, path string) (*RecoveryManifest, []byte, error) {
+	attempts := c.Retry.attempts()
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			c.reg().Counter(MetricClientRetries).Inc()
+		}
+		manifest, params, err := c.fetchParamsOnce(ctx, path)
+		if err == nil {
+			return manifest, params, nil
+		}
+		if !truncatedResponse(err) {
+			return nil, nil, err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, nil, lastErr
+		}
+		if attempt < attempts {
+			t := time.NewTimer(c.Retry.delay(attempt, 0))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, nil, ctx.Err()
+			case <-t.C:
+			}
+		}
+	}
+	return nil, nil, fmt.Errorf("server: recovery failed after %d attempts: %w", attempts, lastErr)
+}
+
+// truncatedResponse reports whether err means the recovery body ended
+// before its multipart framing was complete.
+func truncatedResponse(err error) bool {
+	return errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+func (c *Client) fetchParamsOnce(ctx context.Context, path string) (*RecoveryManifest, []byte, error) {
 	resp, err := c.do(ctx, http.MethodGet, path, "", nil)
 	if err != nil {
 		return nil, nil, err
 	}
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return nil, nil, decodeError(resp)
 	}
-	defer resp.Body.Close()
 	mediaType, mtParams, err := mime.ParseMediaType(resp.Header.Get("Content-Type"))
 	if err != nil || !strings.HasPrefix(mediaType, "multipart/") {
 		return nil, nil, fmt.Errorf("server: unexpected content type %q", resp.Header.Get("Content-Type"))
@@ -317,17 +396,29 @@ func (c *Client) fetchParams(ctx context.Context, path string) (*RecoveryManifes
 			break
 		}
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, fmt.Errorf("server: reading recovery response: %w", err)
 		}
 		switch part.FormName() {
 		case "manifest":
 			manifest = &RecoveryManifest{}
-			if err := json.NewDecoder(part).Decode(manifest); err != nil {
+			if err := json.NewDecoder(io.LimitReader(part, maxPullManifestBytes)).Decode(manifest); err != nil {
 				return nil, nil, fmt.Errorf("server: parsing recovery manifest: %w", err)
 			}
 		case "params":
-			if params, err = io.ReadAll(part); err != nil {
-				return nil, nil, err
+			// Cap the read at the manifest-declared size (+1 to detect
+			// overshoot) so a corrupt or malicious response cannot drive
+			// an unbounded allocation. When the params part arrives
+			// before the manifest — a layout no known server produces —
+			// the save-side budget bounds it instead.
+			limit := int64(maxSaveBytes)
+			if expected, ok := expectedParamBytes(manifest); ok {
+				limit = expected
+			}
+			if params, err = io.ReadAll(io.LimitReader(part, limit+1)); err != nil {
+				return nil, nil, fmt.Errorf("server: reading recovery params: %w", err)
+			}
+			if int64(len(params)) > limit {
+				return nil, nil, fmt.Errorf("server: params part exceeds declared %d bytes", limit)
 			}
 		}
 	}
@@ -335,6 +426,23 @@ func (c *Client) fetchParams(ctx context.Context, path string) (*RecoveryManifes
 		return nil, nil, fmt.Errorf("server: recovery response missing manifest")
 	}
 	return manifest, params, nil
+}
+
+// expectedParamBytes is the exact params-part size a recovery manifest
+// declares: per-model bytes times the models being returned (the
+// selected indices on selective recoveries, the whole set otherwise).
+func expectedParamBytes(m *RecoveryManifest) (int64, bool) {
+	if m == nil || m.Arch == nil {
+		return 0, false
+	}
+	n := m.NumModels
+	if len(m.Indices) > 0 {
+		n = len(m.Indices)
+	}
+	if n < 0 {
+		return 0, false
+	}
+	return int64(m.Arch.ParamBytes()) * int64(n), true
 }
 
 // Verify runs a server-side store verification.
@@ -391,10 +499,10 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return "", decodeError(resp)
 	}
-	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	return string(b), err
 }

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/nn"
+)
+
+// FuzzPullManifestDecode hammers the wire recipe decoder with mutated
+// inputs. The decoder fronts untrusted bytes (any HTTP server the
+// client is pointed at), so the invariants are strict: whatever comes
+// back either errors or is internally consistent — validated arch,
+// positive sizes, chunk sizes summing exactly to the declared total,
+// well-formed lowercase-hex digests.
+func FuzzPullManifestDecode(f *testing.F) {
+	arch := nn.FFNN("fuzz-pull", 4, []int{6}, 2)
+	per := int64(arch.ParamBytes())
+	valid, err := json.Marshal(PullManifest{
+		Arch:      arch,
+		NumModels: 2,
+		Size:      2 * per,
+		Chunks: []PullChunk{
+			{Hash: "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef", Size: per},
+			{Hash: "fedcba9876543210fedcba9876543210fedcba9876543210fedcba9876543210", Size: per},
+		},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"arch":null,"num_models":1}`))
+	f.Add([]byte(`{"chunks":[{"h":"zz","s":-1}]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodePullManifest(data)
+		if err != nil {
+			return
+		}
+		if m.Arch == nil || m.Arch.Validate() != nil {
+			t.Fatalf("decoder accepted manifest with invalid arch: %+v", m)
+		}
+		if m.NumModels <= 0 || m.Size <= 0 {
+			t.Fatalf("decoder accepted non-positive counts: %+v", m)
+		}
+		if int64(m.Arch.ParamBytes())*int64(m.NumModels) != m.Size {
+			t.Fatalf("decoder accepted size %d inconsistent with %d models of %d bytes",
+				m.Size, m.NumModels, m.Arch.ParamBytes())
+		}
+		var total int64
+		for _, ch := range m.Chunks {
+			if !validChunkHash(ch.Hash) {
+				t.Fatalf("decoder accepted malformed digest %q", ch.Hash)
+			}
+			if ch.Size <= 0 {
+				t.Fatalf("decoder accepted chunk size %d", ch.Size)
+			}
+			total += ch.Size
+		}
+		if total != m.Size {
+			t.Fatalf("decoder accepted chunks totalling %d for size %d", total, m.Size)
+		}
+	})
+}

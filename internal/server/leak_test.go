@@ -1,0 +1,220 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/core"
+	"github.com/mmm-go/mmm/internal/obs"
+)
+
+// countingTransport tracks every response body handed to the client and
+// whether it was closed — the leak detector the client's body hygiene
+// is audited with.
+type countingTransport struct {
+	base   http.RoundTripper
+	opened atomic.Int64
+	closed atomic.Int64
+}
+
+func (t *countingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	t.opened.Add(1)
+	resp.Body = &countedBody{ReadCloser: resp.Body, n: &t.closed}
+	return resp, nil
+}
+
+type countedBody struct {
+	io.ReadCloser
+	n    *atomic.Int64
+	once sync.Once
+}
+
+func (b *countedBody) Close() error {
+	b.once.Do(func() { b.n.Add(1) })
+	return b.ReadCloser.Close()
+}
+
+func (t *countingTransport) leaked() int64 { return t.opened.Load() - t.closed.Load() }
+
+// TestClientClosesBodiesOnAllPaths drives every client method through
+// success AND error responses over a counting transport: each response
+// body obtained from the transport must be closed exactly once, on
+// every branch — non-200 envelopes, decode failures, fallback probes,
+// chunk fetches, everything.
+func TestClientClosesBodiesOnAllPaths(t *testing.T) {
+	ctx := context.Background()
+	reg := obs.New()
+	stores := core.NewMemStores()
+	ts := httptest.NewServer(NewWithMetrics(stores, reg, core.WithDedup()))
+	t.Cleanup(ts.Close)
+
+	tr := &countingTransport{base: http.DefaultTransport}
+	c := &Client{BaseURL: ts.URL, HTTP: &http.Client{Transport: tr}, Reg: obs.New()}
+	c.Cache = memPullCache()
+
+	set := testSet(t, 6)
+	res, err := c.Save(ctx, "baseline", set, "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Success paths: JSON GETs/POSTs, pull recovery (manifest + chunk
+	// streams), selective recovery, metrics, health.
+	calls := []func() error{
+		func() error { return c.Health(ctx) },
+		func() error { _, err := c.Approaches(ctx); return err },
+		func() error { _, err := c.List(ctx, "baseline"); return err },
+		func() error { _, err := c.Info(ctx, "baseline", res.SetID); return err },
+		func() error { _, err := c.Recover(ctx, "baseline", res.SetID); return err },
+		func() error { _, err := c.RecoverModels(ctx, "baseline", res.SetID, []int{1, 3}); return err },
+		func() error { _, _, err := c.RecoverPartial(ctx, "baseline", res.SetID); return err },
+		func() error { _, err := c.Verify(ctx, "baseline"); return err },
+		func() error { _, err := c.Metrics(ctx); return err },
+		func() error { _, err := c.Du(ctx); return err },
+		func() error { _, err := c.Datasets(ctx); return err },
+		func() error { _, err := c.Fsck(ctx, false); return err },
+	}
+	for i, call := range calls {
+		if err := call(); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+
+	// Error paths: unknown sets, unknown approaches, bad indices —
+	// every one returns through decodeError or an early return.
+	errCalls := []func() error{
+		func() error { _, err := c.Recover(ctx, "baseline", "bl-999999"); return err },
+		func() error { _, err := c.Recover(ctx, "nonesuch", "bl-000001"); return err },
+		func() error { _, err := c.RecoverModels(ctx, "baseline", "bl-999999", []int{0}); return err },
+		func() error { _, err := c.List(ctx, "nonesuch"); return err },
+		func() error { _, err := c.Info(ctx, "baseline", "bl-999999"); return err },
+		func() error { _, err := c.Prune(ctx, "nonesuch", nil); return err },
+		func() error {
+			_, err := c.Save(ctx, "nonesuch", set, "", nil, nil)
+			return err
+		},
+	}
+	for i, call := range errCalls {
+		if err := call(); err == nil {
+			t.Fatalf("error call %d unexpectedly succeeded", i)
+		}
+	}
+
+	if n := tr.leaked(); n != 0 {
+		t.Fatalf("%d response bodies leaked (opened %d, closed %d)",
+			n, tr.opened.Load(), tr.closed.Load())
+	}
+	if tr.opened.Load() == 0 {
+		t.Fatal("counting transport saw no traffic")
+	}
+}
+
+// TestChaosTruncatedMultipartIsRetried is the regression for the
+// truncation blind spot: a recovery response whose connection died
+// after the manifest part but mid-params — delivered with a clean EOF,
+// as a dropped chunked connection appears once buffered — must be
+// classified as a retryable transport failure and retried, not
+// surfaced as a nonsensical size-mismatch error.
+func TestChaosTruncatedMultipartIsRetried(t *testing.T) {
+	ctx := context.Background()
+	set := testSet(t, 6)
+	params := setToBytes(set)
+	manifest := RecoveryManifest{Arch: set.Arch, NumModels: set.Len()}
+
+	var attempts atomic.Int64
+	stub := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := attempts.Add(1)
+		mw := multipart.NewWriter(w)
+		w.Header().Set("Content-Type", mw.FormDataContentType())
+		mpart, _ := mw.CreateFormField("manifest")
+		_ = json.NewEncoder(mpart).Encode(manifest)
+		ppart, _ := mw.CreateFormFile("params", "params.bin")
+		if n == 1 {
+			// Half the params, then return without the closing
+			// boundary: the wire shape of a mid-body reset.
+			_, _ = ppart.Write(params[:len(params)/2])
+			return
+		}
+		_, _ = ppart.Write(params)
+		_ = mw.Close()
+	})
+	ts := httptest.NewServer(stub)
+	t.Cleanup(ts.Close)
+
+	c := &Client{BaseURL: ts.URL, Retry: fastRetry(), Reg: obs.New()}
+	manifestGot, paramsGot, err := c.fetchParams(ctx, "/params")
+	if err != nil {
+		t.Fatalf("truncated multipart not retried: %v", err)
+	}
+	if attempts.Load() != 2 {
+		t.Fatalf("server saw %d attempts, want 2", attempts.Load())
+	}
+	if manifestGot.NumModels != set.Len() || len(paramsGot) != len(params) {
+		t.Fatalf("retried recovery returned %d models, %d bytes", manifestGot.NumModels, len(paramsGot))
+	}
+	if n := c.Reg.Counter(MetricClientRetries).Value(); n < 1 {
+		t.Fatalf("%s = %d, want >= 1", MetricClientRetries, n)
+	}
+}
+
+// TestRecoverAbortsConnectionOnMidWriteFailure pins the server half of
+// the truncation fix: when the multipart body cannot be completed after
+// headers are out, the handler must abort the connection (panic with
+// http.ErrAbortHandler) instead of returning normally — a normal return
+// ends the chunked body cleanly and the client mistakes the truncated
+// response for a complete one.
+func TestRecoverAbortsConnectionOnMidWriteFailure(t *testing.T) {
+	c, api, _ := newConfigRig(t, obs.New(), Config{})
+	res, err := c.Save(context.Background(), "baseline", testSet(t, 4), "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/api/baseline/sets/"+res.SetID+"/params", nil)
+	req.SetPathValue("approach", "baseline")
+	req.SetPathValue("id", res.SetID)
+	w := &failingWriter{failAfter: 1}
+	defer func() {
+		if r := recover(); r != http.ErrAbortHandler {
+			t.Fatalf("handler panicked with %v, want http.ErrAbortHandler", r)
+		}
+	}()
+	api.handleRecover(w, req)
+	t.Fatal("handler returned normally despite a mid-body write failure")
+}
+
+// failingWriter accepts failAfter writes, then errors.
+type failingWriter struct {
+	hdr       http.Header
+	writes    int
+	failAfter int
+}
+
+func (w *failingWriter) Header() http.Header {
+	if w.hdr == nil {
+		w.hdr = http.Header{}
+	}
+	return w.hdr
+}
+
+func (w *failingWriter) WriteHeader(int) {}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > w.failAfter {
+		return 0, fmt.Errorf("connection gone")
+	}
+	return len(p), nil
+}

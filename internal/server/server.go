@@ -246,6 +246,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /api/{approach}/sets", s.handleSave)
 	s.mux.HandleFunc("GET /api/{approach}/sets/{id}", s.handleInfo)
 	s.mux.HandleFunc("GET /api/{approach}/sets/{id}/params", s.handleRecover)
+	s.mux.HandleFunc("GET /api/cas/recipe/{approach}/{id}", s.handlePullRecipe)
+	s.mux.HandleFunc("GET /api/cas/chunk/{hash}", s.handleChunk)
 	s.mux.HandleFunc("POST /api/{approach}/verify", s.handleVerify)
 	s.mux.HandleFunc("POST /api/{approach}/prune", s.handlePrune)
 	s.mux.HandleFunc("POST /api/datasets", s.handlePutDataset)
@@ -278,6 +280,10 @@ const (
 	codeCorruptBlob      = "corrupt_blob"
 	codeBudgetExceeded   = "budget_exceeded"
 	codeBaseMismatch     = "base_mismatch"
+	// codePullUnavailable marks a set that exists but cannot be served
+	// over the chunk-level pull protocol; clients fall back to the
+	// multipart recovery path.
+	codePullUnavailable = "pull_unavailable"
 )
 
 // errorCode maps an error onto its wire code ("" if it wraps no known
@@ -295,6 +301,8 @@ func errorCode(err error) string {
 		return codeBudgetExceeded
 	case errors.Is(err, core.ErrBaseMismatch):
 		return codeBaseMismatch
+	case errors.Is(err, core.ErrPullUnavailable):
+		return codePullUnavailable
 	default:
 		return ""
 	}
@@ -642,8 +650,12 @@ func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
 		err = mw.Close()
 	}
 	if err != nil {
-		// Headers are gone; all we can do is drop the connection.
-		return
+		// Headers are gone, so no status can signal the failure — but a
+		// bare return would end the chunked body cleanly and the client
+		// would mistake the truncated multipart for a complete response.
+		// Aborting tears the connection down mid-body, which surfaces
+		// client-side as a retryable transport error.
+		panic(http.ErrAbortHandler)
 	}
 }
 

@@ -588,6 +588,33 @@ func (s *Store) VerifyChunk(hash string, logicalSize int64) error {
 	return err
 }
 
+// HasChunk reports whether a chunk body is stored under the content
+// address. The pull client uses it to diff a remote recipe against the
+// local cache before fetching.
+func (s *Store) HasChunk(hash string) bool {
+	_, err := s.blobs.Size(ChunkKey(hash))
+	return err == nil
+}
+
+// PutChunk stores logical chunk bytes under their content address after
+// verifying the digest, so a corrupted or tampered body can never enter
+// the store under a hash it does not match. It is the ingestion path of
+// pull-mode caches and mirrors: chunks arrive individually, unreferenced
+// by any recipe, and are stored raw. Writing an already-present chunk is
+// a no-op (content addressing makes the write idempotent).
+func (s *Store) PutChunk(hash string, data []byte) error {
+	if hashChunk(data) != hash {
+		return fmt.Errorf("%w: chunk body does not match content address %s", ErrCorrupt, hash)
+	}
+	if s.HasChunk(hash) {
+		return nil
+	}
+	if err := s.blobs.Put(ChunkKey(hash), data); err != nil {
+		return fmt.Errorf("cas: writing chunk %s: %w", hash, err)
+	}
+	return nil
+}
+
 // Get reassembles the logical blob stored under key. Chunk fetch and
 // decode fan out across one worker per CPU into disjoint slots of the
 // preallocated result, so decompression of large blobs scales with

@@ -1,0 +1,45 @@
+package cas
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestHasChunkPutChunk covers the single-chunk surface the pull
+// protocol's client-side cache is built on: Put verifies the body
+// against its content address before storing, re-puts are idempotent,
+// and wrong bytes are rejected without ever landing in the store.
+func TestHasChunkPutChunk(t *testing.T) {
+	s, _ := newTestStore(t)
+	data := bytes.Repeat([]byte{0xab, 0xcd}, 500)
+	hash := hashChunk(data)
+
+	if s.HasChunk(hash) {
+		t.Fatal("HasChunk true before any Put")
+	}
+	if err := s.PutChunk(hash, data); err != nil {
+		t.Fatalf("PutChunk: %v", err)
+	}
+	if !s.HasChunk(hash) {
+		t.Fatal("HasChunk false after Put")
+	}
+	got, err := s.GetChunk(hash, int64(len(data)))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("GetChunk after PutChunk: %d bytes, %v", len(got), err)
+	}
+
+	// Idempotent re-put.
+	if err := s.PutChunk(hash, data); err != nil {
+		t.Fatalf("re-PutChunk: %v", err)
+	}
+
+	// Wrong bytes for the address: rejected, nothing stored.
+	bogus := bytes.Repeat([]byte{0x11}, 100)
+	if err := s.PutChunk(hashChunk(bogus), data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("PutChunk with mismatched body: err = %v, want ErrCorrupt", err)
+	}
+	if s.HasChunk(hashChunk(bogus)) {
+		t.Fatal("mismatched PutChunk left a chunk in the store")
+	}
+}

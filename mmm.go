@@ -398,6 +398,25 @@ var (
 	ErrCircuitOpen = server.ErrCircuitOpen
 )
 
+// Pull protocol: clients with a PullCache recover deduplicated sets
+// chunk-wise — recipe diff against the local cache, parallel ranged
+// chunk fetches with digest verification, resume after mid-chunk
+// faults — and fall back to the multipart download when the server or
+// set cannot serve chunks. See docs/ARCHITECTURE.md, "Transfer
+// protocol".
+type (
+	// PullCache is the client-side content-addressed chunk cache a
+	// ManagementClient diffs recoveries against.
+	PullCache = server.PullCache
+)
+
+var (
+	// NewPullCache wraps a blob store as a pull cache.
+	NewPullCache = server.NewPullCache
+	// OpenPullCache opens (creating if needed) an on-disk pull cache.
+	OpenPullCache = server.OpenPullCache
+)
+
 // Degraded recovery: RecoverModelsContext with WithPartialResults
 // returns every model that survives and a report naming the ones that
 // did not, instead of failing the whole call on the first bad blob.
