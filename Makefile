@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-stress fsck-smoke metrics-smoke chaos-smoke dedup-smoke codec-smoke pull-smoke fuzz check bench
+.PHONY: build test vet race race-stress fsck-smoke metrics-smoke chaos-smoke dedup-smoke codec-smoke pull-smoke scrub-smoke fuzz check bench
 
 build:
 	$(GO) build ./...
@@ -17,11 +17,12 @@ race:
 	$(GO) test -race ./...
 
 # Serving-tier concurrency battery: the chunk cache's eviction/promotion
-# machinery and the CAS read paths (parallel recover + save + GC +
-# eviction with pinned in-flight reads) under the race detector,
-# repeated to shake out schedule-dependent interleavings.
+# machinery, the CAS read paths (parallel recover + save + GC +
+# eviction with pinned in-flight reads), and the background scrubber
+# racing saves, recoveries, releases, and GC — all under the race
+# detector, repeated to shake out schedule-dependent interleavings.
 race-stress:
-	$(GO) test -race -count=3 -run 'Stress' ./internal/storage/cache ./internal/storage/cas
+	$(GO) test -race -count=3 -run 'Stress' ./internal/storage/cache ./internal/storage/cas ./internal/scrub
 
 # End-to-end durability smoke test through the real CLI and a real
 # on-disk store: save a fleet, assert fsck passes, flip a single byte
@@ -133,6 +134,44 @@ pull-smoke:
 		-approach baseline -set bl-000001 -pull-cache "$$tmp/cache" >/dev/null; \
 	echo "pull-smoke OK: chunk-wise recovery through a chaotic listener, $$chunks chunks cached"
 
+# Self-healing smoke test through the real CLI and real on-disk
+# stores: init two byte-identical dedup stores (same deterministic
+# seed), flip a byte in one chunk of the first, and run the heal loop —
+# scrub detects and quarantines the rot (command fails, recovery fails
+# fast), scrub -repair-from a durable mmserve over the second store
+# restores the chunk, and fsck plus a verified recovery prove the store
+# is whole again.
+scrub-smoke: build
+	@set -eu; \
+	tmp=$$(mktemp -d); \
+	srv=; \
+	trap 'test -z "$$srv" || kill "$$srv" 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/mmstore init -dir "$$tmp/store" -approach baseline -dedup -n 5 -samples 30 >/dev/null; \
+	$(GO) run ./cmd/mmstore init -dir "$$tmp/peer" -approach baseline -dedup -n 5 -samples 30 >/dev/null; \
+	chunk=$$(find "$$tmp/store/blobs/cas/chunks" -type f -size +0c | head -n 1); \
+	test -n "$$chunk" || { echo "scrub-smoke FAILED: no chunk files"; exit 1; }; \
+	byte=$$(od -An -tu1 -j10 -N1 "$$chunk" | tr -d ' '); \
+	printf "$$(printf '\\%03o' $$(( (byte + 1) % 256 )))" | dd of="$$chunk" bs=1 seek=10 conv=notrunc status=none; \
+	if $(GO) run ./cmd/mmstore scrub -dir "$$tmp/store" -full >/dev/null 2>&1; then \
+		echo "scrub-smoke FAILED: rot not detected"; exit 1; \
+	fi; \
+	if $(GO) run ./cmd/mmstore recover -dir "$$tmp/store" -approach baseline -dedup -set bl-000001 >/dev/null 2>&1; then \
+		echo "scrub-smoke FAILED: recover served a quarantined store"; exit 1; \
+	fi; \
+	$(GO) build -o "$$tmp/mmserve" ./cmd/mmserve; \
+	"$$tmp/mmserve" -dir "$$tmp/peer" -dedup -addr 127.0.0.1:18475 >/dev/null 2>&1 & srv=$$!; \
+	up=; \
+	for i in $$(seq 1 50); do \
+		if curl -sf http://127.0.0.1:18475/healthz >/dev/null 2>&1; then up=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	test -n "$$up" || { echo "scrub-smoke FAILED: peer never came up"; exit 1; }; \
+	$(GO) run ./cmd/mmstore scrub -dir "$$tmp/store" -full -repair-from http://127.0.0.1:18475 >/dev/null; \
+	$(GO) run ./cmd/mmstore fsck -dir "$$tmp/store" >/dev/null; \
+	$(GO) run ./cmd/mmstore recover -dir "$$tmp/store" -approach baseline -dedup \
+		-set bl-000001 -verify-against bl-000001 >/dev/null; \
+	echo "scrub-smoke OK: rot quarantined, healed from peer, store verified whole"
+
 # Short-budget fuzzing of the property suites: checksummed blob round
 # trips, the sim-vs-dir backend oracle, and chunker reassembly. The
 # committed seed corpora under testdata/fuzz/ always run; the small
@@ -148,9 +187,9 @@ fuzz:
 
 # The full gate: compile everything, vet, run the suite twice —
 # once plain, once under the race detector — then the durability,
-# observability, resilience, dedup, and codec smoke tests and the
-# short fuzz pass.
-check: build vet test race race-stress fsck-smoke metrics-smoke chaos-smoke dedup-smoke codec-smoke pull-smoke fuzz
+# observability, resilience, dedup, codec, pull, and self-healing
+# smoke tests and the short fuzz pass.
+check: build vet test race race-stress fsck-smoke metrics-smoke chaos-smoke dedup-smoke codec-smoke pull-smoke scrub-smoke fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -19,6 +19,7 @@
 //	mmbench -exp accident           # selective post-accident recovery
 //	mmbench -exp serve              # hot-path serving: cold vs warm chunk cache (writes BENCH_serve.json)
 //	mmbench -exp pull               # registry pull protocol: concurrent clients, warm caches, chaos (writes BENCH_pull.json)
+//	mmbench -exp scrub              # self-healing: planted rot -> quarantine -> repair-from-peer (writes BENCH_scrub.json)
 //	mmbench -exp quality            # stale-vs-retrained model loss per cycle
 //	mmbench -exp ablate-snapshot    # Update snapshot-interval ablation
 //	mmbench -exp ablate-variants    # Update hash-granularity/compression
@@ -70,6 +71,8 @@ func main() {
 		pullClients = flag.Int("pull-clients", 200, "concurrent clients for -exp pull")
 		pullOut     = flag.String("pull-out", "BENCH_pull.json",
 			"where -exp pull writes its JSON result (empty = table only)")
+		scrubOut = flag.String("scrub-out", "BENCH_scrub.json",
+			"where -exp scrub writes its JSON result (empty = table only)")
 		csv     = flag.Bool("csv", false, "emit series as CSV instead of tables")
 		metrics = flag.Bool("metrics", false, "print a metrics snapshot after each experiment (suppressed under -csv)")
 	)
@@ -231,6 +234,19 @@ func main() {
 				fmt.Printf("wrote %s\n", *pullOut)
 			}
 			return nil
+		case "scrub":
+			sc, err := experiments.RunScrub(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Print(sc.Table())
+			if *scrubOut != "" {
+				if err := writeJSONAtomic(*scrubOut, sc); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *scrubOut)
+			}
+			return nil
 		case "ablate-snapshot":
 			o := opts
 			if o.Cycles < 4 {
@@ -285,7 +301,7 @@ func main() {
 			"storage", "storage-rates", "storage-size", "storage-cifar",
 			"storage-overhead", "storage-dedup", "compression",
 			"tts", "ttr", "ttr-extrapolate",
-			"accident", "serve", "pull", "quality",
+			"accident", "serve", "pull", "scrub", "quality",
 			"ablate-snapshot", "ablate-variants", "ablate-blob-layout", "advisor",
 		}
 	}

@@ -37,6 +37,20 @@
 // chunks in memory instead of store reads plus decompression. Set 0 to
 // disable; recovered bytes are identical either way.
 //
+// -durable-sync (on by default) fsyncs blob and document writes plus
+// their parent directories at commit boundaries, upgrading the store's
+// crash safety (atomic temp+rename) to power-failure safety. Disable
+// only for throwaway stores.
+//
+// -scrub-interval D enables the self-healing background scrubber: it
+// incrementally verifies chunk digests, recipes, refcounts, and blob
+// checksums (throttled by -scrub-rate), moves corrupt bodies to the
+// quarantine namespace so reads fail fast instead of serving rot, and
+// — with -repair-from URL naming a healthy peer — re-fetches damaged
+// chunks by digest over the pull protocol and restores them. Progress
+// is exported as mmm_scrub_* metrics and the cursor persists across
+// restarts.
+//
 // On SIGINT/SIGTERM the server drains gracefully: /readyz flips to
 // 503, new API requests are rejected with Retry-After, and in-flight
 // requests get -drain-timeout to finish before being canceled (a
@@ -97,13 +111,22 @@ func main() {
 			"inject deterministic connection faults on the API listener, seeded here (0 = disabled)")
 		chaosMaxFaults = flag.Int("chaos-max-faults", 0,
 			"cap on injected faults when -chaos-seed is set (0 = unlimited)")
+
+		durableSync = flag.Bool("durable-sync", true,
+			"fsync blob and document writes (and their directories) at commit boundaries so saved sets survive power loss, not just crashes")
+		scrubInterval = flag.Duration("scrub-interval", 0,
+			"idle time between background integrity-scrub passes; corrupt bodies are quarantined so reads fail fast instead of returning rot (0 = scrubbing disabled)")
+		scrubRate = flag.Int64("scrub-rate", 8<<20,
+			"background scrub read-throughput cap in bytes/sec so verification never starves serving (0 = unlimited)")
+		repairFrom = flag.String("repair-from", "",
+			"URL of a healthy mmserve peer; the background scrubber re-fetches quarantined or missing chunks from it by digest and restores them")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	stores, err := mmm.OpenDirStores(*dir)
+	stores, err := mmm.OpenDirStoresWith(*dir, mmm.StoreOptions{DurableSync: *durableSync})
 	if err != nil {
 		log.Fatalf("mmserve: %v", err)
 	}
@@ -120,6 +143,28 @@ func main() {
 
 	if *debugAddr != "" {
 		go serveDebug(ctx, *debugAddr, *readTimeout, *writeTimeout, *idleTimeout)
+	}
+
+	if *scrubInterval > 0 {
+		cfg := mmm.ScrubConfig{
+			RateBytesPerSec: *scrubRate,
+			Interval:        *scrubInterval,
+			OnPass: func(r mmm.ScrubReport) {
+				if len(r.Findings) > 0 || r.Quarantined > 0 || r.Repaired > 0 {
+					log.Printf("scrub: %s", r)
+				}
+			},
+		}
+		if *repairFrom != "" {
+			cfg.Fetcher = &mmm.ManagementClient{BaseURL: *repairFrom}
+		}
+		scrubber := mmm.NewScrubber(stores.Blobs, stores.Docs, cfg)
+		go scrubber.Run(ctx)
+		fmt.Printf("mmserve: background scrub every %v", *scrubInterval)
+		if *repairFrom != "" {
+			fmt.Printf(", repairing from %s", *repairFrom)
+		}
+		fmt.Println()
 	}
 
 	hs := &http.Server{

@@ -10,6 +10,7 @@
 //	mmstore -dir ./store inspect -approach baseline -set <set-id>
 //	mmstore -dir ./store verify  -approach baseline
 //	mmstore -dir ./store fsck    [-repair]
+//	mmstore -dir ./store scrub   [-repair-from URL] [-full] [-scrub-rate N]
 //	mmstore -dir ./store du
 //	mmstore -dir ./store gc
 //	mmstore -dir ./store prune   -approach baseline -keep <id>[,<id>...]
@@ -25,6 +26,14 @@
 // fsck checks the whole store across all approaches — blob checksums,
 // set completeness, orphaned crash debris — and with -repair deletes
 // the orphans. -retries N retries transient store I/O errors.
+//
+// scrub runs one full verification pass over chunks, recipes,
+// refcounts, and raw blobs: corrupt bodies are moved to the quarantine
+// namespace (reads fail fast, the damaged bytes are preserved) and,
+// with -repair-from URL naming a healthy mmserve peer, re-fetched by
+// digest over the pull protocol and restored in place. -full restarts
+// from the beginning of the keyspace instead of resuming the persisted
+// cursor; -scrub-rate caps read throughput in bytes/sec.
 //
 // -dedup routes saves through the content-addressed chunk store:
 // identical parameter chunks are stored once across sets and
@@ -103,9 +112,12 @@ func run(ctx context.Context, args []string) error {
 	waitReady := fs.Duration("wait-ready", 10*time.Second, "with -server: how long to wait for the server's /readyz before the first request")
 	partial := fs.Bool("partial", false, "with -server: recover in degraded mode, skipping damaged models and reporting them")
 	pullCache := fs.String("pull-cache", "", "with -server: directory for the local chunk cache; recoveries diff against it and fetch only missing chunks")
+	repairFrom := fs.String("repair-from", "", "scrub: URL of a healthy mmserve peer to re-fetch quarantined or missing chunks from")
+	full := fs.Bool("full", false, "scrub: restart from the beginning of the keyspace instead of resuming the cursor")
+	scrubRate := fs.Int64("scrub-rate", 0, "scrub: cap verification read throughput in bytes/sec (0 = unlimited)")
 	if len(args) == 0 {
 		fs.Usage()
-		return fmt.Errorf("missing command: init, cycle, recover, list, inspect, verify, fsck, du, gc, or prune")
+		return fmt.Errorf("missing command: init, cycle, recover, list, inspect, verify, fsck, scrub, du, gc, or prune")
 	}
 	cmd := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
@@ -310,6 +322,37 @@ func run(ctx context.Context, args []string) error {
 		}
 		return nil
 
+	case "scrub":
+		cfg := mmm.ScrubConfig{RateBytesPerSec: *scrubRate}
+		if *repairFrom != "" {
+			cfg.Fetcher = &mmm.ManagementClient{BaseURL: *repairFrom}
+		}
+		s := mmm.NewScrubber(stores.Blobs, stores.Docs, cfg)
+		if *full {
+			s.ResetCursor()
+		}
+		report, err := s.RunPass(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report)
+		for _, f := range report.Findings {
+			status := "found"
+			switch {
+			case f.Repaired:
+				status = "repaired"
+			case f.RepairError != "":
+				status = "repair failed: " + f.RepairError
+			case f.Quarantined:
+				status = "quarantined"
+			}
+			fmt.Printf("  %s: %s (%s)\n", f.Key, f.Problem, status)
+		}
+		if n := report.Errors(); n > 0 {
+			return fmt.Errorf("%d unhealed finding(s)", n)
+		}
+		return nil
+
 	case "du":
 		report, err := mmm.Du(stores)
 		if err != nil {
@@ -458,6 +501,10 @@ func printDu(report *mmm.DuReport) {
 		float64(report.RecipeBytes)/1e6, report.Chunks)
 	if report.PhysicalBytes > 0 {
 		fmt.Printf("dedup ratio: %.2fx\n", float64(report.LogicalBytes)/float64(report.PhysicalBytes))
+	}
+	if report.QuarantinedCount > 0 {
+		fmt.Printf("quarantine: %d corrupt bodies (%.3f MB) awaiting repair or fsck cleanup\n",
+			report.QuarantinedCount, float64(report.QuarantinedBytes)/1e6)
 	}
 }
 

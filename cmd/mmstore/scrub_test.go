@@ -1,0 +1,93 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	mmm "github.com/mmm-go/mmm"
+	"github.com/mmm-go/mmm/internal/server"
+)
+
+// rotOneChunk flips a byte in the middle of one stored CAS chunk file
+// under dir, behind every store layer's back, and returns its path.
+func rotOneChunk(t *testing.T, dir string) string {
+	t.Helper()
+	chunkDir := filepath.Join(dir, "blobs", "cas", "chunks")
+	var victim string
+	err := filepath.Walk(chunkDir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if victim == "" && !info.IsDir() && info.Size() > 0 {
+			victim = path
+		}
+		return nil
+	})
+	if err != nil || victim == "" {
+		t.Fatalf("no chunk file found under %s: %v", chunkDir, err)
+	}
+	raw, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(victim, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return victim
+}
+
+// TestScrubCommandHealsFromPeer is the CLI round trip of the
+// self-healing story: plant rot in a dedup store, scrub without a peer
+// (detect + quarantine, command fails), then scrub -repair-from a
+// healthy mmserve holding identical data (heal, command succeeds, fsck
+// clean, recovery exact).
+func TestScrubCommandHealsFromPeer(t *testing.T) {
+	dir, peerDir := storeDir(t), filepath.Join(t.TempDir(), "peer")
+	// Same seed + arch → deterministic init → byte-identical chunks on
+	// both sides, exactly like replicas that saved the same fleet.
+	initArgs := []string{"init", "-approach", "baseline", "-dedup", "-n", "6", "-samples", "30"}
+	if err := runArgs(t, dir, initArgs...); err != nil {
+		t.Fatal(err)
+	}
+	if err := runArgs(t, peerDir, initArgs...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean store: scrub passes and reports nothing.
+	if err := runArgs(t, dir, "scrub"); err != nil {
+		t.Fatalf("scrub of clean store: %v", err)
+	}
+
+	rotOneChunk(t, dir)
+	err := runArgs(t, dir, "scrub", "-full")
+	if err == nil || !strings.Contains(err.Error(), "unhealed") {
+		t.Fatalf("scrub over rot without a peer = %v, want unhealed findings", err)
+	}
+	// The rot was quarantined: recovery now fails fast rather than
+	// returning wrong bytes.
+	if err := runArgs(t, dir, "recover", "-approach", "baseline", "-dedup", "-set", "bl-000001"); err == nil {
+		t.Fatal("recover served a set with a quarantined chunk")
+	}
+
+	peerStores, err := mmm.OpenDirStores(peerDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := httptest.NewServer(server.New(peerStores, mmm.WithDedup()))
+	defer peer.Close()
+	if err := runArgs(t, dir, "scrub", "-full", "-repair-from", peer.URL); err != nil {
+		t.Fatalf("scrub -repair-from: %v", err)
+	}
+
+	if err := runArgs(t, dir, "fsck"); err != nil {
+		t.Fatalf("fsck after heal: %v", err)
+	}
+	if err := runArgs(t, dir, "recover", "-approach", "baseline", "-dedup",
+		"-set", "bl-000001", "-verify-against", "bl-000001"); err != nil {
+		t.Fatalf("recover after heal: %v", err)
+	}
+}

@@ -46,6 +46,11 @@ type DuReport struct {
 	RecipeBytes int64 `json:"recipe_bytes"`
 	// Chunks is the number of distinct chunks stored.
 	Chunks int `json:"chunks"`
+	// QuarantinedCount and QuarantinedBytes account the corrupt bodies
+	// the scrubber moved aside. They are outside PhysicalBytes: the data
+	// is dead weight pending repair or fsck cleanup, not store content.
+	QuarantinedCount int   `json:"quarantined_count,omitempty"`
+	QuarantinedBytes int64 `json:"quarantined_bytes,omitempty"`
 	// DedupRatioPercent is LogicalBytes*100/PhysicalBytes — over 100
 	// means deduplication is saving space.
 	DedupRatioPercent int64 `json:"dedup_ratio_percent"`
@@ -103,6 +108,14 @@ func Du(st Stores) (*DuReport, error) {
 	}
 	report.RecipeBytes = scan.RecipeBytes
 	report.PhysicalBytes = report.RawBytes + report.ChunkBytes + report.RecipeBytes
+	quarantined, err := st.Blobs.Quarantined()
+	if err != nil {
+		return nil, err
+	}
+	report.QuarantinedCount = len(quarantined)
+	for _, q := range quarantined {
+		report.QuarantinedBytes += q.Size
+	}
 	if report.PhysicalBytes > 0 {
 		report.DedupRatioPercent = report.LogicalBytes * 100 / report.PhysicalBytes
 	}

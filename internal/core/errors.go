@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"syscall"
 
 	"github.com/mmm-go/mmm/internal/storage/blobstore"
 )
@@ -41,4 +42,17 @@ var (
 	// parameter blob (derived sets, per-model layouts, or sets saved
 	// without dedup). Callers fall back to whole-blob recovery.
 	ErrPullUnavailable = errors.New("core: pull transfer unavailable for set")
+
+	// ErrNoSpace reports that the storage backend ran out of space
+	// mid-operation. Saves roll back cleanly when this happens; the
+	// client-facing sentinel lets callers distinguish "disk full, retry
+	// after freeing space" from data-dependent save failures.
+	ErrNoSpace = errors.New("core: storage out of space")
 )
+
+// IsNoSpace matches disk-full conditions at any layer: the core
+// sentinel (wire round-trips) or a raw syscall.ENOSPC escaping the
+// filesystem backend.
+func IsNoSpace(err error) bool {
+	return errors.Is(err, ErrNoSpace) || errors.Is(err, syscall.ENOSPC)
+}

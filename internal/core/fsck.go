@@ -36,6 +36,10 @@ const (
 	FsckOrphanDoc = "orphan-doc"
 	// FsckSet is a committed set with missing or inconsistent artifacts.
 	FsckSet = "set"
+	// FsckQuarantine is a corrupt body the scrubber moved aside. Entries
+	// whose original is unreferenced are deletable debris; referenced
+	// ones are preserved evidence of damage.
+	FsckQuarantine = "quarantine"
 )
 
 // FsckIssue is one problem found by Fsck.

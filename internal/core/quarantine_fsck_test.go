@@ -1,0 +1,130 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/storage/blobstore"
+	"github.com/mmm-go/mmm/internal/storage/cas"
+)
+
+// Fsck and Du must account for the quarantine namespace the scrubber
+// populates: a quarantined chunk that committed recipes still reference
+// is damage (named as quarantined, with the preserved copy's location),
+// an unreferenced quarantine entry is deletable debris, and Du reports
+// the dead weight.
+
+func TestFsckReportsQuarantinedReferencedChunk(t *testing.T) {
+	st, _, _ := rawStores()
+	b := NewBaseline(st, WithDedup())
+	res := mustSave(t, b, SaveRequest{Set: mustNewSet(t, 3)})
+	key := baselineBlobPrefix + "/" + res.SetID + "/params.bin"
+	cs := cas.For(st.Blobs)
+	r, err := cs.Recipe(key)
+	if err != nil {
+		t.Fatalf("Recipe: %v", err)
+	}
+	hash := r.Chunks[0].Hash
+	if moved, err := cs.QuarantineChunk(hash); err != nil || !moved {
+		t.Fatalf("QuarantineChunk = (%v, %v)", moved, err)
+	}
+
+	report := mustFsck(t, st, FsckOptions{})
+	var found *FsckIssue
+	for i, issue := range report.Issues {
+		if issue.Kind == FsckCASChunk && issue.Key == cas.ChunkKey(hash) {
+			found = &report.Issues[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("fsck did not report the quarantined chunk:\n%v", report.Issues)
+	}
+	if found.Orphan {
+		t.Fatal("referenced quarantined chunk classified as deletable")
+	}
+	if !strings.Contains(found.Problem, "quarantined") {
+		t.Fatalf("problem does not name the quarantine: %s", found.Problem)
+	}
+	if !report.Damaged() {
+		t.Fatal("quarantined referenced chunk did not count as damage")
+	}
+
+	// Repair must preserve the evidence: the quarantined copy survives a
+	// repair pass, because only a restore (or re-save) heals damage.
+	mustFsck(t, st, FsckOptions{Repair: true})
+	if !st.Blobs.HasQuarantined(cas.ChunkKey(hash)) {
+		t.Fatal("fsck repair deleted the quarantined copy of damaged data")
+	}
+}
+
+func TestFsckRepairsUnreferencedQuarantineDebris(t *testing.T) {
+	st, _, _ := rawStores()
+	// An orphan blob in an owned namespace that then rots and gets
+	// quarantined: pure debris, fsck -repair removes it.
+	orphanKey := baselineBlobPrefix + "/deadbeef/params.bin"
+	if err := st.Blobs.Put(orphanKey, []byte("orphaned rotting bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Blobs.Quarantine(orphanKey); err != nil {
+		t.Fatal(err)
+	}
+
+	report := mustFsck(t, st, FsckOptions{})
+	var found *FsckIssue
+	for i, issue := range report.Issues {
+		if issue.Kind == FsckQuarantine {
+			found = &report.Issues[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("fsck did not list the quarantine entry:\n%v", report.Issues)
+	}
+	if !found.Orphan {
+		t.Fatalf("unreferenced quarantine entry not classified deletable: %+v", *found)
+	}
+	if found.Key != blobstore.QuarantineKey(orphanKey) {
+		t.Fatalf("issue key = %s, want %s", found.Key, blobstore.QuarantineKey(orphanKey))
+	}
+
+	mustFsck(t, st, FsckOptions{Repair: true})
+	if st.Blobs.HasQuarantined(orphanKey) {
+		t.Fatal("fsck repair left the quarantine debris behind")
+	}
+	if report := mustFsck(t, st, FsckOptions{}); !report.Clean() {
+		t.Fatalf("store not clean after quarantine repair:\n%v", report.Issues)
+	}
+}
+
+func TestDuCountsQuarantine(t *testing.T) {
+	st, _, _ := rawStores()
+	b := NewBaseline(st, WithDedup())
+	res := mustSave(t, b, SaveRequest{Set: mustNewSet(t, 3)})
+	before, err := Du(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.QuarantinedCount != 0 || before.QuarantinedBytes != 0 {
+		t.Fatalf("healthy store reports quarantine: %+v", before)
+	}
+
+	key := baselineBlobPrefix + "/" + res.SetID + "/params.bin"
+	r, err := cas.For(st.Blobs).Recipe(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cas.For(st.Blobs).QuarantineChunk(r.Chunks[0].Hash); err != nil {
+		t.Fatal(err)
+	}
+	after, err := Du(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.QuarantinedCount != 1 || after.QuarantinedBytes == 0 {
+		t.Fatalf("quarantine not accounted: count=%d bytes=%d",
+			after.QuarantinedCount, after.QuarantinedBytes)
+	}
+	// The moved body left PhysicalBytes.
+	if after.ChunkBytes >= before.ChunkBytes {
+		t.Fatalf("chunk bytes did not shrink: before=%d after=%d", before.ChunkBytes, after.ChunkBytes)
+	}
+}

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strings"
+
+	"github.com/mmm-go/mmm/internal/core"
+	"github.com/mmm-go/mmm/internal/dataset"
+	"github.com/mmm-go/mmm/internal/nn"
+	"github.com/mmm-go/mmm/internal/obs"
+	"github.com/mmm-go/mmm/internal/scrub"
+	"github.com/mmm-go/mmm/internal/server"
+	"github.com/mmm-go/mmm/internal/storage/backend"
+	"github.com/mmm-go/mmm/internal/storage/blobstore"
+	"github.com/mmm-go/mmm/internal/storage/cas"
+	"github.com/mmm-go/mmm/internal/storage/docstore"
+	"github.com/mmm-go/mmm/internal/storage/latency"
+)
+
+// Scrub reports the self-healing scenario: silent bit rot planted in
+// chunks shared across a deduplicated fleet, a scrub pass detecting
+// and quarantining it (reads fail fast, never serve wrong bytes), and
+// a second pass healing everything from a healthy replica over the
+// pull protocol.
+type Scrub struct {
+	Sets         int     `json:"sets"`
+	ModelsPerSet int     `json:"models_per_set"`
+	StoreChunks  int     `json:"store_chunks"`
+	StoreKB      float64 `json:"store_kb"`
+
+	// Rot planted: chunks whose persisted refcount is >= MinShared (rot
+	// in a shared chunk damages several sets at once — dedup's dark
+	// side).
+	RottedChunks  int `json:"rotted_chunks"`
+	MinSharedRefs int `json:"min_shared_refs"`
+
+	// Detection (no peer configured): the pass quarantines the rot.
+	DetectLatencyMS float64 `json:"detect_latency_ms"`
+	ScanMBPerSec    float64 `json:"scan_mb_per_sec"`
+	Quarantined     int64   `json:"quarantined"`
+	// FailFastSets counts sets whose recovery fails with ErrCorruptBlob
+	// while quarantined — the contract is fail fast, never wrong bytes.
+	FailFastSets int `json:"fail_fast_sets"`
+	// FsckQuarantineIssues counts fsck issues naming the quarantined
+	// chunks while the store is damaged.
+	FsckQuarantineIssues int `json:"fsck_quarantine_issues"`
+
+	// Heal (healthy peer configured): repairs over the pull protocol.
+	Repaired       int64   `json:"repaired"`
+	HealedKB       float64 `json:"healed_kb"`
+	HealMBPerSec   float64 `json:"heal_mb_per_sec"`
+	SetsIdentical  bool    `json:"sets_identical"`
+	FsckCleanAfter bool    `json:"fsck_clean_after"`
+}
+
+// scrubFleetSets is the fleet size of the scrub scenario: sets sharing
+// chunks through dedup, so one rotted chunk damages several of them.
+const scrubFleetSets = 10
+
+// RunScrub saves a 10-set deduplicated fleet twice — locally and on a
+// healthy HTTP replica — plants bit rot in >= 3 chunks that multiple
+// sets share, and runs the self-healing loop: scrub-detect-quarantine
+// without a peer (recoveries must fail fast with ErrCorruptBlob, fsck
+// must list the quarantined digests), then scrub-repair against the
+// replica (every set must come back byte-identical, fsck clean).
+func RunScrub(o Options) (*Scrub, error) {
+	ctx := context.Background()
+	archName := o.ArchName
+	if archName == "" {
+		archName = "FFNN-48"
+	}
+	arch, err := nn.ByName(archName)
+	if err != nil {
+		return nil, err
+	}
+	models := o.NumModels
+	if models <= 0 || models > 64 {
+		models = 16
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 2023
+	}
+
+	// Two stores with raw backend access (the rot goes in underneath
+	// every integrity layer), saved identically: local and replica.
+	newStores := func() (core.Stores, *backend.Mem) {
+		be := backend.NewMem()
+		return core.Stores{
+			Docs:     docstore.New(backend.NewMem(), latency.CostModel{}, nil),
+			Blobs:    blobstore.New(be, latency.CostModel{}, nil),
+			Datasets: dataset.NewRegistry(),
+		}, be
+	}
+	local, localBE := newStores()
+	peer, _ := newStores()
+
+	// The fleet: set 1 is the factory image; sets 2..N perturb ~1/4 of
+	// the models each, so most chunks are shared store-wide.
+	truth := make([]*core.ModelSet, 0, scrubFleetSets)
+	base, err := core.NewModelSet(arch, models, seed)
+	if err != nil {
+		return nil, err
+	}
+	truth = append(truth, base)
+	for i := 1; i < scrubFleetSets; i++ {
+		v := base.Clone()
+		for j := 0; j < models/4+1; j++ {
+			idx := (j*7 + i) % models
+			m := v.Models[idx]
+			raw := m.AppendParamBytes(nil)
+			for k := range raw {
+				raw[k] ^= byte(i)
+			}
+			if _, err := m.SetParamBytes(raw); err != nil {
+				return nil, err
+			}
+		}
+		truth = append(truth, v)
+	}
+	saveFleet := func(st core.Stores) ([]string, error) {
+		b := core.NewBaseline(st, core.WithDedup())
+		ids := make([]string, len(truth))
+		for i, v := range truth {
+			res, err := b.SaveContext(ctx, core.SaveRequest{Set: v})
+			if err != nil {
+				return nil, fmt.Errorf("saving fleet set %d: %w", i, err)
+			}
+			ids[i] = res.SetID
+		}
+		return ids, nil
+	}
+	ids, err := saveFleet(local)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := saveFleet(peer); err != nil {
+		return nil, err
+	}
+
+	// Plant rot in chunks that several sets share: highest refcount
+	// first, at least 3 chunks.
+	scan, err := cas.ScanStore(local.Blobs)
+	if err != nil {
+		return nil, err
+	}
+	type shared struct {
+		hash string
+		refs int
+	}
+	var candidates []shared
+	for h, refs := range scan.Refs {
+		if refs >= 2 {
+			candidates = append(candidates, shared{h, refs})
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].refs != candidates[j].refs {
+			return candidates[i].refs > candidates[j].refs
+		}
+		return candidates[i].hash < candidates[j].hash
+	})
+	if len(candidates) < 3 {
+		return nil, fmt.Errorf("fleet shares only %d chunks; dedup layout changed?", len(candidates))
+	}
+	rotted := candidates[:3]
+	minRefs := rotted[len(rotted)-1].refs
+	var rottedBytes int64
+	for _, c := range rotted {
+		key := cas.ChunkKey(c.hash)
+		raw, err := localBE.Get(key)
+		if err != nil {
+			return nil, fmt.Errorf("reading chunk to rot: %w", err)
+		}
+		raw[len(raw)/2] ^= 0xff
+		if err := localBE.Put(key, raw); err != nil {
+			return nil, err
+		}
+		rottedBytes += int64(len(raw))
+	}
+
+	// Phase 1 — detect and quarantine, no repair peer.
+	reg := obs.New()
+	s := scrub.New(local.Blobs, local.Docs, scrub.Config{Registry: reg})
+	detect, err := s.RunPass(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("detection pass: %w", err)
+	}
+	quarantined := reg.Counter(scrub.MetricQuarantined).Value()
+	if quarantined < 3 {
+		return nil, fmt.Errorf("detection pass quarantined %d chunks, want >= 3", quarantined)
+	}
+
+	// Reads of damaged sets must fail fast with ErrCorruptBlob — and
+	// never return wrong bytes.
+	b := core.NewBaseline(local, core.WithDedup())
+	failFast := 0
+	for i, id := range ids {
+		got, err := b.RecoverContext(ctx, id)
+		switch {
+		case err == nil:
+			if !got.Equal(truth[i]) {
+				return nil, fmt.Errorf("set %s recovered WRONG BYTES while store damaged", id)
+			}
+		case errors.Is(err, core.ErrCorruptBlob):
+			failFast++
+		default:
+			return nil, fmt.Errorf("set %s: unexpected recovery error: %w", id, err)
+		}
+	}
+	if failFast == 0 {
+		return nil, fmt.Errorf("no set failed fast despite %d quarantined shared chunks", quarantined)
+	}
+
+	// fsck lists the quarantined digests as damage.
+	report, err := core.Fsck(local, core.FsckOptions{})
+	if err != nil {
+		return nil, err
+	}
+	fsckListed := 0
+	for _, issue := range report.Issues {
+		if strings.Contains(issue.Problem, "quarantined") {
+			fsckListed++
+		}
+	}
+	if fsckListed < 3 {
+		return nil, fmt.Errorf("fsck listed %d quarantined chunks, want >= 3:\n%v", fsckListed, report.Issues)
+	}
+
+	// Phase 2 — heal from the healthy replica over the pull protocol.
+	api := server.NewWithMetrics(peer, obs.New(), core.WithDedup())
+	ts := httptest.NewServer(api)
+	defer ts.Close()
+	s2 := scrub.New(local.Blobs, local.Docs, scrub.Config{
+		Registry: reg,
+		Fetcher:  &server.Client{BaseURL: ts.URL, Reg: obs.New()},
+	})
+	s2.ResetCursor()
+	heal, err := s2.RunPass(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("heal pass: %w", err)
+	}
+	repaired := reg.Counter(scrub.MetricRepairs).Value()
+	if repaired < 3 {
+		return nil, fmt.Errorf("heal pass repaired %d chunks, want >= 3", repaired)
+	}
+
+	identical := true
+	for i, id := range ids {
+		got, err := b.RecoverContext(ctx, id)
+		if err != nil {
+			return nil, fmt.Errorf("recovering %s after heal: %w", id, err)
+		}
+		if !got.Equal(truth[i]) {
+			identical = false
+		}
+	}
+	after, err := core.Fsck(local, core.FsckOptions{})
+	if err != nil {
+		return nil, err
+	}
+
+	var storeBytes int64
+	for _, size := range scan.Chunks {
+		storeBytes += size
+	}
+	healSec := heal.Elapsed.Seconds()
+	out := &Scrub{
+		Sets:                 scrubFleetSets,
+		ModelsPerSet:         models,
+		StoreChunks:          len(scan.Chunks),
+		StoreKB:              float64(storeBytes) / 1e3,
+		RottedChunks:         len(rotted),
+		MinSharedRefs:        minRefs,
+		DetectLatencyMS:      detect.DetectLatency.Seconds() * 1e3,
+		ScanMBPerSec:         mbPerSec(detect.BytesVerified, detect.Elapsed.Seconds()),
+		Quarantined:          quarantined,
+		FailFastSets:         failFast,
+		FsckQuarantineIssues: fsckListed,
+		Repaired:             repaired,
+		HealedKB:             float64(rottedBytes) / 1e3,
+		HealMBPerSec:         mbPerSec(rottedBytes, healSec),
+		SetsIdentical:        identical,
+		FsckCleanAfter:       after.Clean(),
+	}
+	return out, nil
+}
+
+func mbPerSec(bytes int64, sec float64) float64 {
+	if sec <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / sec
+}
+
+// Table renders the scrub scenario.
+func (s *Scrub) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Self-healing: %d dedup sets x %d models (%d chunks, %.1f KB stored)\n",
+		s.Sets, s.ModelsPerSet, s.StoreChunks, s.StoreKB)
+	fmt.Fprintf(&b, "rot planted in %d chunks shared by >= %d sets\n", s.RottedChunks, s.MinSharedRefs)
+	fmt.Fprintf(&b, "detect: first finding after %.3f ms into the pass, scan throughput %.1f MB/s, %d quarantined\n",
+		s.DetectLatencyMS, s.ScanMBPerSec, s.Quarantined)
+	fmt.Fprintf(&b, "while damaged: %d/%d sets fail fast with ErrCorruptBlob (never wrong bytes); fsck lists %d quarantined digests\n",
+		s.FailFastSets, s.Sets, s.FsckQuarantineIssues)
+	fmt.Fprintf(&b, "heal from peer: %d chunks (%.1f KB) restored at %.1f MB/s\n",
+		s.Repaired, s.HealedKB, s.HealMBPerSec)
+	fmt.Fprintf(&b, "after heal: all sets byte-identical %v, fsck clean %v\n", s.SetsIdentical, s.FsckCleanAfter)
+	return b.String()
+}

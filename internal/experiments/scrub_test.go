@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+// RunScrub already enforces the heal contract internally (>= 3 shared
+// chunks quarantined, fail-fast reads, repairs from the peer); the test
+// runs a small fleet and checks the reported outcome.
+func TestRunScrub(t *testing.T) {
+	o := DefaultOptions()
+	o.NumModels = 8
+	res, err := RunScrub(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quarantined < 3 || res.Repaired < 3 {
+		t.Fatalf("quarantined %d / repaired %d, want >= 3 each", res.Quarantined, res.Repaired)
+	}
+	if res.FailFastSets == 0 {
+		t.Fatal("no set failed fast while the store was damaged")
+	}
+	if !res.SetsIdentical {
+		t.Fatal("sets not byte-identical after heal")
+	}
+	if !res.FsckCleanAfter {
+		t.Fatal("fsck not clean after heal")
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,379 @@
+package scrub
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/obs"
+	"github.com/mmm-go/mmm/internal/storage/backend"
+	"github.com/mmm-go/mmm/internal/storage/blobstore"
+	"github.com/mmm-go/mmm/internal/storage/cas"
+	"github.com/mmm-go/mmm/internal/storage/docstore"
+	"github.com/mmm-go/mmm/internal/storage/latency"
+)
+
+// testStore is one store with its raw backend exposed for rot
+// planting.
+type testStore struct {
+	be    *backend.Mem
+	blobs *blobstore.Store
+	docs  *docstore.Store
+	cas   *cas.Store
+}
+
+func newTestStore() *testStore {
+	be := backend.NewMem()
+	blobs := blobstore.New(be, latency.CostModel{}, nil)
+	return &testStore{be: be, blobs: blobs, docs: docstore.NewMem(), cas: cas.For(blobs)}
+}
+
+// seed writes n logical dedup blobs and returns their keys.
+func (ts *testStore) seed(t *testing.T, n int) []string {
+	t.Helper()
+	var keys []string
+	shared := bytes.Repeat([]byte("shared-tail "), 2048)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("m/%03d/params.bin", i)
+		data := append(bytes.Repeat([]byte(fmt.Sprintf("unique-%03d ", i)), 1024), shared...)
+		if _, err := ts.cas.Put(key, data, 4096, cas.Hints{}, nil); err != nil {
+			t.Fatalf("seeding %s: %v", key, err)
+		}
+		keys = append(keys, key)
+	}
+	return keys
+}
+
+// rot flips one byte in the stored body of hash, behind every
+// checksum.
+func (ts *testStore) rot(t *testing.T, hash string) {
+	t.Helper()
+	key := cas.ChunkKey(hash)
+	raw, err := ts.be.Get(key)
+	if err != nil {
+		t.Fatalf("reading %s: %v", key, err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := ts.be.Put(key, raw); err != nil {
+		t.Fatalf("writing rot: %v", err)
+	}
+}
+
+// chunkOf returns the i-th distinct chunk hash and logical size of a
+// logical key.
+func (ts *testStore) chunkOf(t *testing.T, key string, i int) (string, int64) {
+	t.Helper()
+	r, err := ts.cas.Recipe(key)
+	if err != nil {
+		t.Fatalf("Recipe(%s): %v", key, err)
+	}
+	return r.Chunks[i].Hash, r.Chunks[i].Size
+}
+
+// peerFetcher serves chunks from a healthy sibling store.
+type peerFetcher struct{ cas *cas.Store }
+
+func (p *peerFetcher) FetchChunk(_ context.Context, hash string, size int64) ([]byte, error) {
+	return p.cas.GetChunk(hash, size)
+}
+
+// lyingFetcher returns bytes that do not match the requested address.
+type lyingFetcher struct{}
+
+func (lyingFetcher) FetchChunk(_ context.Context, _ string, size int64) ([]byte, error) {
+	return bytes.Repeat([]byte{0x42}, int(size)), nil
+}
+
+func TestScrubCleanStore(t *testing.T) {
+	ts := newTestStore()
+	ts.seed(t, 4)
+	s := New(ts.blobs, ts.docs, Config{Registry: obs.New()})
+	rep, err := s.RunPass(context.Background())
+	if err != nil {
+		t.Fatalf("RunPass: %v", err)
+	}
+	if !rep.Completed {
+		t.Fatal("pass did not complete")
+	}
+	if len(rep.Findings) != 0 {
+		t.Fatalf("clean store produced findings: %+v", rep.Findings)
+	}
+	if rep.ChunksVerified == 0 || rep.BytesVerified == 0 {
+		t.Fatalf("nothing verified: %+v", rep)
+	}
+	if s.Pass() != 1 {
+		t.Fatalf("Pass() = %d, want 1", s.Pass())
+	}
+}
+
+func TestScrubQuarantinesRotWithoutPeer(t *testing.T) {
+	ts := newTestStore()
+	keys := ts.seed(t, 3)
+	hash, _ := ts.chunkOf(t, keys[0], 0)
+	ts.rot(t, hash)
+
+	reg := obs.New()
+	s := New(ts.blobs, ts.docs, Config{Registry: reg})
+	rep, err := s.RunPass(context.Background())
+	if err != nil {
+		t.Fatalf("RunPass: %v", err)
+	}
+	if rep.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1 (findings: %+v)", rep.Quarantined, rep.Findings)
+	}
+	if rep.Repaired != 0 {
+		t.Fatalf("Repaired = %d without a peer", rep.Repaired)
+	}
+	if !ts.cas.ChunkQuarantined(hash) {
+		t.Fatal("rotted chunk not in quarantine")
+	}
+	// Reads fail fast with corruption — never wrong bytes, never a
+	// bare not-found.
+	if _, err := ts.cas.Get(keys[0]); !errors.Is(err, cas.ErrCorrupt) {
+		t.Fatalf("Get of damaged set: err = %v, want ErrCorrupt", err)
+	}
+	if got := reg.Counter(MetricQuarantined).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricQuarantined, got)
+	}
+	if got := reg.Counter(MetricErrorsFound).Value(); got == 0 {
+		t.Fatalf("%s = 0, want > 0", MetricErrorsFound)
+	}
+}
+
+func TestScrubRepairsFromPeer(t *testing.T) {
+	local, peer := newTestStore(), newTestStore()
+	keys := local.seed(t, 3)
+	peer.seed(t, 3) // identical content → identical chunks
+
+	h0, _ := local.chunkOf(t, keys[0], 0)
+	h1, _ := local.chunkOf(t, keys[1], 0)
+	local.rot(t, h0)
+	local.rot(t, h1)
+
+	want := map[string][]byte{}
+	for _, k := range keys {
+		data, err := peer.cas.Get(k)
+		if err != nil {
+			t.Fatalf("peer read %s: %v", k, err)
+		}
+		want[k] = data
+	}
+
+	reg := obs.New()
+	s := New(local.blobs, local.docs, Config{Registry: reg, Fetcher: &peerFetcher{cas: peer.cas}})
+	rep, err := s.RunPass(context.Background())
+	if err != nil {
+		t.Fatalf("RunPass: %v", err)
+	}
+	if rep.Repaired < 2 {
+		t.Fatalf("Repaired = %d, want >= 2 (findings: %+v)", rep.Repaired, rep.Findings)
+	}
+	if got := reg.Counter(MetricRepairs).Value(); got < 2 {
+		t.Fatalf("%s = %d, want >= 2", MetricRepairs, got)
+	}
+	for _, k := range keys {
+		got, err := local.cas.Get(k)
+		if err != nil {
+			t.Fatalf("read %s after heal: %v", k, err)
+		}
+		if !bytes.Equal(got, want[k]) {
+			t.Fatalf("%s not byte-identical after heal", k)
+		}
+	}
+	if q, _ := local.cas.QuarantinedChunks(); len(q) != 0 {
+		t.Fatalf("quarantine not emptied after repair: %v", q)
+	}
+}
+
+func TestScrubRepairsMissingChunk(t *testing.T) {
+	local, peer := newTestStore(), newTestStore()
+	keys := local.seed(t, 2)
+	peer.seed(t, 2)
+	hash, _ := local.chunkOf(t, keys[0], 0)
+	if err := local.blobs.Delete(cas.ChunkKey(hash)); err != nil {
+		t.Fatalf("deleting chunk: %v", err)
+	}
+	s := New(local.blobs, local.docs, Config{Registry: obs.New(), Fetcher: &peerFetcher{cas: peer.cas}})
+	rep, err := s.RunPass(context.Background())
+	if err != nil {
+		t.Fatalf("RunPass: %v", err)
+	}
+	if rep.Repaired != 1 {
+		t.Fatalf("Repaired = %d, want 1 (findings: %+v)", rep.Repaired, rep.Findings)
+	}
+	if _, err := local.cas.Get(keys[0]); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+}
+
+func TestScrubRejectsLyingPeer(t *testing.T) {
+	ts := newTestStore()
+	keys := ts.seed(t, 1)
+	hash, _ := ts.chunkOf(t, keys[0], 0)
+	ts.rot(t, hash)
+	s := New(ts.blobs, ts.docs, Config{Registry: obs.New(), Fetcher: lyingFetcher{}})
+	rep, err := s.RunPass(context.Background())
+	if err != nil {
+		t.Fatalf("RunPass: %v", err)
+	}
+	if rep.Repaired != 0 {
+		t.Fatal("a lying peer's bytes were accepted")
+	}
+	if !ts.cas.ChunkQuarantined(hash) {
+		t.Fatal("chunk left quarantine despite failed repair")
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.RepairError != "" && strings.Contains(f.RepairError, "restore failed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no restore-failure recorded: %+v", rep.Findings)
+	}
+}
+
+func TestScrubCursorResumesAcrossRestart(t *testing.T) {
+	ts := newTestStore()
+	ts.seed(t, 4)
+	reg := obs.New()
+
+	s1 := New(ts.blobs, ts.docs, Config{Registry: reg, BatchKeys: 3})
+	rep, err := s1.Step(context.Background())
+	if err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	if rep.Completed || rep.Cursor == "" {
+		t.Fatalf("first batch of 3 keys completed the pass: %+v", rep)
+	}
+
+	// A fresh scrubber (new process) resumes from the persisted cursor.
+	s2 := New(ts.blobs, ts.docs, Config{Registry: reg, BatchKeys: 1 << 20})
+	rep2, err := s2.Step(context.Background())
+	if err != nil {
+		t.Fatalf("resumed Step: %v", err)
+	}
+	if !rep2.Completed {
+		t.Fatalf("resumed step did not finish the pass: %+v", rep2)
+	}
+	if s2.Pass() != 1 {
+		t.Fatalf("Pass() = %d, want 1", s2.Pass())
+	}
+	// The resumed batch must not rescan what the first batch covered.
+	keys, _ := ts.blobs.Keys()
+	if rep.KeysScanned+rep2.KeysScanned != len(keys) {
+		t.Fatalf("scanned %d + %d keys, store has %d", rep.KeysScanned, rep2.KeysScanned, len(keys))
+	}
+}
+
+func TestScrubResetCursor(t *testing.T) {
+	ts := newTestStore()
+	ts.seed(t, 3)
+	s := New(ts.blobs, ts.docs, Config{Registry: obs.New(), BatchKeys: 2})
+	if _, err := s.Step(context.Background()); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	s.ResetCursor()
+	rep, err := s.RunPass(context.Background())
+	if err != nil {
+		t.Fatalf("RunPass: %v", err)
+	}
+	keys, _ := ts.blobs.Keys()
+	if rep.KeysScanned != len(keys) {
+		t.Fatalf("post-reset pass scanned %d keys, store has %d", rep.KeysScanned, len(keys))
+	}
+}
+
+func TestScrubQuarantinesCorruptRawBlob(t *testing.T) {
+	ts := newTestStore()
+	key := "blobs/baseline/bl-000001/params.bin"
+	if err := ts.blobs.Put(key, bytes.Repeat([]byte("raw blob "), 512)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	raw, _ := ts.be.Get(key)
+	raw[7] ^= 0x80
+	if err := ts.be.Put(key, raw); err != nil {
+		t.Fatalf("rotting raw blob: %v", err)
+	}
+	s := New(ts.blobs, ts.docs, Config{Registry: obs.New()})
+	rep, err := s.RunPass(context.Background())
+	if err != nil {
+		t.Fatalf("RunPass: %v", err)
+	}
+	if rep.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1 (findings: %+v)", rep.Quarantined, rep.Findings)
+	}
+	if _, err := ts.blobs.Get(key); !blobstore.IsQuarantined(err) {
+		t.Fatalf("Get of quarantined raw blob: err = %v", err)
+	}
+}
+
+func TestScrubQuarantinesUndecodableIndex(t *testing.T) {
+	ts := newTestStore()
+	ts.seed(t, 1)
+	key := "blobs/baseline/bl-000001/params.idx"
+	if err := ts.blobs.Put(key, []byte("not an index at all")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	s := New(ts.blobs, ts.docs, Config{Registry: obs.New()})
+	rep, err := s.RunPass(context.Background())
+	if err != nil {
+		t.Fatalf("RunPass: %v", err)
+	}
+	if rep.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1 (findings: %+v)", rep.Quarantined, rep.Findings)
+	}
+	// With the bad index gone, readers fall back to recipe-based reads.
+	if _, err := ts.blobs.Get(key); !blobstore.IsQuarantined(err) {
+		t.Fatalf("Get of quarantined index: err = %v", err)
+	}
+}
+
+func TestScrubSkipsOrphanChunks(t *testing.T) {
+	ts := newTestStore()
+	ts.seed(t, 1)
+	// An unreferenced chunk (mid-pull ingest, or GC debris): scrub must
+	// leave it alone even when rotted — it has no recipe to verify
+	// against and GC owns its lifecycle.
+	orphan := bytes.Repeat([]byte("orphan"), 100)
+	sum := orphanHash(orphan)
+	if err := ts.cas.PutChunk(sum, orphan); err != nil {
+		t.Fatalf("PutChunk: %v", err)
+	}
+	ts.rot(t, sum)
+	s := New(ts.blobs, ts.docs, Config{Registry: obs.New()})
+	rep, err := s.RunPass(context.Background())
+	if err != nil {
+		t.Fatalf("RunPass: %v", err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Fatalf("orphan chunk produced findings: %+v", rep.Findings)
+	}
+}
+
+func orphanHash(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+func TestScrubRateLimitPacesBytes(t *testing.T) {
+	ts := newTestStore()
+	ts.seed(t, 2)
+	// A generous budget must not stall the pass; an absurdly low one
+	// must still finish under a canceled context with an error.
+	s := New(ts.blobs, ts.docs, Config{Registry: obs.New(), RateBytesPerSec: 1 << 40})
+	if _, err := s.RunPass(context.Background()); err != nil {
+		t.Fatalf("RunPass with generous budget: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	slow := New(ts.blobs, docstore.NewMem(), Config{Registry: obs.New(), RateBytesPerSec: 1})
+	if _, err := slow.RunPass(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunPass under canceled ctx: err = %v, want context.Canceled", err)
+	}
+}

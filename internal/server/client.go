@@ -101,6 +101,8 @@ func sentinelForCode(code string) error {
 		return core.ErrBudgetExceeded
 	case codeBaseMismatch:
 		return core.ErrBaseMismatch
+	case codeNoSpace:
+		return core.ErrNoSpace
 	default:
 		return nil
 	}

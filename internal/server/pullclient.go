@@ -235,6 +235,15 @@ func (c *Client) pullParams(ctx context.Context, m *PullManifest, off, n int64) 
 	return out, nil
 }
 
+// FetchChunk downloads one chunk's logical bytes by content address —
+// the repair path: the scrubber re-fetches quarantined or missing
+// chunks from a healthy peer through it. It carries the pull
+// protocol's full verification, retry, and resume behavior, and
+// satisfies scrub.ChunkFetcher.
+func (c *Client) FetchChunk(ctx context.Context, hash string, size int64) ([]byte, error) {
+	return c.fetchChunk(ctx, hash, size)
+}
+
 // fetchChunk downloads one chunk with digest verification, retry, and
 // mid-body resume: a transfer that dies partway is continued with a
 // Range request from the received offset instead of restarting, so

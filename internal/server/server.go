@@ -284,6 +284,10 @@ const (
 	// over the chunk-level pull protocol; clients fall back to the
 	// multipart recovery path.
 	codePullUnavailable = "pull_unavailable"
+	// codeNoSpace marks a save the server's disk could not hold. The
+	// save rolled back cleanly; the client may retry after the operator
+	// frees space.
+	codeNoSpace = "no_space"
 )
 
 // errorCode maps an error onto its wire code ("" if it wraps no known
@@ -303,6 +307,8 @@ func errorCode(err error) string {
 		return codeBaseMismatch
 	case errors.Is(err, core.ErrPullUnavailable):
 		return codePullUnavailable
+	case core.IsNoSpace(err):
+		return codeNoSpace
 	default:
 		return ""
 	}
@@ -530,13 +536,17 @@ func bodyStatus(err error) int {
 	return http.StatusBadRequest
 }
 
-// saveStatus maps a save error onto an HTTP status.
+// saveStatus maps a save error onto an HTTP status. Disk-full is 507
+// Insufficient Storage: the request was well-formed, the server simply
+// cannot hold it — retryable once the operator frees space.
 func saveStatus(err error) int {
 	switch {
 	case errors.Is(err, core.ErrSetNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, core.ErrBudgetExceeded):
 		return http.StatusRequestEntityTooLarge
+	case core.IsNoSpace(err):
+		return http.StatusInsufficientStorage
 	default:
 		return http.StatusUnprocessableEntity
 	}

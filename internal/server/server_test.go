@@ -519,6 +519,55 @@ func TestSaveBaseMismatchOverHTTP(t *testing.T) {
 	}
 }
 
+// TestSaveDiskFullReturns507 rehearses a server whose disk fills
+// mid-save: the request must come back 507 Insufficient Storage with
+// the JSON envelope carrying the no_space code (the client maps it to
+// core.ErrNoSpace), the failed save must roll back to nothing, and the
+// next save after space frees must succeed.
+func TestSaveDiskFullReturns507(t *testing.T) {
+	ctx := context.Background()
+	fBlob := backend.NewFaulty(backend.NewMem())
+	stores := core.Stores{
+		Docs:     docstore.New(backend.NewMem(), latency.CostModel{}, nil),
+		Blobs:    blobstore.New(fBlob, latency.CostModel{}, nil),
+		Datasets: dataset.NewRegistry(),
+	}
+	ts := httptest.NewServer(New(stores, core.WithDedup()))
+	t.Cleanup(ts.Close)
+	c := &Client{BaseURL: ts.URL}
+
+	fBlob.FailPutsAfterWith(2, backend.ErrNoSpace)
+	_, err := c.Save(ctx, "baseline", testSet(t, 4), "", nil, nil)
+	if !errors.Is(err, core.ErrNoSpace) {
+		t.Fatalf("disk-full save error = %v, want core.ErrNoSpace", err)
+	}
+	if !strings.Contains(err.Error(), "HTTP 507") {
+		t.Fatalf("disk-full save error = %v, want HTTP 507", err)
+	}
+	fBlob.FailPutsAfter(-1)
+
+	// Rollback left nothing behind: the store is fsck-clean with no
+	// orphans, so no chunk carries a nonzero refcount.
+	report, ferr := core.Fsck(stores, core.FsckOptions{})
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if !report.Clean() {
+		t.Fatalf("store not clean after rolled-back disk-full save:\n%v", report.Issues)
+	}
+
+	// Space freed: service resumes.
+	set := testSet(t, 4)
+	res, err := c.Save(ctx, "baseline", set, "", nil, nil)
+	if err != nil {
+		t.Fatalf("save after space freed: %v", err)
+	}
+	got, err := c.Recover(ctx, "baseline", res.SetID)
+	if err != nil || !set.Equal(got) {
+		t.Fatalf("recover after disk-full episode: %v", err)
+	}
+}
+
 func TestConfigCacheBytesAttachesServingCache(t *testing.T) {
 	stores := core.NewMemStores()
 	NewWithConfig(stores, obs.New(), Config{CacheBytes: 4 << 20})

@@ -134,19 +134,50 @@ func (b *Mem) Keys() ([]string, error) {
 
 // Dir is a directory-backed backend. Each key maps to a file; '/' in
 // keys becomes directory structure. Writes go through a temp file and
-// rename, so readers never observe partial values.
+// rename, so readers never observe partial values. In durable mode the
+// temp file is fsynced before the rename and the parent directory
+// after it, so a committed Put survives power loss.
 type Dir struct {
-	root string
-	mu   sync.Mutex // serializes temp-file naming
-	seq  int
+	root    string
+	durable bool
+	mu      sync.Mutex // serializes temp-file naming
+	seq     int
 }
 
 // NewDir returns a backend rooted at dir, creating it if necessary.
+// Writes are atomic (temp file + rename) but not fsynced; use
+// NewDirSync when commits must survive power loss.
 func NewDir(dir string) (*Dir, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: creating %s: %w", dir, err)
 	}
 	return &Dir{root: dir}, nil
+}
+
+// NewDirSync returns a backend rooted at dir whose Puts and Deletes
+// fsync both the file data and the parent directory entry before
+// reporting success.
+func NewDirSync(dir string) (*Dir, error) {
+	b, err := NewDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	b.durable = true
+	return b, nil
+}
+
+// Durable reports whether the backend fsyncs commits.
+func (b *Dir) Durable() bool { return b.durable }
+
+// syncDir fsyncs the directory holding path so a just-renamed or
+// just-removed entry is on stable storage.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 func (b *Dir) path(key string) (string, error) {
@@ -169,14 +200,42 @@ func (b *Dir) Put(key string, data []byte) error {
 	b.seq++
 	tmp := fmt.Sprintf("%s.tmp%d", p, b.seq)
 	b.mu.Unlock()
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if b.durable {
+		if err := writeFileSync(tmp, data); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("storage: writing %q: %w", key, err)
+		}
+	} else if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return fmt.Errorf("storage: writing %q: %w", key, err)
 	}
 	if err := os.Rename(tmp, p); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("storage: committing %q: %w", key, err)
 	}
+	if b.durable {
+		if err := syncDir(p); err != nil {
+			return fmt.Errorf("storage: syncing parent of %q: %w", key, err)
+		}
+	}
 	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it before closing, so
+// the bytes are on stable storage before the commit rename.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Get implements Backend.
@@ -245,8 +304,16 @@ func (b *Dir) Delete(key string) error {
 	if err != nil {
 		return err
 	}
-	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+	if err := os.Remove(p); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
 		return fmt.Errorf("storage: deleting %q: %w", key, err)
+	}
+	if b.durable {
+		if err := syncDir(p); err != nil {
+			return fmt.Errorf("storage: syncing parent of %q: %w", key, err)
+		}
 	}
 	return nil
 }

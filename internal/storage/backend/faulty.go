@@ -2,12 +2,27 @@ package backend
 
 import (
 	"errors"
+	"fmt"
 	"sync"
+	"syscall"
 )
 
 // ErrInjected is the error returned by a Faulty backend when a fault
 // fires.
 var ErrInjected = errors.New("storage: injected fault")
+
+// ErrNoSpace is an injectable disk-full error. It wraps syscall.ENOSPC
+// so callers classify it exactly like the real thing from a Dir
+// backend.
+var ErrNoSpace = fmt.Errorf("storage: injected fault: %w", syscall.ENOSPC)
+
+// ErrIO is an injectable device-level I/O error wrapping syscall.EIO —
+// the kernel's signature for unrecoverable media failure.
+var ErrIO = fmt.Errorf("storage: injected fault: %w", syscall.EIO)
+
+// IsNoSpace reports whether err is, or wraps, a disk-full condition,
+// whether injected or raised by a real filesystem.
+func IsNoSpace(err error) bool { return errors.Is(err, syscall.ENOSPC) }
 
 // Faulty wraps a Backend and fails operations on demand. Tests use it
 // to verify that store errors surface through the management approaches
@@ -15,13 +30,17 @@ var ErrInjected = errors.New("storage: injected fault")
 type Faulty struct {
 	Inner Backend
 
-	mu         sync.Mutex
-	failPuts   int // fail the next n Puts
-	failGets   int // fail the next n Gets
-	failRanges int // fail the next n GetRanges (before falling back to the Get budget)
-	failDels   int // fail the next n Deletes
-	putsSeen   int
-	failAfter  int // fail all Puts after this many succeed (-1: disabled)
+	mu          sync.Mutex
+	failPuts    int   // fail the next n Puts
+	failPutErr  error // error for put failures (nil: ErrInjected)
+	failGets    int   // fail the next n Gets
+	failGetErr  error // error for get failures (nil: ErrInjected)
+	failRanges  int   // fail the next n GetRanges (before falling back to the Get budget)
+	failDels    int   // fail the next n Deletes
+	putsSeen    int
+	failAfter   int // fail all Puts after this many succeed (-1: disabled)
+	corruptPuts int // bit-flip one byte in the next n Puts (silent rot)
+	tearPuts    int // store only a prefix of the next n Puts (torn write)
 }
 
 // NewFaulty wraps inner with fault injection disabled.
@@ -33,6 +52,17 @@ func NewFaulty(inner Backend) *Faulty {
 func (f *Faulty) FailNextPuts(n int) {
 	f.mu.Lock()
 	f.failPuts = n
+	f.failPutErr = nil
+	f.mu.Unlock()
+}
+
+// FailNextPutsWith makes the next n Put calls return err — typically
+// ErrNoSpace or ErrIO, so tests can rehearse disk-full and media
+// failures distinctly from generic injected faults.
+func (f *Faulty) FailNextPutsWith(n int, err error) {
+	f.mu.Lock()
+	f.failPuts = n
+	f.failPutErr = err
 	f.mu.Unlock()
 }
 
@@ -40,6 +70,34 @@ func (f *Faulty) FailNextPuts(n int) {
 func (f *Faulty) FailNextGets(n int) {
 	f.mu.Lock()
 	f.failGets = n
+	f.failGetErr = nil
+	f.mu.Unlock()
+}
+
+// FailNextGetsWith makes the next n Get calls return err (e.g. ErrIO
+// for a dying disk).
+func (f *Faulty) FailNextGetsWith(n int, err error) {
+	f.mu.Lock()
+	f.failGets = n
+	f.failGetErr = err
+	f.mu.Unlock()
+}
+
+// CorruptNextPuts silently flips one bit in the payload of the next n
+// Put calls before handing them to the inner backend — bit-rot at
+// write time, undetectable until something verifies a digest.
+func (f *Faulty) CorruptNextPuts(n int) {
+	f.mu.Lock()
+	f.corruptPuts = n
+	f.mu.Unlock()
+}
+
+// TearNextPuts makes the next n Put calls persist only the first half
+// of their payload while reporting success — a torn write, as left by
+// a crash mid-write on a filesystem without atomic rename.
+func (f *Faulty) TearNextPuts(n int) {
+	f.mu.Lock()
+	f.tearPuts = n
 	f.mu.Unlock()
 }
 
@@ -67,6 +125,17 @@ func (f *Faulty) FailPutsAfter(n int) {
 	f.mu.Lock()
 	f.failAfter = n
 	f.putsSeen = 0
+	f.failPutErr = nil
+	f.mu.Unlock()
+}
+
+// FailPutsAfterWith lets n Puts succeed and fails every later Put with
+// err — the disk filling up partway through a save.
+func (f *Faulty) FailPutsAfterWith(n int, err error) {
+	f.mu.Lock()
+	f.failAfter = n
+	f.putsSeen = 0
+	f.failPutErr = err
 	f.mu.Unlock()
 }
 
@@ -75,17 +144,42 @@ func (f *Faulty) Put(key string, data []byte) error {
 	f.mu.Lock()
 	if f.failPuts > 0 {
 		f.failPuts--
+		err := f.failPutErr
 		f.mu.Unlock()
-		return ErrInjected
+		if err == nil {
+			err = ErrInjected
+		}
+		return err
 	}
 	if f.failAfter >= 0 {
 		if f.putsSeen >= f.failAfter {
+			err := f.failPutErr
 			f.mu.Unlock()
-			return ErrInjected
+			if err == nil {
+				err = ErrInjected
+			}
+			return err
 		}
 		f.putsSeen++
 	}
+	corrupt, tear := false, false
+	if f.corruptPuts > 0 {
+		f.corruptPuts--
+		corrupt = true
+	}
+	if f.tearPuts > 0 {
+		f.tearPuts--
+		tear = true
+	}
 	f.mu.Unlock()
+	if corrupt && len(data) > 0 {
+		cp := append([]byte(nil), data...)
+		cp[len(cp)/2] ^= 0x01
+		data = cp
+	}
+	if tear {
+		data = data[:len(data)/2]
+	}
 	return f.Inner.Put(key, data)
 }
 
@@ -94,8 +188,12 @@ func (f *Faulty) Get(key string) ([]byte, error) {
 	f.mu.Lock()
 	if f.failGets > 0 {
 		f.failGets--
+		err := f.failGetErr
 		f.mu.Unlock()
-		return nil, ErrInjected
+		if err == nil {
+			err = ErrInjected
+		}
+		return nil, err
 	}
 	f.mu.Unlock()
 	return f.Inner.Get(key)
@@ -112,8 +210,12 @@ func (f *Faulty) GetRange(key string, off, length int64) ([]byte, error) {
 	}
 	if f.failGets > 0 {
 		f.failGets--
+		err := f.failGetErr
 		f.mu.Unlock()
-		return nil, ErrInjected
+		if err == nil {
+			err = ErrInjected
+		}
+		return nil, err
 	}
 	f.mu.Unlock()
 	return f.Inner.GetRange(key, off, length)

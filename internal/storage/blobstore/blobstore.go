@@ -63,6 +63,9 @@ func (s *Store) Put(key string, data []byte) error {
 	if strings.HasPrefix(key, manifestPrefix) {
 		return fmt.Errorf("storage: key %q is in the reserved %q namespace", key, manifestPrefix)
 	}
+	if strings.HasPrefix(key, QuarantinePrefix) {
+		return fmt.Errorf("storage: key %q is in the reserved %q namespace", key, QuarantinePrefix)
+	}
 	old, oldErr := s.backend.Get(key)
 	if err := s.backend.Put(key, data); err != nil {
 		return err
@@ -102,6 +105,9 @@ func (s *Store) Put(key string, data []byte) error {
 func (s *Store) Get(key string) ([]byte, error) {
 	data, err := s.backend.Get(key)
 	if err != nil {
+		if backend.IsNotFound(err) && s.HasQuarantined(key) {
+			return nil, &QuarantinedError{Key: key}
+		}
 		return nil, err
 	}
 	m, ok, err := s.readManifest(key)
@@ -138,6 +144,9 @@ func (s *Store) GetRange(key string, off, length int64) ([]byte, error) {
 	if !ok {
 		data, err := s.backend.GetRange(key, off, length)
 		if err != nil {
+			if backend.IsNotFound(err) && s.HasQuarantined(key) {
+				return nil, &QuarantinedError{Key: key}
+			}
 			return nil, err
 		}
 		s.chargeRead(len(data))
@@ -209,7 +218,7 @@ func (s *Store) Keys() ([]string, error) {
 	}
 	out := keys[:0]
 	for _, k := range keys {
-		if !strings.HasPrefix(k, manifestPrefix) {
+		if !strings.HasPrefix(k, manifestPrefix) && !strings.HasPrefix(k, QuarantinePrefix) {
 			out = append(out, k)
 		}
 	}

@@ -181,6 +181,11 @@ func (s *Store) Integrity() ([]IntegrityIssue, int64, error) {
 	manifests := map[string]bool{}
 	var blobs []string
 	for _, k := range raw {
+		if _, quarantined := QuarantinedOriginal(k); quarantined {
+			// Quarantined bytes are known-corrupt by construction; fsck
+			// reports them from the quarantine listing instead.
+			continue
+		}
 		if len(k) > len(manifestPrefix) && k[:len(manifestPrefix)] == manifestPrefix {
 			manifests[k[len(manifestPrefix):]] = true
 		} else {

@@ -1,0 +1,133 @@
+package blobstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/mmm-go/mmm/internal/storage/backend"
+)
+
+// Corruption quarantine: when a scrub or read-path verification finds a
+// blob whose bytes no longer match their recorded digest, the damaged
+// bytes are moved — never deleted — into the reserved "quarantine/"
+// namespace. Quarantined keys are invisible to Keys, refused by Put,
+// and skipped by Integrity, so the rest of the system sees the blob as
+// missing-with-a-reason: reads fail fast with a QuarantinedError
+// instead of serving rot, fsck can list the damage, and a repair (a
+// verified re-fetch from a healthy peer) deletes the quarantined copy
+// only after a good replacement is committed. Keeping the corrupt
+// bytes preserves forensic evidence and any partially salvageable
+// content.
+
+// QuarantinePrefix is the reserved backend namespace holding
+// quarantined blobs. A blob quarantined from key K lives at
+// QuarantinePrefix+K, preserving the original layout underneath.
+const QuarantinePrefix = "quarantine/"
+
+// QuarantineKey returns the quarantine-namespace key for an original
+// blob key.
+func QuarantineKey(key string) string { return QuarantinePrefix + key }
+
+// QuarantinedOriginal reports whether key is a quarantine-namespace
+// key, and if so returns the original blob key it was moved from.
+func QuarantinedOriginal(key string) (string, bool) {
+	if strings.HasPrefix(key, QuarantinePrefix) {
+		return key[len(QuarantinePrefix):], true
+	}
+	return "", false
+}
+
+// QuarantinedError reports a read of a blob whose bytes were moved to
+// quarantine after failing verification. It wraps ErrChecksumMismatch:
+// the blob is not merely missing, it is known-corrupt.
+type QuarantinedError struct{ Key string }
+
+func (e *QuarantinedError) Error() string {
+	return fmt.Sprintf("storage: blob %q is quarantined as corrupt (preserved at %q)",
+		e.Key, QuarantineKey(e.Key))
+}
+
+// Unwrap makes errors.Is(err, ErrChecksumMismatch) hold.
+func (e *QuarantinedError) Unwrap() error { return ErrChecksumMismatch }
+
+// IsQuarantined reports whether err is, or wraps, a quarantined-blob
+// read error.
+func IsQuarantined(err error) bool {
+	var qe *QuarantinedError
+	return errors.As(err, &qe)
+}
+
+// QuarantineEntry describes one quarantined blob.
+type QuarantineEntry struct {
+	// Key is the original blob key the bytes were quarantined from.
+	Key string
+	// Size is the quarantined payload's size in bytes.
+	Size int64
+}
+
+// Quarantine moves the bytes stored under key into the quarantine
+// namespace and removes the original blob and its manifest entry. The
+// bytes are read raw (unverified — they are being quarantined exactly
+// because they do not verify). Returns the number of bytes moved. A
+// missing key returns the backend's NotFoundError.
+func (s *Store) Quarantine(key string) (int64, error) {
+	raw, err := s.backend.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.backend.Put(QuarantineKey(key), raw); err != nil {
+		return 0, fmt.Errorf("storage: quarantining %q: %w", key, err)
+	}
+	if err := s.backend.Delete(key); err != nil {
+		return 0, fmt.Errorf("storage: removing quarantined original %q: %w", key, err)
+	}
+	if err := s.backend.Delete(manifestPrefix + key); err != nil {
+		return 0, fmt.Errorf("storage: removing manifest of quarantined %q: %w", key, err)
+	}
+	return int64(len(raw)), nil
+}
+
+// HasQuarantined reports whether key has a quarantined copy.
+func (s *Store) HasQuarantined(key string) bool {
+	_, err := s.backend.Size(QuarantineKey(key))
+	return err == nil
+}
+
+// GetQuarantined returns the raw quarantined bytes of key, unverified —
+// they are known not to match their original digest.
+func (s *Store) GetQuarantined(key string) ([]byte, error) {
+	return s.backend.Get(QuarantineKey(key))
+}
+
+// DeleteQuarantined discards the quarantined copy of key. Called only
+// after a verified replacement is committed (repair) or an operator
+// explicitly gives the data up (fsck -repair of an unreferenced
+// entry).
+func (s *Store) DeleteQuarantined(key string) error {
+	return s.backend.Delete(QuarantineKey(key))
+}
+
+// Quarantined lists all quarantined blobs by their original key, in
+// sorted order.
+func (s *Store) Quarantined() ([]QuarantineEntry, error) {
+	keys, err := s.backend.Keys()
+	if err != nil {
+		return nil, err
+	}
+	var out []QuarantineEntry
+	for _, k := range keys {
+		orig, ok := QuarantinedOriginal(k)
+		if !ok {
+			continue
+		}
+		sz, err := s.backend.Size(k)
+		if err != nil && !backend.IsNotFound(err) {
+			return nil, err
+		}
+		out = append(out, QuarantineEntry{Key: orig, Size: sz})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package blobstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/mmm-go/mmm/internal/storage/backend"
+	"github.com/mmm-go/mmm/internal/storage/latency"
+)
+
+func TestQuarantineMovesBlobAside(t *testing.T) {
+	be := backend.NewMem()
+	s := New(be, latency.CostModel{}, nil)
+	data := bytes.Repeat([]byte("rotting blob "), 100)
+	if err := s.Put("blobs/a/params.bin", data); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	n, err := s.Quarantine("blobs/a/params.bin")
+	if err != nil {
+		t.Fatalf("Quarantine: %v", err)
+	}
+	if n != int64(len(data)) {
+		t.Fatalf("Quarantine moved %d bytes, want %d", n, len(data))
+	}
+
+	// The original key reads as known-corrupt, not missing.
+	_, err = s.Get("blobs/a/params.bin")
+	if !IsQuarantined(err) || !errors.Is(err, ErrChecksumMismatch) {
+		t.Fatalf("Get of quarantined key: err = %v, want QuarantinedError", err)
+	}
+	if _, err := s.GetRange("blobs/a/params.bin", 0, 10); !IsQuarantined(err) {
+		t.Fatalf("GetRange of quarantined key: err = %v, want QuarantinedError", err)
+	}
+	if !s.HasQuarantined("blobs/a/params.bin") {
+		t.Fatal("HasQuarantined = false after quarantine")
+	}
+
+	// The damaged bytes are preserved, raw.
+	raw, err := s.GetQuarantined("blobs/a/params.bin")
+	if err != nil {
+		t.Fatalf("GetQuarantined: %v", err)
+	}
+	if !bytes.Equal(raw, data) {
+		t.Fatal("quarantined bytes differ from what was stored")
+	}
+
+	// Quarantined keys are invisible to enumeration and integrity.
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatalf("Keys: %v", err)
+	}
+	if len(keys) != 0 {
+		t.Fatalf("Keys after quarantine = %v, want none", keys)
+	}
+	issues, _, err := s.Integrity()
+	if err != nil {
+		t.Fatalf("Integrity: %v", err)
+	}
+	if len(issues) != 0 {
+		t.Fatalf("Integrity after quarantine reports %v, want nothing", issues)
+	}
+
+	entries, err := s.Quarantined()
+	if err != nil {
+		t.Fatalf("Quarantined: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Key != "blobs/a/params.bin" || entries[0].Size != int64(len(data)) {
+		t.Fatalf("Quarantined = %+v", entries)
+	}
+
+	// Writing a fresh blob under the key heals it.
+	if err := s.Put("blobs/a/params.bin", data); err != nil {
+		t.Fatalf("Put over quarantined key: %v", err)
+	}
+	if got, err := s.Get("blobs/a/params.bin"); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("Get after re-put: %v", err)
+	}
+	if err := s.DeleteQuarantined("blobs/a/params.bin"); err != nil {
+		t.Fatalf("DeleteQuarantined: %v", err)
+	}
+	if s.HasQuarantined("blobs/a/params.bin") {
+		t.Fatal("quarantined copy survived DeleteQuarantined")
+	}
+}
+
+func TestPutRefusesQuarantineNamespace(t *testing.T) {
+	s := NewMem()
+	if err := s.Put(QuarantinePrefix+"x", []byte("no")); err == nil {
+		t.Fatal("Put into the quarantine namespace succeeded")
+	}
+}
+
+func TestQuarantineMissingKey(t *testing.T) {
+	s := NewMem()
+	if _, err := s.Quarantine("missing"); !backend.IsNotFound(err) {
+		t.Fatalf("Quarantine of missing key: err = %v, want NotFound", err)
+	}
+}

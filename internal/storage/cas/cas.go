@@ -545,6 +545,12 @@ func encodeFrame(c codec.Codec, raw []byte) ([]byte, error) {
 func (s *Store) getChunk(hash string, want int64) ([]byte, error) {
 	data, err := s.blobs.Get(ChunkKey(hash))
 	if err != nil {
+		if blobstore.IsQuarantined(err) {
+			// The chunk's bytes were moved to quarantine after failing
+			// verification: surface it as corruption, not absence, so
+			// readers fail fast instead of treating the set as missing.
+			return nil, fmt.Errorf("%w: chunk %s is quarantined: %v", ErrCorrupt, hash, err)
+		}
 		return nil, fmt.Errorf("cas: reading chunk %s: %w", hash, err)
 	}
 	return decodeChunkBody(hash, want, data)

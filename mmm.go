@@ -49,6 +49,7 @@ import (
 	"github.com/mmm-go/mmm/internal/dataset"
 	"github.com/mmm-go/mmm/internal/nn"
 	"github.com/mmm-go/mmm/internal/obs"
+	"github.com/mmm-go/mmm/internal/scrub"
 	"github.com/mmm-go/mmm/internal/server"
 	"github.com/mmm-go/mmm/internal/storage/backend"
 	"github.com/mmm-go/mmm/internal/storage/blobstore"
@@ -417,6 +418,31 @@ var (
 	OpenPullCache = server.OpenPullCache
 )
 
+// Self-healing: a background scrubber incrementally verifies every
+// chunk, recipe, refcount, and blob checksum; corrupt bodies are moved
+// to a quarantine namespace (reads fail fast, evidence preserved) and,
+// when a repair peer is configured, re-fetched by digest over the pull
+// protocol and restored. See docs/ARCHITECTURE.md, "Self-healing &
+// scrub".
+type (
+	// Scrubber walks the store verifying integrity, resumable across
+	// restarts via a persisted cursor.
+	Scrubber = scrub.Scrubber
+	// ScrubConfig tunes rate limits, batch size, repair peer, and
+	// metrics registry.
+	ScrubConfig = scrub.Config
+	// ScrubReport summarizes one scrub pass or step.
+	ScrubReport = scrub.Report
+	// ScrubFinding is one integrity problem a scrub found.
+	ScrubFinding = scrub.Finding
+	// ChunkFetcher fetches chunk bytes by digest from a healthy peer;
+	// *ManagementClient satisfies it.
+	ChunkFetcher = scrub.ChunkFetcher
+)
+
+// NewScrubber builds a scrubber over a store's blobs and documents.
+var NewScrubber = scrub.New
+
 // Degraded recovery: RecoverModelsContext with WithPartialResults
 // returns every model that survives and a report naming the ones that
 // did not, instead of failing the whole call on the first bad blob.
@@ -451,6 +477,13 @@ type StoreOptions struct {
 	// retrying. Every backend operation is idempotent, so retrying is
 	// always safe.
 	RetryAttempts int
+	// DurableSync makes every blob and document write fsync the file
+	// before the atomic rename publishes it, and fsync the parent
+	// directory afterwards, so commits survive power loss — the
+	// difference between crash safety (always on, via temp+rename) and
+	// power-failure safety. Servers should enable it; unit tests and
+	// benchmarks usually skip the ~milliseconds per write.
+	DurableSync bool
 }
 
 // OpenDirStores returns stores persisted under dir (blobs/, docs/, and
@@ -461,11 +494,15 @@ func OpenDirStores(dir string) (Stores, error) {
 
 // OpenDirStoresWith is OpenDirStores with explicit store options.
 func OpenDirStoresWith(dir string, opts StoreOptions) (Stores, error) {
-	blobs, err := backend.NewDir(dir + "/blobs")
+	openDir := backend.NewDir
+	if opts.DurableSync {
+		openDir = backend.NewDirSync
+	}
+	blobs, err := openDir(dir + "/blobs")
 	if err != nil {
 		return Stores{}, fmt.Errorf("mmm: opening blob store: %w", err)
 	}
-	docs, err := backend.NewDir(dir + "/docs")
+	docs, err := openDir(dir + "/docs")
 	if err != nil {
 		return Stores{}, fmt.Errorf("mmm: opening doc store: %w", err)
 	}
