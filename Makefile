@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-stress fsck-smoke metrics-smoke chaos-smoke dedup-smoke codec-smoke pull-smoke scrub-smoke fuzz check bench
+.PHONY: build test vet race race-stress fsck-smoke metrics-smoke chaos-smoke dedup-smoke codec-smoke pull-smoke scrub-smoke cluster-smoke fuzz check bench
 
 build:
 	$(GO) build ./...
@@ -18,11 +18,12 @@ race:
 
 # Serving-tier concurrency battery: the chunk cache's eviction/promotion
 # machinery, the CAS read paths (parallel recover + save + GC +
-# eviction with pinned in-flight reads), and the background scrubber
-# racing saves, recoveries, releases, and GC — all under the race
+# eviction with pinned in-flight reads), the background scrubber
+# racing saves, recoveries, releases, and GC, and the cluster router's
+# membership churn under concurrent routed saves — all under the race
 # detector, repeated to shake out schedule-dependent interleavings.
 race-stress:
-	$(GO) test -race -count=3 -run 'Stress' ./internal/storage/cache ./internal/storage/cas ./internal/scrub
+	$(GO) test -race -count=3 -run 'Stress' ./internal/storage/cache ./internal/storage/cas ./internal/scrub ./internal/cluster
 
 # End-to-end durability smoke test through the real CLI and a real
 # on-disk store: save a fleet, assert fsck passes, flip a single byte
@@ -172,6 +173,56 @@ scrub-smoke: build
 		-set bl-000001 -verify-against bl-000001 >/dev/null; \
 	echo "scrub-smoke OK: rot quarantined, healed from peer, store verified whole"
 
+# Cluster smoke test through the real binaries: three mmserve nodes on
+# scratch stores behind an mmrouter at R=2, a save workload routed
+# through the router, one node killed mid-workload — every set must
+# still recover through the router from its surviving replica, and the
+# router's /metrics must expose the routed-request series.
+cluster-smoke: build
+	@set -eu; \
+	tmp=$$(mktemp -d); \
+	pids=; \
+	trap 'for p in $$pids; do kill "$$p" 2>/dev/null || true; done; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/mmserve" ./cmd/mmserve; \
+	$(GO) build -o "$$tmp/mmrouter" ./cmd/mmrouter; \
+	"$$tmp/mmserve" -dir "$$tmp/node-a" -dedup -addr 127.0.0.1:18481 >/dev/null 2>&1 & pids="$$pids $$!"; \
+	"$$tmp/mmserve" -dir "$$tmp/node-b" -dedup -addr 127.0.0.1:18482 >/dev/null 2>&1 & nodeb=$$!; pids="$$pids $$nodeb"; \
+	"$$tmp/mmserve" -dir "$$tmp/node-c" -dedup -addr 127.0.0.1:18483 >/dev/null 2>&1 & pids="$$pids $$!"; \
+	for port in 18481 18482 18483; do \
+		up=; \
+		for i in $$(seq 1 50); do \
+			if curl -sf "http://127.0.0.1:$$port/healthz" >/dev/null 2>&1; then up=1; break; fi; \
+			sleep 0.1; \
+		done; \
+		test -n "$$up" || { echo "cluster-smoke FAILED: node on $$port never came up"; exit 1; }; \
+	done; \
+	"$$tmp/mmrouter" -addr 127.0.0.1:18484 -replicas 2 \
+		-nodes node-a=http://127.0.0.1:18481,node-b=http://127.0.0.1:18482,node-c=http://127.0.0.1:18483 \
+		>/dev/null 2>&1 & pids="$$pids $$!"; \
+	up=; \
+	for i in $$(seq 1 50); do \
+		if curl -sf http://127.0.0.1:18484/readyz >/dev/null 2>&1; then up=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	test -n "$$up" || { echo "cluster-smoke FAILED: router never became ready"; exit 1; }; \
+	for i in 1 2 3; do \
+		$(GO) run ./cmd/mmstore init -server http://127.0.0.1:18484 -approach baseline -n 4 -seed "$$i" >/dev/null; \
+	done; \
+	ids=$$(curl -sf http://127.0.0.1:18484/api/baseline/sets | tr '",' '\n\n' | grep '^r-g' || true); \
+	test -n "$$ids" || { echo "cluster-smoke FAILED: router lists no saved sets"; exit 1; }; \
+	first=$$(printf '%s\n' $$ids | head -n 1); \
+	curl -sf "http://127.0.0.1:18484/api/baseline/sets/$$first/params" >/dev/null || { \
+		echo "cluster-smoke FAILED: recovery through router before fault"; exit 1; }; \
+	kill "$$nodeb"; \
+	for id in $$ids; do \
+		curl -sf "http://127.0.0.1:18484/api/baseline/sets/$$id/params" >/dev/null || { \
+			echo "cluster-smoke FAILED: set $$id unreadable after node kill"; exit 1; }; \
+	done; \
+	curl -sf http://127.0.0.1:18484/metrics | grep -q 'mmm_http_requests_total' || { \
+		echo "cluster-smoke FAILED: router /metrics lacks routed-request series"; exit 1; }; \
+	n=$$(printf '%s\n' $$ids | wc -l); \
+	echo "cluster-smoke OK: $$n sets survive a node kill behind the router"
+
 # Short-budget fuzzing of the property suites: checksummed blob round
 # trips, the sim-vs-dir backend oracle, and chunker reassembly. The
 # committed seed corpora under testdata/fuzz/ always run; the small
@@ -187,9 +238,9 @@ fuzz:
 
 # The full gate: compile everything, vet, run the suite twice —
 # once plain, once under the race detector — then the durability,
-# observability, resilience, dedup, codec, pull, and self-healing
-# smoke tests and the short fuzz pass.
-check: build vet test race race-stress fsck-smoke metrics-smoke chaos-smoke dedup-smoke codec-smoke pull-smoke scrub-smoke fuzz
+# observability, resilience, dedup, codec, pull, self-healing, and
+# cluster smoke tests and the short fuzz pass.
+check: build vet test race race-stress fsck-smoke metrics-smoke chaos-smoke dedup-smoke codec-smoke pull-smoke scrub-smoke cluster-smoke fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem

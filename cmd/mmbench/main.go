@@ -20,6 +20,7 @@
 //	mmbench -exp serve              # hot-path serving: cold vs warm chunk cache (writes BENCH_serve.json)
 //	mmbench -exp pull               # registry pull protocol: concurrent clients, warm caches, chaos (writes BENCH_pull.json)
 //	mmbench -exp scrub              # self-healing: planted rot -> quarantine -> repair-from-peer (writes BENCH_scrub.json)
+//	mmbench -exp cluster            # replicated cluster: node kill, failover, delta rebalance (writes BENCH_cluster.json)
 //	mmbench -exp quality            # stale-vs-retrained model loss per cycle
 //	mmbench -exp ablate-snapshot    # Update snapshot-interval ablation
 //	mmbench -exp ablate-variants    # Update hash-granularity/compression
@@ -73,6 +74,8 @@ func main() {
 			"where -exp pull writes its JSON result (empty = table only)")
 		scrubOut = flag.String("scrub-out", "BENCH_scrub.json",
 			"where -exp scrub writes its JSON result (empty = table only)")
+		clusterOut = flag.String("cluster-out", "BENCH_cluster.json",
+			"where -exp cluster writes its JSON result (empty = table only)")
 		csv     = flag.Bool("csv", false, "emit series as CSV instead of tables")
 		metrics = flag.Bool("metrics", false, "print a metrics snapshot after each experiment (suppressed under -csv)")
 	)
@@ -247,6 +250,19 @@ func main() {
 				fmt.Printf("wrote %s\n", *scrubOut)
 			}
 			return nil
+		case "cluster":
+			cl, err := experiments.RunCluster(opts)
+			if err != nil {
+				return err
+			}
+			fmt.Print(cl.Table())
+			if *clusterOut != "" {
+				if err := writeJSONAtomic(*clusterOut, cl); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *clusterOut)
+			}
+			return nil
 		case "ablate-snapshot":
 			o := opts
 			if o.Cycles < 4 {
@@ -301,7 +317,7 @@ func main() {
 			"storage", "storage-rates", "storage-size", "storage-cifar",
 			"storage-overhead", "storage-dedup", "compression",
 			"tts", "ttr", "ttr-extrapolate",
-			"accident", "serve", "pull", "scrub", "quality",
+			"accident", "serve", "pull", "scrub", "cluster", "quality",
 			"ablate-snapshot", "ablate-variants", "ablate-blob-layout", "advisor",
 		}
 	}

@@ -24,6 +24,8 @@
 //	POST /api/{approach}/prune                   {"keep": ["..."]}
 //	POST /api/datasets                           register a dataset spec
 //	GET  /api/datasets
+//	GET  /api/version                            build + storage-policy stamp
+//	POST /api/cluster/sync                       pull one set from a peer ({"approach","set_id","from"})
 //	GET  /metrics                                Prometheus text format
 //
 // -dedup deduplicates saved blobs through the content-addressed chunk
@@ -130,16 +132,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("mmserve: %v", err)
 	}
-	var apiOpts []mmm.Option
-	if *dedup {
-		apiOpts = append(apiOpts, mmm.WithDedup())
-	}
 	api := server.NewWithConfig(stores, nil, server.Config{
 		RequestTimeout: *requestTimeout,
 		MaxBodyBytes:   *maxBodyBytes,
 		Codec:          *codecID,
 		CacheBytes:     *cacheBytes,
-	}, apiOpts...)
+		Dedup:          *dedup,
+	})
 
 	if *debugAddr != "" {
 		go serveDebug(ctx, *debugAddr, *readTimeout, *writeTimeout, *idleTimeout)

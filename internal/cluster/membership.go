@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Member is one mmserve node in the cluster.
+type Member struct {
+	// Name is the node's stable identity — what the ring hashes. It
+	// must survive restarts and address changes, or every restart
+	// becomes a rebalance.
+	Name string `json:"name"`
+	// URL is the node's base URL, e.g. "http://node-a:8080".
+	URL string `json:"url"`
+}
+
+// MemberStatus is a member plus the router's current view of it.
+type MemberStatus struct {
+	Member
+	// Down marks a member that failed its last probe (or a recent
+	// request). Down members keep their ring positions — placement is
+	// membership-determined, not health-determined — but are skipped
+	// for reads and counted as failures for writes.
+	Down bool `json:"down,omitempty"`
+	// Incompatible carries the version-preflight rejection reason; an
+	// incompatible member is never routed to.
+	Incompatible string `json:"incompatible,omitempty"`
+}
+
+// Table is the membership view a router operates on: the member set,
+// their health, and the consistent-hash ring derived from them. All
+// methods are safe for concurrent use; the ring is rebuilt on
+// membership changes only (health flips don't move placement).
+type Table struct {
+	mu       sync.RWMutex
+	replicas int
+	vnodes   int
+	members  map[string]Member
+	down     map[string]bool
+	incompat map[string]string
+	ring     *ring
+}
+
+// NewTable builds an empty membership table with the given replication
+// factor (min 1) and virtual-node count (0 = DefaultVNodes).
+func NewTable(replicas, vnodes int) *Table {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Table{
+		replicas: replicas,
+		vnodes:   vnodes,
+		members:  map[string]Member{},
+		down:     map[string]bool{},
+		incompat: map[string]string{},
+		ring:     buildRing(nil, vnodes),
+	}
+}
+
+// Replicas is the configured replication factor R.
+func (t *Table) Replicas() int { return t.replicas }
+
+// Add inserts or updates a member and rebuilds the ring. Updating a
+// member's URL under the same name does not move placement.
+func (t *Table) Add(m Member) error {
+	if m.Name == "" || m.URL == "" {
+		return fmt.Errorf("cluster: member needs a name and a URL")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.members[m.Name] = m
+	delete(t.down, m.Name)
+	delete(t.incompat, m.Name)
+	t.rebuild()
+	return nil
+}
+
+// Remove deletes a member and rebuilds the ring. Keys it owned move to
+// the next nodes on their arcs; a subsequent rebalance re-replicates.
+func (t *Table) Remove(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.members, name)
+	delete(t.down, name)
+	delete(t.incompat, name)
+	t.rebuild()
+}
+
+// rebuild recomputes the ring; callers hold t.mu.
+func (t *Table) rebuild() {
+	names := make([]string, 0, len(t.members))
+	for n := range t.members {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	t.ring = buildRing(names, t.vnodes)
+}
+
+// SetDown flips a member's health. Unknown names are ignored.
+func (t *Table) SetDown(name string, down bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.members[name]; !ok {
+		return
+	}
+	if down {
+		t.down[name] = true
+	} else {
+		delete(t.down, name)
+	}
+}
+
+// SetIncompatible marks a member rejected by the version preflight
+// (reason "" clears the mark).
+func (t *Table) SetIncompatible(name, reason string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.members[name]; !ok {
+		return
+	}
+	if reason == "" {
+		delete(t.incompat, name)
+	} else {
+		t.incompat[name] = reason
+	}
+}
+
+// Usable reports whether a member is routable: known, up, compatible.
+func (t *Table) Usable(name string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.members[name]
+	return ok && !t.down[name] && t.incompat[name] == ""
+}
+
+// Members lists the membership with health, sorted by name.
+func (t *Table) Members() []MemberStatus {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]MemberStatus, 0, len(t.members))
+	for name, m := range t.members {
+		out = append(out, MemberStatus{Member: m, Down: t.down[name], Incompatible: t.incompat[name]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Owners returns the R members owning a placement key, in ring order —
+// including down ones: placement does not chase health, so a recovered
+// node finds its data where it left it. Callers filter with Usable (or
+// take UsableOwners) when they need live targets.
+func (t *Table) Owners(key string) []Member {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.resolve(t.ring.owners(key, t.replicas))
+}
+
+// Sequence returns every member in ring order from key's position:
+// owners first, then the rest — the read path's probe order.
+func (t *Table) Sequence(key string) []Member {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.resolve(t.ring.sequence(key))
+}
+
+// resolve maps node names to Members; callers hold t.mu.
+func (t *Table) resolve(names []string) []Member {
+	out := make([]Member, 0, len(names))
+	for _, n := range names {
+		if m, ok := t.members[n]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}

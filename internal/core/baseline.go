@@ -61,7 +61,10 @@ func (b *Baseline) save(ctx context.Context, req SaveRequest) (SaveResult, error
 	if err != nil {
 		return SaveResult{}, err
 	}
-	setID := b.ids.allocate(existing)
+	setID, err := chooseSetID(req, &b.ids, existing)
+	if err != nil {
+		return SaveResult{}, err
+	}
 
 	cdc, err := resolveCodec(b.codec)
 	if err != nil {

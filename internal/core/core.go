@@ -147,6 +147,15 @@ type SaveRequest struct {
 	// Train is the cycle's training-pipeline description. Required by
 	// Provenance for derived saves.
 	Train *TrainInfo
+	// SetID, when non-empty, is a caller-chosen ID to save under
+	// instead of drawing from the approach's sequential allocator. The
+	// cluster layer depends on it: every replica of one logical save
+	// must land under the same ID on every owner node, which
+	// per-node counters cannot guarantee. The ID must be a safe path
+	// segment (letters, digits, '.', '_', '-', at most 120 bytes,
+	// starting with a letter or digit); an ID already present in the
+	// approach's namespace fails the save with ErrSetExists.
+	SetID string
 }
 
 // SaveResult reports what a save cost.
@@ -205,6 +214,11 @@ func validateSave(req SaveRequest) error {
 		if u.ModelIndex < 0 || u.ModelIndex >= len(req.Set.Models) {
 			return fmt.Errorf("core: update references model %d outside set of %d",
 				u.ModelIndex, len(req.Set.Models))
+		}
+	}
+	if req.SetID != "" {
+		if err := ValidateSetID(req.SetID); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -48,6 +48,12 @@ var (
 	// client-facing sentinel lets callers distinguish "disk full, retry
 	// after freeing space" from data-dependent save failures.
 	ErrNoSpace = errors.New("core: storage out of space")
+
+	// ErrSetExists reports an explicit-ID save (SaveRequest.SetID)
+	// whose ID is already taken in the approach's namespace. Set IDs
+	// are immutable once written — replication relies on "present means
+	// complete" — so the save is rejected rather than overwriting.
+	ErrSetExists = errors.New("core: set already exists")
 )
 
 // IsNoSpace matches disk-full conditions at any layer: the core

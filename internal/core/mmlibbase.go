@@ -99,7 +99,10 @@ func (m *MMlibBase) save(ctx context.Context, req SaveRequest) (SaveResult, erro
 	if err != nil {
 		return SaveResult{}, err
 	}
-	setID := m.ids.allocate(existing)
+	setID, err := chooseSetID(req, &m.ids, existing)
+	if err != nil {
+		return SaveResult{}, err
+	}
 
 	environment := envDoc{Info: env.Capture(), Freeze: dependencyFreeze()}
 	code := codeDoc{

@@ -54,6 +54,46 @@ func (a *idAllocator) allocate(existing []string) string {
 	return id
 }
 
+// ValidateSetID checks that an explicit set ID is usable as a blob and
+// document key: set IDs become path segments in the dir backend, so
+// anything that could traverse or collide with reserved names is
+// rejected before a byte is written.
+func ValidateSetID(id string) error {
+	if id == "" || len(id) > 120 {
+		return fmt.Errorf("core: set ID must be 1-120 bytes, got %d", len(id))
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+			if i == 0 {
+				return fmt.Errorf("core: set ID %q must start with a letter or digit", id)
+			}
+		default:
+			return fmt.Errorf("core: set ID %q contains illegal byte %q", id, c)
+		}
+	}
+	return nil
+}
+
+// chooseSetID resolves the ID one save will commit under: the request's
+// explicit ID when given (rejecting IDs already present — sets are
+// immutable, and replication reads "present" as "complete"), or the
+// next sequential ID otherwise. existing is the approach collection's
+// current document ID list.
+func chooseSetID(req SaveRequest, ids *idAllocator, existing []string) (string, error) {
+	if req.SetID == "" {
+		return ids.allocate(existing), nil
+	}
+	for _, have := range existing {
+		if have == req.SetID {
+			return "", fmt.Errorf("core: explicit-ID save of %q: %w", req.SetID, ErrSetExists)
+		}
+	}
+	return req.SetID, nil
+}
+
 // saveOp tracks every write one save operation issues so that (1) the
 // SaveResult reports exactly this save's bytes and write ops — global
 // store counters misattribute costs when saves run concurrently — and

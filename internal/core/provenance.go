@@ -104,7 +104,10 @@ func (p *Provenance) save(ctx context.Context, req SaveRequest) (SaveResult, err
 	if err != nil {
 		return SaveResult{}, err
 	}
-	setID := p.ids.allocate(existing)
+	setID, err := chooseSetID(req, &p.ids, existing)
+	if err != nil {
+		return SaveResult{}, err
+	}
 
 	full := req.Base == ""
 	if !full && p.SnapshotInterval > 0 {

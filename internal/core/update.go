@@ -146,7 +146,10 @@ func (u *Update) save(ctx context.Context, sp *obs.Span, req SaveRequest) (SaveR
 	if err != nil {
 		return SaveResult{}, err
 	}
-	setID := u.ids.allocate(existing)
+	setID, err := chooseSetID(req, &u.ids, existing)
+	if err != nil {
+		return SaveResult{}, err
+	}
 
 	hashes, err := setHashes(ctx, req.Set, u.workers)
 	if err != nil {

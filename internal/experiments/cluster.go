@@ -1,0 +1,376 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"github.com/mmm-go/mmm/internal/cluster"
+	"github.com/mmm-go/mmm/internal/core"
+	"github.com/mmm-go/mmm/internal/netchaos"
+	"github.com/mmm-go/mmm/internal/nn"
+	"github.com/mmm-go/mmm/internal/obs"
+	"github.com/mmm-go/mmm/internal/server"
+)
+
+// Cluster reports the replicated-cluster drill: a 3-node ring at R=2
+// behind the stateless router, a save wave, a node killed mid
+// recover-wave, quorum-failed saves retried after the membership fix,
+// and the two rebalances (departure, rejoin) with their wire
+// accounting — the rejoin one must move only the chunk bytes the
+// returning node is actually missing.
+type Cluster struct {
+	Nodes        int `json:"nodes"`
+	Replicas     int `json:"replicas"`
+	Sets         int `json:"sets"`
+	ModelsPerSet int `json:"models_per_set"`
+
+	// Save wave through the router: every set must land on exactly R
+	// members.
+	SaveWaveSeconds  float64 `json:"save_wave_seconds"`
+	ReplicationExact bool    `json:"replication_exact"`
+
+	// Node kill mid recover-wave.
+	KilledNode          string  `json:"killed_node"`
+	RecoveredBeforeKill int     `json:"recovered_before_kill"`
+	RecoveredAfterKill  int     `json:"recovered_after_kill"`
+	RecoveryIdentical   bool    `json:"recovery_identical"`
+	ReadFailovers       int64   `json:"read_failovers"`
+	RecoverWaveSeconds  float64 `json:"recover_wave_seconds"`
+
+	// Saves attempted during the outage: with an owner dead, some miss
+	// quorum; after the dead member is removed they must all succeed on
+	// retry (same idempotency key — exactly-once).
+	OutageSaves         int `json:"outage_saves"`
+	OutageQuorumMisses  int `json:"outage_quorum_misses"`
+	OutageRetriesOK     int `json:"outage_retries_ok"`
+
+	// Departure rebalance: the survivors re-establish R=2.
+	DepartureSynced       int   `json:"departure_synced"`
+	DepartureBytesFetched int64 `json:"departure_bytes_fetched"`
+
+	// Rejoin rebalance: the node returns with its store intact, owing
+	// only sets saved while it was away — and those share most chunks
+	// with bases it already holds, so the wire delta is small.
+	RejoinSynced         int     `json:"rejoin_synced"`
+	RejoinChunkCacheHits int64   `json:"rejoin_chunk_cache_hits"`
+	RejoinBytesFetched   int64   `json:"rejoin_bytes_fetched"`
+	RejoinDeltaRatio     float64 `json:"rejoin_delta_ratio"`
+
+	// Steady state after the full cycle.
+	ConvergedNoMoves bool `json:"converged_no_moves"`
+	FsckCleanAll     bool `json:"fsck_clean_all"`
+	FinalIdentical   bool `json:"final_identical"`
+}
+
+// clusterNode is one in-process mmserve node behind a NodeGate.
+type clusterNode struct {
+	name   string
+	url    string
+	stores core.Stores
+	api    *server.Server
+	gate   *netchaos.NodeGate
+	hs     *http.Server
+	client *server.Client
+}
+
+func startClusterNode(name string, stores core.Stores) (*clusterNode, error) {
+	api := server.NewWithConfig(stores, obs.New(), server.Config{Dedup: true})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	gate := netchaos.NewNodeGate(ln)
+	hs := &http.Server{Handler: api}
+	go func() { _ = hs.Serve(gate) }()
+	url := "http://" + ln.Addr().String()
+	return &clusterNode{
+		name: name, url: url, stores: stores, api: api, gate: gate, hs: hs,
+		client: &server.Client{BaseURL: url},
+	}, nil
+}
+
+func (n *clusterNode) stop() { _ = n.hs.Close() }
+
+// restart brings a killed node back on a fresh listener over the same
+// stores — the cluster-test model of a process restart on surviving
+// disks.
+func (n *clusterNode) restart() error {
+	_ = n.hs.Close()
+	fresh, err := startClusterNode(n.name, n.stores)
+	if err != nil {
+		return err
+	}
+	*n = *fresh
+	return nil
+}
+
+// RunCluster runs the cluster drill end to end. The returned report
+// is self-auditing: RecoveryIdentical and FinalIdentical are the
+// byte-identity guarantees, RejoinDeltaRatio the wire-efficiency one.
+func RunCluster(o Options) (*Cluster, error) {
+	ctx := context.Background()
+	archName := o.ArchName
+	if archName == "" {
+		archName = "FFNN-48"
+	}
+	arch, err := nn.ByName(archName)
+	if err != nil {
+		return nil, err
+	}
+	models := o.NumModels
+	if models <= 0 || models > 64 {
+		models = 8
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 2023
+	}
+	const sets = 12
+
+	// Three nodes, a router at R=2, preflight clean.
+	nodes := make([]*clusterNode, 0, 3)
+	for i := 0; i < 3; i++ {
+		n, err := startClusterNode(fmt.Sprintf("node-%c", 'a'+i), core.NewMemStores())
+		if err != nil {
+			return nil, err
+		}
+		defer n.stop()
+		nodes = append(nodes, n)
+	}
+	reg := obs.New()
+	rt := cluster.NewRouter(reg, cluster.RouterConfig{Replicas: 2})
+	for _, n := range nodes {
+		if err := rt.AddMember(n.name, n.url); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := rt.CheckMembers(ctx); err != nil {
+		return nil, fmt.Errorf("version preflight: %w", err)
+	}
+	ts := httptest.NewServer(rt)
+	defer ts.Close()
+	// Failover is the router's job, not the client's — a tight retry
+	// policy keeps the deliberate quorum misses from stretching the
+	// drill by minutes of client backoff.
+	router := &server.Client{BaseURL: ts.URL, Retry: &server.RetryPolicy{
+		MaxAttempts: 2, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond,
+	}}
+
+	out := &Cluster{Nodes: 3, Replicas: 2, Sets: sets, ModelsPerSet: models}
+
+	// Save wave.
+	truth := map[string]*core.ModelSet{}
+	var order []string
+	saveStart := time.Now()
+	for i := 0; i < sets; i++ {
+		set, err := core.NewModelSet(arch, models, seed+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		res, err := router.Save(ctx, "baseline", set, "", nil, nil)
+		if err != nil {
+			return nil, fmt.Errorf("save wave set %d: %w", i, err)
+		}
+		truth[res.SetID] = set
+		order = append(order, res.SetID)
+	}
+	out.SaveWaveSeconds = time.Since(saveStart).Seconds()
+
+	// Replication invariant before any fault.
+	holders := func(setID string) ([]string, error) {
+		var hs []string
+		for _, n := range nodes {
+			if !rt.Table().Usable(n.name) {
+				continue
+			}
+			ids, err := n.client.List(ctx, "baseline")
+			if err != nil {
+				return nil, fmt.Errorf("listing %s: %w", n.name, err)
+			}
+			for _, id := range ids {
+				if id == setID {
+					hs = append(hs, n.name)
+				}
+			}
+		}
+		return hs, nil
+	}
+	out.ReplicationExact = true
+	for id := range truth {
+		hs, err := holders(id)
+		if err != nil {
+			return nil, err
+		}
+		if len(hs) != 2 {
+			out.ReplicationExact = false
+		}
+	}
+
+	// Recover wave; kill node-b halfway through.
+	victim := nodes[1]
+	out.KilledNode = victim.name
+	out.RecoveryIdentical = true
+	recoverStart := time.Now()
+	for i, id := range order {
+		if i == len(order)/2 {
+			victim.gate.Kill()
+			rt.Probe(ctx)
+		}
+		got, err := router.Recover(ctx, "baseline", id)
+		if err != nil {
+			return nil, fmt.Errorf("recover %s (node %s dead: %v): %w",
+				id, victim.name, i >= len(order)/2, err)
+		}
+		if !got.Equal(truth[id]) {
+			out.RecoveryIdentical = false
+		}
+		if i < len(order)/2 {
+			out.RecoveredBeforeKill++
+		} else {
+			out.RecoveredAfterKill++
+		}
+	}
+	out.RecoverWaveSeconds = time.Since(recoverStart).Seconds()
+	out.ReadFailovers = reg.Counter(cluster.MetricRouterFailovers).Value()
+
+	// Saves during the outage: keep each save's idempotency key so the
+	// retry after the membership fix is exactly-once.
+	type pending struct {
+		key string
+		set *core.ModelSet
+	}
+	var failed []pending
+	for i := 0; i < 6; i++ {
+		set, err := core.NewModelSet(arch, models, seed+1000+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		key := fmt.Sprintf("outage-save-%d", i)
+		out.OutageSaves++
+		res, err := router.SaveWithKey(ctx, "baseline", key, set, "", nil, nil)
+		if err != nil {
+			out.OutageQuorumMisses++
+			failed = append(failed, pending{key, set})
+			continue
+		}
+		truth[res.SetID] = set
+	}
+
+	// Operator removes the dead member; the failed saves retry clean.
+	rt.Table().Remove(victim.name)
+	for _, p := range failed {
+		res, err := router.SaveWithKey(ctx, "baseline", p.key, p.set, "", nil, nil)
+		if err != nil {
+			return nil, fmt.Errorf("retrying save %s after membership fix: %w", p.key, err)
+		}
+		truth[res.SetID] = p.set
+		out.OutageRetriesOK++
+	}
+
+	// Departure rebalance: survivors re-establish R=2.
+	rep1, err := rt.Rebalance(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("departure rebalance: %w", err)
+	}
+	if rep1.Unplaceable > 0 || len(rep1.Errors) > 0 {
+		return nil, fmt.Errorf("departure rebalance incomplete: %+v", rep1)
+	}
+	out.DepartureSynced = rep1.Synced
+	out.DepartureBytesFetched = rep1.BytesFetched
+
+	// While node-b is away: derived siblings of the original wave.
+	// Lineage co-location pins each next to its base, and the content
+	// overlap is what makes the rejoin delta small.
+	for i, baseID := range order {
+		sib := truth[baseID].Clone()
+		raw := sib.Models[0].AppendParamBytes(nil)
+		raw[0] ^= byte(i + 1)
+		if _, err := sib.Models[0].SetParamBytes(raw); err != nil {
+			return nil, err
+		}
+		res, err := router.Save(ctx, "baseline", sib, baseID, nil, nil)
+		if err != nil {
+			return nil, fmt.Errorf("sibling save %d: %w", i, err)
+		}
+		truth[res.SetID] = sib
+	}
+
+	// node-b restarts on its surviving store and rejoins.
+	if err := victim.restart(); err != nil {
+		return nil, err
+	}
+	defer victim.stop()
+	if err := rt.AddMember(victim.name, victim.url); err != nil {
+		return nil, err
+	}
+	rt.Probe(ctx)
+	rep2, err := rt.Rebalance(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("rejoin rebalance: %w", err)
+	}
+	if rep2.Unplaceable > 0 || len(rep2.Errors) > 0 {
+		return nil, fmt.Errorf("rejoin rebalance incomplete: %+v", rep2)
+	}
+	out.RejoinSynced = rep2.Synced
+	out.RejoinChunkCacheHits = rep2.ChunkCacheHits
+	out.RejoinBytesFetched = rep2.BytesFetched
+	if rep1.BytesFetched > 0 {
+		out.RejoinDeltaRatio = float64(rep2.BytesFetched) / float64(rep1.BytesFetched)
+	}
+
+	// Steady state: a further pass moves nothing.
+	rep3, err := rt.Rebalance(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out.ConvergedNoMoves = rep3.Synced == 0 && rep3.BytesFetched == 0
+
+	// Final audit: everything byte-identical through the router, every
+	// node fsck-clean.
+	out.FinalIdentical = true
+	for id, want := range truth {
+		got, err := router.Recover(ctx, "baseline", id)
+		if err != nil {
+			return nil, fmt.Errorf("final recover %s: %w", id, err)
+		}
+		if !got.Equal(want) {
+			out.FinalIdentical = false
+		}
+	}
+	out.FsckCleanAll = true
+	for _, n := range nodes {
+		fr, err := n.client.Fsck(ctx, false)
+		if err != nil {
+			return nil, fmt.Errorf("fsck %s: %w", n.name, err)
+		}
+		if !fr.Clean() {
+			out.FsckCleanAll = false
+		}
+	}
+	return out, nil
+}
+
+// Table renders the cluster drill.
+func (c *Cluster) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cluster: %d nodes, R=%d, %d sets x %d models through the router\n",
+		c.Nodes, c.Replicas, c.Sets, c.ModelsPerSet)
+	fmt.Fprintf(&b, "save wave %.2fs, every set on exactly R nodes: %v\n",
+		c.SaveWaveSeconds, c.ReplicationExact)
+	fmt.Fprintf(&b, "%s killed mid recover-wave: %d before + %d after all recovered, byte-identical %v (%d read failovers, %.2fs)\n",
+		c.KilledNode, c.RecoveredBeforeKill, c.RecoveredAfterKill, c.RecoveryIdentical, c.ReadFailovers, c.RecoverWaveSeconds)
+	fmt.Fprintf(&b, "outage saves: %d attempted, %d missed quorum, %d retried OK after membership fix\n",
+		c.OutageSaves, c.OutageQuorumMisses, c.OutageRetriesOK)
+	fmt.Fprintf(&b, "departure rebalance: %d sets synced, %.1f KB fetched\n",
+		c.DepartureSynced, float64(c.DepartureBytesFetched)/1e3)
+	fmt.Fprintf(&b, "rejoin rebalance: %d sets synced, %d chunk cache hits, %.1f KB fetched (%.1f%% of departure bytes)\n",
+		c.RejoinSynced, c.RejoinChunkCacheHits, float64(c.RejoinBytesFetched)/1e3, c.RejoinDeltaRatio*100)
+	fmt.Fprintf(&b, "converged (no further moves) %v, fsck clean on all nodes %v, final byte-identity %v\n",
+		c.ConvergedNoMoves, c.FsckCleanAll, c.FinalIdentical)
+	return b.String()
+}

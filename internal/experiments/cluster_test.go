@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+// RunCluster fails internally on any broken guarantee (unrecoverable
+// set, incomplete rebalance, failed retry); the test runs the drill
+// small and checks the reported invariants.
+func TestRunCluster(t *testing.T) {
+	o := DefaultOptions()
+	o.NumModels = 6
+	res, err := RunCluster(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ReplicationExact {
+		t.Fatal("save wave did not place every set on exactly R nodes")
+	}
+	if !res.RecoveryIdentical {
+		t.Fatal("recovery after node kill not byte-identical")
+	}
+	if res.RecoveredBeforeKill+res.RecoveredAfterKill != res.Sets {
+		t.Fatalf("recover wave covered %d+%d of %d sets",
+			res.RecoveredBeforeKill, res.RecoveredAfterKill, res.Sets)
+	}
+	if res.OutageRetriesOK != res.OutageQuorumMisses {
+		t.Fatalf("%d quorum misses but %d successful retries",
+			res.OutageQuorumMisses, res.OutageRetriesOK)
+	}
+	if res.DepartureSynced == 0 {
+		t.Fatal("departure rebalance synced nothing")
+	}
+	if res.RejoinChunkCacheHits == 0 {
+		t.Fatal("rejoin rebalance hit no local chunks — full copies, not deltas")
+	}
+	if !res.ConvergedNoMoves || !res.FsckCleanAll || !res.FinalIdentical {
+		t.Fatalf("end state: converged=%v fsck=%v identical=%v",
+			res.ConvergedNoMoves, res.FsckCleanAll, res.FinalIdentical)
+	}
+	if res.Table() == "" {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,118 @@
+package netchaos
+
+import (
+	"net"
+	"sync"
+)
+
+// NodeGate wraps a listener with whole-node fault control — the
+// cluster-drill counterpart to the per-connection faults of Listener.
+// Kill simulates a node dying (listener closed, every live connection
+// severed, one-way); Partition simulates a network cut (existing
+// connections severed, new ones refused) that Heal reverses. Chaos
+// tests wrap an httptest server's listener and flip nodes mid-workload
+// to prove the router's failover and the cluster's recovery
+// guarantees.
+type NodeGate struct {
+	inner net.Listener
+
+	mu          sync.Mutex
+	conns       map[net.Conn]struct{}
+	killed      bool
+	partitioned bool
+}
+
+// NewNodeGate wraps ln. The returned gate is the listener to serve on.
+func NewNodeGate(ln net.Listener) *NodeGate {
+	return &NodeGate{inner: ln, conns: map[net.Conn]struct{}{}}
+}
+
+// Accept implements net.Listener. While partitioned, accepted
+// connections are closed immediately — the TCP handshake may succeed
+// (the kernel already completed it) but no byte will ever flow, which
+// is exactly how a mid-connection network cut presents.
+func (g *NodeGate) Accept() (net.Conn, error) {
+	for {
+		c, err := g.inner.Accept()
+		if err != nil {
+			return nil, err
+		}
+		g.mu.Lock()
+		if g.killed || g.partitioned {
+			g.mu.Unlock()
+			_ = c.Close()
+			continue
+		}
+		gc := &gatedConn{Conn: c, gate: g}
+		g.conns[gc] = struct{}{}
+		g.mu.Unlock()
+		return gc, nil
+	}
+}
+
+// Close implements net.Listener.
+func (g *NodeGate) Close() error { return g.inner.Close() }
+
+// Addr implements net.Listener.
+func (g *NodeGate) Addr() net.Addr { return g.inner.Addr() }
+
+// Kill simulates the node dying: the listener closes and every live
+// connection is severed. One-way — a killed node returns as a NEW
+// listener (a restart), never by un-killing.
+func (g *NodeGate) Kill() {
+	g.mu.Lock()
+	g.killed = true
+	conns := g.takeConns()
+	g.mu.Unlock()
+	_ = g.inner.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+// Partition cuts the node off: live connections are severed and new
+// ones die at accept. The process keeps running — unlike Kill, Heal
+// restores service on the same listener.
+func (g *NodeGate) Partition() {
+	g.mu.Lock()
+	g.partitioned = true
+	conns := g.takeConns()
+	g.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+// Heal ends a partition.
+func (g *NodeGate) Heal() {
+	g.mu.Lock()
+	g.partitioned = false
+	g.mu.Unlock()
+}
+
+// takeConns drains the tracked-connection set; callers hold g.mu.
+func (g *NodeGate) takeConns() []net.Conn {
+	out := make([]net.Conn, 0, len(g.conns))
+	for c := range g.conns {
+		out = append(out, c)
+	}
+	g.conns = map[net.Conn]struct{}{}
+	return out
+}
+
+// gatedConn deregisters itself on close so the gate only severs live
+// connections.
+type gatedConn struct {
+	net.Conn
+	gate *NodeGate
+	once sync.Once
+}
+
+func (c *gatedConn) Close() error {
+	c.once.Do(func() {
+		c.gate.mu.Lock()
+		delete(c.gate.conns, c)
+		c.gate.mu.Unlock()
+	})
+	return c.Conn.Close()
+}

@@ -103,6 +103,8 @@ func sentinelForCode(code string) error {
 		return core.ErrBaseMismatch
 	case codeNoSpace:
 		return core.ErrNoSpace
+	case codeSetExists:
+		return core.ErrSetExists
 	default:
 		return nil
 	}
@@ -187,7 +189,19 @@ func (c *Client) Info(ctx context.Context, approach, setID string) ([]core.SetIn
 // idempotency key a retry could duplicate the set. Use SaveWithKey on
 // unreliable networks.
 func (c *Client) Save(ctx context.Context, approach string, set *core.ModelSet, base string, updates []core.ModelUpdate, train *core.TrainInfo) (core.SaveResult, error) {
-	return c.save(ctx, approach, "", set, base, updates, train)
+	return c.save(ctx, approach, "", "", set, base, updates, train)
+}
+
+// SaveAs is Save with an explicit set ID (sent as X-Mmm-Set-Id): the
+// set lands under setID instead of a server-allocated sequential ID,
+// or fails with core.ErrSetExists if the ID is taken. Cluster
+// rebalancers and replication tooling use it; single-node clients
+// normally let the server allocate.
+func (c *Client) SaveAs(ctx context.Context, approach, setID, key string, set *core.ModelSet, base string, updates []core.ModelUpdate, train *core.TrainInfo) (core.SaveResult, error) {
+	if setID == "" {
+		return core.SaveResult{}, fmt.Errorf("server: SaveAs needs a non-empty set ID")
+	}
+	return c.save(ctx, approach, key, setID, set, base, updates, train)
 }
 
 // SaveWithKey is Save with an Idempotency-Key: the server executes the
@@ -198,10 +212,10 @@ func (c *Client) SaveWithKey(ctx context.Context, approach, key string, set *cor
 	if key == "" {
 		return core.SaveResult{}, fmt.Errorf("server: SaveWithKey needs a non-empty key")
 	}
-	return c.save(ctx, approach, key, set, base, updates, train)
+	return c.save(ctx, approach, key, "", set, base, updates, train)
 }
 
-func (c *Client) save(ctx context.Context, approach, key string, set *core.ModelSet, base string, updates []core.ModelUpdate, train *core.TrainInfo) (core.SaveResult, error) {
+func (c *Client) save(ctx context.Context, approach, key, setID string, set *core.ModelSet, base string, updates []core.ModelUpdate, train *core.TrainInfo) (core.SaveResult, error) {
 	var buf bytes.Buffer
 	mw := multipart.NewWriter(&buf)
 	mpart, err := mw.CreateFormField("manifest")
@@ -227,9 +241,12 @@ func (c *Client) save(ctx context.Context, approach, key string, set *core.Model
 		return core.SaveResult{}, err
 	}
 
-	var header http.Header
+	header := http.Header{}
 	if key != "" {
-		header = http.Header{IdempotencyKeyHeader: []string{key}}
+		header.Set(IdempotencyKeyHeader, key)
+	}
+	if setID != "" {
+		header.Set(SetIDHeader, setID)
 	}
 	resp, err := c.roundTrip(ctx, http.MethodPost, "/api/"+approach+"/sets",
 		mw.FormDataContentType(), buf.Bytes(), header, key != "")

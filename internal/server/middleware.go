@@ -1,0 +1,137 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/mmm-go/mmm/internal/obs"
+)
+
+// Gate is the transport-level middleware shared by every HTTP surface
+// of the system — the data-plane node server and the cluster router
+// alike. It applies, in order: drain-mode rejection (503 with a
+// Retry-After hint), the request body cap, the per-request context
+// deadline, and per-route request count/latency metrics. Factoring it
+// out of Server is what lets routed and proxied endpoints carry the
+// exact same operational guarantees as local ones instead of
+// re-implementing (or silently missing) them.
+type Gate struct {
+	// Registry receives mmm_http_* series; nil means obs.Default.
+	Registry *obs.Registry
+	// Config supplies RequestTimeout, MaxBodyBytes, and RetryAfter.
+	Config Config
+	// Draining, when non-nil and true, rejects non-exempt requests.
+	Draining func() bool
+	// Route maps a request to its route pattern for metric labels (the
+	// raw URL would explode label cardinality with set IDs). Nil labels
+	// every request "unmatched".
+	Route func(*http.Request) string
+	// Next is the guarded handler.
+	Next http.Handler
+}
+
+// HTTP-layer metric names, shared by node servers and routers.
+const (
+	metricHTTPRequests = "mmm_http_requests_total"
+	metricHTTPSeconds  = "mmm_http_request_seconds"
+	metricHTTPDrained  = "mmm_http_drain_rejects_total"
+	metricHTTPReplays  = "mmm_http_idempotent_replays_total"
+)
+
+// Describe registers the gate's metric descriptions on reg.
+func (g *Gate) Describe() {
+	reg := g.reg()
+	reg.Describe(metricHTTPRequests, "HTTP requests served, by route pattern and status code.")
+	reg.Describe(metricHTTPSeconds, "HTTP request latency in seconds, by route pattern.")
+	reg.Describe(metricHTTPDrained, "Requests rejected with 503 because the server was draining.")
+}
+
+func (g *Gate) reg() *obs.Registry {
+	if g.Registry != nil {
+		return g.Registry
+	}
+	return obs.Default
+}
+
+// statusWriter captures the response status for request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// drainExempt lists the endpoints that keep answering during drain:
+// orchestrators must still be able to probe liveness and readiness,
+// and scrapers must be able to collect the final metrics.
+func drainExempt(path string) bool {
+	return path == "/healthz" || path == "/readyz" || path == "/metrics"
+}
+
+// errServerDraining is the drain-mode rejection; clients match it via
+// the 503 status plus Retry-After rather than the envelope code.
+var errServerDraining = errors.New("server is draining; retry against another replica")
+
+// retryAfterSeconds renders d as a Retry-After value, rounding up so a
+// sub-second hint never becomes "retry immediately".
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	route := "unmatched"
+	if g.Route != nil {
+		if rt := g.Route(r); rt != "" {
+			route = rt
+		}
+	}
+	reg := g.reg()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	g.serve(sw, r)
+	reg.Histogram(metricHTTPSeconds, obs.TimeBuckets,
+		obs.L("route", route)).Observe(time.Since(start).Seconds())
+	reg.Counter(metricHTTPRequests,
+		obs.L("route", route), obs.L("code", strconv.Itoa(sw.status))).Inc()
+}
+
+func (g *Gate) serve(w http.ResponseWriter, r *http.Request) {
+	if g.Draining != nil && g.Draining() && !drainExempt(r.URL.Path) {
+		g.reg().Counter(metricHTTPDrained).Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(g.Config.RetryAfter)))
+		WriteError(w, http.StatusServiceUnavailable, errServerDraining)
+		return
+	}
+	if g.Config.MaxBodyBytes > 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, g.Config.MaxBodyBytes)
+	}
+	if g.Config.RequestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), g.Config.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	g.Next.ServeHTTP(w, r)
+}
+
+// WriteJSON writes v as a JSON response with the given status. It is
+// exported for the cluster router, which speaks the same wire dialect.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	writeJSON(w, status, v)
+}
+
+// WriteError writes the standard JSON error envelope, deriving the
+// machine-readable code from the core sentinel err wraps (if any).
+func WriteError(w http.ResponseWriter, status int, err error) {
+	writeError(w, status, err)
+}

@@ -25,10 +25,11 @@ const DefaultDrainTimeout = 15 * time.Second
 const lateGrace = 2 * time.Second
 
 // ListenAndServe runs hs until ctx is canceled, then drains
-// gracefully. api is the server behind hs.Handler (possibly wrapped in
-// extra middleware); it is told to BeginDrain before shutdown so
-// readiness flips first. See ServeListener for the shutdown protocol.
-func ListenAndServe(ctx context.Context, hs *http.Server, api *Server, drainTimeout time.Duration) error {
+// gracefully. api is the drainable server behind hs.Handler — a node
+// Server or a cluster Router, possibly wrapped in extra middleware; it
+// is told to BeginDrain before shutdown so readiness flips first. See
+// ServeListener for the shutdown protocol.
+func ListenAndServe(ctx context.Context, hs *http.Server, api Drainer, drainTimeout time.Duration) error {
 	addr := hs.Addr
 	if addr == "" {
 		addr = ":http"
@@ -45,7 +46,7 @@ func ListenAndServe(ctx context.Context, hs *http.Server, api *Server, drainTime
 // a clean drain, the context's deadline error when in-flight requests
 // had to be canceled, and the serve error if the listener failed
 // before shutdown was requested.
-func ServeListener(ctx context.Context, hs *http.Server, api *Server, ln net.Listener, drainTimeout time.Duration) error {
+func ServeListener(ctx context.Context, hs *http.Server, api Drainer, ln net.Listener, drainTimeout time.Duration) error {
 	if drainTimeout <= 0 {
 		drainTimeout = DefaultDrainTimeout
 	}

@@ -12,7 +12,6 @@
 package server
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,6 +38,12 @@ type Manifest struct {
 	Base      string             `json:"base,omitempty"`
 	Updates   []core.ModelUpdate `json:"updates,omitempty"`
 	Train     *core.TrainInfo    `json:"train,omitempty"`
+	// SetID, when set, is an explicit ID for the saved set instead of a
+	// server-allocated sequential one. The cluster router mints IDs this
+	// way so the same logical save lands under the same ID on every
+	// replica. The X-Mmm-Set-Id header overrides this field. Saving an
+	// ID that already exists fails with 409/set_exists.
+	SetID string `json:"set_id,omitempty"`
 	// Codec, when set, asserts the compression codec the client
 	// expects the save to be stored with. The server's approaches are
 	// constructed once with the server-wide codec (Config.Codec), so a
@@ -85,26 +90,23 @@ type Config struct {
 	// repeated recoveries of warm sets skip store reads and decode
 	// work. Zero or negative leaves the store uncached.
 	CacheBytes int64
+	// Dedup routes every save through the chunk-level CAS layer
+	// (core.WithDedup), which also makes full snapshots servable over
+	// the pull protocol and syncable between cluster nodes chunk-wise.
+	Dedup bool
 }
 
-// Server serves a set of management approaches over HTTP.
+// Server is the HTTP transport over a Service: mux routing plus the
+// Gate middleware (per-route metrics, drain, body cap, deadline). The
+// storage behavior itself lives in the embedded Service.
 type Server struct {
-	stores     core.Stores
-	approaches map[string]core.Approach
-	mux        *http.ServeMux
-	metrics    *obs.Registry
-	cfg        Config
-	draining   atomic.Bool
-	journal    *opJournal
+	*Service
+	mux      *http.ServeMux
+	metrics  *obs.Registry
+	cfg      Config
+	draining atomic.Bool
+	gate     *Gate
 }
-
-// HTTP-layer metric names.
-const (
-	metricHTTPRequests = "mmm_http_requests_total"
-	metricHTTPSeconds  = "mmm_http_request_seconds"
-	metricHTTPDrained  = "mmm_http_drain_rejects_total"
-	metricHTTPReplays  = "mmm_http_idempotent_replays_total"
-)
 
 // New builds a server over stores, exposing the four standard
 // approaches under their lower-case names (baseline, update,
@@ -128,32 +130,24 @@ func NewWithConfig(stores core.Stores, reg *obs.Registry, cfg Config, opts ...co
 	if reg == nil {
 		reg = obs.Default
 	}
-	if cfg.RetryAfter <= 0 {
-		cfg.RetryAfter = time.Second
-	}
-	opts = append([]core.Option{core.WithMetrics(reg)}, opts...)
-	if cfg.Codec != "" {
-		opts = append(opts, core.WithCodec(cfg.Codec))
-	}
-	if cfg.CacheBytes > 0 {
-		opts = append(opts, core.WithChunkCache(cfg.CacheBytes))
-	}
+	cfg = normalizeConfig(cfg)
 	s := &Server{
-		stores: stores,
-		approaches: map[string]core.Approach{
-			"baseline":   core.NewBaseline(stores, opts...),
-			"update":     core.NewUpdate(stores, opts...),
-			"provenance": core.NewProvenance(stores, opts...),
-			"mmlib":      core.NewMMlibBase(stores, opts...),
-		},
+		Service: NewService(stores, reg, cfg, opts...),
 		mux:     http.NewServeMux(),
 		metrics: reg,
 		cfg:     cfg,
-		journal: newOpJournal(stores.Docs),
 	}
-	reg.Describe(metricHTTPRequests, "HTTP requests served, by route pattern and status code.")
-	reg.Describe(metricHTTPSeconds, "HTTP request latency in seconds, by route pattern.")
-	reg.Describe(metricHTTPDrained, "Requests rejected with 503 because the server was draining.")
+	s.gate = &Gate{
+		Registry: reg,
+		Config:   cfg,
+		Draining: s.draining.Load,
+		Route: func(r *http.Request) string {
+			_, route := s.mux.Handler(r)
+			return route
+		},
+		Next: s.mux,
+	}
+	s.gate.Describe()
 	reg.Describe(metricHTTPReplays, "Saves answered from the idempotency journal instead of re-executing.")
 	s.routes()
 	return s
@@ -169,73 +163,11 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// drainExempt lists the endpoints that keep answering during drain:
-// orchestrators must still be able to probe liveness and readiness,
-// and scrapers must be able to collect the final metrics.
-func drainExempt(path string) bool {
-	return path == "/healthz" || path == "/readyz" || path == "/metrics"
-}
-
-// statusWriter captures the response status for request metrics.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
-	w.ResponseWriter.WriteHeader(code)
-}
-
-// ServeHTTP implements http.Handler. Every request is counted and
-// timed under its route pattern (not the raw URL, which would explode
-// label cardinality with set IDs). The resilience middleware lives
-// here too: drain-mode 503s, the request body cap, and the per-request
-// deadline.
+// ServeHTTP implements http.Handler by delegating to the Gate
+// middleware (per-route metrics, drain-mode 503s, the request body
+// cap, and the per-request deadline) wrapping the route mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	_, route := s.mux.Handler(r)
-	if route == "" {
-		route = "unmatched"
-	}
-	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-	start := time.Now()
-	s.serve(sw, r)
-	s.metrics.Histogram(metricHTTPSeconds, obs.TimeBuckets,
-		obs.L("route", route)).Observe(time.Since(start).Seconds())
-	s.metrics.Counter(metricHTTPRequests,
-		obs.L("route", route), obs.L("code", strconv.Itoa(sw.status))).Inc()
-}
-
-func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() && !drainExempt(r.URL.Path) {
-		s.metrics.Counter(metricHTTPDrained).Inc()
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
-		writeError(w, http.StatusServiceUnavailable, errServerDraining)
-		return
-	}
-	if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	}
-	if s.cfg.RequestTimeout > 0 {
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-		defer cancel()
-		r = r.WithContext(ctx)
-	}
-	s.mux.ServeHTTP(w, r)
-}
-
-// errServerDraining is the drain-mode rejection; clients match it via
-// the 503 status plus Retry-After rather than the envelope code.
-var errServerDraining = errors.New("server is draining; retry against another replica")
-
-// retryAfterSeconds renders d as a Retry-After value, rounding up so a
-// sub-second hint never becomes "retry immediately".
-func retryAfterSeconds(d time.Duration) int {
-	secs := int((d + time.Second - 1) / time.Second)
-	if secs < 1 {
-		secs = 1
-	}
-	return secs
+	s.gate.ServeHTTP(w, r)
 }
 
 func (s *Server) routes() {
@@ -254,6 +186,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/datasets", s.handleListDatasets)
 	s.mux.HandleFunc("POST /api/fsck", s.handleFsck)
 	s.mux.HandleFunc("GET /api/du", s.handleDu)
+	s.mux.HandleFunc("GET /api/version", s.handleVersion)
+	s.mux.HandleFunc("POST /api/cluster/sync", s.handleSync)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 }
 
@@ -288,6 +222,10 @@ const (
 	// save rolled back cleanly; the client may retry after the operator
 	// frees space.
 	codeNoSpace = "no_space"
+	// codeSetExists marks an explicit-ID save whose ID is already
+	// taken. For a router replaying the same logical save onto a
+	// replica this means "already replicated" — success, not failure.
+	codeSetExists = "set_exists"
 )
 
 // errorCode maps an error onto its wire code ("" if it wraps no known
@@ -307,6 +245,8 @@ func errorCode(err error) string {
 		return codeBaseMismatch
 	case errors.Is(err, core.ErrPullUnavailable):
 		return codePullUnavailable
+	case errors.Is(err, core.ErrSetExists):
+		return codeSetExists
 	case core.IsNoSpace(err):
 		return codeNoSpace
 	default:
@@ -413,14 +353,12 @@ const IdempotencyKeyHeader = "Idempotency-Key"
 // idempotency journal instead of executing the save again.
 const ReplayHeader = "Idempotent-Replay"
 
-// effectiveCodec is the codec ID new saves are stored with, "none"
-// when unconfigured, so clients can assert against a stable name.
-func (s *Server) effectiveCodec() string {
-	if s.cfg.Codec == "" {
-		return "none"
-	}
-	return s.cfg.Codec
-}
+// SetIDHeader carries an explicit set ID for a save, overriding the
+// manifest's set_id field. The cluster router sets it so one logical
+// save lands under the same ID on every replica; header-over-manifest
+// lets the router re-route a client-authored body without rewriting
+// the multipart payload.
+const SetIDHeader = "X-Mmm-Set-Id"
 
 // setCodec looks up the codec ID a stored set was saved with, best
 // effort: "" when the approach has no lineage support or the set is
@@ -499,9 +437,9 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing manifest part"))
 		return
 	}
-	if manifest.Codec != "" && manifest.Codec != s.effectiveCodec() {
+	if manifest.Codec != "" && manifest.Codec != s.EffectiveCodec() {
 		writeError(w, http.StatusUnprocessableEntity,
-			fmt.Errorf("manifest asserts codec %q but this server stores with %q", manifest.Codec, s.effectiveCodec()))
+			fmt.Errorf("manifest asserts codec %q but this server stores with %q", manifest.Codec, s.EffectiveCodec()))
 		return
 	}
 	set, err := setFromBytes(manifest.Arch, manifest.NumModels, params)
@@ -509,8 +447,12 @@ func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	setID := manifest.SetID
+	if h := r.Header.Get(SetIDHeader); h != "" {
+		setID = h
+	}
 	res, err := a.SaveContext(r.Context(), core.SaveRequest{
-		Set: set, Base: manifest.Base,
+		Set: set, Base: manifest.Base, SetID: setID,
 		Updates: manifest.Updates, Train: manifest.Train,
 	})
 	if err != nil {
@@ -545,6 +487,8 @@ func saveStatus(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, core.ErrBudgetExceeded):
 		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, core.ErrSetExists):
+		return http.StatusConflict
 	case core.IsNoSpace(err):
 		return http.StatusInsufficientStorage
 	default:

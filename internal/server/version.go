@@ -1,0 +1,55 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sort"
+
+	"github.com/mmm-go/mmm/internal/version"
+)
+
+// VersionInfo is the response of GET /api/version: the build stamp
+// plus the storage policy knobs a peer must agree on before mixing
+// data. The cluster router preflights every member against it and
+// refuses mixed-version or mismatched-codec memberships — a replica
+// set where one node writes gzip and another writes raw would destroy
+// the byte-identical-recovery guarantee silently.
+type VersionInfo struct {
+	// Version is the build's version stamp (version.Version).
+	Version string `json:"version"`
+	// Codec is the codec ID new saves are stored with ("none" = raw).
+	Codec string `json:"codec"`
+	// Dedup reports whether saves go through the chunk-level CAS layer.
+	Dedup bool `json:"dedup"`
+	// Approaches lists the approach names this node serves, sorted.
+	Approaches []string `json:"approaches"`
+}
+
+// VersionInfo snapshots this service's identity for the preflight.
+func (s *Service) VersionInfo() VersionInfo {
+	names := s.ApproachNames()
+	sort.Strings(names)
+	return VersionInfo{
+		Version:    version.Version,
+		Codec:      s.EffectiveCodec(),
+		Dedup:      s.Dedup(),
+		Approaches: names,
+	}
+}
+
+// Compatible reports whether two nodes can serve in one replica set:
+// same build, same codec, same dedup policy.
+func (v VersionInfo) Compatible(o VersionInfo) bool {
+	return v.Version == o.Version && v.Codec == o.Codec && v.Dedup == o.Dedup
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.VersionInfo())
+}
+
+// Version fetches a server's build and storage-policy stamp.
+func (c *Client) Version(ctx context.Context) (VersionInfo, error) {
+	var out VersionInfo
+	err := c.getJSON(ctx, "/api/version", &out)
+	return out, err
+}

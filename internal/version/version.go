@@ -1,0 +1,12 @@
+// Package version carries the build stamp every mmm binary and node
+// reports. It is its own tiny package so that internal layers (server,
+// cluster) can read it without importing the public facade.
+package version
+
+// Version identifies this build of the mmm tree. The cluster router
+// compares it across member nodes at startup and on revival probes and
+// refuses to mix versions: replicas of one save must execute the same
+// save logic, or the copies diverge silently.
+//
+// The minor number tracks the PR sequence growing this repository.
+const Version = "0.10.0"

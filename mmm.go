@@ -44,6 +44,7 @@ package mmm
 import (
 	"fmt"
 
+	"github.com/mmm-go/mmm/internal/cluster"
 	"github.com/mmm-go/mmm/internal/codec"
 	"github.com/mmm-go/mmm/internal/core"
 	"github.com/mmm-go/mmm/internal/dataset"
@@ -56,8 +57,38 @@ import (
 	"github.com/mmm-go/mmm/internal/storage/docstore"
 	"github.com/mmm-go/mmm/internal/storage/latency"
 	"github.com/mmm-go/mmm/internal/tensor"
+	"github.com/mmm-go/mmm/internal/version"
 	"github.com/mmm-go/mmm/internal/workload"
 )
+
+// Version is the library's build stamp, reported by every node on
+// GET /api/version and checked by the cluster router's preflight:
+// members whose version or storage policy differs from the cluster's
+// are refused, because mixed policies silently break byte-identical
+// recovery.
+const Version = version.Version
+
+// Cluster layer (see internal/cluster and docs/ARCHITECTURE.md
+// "Cluster"): consistent-hash placement of sets over replicated
+// mmserve nodes behind a stateless router that speaks the same HTTP
+// dialect as a single node.
+type (
+	// ClusterRouterConfig tunes a router: replication factor R, write
+	// quorum W, virtual nodes, request limits, mixed-version policy.
+	ClusterRouterConfig = cluster.RouterConfig
+	// ClusterMember is one mmserve node in a cluster: a stable name
+	// (the ring identity) and a base URL.
+	ClusterMember = cluster.Member
+	// ClusterRebalanceReport sums what a rebalance moved — and, via
+	// ChunkCacheHits vs BytesFetched, proves it moved only missing
+	// chunks.
+	ClusterRebalanceReport = cluster.RebalanceReport
+)
+
+// NewClusterRouter builds a stateless router over an empty membership
+// table; register members with AddMember and run CheckMembers before
+// serving. cmd/mmrouter is the ready-made binary around it.
+var NewClusterRouter = cluster.NewRouter
 
 // Core management types.
 type (
